@@ -1,0 +1,204 @@
+//! Bitwidth exploration (paper Fig 6) and the homogeneous-scaling
+//! reference pipelines (Fig 7, right).
+
+use crate::config::FitConfig;
+use crate::engine::{BitConfig, QuantizedEngine};
+use crate::eval::{Confusion, LosoResult};
+use crate::trained::FloatPipeline;
+use ecg_features::FeatureMatrix;
+use hwmodel::pipeline::AcceleratorConfig;
+use hwmodel::TechParams;
+
+/// One evaluated point of the (D_bits × A_bits) grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitPoint {
+    /// Feature width.
+    pub d_bits: u32,
+    /// Coefficient width.
+    pub a_bits: u32,
+    /// Mean GM over folds.
+    pub gm: f64,
+    /// Mean sensitivity.
+    pub se: f64,
+    /// Mean specificity.
+    pub sp: f64,
+    /// Energy per classification (nJ) at the mean SV count.
+    pub energy_nj: f64,
+    /// Accelerator area (mm²).
+    pub area_mm2: f64,
+}
+
+/// Evaluates the full (D, A) grid under leave-one-session-out folds.
+///
+/// The float pipeline is trained **once per fold** and every grid point
+/// re-quantises the same model, matching the paper's methodology (bitwidth
+/// reduction does not retrain).
+///
+/// Folds whose training fails are skipped; the function returns an empty
+/// vector if no fold trains.
+pub fn bit_grid_evaluate(
+    m: &FeatureMatrix,
+    cfg: &FitConfig,
+    d_values: &[u32],
+    a_values: &[u32],
+    tech: &TechParams,
+) -> Vec<BitPoint> {
+    // Per-(d,a): one confusion per fold (so GM can be fold-averaged).
+    let mut per_point: std::collections::HashMap<(u32, u32), Vec<Confusion>> =
+        std::collections::HashMap::new();
+    let mut n_sv_sum = 0usize;
+    let mut n_folds = 0usize;
+    let mut n_feat = m.n_cols();
+    for sid in m.session_list() {
+        let (train, test) = m.split_by_session(sid);
+        if train.n_rows() == 0 || test.n_rows() == 0 {
+            continue;
+        }
+        let Ok(p) = FloatPipeline::fit(&train, cfg) else {
+            continue;
+        };
+        n_sv_sum += p.model().n_support_vectors();
+        n_feat = p.feature_indices().len();
+        n_folds += 1;
+        for &d in d_values {
+            for &a in a_values {
+                let Ok(engine) = QuantizedEngine::from_pipeline(&p, BitConfig::new(d, a))
+                else {
+                    continue;
+                };
+                let mut confusion = Confusion::default();
+                for (row, &label) in test.rows.iter().zip(test.labels.iter()) {
+                    confusion.record(label, engine.classify(row));
+                }
+                per_point.entry((d, a)).or_default().push(confusion);
+            }
+        }
+    }
+    if n_folds == 0 {
+        return Vec::new();
+    }
+    let mean_sv = (n_sv_sum as f64 / n_folds as f64).round() as usize;
+    let mut points: Vec<BitPoint> = per_point
+        .into_iter()
+        .map(|((d, a), folds)| {
+            let mean = |vals: Vec<f64>| {
+                if vals.is_empty() {
+                    f64::NAN
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            };
+            let gm = mean(folds.iter().filter_map(|c| c.geometric_mean()).collect());
+            let se = mean(folds.iter().filter_map(|c| c.sensitivity()).collect());
+            let sp = mean(folds.iter().filter_map(|c| c.specificity()).collect());
+            let hw = AcceleratorConfig {
+                n_sv: mean_sv,
+                n_feat,
+                d_bits: d,
+                a_bits: a,
+                post_dot_truncate: 10,
+                post_square_truncate: 10,
+                lanes: 1,
+            };
+            let cost = hw.cost(tech);
+            BitPoint { d_bits: d, a_bits: a, gm, se, sp, energy_nj: cost.energy_nj, area_mm2: cost.area_mm2 }
+        })
+        .collect();
+    points.sort_by(|p1, p2| (p1.d_bits, p1.a_bits).cmp(&(p2.d_bits, p2.a_bits)));
+    points
+}
+
+/// Evaluates a homogeneous-scaling pipeline (single global feature scale,
+/// uniform width, no truncation) at the given width — the paper's Fig 7
+/// (right) comparison. Returns the LOSO result plus the HW cost.
+pub fn homogeneous_evaluate(
+    m: &FeatureMatrix,
+    cfg: &FitConfig,
+    bits: u32,
+    tech: &TechParams,
+) -> (LosoResult, f64, f64) {
+    let hom_cfg = FitConfig { homogeneous_scale: true, ..cfg.clone() };
+    let result = crate::eval::loso_evaluate_with(m, |train| {
+        let p = FloatPipeline::fit(train, &hom_cfg)?;
+        let n_sv = p.model().n_support_vectors();
+        let engine = QuantizedEngine::from_pipeline(&p, BitConfig::uniform(bits))?;
+        Ok((move |row: &[f64]| engine.classify(row), n_sv))
+    });
+    let n_feat = hom_cfg.features.as_ref().map(Vec::len).unwrap_or(m.n_cols());
+    let n_sv = if result.mean_n_sv.is_nan() { 0 } else { result.mean_n_sv.round() as usize };
+    let cost = AcceleratorConfig::uniform(n_sv, n_feat, bits).cost(tech);
+    (result, cost.energy_nj, cost.area_mm2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quickfeat::{synthetic_matrix, QuickFeatConfig};
+
+    fn matrix() -> FeatureMatrix {
+        synthetic_matrix(&QuickFeatConfig {
+            n_sessions: 4,
+            windows_per_session: 30,
+            seed: 5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn grid_shape_and_monotonicity() {
+        let m = matrix();
+        let tech = TechParams::default();
+        let points = bit_grid_evaluate(
+            &m,
+            &FitConfig::default(),
+            &[4, 9, 16],
+            &[8, 15],
+            &tech,
+        );
+        assert_eq!(points.len(), 6);
+        // Energy grows with D at fixed A.
+        let e = |d: u32, a: u32| {
+            points
+                .iter()
+                .find(|p| p.d_bits == d && p.a_bits == a)
+                .unwrap()
+                .energy_nj
+        };
+        assert!(e(16, 15) > e(9, 15));
+        assert!(e(9, 15) > e(4, 15));
+        // GM at generous widths beats the starved 4-bit point (or ties).
+        let gm = |d: u32, a: u32| {
+            points.iter().find(|p| p.d_bits == d && p.a_bits == a).unwrap().gm
+        };
+        assert!(gm(16, 15) >= gm(4, 8) - 0.02);
+    }
+
+    #[test]
+    fn homogeneous_needs_more_bits() {
+        let m = matrix();
+        let tech = TechParams::default();
+        let (r16, _, _) = homogeneous_evaluate(&m, &FitConfig::default(), 16, &tech);
+        let (r63, _, _) = homogeneous_evaluate(&m, &FitConfig::default(), 63, &tech);
+        // Wide homogeneous pipeline ≈ float quality; narrow loses (or at
+        // best ties) because small-range features starve.
+        assert!(r63.mean_gm >= r16.mean_gm - 0.02, "{} vs {}", r63.mean_gm, r16.mean_gm);
+    }
+
+    #[test]
+    fn homogeneous_cost_scales_with_bits() {
+        let m = matrix();
+        let tech = TechParams::default();
+        let (_, e16, a16) = homogeneous_evaluate(&m, &FitConfig::default(), 16, &tech);
+        let (_, e32, a32) = homogeneous_evaluate(&m, &FitConfig::default(), 32, &tech);
+        assert!(e32 > e16);
+        assert!(a32 > a16);
+    }
+
+    #[test]
+    fn empty_matrix_gives_empty_grid() {
+        let m = FeatureMatrix::default();
+        let tech = TechParams::default();
+        let pts = bit_grid_evaluate(&m, &FitConfig::default(), &[9], &[15], &tech);
+        assert!(pts.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Pipeline configuration.
+
+use svm::Kernel;
+
+/// Configuration of one training run of the detection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitConfig {
+    /// Kernel (the paper settles on quadratic after Table I).
+    pub kernel: Kernel,
+    /// Soft-margin cost for the SMO trainer.
+    pub c: f64,
+    /// Optional feature subset (original 0-based indices); `None` keeps
+    /// all features.
+    pub features: Option<Vec<usize>>,
+    /// Optional support-vector budget (Eq 5 pruning with re-training).
+    pub sv_budget: Option<usize>,
+    /// When `true`, one global power-of-two scale replaces the per-feature
+    /// scales — the paper's sub-optimal homogeneous baseline (Fig 7
+    /// right).
+    pub homogeneous_scale: bool,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig {
+            kernel: Kernel::Polynomial { degree: 2 },
+            c: 16.0,
+            features: None,
+            sv_budget: None,
+            homogeneous_scale: false,
+        }
+    }
+}
+
+impl FitConfig {
+    /// Returns a copy using the given kernel.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Returns a copy restricted to the given features.
+    pub fn with_features(mut self, features: Vec<usize>) -> Self {
+        self.features = Some(features);
+        self
+    }
+
+    /// Returns a copy with an SV budget.
+    pub fn with_sv_budget(mut self, budget: usize) -> Self {
+        self.sv_budget = Some(budget);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_quadratic() {
+        let c = FitConfig::default();
+        assert_eq!(c.kernel, Kernel::Polynomial { degree: 2 });
+        assert!(c.features.is_none());
+        assert!(c.sv_budget.is_none());
+        assert!(!c.homogeneous_scale);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = FitConfig::default()
+            .with_kernel(Kernel::Linear)
+            .with_features(vec![1, 2, 3])
+            .with_sv_budget(50);
+        assert_eq!(c.kernel, Kernel::Linear);
+        assert_eq!(c.features.as_deref(), Some(&[1, 2, 3][..]));
+        assert_eq!(c.sv_budget, Some(50));
+    }
+}

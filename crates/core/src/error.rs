@@ -1,0 +1,69 @@
+//! Error type for the tailoring pipeline.
+
+use std::fmt;
+
+/// Errors produced by the seizure-detection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// SVM training failed.
+    Svm(svm::SvmError),
+    /// Feature extraction failed.
+    Feature(ecg_features::FeatureError),
+    /// The requested configuration is inconsistent.
+    InvalidConfig(String),
+    /// The dataset cannot support the requested operation (e.g. empty
+    /// training fold, single-class fold).
+    Dataset(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Svm(e) => write!(f, "svm failure: {e}"),
+            CoreError::Feature(e) => write!(f, "feature extraction failure: {e}"),
+            CoreError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            CoreError::Dataset(s) => write!(f, "dataset problem: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Svm(e) => Some(e),
+            CoreError::Feature(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<svm::SvmError> for CoreError {
+    fn from(e: svm::SvmError) -> Self {
+        CoreError::Svm(e)
+    }
+}
+
+impl From<ecg_features::FeatureError> for CoreError {
+    fn from(e: ecg_features::FeatureError) -> Self {
+        CoreError::Feature(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = svm::SvmError::InvalidConfig("c").into();
+        assert!(e.to_string().contains("svm"));
+        assert!(e.source().is_some());
+        let e: CoreError =
+            ecg_features::FeatureError::TooFewBeats { needed: 8, got: 0 }.into();
+        assert!(e.to_string().contains("feature"));
+        let e = CoreError::InvalidConfig("bad".into());
+        assert!(e.source().is_none());
+        assert!(CoreError::Dataset("x".into()).to_string().contains("dataset"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Classification-performance evaluation (paper Eq 2) under
+//! leave-one-session-out cross-validation.
+
+use crate::config::FitConfig;
+use crate::error::CoreError;
+use crate::trained::FloatPipeline;
+use ecg_features::FeatureMatrix;
+
+/// Confusion counts for the two-class seizure problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Seizure windows classified as seizure.
+    pub tp: usize,
+    /// Non-seizure windows classified as non-seizure.
+    pub tn: usize,
+    /// Non-seizure windows classified as seizure (false alarms).
+    pub fp: usize,
+    /// Seizure windows missed.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Adds one prediction.
+    pub fn record(&mut self, truth: i8, predicted: f64) {
+        match (truth > 0, predicted > 0.0) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merges another confusion into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Sensitivity `TP / (TP + FN)`; `None` without positive examples.
+    pub fn sensitivity(&self) -> Option<f64> {
+        let d = self.tp + self.fn_;
+        (d > 0).then(|| self.tp as f64 / d as f64)
+    }
+
+    /// Specificity `TN / (TN + FP)`; `None` without negative examples.
+    pub fn specificity(&self) -> Option<f64> {
+        let d = self.tn + self.fp;
+        (d > 0).then(|| self.tn as f64 / d as f64)
+    }
+
+    /// Geometric mean `sqrt(Se × Sp)`; `None` unless both are defined.
+    pub fn geometric_mean(&self) -> Option<f64> {
+        Some((self.sensitivity()? * self.specificity()?).sqrt())
+    }
+
+    /// Total classified windows.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+}
+
+/// Aggregated Se/Sp/GM triple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics {
+    /// Mean sensitivity.
+    pub se: f64,
+    /// Mean specificity.
+    pub sp: f64,
+    /// Mean geometric mean.
+    pub gm: f64,
+}
+
+/// Outcome of one leave-one-session-out fold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoldOutcome {
+    /// Test session id.
+    pub session_id: usize,
+    /// Confusion over the fold's test windows.
+    pub confusion: Confusion,
+    /// Support-vector count of the fold's trained model.
+    pub n_sv: usize,
+}
+
+/// Aggregate result over all folds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LosoResult {
+    /// Per-fold outcomes (successful folds only).
+    pub folds: Vec<FoldOutcome>,
+    /// Folds skipped because training failed (e.g. single-class fold).
+    pub skipped: usize,
+    /// Mean sensitivity over folds where it is defined.
+    pub mean_se: f64,
+    /// Mean specificity over folds where it is defined.
+    pub mean_sp: f64,
+    /// Mean geometric mean over folds where both Se and Sp are defined —
+    /// the paper's headline metric.
+    pub mean_gm: f64,
+    /// Mean support-vector count across folds (drives the HW cost model).
+    pub mean_n_sv: f64,
+}
+
+impl LosoResult {
+    fn from_folds(folds: Vec<FoldOutcome>, skipped: usize) -> LosoResult {
+        let mean_over = |vals: Vec<f64>| {
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        let mean_se =
+            mean_over(folds.iter().filter_map(|f| f.confusion.sensitivity()).collect());
+        let mean_sp =
+            mean_over(folds.iter().filter_map(|f| f.confusion.specificity()).collect());
+        let mean_gm =
+            mean_over(folds.iter().filter_map(|f| f.confusion.geometric_mean()).collect());
+        let mean_n_sv = mean_over(folds.iter().map(|f| f.n_sv as f64).collect());
+        LosoResult { folds, skipped, mean_se, mean_sp, mean_gm, mean_n_sv }
+    }
+
+    /// Pooled confusion over all folds (micro-average view).
+    pub fn pooled(&self) -> Confusion {
+        let mut c = Confusion::default();
+        for f in &self.folds {
+            c.merge(&f.confusion);
+        }
+        c
+    }
+}
+
+/// Generic leave-one-session-out evaluation: `fit` builds a predictor from
+/// a training matrix, returning the predictor and its SV count. Folds
+/// whose `fit` fails are skipped and counted.
+pub fn loso_evaluate_with<P, F>(m: &FeatureMatrix, fit: F) -> LosoResult
+where
+    F: Fn(&FeatureMatrix) -> Result<(P, usize), CoreError>,
+    P: Fn(&[f64]) -> f64,
+{
+    let mut folds = Vec::new();
+    let mut skipped = 0usize;
+    for sid in m.session_list() {
+        let (train, test) = m.split_by_session(sid);
+        if train.n_rows() == 0 || test.n_rows() == 0 {
+            skipped += 1;
+            continue;
+        }
+        match fit(&train) {
+            Ok((predict, n_sv)) => {
+                let mut confusion = Confusion::default();
+                for (row, &label) in test.rows.iter().zip(test.labels.iter()) {
+                    confusion.record(label, predict(row));
+                }
+                folds.push(FoldOutcome { session_id: sid, confusion, n_sv });
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    LosoResult::from_folds(folds, skipped)
+}
+
+/// Leave-one-session-out evaluation of the float reference pipeline.
+pub fn loso_evaluate(m: &FeatureMatrix, cfg: &FitConfig) -> LosoResult {
+    let cfg = cfg.clone();
+    loso_evaluate_with(m, move |train| {
+        let p = FloatPipeline::fit(train, &cfg)?;
+        let n_sv = p.model().n_support_vectors();
+        Ok((move |row: &[f64]| p.predict(row), n_sv))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quickfeat::{synthetic_matrix, QuickFeatConfig};
+
+    #[test]
+    fn confusion_metrics() {
+        let mut c = Confusion::default();
+        for _ in 0..8 {
+            c.record(1, 1.0);
+        }
+        for _ in 0..2 {
+            c.record(1, -1.0);
+        }
+        for _ in 0..90 {
+            c.record(-1, -1.0);
+        }
+        for _ in 0..10 {
+            c.record(-1, 1.0);
+        }
+        assert_eq!(c.total(), 110);
+        assert!((c.sensitivity().unwrap() - 0.8).abs() < 1e-12);
+        assert!((c.specificity().unwrap() - 0.9).abs() < 1e-12);
+        assert!((c.geometric_mean().unwrap() - (0.72f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_metrics_are_none() {
+        let mut c = Confusion::default();
+        c.record(-1, -1.0);
+        assert!(c.sensitivity().is_none());
+        assert!(c.specificity().is_some());
+        assert!(c.geometric_mean().is_none());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Confusion { tp: 1, tn: 2, fp: 3, fn_: 4 };
+        let b = Confusion { tp: 10, tn: 20, fp: 30, fn_: 40 };
+        a.merge(&b);
+        assert_eq!(a, Confusion { tp: 11, tn: 22, fp: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn loso_on_separable_synthetic_data_has_high_gm() {
+        let m = synthetic_matrix(&QuickFeatConfig {
+            n_sessions: 6,
+            windows_per_session: 30,
+            ..Default::default()
+        });
+        let result = loso_evaluate(&m, &FitConfig::default());
+        assert_eq!(result.folds.len() + result.skipped, 6);
+        assert!(result.mean_gm > 0.6, "gm {}", result.mean_gm);
+        assert!(result.mean_n_sv > 1.0);
+        let pooled = result.pooled();
+        assert!(pooled.total() > 0);
+    }
+
+    #[test]
+    fn perfect_and_broken_predictors() {
+        let m = synthetic_matrix(&QuickFeatConfig {
+            n_sessions: 4,
+            windows_per_session: 20,
+            ..Default::default()
+        });
+        // Oracle predictor (cheats by memorising labels — evaluation only
+        // checks plumbing here).
+        let all_rows: Vec<(Vec<f64>, i8)> = m
+            .rows
+            .iter()
+            .cloned()
+            .zip(m.labels.iter().copied())
+            .collect();
+        let oracle = loso_evaluate_with(&m, move |_train| {
+            let table = all_rows.clone();
+            Ok::<_, CoreError>((
+                move |row: &[f64]| {
+                    table
+                        .iter()
+                        .find(|(r, _)| r == row)
+                        .map(|(_, l)| *l as f64)
+                        .unwrap_or(-1.0)
+                },
+                1,
+            ))
+        });
+        assert!((oracle.mean_gm - 1.0).abs() < 1e-12);
+        // Constant-negative predictor: Se = 0 on every fold.
+        let pessimist = loso_evaluate_with(&m, |_train| {
+            Ok::<_, CoreError>((|_row: &[f64]| -1.0, 1))
+        });
+        assert_eq!(pessimist.mean_se, 0.0);
+        assert_eq!(pessimist.mean_sp, 1.0);
+        assert_eq!(pessimist.mean_gm, 0.0);
+    }
+
+    #[test]
+    fn failing_fits_are_counted_as_skipped() {
+        let m = synthetic_matrix(&QuickFeatConfig {
+            n_sessions: 3,
+            windows_per_session: 10,
+            ..Default::default()
+        });
+        let r = loso_evaluate_with(&m, |_train| {
+            Err::<(fn(&[f64]) -> f64, usize), _>(CoreError::Dataset("nope".into()))
+        });
+        assert_eq!(r.skipped, 3);
+        assert!(r.folds.is_empty());
+        assert!(r.mean_gm.is_nan());
+    }
+}

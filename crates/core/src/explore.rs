@@ -1,0 +1,125 @@
+//! Design-space sweeps: feature count (paper Fig 4) and SV budget
+//! (paper Fig 5).
+
+use crate::config::FitConfig;
+use crate::eval::{loso_evaluate, LosoResult};
+use crate::featsel::{correlation_matrix, keep_n};
+use ecg_features::FeatureMatrix;
+use hwmodel::pipeline::AcceleratorConfig;
+use hwmodel::TechParams;
+
+/// One point of a 1-D sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Swept parameter value (feature count or SV budget).
+    pub param: usize,
+    /// LOSO evaluation at this point.
+    pub result: LosoResult,
+    /// Energy per classification (nJ) of the matching design.
+    pub energy_nj: f64,
+    /// Accelerator area (mm²).
+    pub area_mm2: f64,
+}
+
+/// Builds the hardware cost of a sweep point. Figs 4 and 5 use the paper's
+/// 64-bit reference datapath, so that is the default width here.
+fn cost_of(result: &LosoResult, n_feat: usize, tech: &TechParams) -> (f64, f64) {
+    let n_sv = if result.mean_n_sv.is_nan() { 0 } else { result.mean_n_sv.round() as usize };
+    let cost = AcceleratorConfig::uniform(n_sv, n_feat, 64).cost(tech);
+    (cost.energy_nj, cost.area_mm2)
+}
+
+/// Fig 4: sweep the feature-set size using correlation-driven reduction.
+/// The correlation matrix is computed once over the full dataset (as the
+/// paper does) and each requested size retrains per fold.
+pub fn feature_sweep(
+    m: &FeatureMatrix,
+    sizes: &[usize],
+    cfg: &FitConfig,
+    tech: &TechParams,
+) -> Vec<SweepPoint> {
+    let corr = correlation_matrix(m);
+    sizes
+        .iter()
+        .map(|&n| {
+            let kept = keep_n(&corr, n);
+            let fit = FitConfig { features: Some(kept), ..cfg.clone() };
+            let result = loso_evaluate(m, &fit);
+            let (energy_nj, area_mm2) = cost_of(&result, n, tech);
+            SweepPoint { param: n, result, energy_nj, area_mm2 }
+        })
+        .collect()
+}
+
+/// Fig 5: sweep the SV budget (Eq 5 pruning + re-training per fold).
+pub fn sv_budget_sweep(
+    m: &FeatureMatrix,
+    budgets: &[usize],
+    cfg: &FitConfig,
+    tech: &TechParams,
+) -> Vec<SweepPoint> {
+    let n_feat = cfg.features.as_ref().map(Vec::len).unwrap_or(m.n_cols());
+    budgets
+        .iter()
+        .map(|&b| {
+            let fit = FitConfig { sv_budget: Some(b), ..cfg.clone() };
+            let result = loso_evaluate(m, &fit);
+            let (energy_nj, area_mm2) = cost_of(&result, n_feat, tech);
+            SweepPoint { param: b, result, energy_nj, area_mm2 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quickfeat::{synthetic_matrix, QuickFeatConfig};
+
+    fn matrix() -> FeatureMatrix {
+        synthetic_matrix(&QuickFeatConfig {
+            n_sessions: 4,
+            windows_per_session: 30,
+            seed: 21,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn feature_sweep_reduces_cost_monotonically() {
+        let m = matrix();
+        let tech = TechParams::default();
+        let pts = feature_sweep(&m, &[53, 20, 8], &FitConfig::default(), &tech);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].energy_nj > pts[2].energy_nj * 0.8, "energy should shrink");
+        assert!(pts[0].area_mm2 > pts[2].area_mm2);
+        // Moderate reduction keeps GM in the same regime (plateau).
+        assert!(
+            pts[1].result.mean_gm > pts[0].result.mean_gm - 0.25,
+            "{} vs {}",
+            pts[1].result.mean_gm,
+            pts[0].result.mean_gm
+        );
+    }
+
+    #[test]
+    fn sv_sweep_respects_budgets() {
+        let m = matrix();
+        let tech = TechParams::default();
+        let free = loso_evaluate(&m, &FitConfig::default());
+        let big = free.mean_n_sv.round() as usize;
+        let budgets = [big.max(4), (big / 2).max(3)];
+        let pts = sv_budget_sweep(&m, &budgets, &FitConfig::default(), &tech);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].result.mean_n_sv <= budgets[1] as f64 + 1e-9);
+        assert!(pts[1].energy_nj < pts[0].energy_nj);
+    }
+
+    #[test]
+    fn sweep_points_carry_fold_details() {
+        let m = matrix();
+        let tech = TechParams::default();
+        let pts = feature_sweep(&m, &[10], &FitConfig::default(), &tech);
+        assert!(!pts[0].result.folds.is_empty());
+        assert_eq!(pts[0].param, 10);
+    }
+}

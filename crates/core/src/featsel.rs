@@ -1,0 +1,192 @@
+//! Correlation-driven feature-set reduction (paper Section III, Fig 3/4).
+//!
+//! Two iterated phases, exactly as the paper describes: (1) compute the
+//! pairwise Pearson matrix (Eq 4); (2) remove the feature with the highest
+//! aggregated coefficient. We aggregate |ρ| rather than signed ρ so
+//! strongly anti-correlated features count as redundant too — the signed
+//! sum would let negative correlations cancel positive ones.
+
+use biodsp::stats::pearson;
+use ecg_features::FeatureMatrix;
+
+/// Pairwise Pearson correlation matrix of the feature columns (Fig 3).
+/// Degenerate (constant) columns correlate 0 with everything; the diagonal
+/// is exactly 1.
+pub fn correlation_matrix(m: &FeatureMatrix) -> Vec<Vec<f64>> {
+    let d = m.n_cols();
+    let cols: Vec<Vec<f64>> = (0..d).map(|j| m.column(j)).collect();
+    let mut corr = vec![vec![0.0f64; d]; d];
+    for i in 0..d {
+        corr[i][i] = 1.0;
+        for j in 0..i {
+            let r = pearson(&cols[i], &cols[j]).unwrap_or(0.0);
+            corr[i][j] = r;
+            corr[j][i] = r;
+        }
+    }
+    corr
+}
+
+/// Removal order: index of the feature removed at each step, most
+/// redundant first. The returned vector has length `d` (the last entry is
+/// the feature that would be removed last, i.e. the least redundant).
+pub fn removal_order(corr: &[Vec<f64>]) -> Vec<usize> {
+    let d = corr.len();
+    let mut active: Vec<usize> = (0..d).collect();
+    let mut order = Vec::with_capacity(d);
+    while !active.is_empty() {
+        // Aggregated |ρ| of each active feature against the other actives.
+        let (pos, _) = active
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let score: f64 = active
+                    .iter()
+                    .filter(|&&j| j != i)
+                    .map(|&j| corr[i][j].abs())
+                    .sum();
+                (pos, score)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("active is non-empty");
+        order.push(active.remove(pos));
+    }
+    order
+}
+
+/// Indices (sorted ascending) of the `n_keep` features retained after
+/// removing the `d - n_keep` most redundant ones.
+///
+/// # Panics
+///
+/// Panics when `n_keep` is zero or exceeds the feature count.
+pub fn keep_n(corr: &[Vec<f64>], n_keep: usize) -> Vec<usize> {
+    let d = corr.len();
+    assert!(n_keep >= 1 && n_keep <= d, "n_keep must be in 1..={d}");
+    let order = removal_order(corr);
+    let mut kept: Vec<usize> = order[d - n_keep..].to_vec();
+    kept.sort_unstable();
+    kept
+}
+
+/// Convenience: correlation matrix + keep set in one call.
+pub fn select_features(m: &FeatureMatrix, n_keep: usize) -> Vec<usize> {
+    keep_n(&correlation_matrix(m), n_keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quickfeat::{synthetic_matrix, QuickFeatConfig};
+
+    fn toy_matrix() -> FeatureMatrix {
+        // f0: base signal; f1 ≈ f0 (redundant); f2: independent; f3 ≈ -f0.
+        let mut m = FeatureMatrix::default();
+        let vals = [
+            (1.0, 1.1, 5.0, -1.0),
+            (2.0, 2.1, -3.0, -2.0),
+            (3.0, 2.9, 1.0, -3.1),
+            (4.0, 4.2, 2.0, -3.9),
+            (5.0, 4.8, -2.0, -5.0),
+            (6.0, 6.1, 0.0, -6.2),
+        ];
+        for (i, &(a, b, c, d)) in vals.iter().enumerate() {
+            m.push_row(vec![a, b, c, d], if i % 2 == 0 { 1 } else { -1 }, 0, 0);
+        }
+        m
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let m = toy_matrix();
+        let c = correlation_matrix(&m);
+        for i in 0..4 {
+            assert!((c[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..4 {
+                assert!((c[i][j] - c[j][i]).abs() < 1e-12);
+                assert!(c[i][j].abs() <= 1.0 + 1e-12);
+            }
+        }
+        // f0–f1 strongly positive, f0–f3 strongly negative.
+        assert!(c[0][1] > 0.99);
+        assert!(c[0][3] < -0.99);
+    }
+
+    #[test]
+    fn redundant_features_are_removed_first() {
+        let m = toy_matrix();
+        let c = correlation_matrix(&m);
+        let order = removal_order(&c);
+        assert_eq!(order.len(), 4);
+        // The independent feature (2) must be removed last or second to
+        // last; the three correlated ones go first.
+        let pos_of_2 = order.iter().position(|&j| j == 2).unwrap();
+        assert!(pos_of_2 >= 2, "order {order:?}");
+        // Keeping 2 features keeps the independent one.
+        let kept = keep_n(&c, 2);
+        assert!(kept.contains(&2), "kept {kept:?}");
+    }
+
+    #[test]
+    fn anticorrelation_counts_as_redundancy() {
+        // Only f0 and f3 (ρ ≈ -1) plus one independent: the pair must be
+        // broken up before the independent feature is touched.
+        let mut m = FeatureMatrix::default();
+        for i in 0..8 {
+            let t = i as f64;
+            m.push_row(
+                vec![t, -t + 0.01 * (t * 7.0).sin(), (t * 2.3).sin() * 3.0],
+                if i % 2 == 0 { 1 } else { -1 },
+                0,
+                0,
+            );
+        }
+        let c = correlation_matrix(&m);
+        let order = removal_order(&c);
+        assert!(order[0] == 0 || order[0] == 1, "order {order:?}");
+    }
+
+    #[test]
+    fn keep_n_bounds() {
+        let c = correlation_matrix(&toy_matrix());
+        assert_eq!(keep_n(&c, 4).len(), 4);
+        assert_eq!(keep_n(&c, 1).len(), 1);
+        let kept = keep_n(&c, 3);
+        let mut sorted = kept.clone();
+        sorted.sort_unstable();
+        assert_eq!(kept, sorted, "keep set must be ascending");
+    }
+
+    #[test]
+    #[should_panic(expected = "n_keep must be")]
+    fn keep_n_validates() {
+        let c = correlation_matrix(&toy_matrix());
+        let _ = keep_n(&c, 0);
+    }
+
+    #[test]
+    fn synthetic_block_structure_is_detected() {
+        // quickfeat builds blocks of noisy copies (cols ≥ 8 copy col
+        // j % 6). A correlation-driven reduction keeps the two pure-noise
+        // features (6 and 7, uncorrelated with everything) and covers
+        // several distinct source blocks rather than piling up inside one.
+        let m = synthetic_matrix(&QuickFeatConfig::default());
+        let kept = select_features(&m, 10);
+        assert!(kept.contains(&6) && kept.contains(&7), "kept {kept:?}");
+        let groups: std::collections::HashSet<usize> = kept
+            .iter()
+            .filter(|&&j| j != 6 && j != 7)
+            .map(|&j| if j < 6 { j } else { j % 6 })
+            .collect();
+        assert!(groups.len() >= 4, "kept {kept:?} covers groups {groups:?}");
+    }
+
+    #[test]
+    fn removal_order_is_a_permutation() {
+        let m = synthetic_matrix(&QuickFeatConfig::default());
+        let order = removal_order(&correlation_matrix(&m));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..53).collect::<Vec<_>>());
+    }
+}

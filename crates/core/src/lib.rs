@@ -1,0 +1,59 @@
+//! # seizure-core — tailored SVM inference for ECG-based epilepsy monitors
+//!
+//! The primary contribution of Ferretti et al. (DATE 2019), reproduced in
+//! full: a quadratic-kernel SVM seizure detector whose inference engine is
+//! tailored along three composable approximation axes, each trading a
+//! small amount of classification performance (geometric mean of
+//! sensitivity and specificity) for large energy/area savings in the
+//! accelerator of Fig 2:
+//!
+//! 1. **Feature-set reduction** ([`featsel`]) — Pearson-correlation-driven
+//!    iterative removal of redundant features (paper Fig 3/4);
+//! 2. **Support-vector budgeting** ([`budget`]) — Eq 5 norm-based removal
+//!    of insignificant SVs with re-training (Fig 5);
+//! 3. **Bitwidth tailoring** ([`bitwidth`], [`engine`]) — per-feature
+//!    power-of-two ranges (Eq 6) with `D_bits` feature / `A_bits`
+//!    coefficient quantisation and LSB truncation after the dot product
+//!    and the squarer (Fig 6);
+//!
+//! plus their sequential combination (Fig 7) in [`combine`].
+//!
+//! [`trained::FloatPipeline`] is the float reference implementation;
+//! [`engine::QuantizedEngine`] is the bit-accurate integer twin that
+//! [`hwmodel`] prices in 40 nm. [`eval`] implements the paper's Eq 2
+//! metrics under leave-one-session-out cross-validation, and [`assemble`]
+//! turns the synthetic cohort of [`ecg_sim`] into the 53-feature dataset
+//! of [`ecg_features`].
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use ecg_sim::dataset::{DatasetSpec, Scale};
+//! use seizure_core::assemble::build_feature_matrix;
+//! use seizure_core::config::FitConfig;
+//! use seizure_core::eval::loso_evaluate;
+//!
+//! let spec = DatasetSpec::new(Scale::Tiny, 42);
+//! let matrix = build_feature_matrix(&spec);
+//! let result = loso_evaluate(&matrix, &FitConfig::default());
+//! println!("GM = {:.1}%", result.mean_gm * 100.0);
+//! ```
+
+pub mod assemble;
+pub mod bitwidth;
+pub mod budget;
+pub mod combine;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod explore;
+pub mod featsel;
+pub mod quickfeat;
+pub mod trained;
+
+pub use config::FitConfig;
+pub use engine::{BitConfig, QuantizedEngine};
+pub use error::CoreError;
+pub use eval::{loso_evaluate, LosoResult, Metrics};
+pub use trained::FloatPipeline;

@@ -1,0 +1,207 @@
+//! Fast synthetic feature matrices for tests and benchmarks.
+//!
+//! Generating the real 53-feature dataset requires rendering ECG and
+//! running the full extraction chain, which is the right thing for the
+//! experiment binaries but far too slow for unit tests. This module draws
+//! feature vectors *directly* from a parametric model that mimics the
+//! statistical structure the tailoring passes rely on:
+//!
+//! * a handful of informative dimensions separated nonlinearly (so the
+//!   quadratic kernel beats the linear one),
+//! * per-session baseline shifts (so leave-one-session-out is meaningful),
+//! * groups of noisy copies of other features (so correlation-driven
+//!   selection has real redundancy to find),
+//! * heterogeneous feature scales spanning several powers of two (so
+//!   per-feature range tailoring beats a homogeneous scale).
+
+use ecg_features::FeatureMatrix;
+
+/// Simple xorshift64* PRNG so this module needs no dependencies.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn normal(&mut self) -> f64 {
+        // Box–Muller.
+        let u1 = self.uniform().max(1e-12);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Parameters for the synthetic feature generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuickFeatConfig {
+    /// Number of sessions (fold groups).
+    pub n_sessions: usize,
+    /// Windows per session.
+    pub windows_per_session: usize,
+    /// Fraction of windows that are seizures (paper ≈ 2–5%).
+    pub positive_rate: f64,
+    /// Total feature count (≥ 8; first 6 are informative).
+    pub n_features: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for QuickFeatConfig {
+    fn default() -> Self {
+        QuickFeatConfig {
+            n_sessions: 8,
+            windows_per_session: 40,
+            positive_rate: 0.12,
+            n_features: 53,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a synthetic labelled feature matrix.
+///
+/// # Panics
+///
+/// Panics when `n_features < 8` or no rows are requested.
+pub fn synthetic_matrix(cfg: &QuickFeatConfig) -> FeatureMatrix {
+    assert!(cfg.n_features >= 8, "need at least 8 features");
+    assert!(cfg.n_sessions * cfg.windows_per_session > 0, "need rows");
+    let mut rng = XorShift::new(cfg.seed);
+    let mut m = FeatureMatrix {
+        feature_names: (0..cfg.n_features).map(|j| format!("synth_{j}")).collect(),
+        ..Default::default()
+    };
+    // Heterogeneous scales: cycle through several powers of two.
+    let scales: Vec<f64> = (0..cfg.n_features)
+        .map(|j| match j % 5 {
+            0 => 64.0, // HR-like
+            1 => 1.0,
+            2 => 0.05, // RR-std-like
+            3 => 4.0,
+            _ => 0.5,
+        })
+        .collect();
+    for s in 0..cfg.n_sessions {
+        // Patient/session baseline: where this session's "resting state"
+        // sits in the informative subspace.
+        let patient = s % ((cfg.n_sessions / 2).max(1));
+        let base: Vec<f64> = (0..6).map(|_| rng.normal() * 0.8).collect();
+        for _ in 0..cfg.windows_per_session {
+            let positive = rng.uniform() < cfg.positive_rate;
+            let label = if positive { 1i8 } else { -1i8 };
+            // Informative dims: seizures move *radially* from the
+            // patient baseline (norm grows), which a quadratic surface
+            // separates but a single linear threshold cannot across
+            // patients.
+            let mut info = [0.0f64; 6];
+            let shift = if positive { 1.9 + 0.5 * rng.normal().abs() } else { 0.0 };
+            for (k, v) in info.iter_mut().enumerate() {
+                let dir = if k % 2 == 0 { 1.0 } else { -1.0 };
+                *v = base[k] + dir * shift * (0.5 + 0.12 * k as f64) + 0.45 * rng.normal();
+            }
+            let mut row = vec![0.0f64; cfg.n_features];
+            for (k, &v) in info.iter().enumerate() {
+                row[k] = v;
+            }
+            // Dims 6..8: pure noise (irrelevant features).
+            for v in row.iter_mut().take(8).skip(6) {
+                *v = rng.normal();
+            }
+            // Remaining dims: noisy copies of earlier dims in blocks of 4
+            // (high mutual correlation, like the paper's PSD block).
+            for j in 8..cfg.n_features {
+                let src = j % 6;
+                row[j] = 0.92 * row[src] + 0.25 * rng.normal();
+            }
+            // Apply heterogeneous physical scales.
+            for (v, &s) in row.iter_mut().zip(scales.iter()) {
+                *v *= s;
+            }
+            m.push_row(row, label, s, patient);
+        }
+    }
+    // Guarantee at least one positive per session half (folds need both
+    // classes in training); flip the first row of offending sessions.
+    for s in 0..cfg.n_sessions {
+        let any_pos = (0..m.n_rows())
+            .any(|i| m.session_ids[i] == s && m.labels[i] > 0);
+        if !any_pos {
+            if let Some(i) = (0..m.n_rows()).find(|&i| m.session_ids[i] == s) {
+                m.labels[i] = 1;
+                for (k, v) in m.rows[i].iter_mut().take(6).enumerate() {
+                    *v += if k % 2 == 0 { 2.0 } else { -2.0 } * scales[k];
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_and_reproducibility() {
+        let cfg = QuickFeatConfig::default();
+        let a = synthetic_matrix(&cfg);
+        let b = synthetic_matrix(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.n_rows(), 8 * 40);
+        assert_eq!(a.n_cols(), 53);
+        assert_eq!(a.session_list().len(), 8);
+        assert!(a.n_positive() > 0);
+        assert!(a.n_positive() < a.n_rows() / 2);
+    }
+
+    #[test]
+    fn every_session_has_a_positive() {
+        let m = synthetic_matrix(&QuickFeatConfig {
+            positive_rate: 0.02,
+            seed: 3,
+            ..Default::default()
+        });
+        for s in m.session_list() {
+            let pos = (0..m.n_rows())
+                .filter(|&i| m.session_ids[i] == s && m.labels[i] > 0)
+                .count();
+            assert!(pos >= 1, "session {s} has no positives");
+        }
+    }
+
+    #[test]
+    fn redundant_block_is_correlated() {
+        let m = synthetic_matrix(&QuickFeatConfig::default());
+        // Column 8 copies column 2 (8 % 6): expect strong correlation.
+        let c8 = m.column(8);
+        let c2 = m.column(2);
+        let rho = biodsp::stats::pearson(&c8, &c2).unwrap();
+        assert!(rho.abs() > 0.7, "rho {rho}");
+    }
+
+    #[test]
+    fn scales_are_heterogeneous() {
+        let m = synthetic_matrix(&QuickFeatConfig::default());
+        let spread = |j: usize| biodsp::stats::std_dev(&m.column(j));
+        // Feature 0 (scale 64) vs feature 2 (scale 0.05).
+        assert!(spread(0) / spread(2) > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn validates_feature_count() {
+        let _ = synthetic_matrix(&QuickFeatConfig { n_features: 4, ..Default::default() });
+    }
+}

@@ -1,0 +1,256 @@
+//! The float reference pipeline: feature selection → power-of-two range
+//! normalisation → SMO training.
+//!
+//! The deployed accelerator consumes *raw* features scaled by per-feature
+//! power-of-two shifts (paper Section III, "Reducing bitwidths"); the SVM
+//! is therefore trained on exactly those shift-normalised features so the
+//! float model and its quantised twin ([`crate::engine::QuantizedEngine`])
+//! share one parameterisation.
+//!
+//! The paper calibrates Eq 6 statistics over the SV set; we calibrate over
+//! the training rows (a superset with the same statistics), which avoids a
+//! second training pass — the resulting exponents differ only on
+//! degenerate folds.
+
+use crate::config::FitConfig;
+use crate::error::CoreError;
+use ecg_features::FeatureMatrix;
+use fixedpoint::FeatureScales;
+use svm::smo::{SmoConfig, SmoTrainer};
+use svm::SvmModel;
+
+/// A trained float pipeline over a (possibly reduced) feature set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloatPipeline {
+    feature_indices: Vec<usize>,
+    scales: FeatureScales,
+    model: SvmModel,
+    guard: i32,
+}
+
+/// Global guard shift (bits) applied on top of the per-feature range
+/// exponents, sized so the 53-term dot product of Eq 3 stays comparable
+/// to the kernel's `+1` constant (`2^3 ≈ √53`). Without it the quadratic
+/// kernel degenerates to `(x·y)²` and the soft-margin box never binds.
+/// Being a power of two, it is one extra shift in hardware — exactly the
+/// scaling mechanism the paper's Section III allows.
+pub const DOT_GUARD_SHIFT: i32 = 3;
+
+/// Shift-normalises one already-selected row: `x_j / 2^{R_j + G}`,
+/// saturated to `[-2^-G, 2^-G]` as the paper's range saturation
+/// prescribes. `guard` is [`DOT_GUARD_SHIFT`] for tailored pipelines and
+/// 0 for homogeneous ones (whose single global scale already absorbs any
+/// constant shift).
+pub(crate) fn normalize_row(row: &[f64], scales: &FeatureScales, guard: i32) -> Vec<f64> {
+    let bound = (-guard as f64).exp2();
+    row.iter()
+        .zip(scales.r.iter())
+        .map(|(&v, &r)| (v / ((r + guard) as f64).exp2()).clamp(-bound, bound))
+        .collect()
+}
+
+impl FloatPipeline {
+    /// Fits the pipeline on a training matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for out-of-range feature
+    /// indices or an SV budget smaller than 2, [`CoreError::Dataset`] for
+    /// empty/single-class training data and [`CoreError::Svm`] when the
+    /// solver fails.
+    pub fn fit(train: &FeatureMatrix, cfg: &FitConfig) -> Result<Self, CoreError> {
+        if train.n_rows() == 0 {
+            return Err(CoreError::Dataset("empty training set".into()));
+        }
+        let n_cols = train.n_cols();
+        let feature_indices: Vec<usize> = match &cfg.features {
+            Some(f) => {
+                if f.is_empty() {
+                    return Err(CoreError::InvalidConfig("empty feature subset".into()));
+                }
+                if f.iter().any(|&j| j >= n_cols) {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "feature index out of range (n_cols = {n_cols})"
+                    )));
+                }
+                f.clone()
+            }
+            None => (0..n_cols).collect(),
+        };
+        let sub = train.select_columns(&feature_indices);
+        let mut scales = FeatureScales::calibrate(&sub.rows);
+        // Homogeneous designs have exactly one global scale parameter, so
+        // the dot-product guard shift is not separately available to them.
+        let guard = if cfg.homogeneous_scale { 0 } else { DOT_GUARD_SHIFT };
+        if cfg.homogeneous_scale {
+            scales = scales.homogenize();
+        }
+        let x: Vec<Vec<f64>> =
+            sub.rows.iter().map(|r| normalize_row(r, &scales, guard)).collect();
+        let y: Vec<f64> = sub.labels.iter().map(|&l| if l > 0 { 1.0 } else { -1.0 }).collect();
+        let n_pos = y.iter().filter(|&&v| v > 0.0).count();
+        if n_pos == 0 || n_pos == y.len() {
+            return Err(CoreError::Dataset("training fold contains a single class".into()));
+        }
+        let smo_cfg = SmoConfig { c: cfg.c, kernel: cfg.kernel, ..Default::default() };
+        let model = match cfg.sv_budget {
+            Some(budget) => crate::budget::train_budgeted(&x, &y, &smo_cfg, budget)?.0,
+            None => SmoTrainer::new(smo_cfg).train(&x, &y)?,
+        };
+        Ok(FloatPipeline { feature_indices, scales, model, guard })
+    }
+
+    /// Guard shift in effect ([`DOT_GUARD_SHIFT`] or 0 for homogeneous).
+    pub fn guard(&self) -> i32 {
+        self.guard
+    }
+
+    /// Original-index feature subset this pipeline consumes.
+    pub fn feature_indices(&self) -> &[usize] {
+        &self.feature_indices
+    }
+
+    /// Per-feature power-of-two scales (Eq 6), aligned with
+    /// [`FloatPipeline::feature_indices`].
+    pub fn scales(&self) -> &FeatureScales {
+        &self.scales
+    }
+
+    /// The trained SVM over normalised features.
+    pub fn model(&self) -> &SvmModel {
+        &self.model
+    }
+
+    /// Selects and normalises a raw full-width feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw_row` is narrower than the largest selected index.
+    pub fn normalize(&self, raw_row: &[f64]) -> Vec<f64> {
+        let selected: Vec<f64> = self.feature_indices.iter().map(|&j| raw_row[j]).collect();
+        normalize_row(&selected, &self.scales, self.guard)
+    }
+
+    /// Decision value `f(x)` on a raw feature row.
+    pub fn decision_value(&self, raw_row: &[f64]) -> f64 {
+        self.model.decision_value(&self.normalize(raw_row))
+    }
+
+    /// Predicted class (±1) on a raw feature row.
+    pub fn predict(&self, raw_row: &[f64]) -> f64 {
+        self.model.predict(&self.normalize(raw_row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quickfeat::{synthetic_matrix, QuickFeatConfig};
+    use svm::Kernel;
+
+    fn matrix() -> FeatureMatrix {
+        synthetic_matrix(&QuickFeatConfig {
+            n_sessions: 4,
+            windows_per_session: 40,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn fit_and_training_accuracy() {
+        let m = matrix();
+        let p = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
+        assert_eq!(p.feature_indices().len(), 53);
+        assert_eq!(p.scales().len(), 53);
+        assert!(p.model().n_support_vectors() > 0);
+        // Training accuracy should be well above chance.
+        let correct = m
+            .rows
+            .iter()
+            .zip(m.labels.iter())
+            .filter(|(r, &l)| p.predict(r) == f64::from(l))
+            .count();
+        assert!(correct as f64 / m.n_rows() as f64 > 0.85);
+    }
+
+    #[test]
+    fn normalized_features_are_in_unit_range() {
+        let m = matrix();
+        let p = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
+        for row in &m.rows {
+            let n = p.normalize(row);
+            assert!(n.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn feature_subset_restricts_model_width() {
+        let m = matrix();
+        let cfg = FitConfig::default().with_features(vec![0, 1, 2, 3, 4, 5]);
+        let p = FloatPipeline::fit(&m, &cfg).unwrap();
+        assert_eq!(p.model().n_features(), 6);
+        assert_eq!(p.feature_indices(), &[0, 1, 2, 3, 4, 5]);
+        let _ = p.predict(&m.rows[0]); // consumes full-width rows
+    }
+
+    #[test]
+    fn budget_limits_sv_count() {
+        let m = matrix();
+        let free = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
+        let budget = (free.model().n_support_vectors() / 2).max(4);
+        let cfg = FitConfig::default().with_sv_budget(budget);
+        let p = FloatPipeline::fit(&m, &cfg).unwrap();
+        assert!(
+            p.model().n_support_vectors() <= budget,
+            "{} > {budget}",
+            p.model().n_support_vectors()
+        );
+    }
+
+    #[test]
+    fn homogeneous_scale_uses_single_exponent() {
+        let m = matrix();
+        let cfg = FitConfig { homogeneous_scale: true, ..Default::default() };
+        let p = FloatPipeline::fit(&m, &cfg).unwrap();
+        let r0 = p.scales().r[0];
+        assert!(p.scales().r.iter().all(|&r| r == r0));
+    }
+
+    #[test]
+    fn invalid_configs_error() {
+        let m = matrix();
+        assert!(matches!(
+            FloatPipeline::fit(&m, &FitConfig::default().with_features(vec![99])),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            FloatPipeline::fit(&m, &FitConfig::default().with_features(vec![])),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let empty = FeatureMatrix::default();
+        assert!(matches!(
+            FloatPipeline::fit(&empty, &FitConfig::default()),
+            Err(CoreError::Dataset(_))
+        ));
+    }
+
+    #[test]
+    fn single_class_fold_errors() {
+        let mut m = matrix();
+        for l in &mut m.labels {
+            *l = -1;
+        }
+        assert!(matches!(
+            FloatPipeline::fit(&m, &FitConfig::default()),
+            Err(CoreError::Dataset(_))
+        ));
+    }
+
+    #[test]
+    fn linear_kernel_fits_too() {
+        let m = matrix();
+        let cfg = FitConfig::default().with_kernel(Kernel::Linear);
+        let p = FloatPipeline::fit(&m, &cfg).unwrap();
+        assert_eq!(p.model().kernel(), Kernel::Linear);
+    }
+}

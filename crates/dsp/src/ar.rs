@@ -1,0 +1,349 @@
+//! Auto-regressive modelling: autocorrelation, Levinson–Durbin recursion,
+//! Burg's method, and the AR model power spectrum.
+//!
+//! The paper's feature set (features 16–24) uses the linear coefficients of
+//! an AR model fitted to the ECG-derived respiration (EDR) series.
+
+use crate::error::DspError;
+use std::f64::consts::PI;
+
+/// A fitted auto-regressive model
+/// `x[n] = -(a[1] x[n-1] + ... + a[p] x[n-p]) + e[n]`.
+///
+/// Coefficient convention matches MATLAB `aryule`/`arburg`: `a[0] == 1` is
+/// implicit and **not** stored; `coeffs[k]` is `a[k+1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArModel {
+    /// AR coefficients `a[1] ..= a[p]`.
+    pub coeffs: Vec<f64>,
+    /// Variance of the driving white noise (prediction error power).
+    pub noise_variance: f64,
+    /// Reflection coefficients (PARCOR) produced by the recursion.
+    pub reflection: Vec<f64>,
+}
+
+impl ArModel {
+    /// Model order `p`.
+    pub fn order(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the model PSD at frequency `f` for sampling rate `fs`:
+    /// `S(f) = sigma^2 / |1 + sum_k a_k e^{-j 2 pi f k / fs}|^2 / fs`.
+    pub fn psd_at(&self, f: f64, fs: f64) -> f64 {
+        let w = 2.0 * PI * f / fs;
+        let mut re = 1.0;
+        let mut im = 0.0;
+        for (k, &a) in self.coeffs.iter().enumerate() {
+            let ang = w * (k + 1) as f64;
+            re += a * ang.cos();
+            im -= a * ang.sin();
+        }
+        self.noise_variance / (re * re + im * im) / fs
+    }
+
+    /// Whether the AR model is stable (all reflection coefficients within
+    /// the unit circle). Stable models produce bounded predictions.
+    pub fn is_stable(&self) -> bool {
+        self.reflection.iter().all(|k| k.abs() < 1.0)
+    }
+
+    /// One-step linear prediction of `x[n]` from `p` past samples
+    /// (`past[0]` is the most recent sample `x[n-1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `past.len() < self.order()`.
+    pub fn predict(&self, past: &[f64]) -> f64 {
+        assert!(past.len() >= self.order(), "need {} past samples", self.order());
+        -self
+            .coeffs
+            .iter()
+            .zip(past.iter())
+            .map(|(&a, &x)| a * x)
+            .sum::<f64>()
+    }
+}
+
+/// Biased autocorrelation estimate `r[0..=max_lag]` (normalised by `n`).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal and
+/// [`DspError::InvalidParameter`] when `max_lag >= n`.
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if max_lag >= x.len() {
+        return Err(DspError::InvalidParameter {
+            name: "max_lag",
+            reason: "must be smaller than the signal length",
+        });
+    }
+    let n = x.len();
+    let mut r = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += x[i] * x[i + lag];
+        }
+        r.push(acc / n as f64);
+    }
+    Ok(r)
+}
+
+/// Levinson–Durbin recursion solving the Yule–Walker equations for the
+/// autocorrelation sequence `r` (with `r[0]` the zero-lag term) at the given
+/// `order`.
+///
+/// # Errors
+///
+/// Returns [`DspError::TooShort`] when `r.len() < order + 1` and
+/// [`DspError::Numerical`] when the prediction error collapses to zero
+/// (perfectly predictable / degenerate input).
+pub fn levinson_durbin(r: &[f64], order: usize) -> Result<ArModel, DspError> {
+    if r.len() < order + 1 {
+        return Err(DspError::TooShort { needed: order + 1, got: r.len() });
+    }
+    if order == 0 {
+        return Ok(ArModel { coeffs: vec![], noise_variance: r[0], reflection: vec![] });
+    }
+    let mut a = vec![0.0f64; order + 1];
+    a[0] = 1.0;
+    let mut e = r[0];
+    let mut reflection = Vec::with_capacity(order);
+    if e <= 0.0 {
+        return Err(DspError::Numerical("zero-power signal in levinson-durbin"));
+    }
+    for m in 1..=order {
+        let mut acc = r[m];
+        for k in 1..m {
+            acc += a[k] * r[m - k];
+        }
+        let kappa = -acc / e;
+        reflection.push(kappa);
+        // Update coefficients symmetrically.
+        let prev = a.clone();
+        a[m] = kappa;
+        for k in 1..m {
+            a[k] = prev[k] + kappa * prev[m - k];
+        }
+        e *= 1.0 - kappa * kappa;
+        if e <= f64::EPSILON * r[0] {
+            // Perfectly predictable signal; clamp and stop refining.
+            e = e.max(0.0);
+            break;
+        }
+    }
+    Ok(ArModel { coeffs: a[1..=order].to_vec(), noise_variance: e, reflection })
+}
+
+/// Yule–Walker AR estimation: biased autocorrelation followed by
+/// Levinson–Durbin.
+///
+/// # Errors
+///
+/// Propagates errors from [`autocorrelation`] and [`levinson_durbin`]; also
+/// rejects signals shorter than `2 * order`.
+pub fn yule_walker(x: &[f64], order: usize) -> Result<ArModel, DspError> {
+    if x.len() < 2 * order {
+        return Err(DspError::TooShort { needed: 2 * order, got: x.len() });
+    }
+    let m = crate::stats::mean(x);
+    let centred: Vec<f64> = x.iter().map(|v| v - m).collect();
+    let r = autocorrelation(&centred, order)?;
+    levinson_durbin(&r, order)
+}
+
+/// Burg's method: minimises forward+backward prediction error; better
+/// short-record behaviour than Yule–Walker, which is why the EDR features
+/// use it by default.
+///
+/// # Errors
+///
+/// Returns [`DspError::TooShort`] when `x.len() <= order + 1` and
+/// [`DspError::Numerical`] on degenerate (zero-power) input.
+pub fn burg(x: &[f64], order: usize) -> Result<ArModel, DspError> {
+    if x.len() <= order + 1 {
+        return Err(DspError::TooShort { needed: order + 2, got: x.len() });
+    }
+    let m = crate::stats::mean(x);
+    let n = x.len();
+    let mut f: Vec<f64> = x.iter().map(|v| v - m).collect(); // forward errors
+    let mut b = f.clone(); // backward errors
+    let mut a = vec![0.0f64; order + 1];
+    a[0] = 1.0;
+    let mut e: f64 = f.iter().map(|v| v * v).sum::<f64>() / n as f64;
+    if e <= 0.0 {
+        return Err(DspError::Numerical("zero-power signal in burg"));
+    }
+    let mut reflection = Vec::with_capacity(order);
+    for m_ord in 1..=order {
+        // kappa = -2 sum f[i] b[i-1] / sum (f[i]^2 + b[i-1]^2)
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in m_ord..n {
+            num += f[i] * b[i - 1];
+            den += f[i] * f[i] + b[i - 1] * b[i - 1];
+        }
+        let kappa = if den > 0.0 { -2.0 * num / den } else { 0.0 };
+        reflection.push(kappa);
+        let prev = a.clone();
+        a[m_ord] = kappa;
+        for k in 1..m_ord {
+            a[k] = prev[k] + kappa * prev[m_ord - k];
+        }
+        // Update error sequences (in place, iterating from the end to keep
+        // b[i-1] values from being clobbered is not needed if we save them).
+        for i in (m_ord..n).rev() {
+            let fi = f[i];
+            let bi = b[i - 1];
+            f[i] = fi + kappa * bi;
+            b[i] = bi + kappa * fi;
+        }
+        e *= 1.0 - kappa * kappa;
+        if e <= 0.0 {
+            e = 0.0;
+            break;
+        }
+    }
+    Ok(ArModel { coeffs: a[1..=order].to_vec(), noise_variance: e, reflection })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates an AR(2) process with known coefficients.
+    fn ar2_process(a1: f64, a2: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        let mut rand = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            // Approximate N(0,1) by sum of 12 uniforms - 6.
+            (0..12)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 11) as f64 / (1u64 << 53) as f64
+                })
+                .sum::<f64>()
+                - 6.0
+        };
+        let mut x = vec![0.0f64; n + 200];
+        for i in 2..x.len() {
+            x[i] = -a1 * x[i - 1] - a2 * x[i - 2] + rand();
+        }
+        x.split_off(200)
+    }
+
+    #[test]
+    fn autocorrelation_lag0_is_power() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let r = autocorrelation(&x, 1).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert!((r[1] - (-0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_validates() {
+        assert!(autocorrelation(&[], 0).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 2).is_err());
+    }
+
+    #[test]
+    fn yule_walker_recovers_ar2() {
+        let (a1, a2) = (-1.2, 0.5);
+        let x = ar2_process(a1, a2, 20_000, 42);
+        let model = yule_walker(&x, 2).unwrap();
+        assert!((model.coeffs[0] - a1).abs() < 0.05, "{:?}", model.coeffs);
+        assert!((model.coeffs[1] - a2).abs() < 0.05, "{:?}", model.coeffs);
+        assert!(model.is_stable());
+    }
+
+    #[test]
+    fn burg_recovers_ar2() {
+        let (a1, a2) = (-1.2, 0.5);
+        let x = ar2_process(a1, a2, 20_000, 7);
+        let model = burg(&x, 2).unwrap();
+        assert!((model.coeffs[0] - a1).abs() < 0.05, "{:?}", model.coeffs);
+        assert!((model.coeffs[1] - a2).abs() < 0.05, "{:?}", model.coeffs);
+        assert!(model.is_stable());
+        assert!(model.noise_variance > 0.5 && model.noise_variance < 2.0);
+    }
+
+    #[test]
+    fn burg_on_short_window_still_reasonable() {
+        let (a1, a2) = (-1.2, 0.5);
+        let x = ar2_process(a1, a2, 120, 3);
+        let model = burg(&x, 2).unwrap();
+        assert!((model.coeffs[0] - a1).abs() < 0.3);
+        assert!((model.coeffs[1] - a2).abs() < 0.3);
+    }
+
+    #[test]
+    fn order_zero_model() {
+        let x = [1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0, 2.0];
+        let r = autocorrelation(&x, 0).unwrap();
+        let m = levinson_durbin(&r, 0).unwrap();
+        assert!(m.coeffs.is_empty());
+        assert!(m.noise_variance > 0.0);
+        assert!(m.is_stable());
+    }
+
+    #[test]
+    fn degenerate_input_is_an_error() {
+        assert!(matches!(burg(&[0.0; 32], 4), Err(DspError::Numerical(_))));
+        let r = vec![0.0; 5];
+        assert!(matches!(levinson_durbin(&r, 4), Err(DspError::Numerical(_))));
+    }
+
+    #[test]
+    fn too_short_inputs_error() {
+        assert!(burg(&[1.0, 2.0], 4).is_err());
+        assert!(yule_walker(&[1.0, 2.0, 3.0], 4).is_err());
+        assert!(levinson_durbin(&[1.0, 0.5], 4).is_err());
+    }
+
+    #[test]
+    fn psd_peaks_at_resonance() {
+        // AR(2) with complex poles near f0 makes a spectral peak there.
+        let fs = 4.0;
+        let f0 = 0.9; // Hz
+        let r_pole = 0.95;
+        let theta = 2.0 * PI * f0 / fs;
+        let a1 = -2.0 * r_pole * theta.cos();
+        let a2 = r_pole * r_pole;
+        let model = ArModel {
+            coeffs: vec![a1, a2],
+            noise_variance: 1.0,
+            reflection: vec![],
+        };
+        let freqs: Vec<f64> = (1..200).map(|i| i as f64 * fs / 2.0 / 200.0).collect();
+        let powers: Vec<f64> = freqs.iter().map(|&f| model.psd_at(f, fs)).collect();
+        let peak_f = freqs[crate::stats::argmax(&powers).unwrap()];
+        assert!((peak_f - f0).abs() < 0.05, "peak at {peak_f}");
+    }
+
+    #[test]
+    fn predict_uses_coefficients() {
+        let model = ArModel {
+            coeffs: vec![-0.9],
+            noise_variance: 1.0,
+            reflection: vec![-0.9],
+        };
+        // x[n] ~= 0.9 * x[n-1]
+        assert!((model.predict(&[2.0]) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burg_and_yule_walker_agree_on_long_records() {
+        let x = ar2_process(-0.8, 0.2, 50_000, 11);
+        let mb = burg(&x, 2).unwrap();
+        let my = yule_walker(&x, 2).unwrap();
+        for (b, y) in mb.coeffs.iter().zip(my.coeffs.iter()) {
+            assert!((b - y).abs() < 0.02);
+        }
+    }
+}

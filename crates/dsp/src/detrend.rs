@@ -1,0 +1,76 @@
+//! Mean and linear-trend removal.
+
+/// Removes the arithmetic mean in place.
+pub fn remove_mean(x: &mut [f64]) {
+    let m = crate::stats::mean(x);
+    for v in x.iter_mut() {
+        *v -= m;
+    }
+}
+
+/// Removes the least-squares linear trend in place. Inputs shorter than two
+/// samples only lose their mean.
+pub fn detrend_linear(x: &mut [f64]) {
+    let n = x.len();
+    if n < 2 {
+        remove_mean(x);
+        return;
+    }
+    // Fit y = a + b*i by least squares over i = 0..n.
+    let nf = n as f64;
+    let sum_i = nf * (nf - 1.0) / 2.0;
+    let sum_ii = (nf - 1.0) * nf * (2.0 * nf - 1.0) / 6.0;
+    let sum_y: f64 = x.iter().sum();
+    let sum_iy: f64 = x.iter().enumerate().map(|(i, &v)| i as f64 * v).sum();
+    let denom = nf * sum_ii - sum_i * sum_i;
+    let b = if denom != 0.0 { (nf * sum_iy - sum_i * sum_y) / denom } else { 0.0 };
+    let a = (sum_y - b * sum_i) / nf;
+    for (i, v) in x.iter_mut().enumerate() {
+        *v -= a + b * i as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean;
+
+    #[test]
+    fn remove_mean_zeroes_mean() {
+        let mut x = vec![1.0, 2.0, 3.0, 10.0];
+        remove_mean(&mut x);
+        assert!(mean(&x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detrend_kills_a_ramp() {
+        let mut x: Vec<f64> = (0..100).map(|i| 3.0 + 0.5 * i as f64).collect();
+        detrend_linear(&mut x);
+        assert!(x.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn detrend_preserves_oscillation_amplitude() {
+        let mut x: Vec<f64> = (0..200)
+            .map(|i| 5.0 + 0.1 * i as f64 + (i as f64 * 0.7).sin())
+            .collect();
+        let before_osc: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin()).collect();
+        detrend_linear(&mut x);
+        let rms_resid: f64 = x
+            .iter()
+            .zip(before_osc.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / 200.0;
+        assert!(rms_resid.sqrt() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        let mut empty: Vec<f64> = vec![];
+        detrend_linear(&mut empty);
+        let mut one = vec![42.0];
+        detrend_linear(&mut one);
+        assert!(one[0].abs() < 1e-12);
+    }
+}

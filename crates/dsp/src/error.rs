@@ -1,0 +1,80 @@
+//! Error type shared by the `biodsp` modules.
+
+use std::fmt;
+
+/// Errors produced by DSP routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// The input slice is empty but the operation needs at least one sample.
+    EmptyInput,
+    /// The input is shorter than the minimum length required.
+    TooShort {
+        /// Samples required by the operation.
+        needed: usize,
+        /// Samples actually provided.
+        got: usize,
+    },
+    /// A parameter is outside its admissible range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// Two inputs that must have equal lengths differ.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A numerical routine failed to converge or produced a degenerate value.
+    Numerical(&'static str),
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::EmptyInput => write!(f, "input signal is empty"),
+            DspError::TooShort { needed, got } => {
+                write!(f, "input too short: need {needed} samples, got {got}")
+            }
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DspError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            DspError::Numerical(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            DspError::EmptyInput,
+            DspError::TooShort { needed: 4, got: 1 },
+            DspError::InvalidParameter { name: "fc", reason: "must be < fs/2" },
+            DspError::LengthMismatch { left: 3, right: 5 },
+            DspError::Numerical("singular matrix"),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

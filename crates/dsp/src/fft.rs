@@ -1,0 +1,342 @@
+//! Radix-2 fast Fourier transform and a small complex-number type.
+//!
+//! The FFT is an iterative, in-place Cooley–Tukey implementation with
+//! bit-reversal permutation. Lengths must be powers of two; callers that
+//! have arbitrary lengths should zero-pad (see [`next_pow2`]).
+
+use std::f64::consts::PI;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// Minimal on purpose: only the operations the DSP stack needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero value.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number on the unit circle at angle `theta` (radians).
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Modulus (Euclidean norm).
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus; cheaper than [`Complex::norm`] when only relative
+    /// magnitude matters.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Returns the smallest power of two that is `>= n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// `sign = -1.0` gives the forward transform, `+1.0` the (unscaled) inverse.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+fn fft_in_place(buf: &mut [Complex], sign: f64) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Danielson–Lanczos butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a complex signal. The length must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not a power of two.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf, -1.0);
+    buf
+}
+
+/// Inverse FFT (scaled by `1/N` so that `ifft(fft(x)) == x`).
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not a power of two.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf, 1.0);
+    let k = 1.0 / buf.len() as f64;
+    for v in &mut buf {
+        *v = v.scale(k);
+    }
+    buf
+}
+
+/// FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum of length `next_pow2(input.len())`.
+pub fn rfft(input: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(input.len());
+    let mut buf = vec![Complex::ZERO; n];
+    for (b, &x) in buf.iter_mut().zip(input.iter()) {
+        b.re = x;
+    }
+    fft_in_place(&mut buf, -1.0);
+    buf
+}
+
+/// Naive O(N^2) DFT, used as a reference in tests and for non-power-of-two
+/// lengths where performance does not matter.
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (t, &x) in input.iter().enumerate() {
+            let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+            *o += x * Complex::from_polar(1.0, ang);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a - b).norm() < tol,
+            "expected {b:?}, got {a:?} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn complex_algebra() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_close(a / b * b, a, 1e-12);
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::new(3.0, 4.0).norm() - 5.0).abs() < 1e-15);
+        assert_eq!((-a), Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 32;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let fast = fft(&sig);
+        let slow = dft(&sig);
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert_close(*f, *s, 1e-9);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 64;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let back = ifft(&fft(&sig));
+        for (a, b) in back.iter().zip(sig.iter()) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut sig = vec![Complex::ZERO; 16];
+        sig[0] = Complex::ONE;
+        let spec = fft(&sig);
+        for v in spec {
+            assert_close(v, Complex::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_linearity() {
+        let n = 16;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i * i) as f64)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fs = fft(&sum);
+        for i in 0..n {
+            assert_close(fs[i], fa[i] + fb[i], 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 128;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((0.13 * i as f64).sin() + 0.5, 0.0))
+            .collect();
+        let spec = fft(&sig);
+        let time_energy: f64 = sig.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn rfft_pads_to_pow2() {
+        let sig = vec![1.0; 20];
+        let spec = rfft(&sig);
+        assert_eq!(spec.len(), 32);
+        // DC bin holds the sum of samples.
+        assert!((spec[0].re - 20.0).abs() < 1e-12);
+        assert!(spec[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_hermitian() {
+        let sig: Vec<f64> = (0..64).map(|i| (0.4 * i as f64).sin() + 0.1).collect();
+        let spec = rfft(&sig);
+        let n = spec.len();
+        for k in 1..n / 2 {
+            assert_close(spec[k], spec[n - k].conj(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn next_pow2_edges() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_pow2() {
+        let sig = vec![Complex::ZERO; 12];
+        let _ = fft(&sig);
+    }
+}

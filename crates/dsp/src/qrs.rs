@@ -1,0 +1,381 @@
+//! Pan–Tompkins QRS (R-peak) detection.
+//!
+//! Classic pipeline: band-pass (5–15 Hz) → five-point derivative → squaring
+//! → moving-window integration (150 ms) → adaptive dual thresholds with a
+//! 200 ms refractory period and a search-back pass for missed beats.
+//!
+//! The detector returns both R-peak sample indices and the R-wave amplitude
+//! measured on the band-passed signal; the amplitudes drive the EDR
+//! (ECG-derived respiration) extraction downstream.
+
+use crate::error::DspError;
+use crate::filter::{five_point_derivative, moving_average, SosCascade};
+
+/// One detected R peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RPeak {
+    /// Sample index into the analysed signal.
+    pub index: usize,
+    /// Time in seconds from the start of the signal.
+    pub time_s: f64,
+    /// R-wave amplitude on the band-passed signal (arbitrary units).
+    pub amplitude: f64,
+}
+
+/// Detector output: peaks plus the RR tachogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QrsDetection {
+    /// Detected R peaks in temporal order.
+    pub peaks: Vec<RPeak>,
+}
+
+impl QrsDetection {
+    /// RR intervals (s) between successive peaks; `len = peaks - 1`.
+    pub fn rr_intervals(&self) -> Vec<f64> {
+        self.peaks
+            .windows(2)
+            .map(|w| w[1].time_s - w[0].time_s)
+            .collect()
+    }
+
+    /// Times (s) of each RR interval, conventionally the time of the second
+    /// beat of the pair.
+    pub fn rr_times(&self) -> Vec<f64> {
+        self.peaks.iter().skip(1).map(|p| p.time_s).collect()
+    }
+
+    /// R-wave amplitudes in temporal order.
+    pub fn amplitudes(&self) -> Vec<f64> {
+        self.peaks.iter().map(|p| p.amplitude).collect()
+    }
+
+    /// Mean heart rate in beats per minute; `None` with fewer than two
+    /// peaks.
+    pub fn mean_heart_rate_bpm(&self) -> Option<f64> {
+        let rr = self.rr_intervals();
+        if rr.is_empty() {
+            return None;
+        }
+        Some(60.0 / crate::stats::mean(&rr))
+    }
+}
+
+/// Pan–Tompkins detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PanTompkins {
+    /// Band-pass low corner (Hz). Default 5.
+    pub band_lo_hz: f64,
+    /// Band-pass high corner (Hz). Default 15.
+    pub band_hi_hz: f64,
+    /// Moving-window integration length (s). Default 0.150.
+    pub integration_window_s: f64,
+    /// Refractory period (s) during which a second QRS cannot occur.
+    /// Default 0.200.
+    pub refractory_s: f64,
+    /// Search-back trigger: if no QRS is found within this multiple of the
+    /// running RR average, the threshold is halved and the interval
+    /// re-scanned. Default 1.66.
+    pub searchback_factor: f64,
+}
+
+impl Default for PanTompkins {
+    fn default() -> Self {
+        PanTompkins {
+            band_lo_hz: 5.0,
+            band_hi_hz: 15.0,
+            integration_window_s: 0.150,
+            refractory_s: 0.200,
+            searchback_factor: 1.66,
+        }
+    }
+}
+
+impl PanTompkins {
+    /// Runs the detector on `ecg` sampled at `fs` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::TooShort`] for signals shorter than two seconds
+    /// (the adaptive thresholds need a learning phase) and
+    /// [`DspError::InvalidParameter`] for invalid `fs` or corner
+    /// frequencies.
+    pub fn detect(&self, ecg: &[f64], fs: f64) -> Result<QrsDetection, DspError> {
+        if fs <= 0.0 {
+            return Err(DspError::InvalidParameter { name: "fs", reason: "must be positive" });
+        }
+        let min_len = (2.0 * fs) as usize;
+        if ecg.len() < min_len {
+            return Err(DspError::TooShort { needed: min_len, got: ecg.len() });
+        }
+
+        // 1) Band-pass.
+        let bp = SosCascade::butterworth_bandpass(self.band_lo_hz, self.band_hi_hz, fs, 1)?;
+        let filtered = bp.filtfilt(ecg);
+
+        // 2) Derivative, 3) squaring, 4) moving-window integration.
+        let deriv = five_point_derivative(&filtered, fs);
+        let squared: Vec<f64> = deriv.iter().map(|v| v * v).collect();
+        let win = ((self.integration_window_s * fs).round() as usize).max(1);
+        let mwi = moving_average(&squared, win)?;
+
+        // 5) Adaptive thresholding on the MWI signal.
+        let refractory = (self.refractory_s * fs).round() as usize;
+        let local_peaks = local_maxima(&mwi, refractory.max(1));
+
+        // Initialise thresholds from the first 2 s learning phase.
+        let learn = &mwi[..min_len];
+        let mut spki = crate::stats::max(learn) * 0.25; // running signal peak
+        let mut npki = crate::stats::mean(learn) * 0.5; // running noise peak
+        let mut threshold1 = npki + 0.25 * (spki - npki);
+
+        let mut qrs: Vec<usize> = Vec::new();
+        let mut rr_recent: Vec<f64> = Vec::new();
+        let mut last_qrs_idx: Option<usize> = None;
+
+        let mut i = 0usize;
+        while i < local_peaks.len() {
+            let p = local_peaks[i];
+            let v = mwi[p];
+            let since_last = last_qrs_idx.map(|l| p - l);
+            let in_refractory = since_last.map(|d| d < refractory).unwrap_or(false);
+
+            if !in_refractory && v > threshold1 {
+                // Signal peak.
+                if let Some(l) = last_qrs_idx {
+                    let rr = (p - l) as f64 / fs;
+                    rr_recent.push(rr);
+                    if rr_recent.len() > 8 {
+                        rr_recent.remove(0);
+                    }
+                }
+                qrs.push(p);
+                last_qrs_idx = Some(p);
+                spki = 0.125 * v + 0.875 * spki;
+            } else if !in_refractory {
+                // Noise peak.
+                npki = 0.125 * v + 0.875 * npki;
+            }
+            threshold1 = npki + 0.25 * (spki - npki);
+
+            // Search-back: if too much time has elapsed without a QRS,
+            // re-scan the gap with half threshold.
+            if let (Some(l), false) = (last_qrs_idx, rr_recent.is_empty()) {
+                let rr_avg = crate::stats::mean(&rr_recent);
+                let gap = (p.saturating_sub(l)) as f64 / fs;
+                if gap > self.searchback_factor * rr_avg {
+                    let t2 = threshold1 * 0.5;
+                    // Find the biggest missed local peak strictly inside
+                    // the gap that clears threshold2.
+                    let cand = local_peaks
+                        .iter()
+                        .copied()
+                        .filter(|&c| c > l + refractory && c + refractory < p)
+                        .max_by(|&a, &b| mwi[a].total_cmp(&mwi[b]));
+                    if let Some(c) = cand {
+                        if mwi[c] > t2 {
+                            // Insert in order.
+                            qrs.push(c);
+                            qrs.sort_unstable();
+                            last_qrs_idx = Some(*qrs.last().expect("non-empty"));
+                            spki = 0.25 * mwi[c] + 0.75 * spki;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        // 6) Refine peak positions on the band-passed signal: the MWI peak
+        // lags the R wave by roughly the integration window; search a
+        // window around each detection for the absolute maximum.
+        let half = win;
+        let mut peaks = Vec::with_capacity(qrs.len());
+        let mut last_index: Option<usize> = None;
+        for &p in &qrs {
+            let lo = p.saturating_sub(half);
+            let hi = (p + half / 2).min(filtered.len() - 1);
+            let mut best = lo;
+            for j in lo..=hi {
+                if filtered[j] > filtered[best] {
+                    best = j;
+                }
+            }
+            // De-duplicate refined peaks that collapse to the same R wave.
+            if let Some(l) = last_index {
+                if best <= l + refractory / 2 {
+                    continue;
+                }
+            }
+            last_index = Some(best);
+            peaks.push(RPeak {
+                index: best,
+                time_s: best as f64 / fs,
+                amplitude: filtered[best],
+            });
+        }
+        Ok(QrsDetection { peaks })
+    }
+}
+
+/// Indices of strict local maxima separated by at least `min_dist` samples
+/// (greedy, keeps the larger of two close peaks).
+fn local_maxima(x: &[f64], min_dist: usize) -> Vec<usize> {
+    let mut cand: Vec<usize> = (1..x.len().saturating_sub(1))
+        .filter(|&i| x[i] > x[i - 1] && x[i] >= x[i + 1])
+        .collect();
+    // Enforce minimum distance, preferring larger peaks.
+    cand.sort_by(|&a, &b| x[b].total_cmp(&x[a]));
+    let mut kept: Vec<usize> = Vec::new();
+    'outer: for c in cand {
+        for &k in &kept {
+            if c.abs_diff(k) < min_dist {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    /// Minimal synthetic ECG: Gaussian R spikes on a noisy wandering
+    /// baseline, beats at the given times.
+    fn synth_ecg(fs: f64, dur_s: f64, beat_times: &[f64]) -> Vec<f64> {
+        let n = (fs * dur_s) as usize;
+        let mut sig = vec![0.0f64; n];
+        for (i, s) in sig.iter_mut().enumerate() {
+            let t = i as f64 / fs;
+            // Baseline wander + mild noise.
+            *s += 0.15 * (2.0 * PI * 0.3 * t).sin();
+            *s += 0.02 * (2.0 * PI * 17.3 * t).sin();
+        }
+        for &bt in beat_times {
+            let centre = (bt * fs) as isize;
+            for k in -20..=20isize {
+                let idx = centre + k;
+                if idx >= 0 && (idx as usize) < n {
+                    let dt = k as f64 / fs;
+                    // Narrow R wave (sigma ~ 12 ms) with small Q/S dips.
+                    sig[idx as usize] += 1.0 * (-dt * dt / (2.0 * 0.012f64.powi(2))).exp();
+                    sig[idx as usize] -=
+                        0.15 * (-(dt - 0.035).powi(2) / (2.0 * 0.015f64.powi(2))).exp();
+                }
+            }
+        }
+        sig
+    }
+
+    fn regular_beats(start: f64, rr: f64, end: f64) -> Vec<f64> {
+        let mut t = start;
+        let mut v = Vec::new();
+        while t < end {
+            v.push(t);
+            t += rr;
+        }
+        v
+    }
+
+    #[test]
+    fn detects_regular_rhythm() {
+        let fs = 128.0;
+        let beats = regular_beats(0.5, 0.8, 29.5); // 75 bpm
+        let ecg = synth_ecg(fs, 30.0, &beats);
+        let det = PanTompkins::default().detect(&ecg, fs).unwrap();
+        // Allow missing a couple at the edges.
+        assert!(
+            det.peaks.len() >= beats.len() - 2 && det.peaks.len() <= beats.len() + 1,
+            "found {} of {}",
+            det.peaks.len(),
+            beats.len()
+        );
+        let hr = det.mean_heart_rate_bpm().unwrap();
+        assert!((hr - 75.0).abs() < 3.0, "hr {hr}");
+    }
+
+    #[test]
+    fn peak_positions_are_accurate() {
+        let fs = 256.0;
+        let beats = regular_beats(1.0, 1.0, 19.0);
+        let ecg = synth_ecg(fs, 20.0, &beats);
+        let det = PanTompkins::default().detect(&ecg, fs).unwrap();
+        for p in &det.peaks {
+            let nearest = beats
+                .iter()
+                .map(|b| (p.time_s - b).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.05, "peak at {} off by {nearest}", p.time_s);
+        }
+    }
+
+    #[test]
+    fn tracks_changing_rate() {
+        let fs = 128.0;
+        // 60 bpm then 120 bpm (ictal tachycardia pattern).
+        let mut beats = regular_beats(0.5, 1.0, 15.0);
+        beats.extend(regular_beats(15.3, 0.5, 29.5));
+        let ecg = synth_ecg(fs, 30.0, &beats);
+        let det = PanTompkins::default().detect(&ecg, fs).unwrap();
+        let rr = det.rr_intervals();
+        assert!(rr.len() > 30);
+        let first: Vec<f64> = rr.iter().copied().filter(|&r| r > 0.75).collect();
+        let second: Vec<f64> = rr.iter().copied().filter(|&r| r <= 0.75).collect();
+        assert!(first.len() >= 10, "slow beats {}", first.len());
+        assert!(second.len() >= 20, "fast beats {}", second.len());
+    }
+
+    #[test]
+    fn amplitude_modulation_is_preserved() {
+        // Modulate R amplitude at a respiratory rate; the detected
+        // amplitudes should carry that modulation (the EDR principle).
+        let fs = 128.0;
+        let beats = regular_beats(0.5, 0.75, 59.0);
+        let mut ecg = synth_ecg(fs, 60.0, &beats);
+        for (i, s) in ecg.iter_mut().enumerate() {
+            let t = i as f64 / fs;
+            *s *= 1.0 + 0.25 * (2.0 * PI * 0.25 * t).sin();
+        }
+        let det = PanTompkins::default().detect(&ecg, fs).unwrap();
+        let amps = det.amplitudes();
+        let spread = crate::stats::max(&amps) - crate::stats::min(&amps);
+        let m = crate::stats::mean(&amps);
+        assert!(spread / m > 0.2, "relative spread {}", spread / m);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let p = PanTompkins::default();
+        assert!(p.detect(&[0.0; 10], 128.0).is_err());
+        assert!(p.detect(&[0.0; 1000], 0.0).is_err());
+    }
+
+    #[test]
+    fn rr_interval_accessors() {
+        let det = QrsDetection {
+            peaks: vec![
+                RPeak { index: 0, time_s: 0.0, amplitude: 1.0 },
+                RPeak { index: 100, time_s: 1.0, amplitude: 1.1 },
+                RPeak { index: 180, time_s: 1.8, amplitude: 0.9 },
+            ],
+        };
+        let rr = det.rr_intervals();
+        assert!((rr[0] - 1.0).abs() < 1e-12 && (rr[1] - 0.8).abs() < 1e-12);
+        assert_eq!(det.rr_times(), vec![1.0, 1.8]);
+        assert_eq!(det.amplitudes(), vec![1.0, 1.1, 0.9]);
+        let empty = QrsDetection::default();
+        assert!(empty.mean_heart_rate_bpm().is_none());
+    }
+
+    #[test]
+    fn local_maxima_respects_distance() {
+        let x = [0.0, 3.0, 0.0, 2.9, 0.0, 5.0, 0.0];
+        let peaks = local_maxima(&x, 3);
+        assert!(peaks.contains(&5));
+        assert!(peaks.contains(&1));
+        assert!(!peaks.contains(&3)); // too close to index 1 or 5, smaller
+    }
+}

@@ -1,0 +1,325 @@
+//! Descriptive statistics over `f64` slices.
+//!
+//! These helpers back the feature extractors (mean/σ for Eq 6 range
+//! calibration, Pearson coefficients for the Fig 3 correlation matrix, …).
+
+use crate::error::DspError;
+
+/// Arithmetic mean. Returns 0 for an empty slice (documented convention so
+/// feature extractors degrade gracefully on degenerate windows).
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance (divides by `n`).
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Sample variance (divides by `n - 1`).
+pub fn sample_variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Sample standard deviation.
+pub fn sample_std_dev(x: &[f64]) -> f64 {
+    sample_variance(x).sqrt()
+}
+
+/// Root mean square.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Skewness (third standardised moment); 0 for slices shorter than 3 or with
+/// zero variance.
+pub fn skewness(x: &[f64]) -> f64 {
+    if x.len() < 3 {
+        return 0.0;
+    }
+    let m = mean(x);
+    let s = std_dev(x);
+    if s == 0.0 {
+        return 0.0;
+    }
+    x.iter().map(|v| ((v - m) / s).powi(3)).sum::<f64>() / x.len() as f64
+}
+
+/// Excess kurtosis (fourth standardised moment minus 3); 0 for degenerate
+/// inputs.
+pub fn kurtosis(x: &[f64]) -> f64 {
+    if x.len() < 4 {
+        return 0.0;
+    }
+    let m = mean(x);
+    let s = std_dev(x);
+    if s == 0.0 {
+        return 0.0;
+    }
+    x.iter().map(|v| ((v - m) / s).powi(4)).sum::<f64>() / x.len() as f64 - 3.0
+}
+
+/// Minimum value; `NaN`-free inputs assumed. Returns `f64::INFINITY` when
+/// empty so that `min <= max` still holds vacuously.
+pub fn min(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum value. Returns `f64::NEG_INFINITY` when empty.
+pub fn max(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] on an empty slice and
+/// [`DspError::InvalidParameter`] when `p` is outside `[0, 100]`.
+pub fn percentile(x: &[f64], p: f64) -> Result<f64, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(DspError::InvalidParameter {
+            name: "p",
+            reason: "percentile must be within [0, 100]",
+        });
+    }
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median (50th percentile).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] on an empty slice.
+pub fn median(x: &[f64]) -> Result<f64, DspError> {
+    percentile(x, 50.0)
+}
+
+/// Median absolute deviation.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] on an empty slice.
+pub fn mad(x: &[f64]) -> Result<f64, DspError> {
+    let med = median(x)?;
+    let dev: Vec<f64> = x.iter().map(|v| (v - med).abs()).collect();
+    median(&dev)
+}
+
+/// Population covariance of two equal-length series.
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] when lengths differ and
+/// [`DspError::TooShort`] when fewer than 2 samples are available.
+pub fn covariance(x: &[f64], y: &[f64]) -> Result<f64, DspError> {
+    if x.len() != y.len() {
+        return Err(DspError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    if x.len() < 2 {
+        return Err(DspError::TooShort { needed: 2, got: x.len() });
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    Ok(x.iter()
+        .zip(y.iter())
+        .map(|(&a, &b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / x.len() as f64)
+}
+
+/// Pearson correlation coefficient (Eq 4 of the paper).
+///
+/// Degenerate series (zero variance) yield 0 by convention, so constant
+/// features count as uncorrelated rather than poisoning the matrix with NaN.
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] or [`DspError::TooShort`] as
+/// [`covariance`] does.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, DspError> {
+    let cov = covariance(x, y)?;
+    let sx = std_dev(x);
+    let sy = std_dev(y);
+    if sx == 0.0 || sy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (sx * sy))
+}
+
+/// Index of the maximum element; `None` when empty.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
+/// Index of the minimum element; `None` when empty.
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
+/// Successive differences `x[i+1] - x[i]` (length `n - 1`).
+pub fn diff(x: &[f64]) -> Vec<f64> {
+    x.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Z-score normalisation: `(x - mean) / std`. A zero-variance input returns
+/// all zeros.
+pub fn zscore(x: &[f64]) -> Vec<f64> {
+    let m = mean(x);
+    let s = std_dev(x);
+    if s == 0.0 {
+        return vec![0.0; x.len()];
+    }
+    x.iter().map(|v| (v - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn mean_variance_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&x) - 2.5).abs() < EPS);
+        assert!((variance(&x) - 1.25).abs() < EPS);
+        assert!((sample_variance(&x) - 5.0 / 3.0).abs() < EPS);
+        assert!((std_dev(&x) - 1.25f64.sqrt()).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_and_single_are_graceful() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(skewness(&[1.0, 2.0]), 0.0);
+        assert_eq!(kurtosis(&[1.0]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[3.0; 10]) - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed data has positive skewness.
+        let right = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&right) > 0.5);
+        let left = [-10.0, 1.0, 1.0, 1.0, 1.0];
+        assert!(skewness(&left) < -0.5);
+        // Symmetric data has (near) zero skewness.
+        let sym = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&sym).abs() < EPS);
+    }
+
+    #[test]
+    fn kurtosis_of_uniformish_is_negative() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(kurtosis(&x) < 0.0); // platykurtic
+    }
+
+    #[test]
+    fn percentile_and_median() {
+        let x = [3.0, 1.0, 2.0, 5.0, 4.0];
+        assert!((median(&x).unwrap() - 3.0).abs() < EPS);
+        assert!((percentile(&x, 0.0).unwrap() - 1.0).abs() < EPS);
+        assert!((percentile(&x, 100.0).unwrap() - 5.0).abs() < EPS);
+        assert!((percentile(&x, 25.0).unwrap() - 2.0).abs() < EPS);
+        assert!(percentile(&[], 50.0).is_err());
+        assert!(percentile(&x, 101.0).is_err());
+    }
+
+    #[test]
+    fn mad_robustness() {
+        let x = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert!((mad(&x).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let z: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-10);
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        let x = [1.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&x, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_mismatch_errors() {
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(DspError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn covariance_symmetry() {
+        let x = [1.0, 3.0, 2.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0];
+        assert!(
+            (covariance(&x, &y).unwrap() - covariance(&y, &x).unwrap()).abs() < EPS
+        );
+    }
+
+    #[test]
+    fn argminmax_and_diff() {
+        let x = [3.0, -1.0, 7.0, 2.0];
+        assert_eq!(argmax(&x), Some(2));
+        assert_eq!(argmin(&x), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(diff(&x), vec![-4.0, 8.0, -5.0]);
+        assert!(diff(&[1.0]).is_empty());
+    }
+
+    #[test]
+    fn zscore_properties() {
+        let x = [2.0, 4.0, 6.0, 8.0];
+        let z = zscore(&x);
+        assert!(mean(&z).abs() < EPS);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+        assert_eq!(zscore(&[5.0; 4]), vec![0.0; 4]);
+    }
+}

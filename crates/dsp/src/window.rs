@@ -1,0 +1,116 @@
+//! Tapering windows for spectral estimation.
+
+use std::f64::consts::PI;
+
+/// Window shape for periodogram/Welch estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowKind {
+    /// No tapering (boxcar).
+    Rect,
+    /// Hann (raised cosine); default — good sidelobe/variance compromise.
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (three-term).
+    Blackman,
+}
+
+impl WindowKind {
+    /// Generates the window coefficients for length `n`.
+    ///
+    /// A length of 0 yields an empty vector; length 1 a single `1.0`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    WindowKind::Rect => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Multiplies `signal` by the window in place and returns the window's
+    /// power normalisation factor `sum(w^2)` needed for PSD scaling.
+    pub fn apply(self, signal: &mut [f64]) -> f64 {
+        let w = self.coefficients(signal.len());
+        let mut pow = 0.0;
+        for (s, &wi) in signal.iter_mut().zip(w.iter()) {
+            *s *= wi;
+            pow += wi * wi;
+        }
+        pow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_is_all_ones() {
+        assert_eq!(WindowKind::Rect.coefficients(5), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn edge_lengths() {
+        for k in [WindowKind::Rect, WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            assert!(k.coefficients(0).is_empty());
+            assert_eq!(k.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_symmetric() {
+        let w = WindowKind::Hann.coefficients(33);
+        assert!(w[0].abs() < 1e-15);
+        assert!(w[32].abs() < 1e-15);
+        assert!((w[16] - 1.0).abs() < 1e-12); // peak at centre
+        for i in 0..w.len() {
+            assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = WindowKind::Hamming.coefficients(11);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_nonnegative() {
+        let w = WindowKind::Blackman.coefficients(64);
+        assert!(w.iter().all(|&v| v >= -1e-12));
+    }
+
+    #[test]
+    fn apply_returns_power() {
+        let mut sig = vec![1.0; 16];
+        let pow = WindowKind::Hann.apply(&mut sig);
+        let expect: f64 = WindowKind::Hann
+            .coefficients(16)
+            .iter()
+            .map(|w| w * w)
+            .sum();
+        assert!((pow - expect).abs() < 1e-12);
+        // Signal now equals the window itself.
+        let w = WindowKind::Hann.coefficients(16);
+        for (s, w) in sig.iter().zip(w.iter()) {
+            assert!((s - w).abs() < 1e-12);
+        }
+    }
+}

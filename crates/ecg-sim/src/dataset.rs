@@ -1,0 +1,318 @@
+//! Dataset assembly: 7 patients, 24 sessions, 34 seizures — the cohort
+//! geometry of the paper — at three size presets.
+
+use crate::patient::PatientProfile;
+use crate::rng::{substream, uniform};
+use crate::seizure::{BackgroundEpisode, BackgroundKind, SeizureEvent};
+use crate::session::SessionSpec;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Dataset size preset. All presets keep the paper's fold semantics
+/// (leave-one-session-out over all sessions); they differ only in session
+/// length and window size so tests stay fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// 3 patients × 2 sessions × 6 min, 8 seizures, 40 s windows — for
+    /// unit/integration tests.
+    Tiny,
+    /// 7 patients / 24 sessions × 50 min, 34 seizures, 3-min windows —
+    /// default for experiment binaries (~20 h of ECG).
+    #[default]
+    Lite,
+    /// 7 patients / 24 sessions × 5.83 h ≈ 140 h, 34 seizures, 3-min
+    /// windows — full paper-scale cohort.
+    Paper,
+}
+
+impl Scale {
+    /// Sessions per patient.
+    pub fn sessions_per_patient(self) -> &'static [usize] {
+        match self {
+            Scale::Tiny => &[2, 2, 2],
+            Scale::Lite | Scale::Paper => &[4, 4, 4, 3, 3, 3, 3],
+        }
+    }
+
+    /// Total session count.
+    pub fn n_sessions(self) -> usize {
+        self.sessions_per_patient().iter().sum()
+    }
+
+    /// Number of patients.
+    pub fn n_patients(self) -> usize {
+        self.sessions_per_patient().len()
+    }
+
+    /// Session duration in seconds.
+    pub fn session_duration_s(self) -> f64 {
+        match self {
+            Scale::Tiny => 360.0,
+            Scale::Lite => 3000.0,
+            Scale::Paper => 21_000.0,
+        }
+    }
+
+    /// Total seizure count across the dataset.
+    pub fn n_seizures(self) -> usize {
+        match self {
+            Scale::Tiny => 8,
+            Scale::Lite | Scale::Paper => 34,
+        }
+    }
+
+    /// Analysis window length in seconds (the paper uses 3-minute
+    /// windows).
+    pub fn window_s(self) -> f64 {
+        match self {
+            Scale::Tiny => 40.0,
+            Scale::Lite | Scale::Paper => 180.0,
+        }
+    }
+
+    /// Ictal duration range in seconds.
+    pub fn seizure_duration_range(self) -> (f64, f64) {
+        match self {
+            Scale::Tiny => (25.0, 45.0),
+            Scale::Lite | Scale::Paper => (100.0, 170.0),
+        }
+    }
+
+    /// ECG sampling rate in Hz.
+    pub fn fs(self) -> f64 {
+        128.0
+    }
+}
+
+/// A full dataset specification: all sessions, cheap to clone, samples
+/// rendered per session via [`SessionSpec::synthesize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Size preset used to build this spec.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Session specifications in global session order.
+    pub sessions: Vec<SessionSpec>,
+}
+
+impl DatasetSpec {
+    /// Builds the cohort: patient profiles, session layout and seizure
+    /// placement, all reproducible from `seed`.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let mut rng = substream(seed, 0x4441_5441);
+        let patients: Vec<PatientProfile> = (0..scale.n_patients())
+            .map(|id| PatientProfile::generate(id, seed))
+            .collect();
+
+        // Layout sessions.
+        let mut sessions = Vec::with_capacity(scale.n_sessions());
+        let mut global = 0usize;
+        for (pid, &count) in scale.sessions_per_patient().iter().enumerate() {
+            for _ in 0..count {
+                sessions.push(SessionSpec {
+                    patient: patients[pid].clone(),
+                    session_index: global,
+                    seed: seed ^ (global as u64) << 20,
+                    duration_s: scale.session_duration_s(),
+                    fs: scale.fs(),
+                    seizures: Vec::new(),
+                    background: Vec::new(),
+                });
+                global += 1;
+            }
+        }
+
+        // Distribute seizures: shuffle session order, deal one seizure per
+        // session per round until the budget is spent, so counts differ by
+        // at most one and a few sessions may stay seizure-free.
+        let mut order: Vec<usize> = (0..sessions.len()).collect();
+        order.shuffle(&mut rng);
+        let mut remaining = scale.n_seizures();
+        let mut round = 0usize;
+        while remaining > 0 {
+            for &si in &order {
+                if remaining == 0 {
+                    break;
+                }
+                // Skip some sessions in the first round so not every
+                // session has a seizure (mirrors clinical monitoring where
+                // many sessions are uneventful).
+                if round == 0 && rng.gen::<f64>() < 0.15 {
+                    continue;
+                }
+                if let Some(ev) = place_seizure(&sessions[si], scale, &mut rng) {
+                    sessions[si].seizures.push(ev);
+                    remaining -= 1;
+                }
+            }
+            round += 1;
+            if round > 16 {
+                break; // give up rather than loop forever on tiny sessions
+            }
+        }
+        for s in &mut sessions {
+            s.seizures
+                .sort_by(|a, b| a.onset_s.total_cmp(&b.onset_s));
+        }
+
+        // Background confounders: arousals (~7/h) and calm phases (~4/h),
+        // kept clear of seizures so the ictal windows stay unambiguous.
+        for s in &mut sessions {
+            let hours = s.duration_s / 3600.0;
+            let n_arousal = (5.0 * hours).round().max(1.0) as usize;
+            let n_calm = (3.0 * hours).round().max(1.0) as usize;
+            for k in 0..n_arousal + n_calm {
+                let (kind, dmin, dmax) = if k < n_arousal {
+                    (BackgroundKind::Arousal, 45.0, 150.0)
+                } else {
+                    (BackgroundKind::Calm, 120.0, 300.0)
+                };
+                for _ in 0..16 {
+                    let duration = uniform(&mut rng, dmin, dmax);
+                    let hi = s.duration_s - duration - 10.0;
+                    if hi <= 10.0 {
+                        break;
+                    }
+                    let onset = uniform(&mut rng, 10.0, hi);
+                    let clear_of_seizures = s.seizures.iter().all(|sz| {
+                        onset + duration + scale.window_s()
+                            < sz.onset_s - sz.preictal_s
+                            || onset > sz.offset_s() + 2.0 * scale.window_s()
+                    });
+                    if clear_of_seizures {
+                        s.background.push(BackgroundEpisode::new(
+                            kind,
+                            onset,
+                            duration,
+                            uniform(&mut rng, 0.5, 1.0),
+                        ));
+                        break;
+                    }
+                }
+            }
+            s.background.sort_by(|a, b| a.onset_s.total_cmp(&b.onset_s));
+        }
+        DatasetSpec { scale, seed, sessions }
+    }
+
+    /// Total seizure count actually placed.
+    pub fn n_seizures(&self) -> usize {
+        self.sessions.iter().map(|s| s.seizures.len()).sum()
+    }
+
+    /// Total recorded hours.
+    pub fn total_hours(&self) -> f64 {
+        self.sessions.iter().map(|s| s.duration_s).sum::<f64>() / 3600.0
+    }
+}
+
+/// Tries to place one seizure in `session` respecting edge margins and a
+/// minimum gap to existing seizures; returns `None` after bounded retries.
+fn place_seizure<R: Rng + ?Sized>(
+    session: &SessionSpec,
+    scale: Scale,
+    rng: &mut R,
+) -> Option<SeizureEvent> {
+    let (dmin, dmax) = scale.seizure_duration_range();
+    let margin = scale.window_s().max(60.0);
+    let min_gap = (session.duration_s * 0.1).max(2.0 * scale.window_s());
+    for _ in 0..32 {
+        let duration = uniform(rng, dmin, dmax);
+        let lo = margin;
+        let hi = session.duration_s - margin - duration;
+        if hi <= lo {
+            return None;
+        }
+        let onset = uniform(rng, lo, hi);
+        let candidate = SeizureEvent::new(
+            onset,
+            duration,
+            session.patient.draw_seizure_intensity(rng),
+        )
+        .with_gains(
+            session.patient.cardiac_response,
+            session.patient.respiratory_response,
+        );
+        let clear = session.seizures.iter().all(|s| {
+            (candidate.onset_s - s.onset_s).abs() > min_gap + s.duration_s
+        });
+        if clear {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_geometry() {
+        let d = DatasetSpec::new(Scale::Tiny, 1);
+        assert_eq!(d.sessions.len(), 6);
+        assert_eq!(d.scale.n_patients(), 3);
+        assert_eq!(d.n_seizures(), 8);
+        // Global indices are unique and dense.
+        let mut idx: Vec<usize> = d.sessions.iter().map(|s| s.session_index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lite_geometry_matches_paper_cohort() {
+        let d = DatasetSpec::new(Scale::Lite, 42);
+        assert_eq!(d.sessions.len(), 24);
+        assert_eq!(d.scale.n_patients(), 7);
+        assert_eq!(d.n_seizures(), 34);
+        // Paper: 7 patients, 24 sessions, 34 seizures.
+        let patients: std::collections::HashSet<usize> =
+            d.sessions.iter().map(|s| s.patient.id).collect();
+        assert_eq!(patients.len(), 7);
+    }
+
+    #[test]
+    fn paper_scale_is_140_hours() {
+        let d = DatasetSpec::new(Scale::Paper, 5);
+        assert!((d.total_hours() - 140.0).abs() < 1.0, "{}", d.total_hours());
+    }
+
+    #[test]
+    fn seizures_are_inside_sessions_and_sorted() {
+        let d = DatasetSpec::new(Scale::Lite, 9);
+        for s in &d.sessions {
+            let mut prev = f64::NEG_INFINITY;
+            for ev in &s.seizures {
+                assert!(ev.onset_s >= prev);
+                prev = ev.onset_s;
+                assert!(ev.onset_s > 0.0);
+                assert!(ev.offset_s() < s.duration_s);
+            }
+        }
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let a = DatasetSpec::new(Scale::Tiny, 11);
+        let b = DatasetSpec::new(Scale::Tiny, 11);
+        let c = DatasetSpec::new(Scale::Tiny, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seizure_counts_are_balanced() {
+        let d = DatasetSpec::new(Scale::Lite, 3);
+        let max = d.sessions.iter().map(|s| s.seizures.len()).max().unwrap();
+        assert!(max <= 3, "max per session {max}");
+    }
+
+    #[test]
+    fn window_count_is_consistent() {
+        let d = DatasetSpec::new(Scale::Tiny, 2);
+        let rec = d.sessions[0].synthesize();
+        let w = rec.window_labels(d.scale.window_s());
+        assert_eq!(w.len(), (360.0 / 40.0) as usize);
+    }
+}

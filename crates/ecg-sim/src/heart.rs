@@ -1,0 +1,218 @@
+//! Beat-time (RR-interval) generation with an autonomic HRV model.
+//!
+//! The RR series is the carrier of most of the paper's discriminative
+//! information: HRV features (1–8) and Lorentz-plot features (9–15) are
+//! computed directly from it, and ictal tachycardia / vagal withdrawal act
+//! on it through [`crate::seizure::combined_effect`].
+
+use crate::rng::normal;
+use crate::seizure::{combined_effect, BackgroundEpisode, SeizureEvent};
+use rand::Rng;
+
+/// Heart-rhythm generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartModel {
+    /// Resting heart rate in beats per minute.
+    pub base_hr_bpm: f64,
+    /// LF (Mayer wave, ~0.1 Hz) RR-modulation amplitude (fraction of RR).
+    pub lf_amp: f64,
+    /// LF centre frequency in Hz.
+    pub lf_freq_hz: f64,
+    /// HF (respiratory sinus arrhythmia) RR-modulation amplitude.
+    pub hf_amp: f64,
+    /// Per-beat white jitter standard deviation (fraction of RR).
+    pub jitter: f64,
+    /// Very-slow HR drift amplitude (fraction of base HR) over minutes.
+    pub drift_amp: f64,
+}
+
+impl Default for HeartModel {
+    fn default() -> Self {
+        HeartModel {
+            base_hr_bpm: 70.0,
+            lf_amp: 0.04,
+            lf_freq_hz: 0.1,
+            hf_amp: 0.05,
+            jitter: 0.01,
+            drift_amp: 0.05,
+        }
+    }
+}
+
+/// Generated beat sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BeatSeries {
+    /// Beat (R-wave) times in seconds, strictly increasing.
+    pub times: Vec<f64>,
+}
+
+impl BeatSeries {
+    /// RR intervals in seconds.
+    pub fn rr_intervals(&self) -> Vec<f64> {
+        self.times.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Number of beats.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series contains no beats.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+impl HeartModel {
+    /// Generates beat times covering `[0, duration_s)`.
+    ///
+    /// `resp` is the respiration signal sampled at `resp_fs`; the HF
+    /// modulation samples it at each beat so RSA stays phase-locked to the
+    /// respiration that also modulates R-wave amplitude.
+    pub fn generate_beats<R: Rng + ?Sized>(
+        &self,
+        duration_s: f64,
+        seizures: &[SeizureEvent],
+        background: &[BackgroundEpisode],
+        resp: &[f64],
+        resp_fs: f64,
+        rng: &mut R,
+    ) -> BeatSeries {
+        let mut times = Vec::with_capacity((duration_s * self.base_hr_bpm / 60.0) as usize + 8);
+        let mut t = 0.0f64;
+        let lf_phase0 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let drift_phase0 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let drift_freq = 1.0 / 300.0; // 5-minute drift period
+        while t < duration_s {
+            times.push(t);
+            let eff = combined_effect(seizures, background, t);
+            let drift = 1.0
+                + self.drift_amp
+                    * (std::f64::consts::TAU * drift_freq * t + drift_phase0).sin();
+            let hr = self.base_hr_bpm * drift * eff.hr_multiplier;
+            let rr0 = 60.0 / hr.max(20.0);
+            let lf = self.lf_amp
+                * (std::f64::consts::TAU * self.lf_freq_hz * t + lf_phase0).sin();
+            let resp_idx = ((t * resp_fs) as usize).min(resp.len().saturating_sub(1));
+            let resp_val = if resp.is_empty() { 0.0 } else { resp[resp_idx] };
+            // RSA amplitude falls with respiration rate (vagal low-pass),
+            // so ictal/arousal tachypnoea cannot masquerade as intact
+            // beat-to-beat variability in RMSSD-style statistics.
+            let hf = self.hf_amp * resp_val
+                / (eff.resp_rate_multiplier * eff.resp_rate_multiplier
+                    * (1.0 + eff.resp_irregularity));
+            let jit = normal(rng, 0.0, self.jitter);
+            let rr = rr0 * (1.0 + eff.hrv_factor * (lf + hf + jit));
+            t += rr.clamp(0.25, 2.5);
+        }
+        BeatSeries { times }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::respiration::RespirationModel;
+    use crate::rng::substream;
+    use biodsp::stats;
+
+    fn make_resp(duration_s: f64, fs: f64, seed: u64) -> Vec<f64> {
+        RespirationModel::default().generate(
+            (duration_s * fs) as usize,
+            fs,
+            &[],
+            &[],
+            &mut substream(seed, 77),
+        )
+    }
+
+    #[test]
+    fn resting_rate_matches_baseline() {
+        let model = HeartModel::default();
+        let resp = make_resp(300.0, 8.0, 1);
+        let beats =
+            model.generate_beats(300.0, &[], &[], &resp, 8.0, &mut substream(1, 0));
+        let rr = beats.rr_intervals();
+        let hr = 60.0 / stats::mean(&rr);
+        assert!((hr - 70.0).abs() < 6.0, "hr {hr}");
+        assert!(beats.times.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn ictal_tachycardia_and_hrv_suppression() {
+        let model = HeartModel::default();
+        let fs = 8.0;
+        let dur = 240.0;
+        let seiz = [SeizureEvent::new(0.0, dur + 100.0, 1.0)];
+        let resp_calm = make_resp(dur, fs, 2);
+        let calm = model.generate_beats(dur, &[], &[], &resp_calm, fs, &mut substream(2, 0));
+        let resp_ict = RespirationModel::default().generate(
+            (dur * fs) as usize,
+            fs,
+            &seiz,
+            &[],
+            &mut substream(2, 77),
+        );
+        let ictal = model.generate_beats(dur, &seiz, &[], &resp_ict, fs, &mut substream(2, 0));
+        let hr = |b: &BeatSeries| 60.0 / stats::mean(&b.rr_intervals());
+        assert!(hr(&ictal) > hr(&calm) * 1.3, "{} vs {}", hr(&ictal), hr(&calm));
+        // RR variability (normalised by mean RR) is suppressed ictally.
+        let cv = |b: &BeatSeries| {
+            let rr = b.rr_intervals();
+            stats::std_dev(&rr) / stats::mean(&rr)
+        };
+        assert!(cv(&ictal) < cv(&calm), "{} vs {}", cv(&ictal), cv(&calm));
+    }
+
+    #[test]
+    fn rsa_is_visible_in_rr_spectrum() {
+        // HF modulation should put a spectral peak near the respiration
+        // rate in the resampled tachogram.
+        let model = HeartModel { hf_amp: 0.08, lf_amp: 0.01, jitter: 0.003, drift_amp: 0.0, ..Default::default() };
+        let fs = 8.0;
+        let dur = 600.0;
+        let resp = make_resp(dur, fs, 3);
+        let beats = model.generate_beats(dur, &[], &[], &resp, fs, &mut substream(3, 0));
+        let rr = beats.rr_intervals();
+        let t: Vec<f64> = beats.times[1..].to_vec();
+        let tach = biodsp::resample::resample_uniform(&t, &rr, 4.0).unwrap();
+        let spec =
+            biodsp::psd::welch(&tach, 4.0, 512, 0.5, biodsp::window::WindowKind::Hann)
+                .unwrap();
+        let hf = spec.band_power(0.15, 0.4);
+        let vlf = spec.band_power(0.003, 0.04);
+        assert!(hf > vlf, "hf {hf} vlf {vlf}");
+        let peak_in_hf: f64 = {
+            let idx = spec
+                .freqs
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| (0.15..0.4).contains(&f))
+                .max_by(|a, b| spec.power[a.0].total_cmp(&spec.power[b.0]))
+                .map(|(i, _)| spec.freqs[i])
+                .unwrap();
+            idx
+        };
+        assert!((peak_in_hf - 0.25).abs() < 0.08, "peak {peak_in_hf}");
+    }
+
+    #[test]
+    fn beats_cover_duration_and_are_reproducible() {
+        let model = HeartModel::default();
+        let resp = make_resp(120.0, 8.0, 4);
+        let a = model.generate_beats(120.0, &[], &[], &resp, 8.0, &mut substream(4, 0));
+        let b = model.generate_beats(120.0, &[], &[], &resp, 8.0, &mut substream(4, 0));
+        assert_eq!(a, b);
+        assert!(*a.times.last().unwrap() < 120.0);
+        assert!(*a.times.last().unwrap() > 117.0);
+        assert!(!a.is_empty());
+        assert_eq!(a.rr_intervals().len() + 1, a.len());
+    }
+
+    #[test]
+    fn empty_respiration_is_tolerated() {
+        let model = HeartModel::default();
+        let beats = model.generate_beats(60.0, &[], &[], &[], 8.0, &mut substream(5, 0));
+        assert!(beats.len() > 50);
+    }
+}

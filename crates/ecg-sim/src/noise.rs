@@ -1,0 +1,172 @@
+//! Sensor and physiological noise: baseline wander, mains interference,
+//! white (electrode/amplifier) noise and intermittent EMG bursts.
+
+use crate::rng::{normal, uniform};
+use rand::Rng;
+
+/// Additive noise generator configuration. All amplitudes are in mV,
+/// relative to a nominal 1 mV R wave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// White-noise standard deviation.
+    pub white_std: f64,
+    /// Peak baseline-wander amplitude (sum of slow sinusoids).
+    pub wander_amp: f64,
+    /// Mains (powerline) amplitude.
+    pub mains_amp: f64,
+    /// Mains frequency in Hz (50 in Europe).
+    pub mains_hz: f64,
+    /// Expected EMG bursts per hour.
+    pub emg_bursts_per_hour: f64,
+    /// EMG burst standard deviation.
+    pub emg_std: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            white_std: 0.02,
+            wander_amp: 0.10,
+            mains_amp: 0.01,
+            mains_hz: 50.0,
+            emg_bursts_per_hour: 6.0,
+            emg_std: 0.08,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// Adds all noise components to `ecg` in place (`fs` in Hz).
+    pub fn apply<R: Rng + ?Sized>(&self, ecg: &mut [f64], fs: f64, rng: &mut R) {
+        let n = ecg.len();
+        if n == 0 {
+            return;
+        }
+        let dur_s = n as f64 / fs;
+
+        // Baseline wander: three slow sinusoids with random phase/freq.
+        let wander: Vec<(f64, f64, f64)> = (0..3)
+            .map(|_| {
+                (
+                    uniform(rng, 0.05, 0.45),
+                    uniform(rng, 0.0, std::f64::consts::TAU),
+                    self.wander_amp * uniform(rng, 0.2, 0.5),
+                )
+            })
+            .collect();
+        let mains_phase = uniform(rng, 0.0, std::f64::consts::TAU);
+
+        // EMG burst schedule.
+        let expected = self.emg_bursts_per_hour * dur_s / 3600.0;
+        let n_bursts = poisson_knuth(rng, expected);
+        let bursts: Vec<(usize, usize)> = (0..n_bursts)
+            .map(|_| {
+                let start = uniform(rng, 0.0, dur_s.max(0.001));
+                let len_s = uniform(rng, 0.5, 3.0);
+                (
+                    (start * fs) as usize,
+                    (((start + len_s) * fs) as usize).min(n),
+                )
+            })
+            .collect();
+
+        for (i, v) in ecg.iter_mut().enumerate() {
+            let t = i as f64 / fs;
+            for &(f, ph, a) in &wander {
+                *v += a * (std::f64::consts::TAU * f * t + ph).sin();
+            }
+            *v += self.mains_amp * (std::f64::consts::TAU * self.mains_hz * t + mains_phase).sin();
+            *v += normal(rng, 0.0, self.white_std);
+        }
+        for (s, e) in bursts {
+            for v in ecg[s..e].iter_mut() {
+                *v += normal(rng, 0.0, self.emg_std);
+            }
+        }
+    }
+}
+
+/// Knuth's algorithm for small-λ Poisson sampling.
+fn poisson_knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // guard against pathological lambda
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::substream;
+
+    #[test]
+    fn noise_has_expected_magnitude() {
+        let model = NoiseModel::default();
+        let mut sig = vec![0.0f64; 8192];
+        model.apply(&mut sig, 128.0, &mut substream(1, 0));
+        let rms = biodsp::stats::rms(&sig);
+        assert!(rms > 0.01 && rms < 0.3, "rms {rms}");
+    }
+
+    #[test]
+    fn zero_noise_model_is_identity() {
+        let model = NoiseModel {
+            white_std: 0.0,
+            wander_amp: 0.0,
+            mains_amp: 0.0,
+            emg_bursts_per_hour: 0.0,
+            emg_std: 0.0,
+            ..Default::default()
+        };
+        let mut sig = vec![1.0f64; 256];
+        model.apply(&mut sig, 128.0, &mut substream(2, 0));
+        assert!(sig.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn mains_component_is_at_mains_frequency() {
+        let model = NoiseModel {
+            white_std: 0.0,
+            wander_amp: 0.0,
+            mains_amp: 0.2,
+            emg_bursts_per_hour: 0.0,
+            ..Default::default()
+        };
+        let mut sig = vec![0.0f64; 4096];
+        let fs = 256.0;
+        model.apply(&mut sig, fs, &mut substream(3, 0));
+        let spec = biodsp::psd::periodogram(&sig, fs, biodsp::window::WindowKind::Hann).unwrap();
+        let peak = spec.peak_frequency().unwrap();
+        assert!((peak - 50.0).abs() < 1.0, "peak {peak}");
+    }
+
+    #[test]
+    fn empty_signal_is_tolerated() {
+        let model = NoiseModel::default();
+        let mut sig: Vec<f64> = vec![];
+        model.apply(&mut sig, 128.0, &mut substream(4, 0));
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = substream(5, 0);
+        let lambda = 4.0;
+        let n = 3000;
+        let total: usize = (0..n).map(|_| poisson_knuth(&mut rng, lambda)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.2, "mean {mean}");
+        assert_eq!(poisson_knuth(&mut rng, 0.0), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-patient physiological profiles.
+//!
+//! Inter-patient variability is what makes a single linear threshold on
+//! e.g. heart rate insufficient (one patient's ictal HR is another's
+//! resting HR) and is therefore essential to reproducing Table I's
+//! linear-vs-polynomial gap.
+
+use crate::heart::HeartModel;
+use crate::noise::NoiseModel;
+use crate::respiration::RespirationModel;
+use crate::rng::{substream, uniform};
+use crate::waveform::Morphology;
+use rand::Rng;
+
+/// Everything that characterises one virtual patient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatientProfile {
+    /// Patient identifier (0-based).
+    pub id: usize,
+    /// Heart-rhythm parameters.
+    pub heart: HeartModel,
+    /// Respiration parameters.
+    pub respiration: RespirationModel,
+    /// ECG morphology.
+    pub morphology: Morphology,
+    /// Sensor-noise level for this patient's recordings.
+    pub noise: NoiseModel,
+    /// Scales the autonomic response to seizures (some patients show
+    /// strong tachycardia, some barely any — that heterogeneity bounds
+    /// attainable sensitivity).
+    pub seizure_response: f64,
+    /// Autonomic phenotype: weight of the cardiac ictal response
+    /// (tachycardia + vagal withdrawal).
+    pub cardiac_response: f64,
+    /// Autonomic phenotype: weight of the respiratory ictal response
+    /// (EDR rate/irregularity changes). Anti-correlated with
+    /// [`PatientProfile::cardiac_response`] across the population, so no
+    /// single feature axis detects every patient's seizures.
+    pub respiratory_response: f64,
+}
+
+impl PatientProfile {
+    /// Draws a profile for patient `id` from population distributions,
+    /// reproducibly derived from `master_seed`.
+    pub fn generate(id: usize, master_seed: u64) -> Self {
+        let mut rng = substream(master_seed, 0x5041_5449 ^ id as u64);
+        let base_hr = uniform(&mut rng, 58.0, 88.0);
+        let heart = HeartModel {
+            base_hr_bpm: base_hr,
+            lf_amp: uniform(&mut rng, 0.025, 0.055),
+            lf_freq_hz: uniform(&mut rng, 0.08, 0.12),
+            hf_amp: uniform(&mut rng, 0.03, 0.08),
+            jitter: uniform(&mut rng, 0.006, 0.015),
+            drift_amp: uniform(&mut rng, 0.03, 0.08),
+        };
+        let respiration = RespirationModel {
+            rate_hz: uniform(&mut rng, 0.18, 0.32),
+            rate_jitter: uniform(&mut rng, 0.03, 0.08),
+            amp_jitter: uniform(&mut rng, 0.05, 0.15),
+        };
+        let mut morphology = Morphology::default();
+        // Morphological variability: R amplitude, T amplitude, EDR gain.
+        let r_scale = uniform(&mut rng, 0.8, 1.3);
+        for w in &mut morphology.waves {
+            w.amplitude_mv *= r_scale;
+        }
+        if let Some(t_wave) = morphology.waves.last_mut() {
+            t_wave.amplitude_mv *= uniform(&mut rng, 0.7, 1.3);
+        }
+        morphology.edr_gain = uniform(&mut rng, 0.10, 0.22);
+        let noise = NoiseModel {
+            white_std: uniform(&mut rng, 0.012, 0.035),
+            wander_amp: uniform(&mut rng, 0.05, 0.15),
+            mains_amp: uniform(&mut rng, 0.004, 0.015),
+            emg_bursts_per_hour: uniform(&mut rng, 2.0, 10.0),
+            emg_std: uniform(&mut rng, 0.04, 0.12),
+            ..Default::default()
+        };
+        let seizure_response = uniform(&mut rng, 0.55, 1.0);
+        let cardiac_response = uniform(&mut rng, 0.3, 1.0);
+        let respiratory_response = (1.3 - cardiac_response).clamp(0.3, 1.0);
+        PatientProfile {
+            id,
+            heart,
+            respiration,
+            morphology,
+            noise,
+            seizure_response,
+            cardiac_response,
+            respiratory_response,
+        }
+    }
+
+    /// Draws a seizure intensity for this patient (response-scaled), in
+    /// `[0.5, 1]`: every seizure expresses a detectable floor, with the
+    /// weak tail bounding sensitivity as in the paper's cohort.
+    pub fn draw_seizure_intensity<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (0.45 + 0.55 * self.seizure_response * uniform(rng, 0.5, 1.1)).clamp(0.5, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_reproducible() {
+        let a = PatientProfile::generate(3, 42);
+        let b = PatientProfile::generate(3, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_differ_between_patients_and_seeds() {
+        let a = PatientProfile::generate(0, 42);
+        let b = PatientProfile::generate(1, 42);
+        let c = PatientProfile::generate(0, 43);
+        assert_ne!(a.heart, b.heart);
+        assert_ne!(a.heart, c.heart);
+    }
+
+    #[test]
+    fn parameters_fall_in_population_ranges() {
+        for id in 0..20 {
+            let p = PatientProfile::generate(id, 7);
+            assert!((58.0..88.0).contains(&p.heart.base_hr_bpm));
+            assert!((0.18..0.32).contains(&p.respiration.rate_hz));
+            assert!((0.55..1.0).contains(&p.seizure_response));
+            assert!((0.3..=1.0).contains(&p.cardiac_response));
+            assert!((0.3..=1.0).contains(&p.respiratory_response));
+            // Anti-correlated phenotype axes: both cannot be maximal.
+            assert!(p.cardiac_response + p.respiratory_response <= 1.75);
+            assert!(p.morphology.edr_gain >= 0.10 && p.morphology.edr_gain <= 0.22);
+        }
+    }
+
+    #[test]
+    fn intensity_respects_bounds() {
+        let p = PatientProfile::generate(2, 9);
+        let mut rng = substream(9, 1);
+        for _ in 0..200 {
+            let i = p.draw_seizure_intensity(&mut rng);
+            assert!((0.5..=1.0).contains(&i));
+        }
+    }
+
+    #[test]
+    fn population_hr_spread_is_wide() {
+        let hrs: Vec<f64> = (0..7)
+            .map(|id| PatientProfile::generate(id, 42).heart.base_hr_bpm)
+            .collect();
+        let spread = biodsp::stats::max(&hrs) - biodsp::stats::min(&hrs);
+        assert!(spread > 8.0, "spread {spread}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Respiration signal model.
+//!
+//! Respiration enters the ECG twice: it modulates the R-wave amplitude
+//! (mechanical axis rotation — the basis of ECG-derived respiration) and it
+//! drives the HF component of heart-rate variability (respiratory sinus
+//! arrhythmia). Both consumers sample the same signal so the two effects
+//! stay phase-locked, as they are physiologically.
+
+use crate::rng::normal;
+use crate::seizure::{combined_effect, BackgroundEpisode, SeizureEvent};
+use rand::Rng;
+
+/// Respiration generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RespirationModel {
+    /// Resting respiration rate in Hz (typical adult ≈ 0.2–0.3).
+    pub rate_hz: f64,
+    /// Slow rate wander standard deviation (fraction of rate).
+    pub rate_jitter: f64,
+    /// Amplitude wander standard deviation (fraction of unit amplitude).
+    pub amp_jitter: f64,
+}
+
+impl Default for RespirationModel {
+    fn default() -> Self {
+        RespirationModel { rate_hz: 0.25, rate_jitter: 0.05, amp_jitter: 0.1 }
+    }
+}
+
+impl RespirationModel {
+    /// Generates `n` samples at `fs` Hz, applying the seizures' respiration
+    /// effects (rate multiplier and amplitude irregularity).
+    ///
+    /// The instantaneous rate is integrated into a phase so rate changes
+    /// glide rather than jump; amplitude follows a slow AR(1) wander whose
+    /// variance grows with ictal irregularity.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        fs: f64,
+        seizures: &[SeizureEvent],
+        background: &[BackgroundEpisode],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut amp = 1.0f64;
+        let mut rate_wander = 0.0f64;
+        // AR(1) pole for slow wander (~30 s correlation time).
+        let rho = (-1.0 / (30.0 * fs)).exp();
+        for i in 0..n {
+            let t = i as f64 / fs;
+            let eff = combined_effect(seizures, background, t);
+            // Ictal respiratory irregularity widens breath-to-breath rate
+            // variability — in the EDR spectrum this broadens the
+            // respiratory peak (a concentration change only quadratic
+            // statistics of the band powers can pick up).
+            let jitter_gain = 1.0 + 3.0 * eff.resp_irregularity;
+            rate_wander = rho * rate_wander
+                + normal(
+                    rng,
+                    0.0,
+                    self.rate_jitter * jitter_gain * (1.0 - rho * rho).sqrt(),
+                );
+            let rate = (self.rate_hz * (1.0 + rate_wander)).max(0.05)
+                * eff.resp_rate_multiplier;
+            phase += std::f64::consts::TAU * rate / fs;
+            let jitter = self.amp_jitter + eff.resp_irregularity;
+            amp = rho * amp + (1.0 - rho) * 1.0
+                + normal(rng, 0.0, jitter * (1.0 - rho * rho).sqrt());
+            amp = amp.clamp(0.2, 2.5);
+            out.push(amp * phase.sin());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::substream;
+    use biodsp::psd::{periodogram, Spectrum};
+    use biodsp::window::WindowKind;
+
+    fn spectrum(sig: &[f64], fs: f64) -> Spectrum {
+        periodogram(sig, fs, WindowKind::Hann).unwrap()
+    }
+
+    #[test]
+    fn resting_respiration_peaks_at_rate() {
+        let model = RespirationModel::default();
+        let fs = 8.0;
+        let mut rng = substream(1, 1);
+        let sig = model.generate(4096, fs, &[], &[], &mut rng);
+        let spec = spectrum(&sig, fs);
+        let peak = spec.peak_frequency().unwrap();
+        assert!((peak - 0.25).abs() < 0.08, "peak {peak}");
+    }
+
+    #[test]
+    fn ictal_respiration_is_faster() {
+        let model = RespirationModel::default();
+        let fs = 8.0;
+        let seiz = [SeizureEvent::new(0.0, 10_000.0, 1.0)];
+        let mut rng = substream(1, 2);
+        let sig = model.generate(4096, fs, &seiz, &[], &mut rng);
+        let spec = spectrum(&sig, fs);
+        let peak = spec.peak_frequency().unwrap();
+        assert!(peak > 0.29, "peak {peak}");
+    }
+
+    #[test]
+    fn ictal_amplitude_is_more_irregular() {
+        let model = RespirationModel::default();
+        let fs = 8.0;
+        let mut rng_a = substream(9, 1);
+        let mut rng_b = substream(9, 1);
+        let calm = model.generate(8192, fs, &[], &[], &mut rng_a);
+        let seiz = [SeizureEvent::new(0.0, 10_000.0, 1.0)];
+        let ictal = model.generate(8192, fs, &seiz, &[], &mut rng_b);
+        // Envelope variability: std of |x| over windows.
+        let env_var = |sig: &[f64]| {
+            let envs: Vec<f64> = sig
+                .chunks(64)
+                .map(biodsp::stats::rms)
+                .collect();
+            biodsp::stats::std_dev(&envs)
+        };
+        assert!(env_var(&ictal) > env_var(&calm));
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let model = RespirationModel::default();
+        let a = model.generate(256, 8.0, &[], &[], &mut substream(3, 3));
+        let b = model.generate(256, 8.0, &[], &[], &mut substream(3, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn amplitude_stays_bounded() {
+        let model = RespirationModel { amp_jitter: 0.5, ..Default::default() };
+        let mut rng = substream(4, 4);
+        let sig = model.generate(4096, 8.0, &[], &[], &mut rng);
+        assert!(sig.iter().all(|v| v.abs() <= 2.5 + 1e-9));
+    }
+}

@@ -1,0 +1,355 @@
+//! Peri-ictal autonomic program and background (confounder) episodes.
+//!
+//! Focal seizures with autonomic involvement show, in ECG, a stereotyped
+//! pattern that the paper's feature families pick up: pre-ictal heart-rate
+//! rise, ictal tachycardia with suppressed beat-to-beat variability
+//! (vagal withdrawal), altered respiration (rate increase, irregular
+//! amplitude), and a slow post-ictal recovery. Patients differ in
+//! *autonomic phenotype*: some express mostly the cardiac component, some
+//! mostly the respiratory one — the `cardiac_gain`/`respiratory_gain`
+//! fields carry that per-patient weighting into each event.
+//!
+//! Real monitoring-unit recordings also contain **confounders** that share
+//! one axis of the ictal signature but not the conjunction: arousals and
+//! exercise raise the heart rate *without* suppressing variability, and
+//! quiet-rest phases lower variability *without* tachycardia. These are
+//! modelled by [`BackgroundEpisode`] and are what makes a single linear
+//! threshold insufficient (Table I of the paper: linear ≪ quadratic).
+
+use serde::{Deserialize, Serialize};
+
+fn default_gain() -> f64 {
+    1.0
+}
+
+/// One annotated seizure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeizureEvent {
+    /// Electrographic onset, seconds from session start.
+    pub onset_s: f64,
+    /// Ictal duration in seconds.
+    pub duration_s: f64,
+    /// Autonomic involvement in `(0, 1]`; weak seizures (low values) are
+    /// harder to detect, which keeps sensitivity below 100% as in the
+    /// paper's cohort.
+    pub intensity: f64,
+    /// Pre-ictal ramp length in seconds.
+    pub preictal_s: f64,
+    /// Post-ictal recovery time-constant in seconds.
+    pub postictal_tau_s: f64,
+    /// Patient-phenotype weight of the cardiac response (tachycardia +
+    /// HRV suppression).
+    #[serde(default = "default_gain")]
+    pub cardiac_gain: f64,
+    /// Patient-phenotype weight of the respiratory response (rate shift +
+    /// irregularity), which surfaces in the EDR features.
+    #[serde(default = "default_gain")]
+    pub respiratory_gain: f64,
+}
+
+impl SeizureEvent {
+    /// A seizure with typical ramp/recovery constants and unit phenotype
+    /// gains.
+    pub fn new(onset_s: f64, duration_s: f64, intensity: f64) -> Self {
+        SeizureEvent {
+            onset_s,
+            duration_s,
+            intensity: intensity.clamp(0.05, 1.0),
+            preictal_s: 20.0,
+            postictal_tau_s: 45.0,
+            cardiac_gain: 1.0,
+            respiratory_gain: 1.0,
+        }
+    }
+
+    /// Sets the phenotype gains (builder style).
+    pub fn with_gains(mut self, cardiac: f64, respiratory: f64) -> Self {
+        self.cardiac_gain = cardiac.max(0.0);
+        self.respiratory_gain = respiratory.max(0.0);
+        self
+    }
+
+    /// End of the ictal phase.
+    pub fn offset_s(&self) -> f64 {
+        self.onset_s + self.duration_s
+    }
+
+    /// Activation level in `[0, 1]` at time `t`: 0 far from the seizure,
+    /// ramping up pre-ictally, 1 during the ictal phase, exponentially
+    /// decaying post-ictally.
+    pub fn activation_at(&self, t: f64) -> f64 {
+        if t < self.onset_s - self.preictal_s {
+            0.0
+        } else if t < self.onset_s {
+            // Smooth (cosine) pre-ictal ramp.
+            let u = (t - (self.onset_s - self.preictal_s)) / self.preictal_s;
+            0.5 - 0.5 * (std::f64::consts::PI * u).cos()
+        } else if t <= self.offset_s() {
+            1.0
+        } else {
+            (-(t - self.offset_s()) / self.postictal_tau_s).exp()
+        }
+    }
+
+    /// Whether the ictal interval overlaps `[start, end)`.
+    pub fn overlaps(&self, start: f64, end: f64) -> bool {
+        self.onset_s < end && self.offset_s() > start
+    }
+}
+
+/// Kind of non-ictal (confounder) episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackgroundKind {
+    /// Arousal / movement / light exercise: heart rate and respiration
+    /// rise, but beat-to-beat variability does **not** collapse.
+    Arousal,
+    /// Quiet rest / drowsiness: variability shrinks while the heart rate
+    /// drifts *down*.
+    Calm,
+}
+
+/// One background (non-seizure) autonomic episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundEpisode {
+    /// Episode kind.
+    pub kind: BackgroundKind,
+    /// Start, seconds from session start.
+    pub onset_s: f64,
+    /// Duration in seconds.
+    pub duration_s: f64,
+    /// Strength in `(0, 1]`.
+    pub intensity: f64,
+}
+
+impl BackgroundEpisode {
+    /// A background episode with clamped intensity.
+    pub fn new(kind: BackgroundKind, onset_s: f64, duration_s: f64, intensity: f64) -> Self {
+        BackgroundEpisode { kind, onset_s, duration_s, intensity: intensity.clamp(0.05, 1.0) }
+    }
+
+    /// Smooth trapezoidal activation with 20 s edges.
+    pub fn activation_at(&self, t: f64) -> f64 {
+        let ramp = 20.0f64.min(self.duration_s / 3.0).max(1.0);
+        let end = self.onset_s + self.duration_s;
+        if t < self.onset_s || t > end {
+            0.0
+        } else if t < self.onset_s + ramp {
+            (t - self.onset_s) / ramp
+        } else if t > end - ramp {
+            (end - t) / ramp
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Instantaneous autonomic state produced by superposing seizure and
+/// background effects on the resting state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutonomicEffect {
+    /// Multiplies the baseline heart rate (1 = resting).
+    pub hr_multiplier: f64,
+    /// Multiplies HRV modulation amplitudes (1 = resting, → 0 suppressed).
+    pub hrv_factor: f64,
+    /// Multiplies the respiration rate.
+    pub resp_rate_multiplier: f64,
+    /// Respiration amplitude irregularity in `[0, 1]`.
+    pub resp_irregularity: f64,
+}
+
+impl Default for AutonomicEffect {
+    fn default() -> Self {
+        AutonomicEffect {
+            hr_multiplier: 1.0,
+            hrv_factor: 1.0,
+            resp_rate_multiplier: 1.0,
+            resp_irregularity: 0.0,
+        }
+    }
+}
+
+/// Maximum fractional ictal heart-rate increase at intensity 1
+/// (peri-ictal tachycardia commonly reaches 30–80% above baseline).
+pub const MAX_HR_INCREASE: f64 = 0.55;
+/// Maximum HRV suppression at intensity 1 (vagal withdrawal).
+pub const MAX_HRV_SUPPRESSION: f64 = 0.80;
+/// Maximum fractional respiration-rate increase at intensity 1.
+pub const MAX_RESP_INCREASE: f64 = 0.60;
+/// Maximum arousal heart-rate increase (overlaps the ictal range so the
+/// conjunction, not the single axis, is discriminative).
+pub const MAX_AROUSAL_HR_INCREASE: f64 = 0.55;
+/// HRV change during arousal: neutral — sympathetic drive raises rate
+/// while movement keeps beat-to-beat variability, so the HRV axis does
+/// not separate arousal from rest.
+pub const MAX_AROUSAL_HRV_BOOST: f64 = 0.0;
+/// HRV reduction during calm phases (deep quiet rest reaches the ictal
+/// suppression range, so low HRV alone is not an ictal marker).
+pub const MAX_CALM_HRV_SUPPRESSION: f64 = 0.80;
+/// HR reduction during calm phases.
+pub const MAX_CALM_HR_DECREASE: f64 = 0.15;
+
+/// Combines all seizures' and background episodes' effects at time `t`.
+/// Seizure activations add saturating at 1, so overlapping pre/post-ictal
+/// tails do not double-count.
+pub fn combined_effect(
+    seizures: &[SeizureEvent],
+    background: &[BackgroundEpisode],
+    t: f64,
+) -> AutonomicEffect {
+    // Seizure drive, split by phenotype axis.
+    let mut cardiac = 0.0f64;
+    let mut respiratory = 0.0f64;
+    for s in seizures {
+        let a = s.activation_at(t) * s.intensity;
+        cardiac += a * s.cardiac_gain;
+        respiratory += a * s.respiratory_gain;
+    }
+    let cardiac = cardiac.min(1.0);
+    let respiratory = respiratory.min(1.0);
+
+    // Background drives.
+    let mut arousal = 0.0f64;
+    let mut calm = 0.0f64;
+    for b in background {
+        let a = b.activation_at(t) * b.intensity;
+        match b.kind {
+            BackgroundKind::Arousal => arousal += a,
+            BackgroundKind::Calm => calm += a,
+        }
+    }
+    let arousal = arousal.min(1.0);
+    let calm = calm.min(1.0);
+
+    let hr_multiplier = (1.0 + MAX_HR_INCREASE * cardiac)
+        * (1.0 + MAX_AROUSAL_HR_INCREASE * arousal)
+        * (1.0 - MAX_CALM_HR_DECREASE * calm);
+    let hrv_factor = (1.0 - MAX_HRV_SUPPRESSION * cardiac)
+        * (1.0 + MAX_AROUSAL_HRV_BOOST * arousal)
+        * (1.0 - MAX_CALM_HRV_SUPPRESSION * calm);
+    let resp_rate_multiplier = (1.0 + MAX_RESP_INCREASE * respiratory)
+        * (1.0 + 0.05 * arousal)
+        * (1.0 - 0.08 * calm);
+    let resp_irregularity = (0.9 * respiratory + 0.05 * arousal).min(1.0);
+    AutonomicEffect { hr_multiplier, hrv_factor, resp_rate_multiplier, resp_irregularity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_profile() {
+        let s = SeizureEvent::new(100.0, 40.0, 1.0);
+        assert_eq!(s.activation_at(0.0), 0.0);
+        assert_eq!(s.activation_at(100.0 - s.preictal_s - 1.0), 0.0);
+        let mid_ramp = s.activation_at(100.0 - s.preictal_s / 2.0);
+        assert!(mid_ramp > 0.3 && mid_ramp < 0.7);
+        assert_eq!(s.activation_at(100.0), 1.0);
+        assert_eq!(s.activation_at(140.0), 1.0);
+        let post = s.activation_at(140.0 + s.postictal_tau_s);
+        assert!((post - (-1.0f64).exp()).abs() < 1e-12);
+        assert!(s.activation_at(140.0 + 15.0 * s.postictal_tau_s) < 1e-4);
+    }
+
+    #[test]
+    fn activation_is_monotone_on_ramp() {
+        let s = SeizureEvent::new(50.0, 30.0, 0.8);
+        let mut prev = -1.0;
+        for i in 0..=25 {
+            let t = 25.0 + i as f64;
+            let a = s.activation_at(t);
+            assert!(a >= prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn overlaps_logic() {
+        let s = SeizureEvent::new(100.0, 30.0, 1.0);
+        assert!(s.overlaps(90.0, 105.0));
+        assert!(s.overlaps(120.0, 200.0));
+        assert!(s.overlaps(0.0, 1000.0));
+        assert!(!s.overlaps(0.0, 100.0)); // half-open: touches onset only
+        assert!(!s.overlaps(130.0, 200.0));
+    }
+
+    #[test]
+    fn resting_effect_is_identity() {
+        let e = combined_effect(&[], &[], 123.0);
+        assert_eq!(e, AutonomicEffect::default());
+    }
+
+    #[test]
+    fn ictal_effect_scales_with_intensity() {
+        let strong = SeizureEvent::new(10.0, 30.0, 1.0);
+        let weak = SeizureEvent::new(10.0, 30.0, 0.3);
+        let es = combined_effect(&[strong], &[], 20.0);
+        let ew = combined_effect(&[weak], &[], 20.0);
+        assert!(es.hr_multiplier > ew.hr_multiplier);
+        assert!(es.hrv_factor < ew.hrv_factor);
+        assert!(es.resp_rate_multiplier > ew.resp_rate_multiplier);
+        assert!((es.hr_multiplier - (1.0 + MAX_HR_INCREASE)).abs() < 1e-12);
+        assert!((es.hrv_factor - (1.0 - MAX_HRV_SUPPRESSION)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phenotype_gains_split_the_response() {
+        let cardiac_only = SeizureEvent::new(10.0, 30.0, 1.0).with_gains(1.0, 0.1);
+        let resp_only = SeizureEvent::new(10.0, 30.0, 1.0).with_gains(0.1, 1.0);
+        let ec = combined_effect(&[cardiac_only], &[], 20.0);
+        let er = combined_effect(&[resp_only], &[], 20.0);
+        assert!(ec.hr_multiplier > er.hr_multiplier);
+        assert!(ec.hrv_factor < er.hrv_factor);
+        assert!(er.resp_rate_multiplier > ec.resp_rate_multiplier);
+        assert!(er.resp_irregularity > ec.resp_irregularity);
+    }
+
+    #[test]
+    fn overlapping_seizures_saturate() {
+        let a = SeizureEvent::new(10.0, 60.0, 1.0);
+        let b = SeizureEvent::new(20.0, 60.0, 1.0);
+        let e = combined_effect(&[a, b], &[], 40.0);
+        assert!(e.hr_multiplier <= 1.0 + MAX_HR_INCREASE + 1e-12);
+        assert!(e.hrv_factor >= 1.0 - MAX_HRV_SUPPRESSION - 1e-12);
+    }
+
+    #[test]
+    fn intensity_is_clamped() {
+        let s = SeizureEvent::new(0.0, 10.0, 7.0);
+        assert!(s.intensity <= 1.0);
+        let s2 = SeizureEvent::new(0.0, 10.0, -1.0);
+        assert!(s2.intensity >= 0.05);
+        let b = BackgroundEpisode::new(BackgroundKind::Arousal, 0.0, 10.0, 9.0);
+        assert!(b.intensity <= 1.0);
+    }
+
+    #[test]
+    fn arousal_raises_hr_without_vagal_withdrawal() {
+        let b = BackgroundEpisode::new(BackgroundKind::Arousal, 100.0, 120.0, 1.0);
+        let e = combined_effect(&[], &[b], 160.0);
+        assert!(e.hr_multiplier > 1.3);
+        assert!(e.hrv_factor >= 1.0, "arousal must not suppress HRV");
+        // Overlap with the ictal HR range: the single HR axis cannot
+        // separate arousal from a moderate seizure.
+        let seiz = combined_effect(&[SeizureEvent::new(100.0, 120.0, 0.7)], &[], 160.0);
+        assert!(e.hr_multiplier > seiz.hr_multiplier * 0.9);
+    }
+
+    #[test]
+    fn calm_suppresses_hrv_without_tachycardia() {
+        let b = BackgroundEpisode::new(BackgroundKind::Calm, 100.0, 300.0, 1.0);
+        let e = combined_effect(&[], &[b], 200.0);
+        assert!(e.hrv_factor < 0.6);
+        assert!(e.hr_multiplier < 1.0, "calm lowers heart rate");
+    }
+
+    #[test]
+    fn background_trapezoid_activation() {
+        let b = BackgroundEpisode::new(BackgroundKind::Arousal, 100.0, 100.0, 1.0);
+        assert_eq!(b.activation_at(50.0), 0.0);
+        assert!((b.activation_at(110.0) - 0.5).abs() < 1e-12); // half-ramp
+        assert_eq!(b.activation_at(150.0), 1.0);
+        assert!((b.activation_at(190.0) - 0.5).abs() < 1e-12);
+        assert_eq!(b.activation_at(250.0), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Recording sessions: specification (cheap, seed-only) and synthesis
+//! (samples on demand, so a 24-session dataset never has to live in memory
+//! at once).
+
+use crate::patient::PatientProfile;
+use crate::rng::substream;
+use crate::seizure::{BackgroundEpisode, SeizureEvent};
+
+/// Compact description of one session; `synthesize` renders the samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// The recorded patient.
+    pub patient: PatientProfile,
+    /// Global session index (0-based, unique across the dataset); the
+    /// leave-one-session-out folds key on this.
+    pub session_index: usize,
+    /// Seed for this session's noise/rhythm randomness.
+    pub seed: u64,
+    /// Session length in seconds.
+    pub duration_s: f64,
+    /// ECG sampling rate in Hz.
+    pub fs: f64,
+    /// Annotated seizures (session-relative times).
+    pub seizures: Vec<SeizureEvent>,
+    /// Background (confounder) episodes: arousals and calm phases.
+    pub background: Vec<BackgroundEpisode>,
+}
+
+/// A rendered session: ECG samples plus annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecording {
+    /// Patient id.
+    pub patient_id: usize,
+    /// Global session index.
+    pub session_index: usize,
+    /// Sampling rate in Hz.
+    pub fs: f64,
+    /// ECG samples in millivolts.
+    pub ecg: Vec<f64>,
+    /// Seizure annotations.
+    pub seizures: Vec<SeizureEvent>,
+}
+
+/// One fixed-length analysis window with its ground-truth label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowLabel {
+    /// First sample of the window.
+    pub start_sample: usize,
+    /// Window length in samples.
+    pub len_samples: usize,
+    /// Window start in seconds.
+    pub start_s: f64,
+    /// `true` when the window overlaps an ictal interval (class +1 in the
+    /// paper).
+    pub is_seizure: bool,
+}
+
+impl SessionSpec {
+    /// Renders the full session: respiration → beats → waveform → noise.
+    pub fn synthesize(&self) -> SessionRecording {
+        const RESP_FS: f64 = 8.0;
+        let mut rng = substream(self.seed, 0x5345_5353 ^ self.session_index as u64);
+        let n = (self.duration_s * self.fs) as usize;
+        let n_resp = (self.duration_s * RESP_FS) as usize;
+        let resp = self.patient.respiration.generate(
+            n_resp,
+            RESP_FS,
+            &self.seizures,
+            &self.background,
+            &mut rng,
+        );
+        let beats = self.patient.heart.generate_beats(
+            self.duration_s,
+            &self.seizures,
+            &self.background,
+            &resp,
+            RESP_FS,
+            &mut rng,
+        );
+        let mut ecg = self
+            .patient
+            .morphology
+            .render(&beats, n, self.fs, &resp, RESP_FS);
+        self.patient.noise.apply(&mut ecg, self.fs, &mut rng);
+        SessionRecording {
+            patient_id: self.patient.id,
+            session_index: self.session_index,
+            fs: self.fs,
+            ecg,
+            seizures: self.seizures.clone(),
+        }
+    }
+}
+
+impl SessionRecording {
+    /// Session length in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.ecg.len() as f64 / self.fs
+    }
+
+    /// Splits the session into non-overlapping `window_s`-second windows
+    /// and labels each by ictal content. The trailing partial window is
+    /// dropped, as in the paper's fixed-window protocol.
+    ///
+    /// A window is labelled seizure when at least 35% of it is ictal, or
+    /// when it holds the largest ictal share of some seizure (so short
+    /// seizures straddling a window boundary are never lost from the
+    /// positive class).
+    pub fn window_labels(&self, window_s: f64) -> Vec<WindowLabel> {
+        let len = (window_s * self.fs) as usize;
+        if len == 0 || len > self.ecg.len() {
+            return Vec::new();
+        }
+        let n_windows = self.ecg.len() / len;
+        let overlap_of = |w: usize, s: &SeizureEvent| -> f64 {
+            let t0 = (w * len) as f64 / self.fs;
+            let t1 = t0 + window_s;
+            (s.offset_s().min(t1) - s.onset_s.max(t0)).max(0.0)
+        };
+        let mut positive = vec![false; n_windows];
+        for (w, p) in positive.iter_mut().enumerate() {
+            *p = self
+                .seizures
+                .iter()
+                .map(|s| overlap_of(w, s))
+                .fold(0.0, f64::max)
+                >= 0.35 * window_s;
+        }
+        // Guarantee each seizure its best window.
+        for s in &self.seizures {
+            if let Some((best, ov)) = (0..n_windows)
+                .map(|w| (w, overlap_of(w, s)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+            {
+                if ov > 5.0 {
+                    positive[best] = true;
+                }
+            }
+        }
+        (0..n_windows)
+            .map(|w| WindowLabel {
+                start_sample: w * len,
+                len_samples: len,
+                start_s: (w * len) as f64 / self.fs,
+                is_seizure: positive[w],
+            })
+            .collect()
+    }
+
+    /// Borrowed view of one window's samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not come from this recording (out of
+    /// range).
+    pub fn window_samples(&self, label: &WindowLabel) -> &[f64] {
+        &self.ecg[label.start_sample..label.start_sample + label.len_samples]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patient::PatientProfile;
+
+    fn tiny_spec(seizures: Vec<SeizureEvent>) -> SessionSpec {
+        SessionSpec {
+            patient: PatientProfile::generate(0, 42),
+            session_index: 0,
+            seed: 42,
+            duration_s: 120.0,
+            fs: 128.0,
+            seizures,
+            background: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn synthesis_produces_expected_length_and_is_reproducible() {
+        let spec = tiny_spec(vec![]);
+        let a = spec.synthesize();
+        let b = spec.synthesize();
+        assert_eq!(a.ecg.len(), (120.0 * 128.0) as usize);
+        assert_eq!(a, b);
+        assert!((a.duration_s() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecg_looks_like_ecg() {
+        let spec = tiny_spec(vec![]);
+        let rec = spec.synthesize();
+        // R peaks ≈ 1 mV dominate; RMS well below peak.
+        let peak = biodsp::stats::max(&rec.ecg);
+        let rms = biodsp::stats::rms(&rec.ecg);
+        assert!(peak > 0.5 && peak < 2.5, "peak {peak}");
+        assert!(rms < 0.45 * peak, "rms {rms} peak {peak}");
+        // QRS detector finds a plausible beat count.
+        let det = biodsp::qrs::PanTompkins::default()
+            .detect(&rec.ecg, rec.fs)
+            .unwrap();
+        let hr = det.mean_heart_rate_bpm().unwrap();
+        assert!((40.0..140.0).contains(&hr), "hr {hr}");
+    }
+
+    #[test]
+    fn window_labels_mark_seizure_overlap() {
+        let spec = tiny_spec(vec![SeizureEvent::new(65.0, 20.0, 1.0)]);
+        let rec = spec.synthesize();
+        let labels = rec.window_labels(30.0);
+        assert_eq!(labels.len(), 4);
+        assert!(!labels[0].is_seizure);
+        assert!(!labels[1].is_seizure);
+        assert!(labels[2].is_seizure); // [60, 90) overlaps [65, 85)
+        assert!(!labels[3].is_seizure);
+        assert_eq!(labels[1].start_sample, (30.0 * 128.0) as usize);
+        let w = rec.window_samples(&labels[2]);
+        assert_eq!(w.len(), (30.0 * 128.0) as usize);
+    }
+
+    #[test]
+    fn degenerate_window_lengths() {
+        let rec = tiny_spec(vec![]).synthesize();
+        assert!(rec.window_labels(0.0).is_empty());
+        assert!(rec.window_labels(1e9).is_empty());
+    }
+
+    #[test]
+    fn different_sessions_differ() {
+        let mut s1 = tiny_spec(vec![]);
+        let mut s2 = tiny_spec(vec![]);
+        s2.session_index = 1;
+        s1.session_index = 0;
+        let a = s1.synthesize();
+        let b = s2.synthesize();
+        assert_ne!(a.ecg, b.ecg);
+    }
+}

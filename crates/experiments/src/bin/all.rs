@@ -1,0 +1,24 @@
+//! Runs every paper experiment in sequence on one shared dataset build.
+//!
+//! This is a convenience wrapper; each table/figure also has its own
+//! binary. Because the dataset derives deterministically from
+//! `(--scale, --seed)`, results here match the individual binaries.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in ["table1", "fig3", "fig4", "fig5", "fig6", "fig7"] {
+        println!("\n=============================== {bin} ===============================");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,39 @@
+//! Internal calibration sweep: kernel × C grid, used to pick the default
+//! soft-margin cost. Not part of the paper regeneration set.
+
+use experiments::{pct, render_table, RunConfig};
+use seizure_core::config::FitConfig;
+use seizure_core::eval::loso_evaluate;
+use svm::Kernel;
+
+fn main() {
+    let cfg = RunConfig::parse(std::env::args());
+    let (matrix, _) = cfg.build_dataset();
+    let kernels = [
+        Kernel::Linear,
+        Kernel::Polynomial { degree: 2 },
+        Kernel::Polynomial { degree: 3 },
+        Kernel::Rbf { gamma: 0.05 },
+        Kernel::Rbf { gamma: 0.5 },
+    ];
+    let cs = [0.1, 0.5, 1.0, 4.0, 16.0, 64.0];
+    let mut rows = Vec::new();
+    for k in kernels {
+        for c in cs {
+            let fit = FitConfig { kernel: k, c, ..Default::default() };
+            let r = loso_evaluate(&matrix, &fit);
+            let pooled = r.pooled();
+            rows.push(vec![
+                format!("{} g={:?}", k.label(), k),
+                format!("{c}"),
+                pct(r.mean_sp),
+                pct(r.mean_se),
+                pct(r.mean_gm),
+                pct(pooled.sensitivity().unwrap_or(f64::NAN)),
+                pct(pooled.specificity().unwrap_or(f64::NAN)),
+                format!("{:.0}", r.mean_n_sv),
+            ]);
+        }
+    }
+    println!("{}", render_table(&["kernel", "C", "Sp", "Se", "GM", "poolSe", "poolSp", "SVs"], &rows));
+}

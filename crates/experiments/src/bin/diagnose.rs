@@ -1,0 +1,87 @@
+//! Internal diagnostic: class-conditional feature statistics by window
+//! provenance (rest / arousal / calm / seizure), to verify the generator
+//! produces the intended geometry. Not part of the paper regeneration set.
+
+use ecg_sim::dataset::DatasetSpec;
+use ecg_sim::seizure::BackgroundKind;
+use experiments::{render_table, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::parse(std::env::args());
+    let spec = DatasetSpec::new(cfg.scale, cfg.seed);
+    let window_s = spec.scale.window_s();
+    let extractor_names = ecg_features::extract::feature_names();
+    // Feature indices of interest.
+    let watch: Vec<(&str, usize)> = vec![
+        ("mean_hr", 4),
+        ("cvnn", 6),
+        ("rmssd", 2),
+        ("sd1", 8),
+        ("csi", 12),
+        ("ar1", 15),
+        ("psd_c", 24 + 5), // band 5: 0.25-0.30 Hz
+    ];
+    for (n, j) in &watch {
+        eprintln!("{} = {}", n, extractor_names[*j]);
+    }
+
+    #[derive(Default)]
+    struct Acc {
+        rows: Vec<Vec<f64>>,
+    }
+    let mut groups: std::collections::BTreeMap<&'static str, Acc> = Default::default();
+
+    for session in &spec.sessions {
+        let rec = session.synthesize();
+        let ex = ecg_features::extract::WindowExtractor::new(rec.fs);
+        for label in rec.window_labels(window_s) {
+            let t0 = label.start_s;
+            let t1 = t0 + window_s;
+            let tag: &'static str = if label.is_seizure {
+                "seizure"
+            } else if session.background.iter().any(|b| {
+                matches!(b.kind, BackgroundKind::Arousal)
+                    && b.onset_s < t1
+                    && b.onset_s + b.duration_s > t0
+                    && (b.onset_s.max(t0) - (b.onset_s + b.duration_s).min(t1)).abs()
+                        > 0.4 * window_s
+            }) {
+                "arousal"
+            } else if session.background.iter().any(|b| {
+                matches!(b.kind, BackgroundKind::Calm)
+                    && b.onset_s < t1
+                    && b.onset_s + b.duration_s > t0
+                    && (b.onset_s.max(t0) - (b.onset_s + b.duration_s).min(t1)).abs()
+                        > 0.4 * window_s
+            }) {
+                "calm"
+            } else {
+                "rest"
+            };
+            if let Ok(row) = ex.extract(rec.window_samples(&label)) {
+                groups.entry(tag).or_default().rows.push(row);
+            }
+        }
+    }
+
+    let mut table = Vec::new();
+    for (tag, acc) in &groups {
+        let n = acc.rows.len();
+        let mut cells = vec![tag.to_string(), n.to_string()];
+        for &(_, j) in &watch {
+            let col: Vec<f64> = acc.rows.iter().map(|r| r[j]).collect();
+            cells.push(format!(
+                "{:.3}±{:.3}",
+                biodsp::stats::mean(&col),
+                biodsp::stats::std_dev(&col)
+            ));
+        }
+        // The quadratic conjunction statistic: (hr-rest)*(1-cvnn_rel).
+        table.push(cells);
+    }
+    let mut headers = vec!["group", "n"];
+    for (n, _) in &watch {
+        headers.push(n);
+    }
+    println!("{}", render_table(&headers, &table));
+}

@@ -1,0 +1,83 @@
+//! Fig 3: Pearson correlation-coefficient matrix of the 53-feature set.
+//!
+//! Prints a coarse ASCII heat map plus block statistics per feature
+//! family, and dumps the full matrix as CSV with `--csv`.
+
+use ecg_features::extract::FeatureFamily;
+use experiments::{render_table, write_csv, RunConfig};
+use seizure_core::featsel::correlation_matrix;
+
+fn shade(r: f64) -> char {
+    // Magnitude buckets for the ASCII heat map.
+    match r.abs() {
+        v if v >= 0.8 => '#',
+        v if v >= 0.6 => '*',
+        v if v >= 0.4 => '+',
+        v if v >= 0.2 => '.',
+        _ => ' ',
+    }
+}
+
+fn main() {
+    let cfg = RunConfig::parse(std::env::args());
+    let (matrix, _) = cfg.build_dataset();
+    let corr = correlation_matrix(&matrix);
+    let d = corr.len();
+
+    println!("\nFig 3: correlation matrix |rho| heat map ({d}x{d}; # >=0.8, * >=0.6, + >=0.4, . >=0.2)\n");
+    // Family reference row.
+    let fam_row: String = (0..d)
+        .map(|j| match FeatureFamily::of(j) {
+            FeatureFamily::Hrv => 'H',
+            FeatureFamily::Lorenz => 'L',
+            FeatureFamily::Ar => 'A',
+            FeatureFamily::Psd => 'P',
+        })
+        .collect();
+    println!("     {fam_row}");
+    for i in 0..d {
+        let line: String = (0..d).map(|j| shade(corr[i][j])).collect();
+        println!("{i:>3}  {line}");
+    }
+
+    // Block statistics: mean |rho| within and between families.
+    let fams = [
+        FeatureFamily::Hrv,
+        FeatureFamily::Lorenz,
+        FeatureFamily::Ar,
+        FeatureFamily::Psd,
+    ];
+    let mut rows = Vec::new();
+    for fa in fams {
+        let mut cells = vec![fa.label().to_string()];
+        for fb in fams {
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for i in 0..d {
+                for j in 0..d {
+                    if i != j && FeatureFamily::of(i) == fa && FeatureFamily::of(j) == fb {
+                        acc += corr[i][j].abs();
+                        n += 1;
+                    }
+                }
+            }
+            cells.push(format!("{:.2}", acc / n.max(1) as f64));
+        }
+        rows.push(cells);
+    }
+    println!("\nmean |rho| by family block (paper: PSD block and parts of HRV/Lorenz are highly mutually correlated)\n");
+    println!(
+        "{}",
+        render_table(&["family", "HRV", "Lorenz", "AR", "PSD"], &rows)
+    );
+
+    if let Some(dir) = &cfg.csv_dir {
+        let headers: Vec<String> = (0..d).map(|j| format!("f{j}")).collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let csv_rows: Vec<Vec<String>> = corr
+            .iter()
+            .map(|row| row.iter().map(|v| format!("{v:.4}")).collect())
+            .collect();
+        write_csv(dir, "fig3_correlation", &header_refs, &csv_rows);
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig 6: performance/requirements exploration over the data width
+//! (`D_bits`) × coefficient width (`A_bits`) grid, bit-accurate
+//! quantised inference with the paper's 10+10 LSB truncations.
+
+use experiments::{pct, render_table, write_csv, RunConfig};
+use hwmodel::TechParams;
+use seizure_core::bitwidth::bit_grid_evaluate;
+use seizure_core::config::FitConfig;
+
+fn main() {
+    let cfg = RunConfig::parse(std::env::args());
+    let (matrix, _) = cfg.build_dataset();
+    let tech = TechParams::default();
+
+    let d_values: Vec<u32> = (7..=17).collect();
+    let a_values: Vec<u32> = (8..=17).collect();
+    let t0 = std::time::Instant::now();
+    let points = bit_grid_evaluate(&matrix, &FitConfig::default(), &d_values, &a_values, &tech);
+    eprintln!(
+        "evaluated {} grid points in {:.1}s",
+        points.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // GM surface (rows = D_bits, cols = A_bits).
+    let gm_at = |d: u32, a: u32| {
+        points
+            .iter()
+            .find(|p| p.d_bits == d && p.a_bits == a)
+            .map(|p| p.gm)
+            .unwrap_or(f64::NAN)
+    };
+    let mut gm_rows = Vec::new();
+    for &d in &d_values {
+        let mut cells = vec![format!("D={d}")];
+        for &a in &a_values {
+            cells.push(pct(gm_at(d, a)));
+        }
+        gm_rows.push(cells);
+    }
+    let mut headers: Vec<String> = vec!["GM %".to_string()];
+    headers.extend(a_values.iter().map(|a| format!("A={a}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("\nFig 6a: GM surface over (D_bits, A_bits) — paper: flat plateau, cliff at");
+    println!("low widths; red-circle point D=9/A=15 loses ~1% GM vs floating point\n");
+    println!("{}", render_table(&header_refs, &gm_rows));
+
+    // Energy/area along the diagonal-ish slices.
+    let mut cost_rows = Vec::new();
+    for &d in &d_values {
+        let p15 = points.iter().find(|p| p.d_bits == d && p.a_bits == 15).unwrap();
+        cost_rows.push(vec![
+            d.to_string(),
+            format!("{:.0}", p15.energy_nj),
+            format!("{:.4}", p15.area_mm2),
+            pct(p15.gm),
+        ]);
+    }
+    println!("\nFig 6b/6c slice at A_bits = 15: energy and area vs D_bits\n");
+    println!(
+        "{}",
+        render_table(&["D_bits", "energy nJ", "area mm2", "GM %"], &cost_rows)
+    );
+
+    // The paper's chosen point.
+    if let Some(p) = points.iter().find(|p| p.d_bits == 9 && p.a_bits == 15) {
+        println!(
+            "\nchosen point D=9/A=15: GM {} %, {:.0} nJ, {:.4} mm2",
+            pct(p.gm),
+            p.energy_nj,
+            p.area_mm2
+        );
+    }
+
+    if let Some(dir) = &cfg.csv_dir {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.d_bits.to_string(),
+                    p.a_bits.to_string(),
+                    format!("{:.4}", p.gm),
+                    format!("{:.4}", p.se),
+                    format!("{:.4}", p.sp),
+                    format!("{:.1}", p.energy_nj),
+                    format!("{:.5}", p.area_mm2),
+                ]
+            })
+            .collect();
+        write_csv(
+            dir,
+            "fig6_bit_grid",
+            &["d_bits", "a_bits", "gm", "se", "sp", "energy_nj", "area_mm2"],
+            &rows,
+        );
+    }
+}

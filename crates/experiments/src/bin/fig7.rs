@@ -1,0 +1,116 @@
+//! Fig 7: sequential combination of the three optimisations (left) and
+//! the homogeneous-scaling 64/32/16-bit reference pipelines (right),
+//! everything normalised to the 64-bit baseline.
+
+use experiments::{pct, render_table, write_csv, RunConfig};
+use hwmodel::TechParams;
+use seizure_core::combine::{combined_sequence, homogeneous_pipelines, CombineParams};
+use seizure_core::config::FitConfig;
+
+fn main() {
+    let cfg = RunConfig::parse(std::env::args());
+    let (matrix, _) = cfg.build_dataset();
+    let tech = TechParams::default();
+    // Pick stage parameters off this dataset's own trade-off knees, the
+    // way the paper picked 30/68 off its Figs 4-5 (tolerance: 2 GM pts).
+    let t0 = std::time::Instant::now();
+    let params = CombineParams::auto(&matrix, &FitConfig::default(), 0.02);
+    eprintln!(
+        "auto-selected stage parameters in {:.1}s: {} features, {} SVs, {}/{} bits (paper: 30, 68, 9/15)",
+        t0.elapsed().as_secs_f64(),
+        params.n_features,
+        params.sv_budget,
+        params.d_bits,
+        params.a_bits
+    );
+
+    let t0 = std::time::Instant::now();
+    let stages = combined_sequence(&matrix, &FitConfig::default(), &params, &tech);
+    eprintln!("combined sequence in {:.1}s", t0.elapsed().as_secs_f64());
+    let base = stages[0].clone();
+
+    let mut rows = Vec::new();
+    for s in &stages {
+        let (gm_n, e_n, a_n) = s.normalized_to(&base);
+        rows.push(vec![
+            s.name.clone(),
+            pct(s.gm),
+            format!("{:.0}", s.energy_nj),
+            format!("{:.3}", s.area_mm2),
+            format!("{:.2}", gm_n),
+            format!("{:.3}", e_n),
+            format!("{:.3}", a_n),
+            format!("{:.0}", s.n_sv),
+            s.n_feat.to_string(),
+            format!("{}/{}", s.d_bits, s.a_bits),
+        ]);
+    }
+    println!("\nFig 7 (left): sequential optimisation (paper: total 12.5x energy and 16x area");
+    println!("gain for <=3.2% GM loss; per-stage deltas -57%/-37%, -70%/-41%, -37%/-82%)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "stage", "GM %", "E nJ", "A mm2", "GM rel", "E rel", "A rel", "SVs",
+                "feat", "D/A bits"
+            ],
+            &rows
+        )
+    );
+    let last = stages.last().unwrap();
+    println!(
+        "total gains: energy {:.1}x, area {:.1}x, GM loss {:.1} points\n",
+        base.energy_nj / last.energy_nj,
+        base.area_mm2 / last.area_mm2,
+        100.0 * (base.gm - last.gm)
+    );
+
+    let t0 = std::time::Instant::now();
+    let hom = homogeneous_pipelines(&matrix, &FitConfig::default(), &[64, 32, 16], &tech);
+    eprintln!("homogeneous pipelines in {:.1}s", t0.elapsed().as_secs_f64());
+    let mut hrows = Vec::new();
+    for s in &hom {
+        let (gm_n, e_n, a_n) = s.normalized_to(&base);
+        hrows.push(vec![
+            s.name.clone(),
+            pct(s.gm),
+            format!("{:.0}", s.energy_nj),
+            format!("{:.3}", s.area_mm2),
+            format!("{:.2}", gm_n),
+            format!("{:.3}", e_n),
+            format!("{:.3}", a_n),
+        ]);
+    }
+    println!("\nFig 7 (right): homogeneous-scaling pipelines (paper: the 32-bit homogeneous");
+    println!("design needs 7x more area / 4x more energy than the tailored one, at -7% GM)\n");
+    println!(
+        "{}",
+        render_table(
+            &["pipeline", "GM %", "E nJ", "A mm2", "GM rel", "E rel", "A rel"],
+            &hrows
+        )
+    );
+    if let Some(h32) = hom.iter().find(|s| s.d_bits == 32) {
+        println!(
+            "32-bit homogeneous vs fully tailored: {:.1}x energy, {:.1}x area, GM delta {:.1} pts",
+            h32.energy_nj / last.energy_nj,
+            h32.area_mm2 / last.area_mm2,
+            100.0 * (h32.gm - last.gm)
+        );
+    }
+
+    if let Some(dir) = &cfg.csv_dir {
+        write_csv(
+            dir,
+            "fig7_combined",
+            &["stage", "gm", "energy_nj", "area_mm2", "gm_rel", "e_rel", "a_rel", "n_sv", "n_feat", "bits"],
+            &rows,
+        );
+        write_csv(
+            dir,
+            "fig7_homogeneous",
+            &["pipeline", "gm", "energy_nj", "area_mm2", "gm_rel", "e_rel", "a_rel"],
+            &hrows,
+        );
+    }
+}

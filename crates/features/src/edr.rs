@@ -1,0 +1,158 @@
+//! ECG-derived respiration (EDR).
+//!
+//! Respiration rotates the heart's electrical axis, modulating the R-wave
+//! amplitude. Sampling that amplitude at each beat and resampling to a
+//! uniform grid recovers a surrogate respiration signal without a
+//! dedicated sensor — the input to the paper's AR (features 16–24) and PSD
+//! (features 25–53) families.
+
+use crate::error::FeatureError;
+use biodsp::qrs::QrsDetection;
+
+/// Uniformly resampled EDR series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdrSeries {
+    /// Sampling rate of the resampled series (Hz).
+    pub fs: f64,
+    /// Normalised (z-scored) EDR samples.
+    pub samples: Vec<f64>,
+}
+
+/// EDR sampling rate: 4 Hz is ample for respiration (< 1 Hz).
+pub const EDR_FS: f64 = 4.0;
+
+/// Extracts the EDR series from QRS detections.
+///
+/// Steps: take `(beat time, R amplitude)` pairs → remove the slow
+/// amplitude baseline (running median) → resample to [`EDR_FS`].
+///
+/// The series is deliberately **not** amplitude-normalised: the
+/// respiratory modulation depth is a common-mode factor across all PSD
+/// band features, giving them the high mutual correlation the paper's
+/// Fig 3 shows (and that the feature selection prunes). AR coefficients
+/// are scale-invariant, so they are unaffected.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::TooFewBeats`] with fewer than 8 beats, and
+/// propagates DSP errors from resampling.
+pub fn extract_edr(det: &QrsDetection) -> Result<EdrSeries, FeatureError> {
+    const MIN_BEATS: usize = 8;
+    if det.peaks.len() < MIN_BEATS {
+        return Err(FeatureError::TooFewBeats { needed: MIN_BEATS, got: det.peaks.len() });
+    }
+    let t: Vec<f64> = det.peaks.iter().map(|p| p.time_s).collect();
+    let mut a: Vec<f64> = det.peaks.iter().map(|p| p.amplitude).collect();
+    // Baseline removal: subtract the running median (5 beats) to keep the
+    // respiratory modulation and drop slow gain drift.
+    let baseline = biodsp::filter::median_filter(&a, 5).map_err(FeatureError::Dsp)?;
+    for (v, b) in a.iter_mut().zip(baseline.iter()) {
+        *v -= b;
+    }
+    // Strictly increasing times are guaranteed by the detector, but guard
+    // against duplicates from pathological inputs.
+    let mut tt = Vec::with_capacity(t.len());
+    let mut aa = Vec::with_capacity(a.len());
+    for i in 0..t.len() {
+        if i == 0 || t[i] > tt[tt.len() - 1] {
+            tt.push(t[i]);
+            aa.push(a[i]);
+        }
+    }
+    let samples =
+        biodsp::resample::resample_uniform(&tt, &aa, EDR_FS).map_err(FeatureError::Dsp)?;
+    Ok(EdrSeries { fs: EDR_FS, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biodsp::qrs::RPeak;
+
+    fn detection_with_modulation(f_resp: f64, n: usize, rr: f64) -> QrsDetection {
+        let peaks = (0..n)
+            .map(|i| {
+                let t = i as f64 * rr;
+                RPeak {
+                    index: (t * 128.0) as usize,
+                    time_s: t,
+                    amplitude: 1.0
+                        + 0.2 * (std::f64::consts::TAU * f_resp * t).sin(),
+                }
+            })
+            .collect();
+        QrsDetection { peaks }
+    }
+
+    #[test]
+    fn edr_recovers_respiratory_frequency() {
+        let det = detection_with_modulation(0.25, 300, 0.8);
+        let edr = extract_edr(&det).unwrap();
+        assert_eq!(edr.fs, EDR_FS);
+        let spec = biodsp::psd::welch(
+            &edr.samples,
+            edr.fs,
+            256,
+            0.5,
+            biodsp::window::WindowKind::Hann,
+        )
+        .unwrap();
+        let peak = spec.peak_frequency().unwrap();
+        assert!((peak - 0.25).abs() < 0.05, "peak {peak}");
+    }
+
+    #[test]
+    fn edr_preserves_modulation_depth() {
+        // Modulation depth is a common-mode carrier across PSD bands; a
+        // 2x deeper modulation must yield ~2x the EDR amplitude.
+        let shallow = extract_edr(&detection_with_modulation(0.3, 120, 0.75)).unwrap();
+        let det_deep = {
+            let mut d = detection_with_modulation(0.3, 120, 0.75);
+            for p in &mut d.peaks {
+                p.amplitude = 1.0 + 2.0 * (p.amplitude - 1.0);
+            }
+            d
+        };
+        let deep = extract_edr(&det_deep).unwrap();
+        let r = biodsp::stats::rms(&deep.samples) / biodsp::stats::rms(&shallow.samples);
+        assert!((r - 2.0).abs() < 0.3, "ratio {r}");
+    }
+
+    #[test]
+    fn too_few_beats_is_an_error() {
+        let det = detection_with_modulation(0.25, 5, 0.8);
+        assert!(matches!(
+            extract_edr(&det),
+            Err(FeatureError::TooFewBeats { needed: 8, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn gain_drift_is_removed() {
+        // Linear amplitude drift should not dominate the EDR spectrum.
+        let peaks: Vec<RPeak> = (0..200)
+            .map(|i| {
+                let t = i as f64 * 0.8;
+                RPeak {
+                    index: (t * 128.0) as usize,
+                    time_s: t,
+                    amplitude: 1.0
+                        + 0.005 * i as f64
+                        + 0.1 * (std::f64::consts::TAU * 0.25 * t).sin(),
+                }
+            })
+            .collect();
+        let edr = extract_edr(&QrsDetection { peaks }).unwrap();
+        let spec = biodsp::psd::welch(
+            &edr.samples,
+            edr.fs,
+            128,
+            0.5,
+            biodsp::window::WindowKind::Hann,
+        )
+        .unwrap();
+        let resp_band = spec.band_power(0.2, 0.3);
+        let drift_band = spec.band_power(0.0, 0.05);
+        assert!(resp_band > drift_band, "resp {resp_band} drift {drift_band}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for feature extraction.
+
+use std::fmt;
+
+/// Errors produced during feature extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeatureError {
+    /// The analysis window does not contain enough detected beats to
+    /// compute rhythm features.
+    TooFewBeats {
+        /// Beats required.
+        needed: usize,
+        /// Beats found by the QRS detector.
+        got: usize,
+    },
+    /// A DSP routine failed.
+    Dsp(biodsp::DspError),
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::TooFewBeats { needed, got } => {
+                write!(f, "window has too few beats: need {needed}, found {got}")
+            }
+            FeatureError::Dsp(e) => write!(f, "dsp failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeatureError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<biodsp::DspError> for FeatureError {
+    fn from(e: biodsp::DspError) -> Self {
+        FeatureError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FeatureError::TooFewBeats { needed: 8, got: 2 };
+        assert!(e.to_string().contains("too few beats"));
+        let d = FeatureError::from(biodsp::DspError::EmptyInput);
+        assert!(d.to_string().contains("dsp"));
+        use std::error::Error;
+        assert!(d.source().is_some());
+        assert!(e.source().is_none());
+    }
+}

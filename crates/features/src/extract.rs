@@ -1,0 +1,205 @@
+//! Window-level extraction of the full 53-feature vector.
+
+use crate::ar_feats::{ar_features, ar_names, N_AR};
+use crate::edr::extract_edr;
+use crate::error::FeatureError;
+use crate::hrv::{clean_rr, hrv_features, HRV_NAMES, N_HRV};
+use crate::lorenz::{lorenz_features, LORENZ_NAMES, N_LORENZ};
+use crate::psd_feats::{psd_features, psd_names, N_PSD};
+use biodsp::qrs::PanTompkins;
+
+/// Total feature count (8 HRV + 7 Lorentz + 9 AR + 29 PSD = 53).
+pub const N_FEATURES: usize = N_HRV + N_LORENZ + N_AR + N_PSD;
+
+/// Feature families, in index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureFamily {
+    /// Heart-rate-variability statistics (paper features 1–8).
+    Hrv,
+    /// Lorentz-plot geometry (9–15).
+    Lorenz,
+    /// EDR auto-regressive coefficients (16–24).
+    Ar,
+    /// EDR spectral band powers (25–53).
+    Psd,
+}
+
+impl FeatureFamily {
+    /// Family of 0-based feature index `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= N_FEATURES`.
+    pub fn of(j: usize) -> FeatureFamily {
+        assert!(j < N_FEATURES, "feature index {j} out of range");
+        if j < N_HRV {
+            FeatureFamily::Hrv
+        } else if j < N_HRV + N_LORENZ {
+            FeatureFamily::Lorenz
+        } else if j < N_HRV + N_LORENZ + N_AR {
+            FeatureFamily::Ar
+        } else {
+            FeatureFamily::Psd
+        }
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureFamily::Hrv => "HRV",
+            FeatureFamily::Lorenz => "Lorenz",
+            FeatureFamily::Ar => "AR",
+            FeatureFamily::Psd => "PSD",
+        }
+    }
+}
+
+/// Names of all 53 features in index order.
+pub fn feature_names() -> Vec<String> {
+    let mut names: Vec<String> = Vec::with_capacity(N_FEATURES);
+    names.extend(HRV_NAMES.iter().map(|s| s.to_string()));
+    names.extend(LORENZ_NAMES.iter().map(|s| s.to_string()));
+    names.extend(ar_names());
+    names.extend(psd_names());
+    names
+}
+
+/// Extracts the 53-feature vector from a raw ECG window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowExtractor {
+    /// ECG sampling rate in Hz.
+    pub fs: f64,
+    /// QRS detector configuration.
+    pub detector: PanTompkins,
+}
+
+impl WindowExtractor {
+    /// Extractor with default Pan–Tompkins settings.
+    pub fn new(fs: f64) -> Self {
+        WindowExtractor { fs, detector: PanTompkins::default() }
+    }
+
+    /// Extracts all 53 features from one ECG window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::TooFewBeats`] when the window contains fewer
+    /// than 8 usable beats, and propagates DSP errors (window shorter than
+    /// the detector's 2-second learning phase, etc.).
+    pub fn extract(&self, ecg: &[f64]) -> Result<Vec<f64>, FeatureError> {
+        let det = self.detector.detect(ecg, self.fs).map_err(FeatureError::Dsp)?;
+        if det.peaks.len() < 8 {
+            return Err(FeatureError::TooFewBeats { needed: 8, got: det.peaks.len() });
+        }
+        let rr = clean_rr(&det.rr_intervals());
+        let edr = extract_edr(&det)?;
+        let mut out = Vec::with_capacity(N_FEATURES);
+        out.extend_from_slice(&hrv_features(&rr));
+        out.extend_from_slice(&lorenz_features(&rr));
+        out.extend_from_slice(&ar_features(&edr));
+        out.extend_from_slice(&psd_features(&edr));
+        debug_assert_eq!(out.len(), N_FEATURES);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simple but beat-accurate synthetic ECG for extractor tests.
+    fn synth_ecg(fs: f64, dur_s: f64, rr: f64, resp_hz: f64) -> Vec<f64> {
+        let n = (fs * dur_s) as usize;
+        let mut sig = vec![0.0f64; n];
+        let mut bt = 0.5;
+        let mut beats = Vec::new();
+        while bt < dur_s {
+            beats.push(bt);
+            // Slight RSA so RR is not perfectly constant.
+            bt += rr * (1.0 + 0.03 * (std::f64::consts::TAU * resp_hz * bt).sin());
+        }
+        for &t0 in &beats {
+            let amp = 1.0 + 0.2 * (std::f64::consts::TAU * resp_hz * t0).sin();
+            let centre = (t0 * fs) as isize;
+            for k in -15..=15isize {
+                let idx = centre + k;
+                if idx >= 0 && (idx as usize) < n {
+                    let dt = k as f64 / fs;
+                    sig[idx as usize] +=
+                        amp * (-dt * dt / (2.0 * 0.012f64.powi(2))).exp();
+                }
+            }
+        }
+        sig
+    }
+
+    #[test]
+    fn layout_counts() {
+        assert_eq!(N_FEATURES, 53);
+        assert_eq!(feature_names().len(), 53);
+        assert_eq!(FeatureFamily::of(0), FeatureFamily::Hrv);
+        assert_eq!(FeatureFamily::of(7), FeatureFamily::Hrv);
+        assert_eq!(FeatureFamily::of(8), FeatureFamily::Lorenz);
+        assert_eq!(FeatureFamily::of(14), FeatureFamily::Lorenz);
+        assert_eq!(FeatureFamily::of(15), FeatureFamily::Ar);
+        assert_eq!(FeatureFamily::of(23), FeatureFamily::Ar);
+        assert_eq!(FeatureFamily::of(24), FeatureFamily::Psd);
+        assert_eq!(FeatureFamily::of(52), FeatureFamily::Psd);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn family_of_rejects_out_of_range() {
+        let _ = FeatureFamily::of(53);
+    }
+
+    #[test]
+    fn extracts_53_finite_features() {
+        let fs = 128.0;
+        let ecg = synth_ecg(fs, 60.0, 0.8, 0.25);
+        let x = WindowExtractor::new(fs).extract(&ecg).unwrap();
+        assert_eq!(x.len(), 53);
+        assert!(x.iter().all(|v| v.is_finite()));
+        // Mean HR should be near 75 bpm.
+        assert!((x[4] - 75.0).abs() < 6.0, "hr {}", x[4]);
+    }
+
+    #[test]
+    fn tachycardia_is_visible_in_features() {
+        let fs = 128.0;
+        let calm = WindowExtractor::new(fs)
+            .extract(&synth_ecg(fs, 60.0, 0.9, 0.25))
+            .unwrap();
+        let fast = WindowExtractor::new(fs)
+            .extract(&synth_ecg(fs, 60.0, 0.5, 0.4))
+            .unwrap();
+        assert!(fast[4] > calm[4] + 30.0); // mean HR up
+        assert!(fast[0] < calm[0]); // mean NN down
+    }
+
+    #[test]
+    fn flat_window_errors() {
+        let flat = vec![0.0; 128 * 30];
+        let r = WindowExtractor::new(128.0).extract(&flat);
+        assert!(matches!(r, Err(FeatureError::TooFewBeats { .. })));
+    }
+
+    #[test]
+    fn short_window_errors() {
+        let r = WindowExtractor::new(128.0).extract(&[0.0; 64]);
+        assert!(matches!(r, Err(FeatureError::Dsp(_))));
+    }
+
+    #[test]
+    fn family_labels() {
+        assert_eq!(FeatureFamily::Hrv.label(), "HRV");
+        assert_eq!(FeatureFamily::Psd.label(), "PSD");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = feature_names();
+        let set: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,130 @@
+//! Heart-rate-variability time-domain features (paper features 1–8).
+
+use biodsp::stats;
+
+/// Number of HRV features.
+pub const N_HRV: usize = 8;
+
+/// Names of the HRV features, index-aligned with [`hrv_features`].
+pub const HRV_NAMES: [&str; N_HRV] = [
+    "hrv_mean_nn_s",
+    "hrv_sdnn_s",
+    "hrv_rmssd_s",
+    "hrv_pnn50",
+    "hrv_mean_hr_bpm",
+    "hrv_std_hr_bpm",
+    "hrv_cvnn",
+    "hrv_sdsd_s",
+];
+
+/// Computes the eight HRV time-domain features from an RR-interval series
+/// (seconds). The series should already be cleaned of non-physiological
+/// intervals.
+///
+/// Returns zeros for fewer than 3 intervals (degenerate window).
+pub fn hrv_features(rr: &[f64]) -> [f64; N_HRV] {
+    if rr.len() < 3 {
+        return [0.0; N_HRV];
+    }
+    let mean_nn = stats::mean(rr);
+    let sdnn = stats::sample_std_dev(rr);
+    let d = stats::diff(rr);
+    let rmssd = stats::rms(&d);
+    let pnn50 =
+        d.iter().filter(|v| v.abs() > 0.050).count() as f64 / d.len() as f64;
+    let hr: Vec<f64> = rr.iter().map(|&r| 60.0 / r).collect();
+    let mean_hr = stats::mean(&hr);
+    let std_hr = stats::sample_std_dev(&hr);
+    let cvnn = if mean_nn > 0.0 { sdnn / mean_nn } else { 0.0 };
+    let sdsd = stats::sample_std_dev(&d);
+    [mean_nn, sdnn, rmssd, pnn50, mean_hr, std_hr, cvnn, sdsd]
+}
+
+/// Removes non-physiological RR intervals: outside `[0.25, 2.5]` s or
+/// jumping more than 40% from the running median of the last 5 kept
+/// intervals (simple ectopic-beat rejection).
+pub fn clean_rr(rr: &[f64]) -> Vec<f64> {
+    let mut kept: Vec<f64> = Vec::with_capacity(rr.len());
+    for &r in rr {
+        if !(0.25..=2.5).contains(&r) {
+            continue;
+        }
+        if kept.len() >= 3 {
+            let tail = &kept[kept.len().saturating_sub(5)..];
+            let med = biodsp::stats::median(tail).unwrap_or(r);
+            if (r - med).abs() / med > 0.4 {
+                continue;
+            }
+        }
+        kept.push(r);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rhythm_has_zero_variability() {
+        let rr = vec![0.8; 50];
+        let f = hrv_features(&rr);
+        assert!((f[0] - 0.8).abs() < 1e-12); // mean NN
+        assert!(f[1].abs() < 1e-12); // SDNN
+        assert!(f[2].abs() < 1e-12); // RMSSD
+        assert!(f[3].abs() < 1e-12); // pNN50
+        assert!((f[4] - 75.0).abs() < 1e-9); // mean HR
+        assert!(f[5].abs() < 1e-9);
+        assert!(f[6].abs() < 1e-12);
+        assert!(f[7].abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_rhythm_exercises_all_features() {
+        // 0.7 / 0.9 alternation: diffs are ±0.2 (all > 50 ms).
+        let rr: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.7 } else { 0.9 }).collect();
+        let f = hrv_features(&rr);
+        assert!((f[0] - 0.8).abs() < 1e-12);
+        assert!(f[1] > 0.09 && f[1] < 0.11);
+        assert!((f[2] - 0.2).abs() < 1e-9);
+        assert!((f[3] - 1.0).abs() < 1e-12);
+        assert!(f[6] > 0.1); // CVNN
+    }
+
+    #[test]
+    fn degenerate_input_is_zeros() {
+        assert_eq!(hrv_features(&[]), [0.0; N_HRV]);
+        assert_eq!(hrv_features(&[0.8, 0.8]), [0.0; N_HRV]);
+    }
+
+    #[test]
+    fn tachycardia_raises_hr_lowers_nn() {
+        let calm = hrv_features(&vec![0.9; 30]);
+        let fast = hrv_features(&vec![0.5; 30]);
+        assert!(fast[4] > calm[4]);
+        assert!(fast[0] < calm[0]);
+    }
+
+    #[test]
+    fn clean_rr_drops_nonphysiological() {
+        let rr = vec![0.8, 0.82, 0.78, 5.0, 0.1, 0.81, 0.8];
+        let cleaned = clean_rr(&rr);
+        assert_eq!(cleaned.len(), 5);
+        assert!(cleaned.iter().all(|&r| (0.25..=2.5).contains(&r)));
+    }
+
+    #[test]
+    fn clean_rr_drops_ectopic_jumps() {
+        let mut rr = vec![0.8; 20];
+        rr[10] = 1.4; // +75% jump: ectopic
+        let cleaned = clean_rr(&rr);
+        assert_eq!(cleaned.len(), 19);
+        assert!(cleaned.iter().all(|&r| (r - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    fn names_align() {
+        assert_eq!(HRV_NAMES.len(), N_HRV);
+        assert!(HRV_NAMES.iter().all(|n| n.starts_with("hrv_")));
+    }
+}

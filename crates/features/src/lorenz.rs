@@ -1,0 +1,143 @@
+//! Lorentz (Poincaré) plot features (paper features 9–15).
+//!
+//! The Lorentz plot scatters each RR interval against the next; its
+//! short-axis dispersion SD1 measures beat-to-beat (vagal) variability and
+//! its long-axis dispersion SD2 the longer-range variability. Ictal vagal
+//! withdrawal collapses SD1, which is why these features carry seizure
+//! information.
+
+use biodsp::stats;
+
+/// Number of Lorentz-plot features.
+pub const N_LORENZ: usize = 7;
+
+/// Names of the Lorentz features, index-aligned with [`lorenz_features`].
+pub const LORENZ_NAMES: [&str; N_LORENZ] = [
+    "lorenz_sd1_s",
+    "lorenz_sd2_s",
+    "lorenz_sd1_sd2_ratio",
+    "lorenz_ellipse_area",
+    "lorenz_csi",
+    "lorenz_cvi",
+    "lorenz_modified_csi",
+];
+
+/// Computes the seven Lorentz-plot features from an RR series (seconds).
+///
+/// Returns zeros for fewer than 4 intervals.
+pub fn lorenz_features(rr: &[f64]) -> [f64; N_LORENZ] {
+    if rr.len() < 4 {
+        return [0.0; N_LORENZ];
+    }
+    // Rotated coordinates: u = (x2 - x1)/sqrt(2), v = (x2 + x1)/sqrt(2).
+    let pairs: Vec<(f64, f64)> = rr.windows(2).map(|w| (w[0], w[1])).collect();
+    let u: Vec<f64> = pairs
+        .iter()
+        .map(|(a, b)| (b - a) / std::f64::consts::SQRT_2)
+        .collect();
+    let v: Vec<f64> = pairs
+        .iter()
+        .map(|(a, b)| (b + a) / std::f64::consts::SQRT_2)
+        .collect();
+    let sd1 = stats::sample_std_dev(&u);
+    let sd2 = stats::sample_std_dev(&v);
+    let ratio = if sd2 > 0.0 { sd1 / sd2 } else { 0.0 };
+    let area = std::f64::consts::PI * sd1 * sd2;
+    let csi = if sd1 > 0.0 { sd2 / sd1 } else { 0.0 };
+    // Cardiac Vagal Index: log10 of the (scaled) ellipse axes product;
+    // the conventional 4SD scaling keeps values positive for sinus rhythm.
+    let cvi = if sd1 > 0.0 && sd2 > 0.0 {
+        ((4.0 * sd1) * (4.0 * sd2) * 1e6).log10() // axes in ms
+    } else {
+        0.0
+    };
+    let modified_csi = if sd1 > 0.0 { sd2 * sd2 / sd1 } else { 0.0 };
+    [sd1, sd2, ratio, area, csi, cvi, modified_csi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd1_sd2(rr: &[f64]) -> (f64, f64) {
+        let f = lorenz_features(rr);
+        (f[0], f[1])
+    }
+
+    #[test]
+    fn constant_rhythm_collapses_plot() {
+        let f = lorenz_features(&vec![0.8; 30]);
+        // SD1/SD2 collapse to (numerically) zero; derived ratios guard
+        // against division by zero and stay finite.
+        assert!(f.iter().all(|v| v.abs() < 1e-9 || v.is_finite()));
+        assert!(f[0].abs() < 1e-12 && f[1].abs() < 1e-12);
+        assert!(f[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_rhythm_is_pure_sd1() {
+        // Perfect alternation has large beat-to-beat change, but constant
+        // pair sums: SD1 >> SD2.
+        let rr: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 0.7 } else { 0.9 }).collect();
+        let (sd1, sd2) = sd1_sd2(&rr);
+        assert!(sd1 > 10.0 * sd2.max(1e-12), "sd1 {sd1} sd2 {sd2}");
+    }
+
+    #[test]
+    fn slow_trend_is_pure_sd2() {
+        // Slow monotone drift: successive beats nearly equal (small SD1),
+        // long-range spread large (SD2).
+        let rr: Vec<f64> = (0..100).map(|i| 0.6 + 0.004 * i as f64).collect();
+        let (sd1, sd2) = sd1_sd2(&rr);
+        assert!(sd2 > 10.0 * sd1, "sd1 {sd1} sd2 {sd2}");
+    }
+
+    #[test]
+    fn sd1_matches_rmssd_relation() {
+        // Known identity: SD1^2 = 0.5 * var(diff(rr)) (sample variance).
+        let rr = [0.8, 0.85, 0.78, 0.9, 0.82, 0.87, 0.79, 0.84];
+        let (sd1, _) = sd1_sd2(&rr);
+        let d = biodsp::stats::diff(&rr);
+        let expect = (0.5 * biodsp::stats::sample_variance(&d)).sqrt();
+        assert!((sd1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_features_are_consistent() {
+        let rr = [0.8, 0.85, 0.78, 0.9, 0.82, 0.87, 0.79, 0.84, 0.8, 0.86];
+        let f = lorenz_features(&rr);
+        let (sd1, sd2) = (f[0], f[1]);
+        assert!((f[2] - sd1 / sd2).abs() < 1e-12);
+        assert!((f[3] - std::f64::consts::PI * sd1 * sd2).abs() < 1e-12);
+        assert!((f[4] - sd2 / sd1).abs() < 1e-12);
+        assert!((f[6] - sd2 * sd2 / sd1).abs() < 1e-12);
+        assert!(f[5] > 0.0); // CVI positive for ms-scaled sinus rhythm
+    }
+
+    #[test]
+    fn vagal_withdrawal_reduces_sd1_and_raises_csi() {
+        let mut seed = 77u64;
+        let mut rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        let calm: Vec<f64> = (0..200).map(|_| 0.85 + 0.06 * rand()).collect();
+        let ictal: Vec<f64> = (0..200).map(|_| 0.55 + 0.012 * rand()).collect();
+        let fc = lorenz_features(&calm);
+        let fi = lorenz_features(&ictal);
+        assert!(fi[0] < fc[0]); // SD1 down
+        assert!(fi[3] < fc[3]); // area down
+    }
+
+    #[test]
+    fn too_short_is_zeros() {
+        assert_eq!(lorenz_features(&[0.8, 0.9, 0.8]), [0.0; N_LORENZ]);
+    }
+
+    #[test]
+    fn names_align() {
+        assert_eq!(LORENZ_NAMES.len(), N_LORENZ);
+    }
+}

@@ -1,0 +1,189 @@
+//! Feature dataset container: rows of feature vectors with labels and
+//! session/patient provenance for leave-one-session-out folds.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled feature dataset (row-major).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    /// Feature vectors, one per analysis window.
+    pub rows: Vec<Vec<f64>>,
+    /// Class labels: `+1` seizure, `-1` non-seizure.
+    pub labels: Vec<i8>,
+    /// Global session index for each row (fold key).
+    pub session_ids: Vec<usize>,
+    /// Patient id for each row.
+    pub patient_ids: Vec<usize>,
+    /// Feature names (column order).
+    pub feature_names: Vec<String>,
+}
+
+impl FeatureMatrix {
+    /// Number of rows (windows).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of feature columns (0 when empty).
+    pub fn n_cols(&self) -> usize {
+        self.rows.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width disagrees with existing rows.
+    pub fn push_row(&mut self, row: Vec<f64>, label: i8, session_id: usize, patient_id: usize) {
+        if let Some(first) = self.rows.first() {
+            assert_eq!(first.len(), row.len(), "inconsistent feature width");
+        }
+        self.rows.push(row);
+        self.labels.push(label);
+        self.session_ids.push(session_id);
+        self.patient_ids.push(patient_id);
+    }
+
+    /// Column `j` as an owned vector (the `F_j` of the paper's Eq 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= n_cols()`.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.n_cols(), "column {j} out of range");
+        self.rows.iter().map(|r| r[j]).collect()
+    }
+
+    /// New matrix keeping only the given columns (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_columns(&self, cols: &[usize]) -> FeatureMatrix {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&j| r[j]).collect())
+            .collect();
+        let feature_names = if self.feature_names.is_empty() {
+            Vec::new()
+        } else {
+            cols.iter().map(|&j| self.feature_names[j].clone()).collect()
+        };
+        FeatureMatrix {
+            rows,
+            labels: self.labels.clone(),
+            session_ids: self.session_ids.clone(),
+            patient_ids: self.patient_ids.clone(),
+            feature_names,
+        }
+    }
+
+    /// Splits into `(train, test)` where the test set is exactly the rows
+    /// of `session_id` — one leave-one-session-out fold.
+    pub fn split_by_session(&self, session_id: usize) -> (FeatureMatrix, FeatureMatrix) {
+        let mut train = FeatureMatrix {
+            feature_names: self.feature_names.clone(),
+            ..Default::default()
+        };
+        let mut test = FeatureMatrix {
+            feature_names: self.feature_names.clone(),
+            ..Default::default()
+        };
+        for i in 0..self.n_rows() {
+            let dst = if self.session_ids[i] == session_id { &mut test } else { &mut train };
+            dst.rows.push(self.rows[i].clone());
+            dst.labels.push(self.labels[i]);
+            dst.session_ids.push(self.session_ids[i]);
+            dst.patient_ids.push(self.patient_ids[i]);
+        }
+        (train, test)
+    }
+
+    /// Distinct session ids in first-appearance order.
+    pub fn session_list(&self) -> Vec<usize> {
+        let mut seen = Vec::new();
+        for &s in &self.session_ids {
+            if !seen.contains(&s) {
+                seen.push(s);
+            }
+        }
+        seen
+    }
+
+    /// Count of positive (seizure) rows.
+    pub fn n_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeatureMatrix {
+        let mut m = FeatureMatrix {
+            feature_names: vec!["a".into(), "b".into(), "c".into()],
+            ..Default::default()
+        };
+        m.push_row(vec![1.0, 2.0, 3.0], -1, 0, 0);
+        m.push_row(vec![4.0, 5.0, 6.0], 1, 0, 0);
+        m.push_row(vec![7.0, 8.0, 9.0], -1, 1, 1);
+        m
+    }
+
+    #[test]
+    fn dimensions_and_columns() {
+        let m = sample();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.column(1), vec![2.0, 5.0, 8.0]);
+        assert_eq!(m.n_positive(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn column_out_of_range_panics() {
+        let _ = sample().column(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature width")]
+    fn push_row_width_checked() {
+        let mut m = sample();
+        m.push_row(vec![1.0], 1, 2, 2);
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let m = sample().select_columns(&[2, 0]);
+        assert_eq!(m.rows[0], vec![3.0, 1.0]);
+        assert_eq!(m.feature_names, vec!["c".to_string(), "a".to_string()]);
+        assert_eq!(m.labels, vec![-1, 1, -1]);
+    }
+
+    #[test]
+    fn split_by_session_partitions() {
+        let m = sample();
+        let (train, test) = m.split_by_session(0);
+        assert_eq!(train.n_rows(), 1);
+        assert_eq!(test.n_rows(), 2);
+        assert!(test.session_ids.iter().all(|&s| s == 0));
+        assert!(train.session_ids.iter().all(|&s| s != 0));
+        assert_eq!(train.feature_names.len(), 3);
+    }
+
+    #[test]
+    fn session_list_order() {
+        let m = sample();
+        assert_eq!(m.session_list(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_matrix_is_sane() {
+        let m = FeatureMatrix::default();
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 0);
+        assert!(m.session_list().is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Width-tracked integer helpers for the bit-accurate pipeline.
+//!
+//! The hardware accelerator of Fig 2 works on two's-complement integers of
+//! explicit widths; these helpers emulate exactly the operations the RTL
+//! would perform: arithmetic right shift (LSB truncation after the dot
+//! product and the squarer) and saturation to a width.
+
+/// Arithmetic right shift by `k` bits — the "discard the least significant
+/// bits" operation of Section III, rounding toward negative infinity as
+/// hardware truncation does.
+pub fn truncate_lsbs(v: i128, k: u32) -> i128 {
+    if k == 0 {
+        return v;
+    }
+    if k >= 127 {
+        return if v < 0 { -1 } else { 0 };
+    }
+    v >> k
+}
+
+/// Saturates `v` into a signed `bits`-wide two's-complement range.
+///
+/// # Panics
+///
+/// Panics unless `1 <= bits <= 127`.
+pub fn saturate_to_width(v: i128, bits: u32) -> i128 {
+    assert!((1..=127).contains(&bits), "width must be 1..=127");
+    let max = (1i128 << (bits - 1)) - 1;
+    let min = -(1i128 << (bits - 1));
+    v.clamp(min, max)
+}
+
+/// Minimum signed width (bits, including sign) needed to represent `v`.
+pub fn width_of(v: i128) -> u32 {
+    if v == 0 {
+        return 1;
+    }
+    if v > 0 {
+        128 - v.leading_zeros() + 1
+    } else {
+        // -2^k needs k+1 bits; other negatives need the same as |v|-ish.
+        128 - (-(v + 1)).leading_zeros() + 1
+    }
+}
+
+/// Width of the product of two signed operands of widths `a` and `b`.
+pub fn product_width(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+/// Width growth of accumulating `n` terms of width `w`:
+/// `w + ceil(log2(n))` guard bits.
+pub fn accumulator_width(w: u32, n: usize) -> u32 {
+    if n <= 1 {
+        return w;
+    }
+    w + (usize::BITS - (n - 1).leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_matches_floor_division() {
+        assert_eq!(truncate_lsbs(1023, 10), 0);
+        assert_eq!(truncate_lsbs(1024, 10), 1);
+        assert_eq!(truncate_lsbs(-1, 10), -1); // floor, not toward zero
+        assert_eq!(truncate_lsbs(-1024, 10), -1);
+        assert_eq!(truncate_lsbs(-1025, 10), -2);
+        assert_eq!(truncate_lsbs(12345, 0), 12345);
+        assert_eq!(truncate_lsbs(5, 127), 0);
+        assert_eq!(truncate_lsbs(-5, 127), -1);
+    }
+
+    #[test]
+    fn saturation_bounds() {
+        assert_eq!(saturate_to_width(300, 8), 127);
+        assert_eq!(saturate_to_width(-300, 8), -128);
+        assert_eq!(saturate_to_width(100, 8), 100);
+        assert_eq!(saturate_to_width(i128::MAX, 64), (1i128 << 63) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn saturation_validates_width() {
+        let _ = saturate_to_width(0, 0);
+    }
+
+    #[test]
+    fn width_of_known_values() {
+        assert_eq!(width_of(0), 1);
+        assert_eq!(width_of(1), 2);
+        assert_eq!(width_of(-1), 1);
+        assert_eq!(width_of(127), 8);
+        assert_eq!(width_of(128), 9);
+        assert_eq!(width_of(-128), 8);
+        assert_eq!(width_of(-129), 9);
+    }
+
+    #[test]
+    fn width_arithmetic() {
+        assert_eq!(product_width(9, 9), 18);
+        assert_eq!(accumulator_width(18, 1), 18);
+        assert_eq!(accumulator_width(18, 2), 19);
+        assert_eq!(accumulator_width(18, 53), 24);
+        // 53 terms -> ceil(log2(53)) = 6 guard bits.
+    }
+
+    #[test]
+    fn widths_are_sufficient() {
+        // Any product of two w-bit values fits in product_width bits.
+        for a in [-128i128, -1, 0, 127] {
+            for b in [-128i128, -1, 0, 127] {
+                let p = a * b;
+                assert!(width_of(p) <= product_width(8, 8));
+            }
+        }
+    }
+}

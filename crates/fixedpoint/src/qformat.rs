@@ -1,0 +1,104 @@
+//! Power-of-two range selection (Eq 6 of the paper).
+
+/// Returns the smallest exponent `R` such that
+/// `avg(values) - σ(values) > -2^R` and `avg(values) + σ(values) < 2^R`
+/// (Eq 6). The returned range `[-2^R, 2^R)` can be applied with shifts
+/// instead of dividers in hardware.
+///
+/// `R` may be negative for sub-unit features. Degenerate inputs (empty or
+/// all-zero) return `R = 0` (range `[-1, 1)`).
+pub fn pow2_range_exponent(values: &[f64]) -> i32 {
+    if values.is_empty() {
+        return 0;
+    }
+    let n = values.len() as f64;
+    let avg = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n;
+    let sigma = var.sqrt();
+    let lo = avg - sigma;
+    let hi = avg + sigma;
+    if !lo.is_finite() || !hi.is_finite() {
+        return 0;
+    }
+    for r in -32..=62i32 {
+        let bound = (r as f64).exp2();
+        if lo > -bound && hi < bound {
+            return r;
+        }
+    }
+    62
+}
+
+/// Saturates `x` into the power-of-two range `[-2^R, 2^R)` ("if a feature
+/// value exceeds its range, it is saturated to the admissible maximum /
+/// minimum").
+pub fn saturate_to_range(x: f64, r: i32) -> f64 {
+    let bound = (r as f64).exp2();
+    // The admissible maximum is one LSB below the bound; using the open
+    // bound here and letting the quantiser clamp the integer code keeps
+    // this function width-agnostic.
+    x.clamp(-bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scale_features() {
+        // avg 0, σ ≈ 0.8 → R = 0 (range [-1, 1)).
+        let v = [0.8, -0.8, 0.79, -0.81];
+        assert_eq!(pow2_range_exponent(&v), 0);
+    }
+
+    #[test]
+    fn large_scale_features() {
+        // HR in bpm: avg 75, σ 10 → need 2^7 = 128.
+        let v = [65.0, 75.0, 85.0, 75.0];
+        let r = pow2_range_exponent(&v);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn sub_unit_features() {
+        // RR std in seconds: ~0.05 → 2^-4 = 0.0625 covers avg+σ.
+        let v = [0.05, 0.04, 0.06, 0.05];
+        let r = pow2_range_exponent(&v);
+        assert!(r <= -3, "r = {r}");
+        let bound = (r as f64).exp2();
+        let avg = 0.05;
+        assert!(avg < bound);
+    }
+
+    #[test]
+    fn eq6_inequalities_hold_and_are_tight() {
+        let v = [3.0, -1.0, 2.5, 0.5, 1.0, 2.0];
+        let r = pow2_range_exponent(&v);
+        let n = v.len() as f64;
+        let avg = v.iter().sum::<f64>() / n;
+        let sigma =
+            (v.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / n).sqrt();
+        let bound = (r as f64).exp2();
+        assert!(avg - sigma > -bound);
+        assert!(avg + sigma < bound);
+        // Tight: the next smaller power of two fails at least one side.
+        let smaller = ((r - 1) as f64).exp2();
+        assert!(avg - sigma <= -smaller || avg + sigma >= smaller);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pow2_range_exponent(&[]), 0);
+        assert_eq!(pow2_range_exponent(&[0.0, 0.0]), -32);
+        assert_eq!(pow2_range_exponent(&[f64::NAN]), 0);
+    }
+
+    #[test]
+    fn saturation_clamps_symmetrically() {
+        assert_eq!(saturate_to_range(10.0, 2), 4.0);
+        assert_eq!(saturate_to_range(-10.0, 2), -4.0);
+        assert_eq!(saturate_to_range(1.5, 2), 1.5);
+        assert_eq!(saturate_to_range(0.3, -1), 0.3);
+        assert_eq!(saturate_to_range(0.9, -1), 0.5);
+    }
+}

@@ -1,0 +1,246 @@
+//! Saturating quantisers and the per-feature scale memory.
+
+use crate::qformat::pow2_range_exponent;
+use serde::{Deserialize, Serialize};
+
+/// Round-to-nearest, saturating quantiser into a signed two's-complement
+/// code of `bits` bits with LSB weight `2^lsb_exp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quantizer {
+    /// LSB exponent: a code `q` represents `q * 2^lsb_exp`.
+    pub lsb_exp: i32,
+    /// Total signed width in bits (including sign), `2 ..= 63`.
+    pub bits: u32,
+}
+
+impl Quantizer {
+    /// Quantiser for a feature with power-of-two range exponent `r`
+    /// represented on `bits` bits: the MSB weighs `2^(r-1)` and the LSB
+    /// `2^(r-bits+1)` — the paper's "bits in the interval
+    /// `[R_j - 1 ; R_j - D_bits]`".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 63`.
+    pub fn for_range_exponent(r: i32, bits: u32) -> Self {
+        assert!((2..=63).contains(&bits), "bits must be in 2..=63, got {bits}");
+        Quantizer { lsb_exp: r - bits as i32 + 1, bits }
+    }
+
+    /// Quantiser for the `αᵢyᵢ` coefficients, bounded in `[-1, 1]` by
+    /// construction (after normalisation), on `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 63`.
+    pub fn for_alpha(bits: u32) -> Self {
+        Self::for_range_exponent(0, bits)
+    }
+
+    /// Weight of one LSB.
+    pub fn lsb(&self) -> f64 {
+        (self.lsb_exp as f64).exp2()
+    }
+
+    /// Largest representable code.
+    pub fn max_code(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    /// Smallest representable code.
+    pub fn min_code(&self) -> i64 {
+        -(1i64 << (self.bits - 1))
+    }
+
+    /// Encodes with round-to-nearest and saturation.
+    pub fn encode(&self, x: f64) -> i64 {
+        if x.is_nan() {
+            return 0;
+        }
+        let q = (x / self.lsb()).round();
+        if q >= self.max_code() as f64 {
+            self.max_code()
+        } else if q <= self.min_code() as f64 {
+            self.min_code()
+        } else {
+            q as i64
+        }
+    }
+
+    /// Decodes a code back to its real value.
+    pub fn decode(&self, q: i64) -> f64 {
+        q as f64 * self.lsb()
+    }
+
+    /// Round-trip quantisation of a real value.
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.decode(self.encode(x))
+    }
+}
+
+/// The accelerator's scale memory: one range exponent `R_j` per feature,
+/// calibrated on the support-vector set (Eq 6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureScales {
+    /// Per-feature range exponents.
+    pub r: Vec<i32>,
+}
+
+impl FeatureScales {
+    /// Calibrates per-feature ranges from the rows of the SV set
+    /// (`rows[i][j]` = feature `j` of SV `i`), per Eq 6 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows.
+    pub fn calibrate(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return FeatureScales { r: Vec::new() };
+        }
+        let d = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == d), "ragged rows");
+        let r = (0..d)
+            .map(|j| {
+                let col: Vec<f64> = rows.iter().map(|row| row[j]).collect();
+                pow2_range_exponent(&col)
+            })
+            .collect();
+        FeatureScales { r }
+    }
+
+    /// Single homogeneous scale across all features (the paper's
+    /// sub-optimal comparison point in Fig 7 right): the maximum per-
+    /// feature exponent, so every feature fits.
+    pub fn homogenize(&self) -> FeatureScales {
+        let rmax = self.r.iter().copied().max().unwrap_or(0);
+        FeatureScales { r: vec![rmax; self.r.len()] }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Whether no features are present.
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+
+    /// Per-feature quantisers at `d_bits`.
+    pub fn quantizers(&self, d_bits: u32) -> Vec<Quantizer> {
+        self.r
+            .iter()
+            .map(|&r| Quantizer::for_range_exponent(r, d_bits))
+            .collect()
+    }
+
+    /// Encodes a feature vector with per-feature saturating quantisers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn encode_vector(&self, x: &[f64], d_bits: u32) -> Vec<i64> {
+        assert_eq!(x.len(), self.len(), "feature width mismatch");
+        x.iter()
+            .zip(self.r.iter())
+            .map(|(&v, &r)| Quantizer::for_range_exponent(r, d_bits).encode(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_is_half_lsb() {
+        let q = Quantizer::for_range_exponent(1, 9);
+        for i in -100..=100 {
+            let x = i as f64 * 0.017;
+            if x.abs() < 1.9 {
+                assert!((q.quantize(x) - x).abs() <= q.lsb() / 2.0 + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_at_range_edges() {
+        let q = Quantizer::for_range_exponent(2, 8); // range [-4, 4)
+        assert_eq!(q.encode(100.0), q.max_code());
+        assert_eq!(q.encode(-100.0), q.min_code());
+        assert!((q.decode(q.max_code()) - 4.0).abs() < 2.0 * q.lsb());
+        assert!((q.decode(q.min_code()) + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoding_is_monotone() {
+        let q = Quantizer::for_range_exponent(0, 6);
+        let mut prev = i64::MIN;
+        for i in -50..=50 {
+            let code = q.encode(i as f64 * 0.05);
+            assert!(code >= prev);
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn alpha_quantizer_covers_unit_interval() {
+        let q = Quantizer::for_alpha(15);
+        assert!((q.quantize(0.73) - 0.73).abs() < 1e-4);
+        assert!((q.quantize(-1.0) + 1.0).abs() < 1e-4);
+        assert_eq!(q.encode(0.0), 0);
+        // 1.0 saturates to max code (1 - lsb).
+        assert_eq!(q.encode(1.0), q.max_code());
+    }
+
+    #[test]
+    fn nan_encodes_to_zero() {
+        let q = Quantizer::for_alpha(8);
+        assert_eq!(q.encode(f64::NAN), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=63")]
+    fn bits_validated() {
+        let _ = Quantizer::for_range_exponent(0, 1);
+    }
+
+    #[test]
+    fn feature_scales_calibration() {
+        // Feature 0 spans ±0.8 (R=0), feature 1 spans ±100 (R=7).
+        let rows = vec![
+            vec![0.8, 90.0],
+            vec![-0.8, -90.0],
+            vec![0.7, 110.0],
+            vec![-0.7, -110.0],
+        ];
+        let s = FeatureScales::calibrate(&rows);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.r[0], 0);
+        assert_eq!(s.r[1], 7);
+        let codes = s.encode_vector(&[0.5, 64.0], 9);
+        let qs = s.quantizers(9);
+        assert!((qs[0].decode(codes[0]) - 0.5).abs() <= qs[0].lsb() / 2.0);
+        assert!((qs[1].decode(codes[1]) - 64.0).abs() <= qs[1].lsb() / 2.0);
+    }
+
+    #[test]
+    fn homogenize_takes_worst_range() {
+        let s = FeatureScales { r: vec![-3, 0, 7] };
+        let h = s.homogenize();
+        assert_eq!(h.r, vec![7, 7, 7]);
+        // A small feature quantised with the homogeneous scale loses
+        // precision: its error is far larger than with its own scale.
+        let fine = Quantizer::for_range_exponent(-3, 9);
+        let coarse = Quantizer::for_range_exponent(7, 9);
+        let x = 0.05;
+        assert!((coarse.quantize(x) - x).abs() > 10.0 * (fine.quantize(x) - x).abs());
+    }
+
+    #[test]
+    fn empty_calibration() {
+        let s = FeatureScales::calibrate(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.homogenize().r, Vec::<i32>::new());
+    }
+}

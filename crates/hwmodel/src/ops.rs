@@ -1,0 +1,115 @@
+//! Arithmetic operator cost laws.
+
+use crate::tech::TechParams;
+use serde::{Deserialize, Serialize};
+
+/// A two's-complement array multiplier with asymmetric operand widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Multiplier {
+    /// First operand width in bits.
+    pub a_bits: u32,
+    /// Second operand width in bits.
+    pub b_bits: u32,
+}
+
+impl Multiplier {
+    /// Square multiplier (both operands `bits` wide).
+    pub fn square(bits: u32) -> Self {
+        Multiplier { a_bits: bits, b_bits: bits }
+    }
+
+    /// Energy of one multiplication (pJ): the partial-product array scales
+    /// with `a_bits × b_bits`.
+    pub fn energy_pj(&self, t: &TechParams) -> f64 {
+        t.mult_energy_pj_per_bit2 * self.a_bits as f64 * self.b_bits as f64
+    }
+
+    /// Silicon area (mm²).
+    pub fn area_mm2(&self, t: &TechParams) -> f64 {
+        t.mult_area_mm2_per_bit2 * self.a_bits as f64 * self.b_bits as f64
+    }
+
+    /// Product width.
+    pub fn out_bits(&self) -> u32 {
+        self.a_bits + self.b_bits
+    }
+}
+
+/// A ripple/prefix adder of the given width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Adder {
+    /// Operand width in bits.
+    pub bits: u32,
+}
+
+impl Adder {
+    /// Energy of one addition (pJ).
+    pub fn energy_pj(&self, t: &TechParams) -> f64 {
+        t.adder_energy_pj_per_bit * self.bits as f64
+    }
+
+    /// Silicon area (mm²).
+    pub fn area_mm2(&self, t: &TechParams) -> f64 {
+        t.adder_area_mm2_per_bit * self.bits as f64
+    }
+}
+
+/// A bank of pipeline registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterBank {
+    /// Total flip-flop count (bits).
+    pub bits: u32,
+}
+
+impl RegisterBank {
+    /// Energy per clocked cycle (pJ).
+    pub fn energy_pj(&self, t: &TechParams) -> f64 {
+        t.reg_energy_pj_per_bit * self.bits as f64
+    }
+
+    /// Silicon area (mm²).
+    pub fn area_mm2(&self, t: &TechParams) -> f64 {
+        t.reg_area_mm2_per_bit * self.bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn multiplier_scales_quadratically() {
+        let m64 = Multiplier::square(64);
+        let m9 = Multiplier::square(9);
+        let e_ratio = m64.energy_pj(&t()) / m9.energy_pj(&t());
+        let a_ratio = m64.area_mm2(&t()) / m9.area_mm2(&t());
+        let expect = (64.0f64 / 9.0).powi(2);
+        assert!((e_ratio - expect).abs() < 1e-9);
+        assert!((a_ratio - expect).abs() < 1e-9);
+        assert_eq!(m64.out_bits(), 128);
+    }
+
+    #[test]
+    fn asymmetric_multiplier() {
+        let m = Multiplier { a_bits: 24, b_bits: 15 };
+        assert_eq!(m.out_bits(), 39);
+        assert!((m.energy_pj(&t()) - 0.039 * 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adder_and_register_scale_linearly() {
+        let tp = t();
+        assert!((Adder { bits: 64 }.energy_pj(&tp) / Adder { bits: 16 }.energy_pj(&tp) - 4.0).abs() < 1e-12);
+        assert!((RegisterBank { bits: 64 }.area_mm2(&tp) / RegisterBank { bits: 32 }.area_mm2(&tp) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mult_dominates_adder_at_same_width() {
+        let tp = t();
+        assert!(Multiplier::square(16).energy_pj(&tp) > Adder { bits: 16 }.energy_pj(&tp));
+    }
+}

@@ -1,0 +1,376 @@
+//! The Fig 2 accelerator assembly and its cost report.
+//!
+//! Datapath per classification of one test vector:
+//!
+//! ```text
+//! SV mem ──► MAC1 (D×D mult + acc) ──► +1 ──► trunc ──► SQ ──► trunc ──►
+//!            MAC2 (×αy, A bits) ──► sign(acc + b) = class
+//! ```
+//!
+//! Cycles ≈ `N_SV × N_feat` (MAC1 is the serial inner loop; the squarer
+//! and MAC2 fire once per SV and overlap the next dot product).
+
+use crate::ops::{Adder, Multiplier, RegisterBank};
+use crate::sram::SramMacro;
+use crate::tech::TechParams;
+use serde::{Deserialize, Serialize};
+
+/// Ceil(log2(n)) for width bookkeeping (0 for n <= 1).
+fn clog2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// A concrete accelerator design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Number of support vectors stored in the SV memory.
+    pub n_sv: usize,
+    /// Feature-vector dimensionality.
+    pub n_feat: usize,
+    /// Feature (data) word width — the paper's `D_bits`.
+    pub d_bits: u32,
+    /// Coefficient (αy) word width — the paper's `A_bits`.
+    pub a_bits: u32,
+    /// LSBs discarded after the dot product (paper uses 10).
+    pub post_dot_truncate: u32,
+    /// LSBs discarded after the squarer (paper uses 10).
+    pub post_square_truncate: u32,
+    /// Parallel kernel lanes. The paper's Section II notes that "faster
+    /// and more resource-hungry choices are possible, e.g., by computing
+    /// multiple kernel functions in parallel"; `lanes > 1` replicates the
+    /// MAC1/SQ/MAC2 datapath and banks the SV memory so `lanes` support
+    /// vectors are processed concurrently, dividing latency while
+    /// multiplying datapath area/energy overheads.
+    #[serde(default = "default_lanes")]
+    pub lanes: u32,
+}
+
+fn default_lanes() -> u32 {
+    1
+}
+
+impl AcceleratorConfig {
+    /// Design point with separate data/coefficient widths and the paper's
+    /// 10+10 LSB truncations.
+    pub fn new(n_sv: usize, n_feat: usize, d_bits: u32, a_bits: u32) -> Self {
+        AcceleratorConfig {
+            n_sv,
+            n_feat,
+            d_bits,
+            a_bits,
+            post_dot_truncate: 10,
+            post_square_truncate: 10,
+            lanes: 1,
+        }
+    }
+
+    /// Returns a copy with `lanes` parallel kernel lanes (≥ 1).
+    pub fn with_lanes(mut self, lanes: u32) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Homogeneous design point (`D_bits = A_bits = bits`, no truncation)
+    /// — the 64/32/16-bit reference pipelines of Fig 7.
+    pub fn uniform(n_sv: usize, n_feat: usize, bits: u32) -> Self {
+        AcceleratorConfig {
+            n_sv,
+            n_feat,
+            d_bits: bits,
+            a_bits: bits,
+            post_dot_truncate: 0,
+            post_square_truncate: 0,
+            lanes: 1,
+        }
+    }
+
+    /// Width of the MAC1 accumulator: product width plus accumulation
+    /// guard bits plus one for the `+1` constant.
+    pub fn acc1_bits(&self) -> u32 {
+        2 * self.d_bits + clog2(self.n_feat.max(1)) + 1
+    }
+
+    /// Width entering the squarer (after post-dot truncation), at least 2.
+    pub fn kernel_in_bits(&self) -> u32 {
+        self.acc1_bits().saturating_sub(self.post_dot_truncate).max(2)
+    }
+
+    /// Width leaving the squarer (after post-square truncation).
+    pub fn kernel_out_bits(&self) -> u32 {
+        (2 * self.kernel_in_bits())
+            .saturating_sub(self.post_square_truncate)
+            .max(2)
+    }
+
+    /// Width of the MAC2 accumulator.
+    pub fn acc2_bits(&self) -> u32 {
+        self.kernel_out_bits() + self.a_bits + clog2(self.n_sv.max(1))
+    }
+
+    /// Classification latency in cycles: `lanes` support vectors are
+    /// processed concurrently.
+    pub fn cycles(&self) -> u64 {
+        let lanes = self.lanes.max(1) as u64;
+        let sv_groups = (self.n_sv as u64).div_ceil(lanes);
+        sv_groups * (self.n_feat as u64) + 2 * sv_groups + self.n_feat as u64
+    }
+
+    /// SV memory macro.
+    pub fn sv_memory(&self) -> SramMacro {
+        SramMacro { words: self.n_sv * self.n_feat, word_bits: self.d_bits }
+    }
+
+    /// Coefficient (αy) memory macro.
+    pub fn coeff_memory(&self) -> SramMacro {
+        SramMacro { words: self.n_sv, word_bits: self.a_bits }
+    }
+
+    /// Scale-factor memory macro (one 6-bit exponent per feature; only
+    /// present for tailored designs, i.e. when truncation is enabled).
+    pub fn scale_memory(&self) -> SramMacro {
+        if self.post_dot_truncate == 0 && self.post_square_truncate == 0 {
+            // Homogeneous pipeline: a single global scale needs no memory.
+            SramMacro { words: 0, word_bits: 6 }
+        } else {
+            SramMacro { words: self.n_feat, word_bits: 6 }
+        }
+    }
+
+    /// Evaluates the full cost of this design point.
+    pub fn cost(&self, t: &TechParams) -> CostReport {
+        let lanes = self.lanes.max(1) as f64;
+        let mac1_mult = Multiplier::square(self.d_bits);
+        let mac1_add = Adder { bits: self.acc1_bits() };
+        let sq_mult = Multiplier::square(self.kernel_in_bits());
+        let mac2_mult = Multiplier { a_bits: self.kernel_out_bits(), b_bits: self.a_bits };
+        let mac2_add = Adder { bits: self.acc2_bits() };
+        let regs = RegisterBank {
+            bits: 2 * self.d_bits + self.acc1_bits() + self.kernel_out_bits() + self.acc2_bits(),
+        };
+        let sv_mem = self.sv_memory();
+        let coeff_mem = self.coeff_memory();
+        let scale_mem = self.scale_memory();
+
+        let n_sv = self.n_sv as f64;
+        let n_mac1 = n_sv * self.n_feat as f64;
+        let cycles = self.cycles();
+
+        // Dynamic energy (pJ).
+        let e_mac1 = n_mac1 * (mac1_mult.energy_pj(t) + mac1_add.energy_pj(t));
+        let e_square = n_sv * sq_mult.energy_pj(t);
+        let e_mac2 = n_sv * (mac2_mult.energy_pj(t) + mac2_add.energy_pj(t));
+        let e_regs = cycles as f64 * regs.energy_pj(t) * lanes;
+        let e_sram = n_mac1 * sv_mem.read_energy_pj(t)
+            + n_sv * coeff_mem.read_energy_pj(t)
+            + self.n_feat as f64 * scale_mem.read_energy_pj(t);
+        let e_ctrl = cycles as f64 * t.ctrl_energy_pj_per_cycle * (1.0 + 0.3 * (lanes - 1.0));
+
+        // Area (mm²).
+        let a_logic = lanes
+            * (mac1_mult.area_mm2(t)
+                + mac1_add.area_mm2(t)
+                + sq_mult.area_mm2(t)
+                + mac2_mult.area_mm2(t)
+                + mac2_add.area_mm2(t)
+                + regs.area_mm2(t))
+            + t.ctrl_area_mm2 * (1.0 + 0.2 * (lanes - 1.0));
+        let a_sram = sv_mem.area_mm2(t) + coeff_mem.area_mm2(t) + scale_mem.area_mm2(t);
+        let area = a_logic + a_sram;
+
+        // Leakage integrated over the classification latency.
+        let latency_s = cycles as f64 / t.clock_hz;
+        let p_leak = sv_mem.leakage_w(t)
+            + coeff_mem.leakage_w(t)
+            + scale_mem.leakage_w(t)
+            + t.logic_leak_w_per_mm2 * a_logic;
+        let e_leak_pj = p_leak * latency_s * 1e12;
+
+        let dynamic = e_mac1 + e_square + e_mac2 + e_regs + e_sram + e_ctrl;
+        CostReport {
+            energy_nj: (dynamic + e_leak_pj) / 1e3,
+            area_mm2: area,
+            cycles,
+            latency_s,
+            energy_mac1_nj: e_mac1 / 1e3,
+            energy_square_nj: e_square / 1e3,
+            energy_mac2_nj: e_mac2 / 1e3,
+            energy_sram_nj: e_sram / 1e3,
+            energy_ctrl_nj: (e_ctrl + e_regs) / 1e3,
+            energy_leak_nj: e_leak_pj / 1e3,
+            area_logic_mm2: a_logic,
+            area_sram_mm2: a_sram,
+        }
+    }
+}
+
+/// Cost of one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Total energy for classifying one test vector (nJ).
+    pub energy_nj: f64,
+    /// Total silicon area (mm²).
+    pub area_mm2: f64,
+    /// Classification latency in cycles.
+    pub cycles: u64,
+    /// Classification latency in seconds.
+    pub latency_s: f64,
+    /// MAC1 (dot product) dynamic energy (nJ).
+    pub energy_mac1_nj: f64,
+    /// Squarer dynamic energy (nJ).
+    pub energy_square_nj: f64,
+    /// MAC2 (coefficient accumulation) dynamic energy (nJ).
+    pub energy_mac2_nj: f64,
+    /// Memory read energy (nJ).
+    pub energy_sram_nj: f64,
+    /// Control + pipeline-register energy (nJ).
+    pub energy_ctrl_nj: f64,
+    /// Leakage energy over the classification latency (nJ).
+    pub energy_leak_nj: f64,
+    /// Logic area (mm²).
+    pub area_logic_mm2: f64,
+    /// Memory area (mm²).
+    pub area_sram_mm2: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn width_bookkeeping() {
+        let c = AcceleratorConfig::new(68, 30, 9, 15);
+        assert_eq!(c.acc1_bits(), 2 * 9 + 5 + 1); // clog2(30) = 5
+        assert_eq!(c.kernel_in_bits(), 24 - 10);
+        assert_eq!(c.kernel_out_bits(), 28 - 10);
+        assert_eq!(c.acc2_bits(), 18 + 15 + 7); // clog2(68) = 7
+        assert_eq!(c.cycles(), 68 * 30 + 136 + 30);
+    }
+
+    #[test]
+    fn clog2_edges() {
+        assert_eq!(clog2(0), 0);
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(53), 6);
+        assert_eq!(clog2(64), 6);
+        assert_eq!(clog2(65), 7);
+    }
+
+    #[test]
+    fn baseline_calibration_matches_paper_magnitudes() {
+        // 64-bit, 53 features, ~120 SVs → ≈ 2 µJ, ≈ 0.4 mm² (Figs 4–5).
+        let cost = AcceleratorConfig::uniform(120, 53, 64).cost(&t());
+        assert!(
+            cost.energy_nj > 1000.0 && cost.energy_nj < 3500.0,
+            "energy {} nJ",
+            cost.energy_nj
+        );
+        assert!(
+            cost.area_mm2 > 0.25 && cost.area_mm2 < 0.6,
+            "area {} mm²",
+            cost.area_mm2
+        );
+    }
+
+    #[test]
+    fn fully_optimised_point_reaches_paper_gains() {
+        // Combined optimisation (Fig 7): ≥ ~10× energy, ≥ ~12× area.
+        let base = AcceleratorConfig::uniform(120, 53, 64).cost(&t());
+        let opt = AcceleratorConfig::new(68, 30, 9, 15).cost(&t());
+        let e_gain = base.energy_nj / opt.energy_nj;
+        let a_gain = base.area_mm2 / opt.area_mm2;
+        assert!(e_gain > 8.0 && e_gain < 30.0, "energy gain {e_gain}");
+        assert!(a_gain > 10.0 && a_gain < 30.0, "area gain {a_gain}");
+    }
+
+    #[test]
+    fn energy_is_monotone_in_each_knob() {
+        let base = AcceleratorConfig::new(100, 40, 12, 15).cost(&t());
+        assert!(AcceleratorConfig::new(120, 40, 12, 15).cost(&t()).energy_nj > base.energy_nj);
+        assert!(AcceleratorConfig::new(100, 50, 12, 15).cost(&t()).energy_nj > base.energy_nj);
+        assert!(AcceleratorConfig::new(100, 40, 16, 15).cost(&t()).energy_nj > base.energy_nj);
+        assert!(AcceleratorConfig::new(100, 40, 12, 17).cost(&t()).energy_nj > base.energy_nj);
+    }
+
+    #[test]
+    fn area_is_dominated_by_sv_memory_at_baseline() {
+        let cost = AcceleratorConfig::uniform(120, 53, 64).cost(&t());
+        assert!(cost.area_sram_mm2 > cost.area_logic_mm2);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let c = AcceleratorConfig::new(68, 30, 9, 15).cost(&t());
+        let sum = c.energy_mac1_nj
+            + c.energy_square_nj
+            + c.energy_mac2_nj
+            + c.energy_sram_nj
+            + c.energy_ctrl_nj
+            + c.energy_leak_nj;
+        assert!((sum - c.energy_nj).abs() < 1e-9);
+        assert!((c.area_logic_mm2 + c.area_sram_mm2 - c.area_mm2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_scale_memory_is_free_tailored_is_not() {
+        let hom = AcceleratorConfig::uniform(100, 53, 32);
+        assert_eq!(hom.scale_memory().capacity_bits(), 0);
+        let tai = AcceleratorConfig::new(100, 53, 9, 15);
+        assert_eq!(tai.scale_memory().capacity_bits(), 53 * 6);
+    }
+
+    #[test]
+    fn truncation_narrows_downstream_operators() {
+        let no_trunc = AcceleratorConfig {
+            post_dot_truncate: 0,
+            post_square_truncate: 0,
+            ..AcceleratorConfig::new(100, 53, 9, 15)
+        };
+        let trunc = AcceleratorConfig::new(100, 53, 9, 15);
+        assert!(trunc.kernel_in_bits() < no_trunc.kernel_in_bits());
+        assert!(trunc.cost(&t()).energy_nj < no_trunc.cost(&t()).energy_nj);
+    }
+
+    #[test]
+    fn lanes_trade_latency_for_area() {
+        let single = AcceleratorConfig::new(120, 53, 9, 15);
+        let quad = single.with_lanes(4);
+        assert_eq!(quad.lanes, 4);
+        // Latency shrinks ~4x.
+        assert!(quad.cycles() * 3 < single.cycles());
+        let cs = single.cost(&t());
+        let cq = quad.cost(&t());
+        assert!(cq.latency_s < cs.latency_s / 3.0);
+        // Datapath area grows with replication.
+        assert!(cq.area_logic_mm2 > 3.0 * cs.area_logic_mm2);
+        // Memory is banked, not replicated: total SRAM area unchanged.
+        assert!((cq.area_sram_mm2 - cs.area_sram_mm2).abs() < 1e-12);
+        // The op count is fixed, so dynamic MAC energy is unchanged.
+        assert!((cq.energy_mac1_nj - cs.energy_mac1_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_lanes_clamps_to_one() {
+        let c = AcceleratorConfig::new(10, 5, 9, 15).with_lanes(0);
+        assert_eq!(c.lanes, 1);
+        assert_eq!(c.cycles(), AcceleratorConfig::new(10, 5, 9, 15).cycles());
+    }
+
+    #[test]
+    fn degenerate_configs_do_not_panic() {
+        let z = AcceleratorConfig::new(0, 0, 9, 15);
+        let c = z.cost(&t());
+        assert!(c.energy_nj >= 0.0);
+        assert_eq!(c.cycles, 0);
+        let tiny = AcceleratorConfig::new(1, 1, 2, 2).cost(&t());
+        assert!(tiny.energy_nj > 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Mini-CACTI SRAM macro model.
+//!
+//! Follows the structure of CACTI [14 in the paper]: read energy has a
+//! fixed decode/sense floor, a per-bit I/O term and a capacity-driven
+//! bitline term (∝ √capacity for a square-ish array); area has a cell
+//! array term plus periphery; leakage scales with capacity.
+
+use crate::tech::TechParams;
+use serde::{Deserialize, Serialize};
+
+/// One SRAM macro of `words × word_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramMacro {
+    /// Number of addressable words.
+    pub words: usize,
+    /// Word width in bits.
+    pub word_bits: u32,
+}
+
+impl SramMacro {
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.words as u64 * self.word_bits as u64
+    }
+
+    /// Capacity in kilobits.
+    pub fn capacity_kbit(&self) -> f64 {
+        self.capacity_bits() as f64 / 1e3
+    }
+
+    /// Energy of one read access (pJ).
+    pub fn read_energy_pj(&self, t: &TechParams) -> f64 {
+        if self.capacity_bits() == 0 {
+            return 0.0;
+        }
+        t.sram_read_base_pj
+            + t.sram_read_pj_per_bit * self.word_bits as f64
+            + t.sram_read_pj_per_sqrt_kbit * self.capacity_kbit().sqrt()
+    }
+
+    /// Macro area (mm²).
+    pub fn area_mm2(&self, t: &TechParams) -> f64 {
+        if self.capacity_bits() == 0 {
+            return 0.0;
+        }
+        t.sram_area_mm2_per_mbit * self.capacity_bits() as f64 / 1e6 + t.sram_periphery_mm2
+    }
+
+    /// Leakage power (W).
+    pub fn leakage_w(&self, t: &TechParams) -> f64 {
+        t.sram_leak_w_per_mbit * self.capacity_bits() as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let m = SramMacro { words: 6360, word_bits: 64 };
+        assert_eq!(m.capacity_bits(), 407_040);
+        assert!((m.capacity_kbit() - 407.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_memories_cost_more_per_read() {
+        let small = SramMacro { words: 2040, word_bits: 9 };
+        let large = SramMacro { words: 6360, word_bits: 64 };
+        assert!(large.read_energy_pj(&t()) > small.read_energy_pj(&t()));
+        assert!(large.area_mm2(&t()) > small.area_mm2(&t()));
+        assert!(large.leakage_w(&t()) > small.leakage_w(&t()));
+    }
+
+    #[test]
+    fn narrower_words_cost_less_per_read() {
+        let wide = SramMacro { words: 1000, word_bits: 64 };
+        let narrow = SramMacro { words: 1000, word_bits: 9 };
+        assert!(narrow.read_energy_pj(&t()) < wide.read_energy_pj(&t()));
+    }
+
+    #[test]
+    fn empty_macro_is_free() {
+        let z = SramMacro { words: 0, word_bits: 9 };
+        assert_eq!(z.read_energy_pj(&t()), 0.0);
+        assert_eq!(z.area_mm2(&t()), 0.0);
+        assert_eq!(z.leakage_w(&t()), 0.0);
+    }
+
+    #[test]
+    fn baseline_macro_magnitudes() {
+        // The paper's baseline SV memory: ~0.37 mm², tens of pJ per read.
+        let m = SramMacro { words: 6360, word_bits: 64 };
+        let a = m.area_mm2(&t());
+        assert!(a > 0.3 && a < 0.5, "area {a}");
+        let e = m.read_energy_pj(&t());
+        assert!(e > 15.0 && e < 60.0, "read {e}");
+    }
+}

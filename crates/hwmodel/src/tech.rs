@@ -1,0 +1,109 @@
+//! Calibrated 40 nm low-power technology constants.
+//!
+//! Every constant is a calibration knob, chosen so the paper's baseline
+//! design point (64-bit datapath, 53 features, ~120 SVs) costs ≈ 2 µJ per
+//! classification and ≈ 0.4 mm² — the magnitudes of Figs 4–5 — while
+//! preserving the scaling laws that drive all of the paper's conclusions.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology/calibration parameters for the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Multiplier energy coefficient: `E = c · b₁ · b₂` (pJ per bit²).
+    pub mult_energy_pj_per_bit2: f64,
+    /// Adder energy coefficient: `E = c · b` (pJ per bit).
+    pub adder_energy_pj_per_bit: f64,
+    /// Pipeline-register energy coefficient (pJ per bit per cycle),
+    /// including local clock load.
+    pub reg_energy_pj_per_bit: f64,
+    /// Fixed per-cycle control/clock-tree energy floor (pJ).
+    pub ctrl_energy_pj_per_cycle: f64,
+    /// Multiplier area: `A = c · b₁ · b₂` (mm² per bit²).
+    pub mult_area_mm2_per_bit2: f64,
+    /// Adder area (mm² per bit).
+    pub adder_area_mm2_per_bit: f64,
+    /// Register area (mm² per bit).
+    pub reg_area_mm2_per_bit: f64,
+    /// Fixed control/FSM area (mm²).
+    pub ctrl_area_mm2: f64,
+    /// SRAM fixed read energy per access (pJ): decoder + sense floor.
+    pub sram_read_base_pj: f64,
+    /// SRAM read energy per word bit (pJ/bit): bitline + I/O.
+    pub sram_read_pj_per_bit: f64,
+    /// SRAM read energy growth with capacity (pJ per √kbit).
+    pub sram_read_pj_per_sqrt_kbit: f64,
+    /// SRAM cell-array area density (mm² per Mbit).
+    pub sram_area_mm2_per_mbit: f64,
+    /// SRAM per-macro periphery area (mm²).
+    pub sram_periphery_mm2: f64,
+    /// SRAM leakage (W per Mbit).
+    pub sram_leak_w_per_mbit: f64,
+    /// Logic leakage density (W per mm²).
+    pub logic_leak_w_per_mm2: f64,
+    /// Accelerator clock (Hz); WBSN accelerators run slow to stay at the
+    /// low-leakage voltage corner.
+    pub clock_hz: f64,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams {
+            mult_energy_pj_per_bit2: 0.039,
+            adder_energy_pj_per_bit: 0.030,
+            reg_energy_pj_per_bit: 0.100,
+            ctrl_energy_pj_per_cycle: 28.0,
+            mult_area_mm2_per_bit2: 2.9e-6,
+            adder_area_mm2_per_bit: 1.5e-5,
+            reg_area_mm2_per_bit: 5.0e-6,
+            ctrl_area_mm2: 0.002,
+            sram_read_base_pj: 6.0,
+            sram_read_pj_per_bit: 0.25,
+            sram_read_pj_per_sqrt_kbit: 0.35,
+            sram_area_mm2_per_mbit: 0.90,
+            sram_periphery_mm2: 0.0015,
+            sram_leak_w_per_mbit: 20.0e-6,
+            logic_leak_w_per_mm2: 20.0e-6,
+            clock_hz: 10.0e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let t = TechParams::default();
+        for v in [
+            t.mult_energy_pj_per_bit2,
+            t.adder_energy_pj_per_bit,
+            t.reg_energy_pj_per_bit,
+            t.ctrl_energy_pj_per_cycle,
+            t.mult_area_mm2_per_bit2,
+            t.adder_area_mm2_per_bit,
+            t.reg_area_mm2_per_bit,
+            t.ctrl_area_mm2,
+            t.sram_read_base_pj,
+            t.sram_read_pj_per_bit,
+            t.sram_read_pj_per_sqrt_kbit,
+            t.sram_area_mm2_per_mbit,
+            t.sram_periphery_mm2,
+            t.sram_leak_w_per_mbit,
+            t.logic_leak_w_per_mm2,
+            t.clock_hz,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn calibration_sanity_64bit_multiplier() {
+        // 64×64 multiplier ≈ 160 pJ — in line with synthesised 40 nm
+        // combinational multipliers including glitching.
+        let t = TechParams::default();
+        let e = t.mult_energy_pj_per_bit2 * 64.0 * 64.0;
+        assert!(e > 100.0 && e < 250.0, "{e}");
+    }
+}

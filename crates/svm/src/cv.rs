@@ -1,0 +1,112 @@
+//! Cross-validation fold construction.
+
+/// One train/test split expressed as row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of training rows.
+    pub train: Vec<usize>,
+    /// Indices of test rows.
+    pub test: Vec<usize>,
+}
+
+/// Leave-one-group-out folds: one fold per distinct group value, testing
+/// on that group. This is the paper's protocol with recording sessions as
+/// groups (24 sessions → 24 folds).
+pub fn leave_one_group_out(groups: &[usize]) -> Vec<Fold> {
+    let mut distinct: Vec<usize> = Vec::new();
+    for &g in groups {
+        if !distinct.contains(&g) {
+            distinct.push(g);
+        }
+    }
+    distinct
+        .into_iter()
+        .map(|g| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &gi) in groups.iter().enumerate() {
+                if gi == g {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            Fold { train, test }
+        })
+        .collect()
+}
+
+/// Deterministic `k`-fold split of `n` rows (contiguous blocks; shuffle
+/// upstream if the row order is meaningful).
+///
+/// # Panics
+///
+/// Panics when `k == 0` or `k > n`.
+pub fn k_fold(n: usize, k: usize) -> Vec<Fold> {
+    assert!(k > 0 && k <= n, "need 0 < k <= n");
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let test: Vec<usize> = (start..start + len).collect();
+        let train: Vec<usize> = (0..n).filter(|i| !(start..start + len).contains(i)).collect();
+        folds.push(Fold { train, test });
+        start += len;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logo_one_fold_per_group() {
+        let groups = [0, 0, 1, 2, 1, 2, 2];
+        let folds = leave_one_group_out(&groups);
+        assert_eq!(folds.len(), 3);
+        // Each row appears in exactly one test fold.
+        let mut seen = vec![0usize; groups.len()];
+        for f in &folds {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+            // Train/test are disjoint and cover everything.
+            assert_eq!(f.train.len() + f.test.len(), groups.len());
+            for &i in &f.train {
+                assert!(!f.test.contains(&i));
+            }
+            // All test rows share one group.
+            let g = groups[f.test[0]];
+            assert!(f.test.iter().all(|&i| groups[i] == g));
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kfold_partitions_evenly() {
+        let folds = k_fold(10, 3);
+        assert_eq!(folds.len(), 3);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let mut all: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < k <= n")]
+    fn kfold_validates() {
+        let _ = k_fold(3, 5);
+    }
+
+    #[test]
+    fn logo_single_group_gives_empty_train() {
+        let folds = leave_one_group_out(&[7, 7]);
+        assert_eq!(folds.len(), 1);
+        assert!(folds[0].train.is_empty());
+        assert_eq!(folds[0].test, vec![0, 1]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for SVM training and prediction.
+
+use std::fmt;
+
+/// Errors produced by SVM routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SvmError {
+    /// The training set is empty or labels/samples disagree in length.
+    InvalidTrainingSet(String),
+    /// Labels must be exactly `+1` or `-1` and both classes present.
+    InvalidLabels(String),
+    /// A configuration parameter is out of range.
+    InvalidConfig(&'static str),
+    /// The solver exhausted its iteration budget without satisfying the
+    /// KKT conditions to tolerance. The partially-optimised model may
+    /// still be usable; this error is returned instead to keep results
+    /// reproducible.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmError::InvalidTrainingSet(s) => write!(f, "invalid training set: {s}"),
+            SvmError::InvalidLabels(s) => write!(f, "invalid labels: {s}"),
+            SvmError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            SvmError::NotConverged { iterations } => {
+                write!(f, "smo did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SvmError::InvalidTrainingSet("empty".into()).to_string().contains("empty"));
+        assert!(SvmError::NotConverged { iterations: 5 }.to_string().contains('5'));
+        assert!(SvmError::InvalidConfig("c").to_string().contains('c'));
+        assert!(SvmError::InvalidLabels("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,131 @@
+//! Kernel functions.
+
+use serde::{Deserialize, Serialize};
+
+/// Kernel function `k(u, v)` defining the separating surface complexity
+/// (Table I of the paper compares all four shapes on the seizure task).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `k(u, v) = u·v`.
+    Linear,
+    /// `k(u, v) = (u·v + 1)^degree` — the paper's quadratic (`degree = 2`,
+    /// Eq 3) and cubic (`degree = 3`) kernels.
+    Polynomial {
+        /// Polynomial degree (≥ 1).
+        degree: u32,
+    },
+    /// `k(u, v) = exp(-gamma * ||u - v||^2)`.
+    Rbf {
+        /// Width parameter (> 0).
+        gamma: f64,
+    },
+}
+
+impl Default for Kernel {
+    /// The paper's working choice: quadratic polynomial.
+    fn default() -> Self {
+        Kernel::Polynomial { degree: 2 }
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds when lengths differ.
+#[inline]
+pub fn dot(u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    u.iter().zip(v.iter()).map(|(a, b)| a * b).sum()
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    #[inline]
+    pub fn eval(&self, u: &[f64], v: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => dot(u, v),
+            Kernel::Polynomial { degree } => (dot(u, v) + 1.0).powi(degree as i32),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = u
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            Kernel::Linear => "Linear".to_string(),
+            Kernel::Polynomial { degree: 2 } => "Quadratic".to_string(),
+            Kernel::Polynomial { degree: 3 } => "Cubic".to_string(),
+            Kernel::Polynomial { degree } => format!("Poly(d={degree})"),
+            Kernel::Rbf { .. } => "Gaussian".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot() {
+        let u = [1.0, 2.0, 3.0];
+        let v = [4.0, 5.0, 6.0];
+        assert_eq!(Kernel::Linear.eval(&u, &v), 32.0);
+    }
+
+    #[test]
+    fn quadratic_matches_eq3_form() {
+        let u = [1.0, 2.0];
+        let v = [3.0, -1.0];
+        // (u·v + 1)^2 = (1 + 1)^2
+        let k = Kernel::Polynomial { degree: 2 }.eval(&u, &v);
+        assert_eq!(k, 4.0);
+        let k3 = Kernel::Polynomial { degree: 3 }.eval(&u, &v);
+        assert_eq!(k3, 8.0);
+    }
+
+    #[test]
+    fn rbf_properties() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        let u = [1.0, 0.0];
+        // k(x,x) = 1
+        assert_eq!(k.eval(&u, &u), 1.0);
+        // symmetric, decays with distance
+        let v = [0.0, 1.0];
+        let w = [3.0, 3.0];
+        assert_eq!(k.eval(&u, &v), k.eval(&v, &u));
+        assert!(k.eval(&u, &v) > k.eval(&u, &w));
+        assert!(k.eval(&u, &v) > 0.0 && k.eval(&u, &v) < 1.0);
+    }
+
+    #[test]
+    fn kernels_are_symmetric() {
+        let u = [0.3, -1.2, 2.0];
+        let v = [1.1, 0.4, -0.7];
+        for k in [
+            Kernel::Linear,
+            Kernel::Polynomial { degree: 2 },
+            Kernel::Polynomial { degree: 3 },
+            Kernel::Rbf { gamma: 0.1 },
+        ] {
+            assert!((k.eval(&u, &v) - k.eval(&v, &u)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Kernel::Linear.label(), "Linear");
+        assert_eq!(Kernel::Polynomial { degree: 2 }.label(), "Quadratic");
+        assert_eq!(Kernel::Polynomial { degree: 3 }.label(), "Cubic");
+        assert_eq!(Kernel::Polynomial { degree: 5 }.label(), "Poly(d=5)");
+        assert_eq!(Kernel::Rbf { gamma: 1.0 }.label(), "Gaussian");
+        assert_eq!(Kernel::default(), Kernel::Polynomial { degree: 2 });
+    }
+}

@@ -1,0 +1,47 @@
+//! # svm — from-scratch C-SVC support vector machine
+//!
+//! A dependency-free implementation of the soft-margin support vector
+//! classifier used throughout the DATE 2019 reproduction:
+//!
+//! * [`kernel::Kernel`] — linear, polynomial `(x·y + 1)^d` (the paper's
+//!   quadratic/cubic kernels) and Gaussian RBF;
+//! * [`smo::SmoTrainer`] — Platt's Sequential Minimal Optimization with an
+//!   error cache, per-class cost weighting (for the heavily imbalanced
+//!   seizure/non-seizure problem) and a precomputed Gram matrix;
+//! * [`model::SvmModel`] — the trained decision function
+//!   `f(x) = Σ αᵢyᵢ k(x, xᵢ) + b` (Eq 1 of the paper), exposing support
+//!   vectors and weights so the budgeting pass (Eq 5) can prune them;
+//! * [`scale::Standardizer`] — per-feature standardisation fitted on
+//!   training folds only;
+//! * [`cv`] — fold construction (k-fold and leave-one-group-out).
+//!
+//! ## Example
+//!
+//! ```
+//! use svm::kernel::Kernel;
+//! use svm::smo::{SmoConfig, SmoTrainer};
+//!
+//! // Tiny XOR-like problem: not linearly separable, quadratic kernel is.
+//! let x = vec![
+//!     vec![0.0, 0.0], vec![1.0, 1.0], // class -1
+//!     vec![0.0, 1.0], vec![1.0, 0.0], // class +1
+//! ];
+//! let y = vec![-1.0, -1.0, 1.0, 1.0];
+//! let cfg = SmoConfig { c: 10.0, kernel: Kernel::Polynomial { degree: 2 }, ..Default::default() };
+//! let model = SmoTrainer::new(cfg).train(&x, &y)?;
+//! assert_eq!(model.predict(&[0.9, 0.1]), 1.0);
+//! assert_eq!(model.predict(&[0.9, 0.9]), -1.0);
+//! # Ok::<(), svm::SvmError>(())
+//! ```
+
+pub mod cv;
+pub mod error;
+pub mod kernel;
+pub mod model;
+pub mod scale;
+pub mod smo;
+
+pub use error::SvmError;
+pub use kernel::Kernel;
+pub use model::SvmModel;
+pub use smo::{SmoConfig, SmoTrainer};

@@ -1,0 +1,201 @@
+//! Trained SVM model: the decision function of Eq 1/3.
+
+use crate::kernel::Kernel;
+use serde::{Deserialize, Serialize};
+
+/// A trained two-class SVM:
+/// `f(x) = Σᵢ αᵢ yᵢ k(x, xᵢ) + b`, class = `sign(f(x))`.
+///
+/// Support vectors, weights and labels are public (read-only through
+/// accessors) because the paper's budgeting pass (Eq 5) needs them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmModel {
+    kernel: Kernel,
+    support_vectors: Vec<Vec<f64>>,
+    /// α_i > 0 for every stored vector.
+    alphas: Vec<f64>,
+    /// y_i ∈ {-1, +1}.
+    labels: Vec<f64>,
+    bias: f64,
+}
+
+impl SvmModel {
+    /// Assembles a model from parts (used by the trainer and by the
+    /// budgeting re-trainer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts disagree in length or labels are not ±1.
+    pub fn from_parts(
+        kernel: Kernel,
+        support_vectors: Vec<Vec<f64>>,
+        alphas: Vec<f64>,
+        labels: Vec<f64>,
+        bias: f64,
+    ) -> Self {
+        assert_eq!(support_vectors.len(), alphas.len(), "sv/alpha length mismatch");
+        assert_eq!(support_vectors.len(), labels.len(), "sv/label length mismatch");
+        assert!(
+            labels.iter().all(|&y| y == 1.0 || y == -1.0),
+            "labels must be exactly +1 or -1"
+        );
+        SvmModel { kernel, support_vectors, alphas, labels, bias }
+    }
+
+    /// The kernel this model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Number of support vectors (`N_SV` in the paper's cost model).
+    pub fn n_support_vectors(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// Feature dimensionality (`N_feat`).
+    pub fn n_features(&self) -> usize {
+        self.support_vectors.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Support vectors.
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_vectors
+    }
+
+    /// α weights (positive).
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Support-vector labels (±1).
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Bias term `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// `αᵢyᵢ` products in SV order — the coefficients the paper quantises
+    /// to `A_bits`.
+    pub fn alpha_y(&self) -> Vec<f64> {
+        self.alphas
+            .iter()
+            .zip(self.labels.iter())
+            .map(|(&a, &y)| a * y)
+            .collect()
+    }
+
+    /// Decision value `f(x)` (distance-like score, positive ⇒ seizure).
+    pub fn decision_value(&self, x: &[f64]) -> f64 {
+        let mut acc = self.bias;
+        for ((sv, &a), &y) in self
+            .support_vectors
+            .iter()
+            .zip(self.alphas.iter())
+            .zip(self.labels.iter())
+        {
+            acc += a * y * self.kernel.eval(x, sv);
+        }
+        acc
+    }
+
+    /// Predicted class: `+1.0` or `-1.0` (ties break positive, matching
+    /// the sign-bit convention of the hardware pipeline).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision_value(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// The paper's Eq 5 significance norm for each SV:
+    /// `‖SVᵢ‖ = ‖αᵢ‖² × k(xᵢ, xᵢ)`.
+    pub fn sv_norms(&self) -> Vec<f64> {
+        self.support_vectors
+            .iter()
+            .zip(self.alphas.iter())
+            .map(|(sv, &a)| a * a * self.kernel.eval(sv, sv))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> SvmModel {
+        SvmModel::from_parts(
+            Kernel::Linear,
+            vec![vec![1.0, 0.0], vec![-1.0, 0.0]],
+            vec![0.5, 0.5],
+            vec![1.0, -1.0],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn decision_function_matches_hand_computation() {
+        let m = toy_model();
+        // f(x) = 0.5*k(x,[1,0]) - 0.5*k(x,[-1,0]) = 0.5*x0 + 0.5*x0 = x0
+        assert!((m.decision_value(&[2.0, 5.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(m.predict(&[0.3, -1.0]), 1.0);
+        assert_eq!(m.predict(&[-0.3, 1.0]), -1.0);
+        assert_eq!(m.predict(&[0.0, 0.0]), 1.0); // tie → +1
+    }
+
+    #[test]
+    fn accessors() {
+        let m = toy_model();
+        assert_eq!(m.n_support_vectors(), 2);
+        assert_eq!(m.n_features(), 2);
+        assert_eq!(m.alpha_y(), vec![0.5, -0.5]);
+        assert_eq!(m.bias(), 0.0);
+        assert_eq!(m.kernel(), Kernel::Linear);
+        assert_eq!(m.alphas(), &[0.5, 0.5]);
+        assert_eq!(m.labels(), &[1.0, -1.0]);
+        assert_eq!(m.support_vectors().len(), 2);
+    }
+
+    #[test]
+    fn eq5_norms() {
+        let m = toy_model();
+        // ||SV|| = a^2 * k(x,x) = 0.25 * 1.0
+        let norms = m.sv_norms();
+        assert!((norms[0] - 0.25).abs() < 1e-12);
+        assert!((norms[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_validates_lengths() {
+        let _ = SvmModel::from_parts(
+            Kernel::Linear,
+            vec![vec![1.0]],
+            vec![0.5, 0.5],
+            vec![1.0],
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be exactly")]
+    fn from_parts_validates_labels() {
+        let _ = SvmModel::from_parts(
+            Kernel::Linear,
+            vec![vec![1.0]],
+            vec![0.5],
+            vec![0.7],
+            0.0,
+        );
+    }
+
+    #[test]
+    fn empty_model_predicts_bias_sign() {
+        let m = SvmModel::from_parts(Kernel::Linear, vec![], vec![], vec![], -0.5);
+        assert_eq!(m.n_features(), 0);
+        assert_eq!(m.predict(&[]), -1.0);
+    }
+}

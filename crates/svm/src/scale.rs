@@ -1,0 +1,136 @@
+//! Per-feature standardisation (z-scoring) fitted on training data only.
+
+use serde::{Deserialize, Serialize};
+
+/// Column-wise standardiser: `x' = (x - mean) / std`.
+///
+/// Zero-variance columns pass through centred only, so constant features
+/// cannot produce NaNs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits on training rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set or ragged rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a standardizer on no rows");
+        let d = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == d), "ragged rows");
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; d];
+        for r in rows {
+            for (m, &v) in means.iter_mut().zip(r.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for r in rows {
+            for ((s, &v), &m) in stds.iter_mut().zip(r.iter()).zip(means.iter()) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Number of columns this standardiser was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Transforms one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width disagrees with the fitted width.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "row width mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(&v, (&m, &s))| if s > 0.0 { (v - m) / s } else { v - m })
+            .collect()
+    }
+
+    /// Transforms many rows.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_to_zero_mean_unit_std() {
+        let rows = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
+        let s = Standardizer::fit(&rows);
+        let t = s.transform(&rows);
+        for j in 0..2 {
+            let col: Vec<f64> = t.iter().map(|r| r[j]).collect();
+            let m = col.iter().sum::<f64>() / col.len() as f64;
+            let v = col.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / col.len() as f64;
+            assert!(m.abs() < 1e-12);
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(s.n_features(), 2);
+    }
+
+    #[test]
+    fn constant_column_is_centred_not_nan() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let s = Standardizer::fit(&rows);
+        let t = s.transform_row(&[5.0, 1.5]);
+        assert_eq!(t[0], 0.0);
+        assert!(t.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn transform_applies_train_statistics_to_test() {
+        let train = vec![vec![0.0], vec![2.0]];
+        let s = Standardizer::fit(&train);
+        // mean 1, std 1 → x' = x - 1
+        assert_eq!(s.transform_row(&[4.0]), vec![3.0]);
+        assert_eq!(s.means(), &[1.0]);
+        assert_eq!(s.stds(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let s = Standardizer::fit(&[vec![1.0, 2.0]]);
+        let _ = s.transform_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rows")]
+    fn empty_fit_panics() {
+        let _ = Standardizer::fit(&[]);
+    }
+}

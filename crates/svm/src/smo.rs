@@ -1,0 +1,721 @@
+//! Platt's Sequential Minimal Optimization for the soft-margin C-SVC.
+//!
+//! Implements the classic two-heuristic working-set selection with a full
+//! error cache. The Gram matrix is precomputed for problems that fit in
+//! memory and falls back to an LRU row cache for larger ones.
+
+use crate::error::SvmError;
+use crate::kernel::Kernel;
+use crate::model::SvmModel;
+use std::collections::VecDeque;
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoConfig {
+    /// Soft-margin cost. Larger values penalise violations harder.
+    pub c: f64,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// KKT violation tolerance (Platt's `tol`).
+    pub tolerance: f64,
+    /// Minimum α step considered progress.
+    pub eps: f64,
+    /// Maximum number of outer sweeps before giving up.
+    pub max_sweeps: usize,
+    /// When `true`, per-class costs are re-weighted inversely to class
+    /// frequency (`c_k = c * n / (2 n_k)`), which the heavily imbalanced
+    /// seizure problem needs to reach the paper's sensitivity levels.
+    pub balance_classes: bool,
+    /// Problem size above which the full Gram matrix is not precomputed.
+    pub max_gram_rows: usize,
+}
+
+impl Default for SmoConfig {
+    fn default() -> Self {
+        SmoConfig {
+            c: 1.0,
+            kernel: Kernel::default(),
+            tolerance: 1e-3,
+            eps: 1e-12,
+            max_sweeps: 4000,
+            balance_classes: true,
+            max_gram_rows: 8192,
+        }
+    }
+}
+
+/// Convergence diagnostics from one training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Outer sweeps executed.
+    pub sweeps: usize,
+    /// Successful α-pair updates.
+    pub updates: usize,
+    /// Whether KKT conditions were met within the sweep budget.
+    pub converged: bool,
+}
+
+/// SMO trainer.
+#[derive(Debug, Clone)]
+pub struct SmoTrainer {
+    cfg: SmoConfig,
+}
+
+/// Kernel value provider: full Gram or LRU row cache.
+enum Gram<'a> {
+    Full(Vec<f64>, usize),
+    Cached {
+        x: &'a [Vec<f64>],
+        kernel: Kernel,
+        rows: VecDeque<(usize, Vec<f64>)>,
+        cap: usize,
+    },
+}
+
+impl<'a> Gram<'a> {
+    fn new(x: &'a [Vec<f64>], kernel: Kernel, max_rows: usize) -> Self {
+        let n = x.len();
+        if n <= max_rows {
+            let mut g = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = kernel.eval(&x[i], &x[j]);
+                    g[i * n + j] = v;
+                    g[j * n + i] = v;
+                }
+            }
+            Gram::Full(g, n)
+        } else {
+            Gram::Cached { x, kernel, rows: VecDeque::new(), cap: 64 }
+        }
+    }
+
+    /// Kernel row `i` applied at `j`.
+    fn k(&mut self, i: usize, j: usize) -> f64 {
+        match self {
+            Gram::Full(g, n) => g[i * *n + j],
+            Gram::Cached { x, kernel, rows, cap } => {
+                if let Some(pos) = rows.iter().position(|(r, _)| *r == i) {
+                    return rows[pos].1[j];
+                }
+                if let Some(pos) = rows.iter().position(|(r, _)| *r == j) {
+                    return rows[pos].1[i];
+                }
+                let row: Vec<f64> = x.iter().map(|xj| kernel.eval(&x[i], xj)).collect();
+                let v = row[j];
+                rows.push_back((i, row));
+                if rows.len() > *cap {
+                    rows.pop_front();
+                }
+                v
+            }
+        }
+    }
+}
+
+impl SmoTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(cfg: SmoConfig) -> Self {
+        SmoTrainer { cfg }
+    }
+
+    /// Trains and returns only the model.
+    ///
+    /// # Errors
+    ///
+    /// See [`SmoTrainer::train_detailed`]; additionally maps a
+    /// non-converged run to [`SvmError::NotConverged`] only if *no*
+    /// progress at all was made (pathological inputs) — a model that met
+    /// the sweep cap after making progress is still returned, because the
+    /// partially-converged classifier is well-defined and reproducible.
+    pub fn train(&self, x: &[Vec<f64>], y: &[f64]) -> Result<SvmModel, SvmError> {
+        let (model, stats) = self.train_detailed(x, y)?;
+        if !stats.converged && stats.updates == 0 {
+            return Err(SvmError::NotConverged { iterations: stats.sweeps });
+        }
+        Ok(model)
+    }
+
+    /// Trains the SVM and returns the model plus convergence diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::InvalidTrainingSet`] for empty/ragged inputs,
+    /// [`SvmError::InvalidLabels`] when labels are not ±1 with both
+    /// classes present, and [`SvmError::InvalidConfig`] for bad
+    /// hyper-parameters.
+    pub fn train_detailed(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+    ) -> Result<(SvmModel, TrainStats), SvmError> {
+        let (model, _alphas, stats) = self.train_with_alphas(x, y)?;
+        Ok((model, stats))
+    }
+
+    /// Like [`SmoTrainer::train_detailed`] but also returns the α vector
+    /// over the *whole training set* (zero for non-support vectors), which
+    /// the SV-budgeting pass (paper Eq 5) needs to map support vectors
+    /// back to training rows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmoTrainer::train_detailed`].
+    pub fn train_with_alphas(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+    ) -> Result<(SvmModel, Vec<f64>, TrainStats), SvmError> {
+        self.validate(x, y)?;
+        let n = x.len();
+        let cfg = &self.cfg;
+
+        // Per-sample cost.
+        let n_pos = y.iter().filter(|&&v| v > 0.0).count();
+        let n_neg = n - n_pos;
+        let (w_pos, w_neg) = if cfg.balance_classes {
+            (n as f64 / (2.0 * n_pos as f64), n as f64 / (2.0 * n_neg as f64))
+        } else {
+            (1.0, 1.0)
+        };
+        let cost: Vec<f64> = y
+            .iter()
+            .map(|&yi| if yi > 0.0 { cfg.c * w_pos } else { cfg.c * w_neg })
+            .collect();
+
+        let mut gram = Gram::new(x, cfg.kernel, cfg.max_gram_rows);
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        // Error cache: e_i = f(x_i) - y_i; with all alphas 0, f = b = 0.
+        let mut err: Vec<f64> = y.iter().map(|&yi| -yi).collect();
+
+        let mut sweeps = 0usize;
+        let mut updates = 0usize;
+        let mut examine_all = true;
+        let mut converged = false;
+        // Deterministic rotation for heuristic scans.
+        let mut rot: usize = 1;
+
+        while sweeps < cfg.max_sweeps {
+            let mut changed = 0usize;
+            let candidates: Vec<usize> = if examine_all {
+                (0..n).collect()
+            } else {
+                (0..n)
+                    .filter(|&i| alpha[i] > 0.0 && alpha[i] < cost[i])
+                    .collect()
+            };
+            for &i2 in &candidates {
+                changed += self.examine(
+                    i2, x, y, &cost, &mut gram, &mut alpha, &mut err, &mut b, &mut rot,
+                );
+            }
+            updates += changed;
+            sweeps += 1;
+            if examine_all {
+                if changed == 0 {
+                    converged = true;
+                    break;
+                }
+                examine_all = false;
+            } else if changed == 0 {
+                examine_all = true;
+            }
+        }
+
+        // Collect support vectors.
+        let mut svs = Vec::new();
+        let mut a_out = Vec::new();
+        let mut y_out = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-8 {
+                svs.push(x[i].clone());
+                a_out.push(alpha[i]);
+                y_out.push(y[i]);
+            }
+        }
+        let model = SvmModel::from_parts(cfg.kernel, svs, a_out, y_out, b);
+        Ok((model, alpha, TrainStats { sweeps, updates, converged }))
+    }
+
+    fn validate(&self, x: &[Vec<f64>], y: &[f64]) -> Result<(), SvmError> {
+        if x.is_empty() {
+            return Err(SvmError::InvalidTrainingSet("no samples".into()));
+        }
+        if x.len() != y.len() {
+            return Err(SvmError::InvalidTrainingSet(format!(
+                "{} samples but {} labels",
+                x.len(),
+                y.len()
+            )));
+        }
+        let d = x[0].len();
+        if d == 0 || x.iter().any(|r| r.len() != d) {
+            return Err(SvmError::InvalidTrainingSet("ragged or zero-width rows".into()));
+        }
+        if y.iter().any(|&v| v != 1.0 && v != -1.0) {
+            return Err(SvmError::InvalidLabels("labels must be exactly +1 or -1".into()));
+        }
+        let n_pos = y.iter().filter(|&&v| v > 0.0).count();
+        if n_pos == 0 || n_pos == y.len() {
+            return Err(SvmError::InvalidLabels("both classes must be present".into()));
+        }
+        if self.cfg.c <= 0.0 {
+            return Err(SvmError::InvalidConfig("c must be positive"));
+        }
+        if self.cfg.tolerance <= 0.0 {
+            return Err(SvmError::InvalidConfig("tolerance must be positive"));
+        }
+        if let Kernel::Rbf { gamma } = self.cfg.kernel {
+            if gamma <= 0.0 {
+                return Err(SvmError::InvalidConfig("rbf gamma must be positive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Platt's `examineExample`: returns 1 when a pair was updated.
+    #[allow(clippy::too_many_arguments)]
+    fn examine(
+        &self,
+        i2: usize,
+        x: &[Vec<f64>],
+        y: &[f64],
+        cost: &[f64],
+        gram: &mut Gram<'_>,
+        alpha: &mut [f64],
+        err: &mut [f64],
+        b: &mut f64,
+        rot: &mut usize,
+    ) -> usize {
+        let tol = self.cfg.tolerance;
+        let y2 = y[i2];
+        let a2 = alpha[i2];
+        let e2 = err[i2];
+        let r2 = e2 * y2;
+        let n = x.len();
+        let violates = (r2 < -tol && a2 < cost[i2]) || (r2 > tol && a2 > 0.0);
+        if !violates {
+            return 0;
+        }
+
+        // Heuristic 1: maximise |E1 - E2| over non-bound multipliers.
+        let mut best: Option<usize> = None;
+        let mut best_gap = 0.0;
+        for i in 0..n {
+            if alpha[i] > 0.0 && alpha[i] < cost[i] {
+                let gap = (err[i] - e2).abs();
+                if gap > best_gap {
+                    best_gap = gap;
+                    best = Some(i);
+                }
+            }
+        }
+        if let Some(i1) = best {
+            if self.take_step(i1, i2, x, y, cost, gram, alpha, err, b) {
+                return 1;
+            }
+        }
+        // Heuristic 2: all non-bound, starting at a rotating offset.
+        *rot = rot.wrapping_mul(1664525).wrapping_add(1013904223);
+        let start = *rot % n;
+        for k in 0..n {
+            let i1 = (start + k) % n;
+            if alpha[i1] > 0.0 && alpha[i1] < cost[i1]
+                && self.take_step(i1, i2, x, y, cost, gram, alpha, err, b)
+            {
+                return 1;
+            }
+        }
+        // Heuristic 3: the whole training set.
+        for k in 0..n {
+            let i1 = (start + k) % n;
+            if self.take_step(i1, i2, x, y, cost, gram, alpha, err, b) {
+                return 1;
+            }
+        }
+        0
+    }
+
+    /// Joint optimisation of the pair `(i1, i2)`; returns `true` on
+    /// progress.
+    #[allow(clippy::too_many_arguments)]
+    fn take_step(
+        &self,
+        i1: usize,
+        i2: usize,
+        x: &[Vec<f64>],
+        y: &[f64],
+        cost: &[f64],
+        gram: &mut Gram<'_>,
+        alpha: &mut [f64],
+        err: &mut [f64],
+        b: &mut f64,
+    ) -> bool {
+        if i1 == i2 {
+            return false;
+        }
+        let (a1, a2) = (alpha[i1], alpha[i2]);
+        let (y1, y2) = (y[i1], y[i2]);
+        let (e1, e2) = (err[i1], err[i2]);
+        let (c1, c2) = (cost[i1], cost[i2]);
+        let s = y1 * y2;
+
+        // Feasible segment.
+        let (lo, hi) = if (y1 - y2).abs() > 0.5 {
+            ((a2 - a1).max(0.0), (c1 + a2 - a1).min(c2))
+        } else {
+            ((a1 + a2 - c1).max(0.0), (a1 + a2).min(c2))
+        };
+        if hi - lo < 1e-12 {
+            return false;
+        }
+
+        let k11 = gram.k(i1, i1);
+        let k12 = gram.k(i1, i2);
+        let k22 = gram.k(i2, i2);
+        let eta = k11 + k22 - 2.0 * k12;
+
+        let mut a2_new = if eta > 0.0 {
+            (a2 + y2 * (e1 - e2) / eta).clamp(lo, hi)
+        } else {
+            // Degenerate curvature: evaluate the objective at both ends.
+            let f1 = y1 * (e1 + *b) - a1 * k11 - s * a2 * k12;
+            let f2 = y2 * (e2 + *b) - s * a1 * k12 - a2 * k22;
+            let l1 = a1 + s * (a2 - lo);
+            let h1 = a1 + s * (a2 - hi);
+            let lobj = l1 * f1 + lo * f2
+                + 0.5 * l1 * l1 * k11
+                + 0.5 * lo * lo * k22
+                + s * lo * l1 * k12;
+            let hobj = h1 * f1 + hi * f2
+                + 0.5 * h1 * h1 * k11
+                + 0.5 * hi * hi * k22
+                + s * hi * h1 * k12;
+            if lobj < hobj - self.cfg.eps {
+                lo
+            } else if lobj > hobj + self.cfg.eps {
+                hi
+            } else {
+                a2
+            }
+        };
+        // Snap to the box to avoid lingering 1e-15 dust.
+        if a2_new < 1e-10 {
+            a2_new = 0.0;
+        } else if a2_new > c2 - 1e-10 {
+            a2_new = c2;
+        }
+        if (a2_new - a2).abs() < self.cfg.eps * (a2_new + a2 + self.cfg.eps) {
+            return false;
+        }
+        let a1_new = a1 + s * (a2 - a2_new);
+        let a1_new = a1_new.clamp(0.0, c1);
+
+        // Threshold update (f(x) = Σ αyk + b convention).
+        let b_old = *b;
+        let b1 = b_old - e1 - y1 * (a1_new - a1) * k11 - y2 * (a2_new - a2) * k12;
+        let b2 = b_old - e2 - y1 * (a1_new - a1) * k12 - y2 * (a2_new - a2) * k22;
+        *b = if a1_new > 0.0 && a1_new < c1 {
+            b1
+        } else if a2_new > 0.0 && a2_new < c2 {
+            b2
+        } else {
+            0.5 * (b1 + b2)
+        };
+        let db = *b - b_old;
+
+        // Error cache update for every sample.
+        let da1 = y1 * (a1_new - a1);
+        let da2 = y2 * (a2_new - a2);
+        for j in 0..x.len() {
+            let k1j = gram.k(i1, j);
+            let k2j = gram.k(i2, j);
+            err[j] += da1 * k1j + da2 * k2j + db;
+        }
+        alpha[i1] = a1_new;
+        alpha[i2] = a2_new;
+        // Optimised points have (by definition) zero error w.r.t. the new
+        // threshold when strictly inside the box; the incremental update
+        // above already reflects that, so nothing more to fix.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kernel: Kernel, c: f64) -> SmoConfig {
+        SmoConfig { c, kernel, balance_classes: false, ..Default::default() }
+    }
+
+    #[test]
+    fn two_point_problem_has_analytic_solution() {
+        // Points at ±1 on a line: maximum margin boundary at 0,
+        // alphas equal, |w| = 1 ⇒ alpha = 0.5 each for linear kernel.
+        let x = vec![vec![1.0], vec![-1.0]];
+        let y = vec![1.0, -1.0];
+        let (model, stats) = SmoTrainer::new(cfg(Kernel::Linear, 10.0))
+            .train_detailed(&x, &y)
+            .unwrap();
+        assert!(stats.converged);
+        assert_eq!(model.n_support_vectors(), 2);
+        for &a in model.alphas() {
+            assert!((a - 0.5).abs() < 1e-6, "alpha {a}");
+        }
+        assert!(model.bias().abs() < 1e-6);
+        assert_eq!(model.predict(&[0.7]), 1.0);
+        assert_eq!(model.predict(&[-0.2]), -1.0);
+    }
+
+    #[test]
+    fn linearly_separable_blobs() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.31;
+            x.push(vec![2.0 + t.sin() * 0.3, 2.0 + t.cos() * 0.3]);
+            y.push(1.0);
+            x.push(vec![-2.0 + (t * 1.7).sin() * 0.3, -2.0 + (t * 1.3).cos() * 0.3]);
+            y.push(-1.0);
+        }
+        let model = SmoTrainer::new(cfg(Kernel::Linear, 1.0)).train(&x, &y).unwrap();
+        let correct = x
+            .iter()
+            .zip(y.iter())
+            .filter(|(xi, &yi)| model.predict(xi) == yi)
+            .count();
+        assert_eq!(correct, x.len());
+        // Margin SVs only: far fewer than all points.
+        assert!(model.n_support_vectors() < x.len() / 2);
+    }
+
+    #[test]
+    fn xor_needs_quadratic_kernel() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let quad = SmoTrainer::new(cfg(Kernel::Polynomial { degree: 2 }, 100.0))
+            .train(&x, &y)
+            .unwrap();
+        for (xi, &yi) in x.iter().zip(y.iter()) {
+            assert_eq!(quad.predict(xi), yi, "at {xi:?}");
+        }
+        // The linear kernel cannot fit XOR: at least one training error.
+        let lin = SmoTrainer::new(cfg(Kernel::Linear, 100.0)).train(&x, &y).unwrap();
+        let errors = x
+            .iter()
+            .zip(y.iter())
+            .filter(|(xi, &yi)| lin.predict(xi) != yi)
+            .count();
+        assert!(errors >= 1, "linear kernel unexpectedly fit XOR");
+    }
+
+    #[test]
+    fn rbf_fits_concentric_rings() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..24 {
+            let t = i as f64 / 24.0 * std::f64::consts::TAU;
+            x.push(vec![0.5 * t.cos(), 0.5 * t.sin()]);
+            y.push(1.0);
+            x.push(vec![2.0 * t.cos(), 2.0 * t.sin()]);
+            y.push(-1.0);
+        }
+        let model = SmoTrainer::new(cfg(Kernel::Rbf { gamma: 1.0 }, 10.0))
+            .train(&x, &y)
+            .unwrap();
+        let correct = x
+            .iter()
+            .zip(y.iter())
+            .filter(|(xi, &yi)| model.predict(xi) == yi)
+            .count();
+        assert_eq!(correct, x.len());
+        assert_eq!(model.predict(&[0.0, 0.0]), 1.0);
+        assert_eq!(model.predict(&[3.0, 0.0]), -1.0);
+    }
+
+    #[test]
+    fn class_weighting_shifts_boundary_toward_minority() {
+        // 1 positive vs many negatives, overlapping: without weighting the
+        // positive is sacrificed; with weighting it is not.
+        let mut x = vec![vec![0.6]];
+        let mut y = vec![1.0];
+        for i in 0..30 {
+            x.push(vec![-1.0 + 0.04 * i as f64]); // -1.0 .. 0.16
+            y.push(-1.0);
+        }
+        let unweighted = SmoTrainer::new(SmoConfig {
+            c: 0.05,
+            kernel: Kernel::Linear,
+            balance_classes: false,
+            ..Default::default()
+        })
+        .train(&x, &y)
+        .unwrap();
+        let weighted = SmoTrainer::new(SmoConfig {
+            c: 0.05,
+            kernel: Kernel::Linear,
+            balance_classes: true,
+            ..Default::default()
+        })
+        .train(&x, &y)
+        .unwrap();
+        // The weighted decision value at the positive sample must be
+        // strictly larger (pushed toward correct classification).
+        assert!(
+            weighted.decision_value(&[0.6]) > unweighted.decision_value(&[0.6]),
+            "weighting had no effect"
+        );
+        assert_eq!(weighted.predict(&[0.6]), 1.0);
+    }
+
+    #[test]
+    fn alphas_respect_box_constraints() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        // Overlapping classes force bound alphas.
+        for i in 0..30 {
+            let t = i as f64 * 0.37;
+            x.push(vec![0.3 * t.sin() + 0.2]);
+            y.push(1.0);
+            x.push(vec![0.3 * (t * 0.9).cos() - 0.2]);
+            y.push(-1.0);
+        }
+        let c = 2.0;
+        let model = SmoTrainer::new(cfg(Kernel::Linear, c)).train(&x, &y).unwrap();
+        for &a in model.alphas() {
+            assert!(a > 0.0 && a <= c + 1e-9, "alpha {a} outside (0, C]");
+        }
+    }
+
+    #[test]
+    fn dual_constraint_sum_alpha_y_is_zero() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let t = i as f64;
+            x.push(vec![(t * 0.7).sin(), (t * 0.3).cos()]);
+            y.push(if i % 3 == 0 { 1.0 } else { -1.0 });
+        }
+        let model = SmoTrainer::new(cfg(Kernel::Polynomial { degree: 2 }, 5.0))
+            .train(&x, &y)
+            .unwrap();
+        let s: f64 = model.alpha_y().iter().sum();
+        assert!(s.abs() < 1e-6, "sum alpha*y = {s}");
+    }
+
+    #[test]
+    fn kkt_conditions_hold_at_convergence() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..25 {
+            let t = i as f64 * 0.41;
+            x.push(vec![1.5 + t.sin(), 1.5 + (2.0 * t).cos()]);
+            y.push(1.0);
+            x.push(vec![-1.5 + (1.3 * t).sin(), -1.5 + t.cos()]);
+            y.push(-1.0);
+        }
+        let c = 3.0;
+        let trainer = SmoTrainer::new(cfg(Kernel::Linear, c));
+        let (model, stats) = trainer.train_detailed(&x, &y).unwrap();
+        assert!(stats.converged);
+        // For margin SVs (0 < a < C): y f(x) ≈ 1.
+        for (sv, (&a, &yv)) in model
+            .support_vectors()
+            .iter()
+            .zip(model.alphas().iter().zip(model.labels().iter()))
+        {
+            if a > 1e-6 && a < c - 1e-6 {
+                let m = yv * model.decision_value(sv);
+                assert!((m - 1.0).abs() < 5e-2, "margin {m}");
+            }
+        }
+        // Non-SV training points satisfy y f(x) >= 1 - tol.
+        for (xi, &yi) in x.iter().zip(y.iter()) {
+            let m = yi * model.decision_value(xi);
+            assert!(m > 0.95, "margin violation {m}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = SmoTrainer::new(SmoConfig::default());
+        assert!(matches!(
+            t.train(&[], &[]),
+            Err(SvmError::InvalidTrainingSet(_))
+        ));
+        assert!(matches!(
+            t.train(&[vec![1.0]], &[1.0, -1.0]),
+            Err(SvmError::InvalidTrainingSet(_))
+        ));
+        assert!(matches!(
+            t.train(&[vec![1.0], vec![2.0, 3.0]], &[1.0, -1.0]),
+            Err(SvmError::InvalidTrainingSet(_))
+        ));
+        assert!(matches!(
+            t.train(&[vec![1.0], vec![2.0]], &[1.0, 0.5]),
+            Err(SvmError::InvalidLabels(_))
+        ));
+        assert!(matches!(
+            t.train(&[vec![1.0], vec![2.0]], &[1.0, 1.0]),
+            Err(SvmError::InvalidLabels(_))
+        ));
+        let bad_c = SmoTrainer::new(SmoConfig { c: 0.0, ..Default::default() });
+        assert!(matches!(
+            bad_c.train(&[vec![1.0], vec![2.0]], &[1.0, -1.0]),
+            Err(SvmError::InvalidConfig(_))
+        ));
+        let bad_gamma = SmoTrainer::new(SmoConfig {
+            kernel: Kernel::Rbf { gamma: -1.0 },
+            ..Default::default()
+        });
+        assert!(matches!(
+            bad_gamma.train(&[vec![1.0], vec![2.0]], &[1.0, -1.0]),
+            Err(SvmError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let t = i as f64;
+            x.push(vec![(t * 0.19).sin(), (t * 0.77).cos()]);
+            y.push(if (t * 0.19).sin() + (t * 0.77).cos() > 0.0 { 1.0 } else { -1.0 });
+        }
+        let t1 = SmoTrainer::new(cfg(Kernel::Polynomial { degree: 2 }, 2.0));
+        let m1 = t1.train(&x, &y).unwrap();
+        let m2 = t1.train(&x, &y).unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn lru_gram_fallback_matches_full() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..24 {
+            let t = i as f64 * 0.53;
+            x.push(vec![2.0 + t.sin(), 2.0 - t.cos()]);
+            y.push(1.0);
+            x.push(vec![-2.0 - t.sin(), -2.0 + t.cos()]);
+            y.push(-1.0);
+        }
+        let full = SmoTrainer::new(cfg(Kernel::Linear, 1.0)).train(&x, &y).unwrap();
+        let lru = SmoTrainer::new(SmoConfig {
+            max_gram_rows: 4, // force row-cache path
+            ..cfg(Kernel::Linear, 1.0)
+        })
+        .train(&x, &y)
+        .unwrap();
+        for xi in &x {
+            assert_eq!(full.predict(xi), lru.predict(xi));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Design-space exploration: sweep the three approximation axes of the
+//! paper on a synthetic cohort and print the quality/cost frontier, then
+//! pick the knee configuration automatically.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use epilepsy_monitor::prelude::*;
+use hwmodel::TechParams;
+use seizure_core::bitwidth::bit_grid_evaluate;
+use seizure_core::combine::{combined_sequence, CombineParams};
+use seizure_core::explore::{feature_sweep, sv_budget_sweep};
+
+fn main() {
+    let spec = DatasetSpec::new(Scale::Tiny, 42);
+    let matrix = build_feature_matrix(&spec);
+    let tech = TechParams::default();
+    let cfg = FitConfig::default();
+
+    println!("== axis 1: feature-set size ==");
+    for p in feature_sweep(&matrix, &[53, 30, 15, 8], &cfg, &tech) {
+        println!(
+            "  {:>2} features: GM {:>5.1}%  {:>6.0} nJ  {:.3} mm2",
+            p.param,
+            100.0 * p.result.mean_gm,
+            p.energy_nj,
+            p.area_mm2
+        );
+    }
+
+    println!("== axis 2: support-vector budget ==");
+    let free = loso_evaluate(&matrix, &cfg);
+    let full = (free.mean_n_sv.round() as usize).max(6);
+    for p in sv_budget_sweep(&matrix, &[full, full / 2, full / 4], &cfg, &tech) {
+        println!(
+            "  {:>3} SVs: GM {:>5.1}%  {:>6.0} nJ  {:.3} mm2",
+            p.param,
+            100.0 * p.result.mean_gm,
+            p.energy_nj,
+            p.area_mm2
+        );
+    }
+
+    println!("== axis 3: bit widths (A_bits = 15) ==");
+    for p in bit_grid_evaluate(&matrix, &cfg, &[6, 9, 12, 16], &[15], &tech) {
+        println!(
+            "  D={:>2}: GM {:>5.1}%  {:>6.0} nJ  {:.4} mm2",
+            p.d_bits,
+            100.0 * p.gm,
+            p.energy_nj,
+            p.area_mm2
+        );
+    }
+
+    println!("== combined (knee auto-selection) ==");
+    let params = CombineParams::auto(&matrix, &cfg, 0.03);
+    println!(
+        "  selected: {} features, {} SVs, {}/{} bits",
+        params.n_features, params.sv_budget, params.d_bits, params.a_bits
+    );
+    let stages = combined_sequence(&matrix, &cfg, &params, &tech);
+    let base = &stages[0];
+    for s in &stages {
+        let (gm, e, a) = s.normalized_to(base);
+        println!(
+            "  {:<28} GM {:>5.1}%  energy x{:.2}  area x{:.2}",
+            s.name,
+            100.0 * s.gm,
+            1.0 / e.max(1e-12),
+            1.0 / a.max(1e-12)
+        );
+        let _ = gm;
+    }
+}

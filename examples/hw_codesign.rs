@@ -1,0 +1,76 @@
+//! Hardware co-design: explore how the Fig 2 accelerator's energy and
+//! area decompose across datapath and memory, and how each optimisation
+//! axis moves the breakdown — without touching any training data.
+//!
+//! Run with: `cargo run --release --example hw_codesign`
+
+use hwmodel::pipeline::AcceleratorConfig;
+use hwmodel::sram::SramMacro;
+use hwmodel::TechParams;
+
+fn report(name: &str, hw: AcceleratorConfig, tech: &TechParams) {
+    let c = hw.cost(tech);
+    println!("{name}");
+    println!(
+        "  widths: D={} A={} | acc1 {}b -> kernel {}b -> acc2 {}b | {} cycles",
+        hw.d_bits,
+        hw.a_bits,
+        hw.acc1_bits(),
+        hw.kernel_out_bits(),
+        hw.acc2_bits(),
+        hw.cycles()
+    );
+    println!(
+        "  energy {:>7.0} nJ  (mac1 {:>5.0} | sq {:>4.1} | mac2 {:>4.1} | sram {:>6.0} | ctrl+regs {:>6.0} | leak {:>4.1})",
+        c.energy_nj,
+        c.energy_mac1_nj,
+        c.energy_square_nj,
+        c.energy_mac2_nj,
+        c.energy_sram_nj,
+        c.energy_ctrl_nj,
+        c.energy_leak_nj
+    );
+    println!(
+        "  area   {:>7.3} mm2 (logic {:.4} | sram {:.4})",
+        c.area_mm2, c.area_logic_mm2, c.area_sram_mm2
+    );
+}
+
+fn main() {
+    let tech = TechParams::default();
+    println!("40 nm accelerator cost model — per-classification breakdown\n");
+
+    report("baseline: 120 SVs x 53 features, 64-bit", AcceleratorConfig::uniform(120, 53, 64), &tech);
+    report("feature reduction: 120 x 30, 64-bit", AcceleratorConfig::uniform(120, 30, 64), &tech);
+    report("+ SV budget: 68 x 30, 64-bit", AcceleratorConfig::uniform(68, 30, 64), &tech);
+    report("+ bit tailoring: 68 x 30, 9/15-bit", AcceleratorConfig::new(68, 30, 9, 15), &tech);
+
+    // Memory scaling study: the SV memory dominates the baseline area.
+    println!("\nSV memory macro scaling (words x bits -> read energy, area):");
+    for (words, bits) in [(6360usize, 64u32), (6360, 9), (2040, 9), (510, 9)] {
+        let m = SramMacro { words, word_bits: bits };
+        println!(
+            "  {:>5} x {:>2}b = {:>7.1} kbit: {:>5.1} pJ/read, {:.4} mm2, {:.2} uW leak",
+            words,
+            bits,
+            m.capacity_kbit(),
+            m.read_energy_pj(&tech),
+            m.area_mm2(&tech),
+            m.leakage_w(&tech) * 1e6
+        );
+    }
+
+    // Clock sensitivity: leakage integrates over latency.
+    println!("\nclock sensitivity of the tailored design:");
+    for mhz in [1.0, 10.0, 100.0] {
+        let t = TechParams { clock_hz: mhz * 1e6, ..tech };
+        let c = AcceleratorConfig::new(68, 30, 9, 15).cost(&t);
+        println!(
+            "  {:>5.0} MHz: {:>6.2} ms latency, {:>5.1} nJ leakage of {:>5.0} nJ total",
+            mhz,
+            c.latency_s * 1e3,
+            c.energy_leak_nj,
+            c.energy_nj
+        );
+    }
+}

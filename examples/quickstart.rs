@@ -1,0 +1,69 @@
+//! Quick start: synthesise a small cohort, train the paper's quadratic
+//! SVM detector, quantise it to the 9/15-bit tailored engine and compare
+//! quality and hardware cost against the 64-bit baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use epilepsy_monitor::prelude::*;
+use seizure_core::eval::loso_evaluate_with;
+
+fn main() {
+    // 1) Synthetic cohort (stand-in for the paper's 7-patient clinical
+    //    dataset) and the 53-feature matrix.
+    let spec = DatasetSpec::new(Scale::Tiny, 42);
+    println!(
+        "cohort: {} sessions, {:.1} h, {} seizures",
+        spec.sessions.len(),
+        spec.total_hours(),
+        spec.n_seizures()
+    );
+    let matrix = build_feature_matrix(&spec);
+    println!(
+        "feature matrix: {} windows x {} features ({} seizure windows)",
+        matrix.n_rows(),
+        matrix.n_cols(),
+        matrix.n_positive()
+    );
+
+    // 2) Float reference detector, leave-one-session-out.
+    let float_result = loso_evaluate(&matrix, &FitConfig::default());
+    println!(
+        "float quadratic SVM: Se {:.1}%  Sp {:.1}%  GM {:.1}%  (mean {:.0} SVs)",
+        100.0 * float_result.mean_se,
+        100.0 * float_result.mean_sp,
+        100.0 * float_result.mean_gm,
+        float_result.mean_n_sv
+    );
+
+    // 3) The tailored 9/15-bit integer engine, evaluated bit-accurately.
+    let bits = BitConfig::paper_choice();
+    let quant_result = loso_evaluate_with(&matrix, |train| {
+        let p = FloatPipeline::fit(train, &FitConfig::default())?;
+        let n_sv = p.model().n_support_vectors();
+        let engine = QuantizedEngine::from_pipeline(&p, bits)?;
+        Ok((move |row: &[f64]| engine.classify(row), n_sv))
+    });
+    println!(
+        "9/15-bit engine:     Se {:.1}%  Sp {:.1}%  GM {:.1}%",
+        100.0 * quant_result.mean_se,
+        100.0 * quant_result.mean_sp,
+        100.0 * quant_result.mean_gm
+    );
+
+    // 4) Hardware cost of both designs (40 nm model).
+    let tech = TechParams::default();
+    let n_sv = float_result.mean_n_sv.round() as usize;
+    let base = AcceleratorConfig::uniform(n_sv, matrix.n_cols(), 64).cost(&tech);
+    let opt = AcceleratorConfig::new(n_sv, matrix.n_cols(), 9, 15).cost(&tech);
+    println!(
+        "64-bit baseline: {:.0} nJ/classification, {:.3} mm2",
+        base.energy_nj, base.area_mm2
+    );
+    println!(
+        "9/15-bit design: {:.0} nJ/classification, {:.3} mm2  ({:.1}x energy, {:.1}x area)",
+        opt.energy_nj,
+        opt.area_mm2,
+        base.energy_nj / opt.energy_nj,
+        base.area_mm2 / opt.area_mm2
+    );
+}

@@ -1,0 +1,133 @@
+//! Shape assertions for the paper's qualitative claims, at test scale.
+//!
+//! Absolute numbers depend on the synthetic cohort; these tests pin the
+//! *relations* the paper's conclusions rest on.
+
+use epilepsy_monitor::prelude::*;
+use seizure_core::bitwidth::bit_grid_evaluate;
+use seizure_core::engine::BitConfig;
+use seizure_core::eval::loso_evaluate_with;
+use std::sync::OnceLock;
+
+fn matrix() -> &'static FeatureMatrix {
+    static M: OnceLock<FeatureMatrix> = OnceLock::new();
+    M.get_or_init(|| build_feature_matrix(&DatasetSpec::new(Scale::Tiny, 42)))
+}
+
+/// Table I shape: the quadratic kernel must not lose to the linear one
+/// (at full scale it wins clearly; the tiny cohort allows a tie).
+#[test]
+fn quadratic_at_least_matches_linear() {
+    let m = matrix();
+    let quad = loso_evaluate(m, &FitConfig::default());
+    let lin = loso_evaluate(m, &FitConfig::default().with_kernel(Kernel::Linear));
+    assert!(
+        quad.mean_gm >= lin.mean_gm - 0.05,
+        "quadratic {} vs linear {}",
+        quad.mean_gm,
+        lin.mean_gm
+    );
+}
+
+/// Section III: discarding the 10 LSBs after the dot product and the
+/// squarer has no classification impact.
+#[test]
+fn ten_bit_truncations_are_free() {
+    let m = matrix();
+    let p = FloatPipeline::fit(m, &FitConfig::default()).unwrap();
+    let with = QuantizedEngine::from_pipeline(&p, BitConfig::new(16, 16)).unwrap();
+    let without = QuantizedEngine::from_pipeline(
+        &p,
+        BitConfig { d_bits: 16, a_bits: 16, post_dot_truncate: 0, post_square_truncate: 0 },
+    )
+    .unwrap();
+    let agree = m
+        .rows
+        .iter()
+        .filter(|r| with.classify(r) == without.classify(r))
+        .count();
+    assert!(
+        agree as f64 / m.n_rows() as f64 > 0.95,
+        "truncation changed {}/{} decisions",
+        m.n_rows() - agree,
+        m.n_rows()
+    );
+}
+
+/// Fig 6 shape: GM collapses at starved widths and plateaus at generous
+/// ones; energy grows monotonically with D_bits.
+#[test]
+fn bit_grid_has_cliff_and_plateau() {
+    let m = matrix();
+    let tech = TechParams::default();
+    let pts = bit_grid_evaluate(m, &FitConfig::default(), &[3, 9, 16], &[15], &tech);
+    let gm = |d: u32| pts.iter().find(|p| p.d_bits == d).unwrap().gm;
+    let en = |d: u32| pts.iter().find(|p| p.d_bits == d).unwrap().energy_nj;
+    assert!(gm(9) > gm(3) + 0.1, "no cliff: gm(9)={} gm(3)={}", gm(9), gm(3));
+    assert!((gm(16) - gm(9)).abs() < 0.1, "no plateau: {} vs {}", gm(16), gm(9));
+    assert!(en(16) > en(9) && en(9) > en(3));
+}
+
+/// Fig 7 (right) shape: at equal(ish) quality the tailored design is far
+/// cheaper than the homogeneous one; at equal width the homogeneous one
+/// loses quality.
+#[test]
+fn tailored_beats_homogeneous() {
+    let m = matrix();
+    let tech = TechParams::default();
+    // Tailored 9/15.
+    let tailored = loso_evaluate_with(m, |train| {
+        let p = FloatPipeline::fit(train, &FitConfig::default())?;
+        let n = p.model().n_support_vectors();
+        let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice())?;
+        Ok((move |row: &[f64]| e.classify(row), n))
+    });
+    let (hom16, e16, a16) =
+        seizure_core::bitwidth::homogeneous_evaluate(m, &FitConfig::default(), 16, &tech);
+    let n_sv = tailored.mean_n_sv.round() as usize;
+    let t_cost = AcceleratorConfig::new(n_sv, m.n_cols(), 9, 15).cost(&tech);
+    // Quality: on the tiny test cohort (9 positive windows) the GM gap
+    // between the two designs is inside sampling noise, so assert only
+    // that both detectors work; the full quality relation (tailored ≫
+    // homogeneous, paper −7%) is measured at `--scale lite` and recorded
+    // in EXPERIMENTS.md (81.4 vs 72.9).
+    assert!(tailored.mean_gm > 0.5, "tailored {}", tailored.mean_gm);
+    assert!(hom16.mean_gm.is_finite());
+    // Cost: homogeneous needs multiples of the tailored budget.
+    assert!(e16 / t_cost.energy_nj > 2.0, "energy ratio {}", e16 / t_cost.energy_nj);
+    assert!(a16 / t_cost.area_mm2 > 2.0, "area ratio {}", a16 / t_cost.area_mm2);
+}
+
+/// Fig 4/5 cost monotonicity: fewer features / fewer SVs never cost more.
+#[test]
+fn resource_axes_are_monotone_in_the_cost_model() {
+    let tech = TechParams::default();
+    let e = |sv: usize, feat: usize, bits: u32| {
+        AcceleratorConfig::uniform(sv, feat, bits).cost(&tech).energy_nj
+    };
+    assert!(e(120, 53, 64) > e(120, 30, 64));
+    assert!(e(120, 30, 64) > e(68, 30, 64));
+    assert!(e(68, 30, 64) > e(68, 30, 16));
+    let a = |sv: usize, feat: usize, bits: u32| {
+        AcceleratorConfig::uniform(sv, feat, bits).cost(&tech).area_mm2
+    };
+    assert!(a(120, 53, 64) > a(68, 30, 16));
+}
+
+/// The ictal windows differ from rest windows in the directions the paper
+/// exploits: tachycardia and suppressed beat-to-beat variability.
+#[test]
+fn ictal_feature_shifts_have_the_right_sign() {
+    let m = matrix();
+    let col = |j: usize, positive: bool| -> f64 {
+        let vals: Vec<f64> = (0..m.n_rows())
+            .filter(|&i| (m.labels[i] > 0) == positive)
+            .map(|i| m.rows[i][j])
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    // Feature 4 = mean HR (bpm): up during seizures.
+    assert!(col(4, true) > col(4, false) + 3.0, "HR {} vs {}", col(4, true), col(4, false));
+    // Feature 2 = RMSSD (s): down during seizures.
+    assert!(col(2, true) < col(2, false), "rmssd {} vs {}", col(2, true), col(2, false));
+}

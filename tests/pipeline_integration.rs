@@ -1,0 +1,100 @@
+//! End-to-end integration tests: synthetic cohort → feature extraction →
+//! training → quantisation → hardware costing.
+
+use epilepsy_monitor::prelude::*;
+use seizure_core::combine::{combined_sequence, CombineParams};
+use seizure_core::eval::loso_evaluate_with;
+use std::sync::OnceLock;
+
+fn matrix() -> &'static FeatureMatrix {
+    static M: OnceLock<FeatureMatrix> = OnceLock::new();
+    M.get_or_init(|| build_feature_matrix(&DatasetSpec::new(Scale::Tiny, 42)))
+}
+
+#[test]
+fn dataset_assembles_with_both_classes_in_every_fold_union() {
+    let m = matrix();
+    assert_eq!(m.n_cols(), 53);
+    assert!(m.n_rows() >= 40);
+    assert!(m.n_positive() >= 5);
+    assert_eq!(m.session_list().len(), 6);
+    for row in &m.rows {
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn float_detector_beats_chance_by_a_wide_margin() {
+    let r = loso_evaluate(matrix(), &FitConfig::default());
+    assert!(r.folds.len() >= 5, "folds {}", r.folds.len());
+    assert!(r.mean_gm > 0.55, "GM {}", r.mean_gm);
+    assert!(r.mean_se > 0.5, "Se {}", r.mean_se);
+    assert!(r.mean_sp > 0.7, "Sp {}", r.mean_sp);
+}
+
+#[test]
+fn quantised_engine_tracks_float_pipeline() {
+    let m = matrix();
+    let float_r = loso_evaluate(m, &FitConfig::default());
+    let quant_r = loso_evaluate_with(m, |train| {
+        let p = FloatPipeline::fit(train, &FitConfig::default())?;
+        let n = p.model().n_support_vectors();
+        let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice())?;
+        Ok((move |row: &[f64]| e.classify(row), n))
+    });
+    // The paper: ~1% GM loss at 9/15 bits. Allow a generous margin on the
+    // tiny test cohort.
+    assert!(
+        (float_r.mean_gm - quant_r.mean_gm).abs() < 0.12,
+        "float {} vs quantised {}",
+        float_r.mean_gm,
+        quant_r.mean_gm
+    );
+}
+
+#[test]
+fn combined_optimisation_reaches_order_of_magnitude_gains() {
+    let m = matrix();
+    let tech = TechParams::default();
+    let params = CombineParams::auto(m, &FitConfig::default(), 0.03);
+    let stages = combined_sequence(m, &FitConfig::default(), &params, &tech);
+    assert_eq!(stages.len(), 4);
+    let base = &stages[0];
+    let last = &stages[3];
+    let e_gain = base.energy_nj / last.energy_nj;
+    let a_gain = base.area_mm2 / last.area_mm2;
+    // The paper reports 12.5x / 16x at full scale; the tiny cohort must
+    // still clear substantial gains.
+    assert!(e_gain > 4.0, "energy gain {e_gain}");
+    assert!(a_gain > 6.0, "area gain {a_gain}");
+    // Quality must not collapse (paper: -3.2 GM points).
+    assert!(last.gm > base.gm - 0.15, "GM {} -> {}", base.gm, last.gm);
+    // Cost must shrink monotonically along the sequence.
+    for w in stages.windows(2) {
+        assert!(w[1].energy_nj <= w[0].energy_nj * 1.02);
+        assert!(w[1].area_mm2 <= w[0].area_mm2 * 1.02);
+    }
+}
+
+#[test]
+fn engine_and_cost_model_agree_on_geometry() {
+    let m = matrix();
+    let p = FloatPipeline::fit(m, &FitConfig::default()).unwrap();
+    let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice()).unwrap();
+    let hw = e.accelerator_config();
+    assert_eq!(hw.n_sv, p.model().n_support_vectors());
+    assert_eq!(hw.n_feat, 53);
+    let cost = hw.cost(&TechParams::default());
+    assert!(cost.energy_nj > 0.0 && cost.area_mm2 > 0.0);
+    assert_eq!(hw.cycles(), (hw.n_sv * hw.n_feat + 2 * hw.n_sv + hw.n_feat) as u64);
+}
+
+#[test]
+fn results_are_reproducible_across_builds() {
+    let a = build_feature_matrix(&DatasetSpec::new(Scale::Tiny, 123));
+    let b = build_feature_matrix(&DatasetSpec::new(Scale::Tiny, 123));
+    assert_eq!(a, b);
+    let ra = loso_evaluate(&a, &FitConfig::default());
+    let rb = loso_evaluate(&b, &FitConfig::default());
+    assert_eq!(ra.mean_gm.to_bits(), rb.mean_gm.to_bits());
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) over the core data structures and
+//! numerical invariants.
+
+use epilepsy_monitor::core::eval::Confusion;
+use epilepsy_monitor::fx::fixed::{saturate_to_width, truncate_lsbs, width_of};
+use epilepsy_monitor::fx::quantize::Quantizer;
+use epilepsy_monitor::fx::{pow2_range_exponent, FeatureScales};
+use epilepsy_monitor::hw::pipeline::AcceleratorConfig;
+use epilepsy_monitor::hw::TechParams;
+use proptest::prelude::*;
+
+proptest! {
+    /// Round-trip quantisation error is bounded by half an LSB inside the
+    /// representable range.
+    #[test]
+    fn quantizer_roundtrip_error_bounded(
+        x in -1000.0f64..1000.0,
+        r in -8i32..12,
+        bits in 4u32..24,
+    ) {
+        let q = Quantizer::for_range_exponent(r, bits);
+        let lo = q.decode(q.min_code());
+        let hi = q.decode(q.max_code());
+        if x > lo && x < hi {
+            let err = (q.quantize(x) - x).abs();
+            prop_assert!(err <= q.lsb() / 2.0 + 1e-12, "err {} lsb {}", err, q.lsb());
+        }
+    }
+
+    /// Encoding is monotone: a larger value never gets a smaller code.
+    #[test]
+    fn quantizer_is_monotone(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+        bits in 3u32..20,
+    ) {
+        let q = Quantizer::for_range_exponent(3, bits);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.encode(lo) <= q.encode(hi));
+    }
+
+    /// Codes always stay within the two's-complement width.
+    #[test]
+    fn quantizer_codes_stay_in_width(x in proptest::num::f64::ANY, bits in 2u32..30) {
+        let q = Quantizer::for_range_exponent(0, bits);
+        let c = q.encode(if x.is_nan() { 0.0 } else { x });
+        prop_assert!(c >= q.min_code() && c <= q.max_code());
+    }
+
+    /// Eq 6: the chosen power-of-two range covers avg ± sigma.
+    #[test]
+    fn eq6_range_covers_one_sigma(values in proptest::collection::vec(-1e4f64..1e4, 2..64)) {
+        let r = pow2_range_exponent(&values);
+        let n = values.len() as f64;
+        let avg = values.iter().sum::<f64>() / n;
+        let sigma = (values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n).sqrt();
+        let bound = (r as f64).exp2();
+        prop_assert!(avg - sigma > -bound - 1e-9);
+        prop_assert!(avg + sigma < bound + 1e-9);
+    }
+
+    /// Homogenised scales dominate every per-feature scale.
+    #[test]
+    fn homogenize_dominates(rows in proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, 4), 2..20)) {
+        let s = FeatureScales::calibrate(&rows);
+        let h = s.homogenize();
+        for (a, b) in s.r.iter().zip(h.r.iter()) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// Arithmetic truncation equals floor division by 2^k.
+    #[test]
+    fn truncation_is_floor_division(v in -1_000_000_000i64..1_000_000_000, k in 0u32..30) {
+        let t = truncate_lsbs(v as i128, k);
+        let d = (v as f64 / (k as f64).exp2()).floor() as i128;
+        prop_assert_eq!(t, d);
+    }
+
+    /// Saturation clamps into the width and is idempotent.
+    #[test]
+    fn saturation_is_idempotent(v in proptest::num::i64::ANY, bits in 2u32..64) {
+        let s1 = saturate_to_width(v as i128, bits);
+        let s2 = saturate_to_width(s1, bits);
+        prop_assert_eq!(s1, s2);
+        prop_assert!(width_of(s1) <= bits);
+    }
+
+    /// Confusion-matrix metrics always land in [0, 1] and GM is the
+    /// geometric mean of Se and Sp.
+    #[test]
+    fn confusion_metrics_in_unit_interval(
+        tp in 0usize..500, tn in 0usize..500, fp in 0usize..500, fn_ in 0usize..500,
+    ) {
+        let c = Confusion { tp, tn, fp, fn_ };
+        if let Some(se) = c.sensitivity() {
+            prop_assert!((0.0..=1.0).contains(&se));
+        }
+        if let Some(sp) = c.specificity() {
+            prop_assert!((0.0..=1.0).contains(&sp));
+        }
+        if let (Some(se), Some(sp), Some(gm)) =
+            (c.sensitivity(), c.specificity(), c.geometric_mean())
+        {
+            prop_assert!((gm - (se * sp).sqrt()).abs() < 1e-12);
+        }
+    }
+
+    /// The accelerator cost model never returns negative or non-finite
+    /// costs, and cycles follow the N_SV x N_feat law.
+    #[test]
+    fn cost_model_is_well_behaved(
+        n_sv in 1usize..300,
+        n_feat in 1usize..64,
+        d_bits in 2u32..64,
+        a_bits in 2u32..64,
+    ) {
+        let hw = AcceleratorConfig::new(n_sv, n_feat, d_bits, a_bits);
+        let c = hw.cost(&TechParams::default());
+        prop_assert!(c.energy_nj.is_finite() && c.energy_nj > 0.0);
+        prop_assert!(c.area_mm2.is_finite() && c.area_mm2 > 0.0);
+        prop_assert_eq!(hw.cycles(), (n_sv * n_feat + 2 * n_sv + n_feat) as u64);
+    }
+
+    /// Pearson correlation is symmetric and bounded.
+    #[test]
+    fn pearson_symmetric_bounded(
+        x in proptest::collection::vec(-100.0f64..100.0, 8..64),
+        seed in 0u64..1000,
+    ) {
+        // Build y as a deterministic mix of x and pseudo-noise.
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let n = ((seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 33)
+                    as f64)
+                    / (1u64 << 31) as f64
+                    - 0.5;
+                0.3 * v + n * 10.0
+            })
+            .collect();
+        let ab = epilepsy_monitor::dsp::stats::pearson(&x, &y).unwrap();
+        let ba = epilepsy_monitor::dsp::stats::pearson(&y, &x).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab.abs() <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Perf-trajectory baseline for the dense-matrix + parallel-evaluation
+//! layer: per-row vs batch inference, sequential vs parallel LOSO, and
+//! the Fig 4 feature sweep, all at `Scale::Tiny`-equivalent sizes.
+//!
+//! Run with `cargo bench -p bench --bench batch_parallel`; results land in
+//! `BENCH_batch_parallel.json` at the workspace root so successive PRs can
+//! track the trajectory.
+
+use bench::{bb, Harness};
+use hwmodel::TechParams;
+use seizure_core::config::FitConfig;
+use seizure_core::engine::{BitConfig, QuantizedEngine};
+use seizure_core::eval::{loso_evaluate, loso_evaluate_serial};
+use seizure_core::explore::feature_sweep;
+use seizure_core::quickfeat::{synthetic_matrix, QuickFeatConfig};
+use seizure_core::trained::FloatPipeline;
+
+fn main() {
+    let matrix = synthetic_matrix(&QuickFeatConfig {
+        n_sessions: 6,
+        windows_per_session: 50,
+        ..Default::default()
+    });
+    let pipeline = FloatPipeline::fit(&matrix, &FitConfig::default()).expect("fit");
+    let engine =
+        QuantizedEngine::from_pipeline(&pipeline, BitConfig::paper_choice()).expect("engine");
+    let cfg = FitConfig::default();
+    let tech = TechParams::default();
+
+    let mut h = Harness::new();
+
+    // --- per-row vs batch inference (float pipeline) ---
+    let row_float = h.bench("float_predict_per_row_300", || {
+        let mut acc = 0.0;
+        for row in matrix.rows() {
+            acc += pipeline.predict(row);
+        }
+        acc
+    });
+    let batch_float = h.bench("float_predict_batch_300", || {
+        bb(pipeline.predict_batch(&matrix.features))
+    });
+
+    // --- per-row vs batch inference (quantised engine) ---
+    let row_quant = h.bench("quantized_classify_per_row_300", || {
+        let mut acc = 0.0;
+        for row in matrix.rows() {
+            acc += engine.classify(row);
+        }
+        acc
+    });
+    let batch_quant = h.bench("quantized_classify_batch_300", || {
+        bb(engine.classify_batch(&matrix.features))
+    });
+
+    // --- sequential vs parallel LOSO ---
+    let serial = h.bench("loso_serial_6_sessions", || {
+        bb(loso_evaluate_serial(&matrix, &cfg))
+    });
+    let parallel = h.bench("loso_parallel_6_sessions", || {
+        bb(loso_evaluate(&matrix, &cfg))
+    });
+
+    // --- the Fig 4 headline workload: parallel feature sweep ---
+    h.bench("feature_sweep_53_20_10", || {
+        bb(feature_sweep(&matrix, &[53, 20, 10], &cfg, &tech))
+    });
+
+    h.report();
+    println!("\nspeedups (median, >1 means the new path wins):");
+    println!("  float  batch vs per-row: {:.2}x", row_float / batch_float);
+    println!("  quant  batch vs per-row: {:.2}x", row_quant / batch_quant);
+    println!("  LOSO parallel vs serial: {:.2}x", serial / parallel);
+
+    let workers = seizure_core::parallel::worker_count(usize::MAX);
+    // Smoke runs (CI, quick local checks) must not clobber the committed
+    // perf-trajectory baseline: the repo-root file is only rewritten when
+    // explicitly requested; otherwise results land under target/.
+    let out = if std::env::var("BENCH_WRITE_BASELINE").is_ok() {
+        format!(
+            "{}/../../BENCH_batch_parallel.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    } else {
+        let dir = format!("{}/../../target", env!("CARGO_MANIFEST_DIR"));
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        format!("{dir}/BENCH_batch_parallel.json")
+    };
+    h.write_json(
+        &out,
+        &[
+            ("suite", "batch_parallel".to_string()),
+            ("workers", workers.to_string()),
+            (
+                "float_batch_speedup_vs_per_row",
+                format!("{:.3}", row_float / batch_float),
+            ),
+            (
+                "quantized_batch_speedup_vs_per_row",
+                format!("{:.3}", row_quant / batch_quant),
+            ),
+            (
+                "loso_parallel_speedup_vs_serial",
+                format!("{:.3}", serial / parallel),
+            ),
+        ],
+    );
+}

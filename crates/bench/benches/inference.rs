@@ -5,80 +5,54 @@
 //! emulates hardware in software) but the scaling with `N_SV × N_feat`,
 //! which mirrors the accelerator's cycle count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{bb, Harness};
 use seizure_core::config::FitConfig;
 use seizure_core::engine::{BitConfig, QuantizedEngine};
 use seizure_core::quickfeat::{synthetic_matrix, QuickFeatConfig};
 use seizure_core::trained::FloatPipeline;
-use std::hint::black_box;
-use std::sync::OnceLock;
 
-struct Fixture {
-    matrix: ecg_features::FeatureMatrix,
-    pipeline: FloatPipeline,
-}
-
-fn fixture() -> &'static Fixture {
-    static F: OnceLock<Fixture> = OnceLock::new();
-    F.get_or_init(|| {
-        let matrix = synthetic_matrix(&QuickFeatConfig {
-            n_sessions: 6,
-            windows_per_session: 50,
-            ..Default::default()
-        });
-        let pipeline = FloatPipeline::fit(&matrix, &FitConfig::default()).expect("fit");
-        Fixture { matrix, pipeline }
-    })
-}
-
-fn bench_float_inference(c: &mut Criterion) {
-    let f = fixture();
-    let row = &f.matrix.rows[0];
-    c.bench_function("float_pipeline_classify", |b| {
-        b.iter(|| black_box(f.pipeline.predict(row)))
+fn main() {
+    let matrix = synthetic_matrix(&QuickFeatConfig {
+        n_sessions: 6,
+        windows_per_session: 50,
+        ..Default::default()
     });
-}
+    let pipeline = FloatPipeline::fit(&matrix, &FitConfig::default()).expect("fit");
+    let row = matrix.row(0);
 
-fn bench_quantized_inference(c: &mut Criterion) {
-    let f = fixture();
-    let row = &f.matrix.rows[0];
-    let mut g = c.benchmark_group("quantized_classify");
-    for bits in [BitConfig::new(9, 15), BitConfig::new(16, 16), BitConfig::uniform(32)] {
-        let engine = QuantizedEngine::from_pipeline(&f.pipeline, bits).expect("engine");
-        g.bench_function(format!("d{}_a{}", bits.d_bits, bits.a_bits), |b| {
-            b.iter(|| black_box(engine.classify(row)))
-        });
+    let mut h = Harness::new();
+
+    h.bench("float_pipeline_classify", || bb(pipeline.predict(row)));
+    h.bench("float_pipeline_classify_batch_300", || {
+        bb(pipeline.predict_batch(&matrix.features))
+    });
+
+    for bits in [
+        BitConfig::new(9, 15),
+        BitConfig::new(16, 16),
+        BitConfig::uniform(32),
+    ] {
+        let engine = QuantizedEngine::from_pipeline(&pipeline, bits).expect("engine");
+        h.bench(
+            &format!("quantized_classify_d{}_a{}", bits.d_bits, bits.a_bits),
+            || bb(engine.classify(row)),
+        );
+        h.bench(
+            &format!("quantized_classify_batch_d{}_a{}", bits.d_bits, bits.a_bits),
+            || bb(engine.classify_batch(&matrix.features)),
+        );
     }
-    g.finish();
-}
 
-fn bench_engine_construction(c: &mut Criterion) {
-    let f = fixture();
-    c.bench_function("quantized_engine_build_9_15", |b| {
-        b.iter(|| {
-            black_box(
-                QuantizedEngine::from_pipeline(&f.pipeline, BitConfig::paper_choice())
-                    .map(|e| e.n_support_vectors()),
-            )
-        })
+    h.bench("quantized_engine_build_9_15", || {
+        bb(
+            QuantizedEngine::from_pipeline(&pipeline, BitConfig::paper_choice())
+                .map(|e| e.n_support_vectors()),
+        )
     });
-}
 
-fn bench_feature_encoding(c: &mut Criterion) {
-    let f = fixture();
     let engine =
-        QuantizedEngine::from_pipeline(&f.pipeline, BitConfig::paper_choice()).expect("engine");
-    let row = &f.matrix.rows[0];
-    c.bench_function("encode_features_53", |b| {
-        b.iter(|| black_box(engine.encode_features(row)))
-    });
-}
+        QuantizedEngine::from_pipeline(&pipeline, BitConfig::paper_choice()).expect("engine");
+    h.bench("encode_features_53", || bb(engine.encode_features(row)));
 
-criterion_group!(
-    inference,
-    bench_float_inference,
-    bench_quantized_inference,
-    bench_engine_construction,
-    bench_feature_encoding
-);
-criterion_main!(inference);
+    h.report();
+}

@@ -1,120 +1,67 @@
-//! One benchmark group per paper table/figure: times the regeneration
-//! workload at test scale (Tiny cohort), so `cargo bench` exercises every
-//! experiment end to end. The printed rows of the actual experiments come
-//! from `cargo run -p experiments --bin <table1|fig3..fig7>`.
+//! One benchmark per paper table/figure: times the regeneration workload
+//! at test scale (synthetic quickfeat cohort), so `cargo bench` exercises
+//! every experiment end to end. The printed rows of the actual
+//! experiments come from `cargo run -p experiments --bin <table1|fig3..fig7>`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ecg_sim::dataset::{DatasetSpec, Scale};
+use bench::{bb, Harness};
 use hwmodel::TechParams;
-use seizure_core::assemble::build_feature_matrix;
 use seizure_core::bitwidth::{bit_grid_evaluate, homogeneous_evaluate};
 use seizure_core::combine::{combined_sequence, CombineParams};
 use seizure_core::config::FitConfig;
 use seizure_core::eval::loso_evaluate;
 use seizure_core::explore::{feature_sweep, sv_budget_sweep};
 use seizure_core::featsel::correlation_matrix;
-use std::hint::black_box;
-use std::sync::OnceLock;
+use seizure_core::quickfeat::{synthetic_matrix, QuickFeatConfig};
 use svm::Kernel;
 
-fn matrix() -> &'static ecg_features::FeatureMatrix {
-    static M: OnceLock<ecg_features::FeatureMatrix> = OnceLock::new();
-    M.get_or_init(|| build_feature_matrix(&DatasetSpec::new(Scale::Tiny, 42)))
-}
+fn main() {
+    let m = synthetic_matrix(&QuickFeatConfig {
+        n_sessions: 6,
+        windows_per_session: 40,
+        ..Default::default()
+    });
+    let tech = TechParams::default();
 
-fn bench_table1(c: &mut Criterion) {
-    let m = matrix();
-    let mut g = c.benchmark_group("table1_kernels");
-    g.sample_size(10);
+    let mut h = Harness::new();
+
     for kernel in [
         Kernel::Linear,
         Kernel::Polynomial { degree: 2 },
         Kernel::Polynomial { degree: 3 },
         Kernel::Rbf { gamma: 0.5 },
     ] {
-        g.bench_function(kernel.label(), |b| {
-            b.iter(|| {
-                let cfg = FitConfig::default().with_kernel(kernel);
-                black_box(loso_evaluate(m, &cfg).mean_gm)
-            })
+        let cfg = FitConfig::default().with_kernel(kernel);
+        h.bench(&format!("table1_loso_{}", kernel.label()), || {
+            bb(loso_evaluate(&m, &cfg).mean_gm)
         });
     }
-    g.finish();
-}
 
-fn bench_fig3(c: &mut Criterion) {
-    let m = matrix();
-    c.bench_function("fig3_correlation_matrix", |b| {
-        b.iter(|| black_box(correlation_matrix(m)))
-    });
-}
+    h.bench("fig3_correlation_matrix", || bb(correlation_matrix(&m)));
 
-fn bench_fig4(c: &mut Criterion) {
-    let m = matrix();
-    let tech = TechParams::default();
-    let mut g = c.benchmark_group("fig4_feature_sweep");
-    g.sample_size(10);
-    g.bench_function("sizes_53_20_10", |b| {
-        b.iter(|| {
-            black_box(feature_sweep(m, &[53, 20, 10], &FitConfig::default(), &tech).len())
-        })
+    h.bench("fig4_feature_sweep_53_20_10", || {
+        bb(feature_sweep(&m, &[53, 20, 10], &FitConfig::default(), &tech).len())
     });
-    g.finish();
-}
 
-fn bench_fig5(c: &mut Criterion) {
-    let m = matrix();
-    let tech = TechParams::default();
-    let mut g = c.benchmark_group("fig5_sv_budget");
-    g.sample_size(10);
-    g.bench_function("budgets_30_15", |b| {
-        b.iter(|| {
-            black_box(sv_budget_sweep(m, &[30, 15], &FitConfig::default(), &tech).len())
-        })
+    h.bench("fig5_sv_budget_sweep_30_15", || {
+        bb(sv_budget_sweep(&m, &[30, 15], &FitConfig::default(), &tech).len())
     });
-    g.finish();
-}
 
-fn bench_fig6(c: &mut Criterion) {
-    let m = matrix();
-    let tech = TechParams::default();
-    let mut g = c.benchmark_group("fig6_bit_grid");
-    g.sample_size(10);
-    g.bench_function("grid_3x2", |b| {
-        b.iter(|| {
-            black_box(
-                bit_grid_evaluate(m, &FitConfig::default(), &[7, 9, 16], &[12, 15], &tech)
-                    .len(),
-            )
-        })
+    h.bench("fig6_bit_grid_3x2", || {
+        bb(bit_grid_evaluate(&m, &FitConfig::default(), &[7, 9, 16], &[12, 15], &tech).len())
     });
-    g.finish();
-}
 
-fn bench_fig7(c: &mut Criterion) {
-    let m = matrix();
-    let tech = TechParams::default();
-    let mut g = c.benchmark_group("fig7_combined");
-    g.sample_size(10);
-    g.bench_function("sequence", |b| {
-        b.iter(|| {
-            let params = CombineParams { n_features: 20, sv_budget: 16, d_bits: 9, a_bits: 15 };
-            black_box(combined_sequence(m, &FitConfig::default(), &params, &tech).len())
-        })
+    h.bench("fig7_combined_sequence", || {
+        let params = CombineParams {
+            n_features: 20,
+            sv_budget: 16,
+            d_bits: 9,
+            a_bits: 15,
+        };
+        bb(combined_sequence(&m, &FitConfig::default(), &params, &tech).len())
     });
-    g.bench_function("homogeneous_16bit", |b| {
-        b.iter(|| black_box(homogeneous_evaluate(m, &FitConfig::default(), 16, &tech).1))
+    h.bench("fig7_homogeneous_16bit", || {
+        bb(homogeneous_evaluate(&m, &FitConfig::default(), 16, &tech).1)
     });
-    g.finish();
-}
 
-criterion_group!(
-    paper,
-    bench_table1,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7
-);
-criterion_main!(paper);
+    h.report();
+}

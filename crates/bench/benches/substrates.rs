@@ -1,106 +1,74 @@
 //! Micro-benchmarks of every substrate the reproduction is built on:
 //! DSP kernels, ECG synthesis, feature extraction and SMO training.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{bb, Harness};
 use biodsp::fft::{fft, Complex};
 use biodsp::qrs::PanTompkins;
 use biodsp::window::WindowKind;
-use ecg_sim::dataset::{DatasetSpec, Scale};
 use ecg_features::extract::WindowExtractor;
-use std::hint::black_box;
-use std::sync::OnceLock;
+use ecg_features::DenseMatrix;
+use ecg_sim::dataset::{DatasetSpec, Scale};
 use svm::smo::{SmoConfig, SmoTrainer};
 use svm::Kernel;
 
-fn session_ecg() -> &'static (Vec<f64>, f64) {
-    static S: OnceLock<(Vec<f64>, f64)> = OnceLock::new();
-    S.get_or_init(|| {
-        let spec = DatasetSpec::new(Scale::Tiny, 42);
-        let rec = spec.sessions[0].synthesize();
-        (rec.ecg, rec.fs)
-    })
-}
+fn main() {
+    let spec = DatasetSpec::new(Scale::Tiny, 42);
+    let rec = spec.sessions[0].synthesize();
+    let (ecg, fs) = (rec.ecg, rec.fs);
 
-fn bench_fft(c: &mut Criterion) {
+    let mut h = Harness::new();
+
     let sig: Vec<Complex> = (0..4096)
         .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
         .collect();
-    c.bench_function("fft_4096", |b| b.iter(|| black_box(fft(&sig))));
-}
+    h.bench("fft_4096", || bb(fft(&sig)));
 
-fn bench_welch(c: &mut Criterion) {
-    let sig: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin()).collect();
-    c.bench_function("welch_4096_nperseg256", |b| {
-        b.iter(|| black_box(biodsp::psd::welch(&sig, 128.0, 256, 0.5, WindowKind::Hann)))
+    let real: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin()).collect();
+    h.bench("welch_4096_nperseg256", || {
+        bb(biodsp::psd::welch(&real, 128.0, 256, 0.5, WindowKind::Hann))
     });
-}
 
-fn bench_burg(c: &mut Criterion) {
-    let sig: Vec<f64> = (0..720)
+    let ar_sig: Vec<f64> = (0..720)
         .map(|i| (i as f64 * 0.41).sin() + 0.2 * (i as f64 * 1.3).cos())
         .collect();
-    c.bench_function("burg_ar9_720", |b| {
-        b.iter(|| black_box(biodsp::ar::burg(&sig, 9)))
-    });
-}
+    h.bench("burg_ar9_720", || bb(biodsp::ar::burg(&ar_sig, 9)));
 
-fn bench_pan_tompkins(c: &mut Criterion) {
-    let (ecg, fs) = session_ecg();
     let window = &ecg[..(40.0 * fs) as usize];
-    c.bench_function("pan_tompkins_40s", |b| {
-        b.iter(|| black_box(PanTompkins::default().detect(window, *fs)))
+    h.bench("pan_tompkins_40s", || {
+        bb(PanTompkins::default().detect(window, fs))
     });
-}
 
-fn bench_session_synthesis(c: &mut Criterion) {
-    let spec = DatasetSpec::new(Scale::Tiny, 42);
-    let mut g = c.benchmark_group("ecg_synthesis");
-    g.sample_size(10);
-    g.bench_function("session_6min_128hz", |b| {
-        b.iter(|| black_box(spec.sessions[0].synthesize().ecg.len()))
+    h.bench("session_synthesis_6min_128hz", || {
+        bb(spec.sessions[0].synthesize().ecg.len())
     });
-    g.finish();
-}
 
-fn bench_feature_extraction(c: &mut Criterion) {
-    let (ecg, fs) = session_ecg();
-    let window = &ecg[..(40.0 * fs) as usize];
-    let ex = WindowExtractor::new(*fs);
-    c.bench_function("extract_53_features_40s_window", |b| {
-        b.iter(|| black_box(ex.extract(window).map(|v| v.len())))
+    let ex = WindowExtractor::new(fs);
+    h.bench("extract_53_features_40s_window", || {
+        bb(ex.extract(window).map(|v| v.len()))
     });
-}
 
-fn bench_smo(c: &mut Criterion) {
     // A moderately hard 2-D training problem with overlap.
-    let mut x = Vec::new();
+    let mut x = DenseMatrix::with_cols(2);
     let mut y = Vec::new();
     for i in 0..120 {
         let t = i as f64 * 0.37;
-        x.push(vec![0.4 + 0.5 * t.sin(), 0.3 * (1.7 * t).cos()]);
+        x.push_row(&[0.4 + 0.5 * t.sin(), 0.3 * (1.7 * t).cos()]);
         y.push(1.0);
-        x.push(vec![-0.4 + 0.5 * (1.1 * t).cos(), 0.3 * (0.7 * t).sin()]);
+        x.push_row(&[-0.4 + 0.5 * (1.1 * t).cos(), 0.3 * (0.7 * t).sin()]);
         y.push(-1.0);
     }
-    let mut g = c.benchmark_group("smo_training");
-    g.sample_size(10);
     for kernel in [Kernel::Linear, Kernel::Polynomial { degree: 2 }] {
-        g.bench_function(kernel.label(), |b| {
-            let cfg = SmoConfig { c: 4.0, kernel, ..Default::default() };
-            b.iter(|| black_box(SmoTrainer::new(cfg).train(&x, &y).map(|m| m.n_support_vectors())))
+        let cfg = SmoConfig {
+            c: 4.0,
+            kernel,
+            ..Default::default()
+        };
+        h.bench(&format!("smo_train_240_{}", kernel.label()), || {
+            bb(SmoTrainer::new(cfg)
+                .train(&x, &y)
+                .map(|m| m.n_support_vectors()))
         });
     }
-    g.finish();
-}
 
-criterion_group!(
-    substrates,
-    bench_fft,
-    bench_welch,
-    bench_burg,
-    bench_pan_tompkins,
-    bench_session_synthesis,
-    bench_feature_extraction,
-    bench_smo
-);
-criterion_main!(substrates);
+    h.report();
+}

@@ -38,7 +38,7 @@ pub fn build_feature_matrix_with_stats(spec: &DatasetSpec) -> (FeatureMatrix, As
                         stats.positives += 1;
                     }
                     stats.windows_ok += 1;
-                    m.push_row(row, y, rec.session_index, rec.patient_id);
+                    m.push_row(&row, y, rec.session_index, rec.patient_id);
                 }
                 Err(_) => stats.windows_dropped += 1,
             }
@@ -67,9 +67,7 @@ mod tests {
         assert!(stats.windows_dropped < stats.windows_ok / 4);
         assert_eq!(m.session_list().len(), 6);
         // All features finite.
-        for row in &m.rows {
-            assert!(row.iter().all(|v| v.is_finite()));
-        }
+        assert!(m.features.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 use crate::config::FitConfig;
 use crate::engine::{BitConfig, QuantizedEngine};
 use crate::eval::{Confusion, LosoResult};
+use crate::parallel::par_map;
 use crate::trained::FloatPipeline;
-use ecg_features::FeatureMatrix;
+use ecg_features::{DenseMatrix, FeatureMatrix};
 use hwmodel::pipeline::AcceleratorConfig;
 use hwmodel::TechParams;
 
@@ -28,11 +29,21 @@ pub struct BitPoint {
     pub area_mm2: f64,
 }
 
+/// Per-fold grid evaluation payload: SV count, selected width and the
+/// confusion of every (D, A) point on that fold's test session.
+struct FoldGrid {
+    n_sv: usize,
+    n_feat: usize,
+    cells: Vec<((u32, u32), Confusion)>,
+}
+
 /// Evaluates the full (D, A) grid under leave-one-session-out folds.
 ///
 /// The float pipeline is trained **once per fold** and every grid point
 /// re-quantises the same model, matching the paper's methodology (bitwidth
-/// reduction does not retrain).
+/// reduction does not retrain). Folds run on the parallel layer; per-point
+/// confusions are merged in fixed session order, so the result is
+/// independent of scheduling.
 ///
 /// Folds whose training fails are skipped; the function returns an empty
 /// vector if no fold trains.
@@ -43,35 +54,43 @@ pub fn bit_grid_evaluate(
     a_values: &[u32],
     tech: &TechParams,
 ) -> Vec<BitPoint> {
-    // Per-(d,a): one confusion per fold (so GM can be fold-averaged).
+    let sessions = m.session_list();
+    let fold_grids: Vec<Option<FoldGrid>> = par_map(&sessions, |&sid| {
+        let (train, test) = m.split_by_session(sid);
+        if train.n_rows() == 0 || test.n_rows() == 0 {
+            return None;
+        }
+        let p = FloatPipeline::fit(&train, cfg).ok()?;
+        let mut cells = Vec::with_capacity(d_values.len() * a_values.len());
+        for &d in d_values {
+            for &a in a_values {
+                let Ok(engine) = QuantizedEngine::from_pipeline(&p, BitConfig::new(d, a)) else {
+                    continue;
+                };
+                let predictions = engine.classify_batch(&test.features);
+                cells.push(((d, a), Confusion::from_batch(&test.labels, &predictions)));
+            }
+        }
+        Some(FoldGrid {
+            n_sv: p.model().n_support_vectors(),
+            n_feat: p.feature_indices().len(),
+            cells,
+        })
+    });
+
+    // Per-(d,a): one confusion per fold (so GM can be fold-averaged),
+    // merged in session order.
     let mut per_point: std::collections::HashMap<(u32, u32), Vec<Confusion>> =
         std::collections::HashMap::new();
     let mut n_sv_sum = 0usize;
     let mut n_folds = 0usize;
     let mut n_feat = m.n_cols();
-    for sid in m.session_list() {
-        let (train, test) = m.split_by_session(sid);
-        if train.n_rows() == 0 || test.n_rows() == 0 {
-            continue;
-        }
-        let Ok(p) = FloatPipeline::fit(&train, cfg) else {
-            continue;
-        };
-        n_sv_sum += p.model().n_support_vectors();
-        n_feat = p.feature_indices().len();
+    for grid in fold_grids.into_iter().flatten() {
+        n_sv_sum += grid.n_sv;
+        n_feat = grid.n_feat;
         n_folds += 1;
-        for &d in d_values {
-            for &a in a_values {
-                let Ok(engine) = QuantizedEngine::from_pipeline(&p, BitConfig::new(d, a))
-                else {
-                    continue;
-                };
-                let mut confusion = Confusion::default();
-                for (row, &label) in test.rows.iter().zip(test.labels.iter()) {
-                    confusion.record(label, engine.classify(row));
-                }
-                per_point.entry((d, a)).or_default().push(confusion);
-            }
+        for (key, confusion) in grid.cells {
+            per_point.entry(key).or_default().push(confusion);
         }
     }
     if n_folds == 0 {
@@ -101,10 +120,18 @@ pub fn bit_grid_evaluate(
                 lanes: 1,
             };
             let cost = hw.cost(tech);
-            BitPoint { d_bits: d, a_bits: a, gm, se, sp, energy_nj: cost.energy_nj, area_mm2: cost.area_mm2 }
+            BitPoint {
+                d_bits: d,
+                a_bits: a,
+                gm,
+                se,
+                sp,
+                energy_nj: cost.energy_nj,
+                area_mm2: cost.area_mm2,
+            }
         })
         .collect();
-    points.sort_by(|p1, p2| (p1.d_bits, p1.a_bits).cmp(&(p2.d_bits, p2.a_bits)));
+    points.sort_by_key(|p| (p.d_bits, p.a_bits));
     points
 }
 
@@ -117,15 +144,25 @@ pub fn homogeneous_evaluate(
     bits: u32,
     tech: &TechParams,
 ) -> (LosoResult, f64, f64) {
-    let hom_cfg = FitConfig { homogeneous_scale: true, ..cfg.clone() };
+    let hom_cfg = FitConfig {
+        homogeneous_scale: true,
+        ..cfg.clone()
+    };
     let result = crate::eval::loso_evaluate_with(m, |train| {
         let p = FloatPipeline::fit(train, &hom_cfg)?;
         let n_sv = p.model().n_support_vectors();
         let engine = QuantizedEngine::from_pipeline(&p, BitConfig::uniform(bits))?;
-        Ok((move |row: &[f64]| engine.classify(row), n_sv))
+        Ok((
+            move |rows: &DenseMatrix<f64>| engine.classify_batch(rows),
+            n_sv,
+        ))
     });
-    let n_feat = hom_cfg.features.as_ref().map(Vec::len).unwrap_or(m.n_cols());
-    let n_sv = if result.mean_n_sv.is_nan() { 0 } else { result.mean_n_sv.round() as usize };
+    let n_feat = hom_cfg
+        .features
+        .as_ref()
+        .map(Vec::len)
+        .unwrap_or(m.n_cols());
+    let n_sv = result.mean_n_sv_rounded();
     let cost = AcceleratorConfig::uniform(n_sv, n_feat, bits).cost(tech);
     (result, cost.energy_nj, cost.area_mm2)
 }
@@ -148,13 +185,7 @@ mod tests {
     fn grid_shape_and_monotonicity() {
         let m = matrix();
         let tech = TechParams::default();
-        let points = bit_grid_evaluate(
-            &m,
-            &FitConfig::default(),
-            &[4, 9, 16],
-            &[8, 15],
-            &tech,
-        );
+        let points = bit_grid_evaluate(&m, &FitConfig::default(), &[4, 9, 16], &[8, 15], &tech);
         assert_eq!(points.len(), 6);
         // Energy grows with D at fixed A.
         let e = |d: u32, a: u32| {
@@ -168,7 +199,11 @@ mod tests {
         assert!(e(9, 15) > e(4, 15));
         // GM at generous widths beats the starved 4-bit point (or ties).
         let gm = |d: u32, a: u32| {
-            points.iter().find(|p| p.d_bits == d && p.a_bits == a).unwrap().gm
+            points
+                .iter()
+                .find(|p| p.d_bits == d && p.a_bits == a)
+                .unwrap()
+                .gm
         };
         assert!(gm(16, 15) >= gm(4, 8) - 0.02);
     }
@@ -181,7 +216,12 @@ mod tests {
         let (r63, _, _) = homogeneous_evaluate(&m, &FitConfig::default(), 63, &tech);
         // Wide homogeneous pipeline ≈ float quality; narrow loses (or at
         // best ties) because small-range features starve.
-        assert!(r63.mean_gm >= r16.mean_gm - 0.02, "{} vs {}", r63.mean_gm, r16.mean_gm);
+        assert!(
+            r63.mean_gm >= r16.mean_gm - 0.02,
+            "{} vs {}",
+            r63.mean_gm,
+            r16.mean_gm
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! logarithmic in the excess; the fixed point is the same — a model with
 //! at most `budget` support vectors.
 
+use ecg_features::DenseMatrix;
 use svm::smo::{SmoConfig, SmoTrainer};
 use svm::{SvmError, SvmModel};
 
@@ -23,7 +24,7 @@ use svm::{SvmError, SvmModel};
 /// returned (documented degradation instead of a crash on degenerate
 /// folds).
 pub fn train_budgeted(
-    x: &[Vec<f64>],
+    x: &DenseMatrix<f64>,
     y: &[f64],
     cfg: &SmoConfig,
     budget: usize,
@@ -32,12 +33,12 @@ pub fn train_budgeted(
         return Err(SvmError::InvalidConfig("sv budget must be at least 2"));
     }
     let trainer = SmoTrainer::new(*cfg);
-    let mut xs: Vec<Vec<f64>> = x.to_vec();
+    let mut xs: DenseMatrix<f64> = x.clone();
     let mut ys: Vec<f64> = y.to_vec();
     let mut rounds = 0usize;
     loop {
         let (model, alphas, _stats) = trainer.train_with_alphas(&xs, &ys)?;
-        let sv_idx: Vec<usize> = (0..xs.len()).filter(|&i| alphas[i] > 1e-8).collect();
+        let sv_idx: Vec<usize> = (0..xs.n_rows()).filter(|&i| alphas[i] > 1e-8).collect();
         if sv_idx.len() <= budget || rounds >= 64 {
             return Ok((model, rounds));
         }
@@ -48,17 +49,23 @@ pub fn train_budgeted(
         // paper's Fig 5 plateau relies on).
         let mut ranked: Vec<(usize, f64)> = sv_idx
             .iter()
-            .map(|&i| (i, alphas[i] * alphas[i] * cfg.kernel.eval(&xs[i], &xs[i])))
+            .map(|&i| {
+                (
+                    i,
+                    alphas[i] * alphas[i] * cfg.kernel.eval(xs.row(i), xs.row(i)),
+                )
+            })
             .collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
         let excess = sv_idx.len() - budget;
         let k = (excess / 2).max(1).min(excess);
         // Never remove the final example of either class.
-        let mut to_remove: Vec<usize> = Vec::with_capacity(k);
+        let mut remove = vec![false; xs.n_rows()];
+        let mut removed = 0usize;
         let mut pos_left = ys.iter().filter(|&&v| v > 0.0).count();
         let mut neg_left = ys.len() - pos_left;
         for &(i, _) in ranked.iter() {
-            if to_remove.len() == k {
+            if removed == k {
                 break;
             }
             if ys[i] > 0.0 {
@@ -72,17 +79,22 @@ pub fn train_budgeted(
                 }
                 neg_left -= 1;
             }
-            to_remove.push(i);
+            remove[i] = true;
+            removed += 1;
         }
-        if to_remove.is_empty() {
+        if removed == 0 {
             // Cannot prune further without destroying a class.
             return Ok((model, rounds));
         }
-        to_remove.sort_unstable_by(|a, b| b.cmp(a));
-        for i in to_remove {
-            xs.swap_remove(i);
-            ys.swap_remove(i);
-        }
+        // Rebuild the dense block without the pruned rows, preserving the
+        // original sample order (keeps re-training deterministic).
+        xs = xs.filter_rows(|i| !remove[i]);
+        ys = ys
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !remove[i])
+            .map(|(_, &v)| v)
+            .collect();
         rounds += 1;
     }
 }
@@ -93,7 +105,7 @@ mod tests {
     use svm::Kernel;
 
     /// Noisy two-moon-ish data that produces many SVs.
-    fn noisy_problem(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn noisy_problem(n: usize) -> (DenseMatrix<f64>, Vec<f64>) {
         let mut x = Vec::new();
         let mut y = Vec::new();
         let mut seed = 42u64;
@@ -111,7 +123,7 @@ mod tests {
             x.push(vec![-0.4 + 0.8 * rnd(), 0.5 * rnd() + 0.2 * t.cos()]);
             y.push(-1.0);
         }
-        (x, y)
+        (DenseMatrix::from_rows(&x), y)
     }
 
     fn cfg() -> SmoConfig {
@@ -151,15 +163,21 @@ mod tests {
         let budget = (free.n_support_vectors() / 2).max(4);
         let (model, _) = train_budgeted(&x, &y, &cfg(), budget).unwrap();
         let acc = |m: &SvmModel| {
-            x.iter()
+            m.predict_batch(&x)
+                .iter()
                 .zip(y.iter())
-                .filter(|(xi, &yi)| m.predict(xi) == yi)
+                .filter(|(&p, &yi)| p == yi)
                 .count() as f64
-                / x.len() as f64
+                / x.n_rows() as f64
         };
         // Accuracy may drop slightly but must stay in the same regime
         // (the paper's Fig 5 plateau).
-        assert!(acc(&model) > acc(&free) - 0.12, "{} vs {}", acc(&model), acc(&free));
+        assert!(
+            acc(&model) > acc(&free) - 0.12,
+            "{} vs {}",
+            acc(&model),
+            acc(&free)
+        );
     }
 
     #[test]
@@ -175,10 +193,11 @@ mod tests {
     fn class_preservation_on_extreme_budget() {
         // Budget 2 on imbalanced data: pruning must never delete the last
         // positive example.
-        let mut x = vec![vec![1.0, 1.0]];
+        let mut x = DenseMatrix::with_cols(2);
+        x.push_row(&[1.0, 1.0]);
         let mut y = vec![1.0];
         for i in 0..20 {
-            x.push(vec![-1.0 - 0.05 * i as f64, -1.0]);
+            x.push_row(&[-1.0 - 0.05 * i as f64, -1.0]);
             y.push(-1.0);
         }
         let (model, _) = train_budgeted(&x, &y, &cfg(), 2).unwrap();

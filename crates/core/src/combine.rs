@@ -3,10 +3,10 @@
 use crate::bitwidth::homogeneous_evaluate;
 use crate::config::FitConfig;
 use crate::engine::{BitConfig, QuantizedEngine};
-use crate::eval::{loso_evaluate, loso_evaluate_with};
+use crate::eval::{loso_evaluate, loso_evaluate_with, LosoResult};
 use crate::featsel::select_features;
 use crate::trained::FloatPipeline;
-use ecg_features::FeatureMatrix;
+use ecg_features::{DenseMatrix, FeatureMatrix};
 use hwmodel::pipeline::AcceleratorConfig;
 use hwmodel::TechParams;
 
@@ -25,7 +25,12 @@ pub struct CombineParams {
 
 impl Default for CombineParams {
     fn default() -> Self {
-        CombineParams { n_features: 30, sv_budget: 68, d_bits: 9, a_bits: 15 }
+        CombineParams {
+            n_features: 30,
+            sv_budget: 68,
+            d_bits: 9,
+            a_bits: 15,
+        }
     }
 }
 
@@ -45,7 +50,10 @@ impl CombineParams {
         let mut feat_gm = base.mean_gm;
         for n in candidates_feat {
             let kept = select_features(m, n);
-            let cfg = FitConfig { features: Some(kept), ..base_cfg.clone() };
+            let cfg = FitConfig {
+                features: Some(kept),
+                ..base_cfg.clone()
+            };
             let r = loso_evaluate(m, &cfg);
             if r.mean_gm >= base.mean_gm - tol_gm {
                 n_features = n;
@@ -55,13 +63,19 @@ impl CombineParams {
             }
         }
         let kept = select_features(m, n_features);
-        let cfg_feat = FitConfig { features: Some(kept), ..base_cfg.clone() };
+        let cfg_feat = FitConfig {
+            features: Some(kept),
+            ..base_cfg.clone()
+        };
         let free = loso_evaluate(m, &cfg_feat);
         let full_sv = free.mean_n_sv.max(4.0).round() as usize;
         let mut sv_budget = full_sv;
         for frac in [0.9, 0.75, 0.6, 0.5, 0.4, 0.3] {
             let budget = ((full_sv as f64 * frac).round() as usize).max(3);
-            let cfg = FitConfig { sv_budget: Some(budget), ..cfg_feat.clone() };
+            let cfg = FitConfig {
+                sv_budget: Some(budget),
+                ..cfg_feat.clone()
+            };
             let r = loso_evaluate(m, &cfg);
             if r.mean_gm >= feat_gm - tol_gm {
                 sv_budget = budget;
@@ -69,7 +83,12 @@ impl CombineParams {
                 break;
             }
         }
-        CombineParams { n_features, sv_budget, d_bits: 9, a_bits: 15 }
+        CombineParams {
+            n_features,
+            sv_budget,
+            d_bits: 9,
+            a_bits: 15,
+        }
     }
 }
 
@@ -110,17 +129,37 @@ impl StageReport {
     }
 }
 
-fn stage_from_float(
+/// One stage of the Fig 7 sequence, before costing.
+enum StageSpec {
+    /// Float pipeline at a uniform reference width.
+    Float {
+        name: &'static str,
+        cfg: FitConfig,
+        n_feat: usize,
+        bits: u32,
+    },
+    /// Bit-accurate quantised engine at tailored widths.
+    Quantized {
+        name: &'static str,
+        cfg: FitConfig,
+        n_feat: usize,
+        d_bits: u32,
+        a_bits: u32,
+    },
+}
+
+fn report_from(
     name: &str,
-    m: &FeatureMatrix,
-    cfg: &FitConfig,
-    n_feat: usize,
-    bits: u32,
+    r: &LosoResult,
+    hw: AcceleratorConfig,
     tech: &TechParams,
 ) -> StageReport {
-    let r = loso_evaluate(m, cfg);
-    let n_sv = if r.mean_n_sv.is_nan() { 0.0 } else { r.mean_n_sv };
-    let cost = AcceleratorConfig::uniform(n_sv.round() as usize, n_feat, bits).cost(tech);
+    let n_sv = if r.mean_n_sv.is_nan() {
+        0.0
+    } else {
+        r.mean_n_sv
+    };
+    let cost = hw.cost(tech);
     StageReport {
         name: name.to_string(),
         gm: r.mean_gm,
@@ -129,9 +168,54 @@ fn stage_from_float(
         energy_nj: cost.energy_nj,
         area_mm2: cost.area_mm2,
         n_sv,
-        n_feat,
-        d_bits: bits,
-        a_bits: bits,
+        n_feat: hw.n_feat,
+        d_bits: hw.d_bits,
+        a_bits: hw.a_bits,
+    }
+}
+
+fn evaluate_stage(m: &FeatureMatrix, spec: &StageSpec, tech: &TechParams) -> StageReport {
+    match spec {
+        StageSpec::Float {
+            name,
+            cfg,
+            n_feat,
+            bits,
+        } => {
+            let r = crate::eval::loso_evaluate(m, cfg);
+            report_from(
+                name,
+                &r,
+                AcceleratorConfig::uniform(r.mean_n_sv_rounded(), *n_feat, *bits),
+                tech,
+            )
+        }
+        StageSpec::Quantized {
+            name,
+            cfg,
+            n_feat,
+            d_bits,
+            a_bits,
+        } => {
+            let bits = BitConfig::new(*d_bits, *a_bits);
+            let r = loso_evaluate_with(m, |train| {
+                let p = FloatPipeline::fit(train, cfg)?;
+                let n_sv = p.model().n_support_vectors();
+                let e = QuantizedEngine::from_pipeline(&p, bits)?;
+                Ok((move |rows: &DenseMatrix<f64>| e.classify_batch(rows), n_sv))
+            });
+            let n_sv = r.mean_n_sv_rounded();
+            let hw = AcceleratorConfig {
+                n_sv,
+                n_feat: *n_feat,
+                d_bits: *d_bits,
+                a_bits: *a_bits,
+                post_dot_truncate: 10,
+                post_square_truncate: 10,
+                lanes: 1,
+            };
+            report_from(name, &r, hw, tech)
+        }
     }
 }
 
@@ -142,79 +226,62 @@ fn stage_from_float(
 /// 3. feature + SV reduction (`sv_budget`),
 /// 4. feature + SV + bitwidth reduction (`d_bits`/`a_bits`, quantised
 ///    engine evaluated bit-accurately).
+///
+/// Stages run one after another with fold-parallel LOSO inside each: the
+/// fold count is the larger grain (≥ core count on real cohorts), and
+/// keeping a single parallel level avoids oversubscribing threads.
 pub fn combined_sequence(
     m: &FeatureMatrix,
     base_cfg: &FitConfig,
     params: &CombineParams,
     tech: &TechParams,
 ) -> Vec<StageReport> {
-    let mut out = Vec::with_capacity(4);
-    // Stage 1: baseline.
-    out.push(stage_from_float(
-        "64-bit baseline",
-        m,
-        base_cfg,
-        m.n_cols(),
-        64,
-        tech,
-    ));
-    // Stage 2: feature reduction.
     let kept = select_features(m, params.n_features.min(m.n_cols()));
-    let cfg_feat = FitConfig { features: Some(kept.clone()), ..base_cfg.clone() };
-    out.push(stage_from_float(
-        "feat. reduction",
-        m,
-        &cfg_feat,
-        kept.len(),
-        64,
-        tech,
-    ));
-    // Stage 3: + SV budget.
-    let cfg_sv = FitConfig { sv_budget: Some(params.sv_budget), ..cfg_feat.clone() };
-    out.push(stage_from_float(
-        "feat., SVs reduction",
-        m,
-        &cfg_sv,
-        kept.len(),
-        64,
-        tech,
-    ));
-    // Stage 4: + bitwidths (bit-accurate quantised engine).
-    let bits = BitConfig::new(params.d_bits, params.a_bits);
-    let r = loso_evaluate_with(m, |train| {
-        let p = FloatPipeline::fit(train, &cfg_sv)?;
-        let n_sv = p.model().n_support_vectors();
-        let e = QuantizedEngine::from_pipeline(&p, bits)?;
-        Ok((move |row: &[f64]| e.classify(row), n_sv))
-    });
-    let n_sv = if r.mean_n_sv.is_nan() { 0.0 } else { r.mean_n_sv };
-    let hw = AcceleratorConfig {
-        n_sv: n_sv.round() as usize,
-        n_feat: kept.len(),
-        d_bits: params.d_bits,
-        a_bits: params.a_bits,
-        post_dot_truncate: 10,
-        post_square_truncate: 10,
-        lanes: 1,
+    let cfg_feat = FitConfig {
+        features: Some(kept.clone()),
+        ..base_cfg.clone()
     };
-    let cost = hw.cost(tech);
-    out.push(StageReport {
-        name: "feat., SVs, bit reduction".to_string(),
-        gm: r.mean_gm,
-        se: r.mean_se,
-        sp: r.mean_sp,
-        energy_nj: cost.energy_nj,
-        area_mm2: cost.area_mm2,
-        n_sv,
-        n_feat: kept.len(),
-        d_bits: params.d_bits,
-        a_bits: params.a_bits,
-    });
-    out
+    let cfg_sv = FitConfig {
+        sv_budget: Some(params.sv_budget),
+        ..cfg_feat.clone()
+    };
+    let stages = [
+        StageSpec::Float {
+            name: "64-bit baseline",
+            cfg: base_cfg.clone(),
+            n_feat: m.n_cols(),
+            bits: 64,
+        },
+        StageSpec::Float {
+            name: "feat. reduction",
+            cfg: cfg_feat,
+            n_feat: kept.len(),
+            bits: 64,
+        },
+        StageSpec::Float {
+            name: "feat., SVs reduction",
+            cfg: cfg_sv.clone(),
+            n_feat: kept.len(),
+            bits: 64,
+        },
+        StageSpec::Quantized {
+            name: "feat., SVs, bit reduction",
+            cfg: cfg_sv,
+            n_feat: kept.len(),
+            d_bits: params.d_bits,
+            a_bits: params.a_bits,
+        },
+    ];
+    stages
+        .iter()
+        .map(|spec| evaluate_stage(m, spec, tech))
+        .collect()
 }
 
 /// Fig 7 (right): homogeneous-scaling pipelines at the given uniform
-/// widths (paper: 32 and 16, normalised against 64).
+/// widths (paper: 32 and 16, normalised against 64). Widths run one after
+/// another; [`homogeneous_evaluate`] parallelises over folds internally,
+/// which is the larger grain.
 pub fn homogeneous_pipelines(
     m: &FeatureMatrix,
     base_cfg: &FitConfig,
@@ -262,8 +329,12 @@ mod tests {
         // Pick a budget that actually binds on this dataset.
         let free = crate::eval::loso_evaluate(&m, &FitConfig::default());
         let budget = ((free.mean_n_sv / 2.0).round() as usize).max(4);
-        let params =
-            CombineParams { n_features: 20, sv_budget: budget, d_bits: 9, a_bits: 15 };
+        let params = CombineParams {
+            n_features: 20,
+            sv_budget: budget,
+            d_bits: 9,
+            a_bits: 15,
+        };
         let stages = combined_sequence(&m, &FitConfig::default(), &params, &tech);
         assert_eq!(stages.len(), 4);
         // Energy and area must shrink at every stage.
@@ -299,7 +370,10 @@ mod tests {
     #[test]
     fn default_params_are_papers() {
         let p = CombineParams::default();
-        assert_eq!((p.n_features, p.sv_budget, p.d_bits, p.a_bits), (30, 68, 9, 15));
+        assert_eq!(
+            (p.n_features, p.sv_budget, p.d_bits, p.a_bits),
+            (30, 68, 9, 15)
+        );
     }
 
     #[test]

@@ -22,15 +22,15 @@
 
 use crate::error::CoreError;
 use crate::trained::FloatPipeline;
+use ecg_features::DenseMatrix;
 use fixedpoint::fixed::truncate_lsbs;
 use fixedpoint::quantize::Quantizer;
 use fixedpoint::FeatureScales;
 use hwmodel::pipeline::AcceleratorConfig;
-use serde::{Deserialize, Serialize};
 use svm::Kernel;
 
 /// Bit-level configuration of the tailored pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitConfig {
     /// Feature word width (`D_bits`).
     pub d_bits: u32,
@@ -45,13 +45,23 @@ pub struct BitConfig {
 impl BitConfig {
     /// Tailored configuration with the paper's 10+10 LSB truncations.
     pub fn new(d_bits: u32, a_bits: u32) -> Self {
-        BitConfig { d_bits, a_bits, post_dot_truncate: 10, post_square_truncate: 10 }
+        BitConfig {
+            d_bits,
+            a_bits,
+            post_dot_truncate: 10,
+            post_square_truncate: 10,
+        }
     }
 
     /// Homogeneous-width configuration without truncation (the 64/32/16-
     /// bit reference pipelines of Fig 7).
     pub fn uniform(bits: u32) -> Self {
-        BitConfig { d_bits: bits, a_bits: bits, post_dot_truncate: 0, post_square_truncate: 0 }
+        BitConfig {
+            d_bits: bits,
+            a_bits: bits,
+            post_dot_truncate: 0,
+            post_square_truncate: 0,
+        }
     }
 
     /// The paper's chosen point: 9 feature bits, 15 coefficient bits.
@@ -76,14 +86,15 @@ pub struct QuantizedEngine {
     guard: i32,
     feature_indices: Vec<usize>,
     scales: FeatureScales,
-    /// Quantised SV feature codes (exact path) — `n_sv × n_feat`.
-    sv_codes: Vec<Vec<i64>>,
+    /// Quantised SV feature codes (exact path), one contiguous row-major
+    /// `n_sv × n_feat` block — the software image of the SV memory.
+    sv_codes: DenseMatrix<i64>,
     /// Quantised αy codes (after max-normalisation).
     alpha_codes: Vec<i64>,
     /// Bias code at the MAC2 accumulator scale (exact path).
     bias_code: i128,
     /// Float-sim mirrors (used when `D_bits > MAX_EXACT_D_BITS`).
-    sv_values: Vec<Vec<f64>>,
+    sv_values: DenseMatrix<f64>,
     alpha_values: Vec<f64>,
     bias_value: f64,
 }
@@ -113,33 +124,42 @@ impl QuantizedEngine {
             ..bits
         };
         if bits.d_bits < 2 || bits.a_bits < 2 {
-            return Err(CoreError::InvalidConfig("bit widths must be at least 2".into()));
+            return Err(CoreError::InvalidConfig(
+                "bit widths must be at least 2".into(),
+            ));
         }
         let model = p.model();
         if model.n_support_vectors() == 0 {
-            return Err(CoreError::InvalidConfig("model has no support vectors".into()));
+            return Err(CoreError::InvalidConfig(
+                "model has no support vectors".into(),
+            ));
         }
         let guard = p.guard();
         let feat_q = Quantizer::for_range_exponent(-guard, bits.d_bits);
-        let sv_codes: Vec<Vec<i64>> = model
-            .support_vectors()
-            .iter()
-            .map(|sv| sv.iter().map(|&v| feat_q.encode(v)).collect())
-            .collect();
-        let sv_values: Vec<Vec<f64>> = sv_codes
-            .iter()
-            .map(|row| row.iter().map(|&c| feat_q.decode(c)).collect())
-            .collect();
+        let svs = model.support_vectors();
+        let sv_codes = DenseMatrix::from_flat(
+            svs.as_slice().iter().map(|&v| feat_q.encode(v)).collect(),
+            svs.n_cols(),
+        );
+        let sv_values = DenseMatrix::from_flat(
+            sv_codes
+                .as_slice()
+                .iter()
+                .map(|&c| feat_q.decode(c))
+                .collect(),
+            sv_codes.n_cols(),
+        );
 
         // Normalise αy into [-1, 1] by the max magnitude: the sign of the
         // decision function is invariant under positive scaling.
         let alpha_y = model.alpha_y();
-        let s = alpha_y.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(f64::MIN_POSITIVE);
+        let s = alpha_y
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(f64::MIN_POSITIVE);
         let alpha_q = Quantizer::for_alpha(bits.a_bits);
-        let alpha_codes: Vec<i64> =
-            alpha_y.iter().map(|&v| alpha_q.encode(v / s)).collect();
-        let alpha_values: Vec<f64> =
-            alpha_codes.iter().map(|&c| alpha_q.decode(c)).collect();
+        let alpha_codes: Vec<i64> = alpha_y.iter().map(|&v| alpha_q.encode(v / s)).collect();
+        let alpha_values: Vec<f64> = alpha_codes.iter().map(|&c| alpha_q.decode(c)).collect();
         let bias_value = model.bias() / s;
 
         // Exact-path bias at the MAC2 accumulator scale.
@@ -151,7 +171,11 @@ impl QuantizedEngine {
         let acc2_exp = s2 - (a - 1);
         let bias_code = {
             let v = bias_value / (acc2_exp as f64).exp2();
-            if v.is_finite() { v.round() as i128 } else { 0 }
+            if v.is_finite() {
+                v.round() as i128
+            } else {
+                0
+            }
         };
 
         Ok(QuantizedEngine {
@@ -175,7 +199,7 @@ impl QuantizedEngine {
 
     /// Number of support vectors in the engine memory.
     pub fn n_support_vectors(&self) -> usize {
-        self.sv_codes.len()
+        self.sv_codes.n_rows()
     }
 
     /// Feature dimensionality.
@@ -199,17 +223,27 @@ impl QuantizedEngine {
     /// Encodes a raw full-width feature row into feature codes
     /// (select → shift by `2^{R_j}` → saturating quantisation).
     pub fn encode_features(&self, raw_row: &[f64]) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.feature_indices.len());
+        self.encode_features_into(raw_row, &mut out);
+        out
+    }
+
+    /// In-place variant of [`QuantizedEngine::encode_features`]: clears
+    /// and refills `out`, so batch loops reuse one code buffer instead of
+    /// allocating per row.
+    pub fn encode_features_into(&self, raw_row: &[f64], out: &mut Vec<i64>) {
         let q = Quantizer::for_range_exponent(-self.guard, self.bits.d_bits);
         let bound = (-self.guard as f64).exp2();
-        self.feature_indices
-            .iter()
-            .zip(self.scales.r.iter())
-            .map(|(&j, &r)| {
-                let norm = (raw_row[j] / ((r + self.guard) as f64).exp2())
-                    .clamp(-bound, bound);
-                q.encode(norm)
-            })
-            .collect()
+        out.clear();
+        out.extend(
+            self.feature_indices
+                .iter()
+                .zip(self.scales.r.iter())
+                .map(|(&j, &r)| {
+                    let norm = (raw_row[j] / ((r + self.guard) as f64).exp2()).clamp(-bound, bound);
+                    q.encode(norm)
+                }),
+        );
     }
 
     /// Classifies a raw feature row: `+1.0` (seizure) or `-1.0`.
@@ -229,12 +263,16 @@ impl QuantizedEngine {
     /// Decision value in accumulator LSBs (exact path) — exposed so tests
     /// and the Fig 6 exploration can inspect quantisation margins.
     pub fn decision_code(&self, raw_row: &[f64]) -> i128 {
-        let codes = self.encode_features(raw_row);
+        self.decision_code_of(&self.encode_features(raw_row))
+    }
+
+    /// Exact-path decision value from already-encoded feature codes.
+    fn decision_code_of(&self, codes: &[i64]) -> i128 {
         let d = self.bits.d_bits as i32;
         // The "+1" constant at the product scale 2^(2*lsb_f).
         let one = 1i128 << (2 * (self.guard + d - 1));
         let mut acc2: i128 = 0;
-        for (sv, &ac) in self.sv_codes.iter().zip(self.alpha_codes.iter()) {
+        for (sv, &ac) in self.sv_codes.rows().zip(self.alpha_codes.iter()) {
             let mut dot: i128 = 0;
             for (&t, &v) in codes.iter().zip(sv.iter()) {
                 dot += (t as i128) * (v as i128);
@@ -264,14 +302,11 @@ impl QuantizedEngine {
             .iter()
             .zip(self.scales.r.iter())
             .map(|(&j, &r)| {
-                q.quantize(
-                    (raw_row[j] / ((r + self.guard) as f64).exp2())
-                        .clamp(-bound, bound),
-                )
+                q.quantize((raw_row[j] / ((r + self.guard) as f64).exp2()).clamp(-bound, bound))
             })
             .collect();
         let mut acc = self.bias_value;
-        for (sv, &a) in self.sv_values.iter().zip(self.alpha_values.iter()) {
+        for (sv, &a) in self.sv_values.rows().zip(self.alpha_values.iter()) {
             let dot: f64 = x.iter().zip(sv.iter()).map(|(p, q)| p * q).sum();
             let k = (dot + 1.0) * (dot + 1.0);
             acc += a * k;
@@ -280,6 +315,29 @@ impl QuantizedEngine {
             1.0
         } else {
             -1.0
+        }
+    }
+
+    /// Classifies every row of a raw dense batch.
+    ///
+    /// Bit-identical to mapping [`QuantizedEngine::classify`] over the
+    /// rows; the exact path reuses one feature-code buffer across the
+    /// whole batch and streams the contiguous SV-code block per row.
+    pub fn classify_batch(&self, raw: &DenseMatrix<f64>) -> Vec<f64> {
+        if self.bits.d_bits <= MAX_EXACT_D_BITS {
+            let mut codes = Vec::with_capacity(self.feature_indices.len());
+            raw.rows()
+                .map(|row| {
+                    self.encode_features_into(row, &mut codes);
+                    if self.decision_code_of(&codes) >= 0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect()
+        } else {
+            raw.rows().map(|row| self.classify_float_sim(row)).collect()
         }
     }
 }
@@ -304,9 +362,13 @@ mod tests {
         FloatPipeline::fit(m, &FitConfig::default()).unwrap()
     }
 
-    fn agreement(a: &dyn Fn(&[f64]) -> f64, b: &dyn Fn(&[f64]) -> f64, rows: &[Vec<f64>]) -> f64 {
-        let same = rows.iter().filter(|r| a(r) == b(r)).count();
-        same as f64 / rows.len() as f64
+    fn agreement(
+        a: &dyn Fn(&[f64]) -> f64,
+        b: &dyn Fn(&[f64]) -> f64,
+        rows: &ecg_features::DenseMatrix<f64>,
+    ) -> f64 {
+        let same = rows.rows().filter(|r| a(r) == b(r)).count();
+        same as f64 / rows.n_rows() as f64
     }
 
     #[test]
@@ -314,7 +376,7 @@ mod tests {
         let m = matrix();
         let p = pipeline(&m);
         let e = QuantizedEngine::from_pipeline(&p, BitConfig::new(24, 24)).unwrap();
-        let agree = agreement(&|r| p.predict(r), &|r| e.classify(r), &m.rows);
+        let agree = agreement(&|r| p.predict(r), &|r| e.classify(r), &m.features);
         assert!(agree > 0.99, "agreement {agree}");
     }
 
@@ -323,7 +385,7 @@ mod tests {
         let m = matrix();
         let p = pipeline(&m);
         let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice()).unwrap();
-        let agree = agreement(&|r| p.predict(r), &|r| e.classify(r), &m.rows);
+        let agree = agreement(&|r| p.predict(r), &|r| e.classify(r), &m.features);
         assert!(agree > 0.9, "agreement {agree}");
     }
 
@@ -333,8 +395,8 @@ mod tests {
         let p = pipeline(&m);
         let coarse = QuantizedEngine::from_pipeline(&p, BitConfig::new(3, 4)).unwrap();
         let fine = QuantizedEngine::from_pipeline(&p, BitConfig::new(16, 16)).unwrap();
-        let a_coarse = agreement(&|r| p.predict(r), &|r| coarse.classify(r), &m.rows);
-        let a_fine = agreement(&|r| p.predict(r), &|r| fine.classify(r), &m.rows);
+        let a_coarse = agreement(&|r| p.predict(r), &|r| coarse.classify(r), &m.features);
+        let a_fine = agreement(&|r| p.predict(r), &|r| fine.classify(r), &m.features);
         assert!(a_fine >= a_coarse, "fine {a_fine} coarse {a_coarse}");
         assert!(a_fine > 0.97);
     }
@@ -345,14 +407,19 @@ mod tests {
         // zero truncation must agree (quantisation is the only effect).
         let m = matrix();
         let p = pipeline(&m);
-        let cfg = BitConfig { d_bits: 20, a_bits: 20, post_dot_truncate: 0, post_square_truncate: 0 };
+        let cfg = BitConfig {
+            d_bits: 20,
+            a_bits: 20,
+            post_dot_truncate: 0,
+            post_square_truncate: 0,
+        };
         let exact = QuantizedEngine::from_pipeline(&p, cfg).unwrap();
         // Force the float path by copying into a wide config with the
         // same operand widths... 64-bit operands quantise negligibly, so
         // instead compare both against the float pipeline.
         let wide = QuantizedEngine::from_pipeline(&p, BitConfig::uniform(63)).unwrap();
-        let a1 = agreement(&|r| exact.classify(r), &|r| p.predict(r), &m.rows);
-        let a2 = agreement(&|r| wide.classify(r), &|r| p.predict(r), &m.rows);
+        let a1 = agreement(&|r| exact.classify(r), &|r| p.predict(r), &m.features);
+        let a2 = agreement(&|r| wide.classify(r), &|r| p.predict(r), &m.features);
         assert!(a1 > 0.99, "exact {a1}");
         assert!(a2 > 0.995, "wide {a2}");
     }
@@ -366,10 +433,15 @@ mod tests {
         let with = QuantizedEngine::from_pipeline(&p, BitConfig::new(16, 16)).unwrap();
         let without = QuantizedEngine::from_pipeline(
             &p,
-            BitConfig { d_bits: 16, a_bits: 16, post_dot_truncate: 0, post_square_truncate: 0 },
+            BitConfig {
+                d_bits: 16,
+                a_bits: 16,
+                post_dot_truncate: 0,
+                post_square_truncate: 0,
+            },
         )
         .unwrap();
-        let agree = agreement(&|r| with.classify(r), &|r| without.classify(r), &m.rows);
+        let agree = agreement(&|r| with.classify(r), &|r| without.classify(r), &m.features);
         assert!(agree > 0.97, "agreement {agree}");
     }
 
@@ -415,18 +487,30 @@ mod tests {
         let e = QuantizedEngine::from_pipeline(&p, BitConfig::new(9, 15)).unwrap();
         let lo = -(1i64 << 8);
         let hi = (1i64 << 8) - 1;
-        for row in &m.rows {
+        for row in m.rows() {
             for c in e.encode_features(row) {
                 assert!((lo..=hi).contains(&c), "code {c}");
             }
         }
-        for sv in &e.sv_codes {
-            for &c in sv {
-                assert!((lo..=hi).contains(&c));
-            }
+        for &c in e.sv_codes.as_slice() {
+            assert!((lo..=hi).contains(&c));
         }
         for &a in &e.alpha_codes {
             assert!((-(1i64 << 14)..=(1i64 << 14) - 1).contains(&a));
+        }
+    }
+
+    #[test]
+    fn classify_batch_matches_per_row_on_both_paths() {
+        let m = matrix();
+        let p = pipeline(&m);
+        // Exact integer path and wide float-sim path.
+        for bits in [BitConfig::paper_choice(), BitConfig::uniform(63)] {
+            let e = QuantizedEngine::from_pipeline(&p, bits).unwrap();
+            let batch = e.classify_batch(&m.features);
+            for (i, row) in m.rows().enumerate() {
+                assert_eq!(batch[i], e.classify(row), "row {i} at {bits:?}");
+            }
         }
     }
 

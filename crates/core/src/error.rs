@@ -59,11 +59,12 @@ mod tests {
         let e: CoreError = svm::SvmError::InvalidConfig("c").into();
         assert!(e.to_string().contains("svm"));
         assert!(e.source().is_some());
-        let e: CoreError =
-            ecg_features::FeatureError::TooFewBeats { needed: 8, got: 0 }.into();
+        let e: CoreError = ecg_features::FeatureError::TooFewBeats { needed: 8, got: 0 }.into();
         assert!(e.to_string().contains("feature"));
         let e = CoreError::InvalidConfig("bad".into());
         assert!(e.source().is_none());
-        assert!(CoreError::Dataset("x".into()).to_string().contains("dataset"));
+        assert!(CoreError::Dataset("x".into())
+            .to_string()
+            .contains("dataset"));
     }
 }

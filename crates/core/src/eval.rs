@@ -1,10 +1,18 @@
 //! Classification-performance evaluation (paper Eq 2) under
 //! leave-one-session-out cross-validation.
+//!
+//! Folds are independent by construction, so [`loso_evaluate`] runs them
+//! on the parallel layer ([`crate::parallel`]) and aggregates in the fixed
+//! first-appearance session order — making it bit-identical to the
+//! sequential twin [`loso_evaluate_serial`] (a property the test suite
+//! pins). Predictors consume whole test batches as contiguous row-major
+//! blocks ([`DenseMatrix`]) instead of dispatching row by row.
 
 use crate::config::FitConfig;
 use crate::error::CoreError;
+use crate::parallel::par_map;
 use crate::trained::FloatPipeline;
-use ecg_features::FeatureMatrix;
+use ecg_features::{DenseMatrix, FeatureMatrix};
 
 /// Confusion counts for the two-class seizure problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,6 +36,24 @@ impl Confusion {
             (false, true) => self.fp += 1,
             (false, false) => self.tn += 1,
         }
+    }
+
+    /// Builds a confusion from aligned truth/prediction batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices disagree in length.
+    pub fn from_batch(truth: &[i8], predicted: &[f64]) -> Confusion {
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "truth/prediction length mismatch"
+        );
+        let mut c = Confusion::default();
+        for (&t, &p) in truth.iter().zip(predicted.iter()) {
+            c.record(t, p);
+        }
+        c
     }
 
     /// Merges another confusion into this one.
@@ -110,14 +136,43 @@ impl LosoResult {
                 vals.iter().sum::<f64>() / vals.len() as f64
             }
         };
-        let mean_se =
-            mean_over(folds.iter().filter_map(|f| f.confusion.sensitivity()).collect());
-        let mean_sp =
-            mean_over(folds.iter().filter_map(|f| f.confusion.specificity()).collect());
-        let mean_gm =
-            mean_over(folds.iter().filter_map(|f| f.confusion.geometric_mean()).collect());
+        let mean_se = mean_over(
+            folds
+                .iter()
+                .filter_map(|f| f.confusion.sensitivity())
+                .collect(),
+        );
+        let mean_sp = mean_over(
+            folds
+                .iter()
+                .filter_map(|f| f.confusion.specificity())
+                .collect(),
+        );
+        let mean_gm = mean_over(
+            folds
+                .iter()
+                .filter_map(|f| f.confusion.geometric_mean())
+                .collect(),
+        );
         let mean_n_sv = mean_over(folds.iter().map(|f| f.n_sv as f64).collect());
-        LosoResult { folds, skipped, mean_se, mean_sp, mean_gm, mean_n_sv }
+        LosoResult {
+            folds,
+            skipped,
+            mean_se,
+            mean_sp,
+            mean_gm,
+            mean_n_sv,
+        }
+    }
+
+    /// Mean SV count rounded to a design point, or 0 when no fold
+    /// trained (NaN mean). Central guard for the hardware-costing sites.
+    pub fn mean_n_sv_rounded(&self) -> usize {
+        if self.mean_n_sv.is_finite() {
+            self.mean_n_sv.round() as usize
+        } else {
+            0
+        }
     }
 
     /// Pooled confusion over all folds (micro-average view).
@@ -130,44 +185,92 @@ impl LosoResult {
     }
 }
 
-/// Generic leave-one-session-out evaluation: `fit` builds a predictor from
-/// a training matrix, returning the predictor and its SV count. Folds
-/// whose `fit` fails are skipped and counted.
-pub fn loso_evaluate_with<P, F>(m: &FeatureMatrix, fit: F) -> LosoResult
+/// Runs one fold: split, fit on the training side, batch-classify the
+/// test side. `None` marks a skipped fold (degenerate split or failed
+/// fit).
+fn run_fold<P, F>(m: &FeatureMatrix, sid: usize, fit: &F) -> Option<FoldOutcome>
 where
     F: Fn(&FeatureMatrix) -> Result<(P, usize), CoreError>,
-    P: Fn(&[f64]) -> f64,
+    P: Fn(&DenseMatrix<f64>) -> Vec<f64>,
 {
-    let mut folds = Vec::new();
+    let (train, test) = m.split_by_session(sid);
+    if train.n_rows() == 0 || test.n_rows() == 0 {
+        return None;
+    }
+    let (predict, n_sv) = fit(&train).ok()?;
+    let predictions = predict(&test.features);
+    let confusion = Confusion::from_batch(&test.labels, &predictions);
+    Some(FoldOutcome {
+        session_id: sid,
+        confusion,
+        n_sv,
+    })
+}
+
+/// Collects per-fold options (in session order) into a result.
+fn aggregate(outcomes: Vec<Option<FoldOutcome>>) -> LosoResult {
+    let mut folds = Vec::with_capacity(outcomes.len());
     let mut skipped = 0usize;
-    for sid in m.session_list() {
-        let (train, test) = m.split_by_session(sid);
-        if train.n_rows() == 0 || test.n_rows() == 0 {
-            skipped += 1;
-            continue;
-        }
-        match fit(&train) {
-            Ok((predict, n_sv)) => {
-                let mut confusion = Confusion::default();
-                for (row, &label) in test.rows.iter().zip(test.labels.iter()) {
-                    confusion.record(label, predict(row));
-                }
-                folds.push(FoldOutcome { session_id: sid, confusion, n_sv });
-            }
-            Err(_) => skipped += 1,
+    for o in outcomes {
+        match o {
+            Some(f) => folds.push(f),
+            None => skipped += 1,
         }
     }
     LosoResult::from_folds(folds, skipped)
 }
 
-/// Leave-one-session-out evaluation of the float reference pipeline.
-pub fn loso_evaluate(m: &FeatureMatrix, cfg: &FitConfig) -> LosoResult {
-    let cfg = cfg.clone();
-    loso_evaluate_with(m, move |train| {
-        let p = FloatPipeline::fit(train, &cfg)?;
+/// Generic leave-one-session-out evaluation, folds in parallel: `fit`
+/// builds a batch predictor from a training matrix, returning the
+/// predictor and its SV count. Folds whose `fit` fails are skipped and
+/// counted. Aggregation runs in first-appearance session order, so the
+/// result is bit-identical to [`loso_evaluate_with_serial`].
+pub fn loso_evaluate_with<P, F>(m: &FeatureMatrix, fit: F) -> LosoResult
+where
+    F: Fn(&FeatureMatrix) -> Result<(P, usize), CoreError> + Sync,
+    P: Fn(&DenseMatrix<f64>) -> Vec<f64>,
+{
+    let sessions = m.session_list();
+    aggregate(par_map(&sessions, |&sid| run_fold(m, sid, &fit)))
+}
+
+/// Sequential twin of [`loso_evaluate_with`] (reference semantics; also
+/// the right choice when the caller already parallelises at a coarser
+/// grain and wants to bound thread counts).
+pub fn loso_evaluate_with_serial<P, F>(m: &FeatureMatrix, fit: F) -> LosoResult
+where
+    F: Fn(&FeatureMatrix) -> Result<(P, usize), CoreError>,
+    P: Fn(&DenseMatrix<f64>) -> Vec<f64>,
+{
+    let sessions = m.session_list();
+    aggregate(sessions.iter().map(|&sid| run_fold(m, sid, &fit)).collect())
+}
+
+/// Boxed batch predictor returned by the standard fold fitter.
+type BatchPredictor = Box<dyn Fn(&DenseMatrix<f64>) -> Vec<f64>>;
+
+/// Adapter: builds the standard fold fitter for the float reference
+/// pipeline under `cfg`.
+fn float_fit(
+    cfg: &FitConfig,
+) -> impl Fn(&FeatureMatrix) -> Result<(BatchPredictor, usize), CoreError> + Sync + '_ {
+    move |train: &FeatureMatrix| {
+        let p = FloatPipeline::fit(train, cfg)?;
         let n_sv = p.model().n_support_vectors();
-        Ok((move |row: &[f64]| p.predict(row), n_sv))
-    })
+        let predictor: BatchPredictor = Box::new(move |rows| p.predict_batch(rows));
+        Ok((predictor, n_sv))
+    }
+}
+
+/// Leave-one-session-out evaluation of the float reference pipeline,
+/// folds in parallel.
+pub fn loso_evaluate(m: &FeatureMatrix, cfg: &FitConfig) -> LosoResult {
+    loso_evaluate_with(m, float_fit(cfg))
+}
+
+/// Sequential twin of [`loso_evaluate`]; produces bit-identical results.
+pub fn loso_evaluate_serial(m: &FeatureMatrix, cfg: &FitConfig) -> LosoResult {
+    loso_evaluate_with_serial(m, float_fit(cfg))
 }
 
 #[cfg(test)]
@@ -197,6 +300,18 @@ mod tests {
     }
 
     #[test]
+    fn batch_confusion_matches_incremental() {
+        let truth = [1i8, 1, -1, -1, 1];
+        let pred = [1.0, -1.0, -1.0, 1.0, 1.0];
+        let batch = Confusion::from_batch(&truth, &pred);
+        let mut inc = Confusion::default();
+        for (&t, &p) in truth.iter().zip(pred.iter()) {
+            inc.record(t, p);
+        }
+        assert_eq!(batch, inc);
+    }
+
+    #[test]
     fn undefined_metrics_are_none() {
         let mut c = Confusion::default();
         c.record(-1, -1.0);
@@ -207,10 +322,28 @@ mod tests {
 
     #[test]
     fn merge_adds_counts() {
-        let mut a = Confusion { tp: 1, tn: 2, fp: 3, fn_: 4 };
-        let b = Confusion { tp: 10, tn: 20, fp: 30, fn_: 40 };
+        let mut a = Confusion {
+            tp: 1,
+            tn: 2,
+            fp: 3,
+            fn_: 4,
+        };
+        let b = Confusion {
+            tp: 10,
+            tn: 20,
+            fp: 30,
+            fn_: 40,
+        };
         a.merge(&b);
-        assert_eq!(a, Confusion { tp: 11, tn: 22, fp: 33, fn_: 44 });
+        assert_eq!(
+            a,
+            Confusion {
+                tp: 11,
+                tn: 22,
+                fp: 33,
+                fn_: 44
+            }
+        );
     }
 
     #[test]
@@ -229,6 +362,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_are_bit_identical() {
+        let m = synthetic_matrix(&QuickFeatConfig {
+            n_sessions: 5,
+            windows_per_session: 25,
+            seed: 17,
+            ..Default::default()
+        });
+        let par = loso_evaluate(&m, &FitConfig::default());
+        let ser = loso_evaluate_serial(&m, &FitConfig::default());
+        assert_eq!(par, ser);
+        assert_eq!(par.mean_gm.to_bits(), ser.mean_gm.to_bits());
+        assert_eq!(par.mean_n_sv.to_bits(), ser.mean_n_sv.to_bits());
+    }
+
+    #[test]
     fn perfect_and_broken_predictors() {
         let m = synthetic_matrix(&QuickFeatConfig {
             n_sessions: 4,
@@ -238,20 +386,23 @@ mod tests {
         // Oracle predictor (cheats by memorising labels — evaluation only
         // checks plumbing here).
         let all_rows: Vec<(Vec<f64>, i8)> = m
-            .rows
-            .iter()
-            .cloned()
+            .rows()
+            .map(|r| r.to_vec())
             .zip(m.labels.iter().copied())
             .collect();
         let oracle = loso_evaluate_with(&m, move |_train| {
             let table = all_rows.clone();
             Ok::<_, CoreError>((
-                move |row: &[f64]| {
-                    table
-                        .iter()
-                        .find(|(r, _)| r == row)
-                        .map(|(_, l)| *l as f64)
-                        .unwrap_or(-1.0)
+                move |rows: &DenseMatrix<f64>| {
+                    rows.rows()
+                        .map(|row| {
+                            table
+                                .iter()
+                                .find(|(r, _)| r == row)
+                                .map(|(_, l)| *l as f64)
+                                .unwrap_or(-1.0)
+                        })
+                        .collect()
                 },
                 1,
             ))
@@ -259,7 +410,7 @@ mod tests {
         assert!((oracle.mean_gm - 1.0).abs() < 1e-12);
         // Constant-negative predictor: Se = 0 on every fold.
         let pessimist = loso_evaluate_with(&m, |_train| {
-            Ok::<_, CoreError>((|_row: &[f64]| -1.0, 1))
+            Ok::<_, CoreError>((|rows: &DenseMatrix<f64>| vec![-1.0; rows.n_rows()], 1))
         });
         assert_eq!(pessimist.mean_se, 0.0);
         assert_eq!(pessimist.mean_sp, 1.0);
@@ -273,8 +424,9 @@ mod tests {
             windows_per_session: 10,
             ..Default::default()
         });
+        type NeverPredict = fn(&DenseMatrix<f64>) -> Vec<f64>;
         let r = loso_evaluate_with(&m, |_train| {
-            Err::<(fn(&[f64]) -> f64, usize), _>(CoreError::Dataset("nope".into()))
+            Err::<(NeverPredict, usize), _>(CoreError::Dataset("nope".into()))
         });
         assert_eq!(r.skipped, 3);
         assert!(r.folds.is_empty());

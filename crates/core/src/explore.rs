@@ -1,12 +1,26 @@
 //! Design-space sweeps: feature count (paper Fig 4) and SV budget
 //! (paper Fig 5).
+//!
+//! Sweep points are mutually independent, so both sweeps fan out on the
+//! parallel layer; each point's LOSO evaluation runs serially inside its
+//! worker to keep the total thread count bounded by the point count.
 
 use crate::config::FitConfig;
-use crate::eval::{loso_evaluate, LosoResult};
+use crate::eval::{loso_evaluate_serial, LosoResult};
 use crate::featsel::{correlation_matrix, keep_n};
+use crate::parallel::par_map;
 use ecg_features::FeatureMatrix;
 use hwmodel::pipeline::AcceleratorConfig;
 use hwmodel::TechParams;
+
+/// Hardware cost of one sweep point's matching design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCost {
+    /// Energy per classification (nJ).
+    pub energy_nj: f64,
+    /// Accelerator area (mm²).
+    pub area_mm2: f64,
+}
 
 /// One point of a 1-D sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,23 +29,52 @@ pub struct SweepPoint {
     pub param: usize,
     /// LOSO evaluation at this point.
     pub result: LosoResult,
-    /// Energy per classification (nJ) of the matching design.
-    pub energy_nj: f64,
-    /// Accelerator area (mm²).
-    pub area_mm2: f64,
+    /// Hardware cost of the matching design, or `None` when every fold of
+    /// the point was skipped (no trained model ⇒ no meaningful design to
+    /// cost). Skipped points carry no bogus energy/area numbers.
+    pub cost: Option<SweepCost>,
+}
+
+impl SweepPoint {
+    /// Whether this point evaluated at least one fold.
+    pub fn is_costed(&self) -> bool {
+        self.cost.is_some()
+    }
+
+    /// Energy per classification, when the point was costed.
+    pub fn energy_nj(&self) -> Option<f64> {
+        self.cost.map(|c| c.energy_nj)
+    }
+
+    /// Accelerator area, when the point was costed.
+    pub fn area_mm2(&self) -> Option<f64> {
+        self.cost.map(|c| c.area_mm2)
+    }
 }
 
 /// Builds the hardware cost of a sweep point. Figs 4 and 5 use the paper's
 /// 64-bit reference datapath, so that is the default width here.
-fn cost_of(result: &LosoResult, n_feat: usize, tech: &TechParams) -> (f64, f64) {
-    let n_sv = if result.mean_n_sv.is_nan() { 0 } else { result.mean_n_sv.round() as usize };
+///
+/// Returns `None` — an explicit skipped-point marker — when the sweep
+/// point has no successful folds (its `mean_n_sv` is NaN): rounding a
+/// NaN-guarded placeholder into an SV count would price a design that was
+/// never trained.
+fn cost_of(result: &LosoResult, n_feat: usize, tech: &TechParams) -> Option<SweepCost> {
+    if result.folds.is_empty() || !result.mean_n_sv.is_finite() {
+        return None;
+    }
+    let n_sv = result.mean_n_sv.round() as usize;
     let cost = AcceleratorConfig::uniform(n_sv, n_feat, 64).cost(tech);
-    (cost.energy_nj, cost.area_mm2)
+    Some(SweepCost {
+        energy_nj: cost.energy_nj,
+        area_mm2: cost.area_mm2,
+    })
 }
 
-/// Fig 4: sweep the feature-set size using correlation-driven reduction.
-/// The correlation matrix is computed once over the full dataset (as the
-/// paper does) and each requested size retrains per fold.
+/// Fig 4: sweep the feature-set size using correlation-driven reduction,
+/// points in parallel. The correlation matrix is computed once over the
+/// full dataset (as the paper does) and each requested size retrains per
+/// fold.
 pub fn feature_sweep(
     m: &FeatureMatrix,
     sizes: &[usize],
@@ -39,19 +82,24 @@ pub fn feature_sweep(
     tech: &TechParams,
 ) -> Vec<SweepPoint> {
     let corr = correlation_matrix(m);
-    sizes
-        .iter()
-        .map(|&n| {
-            let kept = keep_n(&corr, n);
-            let fit = FitConfig { features: Some(kept), ..cfg.clone() };
-            let result = loso_evaluate(m, &fit);
-            let (energy_nj, area_mm2) = cost_of(&result, n, tech);
-            SweepPoint { param: n, result, energy_nj, area_mm2 }
-        })
-        .collect()
+    par_map(sizes, |&n| {
+        let kept = keep_n(&corr, n);
+        let fit = FitConfig {
+            features: Some(kept),
+            ..cfg.clone()
+        };
+        let result = loso_evaluate_serial(m, &fit);
+        let cost = cost_of(&result, n, tech);
+        SweepPoint {
+            param: n,
+            result,
+            cost,
+        }
+    })
 }
 
-/// Fig 5: sweep the SV budget (Eq 5 pruning + re-training per fold).
+/// Fig 5: sweep the SV budget (Eq 5 pruning + re-training per fold),
+/// points in parallel.
 pub fn sv_budget_sweep(
     m: &FeatureMatrix,
     budgets: &[usize],
@@ -59,20 +107,25 @@ pub fn sv_budget_sweep(
     tech: &TechParams,
 ) -> Vec<SweepPoint> {
     let n_feat = cfg.features.as_ref().map(Vec::len).unwrap_or(m.n_cols());
-    budgets
-        .iter()
-        .map(|&b| {
-            let fit = FitConfig { sv_budget: Some(b), ..cfg.clone() };
-            let result = loso_evaluate(m, &fit);
-            let (energy_nj, area_mm2) = cost_of(&result, n_feat, tech);
-            SweepPoint { param: b, result, energy_nj, area_mm2 }
-        })
-        .collect()
+    par_map(budgets, |&b| {
+        let fit = FitConfig {
+            sv_budget: Some(b),
+            ..cfg.clone()
+        };
+        let result = loso_evaluate_serial(m, &fit);
+        let cost = cost_of(&result, n_feat, tech);
+        SweepPoint {
+            param: b,
+            result,
+            cost,
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::loso_evaluate;
     use crate::quickfeat::{synthetic_matrix, QuickFeatConfig};
 
     fn matrix() -> FeatureMatrix {
@@ -90,8 +143,10 @@ mod tests {
         let tech = TechParams::default();
         let pts = feature_sweep(&m, &[53, 20, 8], &FitConfig::default(), &tech);
         assert_eq!(pts.len(), 3);
-        assert!(pts[0].energy_nj > pts[2].energy_nj * 0.8, "energy should shrink");
-        assert!(pts[0].area_mm2 > pts[2].area_mm2);
+        let energy = |i: usize| pts[i].energy_nj().expect("costed point");
+        let area = |i: usize| pts[i].area_mm2().expect("costed point");
+        assert!(energy(0) > energy(2) * 0.8, "energy should shrink");
+        assert!(area(0) > area(2));
         // Moderate reduction keeps GM in the same regime (plateau).
         assert!(
             pts[1].result.mean_gm > pts[0].result.mean_gm - 0.25,
@@ -111,7 +166,7 @@ mod tests {
         let pts = sv_budget_sweep(&m, &budgets, &FitConfig::default(), &tech);
         assert_eq!(pts.len(), 2);
         assert!(pts[1].result.mean_n_sv <= budgets[1] as f64 + 1e-9);
-        assert!(pts[1].energy_nj < pts[0].energy_nj);
+        assert!(pts[1].energy_nj().unwrap() < pts[0].energy_nj().unwrap());
     }
 
     #[test]
@@ -121,5 +176,43 @@ mod tests {
         let pts = feature_sweep(&m, &[10], &FitConfig::default(), &tech);
         assert!(!pts[0].result.folds.is_empty());
         assert_eq!(pts[0].param, 10);
+        assert!(pts[0].is_costed());
+    }
+
+    #[test]
+    fn zero_fold_points_are_marked_skipped_not_costed() {
+        // Single-class labels: every fold's training fails, mean_n_sv is
+        // NaN, and the point must carry no cost numbers at all.
+        let mut m = matrix();
+        for l in &mut m.labels {
+            *l = -1;
+        }
+        let tech = TechParams::default();
+        let pts = feature_sweep(&m, &[10], &FitConfig::default(), &tech);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].result.folds.is_empty());
+        assert!(pts[0].result.mean_n_sv.is_nan());
+        assert!(!pts[0].is_costed());
+        assert_eq!(pts[0].energy_nj(), None);
+        assert_eq!(pts[0].area_mm2(), None);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_loso_points() {
+        // Each sweep point must equal an independently-computed serial
+        // evaluation of the same configuration.
+        let m = matrix();
+        let tech = TechParams::default();
+        let sizes = [20usize, 8];
+        let pts = feature_sweep(&m, &sizes, &FitConfig::default(), &tech);
+        let corr = crate::featsel::correlation_matrix(&m);
+        for (p, &n) in pts.iter().zip(sizes.iter()) {
+            let cfg = FitConfig {
+                features: Some(crate::featsel::keep_n(&corr, n)),
+                ..FitConfig::default()
+            };
+            let reference = crate::eval::loso_evaluate_serial(&m, &cfg);
+            assert_eq!(p.result, reference, "sweep point {n}");
+        }
     }
 }

@@ -7,21 +7,21 @@
 //! sum would let negative correlations cancel positive ones.
 
 use biodsp::stats::pearson;
-use ecg_features::FeatureMatrix;
+use ecg_features::{DenseMatrix, FeatureMatrix};
 
-/// Pairwise Pearson correlation matrix of the feature columns (Fig 3).
-/// Degenerate (constant) columns correlate 0 with everything; the diagonal
-/// is exactly 1.
-pub fn correlation_matrix(m: &FeatureMatrix) -> Vec<Vec<f64>> {
+/// Pairwise Pearson correlation matrix of the feature columns (Fig 3),
+/// as a dense row-major `d × d` block. Degenerate (constant) columns
+/// correlate 0 with everything; the diagonal is exactly 1.
+pub fn correlation_matrix(m: &FeatureMatrix) -> DenseMatrix<f64> {
     let d = m.n_cols();
     let cols: Vec<Vec<f64>> = (0..d).map(|j| m.column(j)).collect();
-    let mut corr = vec![vec![0.0f64; d]; d];
+    let mut corr = DenseMatrix::from_flat(vec![0.0f64; d * d], d);
     for i in 0..d {
-        corr[i][i] = 1.0;
+        corr.row_mut(i)[i] = 1.0;
         for j in 0..i {
             let r = pearson(&cols[i], &cols[j]).unwrap_or(0.0);
-            corr[i][j] = r;
-            corr[j][i] = r;
+            corr.row_mut(i)[j] = r;
+            corr.row_mut(j)[i] = r;
         }
     }
     corr
@@ -30,8 +30,8 @@ pub fn correlation_matrix(m: &FeatureMatrix) -> Vec<Vec<f64>> {
 /// Removal order: index of the feature removed at each step, most
 /// redundant first. The returned vector has length `d` (the last entry is
 /// the feature that would be removed last, i.e. the least redundant).
-pub fn removal_order(corr: &[Vec<f64>]) -> Vec<usize> {
-    let d = corr.len();
+pub fn removal_order(corr: &DenseMatrix<f64>) -> Vec<usize> {
+    let d = corr.n_rows();
     let mut active: Vec<usize> = (0..d).collect();
     let mut order = Vec::with_capacity(d);
     while !active.is_empty() {
@@ -40,10 +40,11 @@ pub fn removal_order(corr: &[Vec<f64>]) -> Vec<usize> {
             .iter()
             .enumerate()
             .map(|(pos, &i)| {
+                let row = corr.row(i);
                 let score: f64 = active
                     .iter()
                     .filter(|&&j| j != i)
-                    .map(|&j| corr[i][j].abs())
+                    .map(|&j| row[j].abs())
                     .sum();
                 (pos, score)
             })
@@ -60,8 +61,8 @@ pub fn removal_order(corr: &[Vec<f64>]) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics when `n_keep` is zero or exceeds the feature count.
-pub fn keep_n(corr: &[Vec<f64>], n_keep: usize) -> Vec<usize> {
-    let d = corr.len();
+pub fn keep_n(corr: &DenseMatrix<f64>, n_keep: usize) -> Vec<usize> {
+    let d = corr.n_rows();
     assert!(n_keep >= 1 && n_keep <= d, "n_keep must be in 1..={d}");
     let order = removal_order(corr);
     let mut kept: Vec<usize> = order[d - n_keep..].to_vec();
@@ -91,7 +92,7 @@ mod tests {
             (6.0, 6.1, 0.0, -6.2),
         ];
         for (i, &(a, b, c, d)) in vals.iter().enumerate() {
-            m.push_row(vec![a, b, c, d], if i % 2 == 0 { 1 } else { -1 }, 0, 0);
+            m.push_row(&[a, b, c, d], if i % 2 == 0 { 1 } else { -1 }, 0, 0);
         }
         m
     }
@@ -100,16 +101,16 @@ mod tests {
     fn matrix_is_symmetric_with_unit_diagonal() {
         let m = toy_matrix();
         let c = correlation_matrix(&m);
-        for i in 0..4 {
-            assert!((c[i][i] - 1.0).abs() < 1e-12);
-            for j in 0..4 {
-                assert!((c[i][j] - c[j][i]).abs() < 1e-12);
-                assert!(c[i][j].abs() <= 1.0 + 1e-12);
+        for (i, row) in c.rows().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - c.row(j)[i]).abs() < 1e-12);
+                assert!(v.abs() <= 1.0 + 1e-12);
             }
         }
         // f0–f1 strongly positive, f0–f3 strongly negative.
-        assert!(c[0][1] > 0.99);
-        assert!(c[0][3] < -0.99);
+        assert!(c.row(0)[1] > 0.99);
+        assert!(c.row(0)[3] < -0.99);
     }
 
     #[test]
@@ -135,7 +136,7 @@ mod tests {
         for i in 0..8 {
             let t = i as f64;
             m.push_row(
-                vec![t, -t + 0.01 * (t * 7.0).sin(), (t * 2.3).sin() * 3.0],
+                &[t, -t + 0.01 * (t * 7.0).sin(), (t * 2.3).sin() * 3.0],
                 if i % 2 == 0 { 1 } else { -1 },
                 0,
                 0,

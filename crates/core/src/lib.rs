@@ -18,12 +18,37 @@
 //!
 //! plus their sequential combination (Fig 7) in [`combine`].
 //!
-//! [`trained::FloatPipeline`] is the float reference implementation;
-//! [`engine::QuantizedEngine`] is the bit-accurate integer twin that
-//! [`hwmodel`] prices in 40 nm. [`eval`] implements the paper's Eq 2
-//! metrics under leave-one-session-out cross-validation, and [`assemble`]
-//! turns the synthetic cohort of [`ecg_sim`] into the 53-feature dataset
-//! of [`ecg_features`].
+//! ## Data layout and execution model
+//!
+//! Every layer operates on the workspace-wide dense row-major
+//! [`DenseMatrix`](ecg_features::DenseMatrix) container — feature blocks,
+//! normalised training sets, SV memories and quantised SV code images are
+//! all single contiguous allocations, and the batch inference entry
+//! points ([`trained::FloatPipeline::predict_batch`],
+//! [`engine::QuantizedEngine::classify_batch`],
+//! [`svm::SvmModel::predict_batch`]) stream whole test batches over
+//! contiguous rows instead of dispatching row by row.
+//!
+//! On top of that layout sits the parallel evaluation layer
+//! ([`parallel`]): leave-one-session-out folds ([`eval`]), design-space
+//! sweep points ([`explore`]), bit-grid folds ([`bitwidth`]) and the
+//! Fig 7 stages ([`combine`]) fan out across OS threads. Folds and points
+//! are independent and aggregation order is fixed, so every parallel path
+//! is bit-identical to its sequential twin ([`eval::loso_evaluate`] vs
+//! [`eval::loso_evaluate_serial`] — pinned by the test suite).
+//!
+//! ## Module map
+//!
+//! * [`assemble`] — synthetic cohort ([`ecg_sim`]) → labelled 53-feature
+//!   dataset ([`ecg_features`]);
+//! * [`trained`] — the float reference pipeline ([`trained::FloatPipeline`]);
+//! * [`engine`] — its bit-accurate integer twin
+//!   ([`engine::QuantizedEngine`]) that [`hwmodel`] prices in 40 nm;
+//! * [`eval`] — paper Eq 2 metrics under parallel LOSO cross-validation;
+//! * [`explore`], [`bitwidth`], [`combine`] — the Figs 4–7 design-space
+//!   machinery;
+//! * [`parallel`] — the deterministic thread-fan-out substrate;
+//! * [`quickfeat`] — fast synthetic feature matrices for tests/benches.
 //!
 //! ## Example
 //!
@@ -35,6 +60,8 @@
 //!
 //! let spec = DatasetSpec::new(Scale::Tiny, 42);
 //! let matrix = build_feature_matrix(&spec);
+//! // Folds run in parallel; the result is bit-identical to
+//! // `loso_evaluate_serial`.
 //! let result = loso_evaluate(&matrix, &FitConfig::default());
 //! println!("GM = {:.1}%", result.mean_gm * 100.0);
 //! ```
@@ -49,11 +76,12 @@ pub mod error;
 pub mod eval;
 pub mod explore;
 pub mod featsel;
+pub mod parallel;
 pub mod quickfeat;
 pub mod trained;
 
 pub use config::FitConfig;
 pub use engine::{BitConfig, QuantizedEngine};
 pub use error::CoreError;
-pub use eval::{loso_evaluate, LosoResult, Metrics};
+pub use eval::{loso_evaluate, loso_evaluate_serial, LosoResult, Metrics};
 pub use trained::FloatPipeline;

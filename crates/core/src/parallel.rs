@@ -1,0 +1,127 @@
+//! Deterministic data parallelism on OS threads.
+//!
+//! The evaluation layer fans independent work items (LOSO folds, sweep
+//! points, grid cells) across `std::thread::scope` workers. No external
+//! runtime is required, and determinism is structural: every item is
+//! computed independently and its result is written back to the item's
+//! own output slot, so the caller always observes results in input order
+//! regardless of scheduling. Combined with a fixed aggregation order this
+//! makes the parallel evaluation paths bit-identical to their sequential
+//! twins.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for `n` items: the machine's available
+/// parallelism, capped by the item count (minimum 1).
+pub fn worker_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(n).max(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Items are pulled from a shared atomic counter, so uneven item costs
+/// (e.g. LOSO folds with very different training-set sizes) balance
+/// across workers. Falls back to a plain sequential map when only one
+/// worker is warranted, keeping single-core machines overhead-free.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker wrote every claimed slot"))
+        .collect()
+}
+
+/// Indexed variant of [`par_map`]: `f` receives `(index, &item)`.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let indexed: Vec<usize> = (0..items.len()).collect();
+    par_map(&indexed, |&i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_variant_sees_indices() {
+        let items = vec!["a", "b", "c"];
+        let out = par_map_indexed(&items, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map(&[] as &[usize], |&i| i), Vec::<usize>::new());
+        assert_eq!(par_map(&[7usize], |&i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_sequential_map_bitwise() {
+        // f64 work: parallel scheduling must not change a single bit.
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+        let work = |&x: &f64| (x.sin() * 1e6).sqrt() + x.powi(3);
+        let seq: Vec<f64> = items.iter().map(work).collect();
+        let par = par_map(&items, work);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1000) >= 1);
+    }
+}

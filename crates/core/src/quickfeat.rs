@@ -106,7 +106,11 @@ pub fn synthetic_matrix(cfg: &QuickFeatConfig) -> FeatureMatrix {
             // separates but a single linear threshold cannot across
             // patients.
             let mut info = [0.0f64; 6];
-            let shift = if positive { 1.9 + 0.5 * rng.normal().abs() } else { 0.0 };
+            let shift = if positive {
+                1.9 + 0.5 * rng.normal().abs()
+            } else {
+                0.0
+            };
             for (k, v) in info.iter_mut().enumerate() {
                 let dir = if k % 2 == 0 { 1.0 } else { -1.0 };
                 *v = base[k] + dir * shift * (0.5 + 0.12 * k as f64) + 0.45 * rng.normal();
@@ -129,18 +133,17 @@ pub fn synthetic_matrix(cfg: &QuickFeatConfig) -> FeatureMatrix {
             for (v, &s) in row.iter_mut().zip(scales.iter()) {
                 *v *= s;
             }
-            m.push_row(row, label, s, patient);
+            m.push_row(&row, label, s, patient);
         }
     }
     // Guarantee at least one positive per session half (folds need both
     // classes in training); flip the first row of offending sessions.
     for s in 0..cfg.n_sessions {
-        let any_pos = (0..m.n_rows())
-            .any(|i| m.session_ids[i] == s && m.labels[i] > 0);
+        let any_pos = (0..m.n_rows()).any(|i| m.session_ids[i] == s && m.labels[i] > 0);
         if !any_pos {
             if let Some(i) = (0..m.n_rows()).find(|&i| m.session_ids[i] == s) {
                 m.labels[i] = 1;
-                for (k, v) in m.rows[i].iter_mut().take(6).enumerate() {
+                for (k, v) in m.features.row_mut(i).iter_mut().take(6).enumerate() {
                     *v += if k % 2 == 0 { 2.0 } else { -2.0 } * scales[k];
                 }
             }
@@ -202,6 +205,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 8")]
     fn validates_feature_count() {
-        let _ = synthetic_matrix(&QuickFeatConfig { n_features: 4, ..Default::default() });
+        let _ = synthetic_matrix(&QuickFeatConfig {
+            n_features: 4,
+            ..Default::default()
+        });
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::config::FitConfig;
 use crate::error::CoreError;
-use ecg_features::FeatureMatrix;
+use ecg_features::{DenseMatrix, FeatureMatrix};
 use fixedpoint::FeatureScales;
 use svm::smo::{SmoConfig, SmoTrainer};
 use svm::SvmModel;
@@ -49,6 +49,30 @@ pub(crate) fn normalize_row(row: &[f64], scales: &FeatureScales, guard: i32) -> 
         .collect()
 }
 
+/// Shift-normalises a whole block of already-selected rows into a new
+/// dense block (the batch twin of [`normalize_row`]).
+pub(crate) fn normalize_block(
+    rows: &DenseMatrix<f64>,
+    scales: &FeatureScales,
+    guard: i32,
+) -> DenseMatrix<f64> {
+    let bound = (-guard as f64).exp2();
+    let divisors: Vec<f64> = scales
+        .r
+        .iter()
+        .map(|&r| ((r + guard) as f64).exp2())
+        .collect();
+    let mut data = Vec::with_capacity(rows.n_rows() * rows.n_cols());
+    for row in rows.rows() {
+        data.extend(
+            row.iter()
+                .zip(divisors.iter())
+                .map(|(&v, &d)| (v / d).clamp(-bound, bound)),
+        );
+    }
+    DenseMatrix::from_flat(data, rows.n_cols())
+}
+
 impl FloatPipeline {
     /// Fits the pipeline on a training matrix.
     ///
@@ -78,26 +102,44 @@ impl FloatPipeline {
             None => (0..n_cols).collect(),
         };
         let sub = train.select_columns(&feature_indices);
-        let mut scales = FeatureScales::calibrate(&sub.rows);
+        let mut scales = FeatureScales::calibrate(sub.features.rows());
         // Homogeneous designs have exactly one global scale parameter, so
         // the dot-product guard shift is not separately available to them.
-        let guard = if cfg.homogeneous_scale { 0 } else { DOT_GUARD_SHIFT };
+        let guard = if cfg.homogeneous_scale {
+            0
+        } else {
+            DOT_GUARD_SHIFT
+        };
         if cfg.homogeneous_scale {
             scales = scales.homogenize();
         }
-        let x: Vec<Vec<f64>> =
-            sub.rows.iter().map(|r| normalize_row(r, &scales, guard)).collect();
-        let y: Vec<f64> = sub.labels.iter().map(|&l| if l > 0 { 1.0 } else { -1.0 }).collect();
+        let x = normalize_block(&sub.features, &scales, guard);
+        let y: Vec<f64> = sub
+            .labels
+            .iter()
+            .map(|&l| if l > 0 { 1.0 } else { -1.0 })
+            .collect();
         let n_pos = y.iter().filter(|&&v| v > 0.0).count();
         if n_pos == 0 || n_pos == y.len() {
-            return Err(CoreError::Dataset("training fold contains a single class".into()));
+            return Err(CoreError::Dataset(
+                "training fold contains a single class".into(),
+            ));
         }
-        let smo_cfg = SmoConfig { c: cfg.c, kernel: cfg.kernel, ..Default::default() };
+        let smo_cfg = SmoConfig {
+            c: cfg.c,
+            kernel: cfg.kernel,
+            ..Default::default()
+        };
         let model = match cfg.sv_budget {
             Some(budget) => crate::budget::train_budgeted(&x, &y, &smo_cfg, budget)?.0,
             None => SmoTrainer::new(smo_cfg).train(&x, &y)?,
         };
-        Ok(FloatPipeline { feature_indices, scales, model, guard })
+        Ok(FloatPipeline {
+            feature_indices,
+            scales,
+            model,
+            guard,
+        })
     }
 
     /// Guard shift in effect ([`DOT_GUARD_SHIFT`] or 0 for homogeneous).
@@ -131,6 +173,17 @@ impl FloatPipeline {
         normalize_row(&selected, &self.scales, self.guard)
     }
 
+    /// Selects and normalises a whole block of raw full-width rows into
+    /// one contiguous normalised batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is narrower than the largest selected index.
+    pub fn normalize_batch(&self, raw: &DenseMatrix<f64>) -> DenseMatrix<f64> {
+        let selected = raw.select_columns(&self.feature_indices);
+        normalize_block(&selected, &self.scales, self.guard)
+    }
+
     /// Decision value `f(x)` on a raw feature row.
     pub fn decision_value(&self, raw_row: &[f64]) -> f64 {
         self.model.decision_value(&self.normalize(raw_row))
@@ -139,6 +192,17 @@ impl FloatPipeline {
     /// Predicted class (±1) on a raw feature row.
     pub fn predict(&self, raw_row: &[f64]) -> f64 {
         self.model.predict(&self.normalize(raw_row))
+    }
+
+    /// Decision values for a whole block of raw rows (normalise once,
+    /// then stream the contiguous batch through the model).
+    pub fn decision_batch(&self, raw: &DenseMatrix<f64>) -> Vec<f64> {
+        self.model.decision_batch(&self.normalize_batch(raw))
+    }
+
+    /// Predicted classes (±1) for a whole block of raw rows.
+    pub fn predict_batch(&self, raw: &DenseMatrix<f64>) -> Vec<f64> {
+        self.model.predict_batch(&self.normalize_batch(raw))
     }
 }
 
@@ -165,8 +229,7 @@ mod tests {
         assert!(p.model().n_support_vectors() > 0);
         // Training accuracy should be well above chance.
         let correct = m
-            .rows
-            .iter()
+            .rows()
             .zip(m.labels.iter())
             .filter(|(r, &l)| p.predict(r) == f64::from(l))
             .count();
@@ -177,7 +240,7 @@ mod tests {
     fn normalized_features_are_in_unit_range() {
         let m = matrix();
         let p = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
-        for row in &m.rows {
+        for row in m.rows() {
             let n = p.normalize(row);
             assert!(n.iter().all(|v| (-1.0..=1.0).contains(v)));
         }
@@ -190,7 +253,7 @@ mod tests {
         let p = FloatPipeline::fit(&m, &cfg).unwrap();
         assert_eq!(p.model().n_features(), 6);
         assert_eq!(p.feature_indices(), &[0, 1, 2, 3, 4, 5]);
-        let _ = p.predict(&m.rows[0]); // consumes full-width rows
+        let _ = p.predict(m.row(0)); // consumes full-width rows
     }
 
     #[test]
@@ -210,7 +273,10 @@ mod tests {
     #[test]
     fn homogeneous_scale_uses_single_exponent() {
         let m = matrix();
-        let cfg = FitConfig { homogeneous_scale: true, ..Default::default() };
+        let cfg = FitConfig {
+            homogeneous_scale: true,
+            ..Default::default()
+        };
         let p = FloatPipeline::fit(&m, &cfg).unwrap();
         let r0 = p.scales().r[0];
         assert!(p.scales().r.iter().all(|&r| r == r0));
@@ -244,6 +310,18 @@ mod tests {
             FloatPipeline::fit(&m, &FitConfig::default()),
             Err(CoreError::Dataset(_))
         ));
+    }
+
+    #[test]
+    fn batch_inference_matches_per_row_bitwise() {
+        let m = matrix();
+        let p = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
+        let dec = p.decision_batch(&m.features);
+        let pred = p.predict_batch(&m.features);
+        for (i, row) in m.rows().enumerate() {
+            assert_eq!(dec[i].to_bits(), p.decision_value(row).to_bits());
+            assert_eq!(pred[i], p.predict(row));
+        }
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl ArModel {
     ///
     /// Panics if `past.len() < self.order()`.
     pub fn predict(&self, past: &[f64]) -> f64 {
-        assert!(past.len() >= self.order(), "need {} past samples", self.order());
+        assert!(
+            past.len() >= self.order(),
+            "need {} past samples",
+            self.order()
+        );
         -self
             .coeffs
             .iter()
@@ -104,10 +108,17 @@ pub fn autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, DspError> 
 /// (perfectly predictable / degenerate input).
 pub fn levinson_durbin(r: &[f64], order: usize) -> Result<ArModel, DspError> {
     if r.len() < order + 1 {
-        return Err(DspError::TooShort { needed: order + 1, got: r.len() });
+        return Err(DspError::TooShort {
+            needed: order + 1,
+            got: r.len(),
+        });
     }
     if order == 0 {
-        return Ok(ArModel { coeffs: vec![], noise_variance: r[0], reflection: vec![] });
+        return Ok(ArModel {
+            coeffs: vec![],
+            noise_variance: r[0],
+            reflection: vec![],
+        });
     }
     let mut a = vec![0.0f64; order + 1];
     a[0] = 1.0;
@@ -136,7 +147,11 @@ pub fn levinson_durbin(r: &[f64], order: usize) -> Result<ArModel, DspError> {
             break;
         }
     }
-    Ok(ArModel { coeffs: a[1..=order].to_vec(), noise_variance: e, reflection })
+    Ok(ArModel {
+        coeffs: a[1..=order].to_vec(),
+        noise_variance: e,
+        reflection,
+    })
 }
 
 /// Yule–Walker AR estimation: biased autocorrelation followed by
@@ -148,7 +163,10 @@ pub fn levinson_durbin(r: &[f64], order: usize) -> Result<ArModel, DspError> {
 /// rejects signals shorter than `2 * order`.
 pub fn yule_walker(x: &[f64], order: usize) -> Result<ArModel, DspError> {
     if x.len() < 2 * order {
-        return Err(DspError::TooShort { needed: 2 * order, got: x.len() });
+        return Err(DspError::TooShort {
+            needed: 2 * order,
+            got: x.len(),
+        });
     }
     let m = crate::stats::mean(x);
     let centred: Vec<f64> = x.iter().map(|v| v - m).collect();
@@ -166,7 +184,10 @@ pub fn yule_walker(x: &[f64], order: usize) -> Result<ArModel, DspError> {
 /// [`DspError::Numerical`] on degenerate (zero-power) input.
 pub fn burg(x: &[f64], order: usize) -> Result<ArModel, DspError> {
     if x.len() <= order + 1 {
-        return Err(DspError::TooShort { needed: order + 2, got: x.len() });
+        return Err(DspError::TooShort {
+            needed: order + 2,
+            got: x.len(),
+        });
     }
     let m = crate::stats::mean(x);
     let n = x.len();
@@ -208,7 +229,11 @@ pub fn burg(x: &[f64], order: usize) -> Result<ArModel, DspError> {
             break;
         }
     }
-    Ok(ArModel { coeffs: a[1..=order].to_vec(), noise_variance: e, reflection })
+    Ok(ArModel {
+        coeffs: a[1..=order].to_vec(),
+        noise_variance: e,
+        reflection,
+    })
 }
 
 #[cfg(test)]
@@ -296,7 +321,10 @@ mod tests {
     fn degenerate_input_is_an_error() {
         assert!(matches!(burg(&[0.0; 32], 4), Err(DspError::Numerical(_))));
         let r = vec![0.0; 5];
-        assert!(matches!(levinson_durbin(&r, 4), Err(DspError::Numerical(_))));
+        assert!(matches!(
+            levinson_durbin(&r, 4),
+            Err(DspError::Numerical(_))
+        ));
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub fn detrend_linear(x: &mut [f64]) {
     let sum_y: f64 = x.iter().sum();
     let sum_iy: f64 = x.iter().enumerate().map(|(i, &v)| i as f64 * v).sum();
     let denom = nf * sum_ii - sum_i * sum_i;
-    let b = if denom != 0.0 { (nf * sum_iy - sum_i * sum_y) / denom } else { 0.0 };
+    let b = if denom != 0.0 {
+        (nf * sum_iy - sum_i * sum_y) / denom
+    } else {
+        0.0
+    };
     let a = (sum_y - b * sum_i) / nf;
     for (i, v) in x.iter_mut().enumerate() {
         *v -= a + b * i as f64;

@@ -61,7 +61,10 @@ mod tests {
         let variants = [
             DspError::EmptyInput,
             DspError::TooShort { needed: 4, got: 1 },
-            DspError::InvalidParameter { name: "fc", reason: "must be < fs/2" },
+            DspError::InvalidParameter {
+                name: "fc",
+                reason: "must be < fs/2",
+            },
             DspError::LengthMismatch { left: 3, right: 5 },
             DspError::Numerical("singular matrix"),
         ];

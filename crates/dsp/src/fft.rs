@@ -130,7 +130,10 @@ pub fn next_pow2(n: usize) -> usize {
 /// Panics if `buf.len()` is not a power of two.
 fn fft_in_place(buf: &mut [Complex], sign: f64) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "fft length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }

@@ -20,7 +20,10 @@ pub struct Biquad {
 impl Biquad {
     /// Identity (pass-through) section.
     pub fn identity() -> Self {
-        Biquad { b: [1.0, 0.0, 0.0], a: [0.0, 0.0] }
+        Biquad {
+            b: [1.0, 0.0, 0.0],
+            a: [0.0, 0.0],
+        }
     }
 
     /// Second-order Butterworth low-pass at cut-off `fc` Hz for sampling
@@ -76,7 +79,10 @@ impl Biquad {
     pub fn bandpass(f0: f64, q: f64, fs: f64) -> Result<Self, DspError> {
         check_fc(f0, fs)?;
         if q <= 0.0 {
-            return Err(DspError::InvalidParameter { name: "q", reason: "must be positive" });
+            return Err(DspError::InvalidParameter {
+                name: "q",
+                reason: "must be positive",
+            });
         }
         let w0 = 2.0 * PI * f0 / fs;
         let alpha = w0.sin() / (2.0 * q);
@@ -97,7 +103,10 @@ impl Biquad {
     pub fn notch(f0: f64, q: f64, fs: f64) -> Result<Self, DspError> {
         check_fc(f0, fs)?;
         if q <= 0.0 {
-            return Err(DspError::InvalidParameter { name: "q", reason: "must be positive" });
+            return Err(DspError::InvalidParameter {
+                name: "q",
+                reason: "must be positive",
+            });
         }
         let w0 = 2.0 * PI * f0 / fs;
         let alpha = w0.sin() / (2.0 * q);
@@ -115,9 +124,8 @@ impl Biquad {
         let mut y = Vec::with_capacity(x.len());
         let (mut x1, mut x2, mut y1, mut y2) = (0.0, 0.0, 0.0, 0.0);
         for &xi in x {
-            let yi = self.b[0] * xi + self.b[1] * x1 + self.b[2] * x2
-                - self.a[0] * y1
-                - self.a[1] * y2;
+            let yi =
+                self.b[0] * xi + self.b[1] * x1 + self.b[2] * x2 - self.a[0] * y1 - self.a[1] * y2;
             x2 = x1;
             x1 = xi;
             y2 = y1;
@@ -132,9 +140,7 @@ impl Biquad {
         let w = 2.0 * PI * f / fs;
         let z1 = crate::fft::Complex::from_polar(1.0, -w);
         let z2 = z1 * z1;
-        let num = crate::fft::Complex::from(self.b[0])
-            + z1.scale(self.b[1])
-            + z2.scale(self.b[2]);
+        let num = crate::fft::Complex::from(self.b[0]) + z1.scale(self.b[1]) + z2.scale(self.b[2]);
         let den = crate::fft::Complex::ONE + z1.scale(self.a[0]) + z2.scale(self.a[1]);
         num.norm() / den.norm()
     }
@@ -142,7 +148,10 @@ impl Biquad {
 
 fn check_fc(fc: f64, fs: f64) -> Result<(), DspError> {
     if fs <= 0.0 {
-        return Err(DspError::InvalidParameter { name: "fs", reason: "must be positive" });
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            reason: "must be positive",
+        });
     }
     if fc <= 0.0 || fc >= fs / 2.0 {
         return Err(DspError::InvalidParameter {
@@ -242,7 +251,10 @@ impl SosCascade {
 
     /// Magnitude response of the whole cascade at `f` Hz.
     pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
-        self.sections.iter().map(|s| s.magnitude_at(f, fs)).product()
+        self.sections
+            .iter()
+            .map(|s| s.magnitude_at(f, fs))
+            .product()
     }
 }
 
@@ -253,7 +265,10 @@ impl SosCascade {
 /// Returns [`DspError::InvalidParameter`] when `len == 0`.
 pub fn moving_average(x: &[f64], len: usize) -> Result<Vec<f64>, DspError> {
     if len == 0 {
-        return Err(DspError::InvalidParameter { name: "len", reason: "must be >= 1" });
+        return Err(DspError::InvalidParameter {
+            name: "len",
+            reason: "must be >= 1",
+        });
     }
     let mut out = Vec::with_capacity(x.len());
     let mut acc = 0.0;
@@ -291,7 +306,10 @@ pub fn five_point_derivative(x: &[f64], fs: f64) -> Vec<f64> {
 /// Returns [`DspError::InvalidParameter`] when `len` is even or zero.
 pub fn median_filter(x: &[f64], len: usize) -> Result<Vec<f64>, DspError> {
     if len == 0 || len.is_multiple_of(2) {
-        return Err(DspError::InvalidParameter { name: "len", reason: "must be odd and >= 1" });
+        return Err(DspError::InvalidParameter {
+            name: "len",
+            reason: "must be odd and >= 1",
+        });
     }
     let half = len / 2;
     let n = x.len();
@@ -311,7 +329,9 @@ mod tests {
     use super::*;
 
     fn tone(fs: f64, f: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * f * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 / fs).sin())
+            .collect()
     }
 
     fn rms_tail(x: &[f64]) -> f64 {
@@ -380,9 +400,8 @@ mod tests {
         assert_eq!(out.len(), sig.len());
         // Cross-correlation at zero lag should be near 1 (no delay).
         let num: f64 = sig.iter().zip(&out).map(|(a, b)| a * b).sum();
-        let den = (sig.iter().map(|v| v * v).sum::<f64>()
-            * out.iter().map(|v| v * v).sum::<f64>())
-        .sqrt();
+        let den = (sig.iter().map(|v| v * v).sum::<f64>() * out.iter().map(|v| v * v).sum::<f64>())
+            .sqrt();
         assert!(num / den > 0.99, "corr {}", num / den);
     }
 

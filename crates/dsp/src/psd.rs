@@ -69,10 +69,16 @@ impl Spectrum {
 /// [`DspError::InvalidParameter`] for non-positive `fs`.
 pub fn periodogram(signal: &[f64], fs: f64, window: WindowKind) -> Result<Spectrum, DspError> {
     if signal.len() < 4 {
-        return Err(DspError::TooShort { needed: 4, got: signal.len() });
+        return Err(DspError::TooShort {
+            needed: 4,
+            got: signal.len(),
+        });
     }
     if fs <= 0.0 {
-        return Err(DspError::InvalidParameter { name: "fs", reason: "must be positive" });
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            reason: "must be positive",
+        });
     }
     let m = crate::stats::mean(signal);
     let mut buf: Vec<f64> = signal.iter().map(|v| v - m).collect();
@@ -110,13 +116,22 @@ pub fn welch(
     window: WindowKind,
 ) -> Result<Spectrum, DspError> {
     if nperseg < 4 {
-        return Err(DspError::InvalidParameter { name: "nperseg", reason: "must be >= 4" });
+        return Err(DspError::InvalidParameter {
+            name: "nperseg",
+            reason: "must be >= 4",
+        });
     }
     if !(0.0..1.0).contains(&overlap) {
-        return Err(DspError::InvalidParameter { name: "overlap", reason: "must be in [0,1)" });
+        return Err(DspError::InvalidParameter {
+            name: "overlap",
+            reason: "must be in [0,1)",
+        });
     }
     if signal.len() < nperseg {
-        return Err(DspError::TooShort { needed: nperseg, got: signal.len() });
+        return Err(DspError::TooShort {
+            needed: nperseg,
+            got: signal.len(),
+        });
     }
     let step = ((nperseg as f64) * (1.0 - overlap)).max(1.0) as usize;
     let mut acc: Option<Spectrum> = None;
@@ -154,13 +169,22 @@ pub fn welch(
 /// [`DspError::InvalidParameter`] for an empty frequency grid.
 pub fn lomb_scargle(t: &[f64], y: &[f64], freqs: &[f64]) -> Result<Spectrum, DspError> {
     if t.len() != y.len() {
-        return Err(DspError::LengthMismatch { left: t.len(), right: y.len() });
+        return Err(DspError::LengthMismatch {
+            left: t.len(),
+            right: y.len(),
+        });
     }
     if t.len() < 4 {
-        return Err(DspError::TooShort { needed: 4, got: t.len() });
+        return Err(DspError::TooShort {
+            needed: 4,
+            got: t.len(),
+        });
     }
     if freqs.is_empty() {
-        return Err(DspError::InvalidParameter { name: "freqs", reason: "must be non-empty" });
+        return Err(DspError::InvalidParameter {
+            name: "freqs",
+            reason: "must be non-empty",
+        });
     }
     let my = crate::stats::mean(y);
     let vy = crate::stats::sample_variance(y);
@@ -196,7 +220,10 @@ pub fn lomb_scargle(t: &[f64], y: &[f64], freqs: &[f64]) -> Result<Spectrum, Dsp
         };
         power.push(p);
     }
-    Ok(Spectrum { freqs: freqs.to_vec(), power })
+    Ok(Spectrum {
+        freqs: freqs.to_vec(),
+        power,
+    })
 }
 
 /// Builds a linear frequency grid `[lo, hi]` with `n` points.
@@ -216,7 +243,9 @@ mod tests {
     use super::*;
 
     fn tone(fs: f64, f: f64, n: usize, amp: f64) -> Vec<f64> {
-        (0..n).map(|i| amp * (2.0 * PI * f * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| amp * (2.0 * PI * f * i as f64 / fs).sin())
+            .collect()
     }
 
     #[test]
@@ -320,7 +349,10 @@ mod tests {
 
     #[test]
     fn band_power_clipping() {
-        let spec = Spectrum { freqs: vec![0.0, 1.0, 2.0], power: vec![1.0, 1.0, 1.0] };
+        let spec = Spectrum {
+            freqs: vec![0.0, 1.0, 2.0],
+            power: vec![1.0, 1.0, 1.0],
+        };
         assert!((spec.band_power(0.0, 2.0) - 2.0).abs() < 1e-12);
         assert!((spec.band_power(0.5, 1.5) - 1.0).abs() < 1e-12);
         assert_eq!(spec.band_power(3.0, 4.0), 0.0);

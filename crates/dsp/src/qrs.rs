@@ -101,11 +101,17 @@ impl PanTompkins {
     /// frequencies.
     pub fn detect(&self, ecg: &[f64], fs: f64) -> Result<QrsDetection, DspError> {
         if fs <= 0.0 {
-            return Err(DspError::InvalidParameter { name: "fs", reason: "must be positive" });
+            return Err(DspError::InvalidParameter {
+                name: "fs",
+                reason: "must be positive",
+            });
         }
         let min_len = (2.0 * fs) as usize;
         if ecg.len() < min_len {
-            return Err(DspError::TooShort { needed: min_len, got: ecg.len() });
+            return Err(DspError::TooShort {
+                needed: min_len,
+                got: ecg.len(),
+            });
         }
 
         // 1) Band-pass.
@@ -357,9 +363,21 @@ mod tests {
     fn rr_interval_accessors() {
         let det = QrsDetection {
             peaks: vec![
-                RPeak { index: 0, time_s: 0.0, amplitude: 1.0 },
-                RPeak { index: 100, time_s: 1.0, amplitude: 1.1 },
-                RPeak { index: 180, time_s: 1.8, amplitude: 0.9 },
+                RPeak {
+                    index: 0,
+                    time_s: 0.0,
+                    amplitude: 1.0,
+                },
+                RPeak {
+                    index: 100,
+                    time_s: 1.0,
+                    amplitude: 1.1,
+                },
+                RPeak {
+                    index: 180,
+                    time_s: 1.8,
+                    amplitude: 0.9,
+                },
             ],
         };
         let rr = det.rr_intervals();

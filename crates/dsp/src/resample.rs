@@ -17,7 +17,10 @@ pub fn interp_linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, DspError> {
         return Err(DspError::EmptyInput);
     }
     if xs.len() != ys.len() {
-        return Err(DspError::LengthMismatch { left: xs.len(), right: ys.len() });
+        return Err(DspError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
     }
     if x <= xs[0] {
         return Ok(ys[0]);
@@ -46,13 +49,22 @@ pub fn interp_linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, DspError> {
 /// time stamps.
 pub fn resample_uniform(t: &[f64], y: &[f64], fs: f64) -> Result<Vec<f64>, DspError> {
     if t.len() != y.len() {
-        return Err(DspError::LengthMismatch { left: t.len(), right: y.len() });
+        return Err(DspError::LengthMismatch {
+            left: t.len(),
+            right: y.len(),
+        });
     }
     if t.len() < 2 {
-        return Err(DspError::TooShort { needed: 2, got: t.len() });
+        return Err(DspError::TooShort {
+            needed: 2,
+            got: t.len(),
+        });
     }
     if fs <= 0.0 {
-        return Err(DspError::InvalidParameter { name: "fs", reason: "must be positive" });
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            reason: "must be positive",
+        });
     }
     if t.windows(2).any(|w| w[1] <= w[0]) {
         return Err(DspError::InvalidParameter {
@@ -78,7 +90,10 @@ pub fn resample_uniform(t: &[f64], y: &[f64], fs: f64) -> Result<Vec<f64>, DspEr
 /// Returns [`DspError::InvalidParameter`] when `factor == 0`.
 pub fn decimate(x: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
     if factor == 0 {
-        return Err(DspError::InvalidParameter { name: "factor", reason: "must be >= 1" });
+        return Err(DspError::InvalidParameter {
+            name: "factor",
+            reason: "must be >= 1",
+        });
     }
     if factor == 1 {
         return Ok(x.to_vec());

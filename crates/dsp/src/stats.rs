@@ -142,10 +142,16 @@ pub fn mad(x: &[f64]) -> Result<f64, DspError> {
 /// [`DspError::TooShort`] when fewer than 2 samples are available.
 pub fn covariance(x: &[f64], y: &[f64]) -> Result<f64, DspError> {
     if x.len() != y.len() {
-        return Err(DspError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(DspError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     if x.len() < 2 {
-        return Err(DspError::TooShort { needed: 2, got: x.len() });
+        return Err(DspError::TooShort {
+            needed: 2,
+            got: x.len(),
+        });
     }
     let mx = mean(x);
     let my = mean(y);
@@ -299,9 +305,7 @@ mod tests {
     fn covariance_symmetry() {
         let x = [1.0, 3.0, 2.0, 5.0];
         let y = [2.0, 1.0, 4.0, 3.0];
-        assert!(
-            (covariance(&x, &y).unwrap() - covariance(&y, &x).unwrap()).abs() < EPS
-        );
+        assert!((covariance(&x, &y).unwrap() - covariance(&y, &x).unwrap()).abs() < EPS);
     }
 
     #[test]

@@ -67,7 +67,12 @@ mod tests {
 
     #[test]
     fn edge_lengths() {
-        for k in [WindowKind::Rect, WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+        for k in [
+            WindowKind::Rect,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
             assert!(k.coefficients(0).is_empty());
             assert_eq!(k.coefficients(1), vec![1.0]);
         }

@@ -152,8 +152,7 @@ impl DatasetSpec {
             }
         }
         for s in &mut sessions {
-            s.seizures
-                .sort_by(|a, b| a.onset_s.total_cmp(&b.onset_s));
+            s.seizures.sort_by(|a, b| a.onset_s.total_cmp(&b.onset_s));
         }
 
         // Background confounders: arousals (~7/h) and calm phases (~4/h),
@@ -176,8 +175,7 @@ impl DatasetSpec {
                     }
                     let onset = uniform(&mut rng, 10.0, hi);
                     let clear_of_seizures = s.seizures.iter().all(|sz| {
-                        onset + duration + scale.window_s()
-                            < sz.onset_s - sz.preictal_s
+                        onset + duration + scale.window_s() < sz.onset_s - sz.preictal_s
                             || onset > sz.offset_s() + 2.0 * scale.window_s()
                     });
                     if clear_of_seizures {
@@ -193,7 +191,11 @@ impl DatasetSpec {
             }
             s.background.sort_by(|a, b| a.onset_s.total_cmp(&b.onset_s));
         }
-        DatasetSpec { scale, seed, sessions }
+        DatasetSpec {
+            scale,
+            seed,
+            sessions,
+        }
     }
 
     /// Total seizure count actually placed.
@@ -225,18 +227,16 @@ fn place_seizure<R: Rng + ?Sized>(
             return None;
         }
         let onset = uniform(rng, lo, hi);
-        let candidate = SeizureEvent::new(
-            onset,
-            duration,
-            session.patient.draw_seizure_intensity(rng),
-        )
-        .with_gains(
-            session.patient.cardiac_response,
-            session.patient.respiratory_response,
-        );
-        let clear = session.seizures.iter().all(|s| {
-            (candidate.onset_s - s.onset_s).abs() > min_gap + s.duration_s
-        });
+        let candidate =
+            SeizureEvent::new(onset, duration, session.patient.draw_seizure_intensity(rng))
+                .with_gains(
+                    session.patient.cardiac_response,
+                    session.patient.respiratory_response,
+                );
+        let clear = session
+            .seizures
+            .iter()
+            .all(|s| (candidate.onset_s - s.onset_s).abs() > min_gap + s.duration_s);
         if clear {
             return Some(candidate);
         }

@@ -87,19 +87,18 @@ impl HeartModel {
             times.push(t);
             let eff = combined_effect(seizures, background, t);
             let drift = 1.0
-                + self.drift_amp
-                    * (std::f64::consts::TAU * drift_freq * t + drift_phase0).sin();
+                + self.drift_amp * (std::f64::consts::TAU * drift_freq * t + drift_phase0).sin();
             let hr = self.base_hr_bpm * drift * eff.hr_multiplier;
             let rr0 = 60.0 / hr.max(20.0);
-            let lf = self.lf_amp
-                * (std::f64::consts::TAU * self.lf_freq_hz * t + lf_phase0).sin();
+            let lf = self.lf_amp * (std::f64::consts::TAU * self.lf_freq_hz * t + lf_phase0).sin();
             let resp_idx = ((t * resp_fs) as usize).min(resp.len().saturating_sub(1));
             let resp_val = if resp.is_empty() { 0.0 } else { resp[resp_idx] };
             // RSA amplitude falls with respiration rate (vagal low-pass),
             // so ictal/arousal tachypnoea cannot masquerade as intact
             // beat-to-beat variability in RMSSD-style statistics.
             let hf = self.hf_amp * resp_val
-                / (eff.resp_rate_multiplier * eff.resp_rate_multiplier
+                / (eff.resp_rate_multiplier
+                    * eff.resp_rate_multiplier
                     * (1.0 + eff.resp_irregularity));
             let jit = normal(rng, 0.0, self.jitter);
             let rr = rr0 * (1.0 + eff.hrv_factor * (lf + hf + jit));
@@ -130,8 +129,7 @@ mod tests {
     fn resting_rate_matches_baseline() {
         let model = HeartModel::default();
         let resp = make_resp(300.0, 8.0, 1);
-        let beats =
-            model.generate_beats(300.0, &[], &[], &resp, 8.0, &mut substream(1, 0));
+        let beats = model.generate_beats(300.0, &[], &[], &resp, 8.0, &mut substream(1, 0));
         let rr = beats.rr_intervals();
         let hr = 60.0 / stats::mean(&rr);
         assert!((hr - 70.0).abs() < 6.0, "hr {hr}");
@@ -155,7 +153,12 @@ mod tests {
         );
         let ictal = model.generate_beats(dur, &seiz, &[], &resp_ict, fs, &mut substream(2, 0));
         let hr = |b: &BeatSeries| 60.0 / stats::mean(&b.rr_intervals());
-        assert!(hr(&ictal) > hr(&calm) * 1.3, "{} vs {}", hr(&ictal), hr(&calm));
+        assert!(
+            hr(&ictal) > hr(&calm) * 1.3,
+            "{} vs {}",
+            hr(&ictal),
+            hr(&calm)
+        );
         // RR variability (normalised by mean RR) is suppressed ictally.
         let cv = |b: &BeatSeries| {
             let rr = b.rr_intervals();
@@ -168,7 +171,13 @@ mod tests {
     fn rsa_is_visible_in_rr_spectrum() {
         // HF modulation should put a spectral peak near the respiration
         // rate in the resampled tachogram.
-        let model = HeartModel { hf_amp: 0.08, lf_amp: 0.01, jitter: 0.003, drift_amp: 0.0, ..Default::default() };
+        let model = HeartModel {
+            hf_amp: 0.08,
+            lf_amp: 0.01,
+            jitter: 0.003,
+            drift_amp: 0.0,
+            ..Default::default()
+        };
         let fs = 8.0;
         let dur = 600.0;
         let resp = make_resp(dur, fs, 3);
@@ -177,8 +186,7 @@ mod tests {
         let t: Vec<f64> = beats.times[1..].to_vec();
         let tach = biodsp::resample::resample_uniform(&t, &rr, 4.0).unwrap();
         let spec =
-            biodsp::psd::welch(&tach, 4.0, 512, 0.5, biodsp::window::WindowKind::Hann)
-                .unwrap();
+            biodsp::psd::welch(&tach, 4.0, 512, 0.5, biodsp::window::WindowKind::Hann).unwrap();
         let hf = spec.band_power(0.15, 0.4);
         let vlf = spec.band_power(0.003, 0.04);
         assert!(hf > vlf, "hf {hf} vlf {vlf}");

@@ -23,7 +23,11 @@ pub struct RespirationModel {
 
 impl Default for RespirationModel {
     fn default() -> Self {
-        RespirationModel { rate_hz: 0.25, rate_jitter: 0.05, amp_jitter: 0.1 }
+        RespirationModel {
+            rate_hz: 0.25,
+            rate_jitter: 0.05,
+            amp_jitter: 0.1,
+        }
     }
 }
 
@@ -62,12 +66,11 @@ impl RespirationModel {
                     0.0,
                     self.rate_jitter * jitter_gain * (1.0 - rho * rho).sqrt(),
                 );
-            let rate = (self.rate_hz * (1.0 + rate_wander)).max(0.05)
-                * eff.resp_rate_multiplier;
+            let rate = (self.rate_hz * (1.0 + rate_wander)).max(0.05) * eff.resp_rate_multiplier;
             phase += std::f64::consts::TAU * rate / fs;
             let jitter = self.amp_jitter + eff.resp_irregularity;
-            amp = rho * amp + (1.0 - rho) * 1.0
-                + normal(rng, 0.0, jitter * (1.0 - rho * rho).sqrt());
+            amp =
+                rho * amp + (1.0 - rho) * 1.0 + normal(rng, 0.0, jitter * (1.0 - rho * rho).sqrt());
             amp = amp.clamp(0.2, 2.5);
             out.push(amp * phase.sin());
         }
@@ -120,10 +123,7 @@ mod tests {
         let ictal = model.generate(8192, fs, &seiz, &[], &mut rng_b);
         // Envelope variability: std of |x| over windows.
         let env_var = |sig: &[f64]| {
-            let envs: Vec<f64> = sig
-                .chunks(64)
-                .map(biodsp::stats::rms)
-                .collect();
+            let envs: Vec<f64> = sig.chunks(64).map(biodsp::stats::rms).collect();
             biodsp::stats::std_dev(&envs)
         };
         assert!(env_var(&ictal) > env_var(&calm));
@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn amplitude_stays_bounded() {
-        let model = RespirationModel { amp_jitter: 0.5, ..Default::default() };
+        let model = RespirationModel {
+            amp_jitter: 0.5,
+            ..Default::default()
+        };
         let mut rng = substream(4, 4);
         let sig = model.generate(4096, 8.0, &[], &[], &mut rng);
         assert!(sig.iter().all(|v| v.abs() <= 2.5 + 1e-9));

@@ -25,8 +25,7 @@ pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
 /// domain-separation label (e.g. session index).
 pub fn substream(master_seed: u64, label: u64) -> StdRng {
     // SplitMix64-style mixing keeps substreams decorrelated.
-    let mut z = master_seed
-        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(label.wrapping_add(1)));
+    let mut z = master_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(label.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^= z >> 31;

@@ -16,14 +16,8 @@
 //! modelled by [`BackgroundEpisode`] and are what makes a single linear
 //! threshold insufficient (Table I of the paper: linear ≪ quadratic).
 
-use serde::{Deserialize, Serialize};
-
-fn default_gain() -> f64 {
-    1.0
-}
-
 /// One annotated seizure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeizureEvent {
     /// Electrographic onset, seconds from session start.
     pub onset_s: f64,
@@ -39,11 +33,9 @@ pub struct SeizureEvent {
     pub postictal_tau_s: f64,
     /// Patient-phenotype weight of the cardiac response (tachycardia +
     /// HRV suppression).
-    #[serde(default = "default_gain")]
     pub cardiac_gain: f64,
     /// Patient-phenotype weight of the respiratory response (rate shift +
     /// irregularity), which surfaces in the EDR features.
-    #[serde(default = "default_gain")]
     pub respiratory_gain: f64,
 }
 
@@ -98,7 +90,7 @@ impl SeizureEvent {
 }
 
 /// Kind of non-ictal (confounder) episode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackgroundKind {
     /// Arousal / movement / light exercise: heart rate and respiration
     /// rise, but beat-to-beat variability does **not** collapse.
@@ -109,7 +101,7 @@ pub enum BackgroundKind {
 }
 
 /// One background (non-seizure) autonomic episode.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackgroundEpisode {
     /// Episode kind.
     pub kind: BackgroundKind,
@@ -124,7 +116,12 @@ pub struct BackgroundEpisode {
 impl BackgroundEpisode {
     /// A background episode with clamped intensity.
     pub fn new(kind: BackgroundKind, onset_s: f64, duration_s: f64, intensity: f64) -> Self {
-        BackgroundEpisode { kind, onset_s, duration_s, intensity: intensity.clamp(0.05, 1.0) }
+        BackgroundEpisode {
+            kind,
+            onset_s,
+            duration_s,
+            intensity: intensity.clamp(0.05, 1.0),
+        }
     }
 
     /// Smooth trapezoidal activation with 20 s edges.
@@ -226,11 +223,15 @@ pub fn combined_effect(
     let hrv_factor = (1.0 - MAX_HRV_SUPPRESSION * cardiac)
         * (1.0 + MAX_AROUSAL_HRV_BOOST * arousal)
         * (1.0 - MAX_CALM_HRV_SUPPRESSION * calm);
-    let resp_rate_multiplier = (1.0 + MAX_RESP_INCREASE * respiratory)
-        * (1.0 + 0.05 * arousal)
-        * (1.0 - 0.08 * calm);
+    let resp_rate_multiplier =
+        (1.0 + MAX_RESP_INCREASE * respiratory) * (1.0 + 0.05 * arousal) * (1.0 - 0.08 * calm);
     let resp_irregularity = (0.9 * respiratory + 0.05 * arousal).min(1.0);
-    AutonomicEffect { hr_multiplier, hrv_factor, resp_rate_multiplier, resp_irregularity }
+    AutonomicEffect {
+        hr_multiplier,
+        hrv_factor,
+        resp_rate_multiplier,
+        resp_irregularity,
+    }
 }
 
 #[cfg(test)]

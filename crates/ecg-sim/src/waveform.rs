@@ -35,11 +35,31 @@ impl Default for Morphology {
     fn default() -> Self {
         Morphology {
             waves: vec![
-                Wave { theta: -1.20, amplitude_mv: 0.12, width: 0.25 }, // P
-                Wave { theta: -0.18, amplitude_mv: -0.10, width: 0.08 }, // Q
-                Wave { theta: 0.0, amplitude_mv: 1.00, width: 0.09 },   // R
-                Wave { theta: 0.20, amplitude_mv: -0.20, width: 0.09 }, // S
-                Wave { theta: 1.45, amplitude_mv: 0.30, width: 0.40 },  // T
+                Wave {
+                    theta: -1.20,
+                    amplitude_mv: 0.12,
+                    width: 0.25,
+                }, // P
+                Wave {
+                    theta: -0.18,
+                    amplitude_mv: -0.10,
+                    width: 0.08,
+                }, // Q
+                Wave {
+                    theta: 0.0,
+                    amplitude_mv: 1.00,
+                    width: 0.09,
+                }, // R
+                Wave {
+                    theta: 0.20,
+                    amplitude_mv: -0.20,
+                    width: 0.09,
+                }, // S
+                Wave {
+                    theta: 1.45,
+                    amplitude_mv: 0.30,
+                    width: 0.40,
+                }, // T
             ],
             edr_gain: 0.15,
         }
@@ -179,7 +199,10 @@ mod tests {
             if idx + 5 >= ecg.len() {
                 break;
             }
-            let amp = ecg[idx - 5..idx + 5].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let amp = ecg[idx - 5..idx + 5]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
             ramps.push(amp);
         }
         let spread = biodsp::stats::max(&ramps) - biodsp::stats::min(&ramps);

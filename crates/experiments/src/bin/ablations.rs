@@ -7,6 +7,7 @@
 //! 4. The dot-product guard shift (conditioning of the quadratic kernel).
 //! 5. Parallel kernel lanes: latency/area trade-off at iso-accuracy.
 
+use ecg_features::DenseMatrix;
 use experiments::{pct, render_table, write_csv, RunConfig};
 use hwmodel::pipeline::AcceleratorConfig;
 use hwmodel::TechParams;
@@ -16,9 +17,16 @@ use seizure_core::eval::{loso_evaluate, loso_evaluate_with, LosoResult};
 use seizure_core::trained::FloatPipeline;
 use svm::smo::{SmoConfig, SmoTrainer};
 
+/// Boxed batch predictor for heterogeneous fold closures.
+type BatchPredictor = Box<dyn Fn(&DenseMatrix<f64>) -> Vec<f64>>;
+
 /// LOSO evaluation with *random* SV pruning to the same budget, as the
 /// control arm for the Eq 5 ablation.
-fn loso_random_pruning(m: &ecg_features::FeatureMatrix, cfg: &FitConfig, budget: usize) -> LosoResult {
+fn loso_random_pruning(
+    m: &ecg_features::FeatureMatrix,
+    cfg: &FitConfig,
+    budget: usize,
+) -> LosoResult {
     let base = cfg.clone();
     loso_evaluate_with(m, move |train| {
         // Train unbudgeted, then keep `budget` randomly-chosen SVs by
@@ -28,17 +36,14 @@ fn loso_random_pruning(m: &ecg_features::FeatureMatrix, cfg: &FitConfig, budget:
         let full = p.model().n_support_vectors();
         if full <= budget {
             let n = full;
-            return Ok((
-                Box::new(move |row: &[f64]| p.predict(row)) as Box<dyn Fn(&[f64]) -> f64>,
-                n,
-            ));
+            let predictor: BatchPredictor = Box::new(move |rows| p.predict_batch(rows));
+            return Ok((predictor, n));
         }
         // Pseudo-random subset of the *training set* mirroring the
         // budgeting loop's removal count, then re-train once.
-        let sub = train.clone();
-        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut xs = DenseMatrix::with_cols(p.feature_indices().len());
         let mut ys: Vec<f64> = Vec::new();
-        for (i, (row, &lab)) in sub.rows.iter().zip(sub.labels.iter()).enumerate() {
+        for (i, (row, &lab)) in train.rows().zip(train.labels.iter()).enumerate() {
             // Keep a deterministic ~budget/full fraction of rows.
             let h = (i as u64)
                 .wrapping_mul(0x9E3779B97F4A7C15)
@@ -48,31 +53,23 @@ fn loso_random_pruning(m: &ecg_features::FeatureMatrix, cfg: &FitConfig, budget:
             let frac = (budget as f64 / full as f64).min(1.0) * 1.2;
             let keep = u < frac || lab > 0; // never drop positives entirely
             if keep {
-                xs.push(p.normalize(row));
+                xs.push_row(&p.normalize(row));
                 ys.push(if lab > 0 { 1.0 } else { -1.0 });
             }
         }
-        let smo = SmoConfig { c: base.c, kernel: base.kernel, ..Default::default() };
-        let model = SmoTrainer::new(smo).train(&xs, &ys).map_err(seizure_core::CoreError::Svm)?;
+        let smo = SmoConfig {
+            c: base.c,
+            kernel: base.kernel,
+            ..Default::default()
+        };
+        let model = SmoTrainer::new(smo)
+            .train(&xs, &ys)
+            .map_err(seizure_core::CoreError::Svm)?;
         let n = model.n_support_vectors();
-        let scales = p.scales().clone();
-        let idx = p.feature_indices().to_vec();
-        let guard = p.guard();
-        Ok((
-            Box::new(move |row: &[f64]| {
-                let selected: Vec<f64> = idx.iter().map(|&j| row[j]).collect();
-                let norm: Vec<f64> = selected
-                    .iter()
-                    .zip(scales.r.iter())
-                    .map(|(&v, &r)| {
-                        let b = (-guard as f64).exp2();
-                        (v / ((r + guard) as f64).exp2()).clamp(-b, b)
-                    })
-                    .collect();
-                model.predict(&norm)
-            }) as Box<dyn Fn(&[f64]) -> f64>,
-            n,
-        ))
+        let norm_pipeline = p.clone();
+        let predictor: BatchPredictor =
+            Box::new(move |rows| model.predict_batch(&norm_pipeline.normalize_batch(rows)));
+        Ok((predictor, n))
     })
 }
 
@@ -85,13 +82,34 @@ fn main() {
     // ---- 1. Eq 5 vs random pruning ----
     let free = loso_evaluate(&matrix, &base_cfg);
     let budget = ((free.mean_n_sv * 0.6).round() as usize).max(4);
-    let eq5 = loso_evaluate(&matrix, &FitConfig { sv_budget: Some(budget), ..base_cfg.clone() });
+    let eq5 = loso_evaluate(
+        &matrix,
+        &FitConfig {
+            sv_budget: Some(budget),
+            ..base_cfg.clone()
+        },
+    );
     let rand = loso_random_pruning(&matrix, &base_cfg, budget);
-    println!("\nAblation 1: SV pruning strategy at budget {budget} (free: {:.0} SVs)\n", free.mean_n_sv);
+    println!(
+        "\nAblation 1: SV pruning strategy at budget {budget} (free: {:.0} SVs)\n",
+        free.mean_n_sv
+    );
     let rows1 = vec![
-        vec!["unbudgeted".into(), pct(free.mean_gm), format!("{:.0}", free.mean_n_sv)],
-        vec!["Eq 5 norm pruning".into(), pct(eq5.mean_gm), format!("{:.0}", eq5.mean_n_sv)],
-        vec!["random pruning".into(), pct(rand.mean_gm), format!("{:.0}", rand.mean_n_sv)],
+        vec![
+            "unbudgeted".into(),
+            pct(free.mean_gm),
+            format!("{:.0}", free.mean_n_sv),
+        ],
+        vec![
+            "Eq 5 norm pruning".into(),
+            pct(eq5.mean_gm),
+            format!("{:.0}", eq5.mean_n_sv),
+        ],
+        vec![
+            "random pruning".into(),
+            pct(rand.mean_gm),
+            format!("{:.0}", rand.mean_n_sv),
+        ],
     ];
     println!("{}", render_table(&["strategy", "GM %", "SVs"], &rows1));
 
@@ -109,42 +127,79 @@ fn main() {
             let p = FloatPipeline::fit(train, &base_cfg)?;
             let n = p.model().n_support_vectors();
             let e = QuantizedEngine::from_pipeline(&p, bits)?;
-            Ok((move |row: &[f64]| e.classify(row), n))
+            Ok((move |rows: &DenseMatrix<f64>| e.classify_batch(rows), n))
         });
-        rows2.push(vec![format!("{t_bits}+{t_bits}"), pct(r.mean_gm), pct(r.mean_se), pct(r.mean_sp)]);
+        rows2.push(vec![
+            format!("{t_bits}+{t_bits}"),
+            pct(r.mean_gm),
+            pct(r.mean_se),
+            pct(r.mean_sp),
+        ]);
     }
-    println!("{}", render_table(&["truncation", "GM %", "Se %", "Sp %"], &rows2));
+    println!(
+        "{}",
+        render_table(&["truncation", "GM %", "Se %", "Sp %"], &rows2)
+    );
 
     // ---- 3. Class weighting ----
     println!("\nAblation 3: class-weighted vs unweighted soft margin\n");
     let weighted = loso_evaluate(&matrix, &base_cfg);
     let unweighted = loso_evaluate_with(&matrix, |train| {
-        let sub = train.clone();
-        let p = FloatPipeline::fit(&sub, &base_cfg)?; // for scales/indices
-        let xs: Vec<Vec<f64>> = sub.rows.iter().map(|r| p.normalize(r)).collect();
-        let ys: Vec<f64> = sub.labels.iter().map(|&l| if l > 0 { 1.0 } else { -1.0 }).collect();
+        let p = FloatPipeline::fit(train, &base_cfg)?; // for scales/indices
+        let xs = p.normalize_batch(&train.features);
+        let ys: Vec<f64> = train
+            .labels
+            .iter()
+            .map(|&l| if l > 0 { 1.0 } else { -1.0 })
+            .collect();
         let smo = SmoConfig {
             c: base_cfg.c,
             kernel: base_cfg.kernel,
             balance_classes: false,
             ..Default::default()
         };
-        let model = SmoTrainer::new(smo).train(&xs, &ys).map_err(seizure_core::CoreError::Svm)?;
+        let model = SmoTrainer::new(smo)
+            .train(&xs, &ys)
+            .map_err(seizure_core::CoreError::Svm)?;
         let n = model.n_support_vectors();
-        let p2 = p.clone();
-        Ok((move |row: &[f64]| model.predict(&p2.normalize(row)), n))
+        Ok((
+            move |rows: &DenseMatrix<f64>| model.predict_batch(&p.normalize_batch(rows)),
+            n,
+        ))
     });
     let rows3 = vec![
-        vec!["weighted (default)".into(), pct(weighted.mean_gm), pct(weighted.mean_se), pct(weighted.mean_sp)],
-        vec!["unweighted".into(), pct(unweighted.mean_gm), pct(unweighted.mean_se), pct(unweighted.mean_sp)],
+        vec![
+            "weighted (default)".into(),
+            pct(weighted.mean_gm),
+            pct(weighted.mean_se),
+            pct(weighted.mean_sp),
+        ],
+        vec![
+            "unweighted".into(),
+            pct(unweighted.mean_gm),
+            pct(unweighted.mean_se),
+            pct(unweighted.mean_sp),
+        ],
     ];
-    println!("{}", render_table(&["training", "GM %", "Se %", "Sp %"], &rows3));
+    println!(
+        "{}",
+        render_table(&["training", "GM %", "Se %", "Sp %"], &rows3)
+    );
 
     // ---- 4. Guard shift (via the homogeneous flag, which disables it) ----
     println!("\nAblation 4: per-feature scaling + guard shift vs single global scale\n");
-    let hom = loso_evaluate(&matrix, &FitConfig { homogeneous_scale: true, ..base_cfg.clone() });
+    let hom = loso_evaluate(
+        &matrix,
+        &FitConfig {
+            homogeneous_scale: true,
+            ..base_cfg.clone()
+        },
+    );
     let rows4 = vec![
-        vec!["per-feature + guard (default)".into(), pct(weighted.mean_gm)],
+        vec![
+            "per-feature + guard (default)".into(),
+            pct(weighted.mean_gm),
+        ],
         vec!["single global scale".into(), pct(hom.mean_gm)],
     ];
     println!("{}", render_table(&["scaling", "GM %"], &rows4));
@@ -163,13 +218,31 @@ fn main() {
             format!("{:.4}", c.area_mm2),
         ]);
     }
-    println!("{}", render_table(&["lanes", "latency ms", "energy nJ", "area mm2"], &rows5));
+    println!(
+        "{}",
+        render_table(&["lanes", "latency ms", "energy nJ", "area mm2"], &rows5)
+    );
 
     if let Some(dir) = &cfg.csv_dir {
         write_csv(dir, "ablation_pruning", &["strategy", "gm", "svs"], &rows1);
-        write_csv(dir, "ablation_truncation", &["trunc", "gm", "se", "sp"], &rows2);
-        write_csv(dir, "ablation_weighting", &["training", "gm", "se", "sp"], &rows3);
+        write_csv(
+            dir,
+            "ablation_truncation",
+            &["trunc", "gm", "se", "sp"],
+            &rows2,
+        );
+        write_csv(
+            dir,
+            "ablation_weighting",
+            &["training", "gm", "se", "sp"],
+            &rows3,
+        );
         write_csv(dir, "ablation_scaling", &["scaling", "gm"], &rows4);
-        write_csv(dir, "ablation_lanes", &["lanes", "latency_ms", "energy_nj", "area_mm2"], &rows5);
+        write_csv(
+            dir,
+            "ablation_lanes",
+            &["lanes", "latency_ms", "energy_nj", "area_mm2"],
+            &rows5,
+        );
     }
 }

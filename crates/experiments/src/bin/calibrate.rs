@@ -20,7 +20,11 @@ fn main() {
     let mut rows = Vec::new();
     for k in kernels {
         for c in cs {
-            let fit = FitConfig { kernel: k, c, ..Default::default() };
+            let fit = FitConfig {
+                kernel: k,
+                c,
+                ..Default::default()
+            };
             let r = loso_evaluate(&matrix, &fit);
             let pooled = r.pooled();
             rows.push(vec![
@@ -35,5 +39,11 @@ fn main() {
             ]);
         }
     }
-    println!("{}", render_table(&["kernel", "C", "Sp", "Se", "GM", "poolSe", "poolSp", "SVs"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["kernel", "C", "Sp", "Se", "GM", "poolSe", "poolSp", "SVs"],
+            &rows
+        )
+    );
 }

@@ -22,7 +22,7 @@ fn main() {
     let cfg = RunConfig::parse(std::env::args());
     let (matrix, _) = cfg.build_dataset();
     let corr = correlation_matrix(&matrix);
-    let d = corr.len();
+    let d = corr.n_rows();
 
     println!("\nFig 3: correlation matrix |rho| heat map ({d}x{d}; # >=0.8, * >=0.6, + >=0.4, . >=0.2)\n");
     // Family reference row.
@@ -35,8 +35,8 @@ fn main() {
         })
         .collect();
     println!("     {fam_row}");
-    for i in 0..d {
-        let line: String = (0..d).map(|j| shade(corr[i][j])).collect();
+    for (i, row) in corr.rows().enumerate() {
+        let line: String = row.iter().map(|&r| shade(r)).collect();
         println!("{i:>3}  {line}");
     }
 
@@ -53,10 +53,10 @@ fn main() {
         for fb in fams {
             let mut acc = 0.0;
             let mut n = 0usize;
-            for i in 0..d {
-                for j in 0..d {
+            for (i, row) in corr.rows().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
                     if i != j && FeatureFamily::of(i) == fa && FeatureFamily::of(j) == fb {
-                        acc += corr[i][j].abs();
+                        acc += v.abs();
                         n += 1;
                     }
                 }
@@ -75,7 +75,7 @@ fn main() {
         let headers: Vec<String> = (0..d).map(|j| format!("f{j}")).collect();
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let csv_rows: Vec<Vec<String>> = corr
-            .iter()
+            .rows()
             .map(|row| row.iter().map(|v| format!("{v:.4}")).collect())
             .collect();
         write_csv(dir, "fig3_correlation", &header_refs, &csv_rows);

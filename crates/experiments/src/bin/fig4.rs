@@ -17,7 +17,11 @@ fn main() {
     let sizes = [53usize, 45, 40, 35, 30, 26, 23, 20, 15, 12, 10, 8, 6];
     let t0 = std::time::Instant::now();
     let points = feature_sweep(&matrix, &sizes, &FitConfig::default(), &tech);
-    eprintln!("swept {} feature counts in {:.1}s", sizes.len(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "swept {} feature counts in {:.1}s",
+        sizes.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     let mut rows = Vec::new();
     for p in &points {
@@ -27,8 +31,9 @@ fn main() {
             pct(p.result.mean_se),
             pct(p.result.mean_sp),
             format!("{:.0}", p.result.mean_n_sv),
-            format!("{:.0}", p.energy_nj),
-            format!("{:.3}", p.area_mm2),
+            p.energy_nj()
+                .map_or("skipped".into(), |e| format!("{e:.0}")),
+            p.area_mm2().map_or("skipped".into(), |a| format!("{a:.3}")),
         ]);
     }
     println!("\nFig 4: GM / energy / area vs feature count (paper: GM plateau above ~15 features,");
@@ -36,7 +41,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["features", "GM %", "Se %", "Sp %", "SVs", "energy nJ", "area mm2"],
+            &[
+                "features",
+                "GM %",
+                "Se %",
+                "Sp %",
+                "SVs",
+                "energy nJ",
+                "area mm2"
+            ],
             &rows
         )
     );
@@ -57,7 +70,15 @@ fn main() {
         write_csv(
             dir,
             "fig4_feature_sweep",
-            &["features", "gm", "se", "sp", "n_sv", "energy_nj", "area_mm2"],
+            &[
+                "features",
+                "gm",
+                "se",
+                "sp",
+                "n_sv",
+                "energy_nj",
+                "area_mm2",
+            ],
             &rows,
         );
     }

@@ -36,7 +36,11 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let points = sv_budget_sweep(&matrix, &budgets, &FitConfig::default(), &tech);
-    eprintln!("swept {} budgets in {:.1}s", budgets.len(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "swept {} budgets in {:.1}s",
+        budgets.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     let mut rows = Vec::new();
     for p in &points {
@@ -46,8 +50,9 @@ fn main() {
             pct(p.result.mean_se),
             pct(p.result.mean_sp),
             format!("{:.0}", p.result.mean_n_sv),
-            format!("{:.0}", p.energy_nj),
-            format!("{:.3}", p.area_mm2),
+            p.energy_nj()
+                .map_or("skipped".into(), |e| format!("{e:.0}")),
+            p.area_mm2().map_or("skipped".into(), |a| format!("{a:.3}")),
         ]);
     }
     println!("\nFig 5: GM / energy / area vs SV budget (paper: GM plateau until ~50 SVs, then");
@@ -55,7 +60,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["budget", "GM %", "Se %", "Sp %", "SVs", "energy nJ", "area mm2"],
+            &[
+                "budget",
+                "GM %",
+                "Se %",
+                "Sp %",
+                "SVs",
+                "energy nJ",
+                "area mm2"
+            ],
             &rows
         )
     );

@@ -48,7 +48,10 @@ fn main() {
     // Energy/area along the diagonal-ish slices.
     let mut cost_rows = Vec::new();
     for &d in &d_values {
-        let p15 = points.iter().find(|p| p.d_bits == d && p.a_bits == 15).unwrap();
+        let p15 = points
+            .iter()
+            .find(|p| p.d_bits == d && p.a_bits == 15)
+            .unwrap();
         cost_rows.push(vec![
             d.to_string(),
             format!("{:.0}", p15.energy_nj),
@@ -90,7 +93,15 @@ fn main() {
         write_csv(
             dir,
             "fig6_bit_grid",
-            &["d_bits", "a_bits", "gm", "se", "sp", "energy_nj", "area_mm2"],
+            &[
+                "d_bits",
+                "a_bits",
+                "gm",
+                "se",
+                "sp",
+                "energy_nj",
+                "area_mm2",
+            ],
             &rows,
         );
     }

@@ -51,8 +51,8 @@ fn main() {
         "{}",
         render_table(
             &[
-                "stage", "GM %", "E nJ", "A mm2", "GM rel", "E rel", "A rel", "SVs",
-                "feat", "D/A bits"
+                "stage", "GM %", "E nJ", "A mm2", "GM rel", "E rel", "A rel", "SVs", "feat",
+                "D/A bits"
             ],
             &rows
         )
@@ -67,7 +67,10 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let hom = homogeneous_pipelines(&matrix, &FitConfig::default(), &[64, 32, 16], &tech);
-    eprintln!("homogeneous pipelines in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "homogeneous pipelines in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
     let mut hrows = Vec::new();
     for s in &hom {
         let (gm_n, e_n, a_n) = s.normalized_to(&base);
@@ -103,13 +106,32 @@ fn main() {
         write_csv(
             dir,
             "fig7_combined",
-            &["stage", "gm", "energy_nj", "area_mm2", "gm_rel", "e_rel", "a_rel", "n_sv", "n_feat", "bits"],
+            &[
+                "stage",
+                "gm",
+                "energy_nj",
+                "area_mm2",
+                "gm_rel",
+                "e_rel",
+                "a_rel",
+                "n_sv",
+                "n_feat",
+                "bits",
+            ],
             &rows,
         );
         write_csv(
             dir,
             "fig7_homogeneous",
-            &["pipeline", "gm", "energy_nj", "area_mm2", "gm_rel", "e_rel", "a_rel"],
+            &[
+                "pipeline",
+                "gm",
+                "energy_nj",
+                "area_mm2",
+                "gm_rel",
+                "e_rel",
+                "a_rel",
+            ],
             &hrows,
         );
     }

@@ -29,7 +29,12 @@ fn main() {
             r.mean_n_sv,
             t0.elapsed().as_secs_f64()
         );
-        rows.push(vec![k.label(), pct(r.mean_sp), pct(r.mean_se), pct(r.mean_gm)]);
+        rows.push(vec![
+            k.label(),
+            pct(r.mean_sp),
+            pct(r.mean_se),
+            pct(r.mean_gm),
+        ]);
     }
     println!("\nTable I: classification performance of floating-point SVM kernels");
     println!("(paper: Linear 75.6/82.3/72.9, Quadratic 92.3/86.6/86.8,");

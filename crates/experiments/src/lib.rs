@@ -25,7 +25,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { scale: Scale::Lite, seed: 42, csv_dir: None }
+        RunConfig {
+            scale: Scale::Lite,
+            seed: 42,
+            csv_dir: None,
+        }
     }
 }
 

@@ -39,7 +39,10 @@ pub const EDR_FS: f64 = 4.0;
 pub fn extract_edr(det: &QrsDetection) -> Result<EdrSeries, FeatureError> {
     const MIN_BEATS: usize = 8;
     if det.peaks.len() < MIN_BEATS {
-        return Err(FeatureError::TooFewBeats { needed: MIN_BEATS, got: det.peaks.len() });
+        return Err(FeatureError::TooFewBeats {
+            needed: MIN_BEATS,
+            got: det.peaks.len(),
+        });
     }
     let t: Vec<f64> = det.peaks.iter().map(|p| p.time_s).collect();
     let mut a: Vec<f64> = det.peaks.iter().map(|p| p.amplitude).collect();
@@ -61,7 +64,10 @@ pub fn extract_edr(det: &QrsDetection) -> Result<EdrSeries, FeatureError> {
     }
     let samples =
         biodsp::resample::resample_uniform(&tt, &aa, EDR_FS).map_err(FeatureError::Dsp)?;
-    Ok(EdrSeries { fs: EDR_FS, samples })
+    Ok(EdrSeries {
+        fs: EDR_FS,
+        samples,
+    })
 }
 
 #[cfg(test)]
@@ -76,8 +82,7 @@ mod tests {
                 RPeak {
                     index: (t * 128.0) as usize,
                     time_s: t,
-                    amplitude: 1.0
-                        + 0.2 * (std::f64::consts::TAU * f_resp * t).sin(),
+                    amplitude: 1.0 + 0.2 * (std::f64::consts::TAU * f_resp * t).sin(),
                 }
             })
             .collect();
@@ -153,6 +158,9 @@ mod tests {
         .unwrap();
         let resp_band = spec.band_power(0.2, 0.3);
         let drift_band = spec.band_power(0.0, 0.05);
-        assert!(resp_band > drift_band, "resp {resp_band} drift {drift_band}");
+        assert!(
+            resp_band > drift_band,
+            "resp {resp_band} drift {drift_band}"
+        );
     }
 }

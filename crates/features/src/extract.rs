@@ -76,7 +76,10 @@ pub struct WindowExtractor {
 impl WindowExtractor {
     /// Extractor with default Pan–Tompkins settings.
     pub fn new(fs: f64) -> Self {
-        WindowExtractor { fs, detector: PanTompkins::default() }
+        WindowExtractor {
+            fs,
+            detector: PanTompkins::default(),
+        }
     }
 
     /// Extracts all 53 features from one ECG window.
@@ -87,9 +90,15 @@ impl WindowExtractor {
     /// than 8 usable beats, and propagates DSP errors (window shorter than
     /// the detector's 2-second learning phase, etc.).
     pub fn extract(&self, ecg: &[f64]) -> Result<Vec<f64>, FeatureError> {
-        let det = self.detector.detect(ecg, self.fs).map_err(FeatureError::Dsp)?;
+        let det = self
+            .detector
+            .detect(ecg, self.fs)
+            .map_err(FeatureError::Dsp)?;
         if det.peaks.len() < 8 {
-            return Err(FeatureError::TooFewBeats { needed: 8, got: det.peaks.len() });
+            return Err(FeatureError::TooFewBeats {
+                needed: 8,
+                got: det.peaks.len(),
+            });
         }
         let rr = clean_rr(&det.rr_intervals());
         let edr = extract_edr(&det)?;
@@ -125,8 +134,7 @@ mod tests {
                 let idx = centre + k;
                 if idx >= 0 && (idx as usize) < n {
                     let dt = k as f64 / fs;
-                    sig[idx as usize] +=
-                        amp * (-dt * dt / (2.0 * 0.012f64.powi(2))).exp();
+                    sig[idx as usize] += amp * (-dt * dt / (2.0 * 0.012f64.powi(2))).exp();
                 }
             }
         }

@@ -30,8 +30,7 @@ pub fn hrv_features(rr: &[f64]) -> [f64; N_HRV] {
     let sdnn = stats::sample_std_dev(rr);
     let d = stats::diff(rr);
     let rmssd = stats::rms(&d);
-    let pnn50 =
-        d.iter().filter(|v| v.abs() > 0.050).count() as f64 / d.len() as f64;
+    let pnn50 = d.iter().filter(|v| v.abs() > 0.050).count() as f64 / d.len() as f64;
     let hr: Vec<f64> = rr.iter().map(|&r| 60.0 / r).collect();
     let mean_hr = stats::mean(&hr);
     let std_hr = stats::sample_std_dev(&hr);
@@ -82,7 +81,9 @@ mod tests {
     #[test]
     fn alternating_rhythm_exercises_all_features() {
         // 0.7 / 0.9 alternation: diffs are ±0.2 (all > 50 ms).
-        let rr: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.7 } else { 0.9 }).collect();
+        let rr: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.7 } else { 0.9 })
+            .collect();
         let f = hrv_features(&rr);
         assert!((f[0] - 0.8).abs() < 1e-12);
         assert!(f[1] > 0.09 && f[1] < 0.11);

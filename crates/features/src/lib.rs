@@ -44,4 +44,4 @@ pub mod psd_feats;
 
 pub use error::FeatureError;
 pub use extract::{FeatureFamily, WindowExtractor, N_FEATURES};
-pub use matrix::FeatureMatrix;
+pub use matrix::{DenseMatrix, FeatureMatrix};

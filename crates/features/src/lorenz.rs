@@ -78,7 +78,9 @@ mod tests {
     fn alternating_rhythm_is_pure_sd1() {
         // Perfect alternation has large beat-to-beat change, but constant
         // pair sums: SD1 >> SD2.
-        let rr: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 0.7 } else { 0.9 }).collect();
+        let rr: Vec<f64> = (0..60)
+            .map(|i| if i % 2 == 0 { 0.7 } else { 0.9 })
+            .collect();
         let (sd1, sd2) = sd1_sd2(&rr);
         assert!(sd1 > 10.0 * sd2.max(1e-12), "sd1 {sd1} sd2 {sd2}");
     }

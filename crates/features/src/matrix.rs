@@ -1,13 +1,208 @@
-//! Feature dataset container: rows of feature vectors with labels and
-//! session/patient provenance for leave-one-session-out folds.
+//! Dense row-major matrix core and the labelled feature dataset built on
+//! it.
+//!
+//! [`DenseMatrix`] is the workspace-wide replacement for the jagged
+//! `Vec<Vec<T>>` layouts the seed code used: one contiguous allocation,
+//! rows addressed as `&data[i * n_cols .. (i + 1) * n_cols]`. Every hot
+//! loop in the SVM trainer, the quantised engine and the evaluation layer
+//! iterates over these contiguous rows, which is both cache-friendly and
+//! the layout an accelerator DMA would consume.
 
-use serde::{Deserialize, Serialize};
+/// A dense row-major matrix over copyable scalars.
+///
+/// Invariant: `data.len() == n_rows * n_cols`. An empty matrix may have a
+/// fixed column count (`with_cols`) so `push_row` can validate widths from
+/// the first row on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseMatrix<T> {
+    data: Vec<T>,
+    n_rows: usize,
+    n_cols: usize,
+}
 
-/// A labelled feature dataset (row-major).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+impl<T> Default for DenseMatrix<T> {
+    fn default() -> Self {
+        DenseMatrix {
+            data: Vec::new(),
+            n_rows: 0,
+            n_cols: 0,
+        }
+    }
+}
+
+impl<T: Copy> DenseMatrix<T> {
+    /// Empty matrix whose rows will be `n_cols` wide.
+    pub fn with_cols(n_cols: usize) -> Self {
+        DenseMatrix {
+            data: Vec::new(),
+            n_rows: 0,
+            n_cols,
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` is not a multiple of `n_cols` (with
+    /// `n_cols == 0` the buffer must be empty).
+    pub fn from_flat(data: Vec<T>, n_cols: usize) -> Self {
+        if n_cols == 0 {
+            assert!(data.is_empty(), "zero-width matrix cannot hold data");
+            return DenseMatrix {
+                data,
+                n_rows: 0,
+                n_cols: 0,
+            };
+        }
+        assert_eq!(
+            data.len() % n_cols,
+            0,
+            "flat buffer is not a whole number of rows"
+        );
+        let n_rows = data.len() / n_cols;
+        DenseMatrix {
+            data,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Builds from jagged rows (convenience for tests and adapters).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged input.
+    pub fn from_rows<R: AsRef<[T]>>(rows: &[R]) -> Self {
+        let n_cols = rows.first().map(|r| r.as_ref().len()).unwrap_or(0);
+        let mut m = DenseMatrix::with_cols(n_cols);
+        for r in rows {
+            m.push_row(r.as_ref());
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Whether the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Row `i` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= n_rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(
+            i < self.n_rows,
+            "row {i} out of range (n_rows = {})",
+            self.n_rows
+        );
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= n_rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(
+            i < self.n_rows,
+            "row {i} out of range (n_rows = {})",
+            self.n_rows
+        );
+        &mut self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Iterator over contiguous rows. Always yields exactly `n_rows()`
+    /// items — including for width-0 matrices (e.g. after
+    /// `select_columns(&[])`), where every row is the empty slice.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[T]> + Clone {
+        (0..self.n_rows).map(move |i| &self.data[i * self.n_cols..(i + 1) * self.n_cols])
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width disagrees with the matrix width (the
+    /// first row pushed into a width-0 empty matrix fixes the width).
+    pub fn push_row(&mut self, row: &[T]) {
+        if self.n_rows == 0 && self.n_cols == 0 {
+            self.n_cols = row.len();
+        }
+        assert_eq!(row.len(), self.n_cols, "inconsistent feature width");
+        self.data.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
+    /// Column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= n_cols()`.
+    pub fn column(&self, j: usize) -> Vec<T> {
+        assert!(j < self.n_cols, "column {j} out of range");
+        self.rows().map(|r| r[j]).collect()
+    }
+
+    /// New matrix keeping only the given columns (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_columns(&self, cols: &[usize]) -> DenseMatrix<T> {
+        assert!(
+            cols.iter().all(|&j| j < self.n_cols),
+            "column index out of range"
+        );
+        let mut data = Vec::with_capacity(self.n_rows * cols.len());
+        for r in self.rows() {
+            data.extend(cols.iter().map(|&j| r[j]));
+        }
+        DenseMatrix {
+            data,
+            n_rows: self.n_rows,
+            n_cols: cols.len(),
+        }
+    }
+
+    /// New matrix keeping only the rows whose index satisfies `keep`,
+    /// preserving order.
+    pub fn filter_rows(&self, mut keep: impl FnMut(usize) -> bool) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::with_cols(self.n_cols);
+        for (i, r) in self.rows().enumerate() {
+            if keep(i) {
+                out.push_row(r);
+            }
+        }
+        out
+    }
+}
+
+/// A labelled feature dataset over a dense row-major feature block.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FeatureMatrix {
-    /// Feature vectors, one per analysis window.
-    pub rows: Vec<Vec<f64>>,
+    /// Feature block: one row per analysis window, contiguous row-major.
+    pub features: DenseMatrix<f64>,
     /// Class labels: `+1` seizure, `-1` non-seizure.
     pub labels: Vec<i8>,
     /// Global session index for each row (fold key).
@@ -21,12 +216,26 @@ pub struct FeatureMatrix {
 impl FeatureMatrix {
     /// Number of rows (windows).
     pub fn n_rows(&self) -> usize {
-        self.rows.len()
+        self.features.n_rows()
     }
 
     /// Number of feature columns (0 when empty).
     pub fn n_cols(&self) -> usize {
-        self.rows.first().map(Vec::len).unwrap_or(0)
+        self.features.n_cols()
+    }
+
+    /// Row `i` of the feature block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= n_rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    /// Iterator over contiguous feature rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + Clone {
+        self.features.rows()
     }
 
     /// Appends one row.
@@ -34,11 +243,8 @@ impl FeatureMatrix {
     /// # Panics
     ///
     /// Panics if the row width disagrees with existing rows.
-    pub fn push_row(&mut self, row: Vec<f64>, label: i8, session_id: usize, patient_id: usize) {
-        if let Some(first) = self.rows.first() {
-            assert_eq!(first.len(), row.len(), "inconsistent feature width");
-        }
-        self.rows.push(row);
+    pub fn push_row(&mut self, row: &[f64], label: i8, session_id: usize, patient_id: usize) {
+        self.features.push_row(row);
         self.labels.push(label);
         self.session_ids.push(session_id);
         self.patient_ids.push(patient_id);
@@ -50,8 +256,7 @@ impl FeatureMatrix {
     ///
     /// Panics when `j >= n_cols()`.
     pub fn column(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.n_cols(), "column {j} out of range");
-        self.rows.iter().map(|r| r[j]).collect()
+        self.features.column(j)
     }
 
     /// New matrix keeping only the given columns (in the given order).
@@ -60,18 +265,15 @@ impl FeatureMatrix {
     ///
     /// Panics if any index is out of range.
     pub fn select_columns(&self, cols: &[usize]) -> FeatureMatrix {
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| cols.iter().map(|&j| r[j]).collect())
-            .collect();
         let feature_names = if self.feature_names.is_empty() {
             Vec::new()
         } else {
-            cols.iter().map(|&j| self.feature_names[j].clone()).collect()
+            cols.iter()
+                .map(|&j| self.feature_names[j].clone())
+                .collect()
         };
         FeatureMatrix {
-            rows,
+            features: self.features.select_columns(cols),
             labels: self.labels.clone(),
             session_ids: self.session_ids.clone(),
             patient_ids: self.patient_ids.clone(),
@@ -83,19 +285,27 @@ impl FeatureMatrix {
     /// of `session_id` — one leave-one-session-out fold.
     pub fn split_by_session(&self, session_id: usize) -> (FeatureMatrix, FeatureMatrix) {
         let mut train = FeatureMatrix {
+            features: DenseMatrix::with_cols(self.n_cols()),
             feature_names: self.feature_names.clone(),
             ..Default::default()
         };
         let mut test = FeatureMatrix {
+            features: DenseMatrix::with_cols(self.n_cols()),
             feature_names: self.feature_names.clone(),
             ..Default::default()
         };
         for i in 0..self.n_rows() {
-            let dst = if self.session_ids[i] == session_id { &mut test } else { &mut train };
-            dst.rows.push(self.rows[i].clone());
-            dst.labels.push(self.labels[i]);
-            dst.session_ids.push(self.session_ids[i]);
-            dst.patient_ids.push(self.patient_ids[i]);
+            let dst = if self.session_ids[i] == session_id {
+                &mut test
+            } else {
+                &mut train
+            };
+            dst.push_row(
+                self.row(i),
+                self.labels[i],
+                self.session_ids[i],
+                self.patient_ids[i],
+            );
         }
         (train, test)
     }
@@ -126,10 +336,95 @@ mod tests {
             feature_names: vec!["a".into(), "b".into(), "c".into()],
             ..Default::default()
         };
-        m.push_row(vec![1.0, 2.0, 3.0], -1, 0, 0);
-        m.push_row(vec![4.0, 5.0, 6.0], 1, 0, 0);
-        m.push_row(vec![7.0, 8.0, 9.0], -1, 1, 1);
+        m.push_row(&[1.0, 2.0, 3.0], -1, 0, 0);
+        m.push_row(&[4.0, 5.0, 6.0], 1, 0, 0);
+        m.push_row(&[7.0, 8.0, 9.0], -1, 1, 1);
         m
+    }
+
+    #[test]
+    fn dense_matrix_layout_is_contiguous_row_major() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 2);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0, 6.0]);
+        let rows: Vec<&[f64]> = m.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn dense_matrix_from_flat_roundtrip() {
+        let m = DenseMatrix::from_flat(vec![1i64, 2, 3, 4, 5, 6], 3);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(0), &[1, 2, 3]);
+        assert_eq!(
+            m,
+            DenseMatrix::from_rows(&[vec![1i64, 2, 3], vec![4, 5, 6]])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn dense_matrix_from_flat_validates() {
+        let _ = DenseMatrix::from_flat(vec![1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn dense_matrix_push_row_adopts_width() {
+        let mut m = DenseMatrix::<f64>::default();
+        assert!(m.is_empty());
+        m.push_row(&[1.0, 2.0]);
+        assert_eq!(m.n_cols(), 2);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature width")]
+    fn dense_matrix_push_row_width_checked() {
+        let mut m = DenseMatrix::with_cols(3);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn dense_matrix_select_and_filter() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0]);
+        let f = m.filter_rows(|i| i == 1);
+        assert_eq!(f.n_rows(), 1);
+        assert_eq!(f.row(0), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dense_matrix_row_mut() {
+        let mut m = DenseMatrix::from_rows(&[vec![1.0, 2.0]]);
+        m.row_mut(0)[1] = 9.0;
+        assert_eq!(m.row(0), &[1.0, 9.0]);
+    }
+
+    #[test]
+    fn width_zero_matrix_keeps_row_count() {
+        // select_columns(&[]) yields 2 rows of width 0; rows() must still
+        // agree with n_rows() so batch consumers return full-length output.
+        let m = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).select_columns(&[]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 0);
+        assert_eq!(m.rows().len(), 2);
+        assert!(m.rows().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn empty_dense_matrix_is_sane() {
+        let m = DenseMatrix::<f64>::default();
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 0);
+        assert_eq!(m.rows().count(), 0);
+        assert!(m.as_slice().is_empty());
     }
 
     #[test]
@@ -151,13 +446,13 @@ mod tests {
     #[should_panic(expected = "inconsistent feature width")]
     fn push_row_width_checked() {
         let mut m = sample();
-        m.push_row(vec![1.0], 1, 2, 2);
+        m.push_row(&[1.0], 1, 2, 2);
     }
 
     #[test]
     fn select_columns_reorders() {
         let m = sample().select_columns(&[2, 0]);
-        assert_eq!(m.rows[0], vec![3.0, 1.0]);
+        assert_eq!(m.row(0), &[3.0, 1.0]);
         assert_eq!(m.feature_names, vec!["c".to_string(), "a".to_string()]);
         assert_eq!(m.labels, vec![-1, 1, -1]);
     }
@@ -171,6 +466,7 @@ mod tests {
         assert!(test.session_ids.iter().all(|&s| s == 0));
         assert!(train.session_ids.iter().all(|&s| s != 0));
         assert_eq!(train.feature_names.len(), 3);
+        assert_eq!(train.n_cols(), 3);
     }
 
     #[test]

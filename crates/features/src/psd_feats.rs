@@ -24,7 +24,10 @@ pub const BAND_WIDTH_HZ: f64 = 0.10;
 /// `[lo, hi)` limits of band `k` (clipped at 0 on the low side).
 pub fn band_limits(k: usize) -> (f64, f64) {
     let centre = BAND_STRIDE_HZ / 2.0 + k as f64 * BAND_STRIDE_HZ;
-    ((centre - BAND_WIDTH_HZ / 2.0).max(0.0), centre + BAND_WIDTH_HZ / 2.0)
+    (
+        (centre - BAND_WIDTH_HZ / 2.0).max(0.0),
+        centre + BAND_WIDTH_HZ / 2.0,
+    )
 }
 
 /// Feature names, `psd_band_0.03_0.10` style.
@@ -149,7 +152,10 @@ mod tests {
 
     #[test]
     fn degenerate_is_zeros() {
-        let edr = EdrSeries { fs: 4.0, samples: vec![0.0; 8] };
+        let edr = EdrSeries {
+            fs: 4.0,
+            samples: vec![0.0; 8],
+        };
         assert_eq!(psd_features(&edr), [0.0; N_PSD]);
     }
 

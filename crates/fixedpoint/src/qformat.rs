@@ -76,8 +76,7 @@ mod tests {
         let r = pow2_range_exponent(&v);
         let n = v.len() as f64;
         let avg = v.iter().sum::<f64>() / n;
-        let sigma =
-            (v.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / n).sqrt();
+        let sigma = (v.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / n).sqrt();
         let bound = (r as f64).exp2();
         assert!(avg - sigma > -bound);
         assert!(avg + sigma < bound);

@@ -1,11 +1,10 @@
 //! Saturating quantisers and the per-feature scale memory.
 
 use crate::qformat::pow2_range_exponent;
-use serde::{Deserialize, Serialize};
 
 /// Round-to-nearest, saturating quantiser into a signed two's-complement
 /// code of `bits` bits with LSB weight `2^lsb_exp`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Quantizer {
     /// LSB exponent: a code `q` represents `q * 2^lsb_exp`.
     pub lsb_exp: i32,
@@ -23,8 +22,14 @@ impl Quantizer {
     ///
     /// Panics unless `2 <= bits <= 63`.
     pub fn for_range_exponent(r: i32, bits: u32) -> Self {
-        assert!((2..=63).contains(&bits), "bits must be in 2..=63, got {bits}");
-        Quantizer { lsb_exp: r - bits as i32 + 1, bits }
+        assert!(
+            (2..=63).contains(&bits),
+            "bits must be in 2..=63, got {bits}"
+        );
+        Quantizer {
+            lsb_exp: r - bits as i32 + 1,
+            bits,
+        }
     }
 
     /// Quantiser for the `αᵢyᵢ` coefficients, bounded in `[-1, 1]` by
@@ -80,7 +85,7 @@ impl Quantizer {
 
 /// The accelerator's scale memory: one range exponent `R_j` per feature,
 /// calibrated on the support-vector set (Eq 6).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeatureScales {
     /// Per-feature range exponents.
     pub r: Vec<i32>,
@@ -90,14 +95,22 @@ impl FeatureScales {
     /// Calibrates per-feature ranges from the rows of the SV set
     /// (`rows[i][j]` = feature `j` of SV `i`), per Eq 6 of the paper.
     ///
+    /// Accepts any iterator of row slices, so dense row-major blocks
+    /// (`DenseMatrix::rows()`) feed it without copies and this crate
+    /// stays dependency-free.
+    ///
     /// # Panics
     ///
     /// Panics on ragged rows.
-    pub fn calibrate(rows: &[Vec<f64>]) -> Self {
-        if rows.is_empty() {
+    pub fn calibrate<'a, I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let rows: Vec<&[f64]> = rows.into_iter().collect();
+        let Some(first) = rows.first() else {
             return FeatureScales { r: Vec::new() };
-        }
-        let d = rows[0].len();
+        };
+        let d = first.len();
         assert!(rows.iter().all(|r| r.len() == d), "ragged rows");
         let r = (0..d)
             .map(|j| {
@@ -113,7 +126,9 @@ impl FeatureScales {
     /// feature exponent, so every feature fits.
     pub fn homogenize(&self) -> FeatureScales {
         let rmax = self.r.iter().copied().max().unwrap_or(0);
-        FeatureScales { r: vec![rmax; self.r.len()] }
+        FeatureScales {
+            r: vec![rmax; self.r.len()],
+        }
     }
 
     /// Number of features.
@@ -208,13 +223,13 @@ mod tests {
     #[test]
     fn feature_scales_calibration() {
         // Feature 0 spans ±0.8 (R=0), feature 1 spans ±100 (R=7).
-        let rows = vec![
+        let rows: Vec<Vec<f64>> = vec![
             vec![0.8, 90.0],
             vec![-0.8, -90.0],
             vec![0.7, 110.0],
             vec![-0.7, -110.0],
         ];
-        let s = FeatureScales::calibrate(&rows);
+        let s = FeatureScales::calibrate(rows.iter().map(Vec::as_slice));
         assert_eq!(s.len(), 2);
         assert_eq!(s.r[0], 0);
         assert_eq!(s.r[1], 7);
@@ -239,7 +254,7 @@ mod tests {
 
     #[test]
     fn empty_calibration() {
-        let s = FeatureScales::calibrate(&[]);
+        let s = FeatureScales::calibrate(std::iter::empty());
         assert!(s.is_empty());
         assert_eq!(s.homogenize().r, Vec::<i32>::new());
     }

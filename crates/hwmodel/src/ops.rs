@@ -1,10 +1,9 @@
 //! Arithmetic operator cost laws.
 
 use crate::tech::TechParams;
-use serde::{Deserialize, Serialize};
 
 /// A two's-complement array multiplier with asymmetric operand widths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Multiplier {
     /// First operand width in bits.
     pub a_bits: u32,
@@ -15,7 +14,10 @@ pub struct Multiplier {
 impl Multiplier {
     /// Square multiplier (both operands `bits` wide).
     pub fn square(bits: u32) -> Self {
-        Multiplier { a_bits: bits, b_bits: bits }
+        Multiplier {
+            a_bits: bits,
+            b_bits: bits,
+        }
     }
 
     /// Energy of one multiplication (pJ): the partial-product array scales
@@ -36,7 +38,7 @@ impl Multiplier {
 }
 
 /// A ripple/prefix adder of the given width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Adder {
     /// Operand width in bits.
     pub bits: u32,
@@ -55,7 +57,7 @@ impl Adder {
 }
 
 /// A bank of pipeline registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegisterBank {
     /// Total flip-flop count (bits).
     pub bits: u32,
@@ -95,7 +97,10 @@ mod tests {
 
     #[test]
     fn asymmetric_multiplier() {
-        let m = Multiplier { a_bits: 24, b_bits: 15 };
+        let m = Multiplier {
+            a_bits: 24,
+            b_bits: 15,
+        };
         assert_eq!(m.out_bits(), 39);
         assert!((m.energy_pj(&t()) - 0.039 * 360.0).abs() < 1e-9);
     }
@@ -103,8 +108,16 @@ mod tests {
     #[test]
     fn adder_and_register_scale_linearly() {
         let tp = t();
-        assert!((Adder { bits: 64 }.energy_pj(&tp) / Adder { bits: 16 }.energy_pj(&tp) - 4.0).abs() < 1e-12);
-        assert!((RegisterBank { bits: 64 }.area_mm2(&tp) / RegisterBank { bits: 32 }.area_mm2(&tp) - 2.0).abs() < 1e-12);
+        assert!(
+            (Adder { bits: 64 }.energy_pj(&tp) / Adder { bits: 16 }.energy_pj(&tp) - 4.0).abs()
+                < 1e-12
+        );
+        assert!(
+            (RegisterBank { bits: 64 }.area_mm2(&tp) / RegisterBank { bits: 32 }.area_mm2(&tp)
+                - 2.0)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -13,7 +13,6 @@
 use crate::ops::{Adder, Multiplier, RegisterBank};
 use crate::sram::SramMacro;
 use crate::tech::TechParams;
-use serde::{Deserialize, Serialize};
 
 /// Ceil(log2(n)) for width bookkeeping (0 for n <= 1).
 fn clog2(n: usize) -> u32 {
@@ -25,7 +24,7 @@ fn clog2(n: usize) -> u32 {
 }
 
 /// A concrete accelerator design point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AcceleratorConfig {
     /// Number of support vectors stored in the SV memory.
     pub n_sv: usize,
@@ -45,12 +44,7 @@ pub struct AcceleratorConfig {
     /// MAC1/SQ/MAC2 datapath and banks the SV memory so `lanes` support
     /// vectors are processed concurrently, dividing latency while
     /// multiplying datapath area/energy overheads.
-    #[serde(default = "default_lanes")]
     pub lanes: u32,
-}
-
-fn default_lanes() -> u32 {
-    1
 }
 
 impl AcceleratorConfig {
@@ -96,7 +90,9 @@ impl AcceleratorConfig {
 
     /// Width entering the squarer (after post-dot truncation), at least 2.
     pub fn kernel_in_bits(&self) -> u32 {
-        self.acc1_bits().saturating_sub(self.post_dot_truncate).max(2)
+        self.acc1_bits()
+            .saturating_sub(self.post_dot_truncate)
+            .max(2)
     }
 
     /// Width leaving the squarer (after post-square truncation).
@@ -121,12 +117,18 @@ impl AcceleratorConfig {
 
     /// SV memory macro.
     pub fn sv_memory(&self) -> SramMacro {
-        SramMacro { words: self.n_sv * self.n_feat, word_bits: self.d_bits }
+        SramMacro {
+            words: self.n_sv * self.n_feat,
+            word_bits: self.d_bits,
+        }
     }
 
     /// Coefficient (αy) memory macro.
     pub fn coeff_memory(&self) -> SramMacro {
-        SramMacro { words: self.n_sv, word_bits: self.a_bits }
+        SramMacro {
+            words: self.n_sv,
+            word_bits: self.a_bits,
+        }
     }
 
     /// Scale-factor memory macro (one 6-bit exponent per feature; only
@@ -134,9 +136,15 @@ impl AcceleratorConfig {
     pub fn scale_memory(&self) -> SramMacro {
         if self.post_dot_truncate == 0 && self.post_square_truncate == 0 {
             // Homogeneous pipeline: a single global scale needs no memory.
-            SramMacro { words: 0, word_bits: 6 }
+            SramMacro {
+                words: 0,
+                word_bits: 6,
+            }
         } else {
-            SramMacro { words: self.n_feat, word_bits: 6 }
+            SramMacro {
+                words: self.n_feat,
+                word_bits: 6,
+            }
         }
     }
 
@@ -144,10 +152,17 @@ impl AcceleratorConfig {
     pub fn cost(&self, t: &TechParams) -> CostReport {
         let lanes = self.lanes.max(1) as f64;
         let mac1_mult = Multiplier::square(self.d_bits);
-        let mac1_add = Adder { bits: self.acc1_bits() };
+        let mac1_add = Adder {
+            bits: self.acc1_bits(),
+        };
         let sq_mult = Multiplier::square(self.kernel_in_bits());
-        let mac2_mult = Multiplier { a_bits: self.kernel_out_bits(), b_bits: self.a_bits };
-        let mac2_add = Adder { bits: self.acc2_bits() };
+        let mac2_mult = Multiplier {
+            a_bits: self.kernel_out_bits(),
+            b_bits: self.a_bits,
+        };
+        let mac2_add = Adder {
+            bits: self.acc2_bits(),
+        };
         let regs = RegisterBank {
             bits: 2 * self.d_bits + self.acc1_bits() + self.kernel_out_bits() + self.acc2_bits(),
         };
@@ -208,7 +223,7 @@ impl AcceleratorConfig {
 }
 
 /// Cost of one design point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostReport {
     /// Total energy for classifying one test vector (nJ).
     pub energy_nj: f64,

@@ -6,10 +6,9 @@
 //! array term plus periphery; leakage scales with capacity.
 
 use crate::tech::TechParams;
-use serde::{Deserialize, Serialize};
 
 /// One SRAM macro of `words × word_bits`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SramMacro {
     /// Number of addressable words.
     pub words: usize,
@@ -62,15 +61,24 @@ mod tests {
 
     #[test]
     fn capacity_accounting() {
-        let m = SramMacro { words: 6360, word_bits: 64 };
+        let m = SramMacro {
+            words: 6360,
+            word_bits: 64,
+        };
         assert_eq!(m.capacity_bits(), 407_040);
         assert!((m.capacity_kbit() - 407.04).abs() < 1e-9);
     }
 
     #[test]
     fn bigger_memories_cost_more_per_read() {
-        let small = SramMacro { words: 2040, word_bits: 9 };
-        let large = SramMacro { words: 6360, word_bits: 64 };
+        let small = SramMacro {
+            words: 2040,
+            word_bits: 9,
+        };
+        let large = SramMacro {
+            words: 6360,
+            word_bits: 64,
+        };
         assert!(large.read_energy_pj(&t()) > small.read_energy_pj(&t()));
         assert!(large.area_mm2(&t()) > small.area_mm2(&t()));
         assert!(large.leakage_w(&t()) > small.leakage_w(&t()));
@@ -78,14 +86,23 @@ mod tests {
 
     #[test]
     fn narrower_words_cost_less_per_read() {
-        let wide = SramMacro { words: 1000, word_bits: 64 };
-        let narrow = SramMacro { words: 1000, word_bits: 9 };
+        let wide = SramMacro {
+            words: 1000,
+            word_bits: 64,
+        };
+        let narrow = SramMacro {
+            words: 1000,
+            word_bits: 9,
+        };
         assert!(narrow.read_energy_pj(&t()) < wide.read_energy_pj(&t()));
     }
 
     #[test]
     fn empty_macro_is_free() {
-        let z = SramMacro { words: 0, word_bits: 9 };
+        let z = SramMacro {
+            words: 0,
+            word_bits: 9,
+        };
         assert_eq!(z.read_energy_pj(&t()), 0.0);
         assert_eq!(z.area_mm2(&t()), 0.0);
         assert_eq!(z.leakage_w(&t()), 0.0);
@@ -94,7 +111,10 @@ mod tests {
     #[test]
     fn baseline_macro_magnitudes() {
         // The paper's baseline SV memory: ~0.37 mm², tens of pJ per read.
-        let m = SramMacro { words: 6360, word_bits: 64 };
+        let m = SramMacro {
+            words: 6360,
+            word_bits: 64,
+        };
         let a = m.area_mm2(&t());
         assert!(a > 0.3 && a < 0.5, "area {a}");
         let e = m.read_energy_pj(&t());

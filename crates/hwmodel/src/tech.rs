@@ -5,10 +5,8 @@
 //! classification and ≈ 0.4 mm² — the magnitudes of Figs 4–5 — while
 //! preserving the scaling laws that drive all of the paper's conclusions.
 
-use serde::{Deserialize, Serialize};
-
 /// Technology/calibration parameters for the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechParams {
     /// Multiplier energy coefficient: `E = c · b₁ · b₂` (pJ per bit²).
     pub mult_energy_pj_per_bit2: f64,

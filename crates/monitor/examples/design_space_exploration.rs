@@ -18,26 +18,32 @@ fn main() {
 
     println!("== axis 1: feature-set size ==");
     for p in feature_sweep(&matrix, &[53, 30, 15, 8], &cfg, &tech) {
-        println!(
-            "  {:>2} features: GM {:>5.1}%  {:>6.0} nJ  {:.3} mm2",
-            p.param,
-            100.0 * p.result.mean_gm,
-            p.energy_nj,
-            p.area_mm2
-        );
+        match p.cost {
+            Some(c) => println!(
+                "  {:>2} features: GM {:>5.1}%  {:>6.0} nJ  {:.3} mm2",
+                p.param,
+                100.0 * p.result.mean_gm,
+                c.energy_nj,
+                c.area_mm2
+            ),
+            None => println!("  {:>2} features: skipped (no trainable fold)", p.param),
+        }
     }
 
     println!("== axis 2: support-vector budget ==");
     let free = loso_evaluate(&matrix, &cfg);
     let full = (free.mean_n_sv.round() as usize).max(6);
     for p in sv_budget_sweep(&matrix, &[full, full / 2, full / 4], &cfg, &tech) {
-        println!(
-            "  {:>3} SVs: GM {:>5.1}%  {:>6.0} nJ  {:.3} mm2",
-            p.param,
-            100.0 * p.result.mean_gm,
-            p.energy_nj,
-            p.area_mm2
-        );
+        match p.cost {
+            Some(c) => println!(
+                "  {:>3} SVs: GM {:>5.1}%  {:>6.0} nJ  {:.3} mm2",
+                p.param,
+                100.0 * p.result.mean_gm,
+                c.energy_nj,
+                c.area_mm2
+            ),
+            None => println!("  {:>3} SVs: skipped (no trainable fold)", p.param),
+        }
     }
 
     println!("== axis 3: bit widths (A_bits = 15) ==");

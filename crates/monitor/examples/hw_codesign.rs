@@ -40,15 +40,34 @@ fn main() {
     let tech = TechParams::default();
     println!("40 nm accelerator cost model — per-classification breakdown\n");
 
-    report("baseline: 120 SVs x 53 features, 64-bit", AcceleratorConfig::uniform(120, 53, 64), &tech);
-    report("feature reduction: 120 x 30, 64-bit", AcceleratorConfig::uniform(120, 30, 64), &tech);
-    report("+ SV budget: 68 x 30, 64-bit", AcceleratorConfig::uniform(68, 30, 64), &tech);
-    report("+ bit tailoring: 68 x 30, 9/15-bit", AcceleratorConfig::new(68, 30, 9, 15), &tech);
+    report(
+        "baseline: 120 SVs x 53 features, 64-bit",
+        AcceleratorConfig::uniform(120, 53, 64),
+        &tech,
+    );
+    report(
+        "feature reduction: 120 x 30, 64-bit",
+        AcceleratorConfig::uniform(120, 30, 64),
+        &tech,
+    );
+    report(
+        "+ SV budget: 68 x 30, 64-bit",
+        AcceleratorConfig::uniform(68, 30, 64),
+        &tech,
+    );
+    report(
+        "+ bit tailoring: 68 x 30, 9/15-bit",
+        AcceleratorConfig::new(68, 30, 9, 15),
+        &tech,
+    );
 
     // Memory scaling study: the SV memory dominates the baseline area.
     println!("\nSV memory macro scaling (words x bits -> read energy, area):");
     for (words, bits) in [(6360usize, 64u32), (6360, 9), (2040, 9), (510, 9)] {
-        let m = SramMacro { words, word_bits: bits };
+        let m = SramMacro {
+            words,
+            word_bits: bits,
+        };
         println!(
             "  {:>5} x {:>2}b = {:>7.1} kbit: {:>5.1} pJ/read, {:.4} mm2, {:.2} uW leak",
             words,
@@ -63,7 +82,10 @@ fn main() {
     // Clock sensitivity: leakage integrates over latency.
     println!("\nclock sensitivity of the tailored design:");
     for mhz in [1.0, 10.0, 100.0] {
-        let t = TechParams { clock_hz: mhz * 1e6, ..tech };
+        let t = TechParams {
+            clock_hz: mhz * 1e6,
+            ..tech
+        };
         let c = AcceleratorConfig::new(68, 30, 9, 15).cost(&t);
         println!(
             "  {:>5.0} MHz: {:>6.2} ms latency, {:>5.1} nJ leakage of {:>5.0} nJ total",

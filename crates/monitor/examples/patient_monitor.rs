@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example patient_monitor`
 
-use epilepsy_monitor::prelude::*;
 use ecg_features::extract::WindowExtractor;
+use epilepsy_monitor::prelude::*;
 
 fn main() {
     // Train on all but the final session of a small synthetic cohort —

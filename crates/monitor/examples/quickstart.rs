@@ -41,7 +41,10 @@ fn main() {
         let p = FloatPipeline::fit(train, &FitConfig::default())?;
         let n_sv = p.model().n_support_vectors();
         let engine = QuantizedEngine::from_pipeline(&p, bits)?;
-        Ok((move |row: &[f64]| engine.classify(row), n_sv))
+        Ok((
+            move |rows: &DenseMatrix<f64>| engine.classify_batch(rows),
+            n_sv,
+        ))
     });
     println!(
         "9/15-bit engine:     Se {:.1}%  Sp {:.1}%  GM {:.1}%",

@@ -39,14 +39,14 @@ pub use svm as ml;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use ecg_features::FeatureMatrix;
+    pub use ecg_features::{DenseMatrix, FeatureMatrix};
     pub use ecg_sim::dataset::{DatasetSpec, Scale};
     pub use hwmodel::pipeline::AcceleratorConfig;
     pub use hwmodel::TechParams;
     pub use seizure_core::assemble::build_feature_matrix;
     pub use seizure_core::config::FitConfig;
     pub use seizure_core::engine::{BitConfig, QuantizedEngine};
-    pub use seizure_core::eval::loso_evaluate;
+    pub use seizure_core::eval::{loso_evaluate, loso_evaluate_serial};
     pub use seizure_core::trained::FloatPipeline;
     pub use svm::Kernel;
 }

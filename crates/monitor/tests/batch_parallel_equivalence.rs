@@ -1,0 +1,113 @@
+//! Bit-identity guarantees of the dense/batch/parallel evaluation layer,
+//! pinned on a real `Scale::Tiny` cohort (synthesised ECG → 53-feature
+//! extraction), not just the quickfeat surrogate:
+//!
+//! * parallel [`loso_evaluate`] ≡ sequential [`loso_evaluate_serial`],
+//!   down to the f64 bit pattern of every aggregate;
+//! * `predict_batch` / `decision_batch` / `classify_batch` ≡ their
+//!   per-row counterparts on every row of the cohort.
+
+use epilepsy_monitor::prelude::*;
+use std::sync::OnceLock;
+
+fn matrix() -> &'static FeatureMatrix {
+    static M: OnceLock<FeatureMatrix> = OnceLock::new();
+    M.get_or_init(|| build_feature_matrix(&DatasetSpec::new(Scale::Tiny, 42)))
+}
+
+/// Configurations that exercise the fold fitter along every axis the
+/// sweeps use: default, reduced features, SV budget, non-default kernel,
+/// homogeneous scaling.
+fn configs() -> Vec<FitConfig> {
+    vec![
+        FitConfig::default(),
+        FitConfig::default().with_features((0..20).collect()),
+        FitConfig::default().with_sv_budget(12),
+        FitConfig::default().with_kernel(Kernel::Linear),
+        FitConfig {
+            homogeneous_scale: true,
+            ..FitConfig::default()
+        },
+    ]
+}
+
+#[test]
+fn parallel_loso_is_bit_identical_to_serial() {
+    let m = matrix();
+    for cfg in configs() {
+        let par = loso_evaluate(m, &cfg);
+        let ser = loso_evaluate_serial(m, &cfg);
+        // Structural equality first (folds, confusions, skip counts)...
+        assert_eq!(par, ser, "config {cfg:?}");
+        // ...then the aggregates down to the bit pattern (NaN-safe).
+        for (a, b) in [
+            (par.mean_se, ser.mean_se),
+            (par.mean_sp, ser.mean_sp),
+            (par.mean_gm, ser.mean_gm),
+            (par.mean_n_sv, ser.mean_n_sv),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "config {cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn float_pipeline_batch_matches_per_row_bitwise() {
+    let m = matrix();
+    let p = FloatPipeline::fit(m, &FitConfig::default()).unwrap();
+    let dec = p.decision_batch(&m.features);
+    let pred = p.predict_batch(&m.features);
+    assert_eq!(dec.len(), m.n_rows());
+    for (i, row) in m.rows().enumerate() {
+        assert_eq!(dec[i].to_bits(), p.decision_value(row).to_bits(), "row {i}");
+        assert_eq!(pred[i], p.predict(row), "row {i}");
+    }
+}
+
+#[test]
+fn svm_model_batch_matches_per_row_bitwise() {
+    let m = matrix();
+    let p = FloatPipeline::fit(m, &FitConfig::default()).unwrap();
+    let model = p.model();
+    let normalized = p.normalize_batch(&m.features);
+    let dec = model.decision_batch(&normalized);
+    let pred = model.predict_batch(&normalized);
+    for (i, row) in normalized.rows().enumerate() {
+        assert_eq!(
+            dec[i].to_bits(),
+            model.decision_value(row).to_bits(),
+            "row {i}"
+        );
+        assert_eq!(pred[i], model.predict(row), "row {i}");
+    }
+}
+
+#[test]
+fn quantized_engine_batch_matches_per_row_on_both_paths() {
+    let m = matrix();
+    let p = FloatPipeline::fit(m, &FitConfig::default()).unwrap();
+    // Exact integer path (9/15) and wide float-sim path (uniform 63).
+    for bits in [BitConfig::paper_choice(), BitConfig::uniform(63)] {
+        let e = QuantizedEngine::from_pipeline(&p, bits).unwrap();
+        let batch = e.classify_batch(&m.features);
+        for (i, row) in m.rows().enumerate() {
+            assert_eq!(batch[i], e.classify(row), "row {i} at {bits:?}");
+        }
+    }
+}
+
+#[test]
+fn quantized_loso_parallel_matches_serial() {
+    use seizure_core::eval::{loso_evaluate_with, loso_evaluate_with_serial};
+    let m = matrix();
+    let fit = |train: &FeatureMatrix| {
+        let p = FloatPipeline::fit(train, &FitConfig::default())?;
+        let n = p.model().n_support_vectors();
+        let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice())?;
+        Ok((move |rows: &DenseMatrix<f64>| e.classify_batch(rows), n))
+    };
+    let par = loso_evaluate_with(m, fit);
+    let ser = loso_evaluate_with_serial(m, fit);
+    assert_eq!(par, ser);
+    assert_eq!(par.mean_gm.to_bits(), ser.mean_gm.to_bits());
+}

@@ -38,13 +38,19 @@ fn ten_bit_truncations_are_free() {
     let with = QuantizedEngine::from_pipeline(&p, BitConfig::new(16, 16)).unwrap();
     let without = QuantizedEngine::from_pipeline(
         &p,
-        BitConfig { d_bits: 16, a_bits: 16, post_dot_truncate: 0, post_square_truncate: 0 },
+        BitConfig {
+            d_bits: 16,
+            a_bits: 16,
+            post_dot_truncate: 0,
+            post_square_truncate: 0,
+        },
     )
     .unwrap();
-    let agree = m
-        .rows
+    let agree = with
+        .classify_batch(&m.features)
         .iter()
-        .filter(|r| with.classify(r) == without.classify(r))
+        .zip(without.classify_batch(&m.features).iter())
+        .filter(|(a, b)| a == b)
         .count();
     assert!(
         agree as f64 / m.n_rows() as f64 > 0.95,
@@ -63,8 +69,18 @@ fn bit_grid_has_cliff_and_plateau() {
     let pts = bit_grid_evaluate(m, &FitConfig::default(), &[3, 9, 16], &[15], &tech);
     let gm = |d: u32| pts.iter().find(|p| p.d_bits == d).unwrap().gm;
     let en = |d: u32| pts.iter().find(|p| p.d_bits == d).unwrap().energy_nj;
-    assert!(gm(9) > gm(3) + 0.1, "no cliff: gm(9)={} gm(3)={}", gm(9), gm(3));
-    assert!((gm(16) - gm(9)).abs() < 0.1, "no plateau: {} vs {}", gm(16), gm(9));
+    assert!(
+        gm(9) > gm(3) + 0.1,
+        "no cliff: gm(9)={} gm(3)={}",
+        gm(9),
+        gm(3)
+    );
+    assert!(
+        (gm(16) - gm(9)).abs() < 0.1,
+        "no plateau: {} vs {}",
+        gm(16),
+        gm(9)
+    );
     assert!(en(16) > en(9) && en(9) > en(3));
 }
 
@@ -80,7 +96,7 @@ fn tailored_beats_homogeneous() {
         let p = FloatPipeline::fit(train, &FitConfig::default())?;
         let n = p.model().n_support_vectors();
         let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice())?;
-        Ok((move |row: &[f64]| e.classify(row), n))
+        Ok((move |rows: &DenseMatrix<f64>| e.classify_batch(rows), n))
     });
     let (hom16, e16, a16) =
         seizure_core::bitwidth::homogeneous_evaluate(m, &FitConfig::default(), 16, &tech);
@@ -94,8 +110,16 @@ fn tailored_beats_homogeneous() {
     assert!(tailored.mean_gm > 0.5, "tailored {}", tailored.mean_gm);
     assert!(hom16.mean_gm.is_finite());
     // Cost: homogeneous needs multiples of the tailored budget.
-    assert!(e16 / t_cost.energy_nj > 2.0, "energy ratio {}", e16 / t_cost.energy_nj);
-    assert!(a16 / t_cost.area_mm2 > 2.0, "area ratio {}", a16 / t_cost.area_mm2);
+    assert!(
+        e16 / t_cost.energy_nj > 2.0,
+        "energy ratio {}",
+        e16 / t_cost.energy_nj
+    );
+    assert!(
+        a16 / t_cost.area_mm2 > 2.0,
+        "area ratio {}",
+        a16 / t_cost.area_mm2
+    );
 }
 
 /// Fig 4/5 cost monotonicity: fewer features / fewer SVs never cost more.
@@ -103,13 +127,17 @@ fn tailored_beats_homogeneous() {
 fn resource_axes_are_monotone_in_the_cost_model() {
     let tech = TechParams::default();
     let e = |sv: usize, feat: usize, bits: u32| {
-        AcceleratorConfig::uniform(sv, feat, bits).cost(&tech).energy_nj
+        AcceleratorConfig::uniform(sv, feat, bits)
+            .cost(&tech)
+            .energy_nj
     };
     assert!(e(120, 53, 64) > e(120, 30, 64));
     assert!(e(120, 30, 64) > e(68, 30, 64));
     assert!(e(68, 30, 64) > e(68, 30, 16));
     let a = |sv: usize, feat: usize, bits: u32| {
-        AcceleratorConfig::uniform(sv, feat, bits).cost(&tech).area_mm2
+        AcceleratorConfig::uniform(sv, feat, bits)
+            .cost(&tech)
+            .area_mm2
     };
     assert!(a(120, 53, 64) > a(68, 30, 16));
 }
@@ -122,12 +150,22 @@ fn ictal_feature_shifts_have_the_right_sign() {
     let col = |j: usize, positive: bool| -> f64 {
         let vals: Vec<f64> = (0..m.n_rows())
             .filter(|&i| (m.labels[i] > 0) == positive)
-            .map(|i| m.rows[i][j])
+            .map(|i| m.row(i)[j])
             .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     // Feature 4 = mean HR (bpm): up during seizures.
-    assert!(col(4, true) > col(4, false) + 3.0, "HR {} vs {}", col(4, true), col(4, false));
+    assert!(
+        col(4, true) > col(4, false) + 3.0,
+        "HR {} vs {}",
+        col(4, true),
+        col(4, false)
+    );
     // Feature 2 = RMSSD (s): down during seizures.
-    assert!(col(2, true) < col(2, false), "rmssd {} vs {}", col(2, true), col(2, false));
+    assert!(
+        col(2, true) < col(2, false),
+        "rmssd {} vs {}",
+        col(2, true),
+        col(2, false)
+    );
 }

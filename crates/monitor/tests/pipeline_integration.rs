@@ -18,9 +18,7 @@ fn dataset_assembles_with_both_classes_in_every_fold_union() {
     assert!(m.n_rows() >= 40);
     assert!(m.n_positive() >= 5);
     assert_eq!(m.session_list().len(), 6);
-    for row in &m.rows {
-        assert!(row.iter().all(|v| v.is_finite()));
-    }
+    assert!(m.features.as_slice().iter().all(|v| v.is_finite()));
 }
 
 #[test]
@@ -40,7 +38,7 @@ fn quantised_engine_tracks_float_pipeline() {
         let p = FloatPipeline::fit(train, &FitConfig::default())?;
         let n = p.model().n_support_vectors();
         let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice())?;
-        Ok((move |row: &[f64]| e.classify(row), n))
+        Ok((move |rows: &DenseMatrix<f64>| e.classify_batch(rows), n))
     });
     // The paper: ~1% GM loss at 9/15 bits. Allow a generous margin on the
     // tiny test cohort.
@@ -86,7 +84,10 @@ fn engine_and_cost_model_agree_on_geometry() {
     assert_eq!(hw.n_feat, 53);
     let cost = hw.cost(&TechParams::default());
     assert!(cost.energy_nj > 0.0 && cost.area_mm2 > 0.0);
-    assert_eq!(hw.cycles(), (hw.n_sv * hw.n_feat + 2 * hw.n_sv + hw.n_feat) as u64);
+    assert_eq!(
+        hw.cycles(),
+        (hw.n_sv * hw.n_feat + 2 * hw.n_sv + hw.n_feat) as u64
+    );
 }
 
 #[test]

@@ -51,7 +51,9 @@ pub fn k_fold(n: usize, k: usize) -> Vec<Fold> {
     for f in 0..k {
         let len = base + usize::from(f < extra);
         let test: Vec<usize> = (start..start + len).collect();
-        let train: Vec<usize> = (0..n).filter(|i| !(start..start + len).contains(i)).collect();
+        let train: Vec<usize> = (0..n)
+            .filter(|i| !(start..start + len).contains(i))
+            .collect();
         folds.push(Fold { train, test });
         start += len;
     }

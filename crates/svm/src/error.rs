@@ -42,9 +42,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SvmError::InvalidTrainingSet("empty".into()).to_string().contains("empty"));
-        assert!(SvmError::NotConverged { iterations: 5 }.to_string().contains('5'));
+        assert!(SvmError::InvalidTrainingSet("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(SvmError::NotConverged { iterations: 5 }
+            .to_string()
+            .contains('5'));
         assert!(SvmError::InvalidConfig("c").to_string().contains('c'));
-        assert!(SvmError::InvalidLabels("x".into()).to_string().contains('x'));
+        assert!(SvmError::InvalidLabels("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -1,10 +1,8 @@
 //! Kernel functions.
 
-use serde::{Deserialize, Serialize};
-
 /// Kernel function `k(u, v)` defining the separating surface complexity
 /// (Table I of the paper compares all four shapes on the seizure task).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Kernel {
     /// `k(u, v) = u·v`.
     Linear,
@@ -47,11 +45,7 @@ impl Kernel {
             Kernel::Linear => dot(u, v),
             Kernel::Polynomial { degree } => (dot(u, v) + 1.0).powi(degree as i32),
             Kernel::Rbf { gamma } => {
-                let d2: f64 = u
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d2: f64 = u.iter().zip(v.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
                 (-gamma * d2).exp()
             }
         }

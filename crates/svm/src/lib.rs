@@ -15,22 +15,32 @@
 //!   training folds only;
 //! * [`cv`] — fold construction (k-fold and leave-one-group-out).
 //!
+//! Training and inference run over the workspace-wide dense row-major
+//! [`DenseMatrix`] container (re-exported from [`ecg_features`]): the
+//! trainer consumes a dense sample block, the model stores its support
+//! vectors contiguously, and [`model::SvmModel::predict_batch`] /
+//! [`model::SvmModel::decision_batch`] stream whole batches without
+//! per-row dispatch.
+//!
 //! ## Example
 //!
 //! ```
 //! use svm::kernel::Kernel;
 //! use svm::smo::{SmoConfig, SmoTrainer};
+//! use svm::DenseMatrix;
 //!
 //! // Tiny XOR-like problem: not linearly separable, quadratic kernel is.
-//! let x = vec![
-//!     vec![0.0, 0.0], vec![1.0, 1.0], // class -1
-//!     vec![0.0, 1.0], vec![1.0, 0.0], // class +1
-//! ];
+//! let x = DenseMatrix::from_rows(&[
+//!     [0.0, 0.0], [1.0, 1.0], // class -1
+//!     [0.0, 1.0], [1.0, 0.0], // class +1
+//! ]);
 //! let y = vec![-1.0, -1.0, 1.0, 1.0];
 //! let cfg = SmoConfig { c: 10.0, kernel: Kernel::Polynomial { degree: 2 }, ..Default::default() };
 //! let model = SmoTrainer::new(cfg).train(&x, &y)?;
 //! assert_eq!(model.predict(&[0.9, 0.1]), 1.0);
 //! assert_eq!(model.predict(&[0.9, 0.9]), -1.0);
+//! // Batch inference over a contiguous block:
+//! assert_eq!(model.predict_batch(&x), vec![-1.0, -1.0, 1.0, 1.0]);
 //! # Ok::<(), svm::SvmError>(())
 //! ```
 
@@ -41,6 +51,7 @@ pub mod model;
 pub mod scale;
 pub mod smo;
 
+pub use ecg_features::DenseMatrix;
 pub use error::SvmError;
 pub use kernel::Kernel;
 pub use model::SvmModel;

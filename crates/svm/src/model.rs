@@ -1,22 +1,26 @@
 //! Trained SVM model: the decision function of Eq 1/3.
 
 use crate::kernel::Kernel;
-use serde::{Deserialize, Serialize};
+use ecg_features::DenseMatrix;
 
 /// A trained two-class SVM:
 /// `f(x) = Σᵢ αᵢ yᵢ k(x, xᵢ) + b`, class = `sign(f(x))`.
 ///
-/// Support vectors, weights and labels are public (read-only through
+/// Support vectors live in one contiguous row-major block
+/// ([`DenseMatrix`]), which the batch decision paths stream over without
+/// per-row indirection. Weights and labels are public (read-only through
 /// accessors) because the paper's budgeting pass (Eq 5) needs them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SvmModel {
     kernel: Kernel,
-    support_vectors: Vec<Vec<f64>>,
+    support_vectors: DenseMatrix<f64>,
     /// α_i > 0 for every stored vector.
     alphas: Vec<f64>,
     /// y_i ∈ {-1, +1}.
     labels: Vec<f64>,
     bias: f64,
+    /// Cached `αᵢyᵢ` products (the hot coefficients of the decision sum).
+    alpha_y: Vec<f64>,
 }
 
 impl SvmModel {
@@ -28,18 +32,38 @@ impl SvmModel {
     /// Panics if the parts disagree in length or labels are not ±1.
     pub fn from_parts(
         kernel: Kernel,
-        support_vectors: Vec<Vec<f64>>,
+        support_vectors: DenseMatrix<f64>,
         alphas: Vec<f64>,
         labels: Vec<f64>,
         bias: f64,
     ) -> Self {
-        assert_eq!(support_vectors.len(), alphas.len(), "sv/alpha length mismatch");
-        assert_eq!(support_vectors.len(), labels.len(), "sv/label length mismatch");
+        assert_eq!(
+            support_vectors.n_rows(),
+            alphas.len(),
+            "sv/alpha length mismatch"
+        );
+        assert_eq!(
+            support_vectors.n_rows(),
+            labels.len(),
+            "sv/label length mismatch"
+        );
         assert!(
             labels.iter().all(|&y| y == 1.0 || y == -1.0),
             "labels must be exactly +1 or -1"
         );
-        SvmModel { kernel, support_vectors, alphas, labels, bias }
+        let alpha_y = alphas
+            .iter()
+            .zip(labels.iter())
+            .map(|(&a, &y)| a * y)
+            .collect();
+        SvmModel {
+            kernel,
+            support_vectors,
+            alphas,
+            labels,
+            bias,
+            alpha_y,
+        }
     }
 
     /// The kernel this model was trained with.
@@ -49,16 +73,16 @@ impl SvmModel {
 
     /// Number of support vectors (`N_SV` in the paper's cost model).
     pub fn n_support_vectors(&self) -> usize {
-        self.support_vectors.len()
+        self.support_vectors.n_rows()
     }
 
     /// Feature dimensionality (`N_feat`).
     pub fn n_features(&self) -> usize {
-        self.support_vectors.first().map(Vec::len).unwrap_or(0)
+        self.support_vectors.n_cols()
     }
 
-    /// Support vectors.
-    pub fn support_vectors(&self) -> &[Vec<f64>] {
+    /// Support vectors as a dense row-major block.
+    pub fn support_vectors(&self) -> &DenseMatrix<f64> {
         &self.support_vectors
     }
 
@@ -79,26 +103,26 @@ impl SvmModel {
 
     /// `αᵢyᵢ` products in SV order — the coefficients the paper quantises
     /// to `A_bits`.
-    pub fn alpha_y(&self) -> Vec<f64> {
-        self.alphas
-            .iter()
-            .zip(self.labels.iter())
-            .map(|(&a, &y)| a * y)
-            .collect()
+    pub fn alpha_y(&self) -> &[f64] {
+        &self.alpha_y
     }
 
     /// Decision value `f(x)` (distance-like score, positive ⇒ seizure).
     pub fn decision_value(&self, x: &[f64]) -> f64 {
         let mut acc = self.bias;
-        for ((sv, &a), &y) in self
-            .support_vectors
-            .iter()
-            .zip(self.alphas.iter())
-            .zip(self.labels.iter())
-        {
-            acc += a * y * self.kernel.eval(x, sv);
+        for (sv, &ay) in self.support_vectors.rows().zip(self.alpha_y.iter()) {
+            acc += ay * self.kernel.eval(x, sv);
         }
         acc
+    }
+
+    /// Decision values for every row of a dense batch.
+    ///
+    /// Equivalent to mapping [`SvmModel::decision_value`] over the rows;
+    /// the batch form streams both operand blocks contiguously, which is
+    /// the layout the sweep inner loops are bound by.
+    pub fn decision_batch(&self, x: &DenseMatrix<f64>) -> Vec<f64> {
+        x.rows().map(|row| self.decision_value(row)).collect()
     }
 
     /// Predicted class: `+1.0` or `-1.0` (ties break positive, matching
@@ -111,11 +135,24 @@ impl SvmModel {
         }
     }
 
+    /// Predicted classes for every row of a dense batch.
+    pub fn predict_batch(&self, x: &DenseMatrix<f64>) -> Vec<f64> {
+        x.rows()
+            .map(|row| {
+                if self.decision_value(row) >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+
     /// The paper's Eq 5 significance norm for each SV:
     /// `‖SVᵢ‖ = ‖αᵢ‖² × k(xᵢ, xᵢ)`.
     pub fn sv_norms(&self) -> Vec<f64> {
         self.support_vectors
-            .iter()
+            .rows()
             .zip(self.alphas.iter())
             .map(|(sv, &a)| a * a * self.kernel.eval(sv, sv))
             .collect()
@@ -129,7 +166,7 @@ mod tests {
     fn toy_model() -> SvmModel {
         SvmModel::from_parts(
             Kernel::Linear,
-            vec![vec![1.0, 0.0], vec![-1.0, 0.0]],
+            DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0]]),
             vec![0.5, 0.5],
             vec![1.0, -1.0],
             0.0,
@@ -147,16 +184,33 @@ mod tests {
     }
 
     #[test]
+    fn batch_paths_match_per_row() {
+        let m = toy_model();
+        let batch = DenseMatrix::from_rows(&[
+            vec![2.0, 5.0],
+            vec![-0.3, 1.0],
+            vec![0.0, 0.0],
+            vec![0.3, -1.0],
+        ]);
+        let dec = m.decision_batch(&batch);
+        let pred = m.predict_batch(&batch);
+        for (i, row) in batch.rows().enumerate() {
+            assert_eq!(dec[i].to_bits(), m.decision_value(row).to_bits());
+            assert_eq!(pred[i], m.predict(row));
+        }
+    }
+
+    #[test]
     fn accessors() {
         let m = toy_model();
         assert_eq!(m.n_support_vectors(), 2);
         assert_eq!(m.n_features(), 2);
-        assert_eq!(m.alpha_y(), vec![0.5, -0.5]);
+        assert_eq!(m.alpha_y(), &[0.5, -0.5]);
         assert_eq!(m.bias(), 0.0);
         assert_eq!(m.kernel(), Kernel::Linear);
         assert_eq!(m.alphas(), &[0.5, 0.5]);
         assert_eq!(m.labels(), &[1.0, -1.0]);
-        assert_eq!(m.support_vectors().len(), 2);
+        assert_eq!(m.support_vectors().n_rows(), 2);
     }
 
     #[test]
@@ -173,7 +227,7 @@ mod tests {
     fn from_parts_validates_lengths() {
         let _ = SvmModel::from_parts(
             Kernel::Linear,
-            vec![vec![1.0]],
+            DenseMatrix::from_rows(&[vec![1.0]]),
             vec![0.5, 0.5],
             vec![1.0],
             0.0,
@@ -185,7 +239,7 @@ mod tests {
     fn from_parts_validates_labels() {
         let _ = SvmModel::from_parts(
             Kernel::Linear,
-            vec![vec![1.0]],
+            DenseMatrix::from_rows(&[vec![1.0]]),
             vec![0.5],
             vec![0.7],
             0.0,
@@ -194,7 +248,7 @@ mod tests {
 
     #[test]
     fn empty_model_predicts_bias_sign() {
-        let m = SvmModel::from_parts(Kernel::Linear, vec![], vec![], vec![], -0.5);
+        let m = SvmModel::from_parts(Kernel::Linear, DenseMatrix::default(), vec![], vec![], -0.5);
         assert_eq!(m.n_features(), 0);
         assert_eq!(m.predict(&[]), -1.0);
     }

@@ -1,30 +1,29 @@
 //! Per-feature standardisation (z-scoring) fitted on training data only.
 
-use serde::{Deserialize, Serialize};
+use ecg_features::DenseMatrix;
 
 /// Column-wise standardiser: `x' = (x - mean) / std`.
 ///
 /// Zero-variance columns pass through centred only, so constant features
 /// cannot produce NaNs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Standardizer {
     means: Vec<f64>,
     stds: Vec<f64>,
 }
 
 impl Standardizer {
-    /// Fits on training rows.
+    /// Fits on a dense block of training rows.
     ///
     /// # Panics
     ///
-    /// Panics on an empty training set or ragged rows.
-    pub fn fit(rows: &[Vec<f64>]) -> Self {
+    /// Panics on an empty training set.
+    pub fn fit(rows: &DenseMatrix<f64>) -> Self {
         assert!(!rows.is_empty(), "cannot fit a standardizer on no rows");
-        let d = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == d), "ragged rows");
-        let n = rows.len() as f64;
+        let d = rows.n_cols();
+        let n = rows.n_rows() as f64;
         let mut means = vec![0.0; d];
-        for r in rows {
+        for r in rows.rows() {
             for (m, &v) in means.iter_mut().zip(r.iter()) {
                 *m += v;
             }
@@ -33,7 +32,7 @@ impl Standardizer {
             *m /= n;
         }
         let mut stds = vec![0.0; d];
-        for r in rows {
+        for r in rows.rows() {
             for ((s, &v), &m) in stds.iter_mut().zip(r.iter()).zip(means.iter()) {
                 *s += (v - m) * (v - m);
             }
@@ -72,9 +71,13 @@ impl Standardizer {
             .collect()
     }
 
-    /// Transforms many rows.
-    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        rows.iter().map(|r| self.transform_row(r)).collect()
+    /// Transforms a dense block of rows into a new dense block.
+    pub fn transform(&self, rows: &DenseMatrix<f64>) -> DenseMatrix<f64> {
+        let mut out = DenseMatrix::with_cols(rows.n_cols());
+        for r in rows.rows() {
+            out.push_row(&self.transform_row(r));
+        }
+        out
     }
 }
 
@@ -84,16 +87,11 @@ mod tests {
 
     #[test]
     fn standardises_to_zero_mean_unit_std() {
-        let rows = vec![
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-            vec![4.0, 40.0],
-        ];
+        let rows = DenseMatrix::from_rows(&[[1.0, 10.0], [2.0, 20.0], [3.0, 30.0], [4.0, 40.0]]);
         let s = Standardizer::fit(&rows);
         let t = s.transform(&rows);
         for j in 0..2 {
-            let col: Vec<f64> = t.iter().map(|r| r[j]).collect();
+            let col: Vec<f64> = t.column(j);
             let m = col.iter().sum::<f64>() / col.len() as f64;
             let v = col.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / col.len() as f64;
             assert!(m.abs() < 1e-12);
@@ -104,7 +102,7 @@ mod tests {
 
     #[test]
     fn constant_column_is_centred_not_nan() {
-        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let rows = DenseMatrix::from_rows(&[[5.0, 1.0], [5.0, 2.0]]);
         let s = Standardizer::fit(&rows);
         let t = s.transform_row(&[5.0, 1.5]);
         assert_eq!(t[0], 0.0);
@@ -113,7 +111,7 @@ mod tests {
 
     #[test]
     fn transform_applies_train_statistics_to_test() {
-        let train = vec![vec![0.0], vec![2.0]];
+        let train = DenseMatrix::from_rows(&[[0.0], [2.0]]);
         let s = Standardizer::fit(&train);
         // mean 1, std 1 → x' = x - 1
         assert_eq!(s.transform_row(&[4.0]), vec![3.0]);
@@ -124,13 +122,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "row width mismatch")]
     fn width_mismatch_panics() {
-        let s = Standardizer::fit(&[vec![1.0, 2.0]]);
+        let s = Standardizer::fit(&DenseMatrix::from_rows(&[[1.0, 2.0]]));
         let _ = s.transform_row(&[1.0]);
     }
 
     #[test]
     #[should_panic(expected = "no rows")]
     fn empty_fit_panics() {
-        let _ = Standardizer::fit(&[]);
+        let _ = Standardizer::fit(&DenseMatrix::default());
     }
 }

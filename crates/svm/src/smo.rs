@@ -7,6 +7,7 @@
 use crate::error::SvmError;
 use crate::kernel::Kernel;
 use crate::model::SvmModel;
+use ecg_features::DenseMatrix;
 use std::collections::VecDeque;
 
 /// Trainer configuration.
@@ -65,7 +66,7 @@ pub struct SmoTrainer {
 enum Gram<'a> {
     Full(Vec<f64>, usize),
     Cached {
-        x: &'a [Vec<f64>],
+        x: &'a DenseMatrix<f64>,
         kernel: Kernel,
         rows: VecDeque<(usize, Vec<f64>)>,
         cap: usize,
@@ -73,20 +74,26 @@ enum Gram<'a> {
 }
 
 impl<'a> Gram<'a> {
-    fn new(x: &'a [Vec<f64>], kernel: Kernel, max_rows: usize) -> Self {
-        let n = x.len();
+    fn new(x: &'a DenseMatrix<f64>, kernel: Kernel, max_rows: usize) -> Self {
+        let n = x.n_rows();
         if n <= max_rows {
             let mut g = vec![0.0f64; n * n];
             for i in 0..n {
+                let xi = x.row(i);
                 for j in 0..=i {
-                    let v = kernel.eval(&x[i], &x[j]);
+                    let v = kernel.eval(xi, x.row(j));
                     g[i * n + j] = v;
                     g[j * n + i] = v;
                 }
             }
             Gram::Full(g, n)
         } else {
-            Gram::Cached { x, kernel, rows: VecDeque::new(), cap: 64 }
+            Gram::Cached {
+                x,
+                kernel,
+                rows: VecDeque::new(),
+                cap: 64,
+            }
         }
     }
 
@@ -94,14 +101,20 @@ impl<'a> Gram<'a> {
     fn k(&mut self, i: usize, j: usize) -> f64 {
         match self {
             Gram::Full(g, n) => g[i * *n + j],
-            Gram::Cached { x, kernel, rows, cap } => {
+            Gram::Cached {
+                x,
+                kernel,
+                rows,
+                cap,
+            } => {
                 if let Some(pos) = rows.iter().position(|(r, _)| *r == i) {
                     return rows[pos].1[j];
                 }
                 if let Some(pos) = rows.iter().position(|(r, _)| *r == j) {
                     return rows[pos].1[i];
                 }
-                let row: Vec<f64> = x.iter().map(|xj| kernel.eval(&x[i], xj)).collect();
+                let xi = x.row(i);
+                let row: Vec<f64> = x.rows().map(|xj| kernel.eval(xi, xj)).collect();
                 let v = row[j];
                 rows.push_back((i, row));
                 if rows.len() > *cap {
@@ -128,10 +141,12 @@ impl SmoTrainer {
     /// progress at all was made (pathological inputs) — a model that met
     /// the sweep cap after making progress is still returned, because the
     /// partially-converged classifier is well-defined and reproducible.
-    pub fn train(&self, x: &[Vec<f64>], y: &[f64]) -> Result<SvmModel, SvmError> {
+    pub fn train(&self, x: &DenseMatrix<f64>, y: &[f64]) -> Result<SvmModel, SvmError> {
         let (model, stats) = self.train_detailed(x, y)?;
         if !stats.converged && stats.updates == 0 {
-            return Err(SvmError::NotConverged { iterations: stats.sweeps });
+            return Err(SvmError::NotConverged {
+                iterations: stats.sweeps,
+            });
         }
         Ok(model)
     }
@@ -146,7 +161,7 @@ impl SmoTrainer {
     /// hyper-parameters.
     pub fn train_detailed(
         &self,
-        x: &[Vec<f64>],
+        x: &DenseMatrix<f64>,
         y: &[f64],
     ) -> Result<(SvmModel, TrainStats), SvmError> {
         let (model, _alphas, stats) = self.train_with_alphas(x, y)?;
@@ -163,24 +178,33 @@ impl SmoTrainer {
     /// Same as [`SmoTrainer::train_detailed`].
     pub fn train_with_alphas(
         &self,
-        x: &[Vec<f64>],
+        x: &DenseMatrix<f64>,
         y: &[f64],
     ) -> Result<(SvmModel, Vec<f64>, TrainStats), SvmError> {
         self.validate(x, y)?;
-        let n = x.len();
+        let n = x.n_rows();
         let cfg = &self.cfg;
 
         // Per-sample cost.
         let n_pos = y.iter().filter(|&&v| v > 0.0).count();
         let n_neg = n - n_pos;
         let (w_pos, w_neg) = if cfg.balance_classes {
-            (n as f64 / (2.0 * n_pos as f64), n as f64 / (2.0 * n_neg as f64))
+            (
+                n as f64 / (2.0 * n_pos as f64),
+                n as f64 / (2.0 * n_neg as f64),
+            )
         } else {
             (1.0, 1.0)
         };
         let cost: Vec<f64> = y
             .iter()
-            .map(|&yi| if yi > 0.0 { cfg.c * w_pos } else { cfg.c * w_neg })
+            .map(|&yi| {
+                if yi > 0.0 {
+                    cfg.c * w_pos
+                } else {
+                    cfg.c * w_neg
+                }
+            })
             .collect();
 
         let mut gram = Gram::new(x, cfg.kernel, cfg.max_gram_rows);
@@ -223,42 +247,53 @@ impl SmoTrainer {
             }
         }
 
-        // Collect support vectors.
-        let mut svs = Vec::new();
+        // Collect support vectors into one contiguous block.
+        let mut svs = DenseMatrix::with_cols(x.n_cols());
         let mut a_out = Vec::new();
         let mut y_out = Vec::new();
         for i in 0..n {
             if alpha[i] > 1e-8 {
-                svs.push(x[i].clone());
+                svs.push_row(x.row(i));
                 a_out.push(alpha[i]);
                 y_out.push(y[i]);
             }
         }
         let model = SvmModel::from_parts(cfg.kernel, svs, a_out, y_out, b);
-        Ok((model, alpha, TrainStats { sweeps, updates, converged }))
+        Ok((
+            model,
+            alpha,
+            TrainStats {
+                sweeps,
+                updates,
+                converged,
+            },
+        ))
     }
 
-    fn validate(&self, x: &[Vec<f64>], y: &[f64]) -> Result<(), SvmError> {
+    fn validate(&self, x: &DenseMatrix<f64>, y: &[f64]) -> Result<(), SvmError> {
         if x.is_empty() {
             return Err(SvmError::InvalidTrainingSet("no samples".into()));
         }
-        if x.len() != y.len() {
+        if x.n_rows() != y.len() {
             return Err(SvmError::InvalidTrainingSet(format!(
                 "{} samples but {} labels",
-                x.len(),
+                x.n_rows(),
                 y.len()
             )));
         }
-        let d = x[0].len();
-        if d == 0 || x.iter().any(|r| r.len() != d) {
-            return Err(SvmError::InvalidTrainingSet("ragged or zero-width rows".into()));
+        if x.n_cols() == 0 {
+            return Err(SvmError::InvalidTrainingSet("zero-width rows".into()));
         }
         if y.iter().any(|&v| v != 1.0 && v != -1.0) {
-            return Err(SvmError::InvalidLabels("labels must be exactly +1 or -1".into()));
+            return Err(SvmError::InvalidLabels(
+                "labels must be exactly +1 or -1".into(),
+            ));
         }
         let n_pos = y.iter().filter(|&&v| v > 0.0).count();
         if n_pos == 0 || n_pos == y.len() {
-            return Err(SvmError::InvalidLabels("both classes must be present".into()));
+            return Err(SvmError::InvalidLabels(
+                "both classes must be present".into(),
+            ));
         }
         if self.cfg.c <= 0.0 {
             return Err(SvmError::InvalidConfig("c must be positive"));
@@ -279,7 +314,7 @@ impl SmoTrainer {
     fn examine(
         &self,
         i2: usize,
-        x: &[Vec<f64>],
+        x: &DenseMatrix<f64>,
         y: &[f64],
         cost: &[f64],
         gram: &mut Gram<'_>,
@@ -293,7 +328,7 @@ impl SmoTrainer {
         let a2 = alpha[i2];
         let e2 = err[i2];
         let r2 = e2 * y2;
-        let n = x.len();
+        let n = x.n_rows();
         let violates = (r2 < -tol && a2 < cost[i2]) || (r2 > tol && a2 > 0.0);
         if !violates {
             return 0;
@@ -312,7 +347,7 @@ impl SmoTrainer {
             }
         }
         if let Some(i1) = best {
-            if self.take_step(i1, i2, x, y, cost, gram, alpha, err, b) {
+            if self.take_step(i1, i2, y, cost, gram, alpha, err, b) {
                 return 1;
             }
         }
@@ -321,8 +356,9 @@ impl SmoTrainer {
         let start = *rot % n;
         for k in 0..n {
             let i1 = (start + k) % n;
-            if alpha[i1] > 0.0 && alpha[i1] < cost[i1]
-                && self.take_step(i1, i2, x, y, cost, gram, alpha, err, b)
+            if alpha[i1] > 0.0
+                && alpha[i1] < cost[i1]
+                && self.take_step(i1, i2, y, cost, gram, alpha, err, b)
             {
                 return 1;
             }
@@ -330,7 +366,7 @@ impl SmoTrainer {
         // Heuristic 3: the whole training set.
         for k in 0..n {
             let i1 = (start + k) % n;
-            if self.take_step(i1, i2, x, y, cost, gram, alpha, err, b) {
+            if self.take_step(i1, i2, y, cost, gram, alpha, err, b) {
                 return 1;
             }
         }
@@ -344,7 +380,6 @@ impl SmoTrainer {
         &self,
         i1: usize,
         i2: usize,
-        x: &[Vec<f64>],
         y: &[f64],
         cost: &[f64],
         gram: &mut Gram<'_>,
@@ -384,14 +419,10 @@ impl SmoTrainer {
             let f2 = y2 * (e2 + *b) - s * a1 * k12 - a2 * k22;
             let l1 = a1 + s * (a2 - lo);
             let h1 = a1 + s * (a2 - hi);
-            let lobj = l1 * f1 + lo * f2
-                + 0.5 * l1 * l1 * k11
-                + 0.5 * lo * lo * k22
-                + s * lo * l1 * k12;
-            let hobj = h1 * f1 + hi * f2
-                + 0.5 * h1 * h1 * k11
-                + 0.5 * hi * hi * k22
-                + s * hi * h1 * k12;
+            let lobj =
+                l1 * f1 + lo * f2 + 0.5 * l1 * l1 * k11 + 0.5 * lo * lo * k22 + s * lo * l1 * k12;
+            let hobj =
+                h1 * f1 + hi * f2 + 0.5 * h1 * h1 * k11 + 0.5 * hi * hi * k22 + s * hi * h1 * k12;
             if lobj < hobj - self.cfg.eps {
                 lo
             } else if lobj > hobj + self.cfg.eps {
@@ -428,10 +459,10 @@ impl SmoTrainer {
         // Error cache update for every sample.
         let da1 = y1 * (a1_new - a1);
         let da2 = y2 * (a2_new - a2);
-        for j in 0..x.len() {
+        for (j, e) in err.iter_mut().enumerate() {
             let k1j = gram.k(i1, j);
             let k2j = gram.k(i2, j);
-            err[j] += da1 * k1j + da2 * k2j + db;
+            *e += da1 * k1j + da2 * k2j + db;
         }
         alpha[i1] = a1_new;
         alpha[i2] = a2_new;
@@ -446,8 +477,17 @@ impl SmoTrainer {
 mod tests {
     use super::*;
 
+    fn dm(rows: &[Vec<f64>]) -> DenseMatrix<f64> {
+        DenseMatrix::from_rows(rows)
+    }
+
     fn cfg(kernel: Kernel, c: f64) -> SmoConfig {
-        SmoConfig { c, kernel, balance_classes: false, ..Default::default() }
+        SmoConfig {
+            c,
+            kernel,
+            balance_classes: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -457,7 +497,7 @@ mod tests {
         let x = vec![vec![1.0], vec![-1.0]];
         let y = vec![1.0, -1.0];
         let (model, stats) = SmoTrainer::new(cfg(Kernel::Linear, 10.0))
-            .train_detailed(&x, &y)
+            .train_detailed(&dm(&x), &y)
             .unwrap();
         assert!(stats.converged);
         assert_eq!(model.n_support_vectors(), 2);
@@ -477,10 +517,15 @@ mod tests {
             let t = i as f64 * 0.31;
             x.push(vec![2.0 + t.sin() * 0.3, 2.0 + t.cos() * 0.3]);
             y.push(1.0);
-            x.push(vec![-2.0 + (t * 1.7).sin() * 0.3, -2.0 + (t * 1.3).cos() * 0.3]);
+            x.push(vec![
+                -2.0 + (t * 1.7).sin() * 0.3,
+                -2.0 + (t * 1.3).cos() * 0.3,
+            ]);
             y.push(-1.0);
         }
-        let model = SmoTrainer::new(cfg(Kernel::Linear, 1.0)).train(&x, &y).unwrap();
+        let model = SmoTrainer::new(cfg(Kernel::Linear, 1.0))
+            .train(&dm(&x), &y)
+            .unwrap();
         let correct = x
             .iter()
             .zip(y.iter())
@@ -501,13 +546,15 @@ mod tests {
         ];
         let y = vec![-1.0, -1.0, 1.0, 1.0];
         let quad = SmoTrainer::new(cfg(Kernel::Polynomial { degree: 2 }, 100.0))
-            .train(&x, &y)
+            .train(&dm(&x), &y)
             .unwrap();
         for (xi, &yi) in x.iter().zip(y.iter()) {
             assert_eq!(quad.predict(xi), yi, "at {xi:?}");
         }
         // The linear kernel cannot fit XOR: at least one training error.
-        let lin = SmoTrainer::new(cfg(Kernel::Linear, 100.0)).train(&x, &y).unwrap();
+        let lin = SmoTrainer::new(cfg(Kernel::Linear, 100.0))
+            .train(&dm(&x), &y)
+            .unwrap();
         let errors = x
             .iter()
             .zip(y.iter())
@@ -528,7 +575,7 @@ mod tests {
             y.push(-1.0);
         }
         let model = SmoTrainer::new(cfg(Kernel::Rbf { gamma: 1.0 }, 10.0))
-            .train(&x, &y)
+            .train(&dm(&x), &y)
             .unwrap();
         let correct = x
             .iter()
@@ -556,7 +603,7 @@ mod tests {
             balance_classes: false,
             ..Default::default()
         })
-        .train(&x, &y)
+        .train(&dm(&x), &y)
         .unwrap();
         let weighted = SmoTrainer::new(SmoConfig {
             c: 0.05,
@@ -564,7 +611,7 @@ mod tests {
             balance_classes: true,
             ..Default::default()
         })
-        .train(&x, &y)
+        .train(&dm(&x), &y)
         .unwrap();
         // The weighted decision value at the positive sample must be
         // strictly larger (pushed toward correct classification).
@@ -588,7 +635,9 @@ mod tests {
             y.push(-1.0);
         }
         let c = 2.0;
-        let model = SmoTrainer::new(cfg(Kernel::Linear, c)).train(&x, &y).unwrap();
+        let model = SmoTrainer::new(cfg(Kernel::Linear, c))
+            .train(&dm(&x), &y)
+            .unwrap();
         for &a in model.alphas() {
             assert!(a > 0.0 && a <= c + 1e-9, "alpha {a} outside (0, C]");
         }
@@ -604,7 +653,7 @@ mod tests {
             y.push(if i % 3 == 0 { 1.0 } else { -1.0 });
         }
         let model = SmoTrainer::new(cfg(Kernel::Polynomial { degree: 2 }, 5.0))
-            .train(&x, &y)
+            .train(&dm(&x), &y)
             .unwrap();
         let s: f64 = model.alpha_y().iter().sum();
         assert!(s.abs() < 1e-6, "sum alpha*y = {s}");
@@ -623,12 +672,12 @@ mod tests {
         }
         let c = 3.0;
         let trainer = SmoTrainer::new(cfg(Kernel::Linear, c));
-        let (model, stats) = trainer.train_detailed(&x, &y).unwrap();
+        let (model, stats) = trainer.train_detailed(&dm(&x), &y).unwrap();
         assert!(stats.converged);
         // For margin SVs (0 < a < C): y f(x) ≈ 1.
         for (sv, (&a, &yv)) in model
             .support_vectors()
-            .iter()
+            .rows()
             .zip(model.alphas().iter().zip(model.labels().iter()))
         {
             if a > 1e-6 && a < c - 1e-6 {
@@ -647,28 +696,32 @@ mod tests {
     fn validation_errors() {
         let t = SmoTrainer::new(SmoConfig::default());
         assert!(matches!(
-            t.train(&[], &[]),
+            t.train(&DenseMatrix::default(), &[]),
             Err(SvmError::InvalidTrainingSet(_))
         ));
         assert!(matches!(
-            t.train(&[vec![1.0]], &[1.0, -1.0]),
+            t.train(&dm(&[vec![1.0]]), &[1.0, -1.0]),
+            Err(SvmError::InvalidTrainingSet(_))
+        ));
+        // Zero-width rows (raggedness is unrepresentable in a DenseMatrix).
+        assert!(matches!(
+            t.train(&DenseMatrix::from_flat(vec![], 0), &[1.0, -1.0]),
             Err(SvmError::InvalidTrainingSet(_))
         ));
         assert!(matches!(
-            t.train(&[vec![1.0], vec![2.0, 3.0]], &[1.0, -1.0]),
-            Err(SvmError::InvalidTrainingSet(_))
-        ));
-        assert!(matches!(
-            t.train(&[vec![1.0], vec![2.0]], &[1.0, 0.5]),
+            t.train(&dm(&[vec![1.0], vec![2.0]]), &[1.0, 0.5]),
             Err(SvmError::InvalidLabels(_))
         ));
         assert!(matches!(
-            t.train(&[vec![1.0], vec![2.0]], &[1.0, 1.0]),
+            t.train(&dm(&[vec![1.0], vec![2.0]]), &[1.0, 1.0]),
             Err(SvmError::InvalidLabels(_))
         ));
-        let bad_c = SmoTrainer::new(SmoConfig { c: 0.0, ..Default::default() });
+        let bad_c = SmoTrainer::new(SmoConfig {
+            c: 0.0,
+            ..Default::default()
+        });
         assert!(matches!(
-            bad_c.train(&[vec![1.0], vec![2.0]], &[1.0, -1.0]),
+            bad_c.train(&dm(&[vec![1.0], vec![2.0]]), &[1.0, -1.0]),
             Err(SvmError::InvalidConfig(_))
         ));
         let bad_gamma = SmoTrainer::new(SmoConfig {
@@ -676,7 +729,7 @@ mod tests {
             ..Default::default()
         });
         assert!(matches!(
-            bad_gamma.train(&[vec![1.0], vec![2.0]], &[1.0, -1.0]),
+            bad_gamma.train(&dm(&[vec![1.0], vec![2.0]]), &[1.0, -1.0]),
             Err(SvmError::InvalidConfig(_))
         ));
     }
@@ -688,11 +741,15 @@ mod tests {
         for i in 0..30 {
             let t = i as f64;
             x.push(vec![(t * 0.19).sin(), (t * 0.77).cos()]);
-            y.push(if (t * 0.19).sin() + (t * 0.77).cos() > 0.0 { 1.0 } else { -1.0 });
+            y.push(if (t * 0.19).sin() + (t * 0.77).cos() > 0.0 {
+                1.0
+            } else {
+                -1.0
+            });
         }
         let t1 = SmoTrainer::new(cfg(Kernel::Polynomial { degree: 2 }, 2.0));
-        let m1 = t1.train(&x, &y).unwrap();
-        let m2 = t1.train(&x, &y).unwrap();
+        let m1 = t1.train(&dm(&x), &y).unwrap();
+        let m2 = t1.train(&dm(&x), &y).unwrap();
         assert_eq!(m1, m2);
     }
 
@@ -707,12 +764,14 @@ mod tests {
             x.push(vec![-2.0 - t.sin(), -2.0 + t.cos()]);
             y.push(-1.0);
         }
-        let full = SmoTrainer::new(cfg(Kernel::Linear, 1.0)).train(&x, &y).unwrap();
+        let full = SmoTrainer::new(cfg(Kernel::Linear, 1.0))
+            .train(&dm(&x), &y)
+            .unwrap();
         let lru = SmoTrainer::new(SmoConfig {
             max_gram_rows: 4, // force row-cache path
             ..cfg(Kernel::Linear, 1.0)
         })
-        .train(&x, &y)
+        .train(&dm(&x), &y)
         .unwrap();
         for xi in &x {
             assert_eq!(full.predict(xi), lru.predict(xi));

@@ -1,11 +1,14 @@
 //! Property-based tests of SVM training invariants.
+//!
+//! The offline build has no `proptest`, so each property runs over a
+//! deterministic seed sweep — same invariants, reproducible cases.
 
-use proptest::prelude::*;
+use ecg_features::DenseMatrix;
 use svm::kernel::Kernel;
 use svm::smo::{SmoConfig, SmoTrainer};
 
 /// Builds a two-blob problem with controllable separation.
-fn blobs(n_per_class: usize, separation: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+fn blobs(n_per_class: usize, separation: f64, seed: u64) -> (DenseMatrix<f64>, Vec<f64>) {
     let mut state = seed.max(1);
     let mut rnd = move || {
         state ^= state << 13;
@@ -13,24 +16,30 @@ fn blobs(n_per_class: usize, separation: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<
         state ^= state << 17;
         (state as f64 / u64::MAX as f64) - 0.5
     };
-    let mut x = Vec::new();
+    let mut x = DenseMatrix::with_cols(2);
     let mut y = Vec::new();
     for _ in 0..n_per_class {
-        x.push(vec![separation / 2.0 + rnd(), rnd()]);
+        x.push_row(&[separation / 2.0 + rnd(), rnd()]);
         y.push(1.0);
-        x.push(vec![-separation / 2.0 + rnd(), rnd()]);
+        x.push_row(&[-separation / 2.0 + rnd(), rnd()]);
         y.push(-1.0);
     }
     (x, y)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Deterministic parameter sweep: 16 cases per property, like the old
+/// `ProptestConfig::with_cases(16)`.
+fn seeds() -> impl Iterator<Item = u64> {
+    (0..16u64).map(|i| 1 + i * 31)
+}
 
-    /// The dual constraint Σ αᵢyᵢ = 0 holds at any solution, for any
-    /// kernel and cost.
-    #[test]
-    fn dual_constraint_holds(seed in 1u64..500, c in 0.5f64..20.0, degree in 1u32..4) {
+/// The dual constraint Σ αᵢyᵢ = 0 holds at any solution, for any kernel
+/// and cost.
+#[test]
+fn dual_constraint_holds() {
+    for seed in seeds() {
+        let c = 0.5 + (seed % 20) as f64;
+        let degree = 1 + (seed % 3) as u32;
         let (x, y) = blobs(12, 1.5, seed);
         let cfg = SmoConfig {
             c,
@@ -40,97 +49,165 @@ proptest! {
         };
         let model = SmoTrainer::new(cfg).train(&x, &y).unwrap();
         let s: f64 = model.alpha_y().iter().sum();
-        prop_assert!(s.abs() < 1e-5, "sum alpha*y = {}", s);
+        assert!(s.abs() < 1e-5, "sum alpha*y = {s} (seed {seed})");
     }
+}
 
-    /// All α stay inside the box (0, C] and every stored vector has a
-    /// strictly positive weight.
-    #[test]
-    fn alphas_respect_box(seed in 1u64..500, c in 0.2f64..8.0) {
+/// All α stay inside the box (0, C] and every stored vector has a
+/// strictly positive weight.
+#[test]
+fn alphas_respect_box() {
+    for seed in seeds() {
+        let c = 0.2 + (seed % 8) as f64;
         let (x, y) = blobs(10, 0.8, seed); // overlapping → bound SVs
-        let cfg = SmoConfig { c, kernel: Kernel::Linear, balance_classes: false, ..Default::default() };
+        let cfg = SmoConfig {
+            c,
+            kernel: Kernel::Linear,
+            balance_classes: false,
+            ..Default::default()
+        };
         let model = SmoTrainer::new(cfg).train(&x, &y).unwrap();
         for &a in model.alphas() {
-            prop_assert!(a > 0.0 && a <= c + 1e-9, "alpha {} outside (0, {}]", a, c);
+            assert!(
+                a > 0.0 && a <= c + 1e-9,
+                "alpha {a} outside (0, {c}] (seed {seed})"
+            );
         }
     }
+}
 
-    /// Well-separated blobs are classified perfectly regardless of seed.
-    #[test]
-    fn separable_problems_are_solved(seed in 1u64..500) {
+/// Well-separated blobs are classified perfectly regardless of seed.
+#[test]
+fn separable_problems_are_solved() {
+    for seed in seeds() {
         let (x, y) = blobs(10, 4.0, seed);
-        let cfg = SmoConfig { c: 10.0, kernel: Kernel::Linear, balance_classes: false, ..Default::default() };
+        let cfg = SmoConfig {
+            c: 10.0,
+            kernel: Kernel::Linear,
+            balance_classes: false,
+            ..Default::default()
+        };
         let model = SmoTrainer::new(cfg).train(&x, &y).unwrap();
-        for (xi, &yi) in x.iter().zip(y.iter()) {
-            prop_assert_eq!(model.predict(xi), yi);
+        // Batch and per-row predictions must agree and be perfect.
+        let batch = model.predict_batch(&x);
+        for ((xi, &yi), &pi) in x.rows().zip(y.iter()).zip(batch.iter()) {
+            assert_eq!(model.predict(xi), yi, "seed {seed}");
+            assert_eq!(pi, yi, "batch mismatch at seed {seed}");
         }
     }
+}
 
-    /// Training is invariant to sample order (the solution, and hence
-    /// every prediction, matches after a rotation of the training set).
-    #[test]
-    fn order_invariant_predictions(seed in 1u64..200, rot in 1usize..19) {
+/// Training is invariant to sample order (the solution, and hence every
+/// prediction, matches after a rotation of the training set).
+#[test]
+fn order_invariant_predictions() {
+    for seed in seeds() {
+        let rot = 1 + (seed as usize % 18);
         let (x, y) = blobs(10, 2.0, seed);
-        let cfg = SmoConfig { c: 5.0, kernel: Kernel::Polynomial { degree: 2 }, balance_classes: false, ..Default::default() };
+        let cfg = SmoConfig {
+            c: 5.0,
+            kernel: Kernel::Polynomial { degree: 2 },
+            balance_classes: false,
+            ..Default::default()
+        };
         let m1 = SmoTrainer::new(cfg).train(&x, &y).unwrap();
-        let n = x.len();
-        let xr: Vec<Vec<f64>> = (0..n).map(|i| x[(i + rot) % n].clone()).collect();
-        let yr: Vec<f64> = (0..n).map(|i| y[(i + rot) % n]).collect();
+        let n = x.n_rows();
+        let mut xr = DenseMatrix::with_cols(2);
+        let mut yr = Vec::with_capacity(n);
+        for i in 0..n {
+            xr.push_row(x.row((i + rot) % n));
+            yr.push(y[(i + rot) % n]);
+        }
         let m2 = SmoTrainer::new(cfg).train(&xr, &yr).unwrap();
-        for xi in &x {
-            prop_assert_eq!(m1.predict(xi), m2.predict(xi), "at {:?}", xi);
+        for xi in x.rows() {
+            assert_eq!(m1.predict(xi), m2.predict(xi), "at {xi:?} (seed {seed})");
         }
     }
+}
 
-    /// Predictions are invariant under duplication of the training set
-    /// (the optimum scales but the boundary does not move much); weak
-    /// form: training accuracy is preserved.
-    #[test]
-    fn duplication_preserves_training_accuracy(seed in 1u64..200) {
+/// Predictions are invariant under duplication of the training set (the
+/// optimum scales but the boundary does not move much); weak form:
+/// training accuracy is preserved.
+#[test]
+fn duplication_preserves_training_accuracy() {
+    for seed in seeds() {
         let (x, y) = blobs(8, 2.5, seed);
-        let cfg = SmoConfig { c: 5.0, kernel: Kernel::Linear, balance_classes: false, ..Default::default() };
+        let cfg = SmoConfig {
+            c: 5.0,
+            kernel: Kernel::Linear,
+            balance_classes: false,
+            ..Default::default()
+        };
         let m1 = SmoTrainer::new(cfg).train(&x, &y).unwrap();
         let mut x2 = x.clone();
-        x2.extend(x.iter().cloned());
+        for row in x.rows() {
+            x2.push_row(row);
+        }
         let mut y2 = y.clone();
-        y2.extend(y.iter().cloned());
+        y2.extend(y.iter().copied());
         let m2 = SmoTrainer::new(cfg).train(&x2, &y2).unwrap();
         let acc = |m: &svm::SvmModel| {
-            x.iter().zip(y.iter()).filter(|(xi, &yi)| m.predict(xi) == yi).count()
+            m.predict_batch(&x)
+                .iter()
+                .zip(y.iter())
+                .filter(|(&p, &yi)| p == yi)
+                .count()
         };
-        prop_assert_eq!(acc(&m1), acc(&m2));
+        assert_eq!(acc(&m1), acc(&m2), "seed {seed}");
     }
+}
 
-    /// Kernel symmetry holds for random vectors (Mercer sanity).
-    #[test]
-    fn kernel_symmetry(u in proptest::collection::vec(-10.0f64..10.0, 5),
-                       v in proptest::collection::vec(-10.0f64..10.0, 5),
-                       gamma in 0.01f64..2.0,
-                       degree in 1u32..5) {
-        for k in [Kernel::Linear, Kernel::Polynomial { degree }, Kernel::Rbf { gamma }] {
-            prop_assert!((k.eval(&u, &v) - k.eval(&v, &u)).abs() < 1e-10);
+/// Kernel symmetry holds for random vectors (Mercer sanity).
+#[test]
+fn kernel_symmetry() {
+    let mut state = 9u64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) * 20.0 - 10.0
+    };
+    for case in 0..16 {
+        let u: Vec<f64> = (0..5).map(|_| rnd()).collect();
+        let v: Vec<f64> = (0..5).map(|_| rnd()).collect();
+        let gamma = 0.01 + 0.1 * case as f64;
+        let degree = 1 + case % 4;
+        for k in [
+            Kernel::Linear,
+            Kernel::Polynomial { degree },
+            Kernel::Rbf { gamma },
+        ] {
+            assert!((k.eval(&u, &v) - k.eval(&v, &u)).abs() < 1e-10);
         }
         // RBF is a similarity: maximal on the diagonal.
         let rbf = Kernel::Rbf { gamma };
-        prop_assert!(rbf.eval(&u, &u) >= rbf.eval(&u, &v) - 1e-12);
+        assert!(rbf.eval(&u, &u) >= rbf.eval(&u, &v) - 1e-12);
     }
+}
 
-    /// Margin support vectors (0 < α < C) sit at unit functional margin.
-    #[test]
-    fn margin_svs_have_unit_margin(seed in 1u64..200) {
+/// Margin support vectors (0 < α < C) sit at unit functional margin.
+#[test]
+fn margin_svs_have_unit_margin() {
+    for seed in seeds() {
         let (x, y) = blobs(12, 2.0, seed);
         let c = 50.0;
-        let cfg = SmoConfig { c, kernel: Kernel::Linear, balance_classes: false, ..Default::default() };
+        let cfg = SmoConfig {
+            c,
+            kernel: Kernel::Linear,
+            balance_classes: false,
+            ..Default::default()
+        };
         let model = SmoTrainer::new(cfg).train(&x, &y).unwrap();
         for (sv, (&a, &yv)) in model
             .support_vectors()
-            .iter()
+            .rows()
             .zip(model.alphas().iter().zip(model.labels().iter()))
         {
             if a > 1e-6 && a < c - 1e-6 {
                 let m = yv * model.decision_value(sv);
-                prop_assert!((m - 1.0).abs() < 0.05, "margin {}", m);
+                assert!((m - 1.0).abs() < 0.05, "margin {m} (seed {seed})");
             }
         }
+        let _ = y;
     }
 }

@@ -14,6 +14,7 @@ use seizure_core::eval::{loso_evaluate, loso_evaluate_serial};
 use seizure_core::explore::feature_sweep;
 use seizure_core::quickfeat::{synthetic_matrix, QuickFeatConfig};
 use seizure_core::trained::FloatPipeline;
+use svm::ClassifierEngine;
 
 fn main() {
     let matrix = synthetic_matrix(&QuickFeatConfig {
@@ -38,7 +39,7 @@ fn main() {
         acc
     });
     let batch_float = h.bench("float_predict_batch_300", || {
-        bb(pipeline.predict_batch(&matrix.features))
+        bb(pipeline.classify_batch(&matrix.features))
     });
 
     // --- per-row vs batch inference (quantised engine) ---

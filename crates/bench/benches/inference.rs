@@ -10,6 +10,7 @@ use seizure_core::config::FitConfig;
 use seizure_core::engine::{BitConfig, QuantizedEngine};
 use seizure_core::quickfeat::{synthetic_matrix, QuickFeatConfig};
 use seizure_core::trained::FloatPipeline;
+use svm::ClassifierEngine;
 
 fn main() {
     let matrix = synthetic_matrix(&QuickFeatConfig {
@@ -24,7 +25,7 @@ fn main() {
 
     h.bench("float_pipeline_classify", || bb(pipeline.predict(row)));
     h.bench("float_pipeline_classify_batch_300", || {
-        bb(pipeline.predict_batch(&matrix.features))
+        bb(pipeline.classify_batch(&matrix.features))
     });
 
     for bits in [

@@ -1,7 +1,7 @@
 //! Dataset assembly: synthetic cohort → labelled 53-feature matrix.
 
-use ecg_features::extract::{feature_names, WindowExtractor};
-use ecg_features::FeatureMatrix;
+use ecg_features::extract::{feature_names, ExtractScratch, WindowExtractor};
+use ecg_features::{FeatureMatrix, N_FEATURES};
 use ecg_sim::dataset::DatasetSpec;
 
 /// Statistics from one assembly run.
@@ -26,13 +26,17 @@ pub fn build_feature_matrix_with_stats(spec: &DatasetSpec) -> (FeatureMatrix, As
     };
     let mut stats = AssembleStats::default();
     let window_s = spec.scale.window_s();
+    // One scratch + one row buffer across every window of every session:
+    // the extraction hot loop allocates nothing after the first window.
+    let mut scratch = ExtractScratch::default();
+    let mut row = Vec::with_capacity(N_FEATURES);
     for session in &spec.sessions {
         let rec = session.synthesize();
         let extractor = WindowExtractor::new(rec.fs);
         for label in rec.window_labels(window_s) {
             let samples = rec.window_samples(&label);
-            match extractor.extract(samples) {
-                Ok(row) => {
+            match extractor.extract_into(samples, &mut scratch, &mut row) {
+                Ok(()) => {
                     let y: i8 = if label.is_seizure { 1 } else { -1 };
                     if y > 0 {
                         stats.positives += 1;

@@ -3,12 +3,13 @@
 
 use crate::config::FitConfig;
 use crate::engine::{BitConfig, QuantizedEngine};
-use crate::eval::{Confusion, LosoResult};
+use crate::eval::{loso_evaluate_engine, Confusion, LosoResult};
 use crate::parallel::par_map;
 use crate::trained::FloatPipeline;
-use ecg_features::{DenseMatrix, FeatureMatrix};
+use ecg_features::FeatureMatrix;
 use hwmodel::pipeline::AcceleratorConfig;
 use hwmodel::TechParams;
+use svm::ClassifierEngine;
 
 /// One evaluated point of the (D_bits × A_bits) grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +68,9 @@ pub fn bit_grid_evaluate(
                 let Ok(engine) = QuantizedEngine::from_pipeline(&p, BitConfig::new(d, a)) else {
                     continue;
                 };
+                // Classify through the unified engine seam — the grid does
+                // not care which backend produced the predictions.
+                let engine: &dyn ClassifierEngine = &engine;
                 let predictions = engine.classify_batch(&test.features);
                 cells.push(((d, a), Confusion::from_batch(&test.labels, &predictions)));
             }
@@ -148,14 +152,12 @@ pub fn homogeneous_evaluate(
         homogeneous_scale: true,
         ..cfg.clone()
     };
-    let result = crate::eval::loso_evaluate_with(m, |train| {
+    // Same LOSO driver as the float path, different engine backend — the
+    // interchangeability the ClassifierEngine seam exists for.
+    let result = loso_evaluate_engine(m, |train| {
         let p = FloatPipeline::fit(train, &hom_cfg)?;
-        let n_sv = p.model().n_support_vectors();
         let engine = QuantizedEngine::from_pipeline(&p, BitConfig::uniform(bits))?;
-        Ok((
-            move |rows: &DenseMatrix<f64>| engine.classify_batch(rows),
-            n_sv,
-        ))
+        Ok(Box::new(engine) as crate::eval::BoxedEngine)
     });
     let n_feat = hom_cfg
         .features

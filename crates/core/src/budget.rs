@@ -102,6 +102,7 @@ pub fn train_budgeted(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use svm::ClassifierEngine;
     use svm::Kernel;
 
     /// Noisy two-moon-ish data that produces many SVs.
@@ -163,7 +164,7 @@ mod tests {
         let budget = (free.n_support_vectors() / 2).max(4);
         let (model, _) = train_budgeted(&x, &y, &cfg(), budget).unwrap();
         let acc = |m: &SvmModel| {
-            m.predict_batch(&x)
+            m.classify_batch(&x)
                 .iter()
                 .zip(y.iter())
                 .filter(|(&p, &yi)| p == yi)

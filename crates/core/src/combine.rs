@@ -3,10 +3,10 @@
 use crate::bitwidth::homogeneous_evaluate;
 use crate::config::FitConfig;
 use crate::engine::{BitConfig, QuantizedEngine};
-use crate::eval::{loso_evaluate, loso_evaluate_with, LosoResult};
+use crate::eval::{loso_evaluate, loso_evaluate_engine, BoxedEngine, LosoResult};
 use crate::featsel::select_features;
 use crate::trained::FloatPipeline;
-use ecg_features::{DenseMatrix, FeatureMatrix};
+use ecg_features::FeatureMatrix;
 use hwmodel::pipeline::AcceleratorConfig;
 use hwmodel::TechParams;
 
@@ -198,11 +198,9 @@ fn evaluate_stage(m: &FeatureMatrix, spec: &StageSpec, tech: &TechParams) -> Sta
             a_bits,
         } => {
             let bits = BitConfig::new(*d_bits, *a_bits);
-            let r = loso_evaluate_with(m, |train| {
+            let r = loso_evaluate_engine(m, |train| {
                 let p = FloatPipeline::fit(train, cfg)?;
-                let n_sv = p.model().n_support_vectors();
-                let e = QuantizedEngine::from_pipeline(&p, bits)?;
-                Ok((move |rows: &DenseMatrix<f64>| e.classify_batch(rows), n_sv))
+                Ok(Box::new(QuantizedEngine::from_pipeline(&p, bits)?) as BoxedEngine)
             });
             let n_sv = r.mean_n_sv_rounded();
             let hw = AcceleratorConfig {

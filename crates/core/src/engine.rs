@@ -27,6 +27,7 @@ use fixedpoint::fixed::truncate_lsbs;
 use fixedpoint::quantize::Quantizer;
 use fixedpoint::FeatureScales;
 use hwmodel::pipeline::AcceleratorConfig;
+use svm::classifier::{ClassifierEngine, EngineInfo};
 use svm::Kernel;
 
 /// Bit-level configuration of the tailored pipeline.
@@ -67,6 +68,58 @@ impl BitConfig {
     /// The paper's chosen point: 9 feature bits, 15 coefficient bits.
     pub fn paper_choice() -> Self {
         BitConfig::new(9, 15)
+    }
+
+    /// Serialises the bit configuration as versioned plain text, the
+    /// companion block to a persisted [`FloatPipeline`] so a quantised
+    /// engine can be rebuilt from disk without retraining.
+    pub fn to_text(&self) -> String {
+        format!(
+            "bitconfig v1\nd_bits {}\na_bits {}\npost_dot_truncate {}\npost_square_truncate {}\n",
+            self.d_bits, self.a_bits, self.post_dot_truncate, self.post_square_truncate
+        )
+    }
+
+    /// Parses a configuration previously written by
+    /// [`BitConfig::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on a wrong header/version or
+    /// malformed/missing fields.
+    pub fn from_text(text: &str) -> Result<Self, CoreError> {
+        let bad = |msg: String| CoreError::InvalidConfig(format!("persisted bitconfig: {msg}"));
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| bad("empty text".into()))?;
+        if header.trim() != "bitconfig v1" {
+            return Err(bad(format!("unsupported header `{header}`")));
+        }
+        let mut fields = [None::<u32>; 4];
+        const NAMES: [&str; 4] = [
+            "d_bits",
+            "a_bits",
+            "post_dot_truncate",
+            "post_square_truncate",
+        ];
+        for line in lines {
+            match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+                [key, v] => {
+                    let slot = NAMES
+                        .iter()
+                        .position(|n| n == key)
+                        .ok_or_else(|| bad(format!("unknown field `{key}`")))?;
+                    fields[slot] = Some(v.parse().map_err(|_| bad(format!("bad {key} `{v}`")))?);
+                }
+                _ => return Err(bad(format!("unrecognised line `{line}`"))),
+            }
+        }
+        let get = |i: usize| fields[i].ok_or_else(|| bad(format!("missing {}", NAMES[i])));
+        Ok(BitConfig {
+            d_bits: get(0)?,
+            a_bits: get(1)?,
+            post_dot_truncate: get(2)?,
+            post_square_truncate: get(3)?,
+        })
     }
 }
 
@@ -260,6 +313,19 @@ impl QuantizedEngine {
         }
     }
 
+    /// Decision value as an `f64`: the exact path's accumulator code cast
+    /// to float (sign-exact — no nonzero integer rounds across zero), the
+    /// wide path's float accumulator. This is the value the
+    /// [`ClassifierEngine`] trait exposes; its sign always agrees with
+    /// [`QuantizedEngine::classify`].
+    pub fn decision_value(&self, raw_row: &[f64]) -> f64 {
+        if self.bits.d_bits <= MAX_EXACT_D_BITS {
+            self.decision_code(raw_row) as f64
+        } else {
+            self.decision_float_sim(raw_row)
+        }
+    }
+
     /// Decision value in accumulator LSBs (exact path) — exposed so tests
     /// and the Fig 6 exploration can inspect quantisation margins.
     pub fn decision_code(&self, raw_row: &[f64]) -> i128 {
@@ -293,8 +359,9 @@ impl QuantizedEngine {
         }
     }
 
-    /// Wide-datapath simulation: quantised operands, float arithmetic.
-    fn classify_float_sim(&self, raw_row: &[f64]) -> f64 {
+    /// Wide-datapath simulation accumulator: quantised operands, float
+    /// arithmetic.
+    fn decision_float_sim(&self, raw_row: &[f64]) -> f64 {
         let q = Quantizer::for_range_exponent(-self.guard, self.bits.d_bits);
         let bound = (-self.guard as f64).exp2();
         let x: Vec<f64> = self
@@ -311,22 +378,56 @@ impl QuantizedEngine {
             let k = (dot + 1.0) * (dot + 1.0);
             acc += a * k;
         }
-        if acc >= 0.0 {
+        acc
+    }
+
+    fn classify_float_sim(&self, raw_row: &[f64]) -> f64 {
+        if self.decision_float_sim(raw_row) >= 0.0 {
             1.0
         } else {
             -1.0
         }
     }
+}
 
-    /// Classifies every row of a raw dense batch.
-    ///
+/// The quantised engine consumes the same raw full-width rows as the
+/// float pipeline it was built from (selection, shifting and quantisation
+/// happen inside), so the two are drop-in interchangeable behind
+/// `dyn ClassifierEngine`.
+impl ClassifierEngine for QuantizedEngine {
+    fn decision(&self, row: &[f64]) -> f64 {
+        self.decision_value(row)
+    }
+
+    fn classify(&self, row: &[f64]) -> f64 {
+        QuantizedEngine::classify(self, row)
+    }
+
+    /// Bit-identical to mapping `decision` over the rows; the exact path
+    /// reuses one feature-code buffer across the whole batch.
+    fn decision_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
+        if self.bits.d_bits <= MAX_EXACT_D_BITS {
+            let mut codes = Vec::with_capacity(self.feature_indices.len());
+            rows.rows()
+                .map(|row| {
+                    self.encode_features_into(row, &mut codes);
+                    self.decision_code_of(&codes) as f64
+                })
+                .collect()
+        } else {
+            rows.rows()
+                .map(|row| self.decision_float_sim(row))
+                .collect()
+        }
+    }
+
     /// Bit-identical to mapping [`QuantizedEngine::classify`] over the
     /// rows; the exact path reuses one feature-code buffer across the
     /// whole batch and streams the contiguous SV-code block per row.
-    pub fn classify_batch(&self, raw: &DenseMatrix<f64>) -> Vec<f64> {
+    fn classify_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
         if self.bits.d_bits <= MAX_EXACT_D_BITS {
             let mut codes = Vec::with_capacity(self.feature_indices.len());
-            raw.rows()
+            rows.rows()
                 .map(|row| {
                     self.encode_features_into(row, &mut codes);
                     if self.decision_code_of(&codes) >= 0 {
@@ -337,7 +438,23 @@ impl QuantizedEngine {
                 })
                 .collect()
         } else {
-            raw.rows().map(|row| self.classify_float_sim(row)).collect()
+            rows.rows()
+                .map(|row| self.classify_float_sim(row))
+                .collect()
+        }
+    }
+
+    fn n_features(&self) -> usize {
+        QuantizedEngine::n_features(self)
+    }
+
+    fn info(&self) -> EngineInfo {
+        EngineInfo {
+            kind: "quantized-engine",
+            n_support_vectors: self.n_support_vectors(),
+            n_features: QuantizedEngine::n_features(self),
+            d_bits: Some(self.bits.d_bits),
+            a_bits: Some(self.bits.a_bits),
         }
     }
 }
@@ -512,6 +629,54 @@ mod tests {
                 assert_eq!(batch[i], e.classify(row), "row {i} at {bits:?}");
             }
         }
+    }
+
+    #[test]
+    fn decision_value_sign_agrees_with_classify_on_both_paths() {
+        let m = matrix();
+        let p = pipeline(&m);
+        for bits in [BitConfig::paper_choice(), BitConfig::uniform(63)] {
+            let e = QuantizedEngine::from_pipeline(&p, bits).unwrap();
+            let dec = e.decision_batch(&m.features);
+            for (i, row) in m.rows().enumerate() {
+                assert_eq!(dec[i].to_bits(), e.decision_value(row).to_bits());
+                let cls = if dec[i] >= 0.0 { 1.0 } else { -1.0 };
+                assert_eq!(cls, e.classify(row), "row {i} at {bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_info_carries_widths() {
+        let m = matrix();
+        let p = pipeline(&m);
+        let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice()).unwrap();
+        let info = ClassifierEngine::info(&e);
+        assert_eq!(info.kind, "quantized-engine");
+        assert_eq!(info.n_features, 53);
+        assert_eq!(info.d_bits, Some(9));
+        assert_eq!(info.a_bits, Some(15));
+        assert_eq!(info.n_support_vectors, e.n_support_vectors());
+    }
+
+    #[test]
+    fn bitconfig_text_round_trip() {
+        for cfg in [
+            BitConfig::paper_choice(),
+            BitConfig::uniform(32),
+            BitConfig {
+                d_bits: 11,
+                a_bits: 13,
+                post_dot_truncate: 3,
+                post_square_truncate: 0,
+            },
+        ] {
+            assert_eq!(BitConfig::from_text(&cfg.to_text()).unwrap(), cfg);
+        }
+        assert!(BitConfig::from_text("").is_err());
+        assert!(BitConfig::from_text("bitconfig v9\n").is_err());
+        assert!(BitConfig::from_text("bitconfig v1\nd_bits 9\n").is_err());
+        assert!(BitConfig::from_text("bitconfig v1\nwhat 9\n").is_err());
     }
 
     #[test]

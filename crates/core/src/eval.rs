@@ -13,6 +13,7 @@ use crate::error::CoreError;
 use crate::parallel::par_map;
 use crate::trained::FloatPipeline;
 use ecg_features::{DenseMatrix, FeatureMatrix};
+use svm::ClassifierEngine;
 
 /// Confusion counts for the two-class seizure problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -246,31 +247,64 @@ where
     aggregate(sessions.iter().map(|&sid| run_fold(m, sid, &fit)).collect())
 }
 
-/// Boxed batch predictor returned by the standard fold fitter.
+/// A fold fitter that produces any [`ClassifierEngine`] backend — the
+/// seam through which the float and quantised paths are interchangeable.
+pub type BoxedEngine = Box<dyn ClassifierEngine>;
+
+/// Boxed batch predictor produced by the engine adapter.
 type BatchPredictor = Box<dyn Fn(&DenseMatrix<f64>) -> Vec<f64>>;
 
-/// Adapter: builds the standard fold fitter for the float reference
-/// pipeline under `cfg`.
-fn float_fit(
-    cfg: &FitConfig,
-) -> impl Fn(&FeatureMatrix) -> Result<(BatchPredictor, usize), CoreError> + Sync + '_ {
+/// Adapter from an engine builder to the generic fold-fitter shape: the
+/// fold's test batch is classified through the trait's `classify_batch`
+/// and the SV count comes from the engine's cost metadata.
+fn engine_fit<F>(
+    build: F,
+) -> impl Fn(&FeatureMatrix) -> Result<(BatchPredictor, usize), CoreError> + Sync
+where
+    F: Fn(&FeatureMatrix) -> Result<BoxedEngine, CoreError> + Sync,
+{
     move |train: &FeatureMatrix| {
-        let p = FloatPipeline::fit(train, cfg)?;
-        let n_sv = p.model().n_support_vectors();
-        let predictor: BatchPredictor = Box::new(move |rows| p.predict_batch(rows));
+        let engine = build(train)?;
+        let n_sv = engine.info().n_support_vectors;
+        let predictor: BatchPredictor = Box::new(move |rows| engine.classify_batch(rows));
         Ok((predictor, n_sv))
     }
 }
 
+/// Leave-one-session-out evaluation of any [`ClassifierEngine`] backend,
+/// folds in parallel: `build` fits one engine per training fold (float
+/// pipeline, quantised engine, anything implementing the trait).
+pub fn loso_evaluate_engine<F>(m: &FeatureMatrix, build: F) -> LosoResult
+where
+    F: Fn(&FeatureMatrix) -> Result<BoxedEngine, CoreError> + Sync,
+{
+    loso_evaluate_with(m, engine_fit(build))
+}
+
+/// Sequential twin of [`loso_evaluate_engine`]; bit-identical results.
+pub fn loso_evaluate_engine_serial<F>(m: &FeatureMatrix, build: F) -> LosoResult
+where
+    F: Fn(&FeatureMatrix) -> Result<BoxedEngine, CoreError> + Sync,
+{
+    loso_evaluate_with_serial(m, engine_fit(build))
+}
+
+/// The standard engine builder: the float reference pipeline under `cfg`.
+fn float_engine(
+    cfg: &FitConfig,
+) -> impl Fn(&FeatureMatrix) -> Result<BoxedEngine, CoreError> + Sync + '_ {
+    move |train: &FeatureMatrix| Ok(Box::new(FloatPipeline::fit(train, cfg)?) as BoxedEngine)
+}
+
 /// Leave-one-session-out evaluation of the float reference pipeline,
-/// folds in parallel.
+/// folds in parallel (routed through the [`ClassifierEngine`] seam).
 pub fn loso_evaluate(m: &FeatureMatrix, cfg: &FitConfig) -> LosoResult {
-    loso_evaluate_with(m, float_fit(cfg))
+    loso_evaluate_engine(m, float_engine(cfg))
 }
 
 /// Sequential twin of [`loso_evaluate`]; produces bit-identical results.
 pub fn loso_evaluate_serial(m: &FeatureMatrix, cfg: &FitConfig) -> LosoResult {
-    loso_evaluate_with_serial(m, float_fit(cfg))
+    loso_evaluate_engine_serial(m, float_engine(cfg))
 }
 
 #[cfg(test)]

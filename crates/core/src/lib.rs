@@ -23,11 +23,14 @@
 //! Every layer operates on the workspace-wide dense row-major
 //! [`DenseMatrix`](ecg_features::DenseMatrix) container — feature blocks,
 //! normalised training sets, SV memories and quantised SV code images are
-//! all single contiguous allocations, and the batch inference entry
-//! points ([`trained::FloatPipeline::predict_batch`],
-//! [`engine::QuantizedEngine::classify_batch`],
-//! [`svm::SvmModel::predict_batch`]) stream whole test batches over
-//! contiguous rows instead of dispatching row by row.
+//! all single contiguous allocations. Every inference backend
+//! ([`svm::SvmModel`], [`trained::FloatPipeline`],
+//! [`engine::QuantizedEngine`]) implements the unified
+//! [`svm::ClassifierEngine`] trait, whose batch entry points
+//! (`decision_batch` / `classify_batch`) stream whole test batches over
+//! contiguous rows instead of dispatching row by row — and whose row
+//! entry points drive the streaming subsystem ([`stream`]), where chunked
+//! samples become per-window decisions bit-identical to the batch path.
 //!
 //! On top of that layout sits the parallel evaluation layer
 //! ([`parallel`]): leave-one-session-out folds ([`eval`]), design-space
@@ -48,6 +51,9 @@
 //! * [`explore`], [`bitwidth`], [`combine`] — the Figs 4–7 design-space
 //!   machinery;
 //! * [`parallel`] — the deterministic thread-fan-out substrate;
+//! * [`stream`] — incremental inference: ring buffer → window scheduler →
+//!   scratch-reusing extraction → any [`svm::ClassifierEngine`], with
+//!   per-window latency stats and parallel multi-patient fan-out;
 //! * [`quickfeat`] — fast synthetic feature matrices for tests/benches.
 //!
 //! ## Example
@@ -78,10 +84,12 @@ pub mod explore;
 pub mod featsel;
 pub mod parallel;
 pub mod quickfeat;
+pub mod stream;
 pub mod trained;
 
 pub use config::FitConfig;
 pub use engine::{BitConfig, QuantizedEngine};
 pub use error::CoreError;
 pub use eval::{loso_evaluate, loso_evaluate_serial, LosoResult, Metrics};
+pub use stream::{StreamConfig, StreamOutcome, StreamStats, StreamingSession, WindowDecision};
 pub use trained::FloatPipeline;

@@ -1,0 +1,506 @@
+//! Streaming inference: chunked samples in, per-window decisions out.
+//!
+//! The batch path synthesises a whole session, extracts every window and
+//! classifies one matrix. A wearable monitor sees the opposite shape:
+//! samples arrive in arbitrary chunks (one per ADC interrupt, a packet
+//! per second, a file at a time) and decisions must leave as soon as each
+//! window completes. [`StreamingSession`] bridges the two worlds:
+//!
+//! ```text
+//! push_samples(chunk) ─► SampleRing ─► WindowScheduler ─► extract_into
+//!                        (biodsp)      (window/stride)    (scratch-reusing)
+//!                                                              │
+//!                       WindowDecision ◄── ClassifierEngine ◄──┘
+//! ```
+//!
+//! Two properties are pinned by the test suites:
+//!
+//! * **chunking invariance / batch equivalence** — for any chunk sizes,
+//!   the decision stream is bit-identical to running the batch pipeline
+//!   on the same windows (window `i` covers samples
+//!   `[i·stride, i·stride + window_len)`), for every
+//!   [`ClassifierEngine`] backend;
+//! * **allocation-light hot loop** — the ring, the window copy, the QRS
+//!   scratch (all of the sample-rate-proportional work) and the feature
+//!   row are reused across windows; after warm-up the only per-window
+//!   heap traffic is a couple of row-sized (53-element) vectors inside
+//!   the engine's `decision` and the beat-rate buffers of RR/EDR
+//!   processing, two orders of magnitude below the window itself.
+//!
+//! Many patient streams run concurrently via
+//! [`run_streams_parallel`], which fans sessions out on
+//! [`crate::parallel::par_map`] while sharing one engine.
+
+use crate::error::CoreError;
+use crate::parallel::par_map;
+use biodsp::stream::{SampleRing, WindowScheduler};
+use ecg_features::extract::{ExtractScratch, WindowExtractor};
+use ecg_features::N_FEATURES;
+use std::sync::Arc;
+use std::time::Instant;
+use svm::ClassifierEngine;
+
+/// Shared engine handle used by streaming sessions (one engine, many
+/// concurrent patient streams).
+pub type SharedEngine = Arc<dyn ClassifierEngine>;
+
+/// Windowing configuration of a sample stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// ECG sampling rate in Hz.
+    pub fs: f64,
+    /// Analysis window length in samples.
+    pub window_len: usize,
+    /// Stride between window starts in samples (`== window_len` for the
+    /// paper's non-overlapping protocol).
+    pub stride: usize,
+}
+
+impl StreamConfig {
+    /// Non-overlapping `window_s`-second windows at `fs` Hz — the exact
+    /// geometry of [`ecg_sim::session::SessionRecording::window_labels`],
+    /// so streaming and batch agree on window boundaries.
+    pub fn non_overlapping(fs: f64, window_s: f64) -> Self {
+        let window_len = (window_s * fs) as usize;
+        StreamConfig {
+            fs,
+            window_len,
+            stride: window_len,
+        }
+    }
+}
+
+/// One completed analysis window's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowDecision {
+    /// Window index (0-based over the stream).
+    pub window_index: u64,
+    /// Absolute index of the window's first sample.
+    pub start_sample: u64,
+    /// Engine decision value, or `None` when feature extraction failed
+    /// (too few beats, …) and the window was dropped — exactly the
+    /// windows the batch assembly path drops.
+    pub decision: Option<f64>,
+    /// Predicted class: `true` ⇔ seizure (`decision >= 0`); always
+    /// `false` for dropped windows.
+    pub is_seizure: bool,
+    /// Wall-clock cost of this window (extraction + classification).
+    pub latency_ns: u64,
+}
+
+/// Running latency/throughput accounting of one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Samples ingested.
+    pub samples_in: u64,
+    /// Windows completed (classified + dropped).
+    pub windows: u64,
+    /// Windows dropped because extraction failed.
+    pub dropped: u64,
+    /// Windows classified as seizure.
+    pub seizure_windows: u64,
+    /// Summed per-window latency (ns).
+    pub total_latency_ns: u128,
+    /// Worst single-window latency (ns).
+    pub max_latency_ns: u64,
+}
+
+impl StreamStats {
+    /// Mean per-window latency in nanoseconds (0 before any window).
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.total_latency_ns as f64 / self.windows as f64
+        }
+    }
+
+    /// Sustained throughput implied by the summed window latencies.
+    pub fn windows_per_sec(&self) -> f64 {
+        if self.total_latency_ns == 0 {
+            0.0
+        } else {
+            self.windows as f64 * 1e9 / self.total_latency_ns as f64
+        }
+    }
+
+    /// Merges another stream's accounting into this one.
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.samples_in += other.samples_in;
+        self.windows += other.windows;
+        self.dropped += other.dropped;
+        self.seizure_windows += other.seizure_windows;
+        self.total_latency_ns += other.total_latency_ns;
+        self.max_latency_ns = self.max_latency_ns.max(other.max_latency_ns);
+    }
+}
+
+/// One patient stream: ring + scheduler + scratch-reusing extraction +
+/// a shared [`ClassifierEngine`].
+pub struct StreamingSession {
+    cfg: StreamConfig,
+    engine: SharedEngine,
+    ring: SampleRing,
+    sched: WindowScheduler,
+    extractor: WindowExtractor,
+    scratch: ExtractScratch,
+    window_buf: Vec<f64>,
+    row_buf: Vec<f64>,
+    stats: StreamStats,
+}
+
+// `dyn ClassifierEngine` has no Debug of its own; show its cost metadata.
+impl std::fmt::Debug for StreamingSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingSession")
+            .field("cfg", &self.cfg)
+            .field("engine", &self.engine.info())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingSession {
+    /// Builds a session over a shared engine.
+    ///
+    /// The engine must consume **raw** 53-feature rows (the float
+    /// pipeline or the quantised engine — not a bare [`svm::SvmModel`],
+    /// which expects already-normalised, feature-selected rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive sampling
+    /// rate, zero window/stride, or an engine that wants more features
+    /// than extraction produces.
+    pub fn new(engine: SharedEngine, cfg: StreamConfig) -> Result<Self, CoreError> {
+        let wanted = engine.info().n_features;
+        if wanted > N_FEATURES {
+            return Err(CoreError::InvalidConfig(format!(
+                "engine consumes {wanted} features but extraction produces {N_FEATURES}"
+            )));
+        }
+        if !cfg.fs.is_finite() || cfg.fs <= 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "stream sampling rate must be positive".into(),
+            ));
+        }
+        let sched = WindowScheduler::new(cfg.window_len, cfg.stride)
+            .map_err(|e| CoreError::InvalidConfig(format!("stream windowing: {e}")))?;
+        let ring = SampleRing::new(sched.min_ring_capacity())
+            .map_err(|e| CoreError::InvalidConfig(format!("stream ring: {e}")))?;
+        Ok(StreamingSession {
+            cfg,
+            extractor: WindowExtractor::new(cfg.fs),
+            engine,
+            ring,
+            sched,
+            scratch: ExtractScratch::default(),
+            window_buf: vec![0.0; cfg.window_len],
+            row_buf: Vec::with_capacity(N_FEATURES),
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// Windowing configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.cfg
+    }
+
+    /// Cost metadata of the engine behind this stream.
+    pub fn engine_info(&self) -> svm::EngineInfo {
+        self.engine.info()
+    }
+
+    /// Running stats.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Ingests one chunk of any length and returns the decisions of every
+    /// window that completed inside it (often none, several after a large
+    /// chunk). Allocation-convenient twin of
+    /// [`StreamingSession::push_samples_into`].
+    pub fn push_samples(&mut self, chunk: &[f64]) -> Vec<WindowDecision> {
+        let mut out = Vec::new();
+        self.push_samples_into(chunk, &mut out);
+        out
+    }
+
+    /// Ingests one chunk, clearing and refilling `out` with the decisions
+    /// of every window that completed — the zero-allocation hot-loop
+    /// entry point.
+    pub fn push_samples_into(&mut self, chunk: &[f64], out: &mut Vec<WindowDecision>) {
+        out.clear();
+        self.stats.samples_in += chunk.len() as u64;
+        // Sub-feed at most `stride` samples between drains so the ring
+        // bound of `WindowScheduler::min_ring_capacity` always holds.
+        for sub in chunk.chunks(self.sched.stride()) {
+            self.ring.push(sub);
+            for idx in self.sched.on_samples(sub.len()) {
+                let span = self.sched.span(idx);
+                self.ring
+                    .copy_into(span.start, &mut self.window_buf)
+                    .expect("ring sized for the scheduler's drain contract");
+                let t0 = Instant::now();
+                let decision = match self.extractor.extract_into(
+                    &self.window_buf,
+                    &mut self.scratch,
+                    &mut self.row_buf,
+                ) {
+                    Ok(()) => Some(self.engine.decision(&self.row_buf)),
+                    Err(_) => None,
+                };
+                let latency_ns = t0.elapsed().as_nanos() as u64;
+                let is_seizure = matches!(decision, Some(d) if d >= 0.0);
+                self.stats.windows += 1;
+                if decision.is_none() {
+                    self.stats.dropped += 1;
+                }
+                if is_seizure {
+                    self.stats.seizure_windows += 1;
+                }
+                self.stats.total_latency_ns += u128::from(latency_ns);
+                self.stats.max_latency_ns = self.stats.max_latency_ns.max(latency_ns);
+                out.push(WindowDecision {
+                    window_index: span.index,
+                    start_sample: span.start,
+                    decision,
+                    is_seizure,
+                    latency_ns,
+                });
+            }
+        }
+    }
+}
+
+/// Everything one finished stream produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Per-window decisions in window order.
+    pub decisions: Vec<WindowDecision>,
+    /// The stream's latency/throughput accounting.
+    pub stats: StreamStats,
+}
+
+/// Runs many patient streams concurrently over one shared engine: each
+/// stream gets its own [`StreamingSession`] (ring, scratch, stats) and is
+/// fed in `chunk_len`-sample chunks; sessions fan out on
+/// [`par_map`], and results come back in input order.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an invalid `cfg` or
+/// `chunk_len == 0`.
+pub fn run_streams_parallel(
+    engine: &SharedEngine,
+    cfg: StreamConfig,
+    streams: &[Vec<f64>],
+    chunk_len: usize,
+) -> Result<Vec<StreamOutcome>, CoreError> {
+    if chunk_len == 0 {
+        return Err(CoreError::InvalidConfig(
+            "stream chunk length must be >= 1".into(),
+        ));
+    }
+    // Validate the configuration once, up front.
+    StreamingSession::new(Arc::clone(engine), cfg)?;
+    Ok(par_map(streams, |samples| {
+        let mut session =
+            StreamingSession::new(Arc::clone(engine), cfg).expect("config validated above");
+        let mut decisions = Vec::new();
+        let mut fresh = Vec::new();
+        for chunk in samples.chunks(chunk_len) {
+            session.push_samples_into(chunk, &mut fresh);
+            decisions.append(&mut fresh);
+        }
+        StreamOutcome {
+            decisions,
+            stats: session.stats(),
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::EngineInfo;
+
+    /// Deterministic toy backend: decision = Σ row (53 raw features in,
+    /// no training needed) — lets the chunking tests run on synthetic ECG
+    /// without fitting an SVM.
+    struct SumEngine;
+
+    impl ClassifierEngine for SumEngine {
+        fn decision(&self, row: &[f64]) -> f64 {
+            row.iter().sum()
+        }
+        fn n_features(&self) -> usize {
+            N_FEATURES
+        }
+        fn info(&self) -> EngineInfo {
+            EngineInfo {
+                kind: "sum-test",
+                n_support_vectors: 1,
+                n_features: N_FEATURES,
+                d_bits: None,
+                a_bits: None,
+            }
+        }
+    }
+
+    /// Beat-accurate synthetic ECG (same shape as the extractor tests).
+    fn synth_ecg(fs: f64, dur_s: f64, rr: f64) -> Vec<f64> {
+        let n = (fs * dur_s) as usize;
+        let mut sig = vec![0.0f64; n];
+        let mut bt = 0.5;
+        while bt < dur_s {
+            let amp = 1.0 + 0.2 * (std::f64::consts::TAU * 0.25 * bt).sin();
+            let centre = (bt * fs) as isize;
+            for k in -15..=15isize {
+                let idx = centre + k;
+                if idx >= 0 && (idx as usize) < n {
+                    let dt = k as f64 / fs;
+                    sig[idx as usize] += amp * (-dt * dt / (2.0 * 0.012f64.powi(2))).exp();
+                }
+            }
+            bt += rr * (1.0 + 0.03 * (std::f64::consts::TAU * 0.25 * bt).sin());
+        }
+        sig
+    }
+
+    fn engine() -> SharedEngine {
+        Arc::new(SumEngine)
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad_fs = StreamConfig {
+            fs: 0.0,
+            window_len: 10,
+            stride: 10,
+        };
+        assert!(StreamingSession::new(engine(), bad_fs).is_err());
+        let bad_window = StreamConfig {
+            fs: 128.0,
+            window_len: 0,
+            stride: 1,
+        };
+        assert!(StreamingSession::new(engine(), bad_window).is_err());
+        let cfg = StreamConfig::non_overlapping(128.0, 30.0);
+        assert_eq!(cfg.window_len, 3840);
+        assert_eq!(cfg.stride, 3840);
+        assert!(StreamingSession::new(engine(), cfg).is_ok());
+    }
+
+    #[test]
+    fn over_wide_engines_are_rejected_at_construction() {
+        struct WideEngine;
+        impl ClassifierEngine for WideEngine {
+            fn decision(&self, row: &[f64]) -> f64 {
+                row.iter().sum()
+            }
+            fn n_features(&self) -> usize {
+                N_FEATURES + 1
+            }
+            fn info(&self) -> EngineInfo {
+                EngineInfo {
+                    kind: "wide-test",
+                    n_support_vectors: 1,
+                    n_features: N_FEATURES + 1,
+                    d_bits: None,
+                    a_bits: None,
+                }
+            }
+        }
+        let cfg = StreamConfig::non_overlapping(128.0, 30.0);
+        assert!(matches!(
+            StreamingSession::new(Arc::new(WideEngine), cfg),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn chunking_does_not_change_decisions() {
+        let fs = 128.0;
+        let ecg = synth_ecg(fs, 150.0, 0.8);
+        let cfg = StreamConfig::non_overlapping(fs, 30.0);
+
+        let mut whole = StreamingSession::new(engine(), cfg).unwrap();
+        let reference = whole.push_samples(&ecg);
+        assert_eq!(reference.len(), 5);
+        assert!(reference.iter().all(|d| d.decision.is_some()));
+
+        for chunk_len in [1usize, 7, 128, 1000, 3840, 4096] {
+            let mut s = StreamingSession::new(engine(), cfg).unwrap();
+            let mut got = Vec::new();
+            for chunk in ecg.chunks(chunk_len) {
+                got.extend(s.push_samples(chunk));
+            }
+            assert_eq!(got.len(), reference.len(), "chunk {chunk_len}");
+            for (a, b) in got.iter().zip(reference.iter()) {
+                assert_eq!(a.window_index, b.window_index);
+                assert_eq!(a.start_sample, b.start_sample);
+                assert_eq!(
+                    a.decision.map(f64::to_bits),
+                    b.decision.map(f64::to_bits),
+                    "chunk {chunk_len} window {}",
+                    a.window_index
+                );
+                assert_eq!(a.is_seizure, b.is_seizure);
+            }
+            let stats = s.stats();
+            assert_eq!(stats.windows, 5);
+            assert_eq!(stats.samples_in, ecg.len() as u64);
+            assert_eq!(stats.dropped, 0);
+            assert!(stats.mean_latency_ns() > 0.0);
+            assert!(stats.windows_per_sec() > 0.0);
+            assert!(stats.max_latency_ns >= stats.mean_latency_ns() as u64);
+        }
+    }
+
+    #[test]
+    fn flat_windows_are_dropped_like_the_batch_path() {
+        let fs = 128.0;
+        let cfg = StreamConfig::non_overlapping(fs, 30.0);
+        let mut s = StreamingSession::new(engine(), cfg).unwrap();
+        let flat = vec![0.0; cfg.window_len * 2];
+        let decisions = s.push_samples(&flat);
+        assert_eq!(decisions.len(), 2);
+        assert!(decisions.iter().all(|d| d.decision.is_none()));
+        assert!(decisions.iter().all(|d| !d.is_seizure));
+        assert_eq!(s.stats().dropped, 2);
+    }
+
+    #[test]
+    fn parallel_streams_match_single_stream_runs() {
+        let fs = 128.0;
+        let cfg = StreamConfig::non_overlapping(fs, 30.0);
+        let streams: Vec<Vec<f64>> = [0.7, 0.85, 1.0]
+            .iter()
+            .map(|&rr| synth_ecg(fs, 95.0, rr))
+            .collect();
+        let e = engine();
+        let outcomes = run_streams_parallel(&e, cfg, &streams, 640).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (outcome, samples) in outcomes.iter().zip(streams.iter()) {
+            let mut solo = StreamingSession::new(Arc::clone(&e), cfg).unwrap();
+            let mut reference = Vec::new();
+            for chunk in samples.chunks(640) {
+                reference.extend(solo.push_samples(chunk));
+            }
+            assert_eq!(outcome.decisions.len(), reference.len());
+            for (a, b) in outcome.decisions.iter().zip(reference.iter()) {
+                assert_eq!(a.decision.map(f64::to_bits), b.decision.map(f64::to_bits));
+            }
+            assert_eq!(outcome.stats.windows, solo.stats().windows);
+            assert_eq!(outcome.stats.samples_in, solo.stats().samples_in);
+        }
+        // Merged stats cover the cohort.
+        let mut merged = StreamStats::default();
+        for o in &outcomes {
+            merged.merge(&o.stats);
+        }
+        assert_eq!(merged.windows, 9);
+        assert!(run_streams_parallel(&e, cfg, &streams, 0).is_err());
+    }
+}

@@ -16,6 +16,7 @@ use crate::config::FitConfig;
 use crate::error::CoreError;
 use ecg_features::{DenseMatrix, FeatureMatrix};
 use fixedpoint::FeatureScales;
+use svm::classifier::{ClassifierEngine, EngineInfo};
 use svm::smo::{SmoConfig, SmoTrainer};
 use svm::SvmModel;
 
@@ -190,19 +191,167 @@ impl FloatPipeline {
     }
 
     /// Predicted class (±1) on a raw feature row.
+    ///
+    /// Batch variants (`decision_batch` / `predict_batch`-style) live on
+    /// the [`ClassifierEngine`] trait this pipeline implements.
     pub fn predict(&self, raw_row: &[f64]) -> f64 {
         self.model.predict(&self.normalize(raw_row))
     }
 
-    /// Decision values for a whole block of raw rows (normalise once,
-    /// then stream the contiguous batch through the model).
-    pub fn decision_batch(&self, raw: &DenseMatrix<f64>) -> Vec<f64> {
-        self.model.decision_batch(&self.normalize_batch(raw))
+    /// Serialises the trained pipeline (selection, scales, guard and the
+    /// embedded SVM) as versioned plain text; round-trips bit-exactly so
+    /// a monitor restarted from disk classifies bit-identically. See
+    /// [`svm::persist`] for the field encoding.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("floatpipeline v{PIPELINE_FORMAT_VERSION}\n"));
+        out.push_str(&format!("guard {}\n", self.guard));
+        out.push_str("features");
+        for &j in &self.feature_indices {
+            out.push_str(&format!(" {j}"));
+        }
+        out.push('\n');
+        out.push_str("scales");
+        for &r in &self.scales.r {
+            out.push_str(&format!(" {r}"));
+        }
+        out.push('\n');
+        out.push_str(&self.model.to_text());
+        out
     }
 
-    /// Predicted classes (±1) for a whole block of raw rows.
-    pub fn predict_batch(&self, raw: &DenseMatrix<f64>) -> Vec<f64> {
-        self.model.predict_batch(&self.normalize_batch(raw))
+    /// Parses a pipeline previously written by [`FloatPipeline::to_text`].
+    ///
+    /// A pipeline does not record the width of the raw rows it was fitted
+    /// against, so the selected feature indices cannot be bounds-checked
+    /// here; consumers that know their row width validate on top (the
+    /// streaming monitor rejects indices `>= N_FEATURES` at load time),
+    /// and [`FloatPipeline::normalize`] documents the panic otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on a wrong header/version or
+    /// malformed/missing fields, and wraps [`svm::SvmError`] for problems
+    /// inside the embedded model block.
+    pub fn from_text(text: &str) -> Result<Self, CoreError> {
+        let bad = |msg: String| CoreError::InvalidConfig(format!("persisted pipeline: {msg}"));
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| bad("empty text".into()))?;
+        if header.trim() != format!("floatpipeline v{PIPELINE_FORMAT_VERSION}") {
+            return Err(bad(format!("unsupported header `{header}`")));
+        }
+        let mut guard = None;
+        let mut feature_indices = None;
+        let mut scales = None;
+        let mut model_text = String::new();
+        let mut in_model = false;
+        for line in lines {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if in_model {
+                model_text.push_str(line);
+                model_text.push('\n');
+                continue;
+            }
+            match parts.as_slice() {
+                ["guard", v] => {
+                    guard = Some(
+                        v.parse::<i32>()
+                            .map_err(|_| bad(format!("bad guard field `{v}`")))?,
+                    );
+                }
+                ["features", rest @ ..] => {
+                    feature_indices = Some(
+                        rest.iter()
+                            .map(|v| {
+                                v.parse::<usize>()
+                                    .map_err(|_| bad(format!("bad feature index `{v}`")))
+                            })
+                            .collect::<Result<Vec<usize>, _>>()?,
+                    );
+                }
+                ["scales", rest @ ..] => {
+                    scales = Some(FeatureScales {
+                        r: rest
+                            .iter()
+                            .map(|v| {
+                                v.parse::<i32>()
+                                    .map_err(|_| bad(format!("bad scale exponent `{v}`")))
+                            })
+                            .collect::<Result<Vec<i32>, _>>()?,
+                    });
+                }
+                ["svmmodel", ..] => {
+                    in_model = true;
+                    model_text.push_str(line);
+                    model_text.push('\n');
+                }
+                _ => return Err(bad(format!("unrecognised line `{line}`"))),
+            }
+        }
+        let feature_indices = feature_indices.ok_or_else(|| bad("missing features".into()))?;
+        let scales = scales.ok_or_else(|| bad("missing scales".into()))?;
+        if feature_indices.len() != scales.len() {
+            return Err(bad(format!(
+                "{} feature indices but {} scales",
+                feature_indices.len(),
+                scales.len()
+            )));
+        }
+        let model = SvmModel::from_text(&model_text)?;
+        if model.n_features() != feature_indices.len() {
+            return Err(bad(format!(
+                "model width {} does not match the {} selected features",
+                model.n_features(),
+                feature_indices.len()
+            )));
+        }
+        Ok(FloatPipeline {
+            feature_indices,
+            scales,
+            model,
+            guard: guard.ok_or_else(|| bad("missing guard".into()))?,
+        })
+    }
+}
+
+/// Format version written by [`FloatPipeline::to_text`].
+pub const PIPELINE_FORMAT_VERSION: u32 = 1;
+
+/// The reference pipeline is an engine over **raw** full-width feature
+/// rows: selection and shift-normalisation happen inside, so it is
+/// drop-in interchangeable with the quantised engine behind
+/// `dyn ClassifierEngine`.
+impl ClassifierEngine for FloatPipeline {
+    fn decision(&self, row: &[f64]) -> f64 {
+        self.decision_value(row)
+    }
+
+    fn classify(&self, row: &[f64]) -> f64 {
+        self.predict(row)
+    }
+
+    /// Normalises the block once, then streams it through the model.
+    fn decision_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
+        self.model.decision_batch(&self.normalize_batch(rows))
+    }
+
+    /// Normalises the block once, then streams it through the model.
+    fn classify_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
+        self.model.classify_batch(&self.normalize_batch(rows))
+    }
+
+    fn n_features(&self) -> usize {
+        self.feature_indices.len()
+    }
+
+    fn info(&self) -> EngineInfo {
+        EngineInfo {
+            kind: "float-pipeline",
+            n_support_vectors: self.model.n_support_vectors(),
+            n_features: self.feature_indices.len(),
+            d_bits: None,
+            a_bits: None,
+        }
     }
 }
 
@@ -317,11 +466,66 @@ mod tests {
         let m = matrix();
         let p = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
         let dec = p.decision_batch(&m.features);
-        let pred = p.predict_batch(&m.features);
+        let pred = p.classify_batch(&m.features);
         for (i, row) in m.rows().enumerate() {
             assert_eq!(dec[i].to_bits(), p.decision_value(row).to_bits());
             assert_eq!(pred[i], p.predict(row));
         }
+    }
+
+    #[test]
+    fn engine_trait_routes_to_pipeline_semantics() {
+        let m = matrix();
+        let p = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
+        let e: &dyn ClassifierEngine = &p;
+        assert_eq!(ClassifierEngine::n_features(&p), 53);
+        let info = e.info();
+        assert_eq!(info.kind, "float-pipeline");
+        assert_eq!(info.n_support_vectors, p.model().n_support_vectors());
+        assert_eq!(info.d_bits, None);
+        for row in m.rows().take(20) {
+            assert_eq!(e.decision(row).to_bits(), p.decision_value(row).to_bits());
+            assert_eq!(e.classify(row), p.predict(row));
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_bit_exact() {
+        let m = matrix();
+        let p = FloatPipeline::fit(
+            &m,
+            &FitConfig::default().with_features(vec![0, 3, 5, 11, 40]),
+        )
+        .unwrap();
+        let text = p.to_text();
+        let back = FloatPipeline::from_text(&text).unwrap();
+        assert_eq!(p, back);
+        for row in m.rows().take(25) {
+            assert_eq!(
+                p.decision_value(row).to_bits(),
+                back.decision_value(row).to_bits()
+            );
+        }
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn malformed_pipeline_text_is_rejected() {
+        assert!(FloatPipeline::from_text("").is_err());
+        assert!(FloatPipeline::from_text("floatpipeline v99\n").is_err());
+        let m = matrix();
+        let p = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
+        let good = p.to_text();
+        assert!(FloatPipeline::from_text(&good.replace("guard 3", "guard x")).is_err());
+        // Scale count must match the feature subset.
+        assert!(FloatPipeline::from_text(&good.replacen("scales ", "scales 0 ", 1)).is_err());
+        // A missing model block is rejected.
+        let no_model: String = good
+            .lines()
+            .take_while(|l| !l.starts_with("svmmodel"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(FloatPipeline::from_text(&no_model).is_err());
     }
 
     #[test]

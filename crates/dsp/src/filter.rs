@@ -135,6 +135,23 @@ impl Biquad {
         y
     }
 
+    /// In-place twin of [`Biquad::filter`]: identical recurrence and
+    /// rounding, so outputs are bit-identical — the streaming front end
+    /// uses it to run whole cascades without per-call allocation.
+    pub fn filter_in_place(&self, x: &mut [f64]) {
+        let (mut x1, mut x2, mut y1, mut y2) = (0.0, 0.0, 0.0, 0.0);
+        for slot in x.iter_mut() {
+            let xi = *slot;
+            let yi =
+                self.b[0] * xi + self.b[1] * x1 + self.b[2] * x2 - self.a[0] * y1 - self.a[1] * y2;
+            x2 = x1;
+            x1 = xi;
+            y2 = y1;
+            y1 = yi;
+            *slot = yi;
+        }
+    }
+
     /// Magnitude response at frequency `f` (Hz) for sampling rate `fs`.
     pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
         let w = 2.0 * PI * f / fs;
@@ -166,6 +183,13 @@ fn check_fc(fc: f64, fs: f64) -> Result<(), DspError> {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SosCascade {
     sections: Vec<Biquad>,
+}
+
+/// Reusable work buffer for [`SosCascade::filtfilt_into`].
+#[derive(Debug, Clone, Default)]
+pub struct FiltFiltScratch {
+    /// Padded signal extension, filtered in place both directions.
+    ext: Vec<f64>,
 }
 
 impl SosCascade {
@@ -215,22 +239,42 @@ impl SosCascade {
     /// Applies all sections in sequence.
     pub fn filter(&self, x: &[f64]) -> Vec<f64> {
         let mut y = x.to_vec();
-        for s in &self.sections {
-            y = s.filter(&y);
-        }
+        self.filter_in_place(&mut y);
         y
+    }
+
+    /// Applies all sections in sequence, in place (bit-identical to
+    /// [`SosCascade::filter`]).
+    pub fn filter_in_place(&self, x: &mut [f64]) {
+        for s in &self.sections {
+            s.filter_in_place(x);
+        }
     }
 
     /// Zero-phase forward–backward filtering with odd reflection padding at
     /// both ends (pad length `3 * sections * 2` samples, clipped to the
     /// signal length).
     pub fn filtfilt(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.filtfilt_into(x, &mut FiltFiltScratch::default(), &mut out);
+        out
+    }
+
+    /// Scratch-reusing twin of [`SosCascade::filtfilt`]: clears and fills
+    /// `out`, keeping the padded work buffer in `scratch` so repeated
+    /// calls (the streaming hot loop) allocate nothing after warm-up.
+    /// Bit-identical to [`SosCascade::filtfilt`].
+    pub fn filtfilt_into(&self, x: &[f64], scratch: &mut FiltFiltScratch, out: &mut Vec<f64>) {
+        out.clear();
         if x.is_empty() || self.sections.is_empty() {
-            return x.to_vec();
+            out.extend_from_slice(x);
+            return;
         }
         let pad = (6 * self.sections.len()).min(x.len() - 1).max(1);
         // Odd reflection: 2*x[0] - x[pad..1], signal, 2*x[n-1] - x[n-2..]
-        let mut ext = Vec::with_capacity(x.len() + 2 * pad);
+        let ext = &mut scratch.ext;
+        ext.clear();
+        ext.reserve(x.len() + 2 * pad);
         for i in (1..=pad).rev() {
             ext.push(2.0 * x[0] - x[i.min(x.len() - 1)]);
         }
@@ -240,13 +284,11 @@ impl SosCascade {
             let idx = n.saturating_sub(1 + i.min(n - 1));
             ext.push(2.0 * x[n - 1] - x[idx]);
         }
-        let fwd = self.filter(&ext);
-        let mut rev: Vec<f64> = fwd.into_iter().rev().collect();
-        rev = self.filter(&rev);
-        let mut out: Vec<f64> = rev.into_iter().rev().collect();
-        out.drain(..pad);
-        out.truncate(n);
-        out
+        self.filter_in_place(ext); // forward pass
+        ext.reverse();
+        self.filter_in_place(ext); // backward pass
+        ext.reverse();
+        out.extend_from_slice(&ext[pad..pad + n]);
     }
 
     /// Magnitude response of the whole cascade at `f` Hz.
@@ -264,13 +306,25 @@ impl SosCascade {
 ///
 /// Returns [`DspError::InvalidParameter`] when `len == 0`.
 pub fn moving_average(x: &[f64], len: usize) -> Result<Vec<f64>, DspError> {
+    let mut out = Vec::new();
+    moving_average_into(x, len, &mut out)?;
+    Ok(out)
+}
+
+/// Scratch-reusing twin of [`moving_average`]: clears and refills `out`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `len == 0`.
+pub fn moving_average_into(x: &[f64], len: usize, out: &mut Vec<f64>) -> Result<(), DspError> {
     if len == 0 {
         return Err(DspError::InvalidParameter {
             name: "len",
             reason: "must be >= 1",
         });
     }
-    let mut out = Vec::with_capacity(x.len());
+    out.clear();
+    out.reserve(x.len());
     let mut acc = 0.0;
     for (i, &xi) in x.iter().enumerate() {
         acc += xi;
@@ -280,12 +334,20 @@ pub fn moving_average(x: &[f64], len: usize) -> Result<Vec<f64>, DspError> {
         let effective = (i + 1).min(len);
         out.push(acc / effective as f64);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Five-point derivative used by Pan–Tompkins:
 /// `y[n] = (2x[n] + x[n-1] - x[n-3] - 2x[n-4]) / 8` (scaled by `fs`).
 pub fn five_point_derivative(x: &[f64], fs: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    five_point_derivative_into(x, fs, &mut out);
+    out
+}
+
+/// Scratch-reusing twin of [`five_point_derivative`]: clears and refills
+/// `out`.
+pub fn five_point_derivative_into(x: &[f64], fs: f64, out: &mut Vec<f64>) {
     let n = x.len();
     let g = |i: isize| -> f64 {
         if i < 0 {
@@ -294,9 +356,11 @@ pub fn five_point_derivative(x: &[f64], fs: f64) -> Vec<f64> {
             x[(i as usize).min(n - 1)]
         }
     };
-    (0..n as isize)
-        .map(|i| (2.0 * g(i) + g(i - 1) - g(i - 3) - 2.0 * g(i - 4)) * fs / 8.0)
-        .collect()
+    out.clear();
+    out.reserve(n);
+    out.extend(
+        (0..n as isize).map(|i| (2.0 * g(i) + g(i - 1) - g(i - 3) - 2.0 * g(i - 4)) * fs / 8.0),
+    );
 }
 
 /// Sliding median filter with odd window `len` (edges use shrunken windows).
@@ -451,6 +515,40 @@ mod tests {
         assert!((y[10] - 1.0).abs() < 1e-12);
         assert!(median_filter(&x, 4).is_err());
         assert!(median_filter(&x, 0).is_err());
+    }
+
+    #[test]
+    fn in_place_and_into_variants_are_bit_identical() {
+        let fs = 128.0;
+        let sig: Vec<f64> = (0..512)
+            .map(|i| (2.0 * PI * 7.0 * i as f64 / fs).sin() + 0.1 * (i as f64 * 0.7).cos())
+            .collect();
+        let cascade = SosCascade::butterworth_bandpass(5.0, 15.0, fs, 1).unwrap();
+
+        let mut in_place = sig.clone();
+        cascade.filter_in_place(&mut in_place);
+        for (a, b) in cascade.filter(&sig).iter().zip(in_place.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let mut scratch = FiltFiltScratch::default();
+        let mut out = Vec::new();
+        // Reuse the scratch twice: the second pass must still match.
+        for _ in 0..2 {
+            cascade.filtfilt_into(&sig, &mut scratch, &mut out);
+            let reference = cascade.filtfilt(&sig);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in reference.iter().zip(out.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        let mut ma = Vec::new();
+        moving_average_into(&sig, 19, &mut ma).unwrap();
+        assert_eq!(ma, moving_average(&sig, 19).unwrap());
+        let mut d = Vec::new();
+        five_point_derivative_into(&sig, fs, &mut d);
+        assert_eq!(d, five_point_derivative(&sig, fs));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod psd;
 pub mod qrs;
 pub mod resample;
 pub mod stats;
+pub mod stream;
 pub mod window;
 
 pub use error::DspError;

@@ -9,7 +9,7 @@
 //! (ECG-derived respiration) extraction downstream.
 
 use crate::error::DspError;
-use crate::filter::{five_point_derivative, moving_average, SosCascade};
+use crate::filter::{five_point_derivative_into, moving_average_into, FiltFiltScratch, SosCascade};
 
 /// One detected R peak.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,8 +90,35 @@ impl Default for PanTompkins {
     }
 }
 
+/// Reusable work buffers for [`PanTompkins::detect_into`].
+///
+/// The batch detector allocates several full-signal-length vectors per
+/// call (band-passed signal, derivative, squared signal, integrated
+/// signal, peak candidate lists). A streaming monitor classifying one
+/// window per stride cannot afford that churn, so the scratch keeps every
+/// buffer alive across calls — after the first window the detection hot
+/// path performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct DetectScratch {
+    filtfilt: FiltFiltScratch,
+    filtered: Vec<f64>,
+    deriv: Vec<f64>,
+    squared: Vec<f64>,
+    mwi: Vec<f64>,
+    peak_cand: Vec<usize>,
+    local_peaks: Vec<usize>,
+    qrs: Vec<usize>,
+    rr_recent: Vec<f64>,
+    /// Cached band-pass design, keyed by `(band_lo, band_hi, fs)`.
+    bandpass: Option<(f64, f64, f64, SosCascade)>,
+}
+
 impl PanTompkins {
     /// Runs the detector on `ecg` sampled at `fs` Hz.
+    ///
+    /// One-shot convenience over [`PanTompkins::detect_into`] (which the
+    /// streaming path uses with a persistent [`DetectScratch`]); both
+    /// produce bit-identical detections.
     ///
     /// # Errors
     ///
@@ -100,6 +127,28 @@ impl PanTompkins {
     /// [`DspError::InvalidParameter`] for invalid `fs` or corner
     /// frequencies.
     pub fn detect(&self, ecg: &[f64], fs: f64) -> Result<QrsDetection, DspError> {
+        let mut scratch = DetectScratch::default();
+        let mut out = QrsDetection::default();
+        self.detect_into(ecg, fs, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scratch-reusing detector: clears and refills `out.peaks`, keeping
+    /// all intermediate buffers in `scratch` so repeated calls allocate
+    /// nothing after warm-up. Bit-identical to [`PanTompkins::detect`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PanTompkins::detect`]; on error `out` is left
+    /// cleared.
+    pub fn detect_into(
+        &self,
+        ecg: &[f64],
+        fs: f64,
+        scratch: &mut DetectScratch,
+        out: &mut QrsDetection,
+    ) -> Result<(), DspError> {
+        out.peaks.clear();
         if fs <= 0.0 {
             return Err(DspError::InvalidParameter {
                 name: "fs",
@@ -114,19 +163,36 @@ impl PanTompkins {
             });
         }
 
-        // 1) Band-pass.
-        let bp = SosCascade::butterworth_bandpass(self.band_lo_hz, self.band_hi_hz, fs, 1)?;
-        let filtered = bp.filtfilt(ecg);
+        // 1) Band-pass (design cached across calls at a fixed rate).
+        let rebuild = match &scratch.bandpass {
+            Some((lo, hi, f, _)) => *lo != self.band_lo_hz || *hi != self.band_hi_hz || *f != fs,
+            None => true,
+        };
+        if rebuild {
+            let bp = SosCascade::butterworth_bandpass(self.band_lo_hz, self.band_hi_hz, fs, 1)?;
+            scratch.bandpass = Some((self.band_lo_hz, self.band_hi_hz, fs, bp));
+        }
+        let bp = &scratch.bandpass.as_ref().expect("cached band-pass").3;
+        bp.filtfilt_into(ecg, &mut scratch.filtfilt, &mut scratch.filtered);
+        let filtered = &scratch.filtered;
 
         // 2) Derivative, 3) squaring, 4) moving-window integration.
-        let deriv = five_point_derivative(&filtered, fs);
-        let squared: Vec<f64> = deriv.iter().map(|v| v * v).collect();
+        five_point_derivative_into(filtered, fs, &mut scratch.deriv);
+        scratch.squared.clear();
+        scratch.squared.extend(scratch.deriv.iter().map(|v| v * v));
         let win = ((self.integration_window_s * fs).round() as usize).max(1);
-        let mwi = moving_average(&squared, win)?;
+        moving_average_into(&scratch.squared, win, &mut scratch.mwi)?;
+        let mwi = &scratch.mwi;
 
         // 5) Adaptive thresholding on the MWI signal.
         let refractory = (self.refractory_s * fs).round() as usize;
-        let local_peaks = local_maxima(&mwi, refractory.max(1));
+        local_maxima_into(
+            mwi,
+            refractory.max(1),
+            &mut scratch.peak_cand,
+            &mut scratch.local_peaks,
+        );
+        let local_peaks = &scratch.local_peaks;
 
         // Initialise thresholds from the first 2 s learning phase.
         let learn = &mwi[..min_len];
@@ -134,8 +200,10 @@ impl PanTompkins {
         let mut npki = crate::stats::mean(learn) * 0.5; // running noise peak
         let mut threshold1 = npki + 0.25 * (spki - npki);
 
-        let mut qrs: Vec<usize> = Vec::new();
-        let mut rr_recent: Vec<f64> = Vec::new();
+        scratch.qrs.clear();
+        scratch.rr_recent.clear();
+        let qrs = &mut scratch.qrs;
+        let rr_recent = &mut scratch.rr_recent;
         let mut last_qrs_idx: Option<usize> = None;
 
         let mut i = 0usize;
@@ -166,7 +234,7 @@ impl PanTompkins {
             // Search-back: if too much time has elapsed without a QRS,
             // re-scan the gap with half threshold.
             if let (Some(l), false) = (last_qrs_idx, rr_recent.is_empty()) {
-                let rr_avg = crate::stats::mean(&rr_recent);
+                let rr_avg = crate::stats::mean(rr_recent);
                 let gap = (p.saturating_sub(l)) as f64 / fs;
                 if gap > self.searchback_factor * rr_avg {
                     let t2 = threshold1 * 0.5;
@@ -195,9 +263,9 @@ impl PanTompkins {
         // lags the R wave by roughly the integration window; search a
         // window around each detection for the absolute maximum.
         let half = win;
-        let mut peaks = Vec::with_capacity(qrs.len());
+        out.peaks.reserve(qrs.len());
         let mut last_index: Option<usize> = None;
-        for &p in &qrs {
+        for &p in qrs.iter() {
             let lo = p.saturating_sub(half);
             let hi = (p + half / 2).min(filtered.len() - 1);
             let mut best = lo;
@@ -213,27 +281,37 @@ impl PanTompkins {
                 }
             }
             last_index = Some(best);
-            peaks.push(RPeak {
+            out.peaks.push(RPeak {
                 index: best,
                 time_s: best as f64 / fs,
                 amplitude: filtered[best],
             });
         }
-        Ok(QrsDetection { peaks })
+        Ok(())
     }
 }
 
 /// Indices of strict local maxima separated by at least `min_dist` samples
-/// (greedy, keeps the larger of two close peaks).
+/// (greedy, keeps the larger of two close peaks). One-shot reference twin
+/// of [`local_maxima_into`], kept for the property tests.
+#[cfg(test)]
 fn local_maxima(x: &[f64], min_dist: usize) -> Vec<usize> {
-    let mut cand: Vec<usize> = (1..x.len().saturating_sub(1))
-        .filter(|&i| x[i] > x[i - 1] && x[i] >= x[i + 1])
-        .collect();
+    let mut cand = Vec::new();
+    let mut kept = Vec::new();
+    local_maxima_into(x, min_dist, &mut cand, &mut kept);
+    kept
+}
+
+/// Scratch-reusing twin of [`local_maxima`]: `cand` is a work buffer,
+/// `kept` receives the result (both cleared first).
+fn local_maxima_into(x: &[f64], min_dist: usize, cand: &mut Vec<usize>, kept: &mut Vec<usize>) {
+    cand.clear();
+    cand.extend((1..x.len().saturating_sub(1)).filter(|&i| x[i] > x[i - 1] && x[i] >= x[i + 1]));
     // Enforce minimum distance, preferring larger peaks.
     cand.sort_by(|&a, &b| x[b].total_cmp(&x[a]));
-    let mut kept: Vec<usize> = Vec::new();
-    'outer: for c in cand {
-        for &k in &kept {
+    kept.clear();
+    'outer: for &c in cand.iter() {
+        for &k in kept.iter() {
             if c.abs_diff(k) < min_dist {
                 continue 'outer;
             }
@@ -241,7 +319,6 @@ fn local_maxima(x: &[f64], min_dist: usize) -> Vec<usize> {
         kept.push(c);
     }
     kept.sort_unstable();
-    kept
 }
 
 #[cfg(test)]
@@ -386,6 +463,31 @@ mod tests {
         assert_eq!(det.amplitudes(), vec![1.0, 1.1, 0.9]);
         let empty = QrsDetection::default();
         assert!(empty.mean_heart_rate_bpm().is_none());
+    }
+
+    #[test]
+    fn detect_into_with_reused_scratch_is_bit_identical() {
+        let fs = 128.0;
+        let det = PanTompkins::default();
+        let mut scratch = DetectScratch::default();
+        let mut out = QrsDetection::default();
+        // Different rhythms and lengths through ONE scratch: every result
+        // must match a fresh one-shot detect bit for bit.
+        for (rr, dur) in [(0.8, 30.0), (0.5, 20.0), (1.1, 25.0)] {
+            let ecg = synth_ecg(fs, dur, &regular_beats(0.5, rr, dur - 0.5));
+            det.detect_into(&ecg, fs, &mut scratch, &mut out).unwrap();
+            let reference = det.detect(&ecg, fs).unwrap();
+            assert_eq!(out, reference, "rr {rr}");
+            for (a, b) in out.peaks.iter().zip(reference.peaks.iter()) {
+                assert_eq!(a.amplitude.to_bits(), b.amplitude.to_bits());
+                assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            }
+        }
+        // Errors leave the output cleared.
+        assert!(det
+            .detect_into(&[0.0; 10], fs, &mut scratch, &mut out)
+            .is_err());
+        assert!(out.peaks.is_empty());
     }
 
     #[test]

@@ -156,6 +156,19 @@ impl SessionRecording {
     pub fn window_samples(&self, label: &WindowLabel) -> &[f64] {
         &self.ecg[label.start_sample..label.start_sample + label.len_samples]
     }
+
+    /// Chunked replay of the session: successive `chunk_len`-sample ECG
+    /// slices (the last may be shorter), in temporal order. This is how
+    /// tests and benches drive a streaming pipeline realistically — one
+    /// push per "radio packet" instead of one per session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_len == 0`.
+    pub fn chunks(&self, chunk_len: usize) -> impl Iterator<Item = &[f64]> {
+        assert!(chunk_len > 0, "chunk_len must be >= 1");
+        self.ecg.chunks(chunk_len)
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +228,29 @@ mod tests {
         assert_eq!(labels[1].start_sample, (30.0 * 128.0) as usize);
         let w = rec.window_samples(&labels[2]);
         assert_eq!(w.len(), (30.0 * 128.0) as usize);
+    }
+
+    #[test]
+    fn chunked_replay_covers_the_whole_session_in_order() {
+        let rec = tiny_spec(vec![]).synthesize();
+        for chunk_len in [1usize, 7, 128, 4096, usize::MAX] {
+            let mut rebuilt = Vec::with_capacity(rec.ecg.len());
+            for chunk in rec.chunks(chunk_len.min(rec.ecg.len() + 1)) {
+                assert!(chunk.len() <= chunk_len);
+                rebuilt.extend_from_slice(chunk);
+            }
+            assert_eq!(rebuilt, rec.ecg, "chunk_len {chunk_len}");
+        }
+        // All chunks except the last are exactly chunk_len long.
+        let sizes: Vec<usize> = rec.chunks(1000).map(<[f64]>::len).collect();
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len")]
+    fn zero_chunk_len_panics() {
+        let rec = tiny_spec(vec![]).synthesize();
+        let _ = rec.chunks(0);
     }
 
     #[test]

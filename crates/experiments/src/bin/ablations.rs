@@ -16,6 +16,7 @@ use seizure_core::engine::{BitConfig, QuantizedEngine};
 use seizure_core::eval::{loso_evaluate, loso_evaluate_with, LosoResult};
 use seizure_core::trained::FloatPipeline;
 use svm::smo::{SmoConfig, SmoTrainer};
+use svm::ClassifierEngine;
 
 /// Boxed batch predictor for heterogeneous fold closures.
 type BatchPredictor = Box<dyn Fn(&DenseMatrix<f64>) -> Vec<f64>>;
@@ -36,7 +37,7 @@ fn loso_random_pruning(
         let full = p.model().n_support_vectors();
         if full <= budget {
             let n = full;
-            let predictor: BatchPredictor = Box::new(move |rows| p.predict_batch(rows));
+            let predictor: BatchPredictor = Box::new(move |rows| p.classify_batch(rows));
             return Ok((predictor, n));
         }
         // Pseudo-random subset of the *training set* mirroring the
@@ -68,7 +69,7 @@ fn loso_random_pruning(
         let n = model.n_support_vectors();
         let norm_pipeline = p.clone();
         let predictor: BatchPredictor =
-            Box::new(move |rows| model.predict_batch(&norm_pipeline.normalize_batch(rows)));
+            Box::new(move |rows| model.classify_batch(&norm_pipeline.normalize_batch(rows)));
         Ok((predictor, n))
     })
 }
@@ -163,7 +164,7 @@ fn main() {
             .map_err(seizure_core::CoreError::Svm)?;
         let n = model.n_support_vectors();
         Ok((
-            move |rows: &DenseMatrix<f64>| model.predict_batch(&p.normalize_batch(rows)),
+            move |rows: &DenseMatrix<f64>| model.classify_batch(&p.normalize_batch(rows)),
             n,
         ))
     });

@@ -6,7 +6,7 @@ use crate::error::FeatureError;
 use crate::hrv::{clean_rr, hrv_features, HRV_NAMES, N_HRV};
 use crate::lorenz::{lorenz_features, LORENZ_NAMES, N_LORENZ};
 use crate::psd_feats::{psd_features, psd_names, N_PSD};
-use biodsp::qrs::PanTompkins;
+use biodsp::qrs::{DetectScratch, PanTompkins, QrsDetection};
 
 /// Total feature count (8 HRV + 7 Lorentz + 9 AR + 29 PSD = 53).
 pub const N_FEATURES: usize = N_HRV + N_LORENZ + N_AR + N_PSD;
@@ -84,16 +84,44 @@ impl WindowExtractor {
 
     /// Extracts all 53 features from one ECG window.
     ///
+    /// One-shot convenience over [`WindowExtractor::extract_into`], which
+    /// window-matrix builders and the streaming path use with a persistent
+    /// [`ExtractScratch`]; both produce bit-identical feature vectors.
+    ///
     /// # Errors
     ///
     /// Returns [`FeatureError::TooFewBeats`] when the window contains fewer
     /// than 8 usable beats, and propagates DSP errors (window shorter than
     /// the detector's 2-second learning phase, etc.).
     pub fn extract(&self, ecg: &[f64]) -> Result<Vec<f64>, FeatureError> {
-        let det = self
-            .detector
-            .detect(ecg, self.fs)
+        let mut out = Vec::with_capacity(N_FEATURES);
+        self.extract_into(ecg, &mut ExtractScratch::default(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Scratch-reusing extraction: clears and refills `out` with the
+    /// 53-feature vector. The sample-rate-proportional work (QRS
+    /// detection over the raw window) runs entirely in `scratch`'s
+    /// buffers, so a hot loop that keeps one scratch per stream allocates
+    /// nothing there after warm-up; the remaining beat-rate allocations
+    /// (RR cleaning, EDR resampling) are two orders of magnitude smaller.
+    /// Bit-identical to [`WindowExtractor::extract`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`WindowExtractor::extract`]; on error `out` is
+    /// left cleared.
+    pub fn extract_into(
+        &self,
+        ecg: &[f64],
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), FeatureError> {
+        out.clear();
+        self.detector
+            .detect_into(ecg, self.fs, &mut scratch.detect, &mut scratch.detection)
             .map_err(FeatureError::Dsp)?;
+        let det = &scratch.detection;
         if det.peaks.len() < 8 {
             return Err(FeatureError::TooFewBeats {
                 needed: 8,
@@ -101,15 +129,23 @@ impl WindowExtractor {
             });
         }
         let rr = clean_rr(&det.rr_intervals());
-        let edr = extract_edr(&det)?;
-        let mut out = Vec::with_capacity(N_FEATURES);
+        let edr = extract_edr(det)?;
+        out.reserve(N_FEATURES);
         out.extend_from_slice(&hrv_features(&rr));
         out.extend_from_slice(&lorenz_features(&rr));
         out.extend_from_slice(&ar_features(&edr));
         out.extend_from_slice(&psd_features(&edr));
         debug_assert_eq!(out.len(), N_FEATURES);
-        Ok(out)
+        Ok(())
     }
+}
+
+/// Reusable work state for [`WindowExtractor::extract_into`]: the QRS
+/// detector's full-window buffers plus the detection itself.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractScratch {
+    detect: DetectScratch,
+    detection: QrsDetection,
 }
 
 #[cfg(test)]
@@ -183,6 +219,33 @@ mod tests {
             .unwrap();
         assert!(fast[4] > calm[4] + 30.0); // mean HR up
         assert!(fast[0] < calm[0]); // mean NN down
+    }
+
+    #[test]
+    fn extract_into_with_reused_scratch_is_bit_identical() {
+        let fs = 128.0;
+        let extractor = WindowExtractor::new(fs);
+        let mut scratch = ExtractScratch::default();
+        let mut row = Vec::new();
+        // Three different windows through one scratch, interleaved with a
+        // failing window: every success must match the one-shot extract
+        // down to the bit.
+        for (rr, resp) in [(0.8, 0.25), (0.5, 0.4), (1.0, 0.2)] {
+            let ecg = synth_ecg(fs, 60.0, rr, resp);
+            extractor
+                .extract_into(&ecg, &mut scratch, &mut row)
+                .unwrap();
+            let reference = extractor.extract(&ecg).unwrap();
+            assert_eq!(row.len(), reference.len());
+            for (a, b) in row.iter().zip(reference.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rr {rr}");
+            }
+            let flat = vec![0.0; 128 * 30];
+            assert!(extractor
+                .extract_into(&flat, &mut scratch, &mut row)
+                .is_err());
+            assert!(row.is_empty(), "errors must leave the row cleared");
+        }
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod matrix;
 pub mod psd_feats;
 
 pub use error::FeatureError;
-pub use extract::{FeatureFamily, WindowExtractor, N_FEATURES};
+pub use extract::{ExtractScratch, FeatureFamily, WindowExtractor, N_FEATURES};
 pub use matrix::{DenseMatrix, FeatureMatrix};

@@ -12,7 +12,11 @@
 //! * [`fx`] — fixed-point quantisation ([`fixedpoint`]),
 //! * [`hw`] — 40 nm accelerator cost model ([`hwmodel`]),
 //! * [`core`] — the paper's contribution: the tailored inference engine
-//!   and its three approximation passes ([`seizure_core`]).
+//!   and its three approximation passes ([`seizure_core`]),
+//! * [`streaming`] — the continuous-monitoring facade
+//!   ([`streaming::StreamingMonitor`]): chunked ECG in, per-window
+//!   decisions out, bit-identical to the batch path for every
+//!   [`svm::ClassifierEngine`] backend.
 //!
 //! ## Quick start
 //!
@@ -37,8 +41,11 @@ pub use hwmodel as hw;
 pub use seizure_core as core;
 pub use svm as ml;
 
+pub mod streaming;
+
 /// Most-used items in one import.
 pub mod prelude {
+    pub use crate::streaming::StreamingMonitor;
     pub use ecg_features::{DenseMatrix, FeatureMatrix};
     pub use ecg_sim::dataset::{DatasetSpec, Scale};
     pub use hwmodel::pipeline::AcceleratorConfig;
@@ -47,6 +54,7 @@ pub mod prelude {
     pub use seizure_core::config::FitConfig;
     pub use seizure_core::engine::{BitConfig, QuantizedEngine};
     pub use seizure_core::eval::{loso_evaluate, loso_evaluate_serial};
+    pub use seizure_core::stream::{StreamConfig, StreamStats, WindowDecision};
     pub use seizure_core::trained::FloatPipeline;
-    pub use svm::Kernel;
+    pub use svm::{ClassifierEngine, Kernel};
 }

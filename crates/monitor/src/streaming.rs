@@ -1,0 +1,164 @@
+//! `StreamingMonitor` — the facade over the streaming inference
+//! subsystem.
+//!
+//! One type to hold at the application layer: pick an engine backend
+//! (float pipeline, quantised engine, or a model persisted to text),
+//! choose the window geometry, then feed ECG chunks and collect
+//! [`WindowDecision`]s. Everything underneath
+//! ([`seizure_core::stream`]) guarantees the decisions are bit-identical
+//! to the batch pipeline on the same windows, for every backend.
+
+use seizure_core::engine::{BitConfig, QuantizedEngine};
+use seizure_core::error::CoreError;
+use seizure_core::stream::{
+    run_streams_parallel, SharedEngine, StreamConfig, StreamOutcome, StreamStats, StreamingSession,
+    WindowDecision,
+};
+use seizure_core::trained::FloatPipeline;
+use std::sync::Arc;
+use svm::EngineInfo;
+
+/// Continuous seizure monitor over one patient's ECG stream.
+///
+/// ```no_run
+/// use epilepsy_monitor::prelude::*;
+/// use epilepsy_monitor::streaming::StreamingMonitor;
+///
+/// let spec = DatasetSpec::new(Scale::Tiny, 42);
+/// let matrix = build_feature_matrix(&spec);
+/// let pipeline = FloatPipeline::fit(&matrix, &FitConfig::default())?;
+/// let mut monitor = StreamingMonitor::from_float_pipeline(
+///     pipeline,
+///     StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s()),
+/// )?;
+/// let session = spec.sessions[0].synthesize();
+/// for chunk in session.chunks(128) {
+///     for decision in monitor.push_samples(chunk) {
+///         if decision.is_seizure {
+///             println!("seizure at window {}", decision.window_index);
+///         }
+///     }
+/// }
+/// # Ok::<(), epilepsy_monitor::core::error::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct StreamingMonitor {
+    session: StreamingSession,
+}
+
+impl StreamingMonitor {
+    /// Monitor over any shared [`svm::ClassifierEngine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid stream
+    /// configuration.
+    pub fn new(engine: SharedEngine, cfg: StreamConfig) -> Result<Self, CoreError> {
+        Ok(StreamingMonitor {
+            session: StreamingSession::new(engine, cfg)?,
+        })
+    }
+
+    /// Monitor over the float reference pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid stream
+    /// configuration.
+    pub fn from_float_pipeline(p: FloatPipeline, cfg: StreamConfig) -> Result<Self, CoreError> {
+        StreamingMonitor::new(Arc::new(p), cfg)
+    }
+
+    /// Monitor over the bit-accurate quantised engine built from `p` at
+    /// `bits` — the deployed-accelerator configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the engine cannot be
+    /// built (non-quadratic kernel, bad widths) or the stream
+    /// configuration is invalid.
+    pub fn from_quantized(
+        p: &FloatPipeline,
+        bits: BitConfig,
+        cfg: StreamConfig,
+    ) -> Result<Self, CoreError> {
+        StreamingMonitor::new(Arc::new(QuantizedEngine::from_pipeline(p, bits)?), cfg)
+    }
+
+    /// Monitor started from a pipeline persisted with
+    /// [`FloatPipeline::to_text`] — no retraining. With `bits` the
+    /// quantised engine is rebuilt on top; without, the float pipeline
+    /// classifies directly. Persistence is bit-exact, so the restarted
+    /// monitor's decisions are bit-identical to the original's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] (or a wrapped
+    /// [`svm::SvmError`]) for malformed text, plus the
+    /// [`StreamingMonitor::from_quantized`] failure modes.
+    pub fn from_saved_pipeline(
+        pipeline_text: &str,
+        bits: Option<BitConfig>,
+        cfg: StreamConfig,
+    ) -> Result<Self, CoreError> {
+        let p = FloatPipeline::from_text(pipeline_text)?;
+        // `from_text` cannot bound the selected indices (a pipeline does
+        // not record its raw input width), but this monitor will feed
+        // 53-feature rows — reject a corrupt file here, at load time,
+        // instead of panicking on the first window.
+        let n = ecg_features::N_FEATURES;
+        if let Some(&bad) = p.feature_indices().iter().find(|&&j| j >= n) {
+            return Err(CoreError::InvalidConfig(format!(
+                "persisted pipeline selects feature {bad} but extraction produces {n} features"
+            )));
+        }
+        match bits {
+            Some(b) => StreamingMonitor::from_quantized(&p, b, cfg),
+            None => StreamingMonitor::from_float_pipeline(p, cfg),
+        }
+    }
+
+    /// Ingests one ECG chunk of any length; returns the decisions of the
+    /// windows that completed inside it.
+    pub fn push_samples(&mut self, chunk: &[f64]) -> Vec<WindowDecision> {
+        self.session.push_samples(chunk)
+    }
+
+    /// Zero-allocation twin of [`StreamingMonitor::push_samples`].
+    pub fn push_samples_into(&mut self, chunk: &[f64], out: &mut Vec<WindowDecision>) {
+        self.session.push_samples_into(chunk, out);
+    }
+
+    /// Windowing configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.session.config()
+    }
+
+    /// Cost metadata of the engine backend.
+    pub fn engine_info(&self) -> EngineInfo {
+        self.session.engine_info()
+    }
+
+    /// Per-window latency/throughput accounting so far.
+    pub fn stats(&self) -> StreamStats {
+        self.session.stats()
+    }
+
+    /// Runs a whole cohort of patient streams concurrently over one
+    /// shared engine (fan-out on `seizure_core::parallel::par_map`),
+    /// feeding each stream in `chunk_len`-sample chunks. Results come
+    /// back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid configuration
+    /// or `chunk_len == 0`.
+    pub fn monitor_cohort(
+        engine: &SharedEngine,
+        cfg: StreamConfig,
+        streams: &[Vec<f64>],
+        chunk_len: usize,
+    ) -> Result<Vec<StreamOutcome>, CoreError> {
+        run_streams_parallel(engine, cfg, streams, chunk_len)
+    }
+}

@@ -56,7 +56,7 @@ fn float_pipeline_batch_matches_per_row_bitwise() {
     let m = matrix();
     let p = FloatPipeline::fit(m, &FitConfig::default()).unwrap();
     let dec = p.decision_batch(&m.features);
-    let pred = p.predict_batch(&m.features);
+    let pred = p.classify_batch(&m.features);
     assert_eq!(dec.len(), m.n_rows());
     for (i, row) in m.rows().enumerate() {
         assert_eq!(dec[i].to_bits(), p.decision_value(row).to_bits(), "row {i}");
@@ -71,7 +71,7 @@ fn svm_model_batch_matches_per_row_bitwise() {
     let model = p.model();
     let normalized = p.normalize_batch(&m.features);
     let dec = model.decision_batch(&normalized);
-    let pred = model.predict_batch(&normalized);
+    let pred = model.classify_batch(&normalized);
     for (i, row) in normalized.rows().enumerate() {
         assert_eq!(
             dec[i].to_bits(),

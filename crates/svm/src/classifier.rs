@@ -1,0 +1,165 @@
+//! The unified inference interface every classifier backend implements.
+//!
+//! [`ClassifierEngine`] is the seam between *what* classifies (the float
+//! SVM, the shift-normalised reference pipeline, the bit-accurate
+//! quantised engine) and *how* it is driven (batch LOSO evaluation,
+//! design-space sweeps, the streaming monitor). Callers hold a
+//! `Box<dyn ClassifierEngine>` / `Arc<dyn ClassifierEngine>` and stay
+//! agnostic of the backend, so the float and quantised paths are
+//! interchangeable end to end — the property the streaming-vs-batch
+//! equivalence tests pin per backend.
+
+use crate::model::SvmModel;
+use ecg_features::DenseMatrix;
+
+/// Cost metadata of a classifier backend — the quantities the hardware
+/// model prices (`N_SV`, `N_feat`, operand widths) plus a display kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Backend kind, e.g. `"svm-model"`, `"float-pipeline"`,
+    /// `"quantized-engine"`.
+    pub kind: &'static str,
+    /// Support-vector count (`N_SV` of the paper's cost model).
+    pub n_support_vectors: usize,
+    /// Feature count the decision function consumes (`N_feat`).
+    pub n_features: usize,
+    /// Feature operand width, when the backend quantises (`D_bits`).
+    pub d_bits: Option<u32>,
+    /// Coefficient operand width, when the backend quantises (`A_bits`).
+    pub a_bits: Option<u32>,
+}
+
+impl EngineInfo {
+    /// Multiply-accumulate count of one decision (`N_SV × N_feat` kernel
+    /// dot products plus the `N_SV` coefficient MACs) — the workload
+    /// number throughput benchmarks normalise by.
+    pub fn macs_per_decision(&self) -> usize {
+        self.n_support_vectors * self.n_features + self.n_support_vectors
+    }
+}
+
+/// A trained two-class decision function over raw feature rows.
+///
+/// Implementors consume *raw* (un-normalised, full-width) feature rows —
+/// any selection, shift-normalisation or quantisation is the backend's
+/// own business — so every backend is drop-in interchangeable behind
+/// `dyn ClassifierEngine`.
+///
+/// Contract pinned by the test suites:
+///
+/// * `classify` returns exactly `+1.0` (seizure) or `-1.0`, and agrees
+///   with the sign of `decision` (ties positive, the hardware sign-bit
+///   convention);
+/// * the batch variants are bit-identical to mapping the row variants
+///   over `rows.rows()` — they exist so backends can hoist per-batch
+///   work (normalise once, reuse code buffers) without changing results.
+pub trait ClassifierEngine: Send + Sync {
+    /// Decision value `f(x)` on one raw feature row: positive ⇒ seizure.
+    ///
+    /// The scale is backend-defined (margin-like for float backends,
+    /// accumulator LSBs for integer ones); only comparisons within one
+    /// backend are meaningful.
+    fn decision(&self, row: &[f64]) -> f64;
+
+    /// Predicted class on one raw feature row: `+1.0` or `-1.0`.
+    fn classify(&self, row: &[f64]) -> f64 {
+        if self.decision(row) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Decision values for every row of a raw dense batch.
+    fn decision_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
+        rows.rows().map(|r| self.decision(r)).collect()
+    }
+
+    /// Predicted classes for every row of a raw dense batch.
+    fn classify_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
+        rows.rows().map(|r| self.classify(r)).collect()
+    }
+
+    /// Feature count the decision function consumes.
+    fn n_features(&self) -> usize;
+
+    /// Cost metadata (SV count, widths) for pricing and reporting.
+    fn info(&self) -> EngineInfo;
+}
+
+/// The bare SVM is an engine over already-normalised rows (its "raw" input
+/// is whatever space it was trained in).
+impl ClassifierEngine for SvmModel {
+    fn decision(&self, row: &[f64]) -> f64 {
+        self.decision_value(row)
+    }
+
+    fn classify(&self, row: &[f64]) -> f64 {
+        self.predict(row)
+    }
+
+    fn n_features(&self) -> usize {
+        SvmModel::n_features(self)
+    }
+
+    fn info(&self) -> EngineInfo {
+        EngineInfo {
+            kind: "svm-model",
+            n_support_vectors: self.n_support_vectors(),
+            n_features: SvmModel::n_features(self),
+            d_bits: None,
+            a_bits: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+
+    fn toy_model() -> SvmModel {
+        SvmModel::from_parts(
+            Kernel::Linear,
+            DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0]]),
+            vec![0.5, 0.5],
+            vec![1.0, -1.0],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn trait_matches_inherent_methods() {
+        let m = toy_model();
+        let e: &dyn ClassifierEngine = &m;
+        for row in [[2.0, 5.0], [-0.3, 1.0], [0.0, 0.0]] {
+            assert_eq!(e.decision(&row).to_bits(), m.decision_value(&row).to_bits());
+            assert_eq!(e.classify(&row), m.predict(&row));
+        }
+        assert_eq!(ClassifierEngine::n_features(&m), 2);
+    }
+
+    #[test]
+    fn batch_defaults_match_row_variants() {
+        let m = toy_model();
+        let e: &dyn ClassifierEngine = &m;
+        let batch = DenseMatrix::from_rows(&[vec![2.0, 5.0], vec![-0.3, 1.0], vec![0.0, 0.0]]);
+        let dec = e.decision_batch(&batch);
+        let cls = e.classify_batch(&batch);
+        for (i, row) in batch.rows().enumerate() {
+            assert_eq!(dec[i].to_bits(), e.decision(row).to_bits());
+            assert_eq!(cls[i], e.classify(row));
+        }
+    }
+
+    #[test]
+    fn info_carries_cost_metadata() {
+        let m = toy_model();
+        let info = ClassifierEngine::info(&m);
+        assert_eq!(info.kind, "svm-model");
+        assert_eq!(info.n_support_vectors, 2);
+        assert_eq!(info.n_features, 2);
+        assert_eq!(info.d_bits, None);
+        assert_eq!(info.macs_per_decision(), 2 * 2 + 2);
+    }
+}

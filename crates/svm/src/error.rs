@@ -19,6 +19,8 @@ pub enum SvmError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// Persisted model text is malformed or has an unsupported version.
+    Persist(String),
 }
 
 impl fmt::Display for SvmError {
@@ -30,6 +32,7 @@ impl fmt::Display for SvmError {
             SvmError::NotConverged { iterations } => {
                 write!(f, "smo did not converge after {iterations} iterations")
             }
+            SvmError::Persist(s) => write!(f, "persisted model problem: {s}"),
         }
     }
 }
@@ -52,5 +55,8 @@ mod tests {
         assert!(SvmError::InvalidLabels("x".into())
             .to_string()
             .contains('x'));
+        assert!(SvmError::Persist("bad header".into())
+            .to_string()
+            .contains("bad header"));
     }
 }

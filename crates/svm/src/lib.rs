@@ -18,9 +18,14 @@
 //! Training and inference run over the workspace-wide dense row-major
 //! [`DenseMatrix`] container (re-exported from [`ecg_features`]): the
 //! trainer consumes a dense sample block, the model stores its support
-//! vectors contiguously, and [`model::SvmModel::predict_batch`] /
-//! [`model::SvmModel::decision_batch`] stream whole batches without
-//! per-row dispatch.
+//! vectors contiguously, and the [`classifier::ClassifierEngine`] trait's
+//! `predict_batch` / `decision_batch` stream whole batches without
+//! per-row dispatch. Every inference backend in the workspace (the bare
+//! [`SvmModel`], the float reference pipeline, the quantised engine)
+//! implements [`ClassifierEngine`], so they are interchangeable behind
+//! `dyn ClassifierEngine` — the seam the batch evaluators and the
+//! streaming monitor are built on. Models persist to versioned plain
+//! text ([`persist`]) with bit-exact round trips.
 //!
 //! ## Example
 //!
@@ -39,18 +44,22 @@
 //! let model = SmoTrainer::new(cfg).train(&x, &y)?;
 //! assert_eq!(model.predict(&[0.9, 0.1]), 1.0);
 //! assert_eq!(model.predict(&[0.9, 0.9]), -1.0);
-//! // Batch inference over a contiguous block:
-//! assert_eq!(model.predict_batch(&x), vec![-1.0, -1.0, 1.0, 1.0]);
+//! // Batch inference over a contiguous block (trait method):
+//! use svm::ClassifierEngine;
+//! assert_eq!(model.classify_batch(&x), vec![-1.0, -1.0, 1.0, 1.0]);
 //! # Ok::<(), svm::SvmError>(())
 //! ```
 
+pub mod classifier;
 pub mod cv;
 pub mod error;
 pub mod kernel;
 pub mod model;
+pub mod persist;
 pub mod scale;
 pub mod smo;
 
+pub use classifier::{ClassifierEngine, EngineInfo};
 pub use ecg_features::DenseMatrix;
 pub use error::SvmError;
 pub use kernel::Kernel;

@@ -116,36 +116,18 @@ impl SvmModel {
         acc
     }
 
-    /// Decision values for every row of a dense batch.
-    ///
-    /// Equivalent to mapping [`SvmModel::decision_value`] over the rows;
-    /// the batch form streams both operand blocks contiguously, which is
-    /// the layout the sweep inner loops are bound by.
-    pub fn decision_batch(&self, x: &DenseMatrix<f64>) -> Vec<f64> {
-        x.rows().map(|row| self.decision_value(row)).collect()
-    }
-
     /// Predicted class: `+1.0` or `-1.0` (ties break positive, matching
     /// the sign-bit convention of the hardware pipeline).
+    ///
+    /// Batch variants live on the [`crate::ClassifierEngine`] trait, which
+    /// this model implements — bring the trait into scope for
+    /// `decision_batch` / `predict_batch`-style whole-block inference.
     pub fn predict(&self, x: &[f64]) -> f64 {
         if self.decision_value(x) >= 0.0 {
             1.0
         } else {
             -1.0
         }
-    }
-
-    /// Predicted classes for every row of a dense batch.
-    pub fn predict_batch(&self, x: &DenseMatrix<f64>) -> Vec<f64> {
-        x.rows()
-            .map(|row| {
-                if self.decision_value(row) >= 0.0 {
-                    1.0
-                } else {
-                    -1.0
-                }
-            })
-            .collect()
     }
 
     /// The paper's Eq 5 significance norm for each SV:
@@ -185,6 +167,7 @@ mod tests {
 
     #[test]
     fn batch_paths_match_per_row() {
+        use crate::classifier::ClassifierEngine;
         let m = toy_model();
         let batch = DenseMatrix::from_rows(&[
             vec![2.0, 5.0],
@@ -193,7 +176,7 @@ mod tests {
             vec![0.3, -1.0],
         ]);
         let dec = m.decision_batch(&batch);
-        let pred = m.predict_batch(&batch);
+        let pred = m.classify_batch(&batch);
         for (i, row) in batch.rows().enumerate() {
             assert_eq!(dec[i].to_bits(), m.decision_value(row).to_bits());
             assert_eq!(pred[i], m.predict(row));

@@ -1,0 +1,264 @@
+//! Plain-text, versioned model persistence.
+//!
+//! The format is line-oriented and self-describing so a persisted model
+//! survives tooling without a serialisation dependency: a `svmmodel v1`
+//! header, scalar fields as `key value` lines, then one `sv` line per
+//! support vector. Every `f64` is written as its 16-hex-digit IEEE-754
+//! bit pattern, so save → load round-trips **bit-exactly** — a streaming
+//! monitor restarted from disk produces decisions bit-identical to the
+//! process that trained the model.
+
+use crate::error::SvmError;
+use crate::kernel::Kernel;
+use crate::model::SvmModel;
+use ecg_features::DenseMatrix;
+
+/// Format version written by [`SvmModel::to_text`].
+pub const SVMMODEL_FORMAT_VERSION: u32 = 1;
+
+/// Encodes an `f64` as its 16-hex-digit IEEE-754 bit pattern.
+pub fn encode_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Decodes a 16-hex-digit IEEE-754 bit pattern back to the exact `f64`.
+///
+/// # Errors
+///
+/// Returns [`SvmError::Persist`] on malformed input.
+pub fn decode_f64(s: &str) -> Result<f64, SvmError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| SvmError::Persist(format!("bad f64 hex field `{s}`")))
+}
+
+/// Parses a decimal integer field.
+pub(crate) fn parse_usize(s: &str, what: &str) -> Result<usize, SvmError> {
+    s.parse()
+        .map_err(|_| SvmError::Persist(format!("bad {what} field `{s}`")))
+}
+
+fn kernel_to_text(k: Kernel) -> String {
+    match k {
+        Kernel::Linear => "linear".to_string(),
+        Kernel::Polynomial { degree } => format!("polynomial {degree}"),
+        Kernel::Rbf { gamma } => format!("rbf {}", encode_f64(gamma)),
+    }
+}
+
+fn kernel_from_text(parts: &[&str]) -> Result<Kernel, SvmError> {
+    match parts {
+        ["linear"] => Ok(Kernel::Linear),
+        ["polynomial", d] => Ok(Kernel::Polynomial {
+            degree: d
+                .parse()
+                .map_err(|_| SvmError::Persist(format!("bad polynomial degree `{d}`")))?,
+        }),
+        ["rbf", g] => Ok(Kernel::Rbf {
+            gamma: decode_f64(g)?,
+        }),
+        _ => Err(SvmError::Persist(format!(
+            "unknown kernel spec `{}`",
+            parts.join(" ")
+        ))),
+    }
+}
+
+impl SvmModel {
+    /// Serialises the model as versioned plain text (bit-exact; see the
+    /// module docs for the format).
+    pub fn to_text(&self) -> String {
+        let n_sv = self.n_support_vectors();
+        let n_feat = self.n_features();
+        let mut out = String::with_capacity(64 + n_sv * (n_feat + 2) * 17);
+        out.push_str(&format!("svmmodel v{SVMMODEL_FORMAT_VERSION}\n"));
+        out.push_str(&format!("kernel {}\n", kernel_to_text(self.kernel())));
+        out.push_str(&format!("bias {}\n", encode_f64(self.bias())));
+        out.push_str(&format!("n_sv {n_sv}\n"));
+        out.push_str(&format!("n_feat {n_feat}\n"));
+        for ((sv, &alpha), &label) in self
+            .support_vectors()
+            .rows()
+            .zip(self.alphas().iter())
+            .zip(self.labels().iter())
+        {
+            out.push_str("sv ");
+            out.push_str(&encode_f64(alpha));
+            out.push_str(if label > 0.0 { " +1" } else { " -1" });
+            for &v in sv {
+                out.push(' ');
+                out.push_str(&encode_f64(v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a model previously written by [`SvmModel::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::Persist`] on a wrong header/version, missing
+    /// or malformed fields, or a support-vector count/width mismatch.
+    pub fn from_text(text: &str) -> Result<SvmModel, SvmError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| SvmError::Persist("empty model text".into()))?;
+        if header.trim() != format!("svmmodel v{SVMMODEL_FORMAT_VERSION}") {
+            return Err(SvmError::Persist(format!(
+                "unsupported model header `{header}` (expected `svmmodel v{SVMMODEL_FORMAT_VERSION}`)"
+            )));
+        }
+        let mut kernel = None;
+        let mut bias = None;
+        let mut n_sv = None;
+        let mut n_feat = None;
+        let mut svs: Option<DenseMatrix<f64>> = None;
+        let mut alphas = Vec::new();
+        let mut labels = Vec::new();
+        for line in lines {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["kernel", rest @ ..] => kernel = Some(kernel_from_text(rest)?),
+                ["bias", v] => bias = Some(decode_f64(v)?),
+                ["n_sv", v] => n_sv = Some(parse_usize(v, "n_sv")?),
+                ["n_feat", v] => {
+                    if n_feat.is_some() {
+                        return Err(SvmError::Persist("duplicate n_feat line".into()));
+                    }
+                    let d = parse_usize(v, "n_feat")?;
+                    n_feat = Some(d);
+                    svs = Some(DenseMatrix::with_cols(d));
+                }
+                ["sv", alpha, label, feats @ ..] => {
+                    let m = svs
+                        .as_mut()
+                        .ok_or_else(|| SvmError::Persist("sv line before n_feat".into()))?;
+                    alphas.push(decode_f64(alpha)?);
+                    labels.push(match *label {
+                        "+1" => 1.0,
+                        "-1" => -1.0,
+                        other => {
+                            return Err(SvmError::Persist(format!("bad sv label `{other}`")));
+                        }
+                    });
+                    let row = feats
+                        .iter()
+                        .map(|f| decode_f64(f))
+                        .collect::<Result<Vec<f64>, _>>()?;
+                    if row.len() != m.n_cols() {
+                        return Err(SvmError::Persist(format!(
+                            "sv width {} does not match n_feat {}",
+                            row.len(),
+                            m.n_cols()
+                        )));
+                    }
+                    m.push_row(&row);
+                }
+                _ => {
+                    return Err(SvmError::Persist(format!("unrecognised line `{line}`")));
+                }
+            }
+        }
+        let kernel = kernel.ok_or_else(|| SvmError::Persist("missing kernel".into()))?;
+        let bias = bias.ok_or_else(|| SvmError::Persist("missing bias".into()))?;
+        let svs = svs.ok_or_else(|| SvmError::Persist("missing n_feat".into()))?;
+        debug_assert_eq!(svs.n_rows(), alphas.len());
+        debug_assert_eq!(svs.n_rows(), labels.len());
+        if let Some(expect) = n_sv {
+            if svs.n_rows() != expect {
+                return Err(SvmError::Persist(format!(
+                    "n_sv says {expect} support vectors but {} sv lines found",
+                    svs.n_rows()
+                )));
+            }
+        }
+        let declared = n_feat.ok_or_else(|| SvmError::Persist("missing n_feat".into()))?;
+        debug_assert_eq!(svs.n_cols(), declared);
+        Ok(SvmModel::from_parts(kernel, svs, alphas, labels, bias))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> SvmModel {
+        SvmModel::from_parts(
+            Kernel::Polynomial { degree: 2 },
+            DenseMatrix::from_rows(&[vec![1.25, -0.3], vec![-0.75, 2.0e-17]]),
+            vec![0.5, 0.125],
+            vec![1.0, -1.0],
+            -0.062_517_3,
+        )
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let m = toy_model();
+        let text = m.to_text();
+        let back = SvmModel::from_text(&text).unwrap();
+        assert_eq!(m, back);
+        for row in [[0.3, -1.7], [1e-300, 1e300], [0.0, -0.0]] {
+            assert_eq!(
+                m.decision_value(&row).to_bits(),
+                back.decision_value(&row).to_bits()
+            );
+        }
+        // Text survives a second round trip unchanged.
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn all_kernels_round_trip() {
+        for kernel in [
+            Kernel::Linear,
+            Kernel::Polynomial { degree: 3 },
+            Kernel::Rbf { gamma: 0.173 },
+        ] {
+            let m = SvmModel::from_parts(
+                kernel,
+                DenseMatrix::from_rows(&[vec![1.0]]),
+                vec![1.0],
+                vec![1.0],
+                0.0,
+            );
+            assert_eq!(SvmModel::from_text(&m.to_text()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn f64_hex_round_trips_special_values() {
+        for v in [0.0, -0.0, f64::MIN_POSITIVE, f64::MAX, -1.5e-300] {
+            assert_eq!(decode_f64(&encode_f64(v)).unwrap().to_bits(), v.to_bits());
+        }
+        assert!(decode_f64("not-hex").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(SvmModel::from_text("").is_err());
+        assert!(SvmModel::from_text("svmmodel v99\n").is_err());
+        assert!(SvmModel::from_text("svmmodel v1\nkernel warp 9\n").is_err());
+        let good = toy_model().to_text();
+        // Wrong declared SV count.
+        let bad = good.replace("n_sv 2", "n_sv 3");
+        assert!(SvmModel::from_text(&bad).is_err());
+        // Unknown line.
+        let bad = format!("{good}gibberish\n");
+        assert!(SvmModel::from_text(&bad).is_err());
+        // sv line before the width is known.
+        assert!(SvmModel::from_text("svmmodel v1\nsv 0 +1 0\n").is_err());
+        // Repeated n_feat must be an error, not a panic: a second matrix
+        // reset would desynchronise the SV block from alphas/labels.
+        let z = encode_f64(0.0);
+        let dup = format!(
+            "svmmodel v1\nkernel linear\nbias {z}\nn_feat 1\nsv {z} +1 {z}\nn_feat 1\nsv {z} -1 {z}\n"
+        );
+        assert!(matches!(
+            SvmModel::from_text(&dup),
+            Err(SvmError::Persist(_))
+        ));
+    }
+}

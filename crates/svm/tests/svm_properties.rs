@@ -6,6 +6,7 @@
 use ecg_features::DenseMatrix;
 use svm::kernel::Kernel;
 use svm::smo::{SmoConfig, SmoTrainer};
+use svm::ClassifierEngine;
 
 /// Builds a two-blob problem with controllable separation.
 fn blobs(n_per_class: usize, separation: f64, seed: u64) -> (DenseMatrix<f64>, Vec<f64>) {
@@ -89,7 +90,7 @@ fn separable_problems_are_solved() {
         };
         let model = SmoTrainer::new(cfg).train(&x, &y).unwrap();
         // Batch and per-row predictions must agree and be perfect.
-        let batch = model.predict_batch(&x);
+        let batch = model.classify_batch(&x);
         for ((xi, &yi), &pi) in x.rows().zip(y.iter()).zip(batch.iter()) {
             assert_eq!(model.predict(xi), yi, "seed {seed}");
             assert_eq!(pi, yi, "batch mismatch at seed {seed}");
@@ -147,7 +148,7 @@ fn duplication_preserves_training_accuracy() {
         y2.extend(y.iter().copied());
         let m2 = SmoTrainer::new(cfg).train(&x2, &y2).unwrap();
         let acc = |m: &svm::SvmModel| {
-            m.predict_batch(&x)
+            m.classify_batch(&x)
                 .iter()
                 .zip(y.iter())
                 .filter(|(&p, &yi)| p == yi)

@@ -78,6 +78,12 @@ fn main() {
     // perf-trajectory baseline: the repo-root file is only rewritten when
     // explicitly requested; otherwise results land under target/.
     let out = if std::env::var("BENCH_WRITE_BASELINE").is_ok() {
+        assert!(
+            !h.filter_active(),
+            "refusing to write the committed baseline from a \
+             BENCH_FILTER-restricted run (skipped benches would bake NaN \
+             ratios into BENCH_batch_parallel.json)"
+        );
         format!(
             "{}/../../BENCH_batch_parallel.json",
             env!("CARGO_MANIFEST_DIR")

@@ -94,9 +94,24 @@ fn main() {
 
     h.report();
 
-    // Steady-state per-window numbers from one instrumented replay each.
-    let float_stats = replay(&float_engine, cfg, &rec.ecg, chunk_1s);
-    let quant_stats = replay(&quant_engine, cfg, &rec.ecg, chunk_1s);
+    // Steady-state per-window numbers: best (lowest mean latency) of
+    // several instrumented replays per engine, alternating float and
+    // quantised within each round so warm-up/frequency drift cannot
+    // systematically favour whichever engine runs later — per-window
+    // time is dominated by feature extraction, which both engines share.
+    let better = |a: StreamStats, b: StreamStats| -> StreamStats {
+        if a.mean_latency_ns() <= b.mean_latency_ns() {
+            a
+        } else {
+            b
+        }
+    };
+    let mut float_stats = replay(&float_engine, cfg, &rec.ecg, chunk_1s);
+    let mut quant_stats = replay(&quant_engine, cfg, &rec.ecg, chunk_1s);
+    for _ in 0..4 {
+        float_stats = better(float_stats, replay(&float_engine, cfg, &rec.ecg, chunk_1s));
+        quant_stats = better(quant_stats, replay(&quant_engine, cfg, &rec.ecg, chunk_1s));
+    }
     println!("\nper-window streaming stats (one session replay):");
     for (name, s) in [("float", &float_stats), ("quantized", &quant_stats)] {
         println!(
@@ -117,6 +132,12 @@ fn main() {
     // Smoke runs must not clobber the committed baseline: the repo-root
     // file is only rewritten when explicitly requested.
     let out = if std::env::var("BENCH_WRITE_BASELINE").is_ok() {
+        assert!(
+            !h.filter_active(),
+            "refusing to write the committed baseline from a \
+             BENCH_FILTER-restricted run (skipped benches would bake NaN \
+             ratios into BENCH_streaming.json)"
+        );
         format!("{}/../../BENCH_streaming.json", env!("CARGO_MANIFEST_DIR"))
     } else {
         let dir = format!("{}/../../target", env!("CARGO_MANIFEST_DIR"));

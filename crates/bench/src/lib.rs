@@ -10,7 +10,12 @@
 //!
 //! * `BENCH_SAMPLE_MS` — target wall-clock per sample in milliseconds
 //!   (default 50; CI smoke runs set a small value);
-//! * `BENCH_SAMPLES` — samples per benchmark (default 7).
+//! * `BENCH_SAMPLES` — samples per benchmark (default 7);
+//! * `BENCH_FILTER` — substring filter on benchmark names: non-matching
+//!   benchmarks are skipped (recorded as nothing, returned as NaN), so a
+//!   CI smoke run can execute a single benchmark out of a suite. Bench
+//!   targets can pre-check [`Harness::enabled`] to skip expensive setup
+//!   for filtered-out benchmarks.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -42,6 +47,9 @@ pub struct Harness {
     sample_ms: Option<f64>,
     /// Explicit sample-count override (else `BENCH_SAMPLES`).
     samples: Option<usize>,
+    /// Name-substring filter (else `BENCH_FILTER`); `Some` skips
+    /// non-matching benchmarks.
+    filter: Option<String>,
 }
 
 fn sample_ms() -> f64 {
@@ -59,14 +67,23 @@ fn n_samples() -> usize {
         .max(1)
 }
 
+fn env_filter() -> Option<String> {
+    std::env::var("BENCH_FILTER").ok().filter(|f| !f.is_empty())
+}
+
 impl Harness {
-    /// Empty harness; timing knobs come from the environment
-    /// (`BENCH_SAMPLE_MS`, `BENCH_SAMPLES`).
+    /// Empty harness; timing knobs and the name filter come from the
+    /// environment (`BENCH_SAMPLE_MS`, `BENCH_SAMPLES`, `BENCH_FILTER`).
     pub fn new() -> Self {
-        Harness::default()
+        Harness {
+            filter: env_filter(),
+            ..Harness::default()
+        }
     }
 
-    /// Harness with explicit timing knobs (ignores the environment).
+    /// Harness with explicit timing knobs, fully environment-independent
+    /// (neither the timing variables nor `BENCH_FILTER` apply — explicit
+    /// configuration means explicit behaviour).
     pub fn with_config(sample_ms: f64, samples: usize) -> Self {
         Harness {
             sample_ms: Some(sample_ms),
@@ -75,10 +92,28 @@ impl Harness {
         }
     }
 
+    /// Whether a `BENCH_FILTER` restriction is in effect — baseline
+    /// writers check this so a filtered run (with NaN ratios for the
+    /// skipped benchmarks) never overwrites a committed baseline.
+    pub fn filter_active(&self) -> bool {
+        self.filter.is_some()
+    }
+
+    /// Whether `name` passes the `BENCH_FILTER` substring filter — lets
+    /// bench targets skip expensive setup for filtered-out benchmarks.
+    pub fn enabled(&self, name: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| name.contains(f))
+    }
+
     /// Times `f`, auto-calibrating the per-sample iteration count so one
     /// sample takes roughly `BENCH_SAMPLE_MS`, and records the summary.
-    /// Returns the median ns/iter for ad-hoc comparisons.
+    /// Returns the median ns/iter for ad-hoc comparisons (NaN when the
+    /// benchmark is filtered out by `BENCH_FILTER`).
     pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) -> f64 {
+        if !self.enabled(name) {
+            eprintln!("{name:<48} skipped (BENCH_FILTER)");
+            return f64::NAN;
+        }
         // Calibration: run once (warm-up), then scale to the target budget.
         let t0 = Instant::now();
         black_box(f());
@@ -219,5 +254,21 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut h = Harness {
+            filter: Some("keep".to_string()),
+            ..Harness::with_config(1.0, 2)
+        };
+        assert!(h.enabled("keep_this"));
+        assert!(!h.enabled("drop_this"));
+        let skipped = h.bench("drop_this", || 1);
+        assert!(skipped.is_nan());
+        let ran = h.bench("keep_this", || 1);
+        assert!(ran.is_finite());
+        assert_eq!(h.records().len(), 1);
+        assert_eq!(h.records()[0].name, "keep_this");
     }
 }

@@ -21,14 +21,22 @@
 //! "64-bit has the same accuracy as floating point" observation.
 
 use crate::error::CoreError;
+use crate::kernels;
 use crate::trained::FloatPipeline;
 use ecg_features::DenseMatrix;
-use fixedpoint::fixed::truncate_lsbs;
 use fixedpoint::quantize::Quantizer;
 use fixedpoint::FeatureScales;
 use hwmodel::pipeline::AcceleratorConfig;
+use std::cell::RefCell;
 use svm::classifier::{ClassifierEngine, EngineInfo};
 use svm::Kernel;
+
+thread_local! {
+    /// Per-thread feature-code scratch for the row entry points, so the
+    /// streaming hot loop (`engine.decision(row)` per window) encodes
+    /// without a heap allocation per call.
+    static CODE_SCRATCH: RefCell<Vec<i64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Bit-level configuration of the tailored pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +140,16 @@ impl Default for BitConfig {
 /// Largest `D_bits` for which the exact integer path is used.
 const MAX_EXACT_D_BITS: u32 = 26;
 
+/// The hardware sign-bit convention on an accumulator code: ties
+/// positive.
+fn sign_of_code(code: i128) -> f64 {
+    if code >= 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
 /// The quantised inference engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedEngine {
@@ -150,6 +168,19 @@ pub struct QuantizedEngine {
     sv_values: DenseMatrix<f64>,
     alpha_values: Vec<f64>,
     bias_value: f64,
+    /// Whether the exact path runs the i64 micro-kernel
+    /// ([`kernels::quant_dot_fits_i64`] at this engine's shape).
+    fast_i64: bool,
+    /// Cached feature quantiser (exact path).
+    feat_q: Quantizer,
+    /// Cached per-feature scale reciprocals `2^-(R_j + G)` — multiplying
+    /// by an exact power of two is bit-identical to the division it
+    /// replaces, without the per-element `exp2`.
+    inv_div: Vec<f64>,
+    /// Cached reciprocal of the feature LSB (`2^-lsb_exp`).
+    inv_lsb: f64,
+    /// Cached saturation bound `2^-G`.
+    bound: f64,
 }
 
 impl QuantizedEngine {
@@ -231,17 +262,30 @@ impl QuantizedEngine {
             }
         };
 
+        let feature_indices = p.feature_indices().to_vec();
+        let scales = p.scales().clone();
+        let fast_i64 = kernels::quant_dot_fits_i64(guard, bits.d_bits, feature_indices.len());
+        let inv_div: Vec<f64> = scales
+            .r
+            .iter()
+            .map(|&r| (-(r + guard) as f64).exp2())
+            .collect();
         Ok(QuantizedEngine {
             bits,
             guard,
-            feature_indices: p.feature_indices().to_vec(),
-            scales: p.scales().clone(),
+            feature_indices,
+            scales,
             sv_codes,
             alpha_codes,
             bias_code,
             sv_values,
             alpha_values,
             bias_value,
+            fast_i64,
+            feat_q,
+            inv_div,
+            inv_lsb: (-feat_q.lsb_exp as f64).exp2(),
+            bound: (-guard as f64).exp2(),
         })
     }
 
@@ -253,6 +297,23 @@ impl QuantizedEngine {
     /// Number of support vectors in the engine memory.
     pub fn n_support_vectors(&self) -> usize {
         self.sv_codes.n_rows()
+    }
+
+    /// The quantised SV code image (exact path) — the software mirror of
+    /// the accelerator's SV memory, exposed read-only for inspection,
+    /// benches and hardware export.
+    pub fn sv_codes(&self) -> &DenseMatrix<i64> {
+        &self.sv_codes
+    }
+
+    /// The quantised `αᵢyᵢ` code memory (exact path).
+    pub fn alpha_codes(&self) -> &[i64] {
+        &self.alpha_codes
+    }
+
+    /// The bias code at the MAC2 accumulator scale (exact path).
+    pub fn bias_code(&self) -> i128 {
+        self.bias_code
     }
 
     /// Feature dimensionality.
@@ -284,17 +345,31 @@ impl QuantizedEngine {
     /// In-place variant of [`QuantizedEngine::encode_features`]: clears
     /// and refills `out`, so batch loops reuse one code buffer instead of
     /// allocating per row.
+    ///
+    /// The hot-loop form of select → shift → saturating round: all scale
+    /// factors are cached powers of two, so the multiplications are
+    /// bit-identical to the `exp2`-and-divide reference (pinned by the
+    /// `encode_matches_quantizer_reference` test).
     pub fn encode_features_into(&self, raw_row: &[f64], out: &mut Vec<i64>) {
-        let q = Quantizer::for_range_exponent(-self.guard, self.bits.d_bits);
-        let bound = (-self.guard as f64).exp2();
+        let max_code = self.feat_q.max_code();
+        let min_code = self.feat_q.min_code();
         out.clear();
         out.extend(
             self.feature_indices
                 .iter()
-                .zip(self.scales.r.iter())
-                .map(|(&j, &r)| {
-                    let norm = (raw_row[j] / ((r + self.guard) as f64).exp2()).clamp(-bound, bound);
-                    q.encode(norm)
+                .zip(self.inv_div.iter())
+                .map(|(&j, &inv)| {
+                    let norm = (raw_row[j] * inv).clamp(-self.bound, self.bound);
+                    let q = (norm * self.inv_lsb).round();
+                    if q >= max_code as f64 {
+                        max_code
+                    } else if q <= min_code as f64 {
+                        min_code
+                    } else {
+                        // NaN input falls through here and casts to 0,
+                        // matching `Quantizer::encode`.
+                        q as i64
+                    }
                 }),
         );
     }
@@ -327,28 +402,102 @@ impl QuantizedEngine {
     }
 
     /// Decision value in accumulator LSBs (exact path) — exposed so tests
-    /// and the Fig 6 exploration can inspect quantisation margins.
+    /// and the Fig 6 exploration can inspect quantisation margins. Uses a
+    /// thread-local code scratch, so per-row streaming calls stay
+    /// allocation-free.
     pub fn decision_code(&self, raw_row: &[f64]) -> i128 {
-        self.decision_code_of(&self.encode_features(raw_row))
+        CODE_SCRATCH.with(|scratch| {
+            let mut codes = scratch.borrow_mut();
+            self.encode_features_into(raw_row, &mut codes);
+            self.decision_code_of(&codes)
+        })
     }
 
-    /// Exact-path decision value from already-encoded feature codes.
+    /// Whether the exact integer path ([`QuantizedEngine::decision_code`])
+    /// runs on the i64 micro-kernel, i.e.
+    /// [`kernels::quant_dot_fits_i64`] holds at this engine's shape —
+    /// exactly the dispatch `decision_code_of` performs. Note the
+    /// [`ClassifierEngine`] entry points only *consume* the exact path up
+    /// to `D_bits = 26`; wider configs classify through the float
+    /// simulation regardless of this flag.
+    pub fn uses_i64_fast_path(&self) -> bool {
+        self.fast_i64
+    }
+
+    /// Exponent of the kernel's `+1` constant at product scale.
+    fn one_exp(&self) -> u32 {
+        (2 * (self.guard + self.bits.d_bits as i32 - 1)) as u32
+    }
+
+    /// Exact-path decision value from already-encoded feature codes:
+    /// the i64 micro-kernel under the threshold rule, the i128 reference
+    /// above it — bit-identical by construction.
     fn decision_code_of(&self, codes: &[i64]) -> i128 {
-        let d = self.bits.d_bits as i32;
-        // The "+1" constant at the product scale 2^(2*lsb_f).
-        let one = 1i128 << (2 * (self.guard + d - 1));
-        let mut acc2: i128 = 0;
-        for (sv, &ac) in self.sv_codes.rows().zip(self.alpha_codes.iter()) {
-            let mut dot: i128 = 0;
-            for (&t, &v) in codes.iter().zip(sv.iter()) {
-                dot += (t as i128) * (v as i128);
-            }
-            let with_one = dot + one;
-            let k_in = truncate_lsbs(with_one, self.bits.post_dot_truncate);
-            let squared = truncate_lsbs(k_in * k_in, self.bits.post_square_truncate);
-            acc2 += (ac as i128) * squared;
+        if self.fast_i64 {
+            kernels::decision_code_i64(
+                codes,
+                &self.sv_codes,
+                &self.alpha_codes,
+                1i64 << self.one_exp(),
+                self.bits.post_dot_truncate,
+                self.bits.post_square_truncate,
+                self.bias_code,
+            )
+        } else {
+            self.decision_code_of_i128(codes)
         }
-        acc2 + self.bias_code
+    }
+
+    /// The i128 reference accumulator, unconditionally.
+    fn decision_code_of_i128(&self, codes: &[i64]) -> i128 {
+        kernels::decision_code_i128(
+            codes,
+            &self.sv_codes,
+            &self.alpha_codes,
+            1i128 << self.one_exp(),
+            self.bits.post_dot_truncate,
+            self.bits.post_square_truncate,
+            self.bias_code,
+        )
+    }
+
+    /// Batch classification forced onto the exact i128 reference
+    /// accumulator (the pre-micro-kernel datapath), regardless of the
+    /// threshold rule — the oracle the equivalence tests and the kernel
+    /// bench compare the fast path against. Float-sim configs
+    /// (`D_bits > 26`) fall back to the same float simulation as
+    /// `classify_batch`.
+    pub fn classify_batch_i128_reference(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
+        self.batch_with(
+            rows,
+            |e, codes| e.decision_code_of_i128(codes),
+            sign_of_code,
+            |e, row| e.classify_float_sim(row),
+        )
+    }
+
+    /// Shared batch skeleton: on the exact path, encodes every row into
+    /// one reused code buffer and maps its decision code through
+    /// `map_code`; wide configs run `float_sim` per row. All three batch
+    /// entry points (decision, classify, i128 reference) are instances.
+    fn batch_with(
+        &self,
+        rows: &DenseMatrix<f64>,
+        code_of: impl Fn(&Self, &[i64]) -> i128,
+        map_code: impl Fn(i128) -> f64,
+        float_sim: impl Fn(&Self, &[f64]) -> f64,
+    ) -> Vec<f64> {
+        if self.bits.d_bits <= MAX_EXACT_D_BITS {
+            let mut codes = Vec::with_capacity(self.feature_indices.len());
+            rows.rows()
+                .map(|row| {
+                    self.encode_features_into(row, &mut codes);
+                    map_code(code_of(self, &codes))
+                })
+                .collect()
+        } else {
+            rows.rows().map(|row| float_sim(self, row)).collect()
+        }
     }
 
     fn classify_exact(&self, raw_row: &[f64]) -> f64 {
@@ -406,42 +555,24 @@ impl ClassifierEngine for QuantizedEngine {
     /// Bit-identical to mapping `decision` over the rows; the exact path
     /// reuses one feature-code buffer across the whole batch.
     fn decision_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
-        if self.bits.d_bits <= MAX_EXACT_D_BITS {
-            let mut codes = Vec::with_capacity(self.feature_indices.len());
-            rows.rows()
-                .map(|row| {
-                    self.encode_features_into(row, &mut codes);
-                    self.decision_code_of(&codes) as f64
-                })
-                .collect()
-        } else {
-            rows.rows()
-                .map(|row| self.decision_float_sim(row))
-                .collect()
-        }
+        self.batch_with(
+            rows,
+            |e, codes| e.decision_code_of(codes),
+            |code| code as f64,
+            |e, row| e.decision_float_sim(row),
+        )
     }
 
     /// Bit-identical to mapping [`QuantizedEngine::classify`] over the
     /// rows; the exact path reuses one feature-code buffer across the
     /// whole batch and streams the contiguous SV-code block per row.
     fn classify_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
-        if self.bits.d_bits <= MAX_EXACT_D_BITS {
-            let mut codes = Vec::with_capacity(self.feature_indices.len());
-            rows.rows()
-                .map(|row| {
-                    self.encode_features_into(row, &mut codes);
-                    if self.decision_code_of(&codes) >= 0 {
-                        1.0
-                    } else {
-                        -1.0
-                    }
-                })
-                .collect()
-        } else {
-            rows.rows()
-                .map(|row| self.classify_float_sim(row))
-                .collect()
-        }
+        self.batch_with(
+            rows,
+            |e, codes| e.decision_code_of(codes),
+            sign_of_code,
+            |e, row| e.classify_float_sim(row),
+        )
     }
 
     fn n_features(&self) -> usize {
@@ -615,6 +746,75 @@ mod tests {
         for &a in &e.alpha_codes {
             assert!((-(1i64 << 14)..=(1i64 << 14) - 1).contains(&a));
         }
+    }
+
+    #[test]
+    fn paper_grid_runs_the_i64_fast_path() {
+        let m = matrix();
+        let p = pipeline(&m);
+        for d in [2u32, 9, 16] {
+            let e = QuantizedEngine::from_pipeline(&p, BitConfig::new(d, 15)).unwrap();
+            assert!(e.uses_i64_fast_path(), "d_bits {d}");
+        }
+        // The wide homogeneous reference stays off the integer path.
+        let wide = QuantizedEngine::from_pipeline(&p, BitConfig::uniform(63)).unwrap();
+        assert!(!wide.uses_i64_fast_path());
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_i128_reference() {
+        let m = matrix();
+        let p = pipeline(&m);
+        for bits in [
+            BitConfig::paper_choice(),
+            BitConfig::new(2, 4),
+            BitConfig::new(16, 16),
+            BitConfig::new(24, 24),
+        ] {
+            let e = QuantizedEngine::from_pipeline(&p, bits).unwrap();
+            assert!(e.uses_i64_fast_path(), "{bits:?}");
+            let fast = e.classify_batch(&m.features);
+            let reference = e.classify_batch_i128_reference(&m.features);
+            assert_eq!(fast, reference, "{bits:?}");
+            for row in m.rows().take(30) {
+                let code = e.decision_code(row);
+                let wide = e.decision_code_of_i128(&e.encode_features(row));
+                assert_eq!(code, wide, "{bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_matches_quantizer_reference() {
+        // The cached power-of-two multiplications must reproduce the
+        // exp2-and-divide Quantizer reference bit for bit, including NaN
+        // and saturating inputs.
+        let m = matrix();
+        let p = pipeline(&m);
+        let e = QuantizedEngine::from_pipeline(&p, BitConfig::paper_choice()).unwrap();
+        let q = Quantizer::for_range_exponent(-e.guard, e.bits.d_bits);
+        let bound = (-e.guard as f64).exp2();
+        let reference = |raw_row: &[f64]| -> Vec<i64> {
+            e.feature_indices
+                .iter()
+                .zip(e.scales.r.iter())
+                .map(|(&j, &r)| {
+                    let norm = (raw_row[j] / ((r + e.guard) as f64).exp2()).clamp(-bound, bound);
+                    q.encode(norm)
+                })
+                .collect()
+        };
+        for row in m.rows().take(40) {
+            assert_eq!(e.encode_features(row), reference(row));
+        }
+        let mut weird = m.row(0).to_vec();
+        weird[0] = f64::NAN;
+        weird[1] = f64::INFINITY;
+        weird[2] = f64::NEG_INFINITY;
+        weird[3] = 1e300;
+        weird[4] = -1e300;
+        weird[5] = 1e-300;
+        assert_eq!(e.encode_features(&weird), reference(&weird));
     }
 
     #[test]

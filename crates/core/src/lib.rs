@@ -82,6 +82,7 @@ pub mod error;
 pub mod eval;
 pub mod explore;
 pub mod featsel;
+pub mod kernels;
 pub mod parallel;
 pub mod quickfeat;
 pub mod stream;

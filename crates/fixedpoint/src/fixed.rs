@@ -18,6 +18,18 @@ pub fn truncate_lsbs(v: i128, k: u32) -> i128 {
     v >> k
 }
 
+/// Narrow twin of [`truncate_lsbs`] for the i64 fast datapath: identical
+/// semantics (arithmetic shift, floor rounding) on 64-bit accumulators.
+pub fn truncate_lsbs_i64(v: i64, k: u32) -> i64 {
+    if k == 0 {
+        return v;
+    }
+    if k >= 63 {
+        return if v < 0 { -1 } else { 0 };
+    }
+    v >> k
+}
+
 /// Saturates `v` into a signed `bits`-wide two's-complement range.
 ///
 /// # Panics
@@ -71,6 +83,30 @@ mod tests {
         assert_eq!(truncate_lsbs(12345, 0), 12345);
         assert_eq!(truncate_lsbs(5, 127), 0);
         assert_eq!(truncate_lsbs(-5, 127), -1);
+    }
+
+    #[test]
+    fn i64_truncation_matches_wide_truncation() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            1023,
+            1024,
+            -1024,
+            -1025,
+            12345,
+            i64::MAX,
+            i64::MIN,
+        ] {
+            for k in [0u32, 1, 10, 62, 63, 64, 127] {
+                assert_eq!(
+                    truncate_lsbs_i64(v, k) as i128,
+                    truncate_lsbs(v as i128, k),
+                    "v={v} k={k}"
+                );
+            }
+        }
     }
 
     #[test]

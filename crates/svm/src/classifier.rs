@@ -98,6 +98,31 @@ impl ClassifierEngine for SvmModel {
         self.predict(row)
     }
 
+    /// SV-panel-tiled batch kernel
+    /// ([`crate::kernel::block::decision_batch_into`]); bit-identical to
+    /// mapping `decision` over the rows.
+    fn decision_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
+        let mut out = Vec::new();
+        crate::kernel::block::decision_batch_into(
+            self.kernel(),
+            rows,
+            self.support_vectors(),
+            self.sv_sq_norms(),
+            self.alpha_y(),
+            self.bias(),
+            &mut out,
+        );
+        out
+    }
+
+    /// Sign of the tiled batch decisions (ties positive).
+    fn classify_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
+        self.decision_batch(rows)
+            .into_iter()
+            .map(|d| if d >= 0.0 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
     fn n_features(&self) -> usize {
         SvmModel::n_features(self)
     }

@@ -1,4 +1,7 @@
-//! Kernel functions.
+//! Kernel functions, plus the float micro-kernel layer ([`block`]) every
+//! decision path computes them with.
+
+pub mod block;
 
 /// Kernel function `k(u, v)` defining the separating surface complexity
 /// (Table I of the paper compares all four shapes on the seizure task).
@@ -26,7 +29,8 @@ impl Default for Kernel {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices — the shared fixed-order
+/// unrolled micro-kernel ([`block::dot4`]).
 ///
 /// # Panics
 ///
@@ -34,7 +38,7 @@ impl Default for Kernel {
 #[inline]
 pub fn dot(u: &[f64], v: &[f64]) -> f64 {
     debug_assert_eq!(u.len(), v.len());
-    u.iter().zip(v.iter()).map(|(a, b)| a * b).sum()
+    block::dot4(u, v)
 }
 
 impl Kernel {

@@ -1,6 +1,6 @@
 //! Trained SVM model: the decision function of Eq 1/3.
 
-use crate::kernel::Kernel;
+use crate::kernel::{block, Kernel};
 use ecg_features::DenseMatrix;
 
 /// A trained two-class SVM:
@@ -21,6 +21,9 @@ pub struct SvmModel {
     bias: f64,
     /// Cached `αᵢyᵢ` products (the hot coefficients of the decision sum).
     alpha_y: Vec<f64>,
+    /// Cached per-SV squared norms `‖xᵢ‖²`, feeding the micro-kernel's
+    /// norm-form RBF evaluation (`‖u − v‖² = ‖u‖² + ‖v‖² − 2·u·v`).
+    sv_sq_norms: Vec<f64>,
 }
 
 impl SvmModel {
@@ -56,6 +59,7 @@ impl SvmModel {
             .zip(labels.iter())
             .map(|(&a, &y)| a * y)
             .collect();
+        let sv_sq_norms = block::sq_norms(&support_vectors);
         SvmModel {
             kernel,
             support_vectors,
@@ -63,6 +67,7 @@ impl SvmModel {
             labels,
             bias,
             alpha_y,
+            sv_sq_norms,
         }
     }
 
@@ -107,13 +112,24 @@ impl SvmModel {
         &self.alpha_y
     }
 
-    /// Decision value `f(x)` (distance-like score, positive ⇒ seizure).
+    /// Decision value `f(x)` (distance-like score, positive ⇒ seizure),
+    /// computed through the shared float micro-kernel
+    /// ([`block::decision`]) — the same code path as the batch and
+    /// streaming entry points, so all three stay mutually bit-identical.
     pub fn decision_value(&self, x: &[f64]) -> f64 {
-        let mut acc = self.bias;
-        for (sv, &ay) in self.support_vectors.rows().zip(self.alpha_y.iter()) {
-            acc += ay * self.kernel.eval(x, sv);
-        }
-        acc
+        block::decision(
+            self.kernel,
+            x,
+            &self.support_vectors,
+            &self.sv_sq_norms,
+            &self.alpha_y,
+            self.bias,
+        )
+    }
+
+    /// Cached per-SV squared norms (aligned with the SV block rows).
+    pub fn sv_sq_norms(&self) -> &[f64] {
+        &self.sv_sq_norms
     }
 
     /// Predicted class: `+1.0` or `-1.0` (ties break positive, matching

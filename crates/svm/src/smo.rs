@@ -5,7 +5,7 @@
 //! memory and falls back to an LRU row cache for larger ones.
 
 use crate::error::SvmError;
-use crate::kernel::Kernel;
+use crate::kernel::{block, Kernel};
 use crate::model::SvmModel;
 use ecg_features::DenseMatrix;
 use std::collections::VecDeque;
@@ -62,12 +62,16 @@ pub struct SmoTrainer {
     cfg: SmoConfig,
 }
 
-/// Kernel value provider: full Gram or LRU row cache.
+/// Kernel value provider: full Gram or LRU row cache. Both fills go
+/// through the float micro-kernel ([`block`]) — the same dot/kernel code
+/// the inference paths run — with squared row norms precomputed once so
+/// the RBF Gram costs one dot per entry.
 enum Gram<'a> {
     Full(Vec<f64>, usize),
     Cached {
         x: &'a DenseMatrix<f64>,
         kernel: Kernel,
+        row_sq: Vec<f64>,
         rows: VecDeque<(usize, Vec<f64>)>,
         cap: usize,
     },
@@ -76,12 +80,17 @@ enum Gram<'a> {
 impl<'a> Gram<'a> {
     fn new(x: &'a DenseMatrix<f64>, kernel: Kernel, max_rows: usize) -> Self {
         let n = x.n_rows();
+        let row_sq: Vec<f64> = if block::uses_norms(kernel) {
+            block::sq_norms(x)
+        } else {
+            vec![0.0; n]
+        };
         if n <= max_rows {
             let mut g = vec![0.0f64; n * n];
             for i in 0..n {
                 let xi = x.row(i);
                 for j in 0..=i {
-                    let v = kernel.eval(xi, x.row(j));
+                    let v = block::eval_prenorm(kernel, xi, row_sq[i], x.row(j), row_sq[j]);
                     g[i * n + j] = v;
                     g[j * n + i] = v;
                 }
@@ -91,6 +100,7 @@ impl<'a> Gram<'a> {
             Gram::Cached {
                 x,
                 kernel,
+                row_sq,
                 rows: VecDeque::new(),
                 cap: 64,
             }
@@ -104,6 +114,7 @@ impl<'a> Gram<'a> {
             Gram::Cached {
                 x,
                 kernel,
+                row_sq,
                 rows,
                 cap,
             } => {
@@ -113,8 +124,8 @@ impl<'a> Gram<'a> {
                 if let Some(pos) = rows.iter().position(|(r, _)| *r == j) {
                     return rows[pos].1[i];
                 }
-                let xi = x.row(i);
-                let row: Vec<f64> = x.rows().map(|xj| kernel.eval(xi, xj)).collect();
+                let mut row = Vec::new();
+                block::kernel_row_into(*kernel, x.row(i), row_sq[i], x, row_sq, &mut row);
                 let v = row[j];
                 rows.push_back((i, row));
                 if rows.len() > *cap {

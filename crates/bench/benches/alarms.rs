@@ -1,0 +1,170 @@
+//! Perf-trajectory baseline for the alarm subsystem: per-window alarm
+//! state-machine overhead, batch decision-sequence scans, event scoring,
+//! and the end-to-end stream→alarm path against the plain stream on the
+//! same session.
+//!
+//! Run with `cargo bench -p bench --bench alarms`; results land in
+//! `BENCH_alarms.json` (workspace root only when `BENCH_WRITE_BASELINE`
+//! is set, `target/` otherwise).
+
+use bench::{bb, Harness};
+use ecg_sim::dataset::{DatasetSpec, Scale};
+use seizure_core::alarm::{
+    score_events, truth_events, AlarmConfig, AlarmStateMachine, EventScoring,
+};
+use seizure_core::config::FitConfig;
+use seizure_core::stream::{SharedEngine, StreamConfig, StreamStats, StreamingSession};
+use seizure_core::trained::FloatPipeline;
+use std::sync::Arc;
+
+/// Deterministic synthetic decision sequence: a long mostly-negative
+/// stream with periodic seizure bursts and occasional drops — the shape
+/// the state machine sees in production.
+fn synthetic_decisions(n: usize) -> Vec<Option<f64>> {
+    (0..n)
+        .map(|w| {
+            if w % 97 == 13 {
+                None // dropped window
+            } else if (w % 311) < 6 {
+                Some(1.5) // seizure burst
+            } else {
+                Some(-2.0)
+            }
+        })
+        .collect()
+}
+
+/// Replays a session through a stream (optionally alarmed) in
+/// `chunk_len`-sample chunks; returns the final stats.
+fn replay(
+    engine: &SharedEngine,
+    cfg: StreamConfig,
+    alarm_cfg: Option<AlarmConfig>,
+    ecg: &[f64],
+    chunk_len: usize,
+) -> StreamStats {
+    let mut session = match alarm_cfg {
+        Some(a) => StreamingSession::with_alarms(Arc::clone(engine), cfg, a),
+        None => StreamingSession::new(Arc::clone(engine), cfg),
+    }
+    .expect("stream config");
+    let mut out = Vec::new();
+    for chunk in ecg.chunks(chunk_len) {
+        session.push_samples_into(chunk, &mut out);
+    }
+    session.stats()
+}
+
+fn main() {
+    let mut h = Harness::new();
+    let alarm_cfg = AlarmConfig::default();
+
+    // --- the state machine alone ---
+    let decisions = synthetic_decisions(10_000);
+    let per_window = h.bench("alarm_on_decision_per_window", || {
+        let mut sm = AlarmStateMachine::new(alarm_cfg).expect("config");
+        let mut fired = 0u64;
+        for (w, &d) in decisions.iter().enumerate() {
+            if sm.on_decision(w as u64, (w * 5120) as u64, d).is_some() {
+                fired += 1;
+            }
+        }
+        bb(fired)
+    }) / decisions.len() as f64;
+    h.bench("alarm_scan_10k_windows", || {
+        bb(AlarmStateMachine::scan(alarm_cfg, &decisions, 5120).expect("scan"))
+    });
+
+    // --- event scoring over a day-scale alarm/truth set ---
+    let scoring = EventScoring::for_windows(128.0, 5120);
+    let alarms = AlarmStateMachine::scan(alarm_cfg, &decisions, 5120).expect("scan");
+    let truth: Vec<_> = (0..24)
+        .flat_map(|i| {
+            truth_events(&[ecg_sim::seizure::SeizureEvent::new(
+                600.0 + 3600.0 * i as f64,
+                45.0,
+                1.0,
+            )])
+        })
+        .collect();
+    h.bench("score_events_day_scale", || {
+        bb(score_events(&alarms, &truth, 86_400.0, &scoring))
+    });
+
+    // --- end-to-end: alarmed stream vs plain stream, same session ---
+    let need_streams = h.enabled("stream_plain_session_1s_chunks")
+        || h.enabled("stream_alarmed_session_1s_chunks");
+    let (stream_plain, stream_alarmed, alarmed_stats) = if need_streams {
+        let spec = DatasetSpec::new(Scale::Tiny, 42);
+        let cfg = StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s())
+            .expect("stream config");
+        let matrix = seizure_core::assemble::build_feature_matrix(&spec);
+        let pipeline = FloatPipeline::fit(&matrix, &FitConfig::default()).expect("fit");
+        let engine: SharedEngine = Arc::new(pipeline);
+        // A seizure session and a sensitive operating point, so the
+        // baseline exercises actual alarm traffic.
+        let rec = spec
+            .sessions
+            .iter()
+            .find(|s| !s.seizures.is_empty())
+            .expect("Tiny cohort has seizures")
+            .synthesize();
+        let stream_alarm_cfg = AlarmConfig::k_of_n(1, 2);
+        let chunk_1s = spec.scale.fs() as usize;
+        let plain = h.bench("stream_plain_session_1s_chunks", || {
+            bb(replay(&engine, cfg, None, &rec.ecg, chunk_1s))
+        });
+        let alarmed = h.bench("stream_alarmed_session_1s_chunks", || {
+            bb(replay(
+                &engine,
+                cfg,
+                Some(stream_alarm_cfg),
+                &rec.ecg,
+                chunk_1s,
+            ))
+        });
+        let stats = replay(&engine, cfg, Some(stream_alarm_cfg), &rec.ecg, chunk_1s);
+        (plain, alarmed, stats)
+    } else {
+        (f64::NAN, f64::NAN, StreamStats::default())
+    };
+
+    h.report();
+    println!("\nalarm post-processing: {per_window:.1} ns/window on the synthetic stream");
+    if need_streams {
+        println!(
+            "end-to-end alarmed vs plain stream: {:.3}x ({} windows, {} alarms)",
+            stream_alarmed / stream_plain,
+            alarmed_stats.windows,
+            alarmed_stats.alarms
+        );
+    }
+
+    // Smoke runs must not clobber the committed baseline: the repo-root
+    // file is only rewritten when explicitly requested.
+    let out = if std::env::var("BENCH_WRITE_BASELINE").is_ok() {
+        assert!(
+            !h.filter_active(),
+            "refusing to write the committed baseline from a \
+             BENCH_FILTER-restricted run (skipped benches would bake NaN \
+             ratios into BENCH_alarms.json)"
+        );
+        format!("{}/../../BENCH_alarms.json", env!("CARGO_MANIFEST_DIR"))
+    } else {
+        let dir = format!("{}/../../target", env!("CARGO_MANIFEST_DIR"));
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        format!("{dir}/BENCH_alarms.json")
+    };
+    h.write_json(
+        &out,
+        &[
+            ("suite", "alarms".to_string()),
+            ("alarm_overhead_ns_per_window", format!("{per_window:.1}")),
+            (
+                "alarmed_vs_plain_stream_ratio",
+                format!("{:.3}", stream_alarmed / stream_plain),
+            ),
+            ("alarms_in_session", alarmed_stats.alarms.to_string()),
+        ],
+    );
+}

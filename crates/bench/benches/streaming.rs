@@ -35,7 +35,7 @@ fn main() {
     let spec = DatasetSpec::new(Scale::Tiny, 42);
     let window_s = spec.scale.window_s();
     let fs = spec.scale.fs();
-    let cfg = StreamConfig::non_overlapping(fs, window_s);
+    let cfg = StreamConfig::non_overlapping(fs, window_s).expect("stream config");
 
     let matrix = seizure_core::assemble::build_feature_matrix(&spec);
     let pipeline = FloatPipeline::fit(&matrix, &FitConfig::default()).expect("fit");

@@ -1,0 +1,783 @@
+//! Event-level alarm subsystem: per-window decisions in, clinical alarms
+//! out.
+//!
+//! Per-window labels are how the paper *trains*, but a wearable monitor
+//! is judged on **events**: did an alarm fire for each seizure (event
+//! sensitivity), how often does it cry wolf (false alarms per 24 h), and
+//! how long after electrographic onset does it speak (detection
+//! latency)? This module folds the window-decision stream into
+//! [`AlarmEvent`]s and scores them against ground-truth seizure
+//! intervals:
+//!
+//! ```text
+//!             vote = decision_is_seizure(d)      k of last n?   refractory
+//! decisions ──────────────────────────────► ring ───────────► ⏲ ───► AlarmEvent
+//!   (Option<f64>, dropped = None)           (n votes)          (hold-off)
+//! ```
+//!
+//! The state machine is deliberately tiny and **chunking-independent**:
+//! it consumes one window at a time, so driving it online from
+//! [`crate::stream::StreamingSession`] produces alarms bit-identical to
+//! scanning the batch decision sequence — the property the
+//! `alarm_equivalence` suite pins for both engine backends.
+//!
+//! Everything on the class side of a decision goes through the single
+//! shared [`decision_is_seizure`] boundary helper (`d >= 0.0` ⇒
+//! seizure), so the alarm layer can never disagree with batch metrics or
+//! streaming about boundary windows.
+
+use crate::error::CoreError;
+use ecg_features::extract::{ExtractScratch, WindowExtractor};
+use ecg_features::{DenseMatrix, N_FEATURES};
+use ecg_sim::seizure::SeizureEvent;
+use ecg_sim::session::SessionRecording;
+use svm::ClassifierEngine;
+
+pub use svm::classifier::decision_is_seizure;
+
+/// What the alarm state machine does with a **dropped** window (feature
+/// extraction failed, so there is no decision value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DroppedPolicy {
+    /// The dropped window casts a non-seizure vote: it enters the k-of-n
+    /// history and counts down the refractory hold-off, exactly like a
+    /// classified non-seizure window. This is the conservative default —
+    /// a monitor that cannot see the signal should not keep an alarm
+    /// streak alive.
+    #[default]
+    VoteNonSeizure,
+    /// The dropped window is invisible: it neither enters the history
+    /// nor counts down the refractory hold-off, as if the window never
+    /// completed. Use when drops are rare artefacts and the surrounding
+    /// context should carry over.
+    Skip,
+}
+
+/// Operating point of the alarm state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlarmConfig {
+    /// Seizure votes required among the last `n` windows to raise an
+    /// alarm (`1 <= k <= n`).
+    pub k: usize,
+    /// Voting-history length in windows (`n >= 1`).
+    pub n: usize,
+    /// Hold-off after an alarm: this many subsequent voting windows are
+    /// suppressed before another alarm may fire (0 = no refractory).
+    pub refractory_windows: usize,
+    /// Dropped-window policy.
+    pub dropped: DroppedPolicy,
+}
+
+impl Default for AlarmConfig {
+    /// 2-of-3 voting with a one-history refractory — a sensible starting
+    /// point the sweep binary refines per cohort.
+    fn default() -> Self {
+        AlarmConfig {
+            k: 2,
+            n: 3,
+            refractory_windows: 3,
+            dropped: DroppedPolicy::VoteNonSeizure,
+        }
+    }
+}
+
+impl AlarmConfig {
+    /// `k`-of-`n` voting with a refractory of `n` windows and the default
+    /// dropped-window policy.
+    pub fn k_of_n(k: usize, n: usize) -> Self {
+        AlarmConfig {
+            k,
+            n,
+            refractory_windows: n,
+            dropped: DroppedPolicy::default(),
+        }
+    }
+
+    /// Validates the operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] unless `1 <= k <= n`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.k == 0 || self.n == 0 || self.k > self.n {
+            return Err(CoreError::InvalidConfig(format!(
+                "alarm voting needs 1 <= k <= n, got k={} n={}",
+                self.k, self.n
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One raised alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlarmEvent {
+    /// 0-based index of this alarm in the stream.
+    pub alarm_index: u64,
+    /// Index of the window whose vote completed the alarm.
+    pub window_index: u64,
+    /// First sample of that window (absolute stream coordinates).
+    pub start_sample: u64,
+    /// Seizure votes in the history when the alarm fired (`>= k`).
+    pub votes: usize,
+}
+
+/// Online k-of-n alarm state machine with refractory hold-off.
+///
+/// Feed it windows in stream order — [`AlarmStateMachine::on_window`]
+/// from a live stream, [`AlarmStateMachine::on_decision`] from a batch
+/// decision sequence — and it returns the alarm raised by that window,
+/// if any. The machine is pure state: no clocks, no allocation after
+/// construction, bit-identical between online and batch driving.
+#[derive(Debug, Clone)]
+pub struct AlarmStateMachine {
+    cfg: AlarmConfig,
+    /// Circular vote history of the last `n` voting windows.
+    history: Vec<bool>,
+    /// Next write position in `history`.
+    head: usize,
+    /// Votes currently stored (saturates at `n`).
+    stored: usize,
+    /// Seizure votes currently stored.
+    positive: usize,
+    /// Voting windows left before another alarm may fire.
+    refractory_left: usize,
+    alarms_raised: u64,
+}
+
+impl AlarmStateMachine {
+    /// Builds the machine at an operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid
+    /// [`AlarmConfig`].
+    pub fn new(cfg: AlarmConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        Ok(AlarmStateMachine {
+            cfg,
+            history: vec![false; cfg.n],
+            head: 0,
+            stored: 0,
+            positive: 0,
+            refractory_left: 0,
+            alarms_raised: 0,
+        })
+    }
+
+    /// The operating point.
+    pub fn config(&self) -> AlarmConfig {
+        self.cfg
+    }
+
+    /// Alarms raised so far.
+    pub fn alarms_raised(&self) -> u64 {
+        self.alarms_raised
+    }
+
+    /// Clears all state (history, refractory, alarm count).
+    pub fn reset(&mut self) {
+        self.history.fill(false);
+        self.head = 0;
+        self.stored = 0;
+        self.positive = 0;
+        self.refractory_left = 0;
+        self.alarms_raised = 0;
+    }
+
+    /// Feeds one completed window from a live stream.
+    pub fn on_window(&mut self, d: &crate::stream::WindowDecision) -> Option<AlarmEvent> {
+        self.on_decision(d.window_index, d.start_sample, d.decision)
+    }
+
+    /// Feeds one window of a decision sequence: `decision` is `None` for
+    /// a dropped window. Returns the alarm this window raised, if any.
+    pub fn on_decision(
+        &mut self,
+        window_index: u64,
+        start_sample: u64,
+        decision: Option<f64>,
+    ) -> Option<AlarmEvent> {
+        let vote = match decision {
+            Some(d) => decision_is_seizure(d),
+            None => match self.cfg.dropped {
+                DroppedPolicy::VoteNonSeizure => false,
+                DroppedPolicy::Skip => return None,
+            },
+        };
+        // Ring update: evict the oldest vote once `n` are stored.
+        if self.stored == self.cfg.n && self.history[self.head] {
+            self.positive -= 1;
+        }
+        self.history[self.head] = vote;
+        self.head = (self.head + 1) % self.cfg.n;
+        if self.stored < self.cfg.n {
+            self.stored += 1;
+        }
+        if vote {
+            self.positive += 1;
+        }
+        // Refractory hold-off counts voting windows only.
+        if self.refractory_left > 0 {
+            self.refractory_left -= 1;
+            return None;
+        }
+        if self.positive >= self.cfg.k {
+            self.refractory_left = self.cfg.refractory_windows;
+            let event = AlarmEvent {
+                alarm_index: self.alarms_raised,
+                window_index,
+                start_sample,
+                votes: self.positive,
+            };
+            self.alarms_raised += 1;
+            return Some(event);
+        }
+        None
+    }
+
+    /// Scans a whole batch decision sequence (window `i` starts at
+    /// `i × stride` samples) and returns every alarm — the batch twin the
+    /// streaming path is pinned bit-identical against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid `cfg` or
+    /// `stride == 0`.
+    pub fn scan(
+        cfg: AlarmConfig,
+        decisions: &[Option<f64>],
+        stride: usize,
+    ) -> Result<Vec<AlarmEvent>, CoreError> {
+        if stride == 0 {
+            return Err(CoreError::InvalidConfig(
+                "alarm scan stride must be >= 1".into(),
+            ));
+        }
+        let mut sm = AlarmStateMachine::new(cfg)?;
+        Ok(decisions
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &d)| sm.on_decision(w as u64, (w * stride) as u64, d))
+            .collect())
+    }
+}
+
+/// Per-window decision sequence of a rendered session: extract every
+/// window (tracking drops exactly like the batch assembly path),
+/// batch-classify the survivors through the engine's batch entry point
+/// and scatter back in window order (`None` = dropped window). Returns
+/// the sequence plus the window length in samples — the stride to scan
+/// alarms with. Empty (`window_len == 0`) when the session is shorter
+/// than one window.
+///
+/// This is **the** batch twin of the streaming decision path: the LOSO
+/// event evaluator, the operating-point sweep and the
+/// streaming-vs-batch alarm equivalence tests all drive
+/// [`AlarmStateMachine::scan`] from this one routine, so drop tracking
+/// and window geometry cannot fork between them.
+pub fn session_decision_sequence(
+    rec: &SessionRecording,
+    window_s: f64,
+    engine: &dyn ClassifierEngine,
+) -> (Vec<Option<f64>>, usize) {
+    let labels = rec.window_labels(window_s);
+    let Some(window_len) = labels.first().map(|l| l.len_samples) else {
+        return (Vec::new(), 0);
+    };
+    let extractor = WindowExtractor::new(rec.fs);
+    let mut scratch = ExtractScratch::default();
+    let mut row = Vec::with_capacity(N_FEATURES);
+    let mut kept_rows = DenseMatrix::with_cols(N_FEATURES);
+    let mut kept_at = Vec::new();
+    for (w, label) in labels.iter().enumerate() {
+        if extractor
+            .extract_into(rec.window_samples(label), &mut scratch, &mut row)
+            .is_ok()
+        {
+            kept_rows.push_row(&row);
+            kept_at.push(w);
+        }
+    }
+    let kept = engine.decision_batch(&kept_rows);
+    let mut decisions = vec![None; labels.len()];
+    for (&w, &d) in kept_at.iter().zip(kept.iter()) {
+        decisions[w] = Some(d);
+    }
+    (decisions, window_len)
+}
+
+/// One ground-truth seizure interval, in seconds from stream start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthEvent {
+    /// Electrographic onset.
+    pub onset_s: f64,
+    /// Electrographic offset.
+    pub offset_s: f64,
+}
+
+/// Extracts the ground-truth event list from session seizure
+/// annotations, sorted by onset.
+pub fn truth_events(seizures: &[SeizureEvent]) -> Vec<TruthEvent> {
+    let mut events: Vec<TruthEvent> = seizures
+        .iter()
+        .map(|s| TruthEvent {
+            onset_s: s.onset_s,
+            offset_s: s.offset_s(),
+        })
+        .collect();
+    events.sort_by(|a, b| a.onset_s.total_cmp(&b.onset_s));
+    events
+}
+
+/// Alarm↔event matching rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventScoring {
+    /// Sampling rate (converts alarm sample coordinates to seconds).
+    pub fs: f64,
+    /// Window length in samples; an alarm's clock time is the *end* of
+    /// its firing window — the moment the decision exists.
+    pub window_len: usize,
+    /// How early before onset an alarm still credits the event. Covers
+    /// the pre-ictal autonomic ramp the detector legitimately picks up.
+    pub pre_tolerance_s: f64,
+    /// How late after offset an alarm still credits the event (post-ictal
+    /// recovery tail).
+    pub post_tolerance_s: f64,
+}
+
+impl EventScoring {
+    /// Default clinical tolerances at a given window geometry: one window
+    /// of pre-onset credit plus the simulator's 20 s autonomic ramp, one
+    /// window of post-offset credit.
+    pub fn for_windows(fs: f64, window_len: usize) -> Self {
+        let window_s = window_len as f64 / fs;
+        EventScoring {
+            fs,
+            window_len,
+            pre_tolerance_s: window_s + 20.0,
+            post_tolerance_s: window_s,
+        }
+    }
+
+    /// The stream-clock time of an alarm: the end of its firing window.
+    pub fn alarm_time_s(&self, alarm: &AlarmEvent) -> f64 {
+        (alarm.start_sample + self.window_len as u64) as f64 / self.fs
+    }
+}
+
+/// Event-level detection metrics — the clinical counterpart of the
+/// window-level [`crate::eval::Confusion`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventMetrics {
+    /// Ground-truth seizure events.
+    pub n_events: usize,
+    /// Events credited with at least one matching alarm.
+    pub detected: usize,
+    /// Alarms matching no event.
+    pub false_alarms: usize,
+    /// Monitored time in seconds (denominator of the false-alarm rate).
+    pub monitored_s: f64,
+    /// Detection latency of each detected event, seconds from onset to
+    /// the first matching alarm (negative = pre-onset detection inside
+    /// the tolerance).
+    pub latencies_s: Vec<f64>,
+}
+
+impl EventMetrics {
+    /// Detected fraction of ground-truth events; `None` without events.
+    pub fn event_sensitivity(&self) -> Option<f64> {
+        (self.n_events > 0).then(|| self.detected as f64 / self.n_events as f64)
+    }
+
+    /// False alarms normalised to a 24 h day; `None` without monitored
+    /// time.
+    pub fn false_alarms_per_24h(&self) -> Option<f64> {
+        (self.monitored_s > 0.0).then(|| self.false_alarms as f64 * 86_400.0 / self.monitored_s)
+    }
+
+    /// Median detection latency over detected events; `None` when
+    /// nothing was detected. Even counts average the middle pair.
+    pub fn median_latency_s(&self) -> Option<f64> {
+        if self.latencies_s.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_s.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        Some(if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        })
+    }
+
+    /// Merges another recording's metrics into this one (pooled view).
+    pub fn merge(&mut self, other: &EventMetrics) {
+        self.n_events += other.n_events;
+        self.detected += other.detected;
+        self.false_alarms += other.false_alarms;
+        self.monitored_s += other.monitored_s;
+        self.latencies_s.extend_from_slice(&other.latencies_s);
+    }
+}
+
+/// Scores an alarm sequence against ground-truth events.
+///
+/// An alarm *matches* an event when its clock time (window end) falls in
+/// `[onset − pre_tolerance, offset + post_tolerance]`. An alarm inside
+/// an event's actual `[onset, offset]` interval is assigned to that
+/// event; otherwise it goes to the earliest event whose tolerance band
+/// covers it — so when two seizures sit closer together than the
+/// tolerances, an alarm fired *during* the second is credited to the
+/// second, not leaked onto the already-detected first. Events with at
+/// least one matching alarm count as detected, with latency measured to
+/// the first such alarm; alarms matching no event are false alarms.
+pub fn score_events(
+    alarms: &[AlarmEvent],
+    truth: &[TruthEvent],
+    monitored_s: f64,
+    scoring: &EventScoring,
+) -> EventMetrics {
+    let mut first_alarm_time: Vec<Option<f64>> = vec![None; truth.len()];
+    let mut false_alarms = 0usize;
+    for alarm in alarms {
+        let t = scoring.alarm_time_s(alarm);
+        let matched = truth
+            .iter()
+            .position(|e| t >= e.onset_s && t <= e.offset_s)
+            .or_else(|| {
+                truth.iter().position(|e| {
+                    t >= e.onset_s - scoring.pre_tolerance_s
+                        && t <= e.offset_s + scoring.post_tolerance_s
+                })
+            });
+        match matched {
+            Some(i) => {
+                let slot = &mut first_alarm_time[i];
+                if slot.is_none_or(|prev| t < prev) {
+                    *slot = Some(t);
+                }
+            }
+            None => false_alarms += 1,
+        }
+    }
+    let latencies_s: Vec<f64> = truth
+        .iter()
+        .zip(first_alarm_time.iter())
+        .filter_map(|(e, t)| t.map(|t| t - e.onset_s))
+        .collect();
+    EventMetrics {
+        n_events: truth.len(),
+        detected: latencies_s.len(),
+        false_alarms,
+        monitored_s,
+        latencies_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(votes: &[i8]) -> Vec<Option<f64>> {
+        // 1 → seizure decision, 0 → non-seizure, -1 → dropped window.
+        votes
+            .iter()
+            .map(|&v| match v {
+                1 => Some(1.0),
+                0 => Some(-1.0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AlarmConfig::k_of_n(0, 3).validate().is_err());
+        assert!(AlarmConfig::k_of_n(4, 3).validate().is_err());
+        assert!(AlarmConfig::k_of_n(1, 1).validate().is_ok());
+        assert!(AlarmStateMachine::new(AlarmConfig::k_of_n(5, 2)).is_err());
+        assert!(AlarmStateMachine::scan(AlarmConfig::default(), &[], 0).is_err());
+    }
+
+    #[test]
+    fn k_of_n_voting_fires_on_kth_vote() {
+        let cfg = AlarmConfig {
+            k: 2,
+            n: 3,
+            refractory_windows: 0,
+            dropped: DroppedPolicy::VoteNonSeizure,
+        };
+        let alarms = AlarmStateMachine::scan(cfg, &seq(&[1, 0, 1, 0, 0, 1, 1]), 100).unwrap();
+        // Window 2 completes {1,0,1} → 2 votes; windows 3–5 never hold
+        // two votes; window 6 completes {0,1,1} → 2 votes again.
+        assert_eq!(
+            alarms.iter().map(|a| a.window_index).collect::<Vec<_>>(),
+            vec![2, 6]
+        );
+        assert_eq!(alarms[0].start_sample, 200);
+        assert_eq!(alarms[0].votes, 2);
+        assert_eq!(alarms[0].alarm_index, 0);
+        assert_eq!(alarms[1].alarm_index, 1);
+    }
+
+    #[test]
+    fn alarm_sustains_without_refractory_and_holds_off_with_it() {
+        // Persistent seizure votes: without refractory every window from
+        // the k-th on fires; with refractory r, alarms are r+1 apart.
+        let votes = seq(&[1; 10]);
+        let free = AlarmStateMachine::scan(
+            AlarmConfig {
+                k: 2,
+                n: 3,
+                refractory_windows: 0,
+                dropped: DroppedPolicy::VoteNonSeizure,
+            },
+            &votes,
+            10,
+        )
+        .unwrap();
+        assert_eq!(
+            free.iter().map(|a| a.window_index).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9]
+        );
+        let held = AlarmStateMachine::scan(
+            AlarmConfig {
+                k: 2,
+                n: 3,
+                refractory_windows: 3,
+                dropped: DroppedPolicy::VoteNonSeizure,
+            },
+            &votes,
+            10,
+        )
+        .unwrap();
+        assert_eq!(
+            held.iter().map(|a| a.window_index).collect::<Vec<_>>(),
+            vec![1, 5, 9]
+        );
+    }
+
+    #[test]
+    fn dropped_policies_differ() {
+        // seizure, dropped, seizure with k=2, n=2.
+        let votes = seq(&[1, -1, 1]);
+        let vote_cfg = AlarmConfig {
+            k: 2,
+            n: 2,
+            refractory_windows: 0,
+            dropped: DroppedPolicy::VoteNonSeizure,
+        };
+        // Dropped window votes non-seizure: history at w2 is {dropped, 1}
+        // → 1 vote → silent.
+        assert!(AlarmStateMachine::scan(vote_cfg, &votes, 10)
+            .unwrap()
+            .is_empty());
+        let skip_cfg = AlarmConfig {
+            dropped: DroppedPolicy::Skip,
+            ..vote_cfg
+        };
+        // Skipped window is invisible: history at w2 is {1, 1} → alarm.
+        let alarms = AlarmStateMachine::scan(skip_cfg, &votes, 10).unwrap();
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].window_index, 2);
+    }
+
+    #[test]
+    fn skip_policy_freezes_refractory() {
+        // Alarm at w1, then dropped windows: under Skip they do not count
+        // down the hold-off, so the next alarm needs 2 voting windows.
+        let votes = seq(&[1, 1, -1, -1, 1, 1]);
+        let cfg = AlarmConfig {
+            k: 2,
+            n: 2,
+            refractory_windows: 1,
+            dropped: DroppedPolicy::Skip,
+        };
+        let alarms = AlarmStateMachine::scan(cfg, &votes, 10).unwrap();
+        // w1 fires; w4 is the refractory count-down vote; w5 fires again.
+        assert_eq!(
+            alarms.iter().map(|a| a.window_index).collect::<Vec<_>>(),
+            vec![1, 5]
+        );
+    }
+
+    #[test]
+    fn boundary_zero_decision_votes_seizure() {
+        // decision == 0.0 is a seizure vote — the shared convention.
+        let cfg = AlarmConfig {
+            k: 1,
+            n: 1,
+            refractory_windows: 0,
+            dropped: DroppedPolicy::VoteNonSeizure,
+        };
+        let alarms = AlarmStateMachine::scan(cfg, &[Some(0.0)], 10).unwrap();
+        assert_eq!(alarms.len(), 1);
+        let none = AlarmStateMachine::scan(cfg, &[Some(-1e-300)], 10).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn online_driving_matches_scan() {
+        let votes = seq(&[0, 1, 1, -1, 0, 1, 1, 1, 0, 0, 1]);
+        let cfg = AlarmConfig::k_of_n(2, 4);
+        let batch = AlarmStateMachine::scan(cfg, &votes, 7).unwrap();
+        let mut sm = AlarmStateMachine::new(cfg).unwrap();
+        let online: Vec<AlarmEvent> = votes
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &d)| sm.on_decision(w as u64, (w * 7) as u64, d))
+            .collect();
+        assert_eq!(batch, online);
+        assert_eq!(sm.alarms_raised(), batch.len() as u64);
+        sm.reset();
+        assert_eq!(sm.alarms_raised(), 0);
+    }
+
+    #[test]
+    fn truth_events_sorted_from_annotations() {
+        let events = truth_events(&[
+            SeizureEvent::new(100.0, 20.0, 1.0),
+            SeizureEvent::new(40.0, 10.0, 0.5),
+        ]);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].onset_s, 40.0);
+        assert_eq!(events[0].offset_s, 50.0);
+        assert_eq!(events[1].onset_s, 100.0);
+    }
+
+    #[test]
+    fn scoring_credits_detections_and_counts_false_alarms() {
+        let fs = 10.0;
+        let scoring = EventScoring {
+            fs,
+            window_len: 100, // 10 s windows
+            pre_tolerance_s: 5.0,
+            post_tolerance_s: 5.0,
+        };
+        let truth = [
+            TruthEvent {
+                onset_s: 100.0,
+                offset_s: 130.0,
+            },
+            TruthEvent {
+                onset_s: 300.0,
+                offset_s: 320.0,
+            },
+        ];
+        let alarm_at = |start_s: f64, i: u64| AlarmEvent {
+            alarm_index: i,
+            window_index: (start_s / 10.0) as u64,
+            start_sample: (start_s * fs) as u64,
+            votes: 1,
+        };
+        // Alarm windows ending at 110 s (hits event 0, latency 10 s),
+        // 120 s (same event, later — ignored for latency), 200 s (false),
+        // 97 s pre-onset within tolerance would also hit event 0; event 1
+        // gets nothing.
+        let alarms = [alarm_at(100.0, 0), alarm_at(110.0, 1), alarm_at(190.0, 2)];
+        let m = score_events(&alarms, &truth, 3600.0, &scoring);
+        assert_eq!(m.n_events, 2);
+        assert_eq!(m.detected, 1);
+        assert_eq!(m.false_alarms, 1);
+        assert_eq!(m.latencies_s, vec![10.0]);
+        assert_eq!(m.event_sensitivity(), Some(0.5));
+        assert_eq!(m.false_alarms_per_24h(), Some(24.0));
+        assert_eq!(m.median_latency_s(), Some(10.0));
+    }
+
+    #[test]
+    fn alarm_inside_a_later_seizure_credits_that_seizure() {
+        // Two seizures closer together than the tolerance bands: an
+        // alarm fired *during* the second must be assigned to the
+        // second, not leaked onto the first via its post-tolerance.
+        let scoring = EventScoring {
+            fs: 1.0,
+            window_len: 10,
+            pre_tolerance_s: 60.0,
+            post_tolerance_s: 40.0,
+        };
+        let truth = [
+            TruthEvent {
+                onset_s: 100.0,
+                offset_s: 130.0,
+            },
+            TruthEvent {
+                onset_s: 160.0, // event 1's band reaches 170 s
+                offset_s: 180.0,
+            },
+        ];
+        // One alarm, window ending at t = 165 s: inside seizure 2's
+        // actual interval, also inside seizure 1's post-tolerance.
+        let alarms = [AlarmEvent {
+            alarm_index: 0,
+            window_index: 15,
+            start_sample: 155,
+            votes: 1,
+        }];
+        let m = score_events(&alarms, &truth, 600.0, &scoring);
+        assert_eq!(m.detected, 1);
+        assert_eq!(m.false_alarms, 0);
+        // Latency is measured from seizure 2's onset (165 − 160), not
+        // seizure 1's (165 − 100).
+        assert_eq!(m.latencies_s, vec![5.0]);
+    }
+
+    #[test]
+    fn pre_onset_alarm_yields_negative_latency() {
+        let scoring = EventScoring {
+            fs: 1.0,
+            window_len: 10,
+            pre_tolerance_s: 15.0,
+            post_tolerance_s: 0.0,
+        };
+        let truth = [TruthEvent {
+            onset_s: 100.0,
+            offset_s: 120.0,
+        }];
+        let alarms = [AlarmEvent {
+            alarm_index: 0,
+            window_index: 8,
+            start_sample: 80, // window ends at t = 90 s, 10 s pre-onset
+            votes: 1,
+        }];
+        let m = score_events(&alarms, &truth, 600.0, &scoring);
+        assert_eq!(m.detected, 1);
+        assert_eq!(m.latencies_s, vec![-10.0]);
+    }
+
+    #[test]
+    fn metrics_merge_and_edge_cases() {
+        let empty = EventMetrics::default();
+        assert_eq!(empty.event_sensitivity(), None);
+        assert_eq!(empty.false_alarms_per_24h(), None);
+        assert_eq!(empty.median_latency_s(), None);
+        let mut a = EventMetrics {
+            n_events: 2,
+            detected: 1,
+            false_alarms: 3,
+            monitored_s: 43_200.0,
+            latencies_s: vec![4.0],
+        };
+        let b = EventMetrics {
+            n_events: 1,
+            detected: 1,
+            false_alarms: 1,
+            monitored_s: 43_200.0,
+            latencies_s: vec![10.0],
+        };
+        a.merge(&b);
+        assert_eq!(a.n_events, 3);
+        assert_eq!(a.detected, 2);
+        assert_eq!(a.false_alarms, 4);
+        assert_eq!(a.event_sensitivity(), Some(2.0 / 3.0));
+        assert_eq!(a.false_alarms_per_24h(), Some(4.0));
+        // Even count → mean of the middle pair.
+        assert_eq!(a.median_latency_s(), Some(7.0));
+        // for_windows derives tolerances from the geometry.
+        let s = EventScoring::for_windows(128.0, 5120);
+        assert_eq!(s.pre_tolerance_s, 60.0);
+        assert_eq!(s.post_tolerance_s, 40.0);
+    }
+}

@@ -141,13 +141,10 @@ impl Default for BitConfig {
 const MAX_EXACT_D_BITS: u32 = 26;
 
 /// The hardware sign-bit convention on an accumulator code: ties
-/// positive.
+/// positive — the integer image of [`svm::decision_is_seizure`]
+/// (`code as f64` is sign-exact, so the two can never disagree).
 fn sign_of_code(code: i128) -> f64 {
-    if code >= 0 {
-        1.0
-    } else {
-        -1.0
-    }
+    svm::class_of_decision(code as f64)
 }
 
 /// The quantised inference engine.
@@ -501,11 +498,7 @@ impl QuantizedEngine {
     }
 
     fn classify_exact(&self, raw_row: &[f64]) -> f64 {
-        if self.decision_code(raw_row) >= 0 {
-            1.0
-        } else {
-            -1.0
-        }
+        sign_of_code(self.decision_code(raw_row))
     }
 
     /// Wide-datapath simulation accumulator: quantised operands, float
@@ -531,11 +524,7 @@ impl QuantizedEngine {
     }
 
     fn classify_float_sim(&self, raw_row: &[f64]) -> f64 {
-        if self.decision_float_sim(raw_row) >= 0.0 {
-            1.0
-        } else {
-            -1.0
-        }
+        svm::class_of_decision(self.decision_float_sim(raw_row))
     }
 }
 

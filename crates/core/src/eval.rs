@@ -8,12 +8,17 @@
 //! pins). Predictors consume whole test batches as contiguous row-major
 //! blocks ([`DenseMatrix`]) instead of dispatching row by row.
 
+use crate::alarm::{
+    score_events, session_decision_sequence, truth_events, AlarmConfig, AlarmStateMachine,
+    EventMetrics, EventScoring,
+};
 use crate::config::FitConfig;
 use crate::error::CoreError;
 use crate::parallel::par_map;
 use crate::trained::FloatPipeline;
 use ecg_features::{DenseMatrix, FeatureMatrix};
-use svm::ClassifierEngine;
+use ecg_sim::dataset::DatasetSpec;
+use svm::{decision_is_seizure, ClassifierEngine};
 
 /// Confusion counts for the two-class seizure problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,9 +34,13 @@ pub struct Confusion {
 }
 
 impl Confusion {
-    /// Adds one prediction.
+    /// Adds one prediction. `predicted` may be a `±1` class label or a
+    /// raw decision value — either way the seizure side is decided by the
+    /// shared [`decision_is_seizure`] boundary (`>= 0.0`, ties positive),
+    /// so batch metrics can never disagree with `classify`/streaming on
+    /// boundary windows.
     pub fn record(&mut self, truth: i8, predicted: f64) {
-        match (truth > 0, predicted > 0.0) {
+        match (truth > 0, decision_is_seizure(predicted)) {
             (true, true) => self.tp += 1,
             (true, false) => self.fn_ += 1,
             (false, true) => self.fp += 1,
@@ -307,6 +316,198 @@ pub fn loso_evaluate_serial(m: &FeatureMatrix, cfg: &FitConfig) -> LosoResult {
     loso_evaluate_engine_serial(m, float_engine(cfg))
 }
 
+/// Outcome of one leave-one-session-out fold with the alarm stage on
+/// top: window-level confusion plus event-level metrics of the held-out
+/// session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventFoldOutcome {
+    /// Test session id.
+    pub session_id: usize,
+    /// Window-level confusion over the fold's extractable windows.
+    pub confusion: Confusion,
+    /// Support-vector count of the fold's trained engine.
+    pub n_sv: usize,
+    /// Event-level metrics of the held-out session's alarm stream.
+    pub events: EventMetrics,
+}
+
+/// Aggregate of [`loso_evaluate_events_engine`]: the window-level LOSO
+/// summary *plus* pooled event-level metrics, so fold reports carry
+/// Se/Sp **and** FA/24h + detection latency side by side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LosoEventResult {
+    /// Per-fold outcomes (successful folds only), in first-appearance
+    /// session order.
+    pub folds: Vec<EventFoldOutcome>,
+    /// Folds skipped because training failed (e.g. single-class fold).
+    pub skipped: usize,
+    /// Mean window-level sensitivity over folds where defined.
+    pub mean_se: f64,
+    /// Mean window-level specificity over folds where defined.
+    pub mean_sp: f64,
+    /// Mean window-level geometric mean over folds where defined.
+    pub mean_gm: f64,
+    /// Mean support-vector count across folds.
+    pub mean_n_sv: f64,
+    /// Event metrics pooled over every fold (micro-average): event
+    /// sensitivity, false alarms per 24 h, detection latencies.
+    pub events: EventMetrics,
+}
+
+impl LosoEventResult {
+    /// Pooled event sensitivity; `None` without ground-truth events.
+    pub fn event_sensitivity(&self) -> Option<f64> {
+        self.events.event_sensitivity()
+    }
+
+    /// Pooled false alarms per 24 h; `None` without monitored time.
+    pub fn false_alarms_per_24h(&self) -> Option<f64> {
+        self.events.false_alarms_per_24h()
+    }
+
+    /// Pooled median detection latency; `None` without detections.
+    pub fn median_latency_s(&self) -> Option<f64> {
+        self.events.median_latency_s()
+    }
+}
+
+/// One held-out session evaluated at the event level: extract every
+/// window (tracking drops exactly like assembly), batch-classify the
+/// survivors, fold the decision sequence through the alarm machine and
+/// score against the session's ground-truth seizure intervals.
+fn run_event_fold(
+    spec: &DatasetSpec,
+    m: &FeatureMatrix,
+    sid: usize,
+    fit: &(impl Fn(&FeatureMatrix) -> Result<BoxedEngine, CoreError> + Sync),
+    alarm_cfg: AlarmConfig,
+) -> Option<EventFoldOutcome> {
+    let session = spec.sessions.iter().find(|s| s.session_index == sid)?;
+    let (train, test) = m.split_by_session(sid);
+    if train.n_rows() == 0 || test.n_rows() == 0 {
+        return None;
+    }
+    let engine = fit(&train).ok()?;
+    let n_sv = engine.info().n_support_vectors;
+
+    let rec = session.synthesize();
+    let window_s = spec.scale.window_s();
+    // Per-window decision sequence (None = dropped), same geometry the
+    // streaming path sees — via the shared batch-twin routine.
+    let (decisions, window_len) = session_decision_sequence(&rec, window_s, engine.as_ref());
+    if window_len == 0 {
+        return None;
+    }
+
+    // Window-level confusion over the extractable windows.
+    let labels = rec.window_labels(window_s);
+    let mut confusion = Confusion::default();
+    for (label, decision) in labels.iter().zip(decisions.iter()) {
+        if let Some(d) = decision {
+            confusion.record(if label.is_seizure { 1 } else { -1 }, *d);
+        }
+    }
+
+    // Event level: alarm scan + scoring against ground truth.
+    let alarms = AlarmStateMachine::scan(alarm_cfg, &decisions, window_len)
+        .expect("alarm config validated by caller");
+    let scoring = EventScoring::for_windows(rec.fs, window_len);
+    let events = score_events(
+        &alarms,
+        &truth_events(&rec.seizures),
+        rec.duration_s(),
+        &scoring,
+    );
+    Some(EventFoldOutcome {
+        session_id: sid,
+        confusion,
+        n_sv,
+        events,
+    })
+}
+
+/// Aggregates event-fold options (in session order) into a result.
+fn aggregate_event_folds(outcomes: Vec<Option<EventFoldOutcome>>) -> LosoEventResult {
+    let mut folds = Vec::with_capacity(outcomes.len());
+    let mut skipped = 0usize;
+    for o in outcomes {
+        match o {
+            Some(f) => folds.push(f),
+            None => skipped += 1,
+        }
+    }
+    let window_summary = LosoResult::from_folds(
+        folds
+            .iter()
+            .map(|f| FoldOutcome {
+                session_id: f.session_id,
+                confusion: f.confusion,
+                n_sv: f.n_sv,
+            })
+            .collect(),
+        skipped,
+    );
+    let mut events = EventMetrics::default();
+    for f in &folds {
+        events.merge(&f.events);
+    }
+    LosoEventResult {
+        folds,
+        skipped,
+        mean_se: window_summary.mean_se,
+        mean_sp: window_summary.mean_sp,
+        mean_gm: window_summary.mean_gm,
+        mean_n_sv: window_summary.mean_n_sv,
+        events,
+    }
+}
+
+/// Event-level twin of [`loso_evaluate_engine`]: leave-one-session-out
+/// over the cohort in `spec`, with each held-out session re-synthesised,
+/// its decision stream folded through a k-of-n alarm machine at
+/// `alarm_cfg`, and the alarms scored against the session's ground-truth
+/// seizure intervals. Fold summaries therefore report window Se/Sp
+/// **and** event sensitivity, FA/24h and detection latency. Folds run in
+/// parallel; aggregation order is fixed, so results are deterministic.
+///
+/// `m` must be the feature matrix assembled from `spec`
+/// ([`crate::assemble::build_feature_matrix`]) — the fold split uses its
+/// session ids.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an invalid `alarm_cfg`.
+pub fn loso_evaluate_events_engine<F>(
+    spec: &DatasetSpec,
+    m: &FeatureMatrix,
+    build: F,
+    alarm_cfg: AlarmConfig,
+) -> Result<LosoEventResult, CoreError>
+where
+    F: Fn(&FeatureMatrix) -> Result<BoxedEngine, CoreError> + Sync,
+{
+    alarm_cfg.validate()?;
+    let sessions: Vec<usize> = spec.sessions.iter().map(|s| s.session_index).collect();
+    Ok(aggregate_event_folds(par_map(&sessions, |&sid| {
+        run_event_fold(spec, m, sid, &build, alarm_cfg)
+    })))
+}
+
+/// [`loso_evaluate_events_engine`] for the standard float reference
+/// pipeline under `cfg`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an invalid `alarm_cfg`.
+pub fn loso_evaluate_events(
+    spec: &DatasetSpec,
+    m: &FeatureMatrix,
+    cfg: &FitConfig,
+    alarm_cfg: AlarmConfig,
+) -> Result<LosoEventResult, CoreError> {
+    loso_evaluate_events_engine(spec, m, float_engine(cfg), alarm_cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +544,30 @@ mod tests {
             inc.record(t, p);
         }
         assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn zero_decision_counts_as_seizure_prediction() {
+        // Regression for the `> 0.0` vs `>= 0.0` boundary fork: a
+        // decision of exactly 0.0 is seizure everywhere — classify says
+        // +1, so confusion counting must put it on the seizure side too.
+        let mut c = Confusion::default();
+        c.record(1, 0.0); // seizure truth, boundary decision → TP
+        c.record(-1, 0.0); // non-seizure truth, boundary decision → FP
+        c.record(-1, -0.0); // -0.0 sits on the seizure side as well
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                tn: 0,
+                fp: 2,
+                fn_: 0
+            }
+        );
+        // And the batch path agrees.
+        let batch = Confusion::from_batch(&[1, -1], &[0.0, 0.0]);
+        assert_eq!(batch.tp, 1);
+        assert_eq!(batch.fp, 1);
     }
 
     #[test]
@@ -449,6 +674,39 @@ mod tests {
         assert_eq!(pessimist.mean_se, 0.0);
         assert_eq!(pessimist.mean_sp, 1.0);
         assert_eq!(pessimist.mean_gm, 0.0);
+    }
+
+    #[test]
+    fn loso_event_twin_reports_event_metrics_next_to_window_metrics() {
+        use crate::assemble::build_feature_matrix;
+        use ecg_sim::dataset::Scale;
+        let spec = DatasetSpec::new(Scale::Tiny, 42);
+        let m = build_feature_matrix(&spec);
+        let alarm_cfg = AlarmConfig::k_of_n(1, 1);
+        let r = loso_evaluate_events(&spec, &m, &FitConfig::default(), alarm_cfg).unwrap();
+        assert_eq!(r.folds.len() + r.skipped, spec.sessions.len());
+        // Window-level summary is populated like the plain LOSO.
+        assert!(r.mean_gm.is_finite());
+        assert!(r.mean_n_sv > 1.0);
+        // Event level: the Tiny cohort has seizures and monitored time.
+        assert_eq!(r.events.n_events, 8, "Tiny cohort has 8 seizures");
+        let total_s: f64 = spec.sessions.iter().map(|s| s.duration_s).sum();
+        assert!((r.events.monitored_s - total_s).abs() < 1e-6);
+        assert!(r.event_sensitivity().is_some());
+        assert!(r.false_alarms_per_24h().is_some());
+        // Latency list length matches the detected count.
+        assert_eq!(r.events.latencies_s.len(), r.events.detected);
+        if r.events.detected > 0 {
+            assert!(r.median_latency_s().is_some());
+        }
+        // Deterministic: a second run is identical.
+        let again = loso_evaluate_events(&spec, &m, &FitConfig::default(), alarm_cfg).unwrap();
+        assert_eq!(r, again);
+        // Invalid alarm configs are rejected up front.
+        assert!(
+            loso_evaluate_events(&spec, &m, &FitConfig::default(), AlarmConfig::k_of_n(3, 2))
+                .is_err()
+        );
     }
 
     #[test]

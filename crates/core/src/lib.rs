@@ -53,7 +53,12 @@
 //! * [`parallel`] — the deterministic thread-fan-out substrate;
 //! * [`stream`] — incremental inference: ring buffer → window scheduler →
 //!   scratch-reusing extraction → any [`svm::ClassifierEngine`], with
-//!   per-window latency stats and parallel multi-patient fan-out;
+//!   per-window latency stats, an optional online alarm stage and
+//!   parallel multi-patient fan-out;
+//! * [`alarm`] — the event-level alarm subsystem: k-of-n alarm state
+//!   machine with refractory hold-off, ground-truth event extraction and
+//!   event metrics (event sensitivity, FA/24h, detection latency), all on
+//!   the single shared [`alarm::decision_is_seizure`] boundary;
 //! * [`quickfeat`] — fast synthetic feature matrices for tests/benches.
 //!
 //! ## Example
@@ -72,6 +77,7 @@
 //! println!("GM = {:.1}%", result.mean_gm * 100.0);
 //! ```
 
+pub mod alarm;
 pub mod assemble;
 pub mod bitwidth;
 pub mod budget;
@@ -88,9 +94,15 @@ pub mod quickfeat;
 pub mod stream;
 pub mod trained;
 
+pub use alarm::{
+    decision_is_seizure, AlarmConfig, AlarmEvent, AlarmStateMachine, DroppedPolicy, EventMetrics,
+    EventScoring, TruthEvent,
+};
 pub use config::FitConfig;
 pub use engine::{BitConfig, QuantizedEngine};
 pub use error::CoreError;
-pub use eval::{loso_evaluate, loso_evaluate_serial, LosoResult, Metrics};
+pub use eval::{
+    loso_evaluate, loso_evaluate_events, loso_evaluate_serial, LosoEventResult, LosoResult, Metrics,
+};
 pub use stream::{StreamConfig, StreamOutcome, StreamStats, StreamingSession, WindowDecision};
 pub use trained::FloatPipeline;

@@ -31,6 +31,7 @@
 //! [`run_streams_parallel`], which fans sessions out on
 //! [`crate::parallel::par_map`] while sharing one engine.
 
+use crate::alarm::{AlarmConfig, AlarmEvent, AlarmStateMachine};
 use crate::error::CoreError;
 use crate::parallel::par_map;
 use biodsp::stream::{SampleRing, WindowScheduler};
@@ -38,7 +39,7 @@ use ecg_features::extract::{ExtractScratch, WindowExtractor};
 use ecg_features::N_FEATURES;
 use std::sync::Arc;
 use std::time::Instant;
-use svm::ClassifierEngine;
+use svm::{decision_is_seizure, ClassifierEngine};
 
 /// Shared engine handle used by streaming sessions (one engine, many
 /// concurrent patient streams).
@@ -58,15 +59,38 @@ pub struct StreamConfig {
 
 impl StreamConfig {
     /// Non-overlapping `window_s`-second windows at `fs` Hz — the exact
-    /// geometry of [`ecg_sim::session::SessionRecording::window_labels`],
-    /// so streaming and batch agree on window boundaries.
-    pub fn non_overlapping(fs: f64, window_s: f64) -> Self {
-        let window_len = (window_s * fs) as usize;
-        StreamConfig {
+    /// geometry of [`ecg_sim::session::SessionRecording::window_labels`]
+    /// (window length rounded to the nearest sample), so streaming and
+    /// batch agree on window boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-finite or
+    /// non-positive `fs` or `window_s`, or a window shorter than one
+    /// sample — validated here, up front, instead of surfacing later as
+    /// a misleading zero-length-window error.
+    pub fn non_overlapping(fs: f64, window_s: f64) -> Result<Self, CoreError> {
+        if !fs.is_finite() || fs <= 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "stream sampling rate must be positive and finite, got {fs}"
+            )));
+        }
+        if !window_s.is_finite() || window_s <= 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "stream window length must be positive and finite, got {window_s} s"
+            )));
+        }
+        let window_len = (window_s * fs).round() as usize;
+        if window_len == 0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "stream window of {window_s} s at {fs} Hz rounds to zero samples"
+            )));
+        }
+        Ok(StreamConfig {
             fs,
             window_len,
             stride: window_len,
-        }
+        })
     }
 }
 
@@ -81,8 +105,9 @@ pub struct WindowDecision {
     /// (too few beats, …) and the window was dropped — exactly the
     /// windows the batch assembly path drops.
     pub decision: Option<f64>,
-    /// Predicted class: `true` ⇔ seizure (`decision >= 0`); always
-    /// `false` for dropped windows.
+    /// Predicted class: `true` ⇔ seizure, by the shared
+    /// [`decision_is_seizure`] boundary (`decision >= 0`); always `false`
+    /// for dropped windows.
     pub is_seizure: bool,
     /// Wall-clock cost of this window (extraction + classification).
     pub latency_ns: u64,
@@ -99,6 +124,8 @@ pub struct StreamStats {
     pub dropped: u64,
     /// Windows classified as seizure.
     pub seizure_windows: u64,
+    /// Alarms raised by the optional alarm stage (0 when disabled).
+    pub alarms: u64,
     /// Summed per-window latency (ns).
     pub total_latency_ns: u128,
     /// Worst single-window latency (ns).
@@ -116,9 +143,16 @@ impl StreamStats {
     }
 
     /// Sustained throughput implied by the summed window latencies.
+    ///
+    /// `0.0` before any window completes. When windows completed but the
+    /// coarse clock recorded zero total latency (sub-resolution windows),
+    /// the true throughput is unmeasurably high, not zero — reported as
+    /// `f64::INFINITY` so bench harnesses never under-report it.
     pub fn windows_per_sec(&self) -> f64 {
-        if self.total_latency_ns == 0 {
+        if self.windows == 0 {
             0.0
+        } else if self.total_latency_ns == 0 {
+            f64::INFINITY
         } else {
             self.windows as f64 * 1e9 / self.total_latency_ns as f64
         }
@@ -130,6 +164,7 @@ impl StreamStats {
         self.windows += other.windows;
         self.dropped += other.dropped;
         self.seizure_windows += other.seizure_windows;
+        self.alarms += other.alarms;
         self.total_latency_ns += other.total_latency_ns;
         self.max_latency_ns = self.max_latency_ns.max(other.max_latency_ns);
     }
@@ -147,6 +182,10 @@ pub struct StreamingSession {
     window_buf: Vec<f64>,
     row_buf: Vec<f64>,
     stats: StreamStats,
+    /// Optional alarm stage folding decisions into alarms online.
+    alarm: Option<AlarmStateMachine>,
+    /// Alarms raised since the last [`StreamingSession::take_alarms`].
+    pending_alarms: Vec<AlarmEvent>,
 }
 
 // `dyn ClassifierEngine` has no Debug of its own; show its cost metadata.
@@ -198,7 +237,53 @@ impl StreamingSession {
             window_buf: vec![0.0; cfg.window_len],
             row_buf: Vec::with_capacity(N_FEATURES),
             stats: StreamStats::default(),
+            alarm: None,
+            pending_alarms: Vec::new(),
         })
+    }
+
+    /// Builds a session with the alarm stage enabled from the start.
+    ///
+    /// # Errors
+    ///
+    /// The [`StreamingSession::new`] failure modes plus
+    /// [`CoreError::InvalidConfig`] for an invalid [`AlarmConfig`].
+    pub fn with_alarms(
+        engine: SharedEngine,
+        cfg: StreamConfig,
+        alarm_cfg: AlarmConfig,
+    ) -> Result<Self, CoreError> {
+        let mut session = StreamingSession::new(engine, cfg)?;
+        session.enable_alarms(alarm_cfg)?;
+        Ok(session)
+    }
+
+    /// Enables (or reconfigures) the alarm stage: every completed window
+    /// from now on also feeds a k-of-n [`AlarmStateMachine`], and raised
+    /// alarms surface through [`StreamingSession::take_alarms`] next to
+    /// the window decisions. Replacing an existing stage resets its
+    /// voting state and discards pending alarms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid
+    /// [`AlarmConfig`].
+    pub fn enable_alarms(&mut self, alarm_cfg: AlarmConfig) -> Result<(), CoreError> {
+        self.alarm = Some(AlarmStateMachine::new(alarm_cfg)?);
+        self.pending_alarms.clear();
+        Ok(())
+    }
+
+    /// Alarms raised since the last call, in firing order (empty when
+    /// the alarm stage is disabled). Drains the internal buffer.
+    pub fn take_alarms(&mut self) -> Vec<AlarmEvent> {
+        std::mem::take(&mut self.pending_alarms)
+    }
+
+    /// Borrow of the alarms raised since the last
+    /// [`StreamingSession::take_alarms`], without draining.
+    pub fn pending_alarms(&self) -> &[AlarmEvent] {
+        &self.pending_alarms
     }
 
     /// Windowing configuration.
@@ -251,7 +336,7 @@ impl StreamingSession {
                     Err(_) => None,
                 };
                 let latency_ns = t0.elapsed().as_nanos() as u64;
-                let is_seizure = matches!(decision, Some(d) if d >= 0.0);
+                let is_seizure = matches!(decision, Some(d) if decision_is_seizure(d));
                 self.stats.windows += 1;
                 if decision.is_none() {
                     self.stats.dropped += 1;
@@ -261,13 +346,20 @@ impl StreamingSession {
                 }
                 self.stats.total_latency_ns += u128::from(latency_ns);
                 self.stats.max_latency_ns = self.stats.max_latency_ns.max(latency_ns);
-                out.push(WindowDecision {
+                let wd = WindowDecision {
                     window_index: span.index,
                     start_sample: span.start,
                     decision,
                     is_seizure,
                     latency_ns,
-                });
+                };
+                if let Some(sm) = &mut self.alarm {
+                    if let Some(alarm) = sm.on_window(&wd) {
+                        self.stats.alarms += 1;
+                        self.pending_alarms.push(alarm);
+                    }
+                }
+                out.push(wd);
             }
         }
     }
@@ -278,6 +370,9 @@ impl StreamingSession {
 pub struct StreamOutcome {
     /// Per-window decisions in window order.
     pub decisions: Vec<WindowDecision>,
+    /// Alarms raised by the alarm stage, in firing order (empty when the
+    /// stage was not enabled for the run).
+    pub alarms: Vec<AlarmEvent>,
     /// The stream's latency/throughput accounting.
     pub stats: StreamStats,
 }
@@ -297,16 +392,43 @@ pub fn run_streams_parallel(
     streams: &[Vec<f64>],
     chunk_len: usize,
 ) -> Result<Vec<StreamOutcome>, CoreError> {
+    run_streams_parallel_alarmed(engine, cfg, None, streams, chunk_len)
+}
+
+/// [`run_streams_parallel`] with an optional per-stream alarm stage:
+/// with `Some(alarm_cfg)` every session folds its decisions through its
+/// own k-of-n [`AlarmStateMachine`] and the outcomes carry the raised
+/// [`AlarmEvent`]s.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an invalid `cfg`, an invalid
+/// `alarm_cfg` or `chunk_len == 0`.
+pub fn run_streams_parallel_alarmed(
+    engine: &SharedEngine,
+    cfg: StreamConfig,
+    alarm_cfg: Option<AlarmConfig>,
+    streams: &[Vec<f64>],
+    chunk_len: usize,
+) -> Result<Vec<StreamOutcome>, CoreError> {
     if chunk_len == 0 {
         return Err(CoreError::InvalidConfig(
             "stream chunk length must be >= 1".into(),
         ));
     }
-    // Validate the configuration once, up front.
+    // Validate both configurations once, up front.
     StreamingSession::new(Arc::clone(engine), cfg)?;
+    if let Some(a) = alarm_cfg {
+        a.validate()?;
+    }
     Ok(par_map(streams, |samples| {
         let mut session =
             StreamingSession::new(Arc::clone(engine), cfg).expect("config validated above");
+        if let Some(a) = alarm_cfg {
+            session
+                .enable_alarms(a)
+                .expect("alarm config validated above");
+        }
         let mut decisions = Vec::new();
         let mut fresh = Vec::new();
         for chunk in samples.chunks(chunk_len) {
@@ -315,6 +437,7 @@ pub fn run_streams_parallel(
         }
         StreamOutcome {
             decisions,
+            alarms: session.take_alarms(),
             stats: session.stats(),
         }
     }))
@@ -386,10 +509,68 @@ mod tests {
             stride: 1,
         };
         assert!(StreamingSession::new(engine(), bad_window).is_err());
-        let cfg = StreamConfig::non_overlapping(128.0, 30.0);
+        let cfg = StreamConfig::non_overlapping(128.0, 30.0).unwrap();
         assert_eq!(cfg.window_len, 3840);
         assert_eq!(cfg.stride, 3840);
         assert!(StreamingSession::new(engine(), cfg).is_ok());
+    }
+
+    #[test]
+    fn non_overlapping_validates_up_front_and_rounds() {
+        // Degenerate inputs are rejected at construction with a clear
+        // error, not later as a zero-length-window failure.
+        for (fs, window_s) in [
+            (128.0, f64::NAN),
+            (128.0, f64::INFINITY),
+            (128.0, -30.0),
+            (128.0, 0.0),
+            (f64::NAN, 30.0),
+            (0.0, 30.0),
+            (-128.0, 30.0),
+            (128.0, 1e-9), // rounds to zero samples
+        ] {
+            assert!(
+                matches!(
+                    StreamConfig::non_overlapping(fs, window_s),
+                    Err(CoreError::InvalidConfig(_))
+                ),
+                "fs={fs} window_s={window_s} must be rejected"
+            );
+        }
+        // Rounds to the nearest sample, matching
+        // `SessionRecording::window_labels` (which rounds too) instead of
+        // silently truncating.
+        let down = StreamConfig::non_overlapping(128.0, 30.0 - 0.25 / 128.0).unwrap();
+        assert_eq!(down.window_len, 3840);
+        let up = StreamConfig::non_overlapping(128.0, 30.0 + 0.75 / 128.0).unwrap();
+        assert_eq!(up.window_len, 3841);
+        // Sub-sample windows that round to >= 1 are fine.
+        assert_eq!(
+            StreamConfig::non_overlapping(128.0, 0.005)
+                .unwrap()
+                .window_len,
+            1
+        );
+    }
+
+    #[test]
+    fn windows_per_sec_guards_the_coarse_clock() {
+        let idle = StreamStats::default();
+        assert_eq!(idle.windows_per_sec(), 0.0);
+        // Windows completed but the coarse clock recorded zero latency:
+        // throughput is unmeasurably high, not zero.
+        let sub_resolution = StreamStats {
+            windows: 7,
+            ..StreamStats::default()
+        };
+        assert_eq!(sub_resolution.windows_per_sec(), f64::INFINITY);
+        assert_eq!(sub_resolution.mean_latency_ns(), 0.0);
+        let measured = StreamStats {
+            windows: 4,
+            total_latency_ns: 2_000_000_000,
+            ..StreamStats::default()
+        };
+        assert!((measured.windows_per_sec() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -412,7 +593,7 @@ mod tests {
                 }
             }
         }
-        let cfg = StreamConfig::non_overlapping(128.0, 30.0);
+        let cfg = StreamConfig::non_overlapping(128.0, 30.0).unwrap();
         assert!(matches!(
             StreamingSession::new(Arc::new(WideEngine), cfg),
             Err(CoreError::InvalidConfig(_))
@@ -423,7 +604,7 @@ mod tests {
     fn chunking_does_not_change_decisions() {
         let fs = 128.0;
         let ecg = synth_ecg(fs, 150.0, 0.8);
-        let cfg = StreamConfig::non_overlapping(fs, 30.0);
+        let cfg = StreamConfig::non_overlapping(fs, 30.0).unwrap();
 
         let mut whole = StreamingSession::new(engine(), cfg).unwrap();
         let reference = whole.push_samples(&ecg);
@@ -458,10 +639,127 @@ mod tests {
         }
     }
 
+    /// Engine pinned to a constant decision value — drives boundary and
+    /// alarm tests without training.
+    struct ConstEngine(f64);
+
+    impl ClassifierEngine for ConstEngine {
+        fn decision(&self, _row: &[f64]) -> f64 {
+            self.0
+        }
+        fn n_features(&self) -> usize {
+            N_FEATURES
+        }
+        fn info(&self) -> EngineInfo {
+            EngineInfo {
+                kind: "const-test",
+                n_support_vectors: 1,
+                n_features: N_FEATURES,
+                d_bits: None,
+                a_bits: None,
+            }
+        }
+    }
+
+    #[test]
+    fn zero_decision_window_is_seizure() {
+        // Regression: the stream marks `decision == 0.0` seizure, in
+        // agreement with `classify` and `Confusion` (shared
+        // `decision_is_seizure` boundary).
+        let fs = 128.0;
+        let cfg = StreamConfig::non_overlapping(fs, 30.0).unwrap();
+        let ecg = synth_ecg(fs, 35.0, 0.8);
+        let mut s = StreamingSession::new(Arc::new(ConstEngine(0.0)), cfg).unwrap();
+        let decisions = s.push_samples(&ecg);
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].decision, Some(0.0));
+        assert!(decisions[0].is_seizure);
+        assert_eq!(s.stats().seizure_windows, 1);
+        let mut s = StreamingSession::new(Arc::new(ConstEngine(-1e-300)), cfg).unwrap();
+        assert!(!s.push_samples(&ecg)[0].is_seizure);
+    }
+
+    #[test]
+    fn alarm_stage_surfaces_alarms_next_to_decisions() {
+        let fs = 128.0;
+        let cfg = StreamConfig::non_overlapping(fs, 30.0).unwrap();
+        let ecg = synth_ecg(fs, 150.0, 0.8); // 5 windows, all seizure votes
+        let alarm_cfg = crate::alarm::AlarmConfig {
+            k: 2,
+            n: 3,
+            refractory_windows: 2,
+            dropped: crate::alarm::DroppedPolicy::VoteNonSeizure,
+        };
+        let mut s =
+            StreamingSession::with_alarms(Arc::new(ConstEngine(1.0)), cfg, alarm_cfg).unwrap();
+        assert!(s.pending_alarms().is_empty());
+        let decisions = s.push_samples(&ecg);
+        assert_eq!(decisions.len(), 5);
+        // Persistent seizure votes: alarm at window 1, refractory 2
+        // suppresses windows 2–3, alarm again at window 4.
+        let alarms = s.take_alarms();
+        assert_eq!(
+            alarms.iter().map(|a| a.window_index).collect::<Vec<_>>(),
+            vec![1, 4]
+        );
+        assert_eq!(alarms[0].start_sample, cfg.stride as u64);
+        assert_eq!(s.stats().alarms, 2);
+        // take_alarms drained the buffer.
+        assert!(s.take_alarms().is_empty());
+        // The online alarms equal a batch scan over the decision stream.
+        let seq: Vec<Option<f64>> = decisions.iter().map(|d| d.decision).collect();
+        let batch = crate::alarm::AlarmStateMachine::scan(alarm_cfg, &seq, cfg.stride).unwrap();
+        assert_eq!(alarms, batch);
+        // Invalid alarm configs are rejected.
+        assert!(s
+            .enable_alarms(crate::alarm::AlarmConfig::k_of_n(9, 3))
+            .is_err());
+        // A plain session never raises alarms.
+        let mut plain = StreamingSession::new(Arc::new(ConstEngine(1.0)), cfg).unwrap();
+        plain.push_samples(&ecg);
+        assert_eq!(plain.stats().alarms, 0);
+        assert!(plain.take_alarms().is_empty());
+    }
+
+    #[test]
+    fn parallel_alarmed_streams_match_solo_sessions() {
+        let fs = 128.0;
+        let cfg = StreamConfig::non_overlapping(fs, 30.0).unwrap();
+        let alarm_cfg = crate::alarm::AlarmConfig::k_of_n(1, 2);
+        let streams: Vec<Vec<f64>> = [0.7, 0.9]
+            .iter()
+            .map(|&rr| synth_ecg(fs, 95.0, rr))
+            .collect();
+        let e: SharedEngine = Arc::new(ConstEngine(1.0));
+        let outcomes =
+            run_streams_parallel_alarmed(&e, cfg, Some(alarm_cfg), &streams, 640).unwrap();
+        for (outcome, samples) in outcomes.iter().zip(streams.iter()) {
+            let mut solo = StreamingSession::with_alarms(Arc::clone(&e), cfg, alarm_cfg).unwrap();
+            for chunk in samples.chunks(640) {
+                solo.push_samples(chunk);
+            }
+            assert_eq!(outcome.alarms, solo.take_alarms());
+            assert!(!outcome.alarms.is_empty());
+            assert_eq!(outcome.stats.alarms, outcome.alarms.len() as u64);
+        }
+        // Without an alarm stage the outcomes stay alarm-free.
+        let plain = run_streams_parallel(&e, cfg, &streams, 640).unwrap();
+        assert!(plain.iter().all(|o| o.alarms.is_empty()));
+        // Invalid alarm config is rejected up front.
+        assert!(run_streams_parallel_alarmed(
+            &e,
+            cfg,
+            Some(crate::alarm::AlarmConfig::k_of_n(0, 1)),
+            &streams,
+            640
+        )
+        .is_err());
+    }
+
     #[test]
     fn flat_windows_are_dropped_like_the_batch_path() {
         let fs = 128.0;
-        let cfg = StreamConfig::non_overlapping(fs, 30.0);
+        let cfg = StreamConfig::non_overlapping(fs, 30.0).unwrap();
         let mut s = StreamingSession::new(engine(), cfg).unwrap();
         let flat = vec![0.0; cfg.window_len * 2];
         let decisions = s.push_samples(&flat);
@@ -474,7 +772,7 @@ mod tests {
     #[test]
     fn parallel_streams_match_single_stream_runs() {
         let fs = 128.0;
-        let cfg = StreamConfig::non_overlapping(fs, 30.0);
+        let cfg = StreamConfig::non_overlapping(fs, 30.0).unwrap();
         let streams: Vec<Vec<f64>> = [0.7, 0.85, 1.0]
             .iter()
             .map(|&rr| synth_ecg(fs, 95.0, rr))

@@ -528,6 +528,52 @@ mod tests {
         assert!(FloatPipeline::from_text(&no_model).is_err());
     }
 
+    /// Deterministic corpus of corrupted pipeline texts: every entry must
+    /// come back as an error — never a panic, never `Ok`.
+    #[test]
+    fn corrupted_pipeline_corpus_never_panics() {
+        let m = matrix();
+        let p = FloatPipeline::fit(
+            &m,
+            &FitConfig::default().with_features(vec![0, 3, 5, 11, 40]),
+        )
+        .unwrap();
+        let good = p.to_text();
+        let mut corpus: Vec<String> = vec![
+            String::new(),
+            "floatpipeline".into(),
+            "floatpipeline v1".into(), // header only
+            "floatpipeline v9\n".into(),
+            "not a pipeline\n".into(),
+            good.replace("guard 3", "guard 3.5"), // non-integer guard
+            good.replace("guard 3", "guard"),     // empty guard
+            good.replacen("features", "festures", 1), // misspelt key
+            good.replacen("features 0 ", "features zero ", 1), // bad index
+            good.replacen("scales ", "scales x ", 1), // bad exponent
+            good.replacen("scales ", "scales 0 ", 1), // count mismatch
+            good.replace("n_feat 5", "n_feat 0"), // zero-width model
+            good.replace("n_feat 5", "n_feat 6"), // width mismatch
+            good.replace("svmmodel v1", "svmmodel v7"), // bad inner header
+        ];
+        // Truncations at every line boundary (all but the full text).
+        let lines: Vec<&str> = good.lines().collect();
+        for cut in 0..lines.len() {
+            corpus.push(
+                lines[..cut]
+                    .iter()
+                    .map(|l| format!("{l}\n"))
+                    .collect::<String>(),
+            );
+        }
+        for (i, text) in corpus.iter().enumerate() {
+            assert!(
+                FloatPipeline::from_text(text).is_err(),
+                "corpus entry {i} must be rejected:\n{text}"
+            );
+        }
+        assert!(FloatPipeline::from_text(&good).is_ok());
+    }
+
     #[test]
     fn linear_kernel_fits_too() {
         let m = matrix();

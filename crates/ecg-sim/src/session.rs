@@ -106,8 +106,17 @@ impl SessionRecording {
     /// when it holds the largest ictal share of some seizure (so short
     /// seizures straddling a window boundary are never lost from the
     /// positive class).
+    ///
+    /// The window length in samples is `window_s × fs` rounded to the
+    /// nearest sample — the same rule as
+    /// `seizure_core::stream::StreamConfig::non_overlapping`, so batch
+    /// labelling and streaming always agree on window geometry. A
+    /// non-finite or non-positive `window_s` yields no windows.
     pub fn window_labels(&self, window_s: f64) -> Vec<WindowLabel> {
-        let len = (window_s * self.fs) as usize;
+        if !window_s.is_finite() || window_s <= 0.0 {
+            return Vec::new();
+        }
+        let len = (window_s * self.fs).round() as usize;
         if len == 0 || len > self.ecg.len() {
             return Vec::new();
         }
@@ -258,6 +267,20 @@ mod tests {
         let rec = tiny_spec(vec![]).synthesize();
         assert!(rec.window_labels(0.0).is_empty());
         assert!(rec.window_labels(1e9).is_empty());
+        assert!(rec.window_labels(f64::NAN).is_empty());
+        assert!(rec.window_labels(f64::INFINITY).is_empty());
+        assert!(rec.window_labels(-30.0).is_empty());
+    }
+
+    #[test]
+    fn window_length_rounds_to_nearest_sample() {
+        let rec = tiny_spec(vec![]).synthesize();
+        // 30 s − ¼ sample at 128 Hz → 3839.75 samples, rounds up to 3840.
+        let labels = rec.window_labels(30.0 - 0.25 / 128.0);
+        assert_eq!(labels[0].len_samples, 3840);
+        // 30 s + ¾ sample → 3840.75, rounds to 3841 (not truncated).
+        let labels = rec.window_labels(30.0 + 0.75 / 128.0);
+        assert_eq!(labels[0].len_samples, 3841);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Alarm operating-point sweep: event-level metrics of the k-of-n alarm
+//! state machine over (k, n, refractory) for the float and quantised
+//! engines, under leave-one-session-out cross-validation.
+//!
+//! Engines are trained once per fold (the expensive part); every
+//! operating point then re-scans the cached per-session decision
+//! sequences through a fresh [`AlarmStateMachine`] — so the sweep costs
+//! one LOSO per engine, not one per point.
+//!
+//! Run with: `cargo run --release --bin alarm_sweep -- --scale tiny`
+
+use experiments::{pct, render_table, write_csv, RunConfig};
+use seizure_core::alarm::{
+    score_events, session_decision_sequence, truth_events, AlarmConfig, AlarmStateMachine,
+    EventMetrics, EventScoring, TruthEvent,
+};
+use seizure_core::config::FitConfig;
+use seizure_core::engine::{BitConfig, QuantizedEngine};
+use seizure_core::trained::FloatPipeline;
+use svm::ClassifierEngine;
+
+/// Cached per-fold material: the held-out session's decision sequence
+/// (None = dropped window), its ground truth and geometry.
+struct FoldDecisions {
+    decisions: Vec<Option<f64>>,
+    truth: Vec<TruthEvent>,
+    monitored_s: f64,
+    window_len: usize,
+    fs: f64,
+}
+
+fn main() {
+    let cfg = RunConfig::parse(std::env::args());
+    let spec = ecg_sim::dataset::DatasetSpec::new(cfg.scale, cfg.seed);
+    let (matrix, _) = cfg.build_dataset();
+    let window_s = spec.scale.window_s();
+
+    // One LOSO training pass per engine kind; decision sequences cached.
+    let mut folds: Vec<(String, Vec<FoldDecisions>)> = vec![
+        ("float".to_string(), Vec::new()),
+        ("quantized".to_string(), Vec::new()),
+    ];
+    let t0 = std::time::Instant::now();
+    for session in &spec.sessions {
+        let sid = session.session_index;
+        let (train, test) = matrix.split_by_session(sid);
+        if train.n_rows() == 0 || test.n_rows() == 0 {
+            continue;
+        }
+        let Ok(pipeline) = FloatPipeline::fit(&train, &FitConfig::default()) else {
+            eprintln!("fold {sid}: training failed, skipped");
+            continue;
+        };
+        let quantized = QuantizedEngine::from_pipeline(&pipeline, BitConfig::paper_choice())
+            .expect("paper bit config on a quadratic pipeline");
+        let rec = session.synthesize();
+        for (engine, fold_list) in [&pipeline as &dyn ClassifierEngine, &quantized]
+            .into_iter()
+            .zip(folds.iter_mut().map(|(_, f)| f))
+        {
+            let (decisions, window_len) = session_decision_sequence(&rec, window_s, engine);
+            if window_len == 0 {
+                continue;
+            }
+            fold_list.push(FoldDecisions {
+                decisions,
+                truth: truth_events(&rec.seizures),
+                monitored_s: rec.duration_s(),
+                window_len,
+                fs: rec.fs,
+            });
+        }
+    }
+    eprintln!(
+        "trained {} folds per engine in {:.1}s",
+        folds[0].1.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // The operating-point grid: k-of-n voting × refractory hold-off.
+    let mut points = Vec::new();
+    for n in 1..=4usize {
+        for k in 1..=n {
+            for refractory in [0usize, n, 2 * n] {
+                points.push(AlarmConfig {
+                    k,
+                    n,
+                    refractory_windows: refractory,
+                    ..AlarmConfig::default()
+                });
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (engine_name, fold_list) in &folds {
+        for point in &points {
+            let mut pooled = EventMetrics::default();
+            for fold in fold_list {
+                let alarms = AlarmStateMachine::scan(*point, &fold.decisions, fold.window_len)
+                    .expect("grid points are valid");
+                let scoring = EventScoring::for_windows(fold.fs, fold.window_len);
+                pooled.merge(&score_events(
+                    &alarms,
+                    &fold.truth,
+                    fold.monitored_s,
+                    &scoring,
+                ));
+            }
+            rows.push(vec![
+                engine_name.clone(),
+                format!("{}/{}", point.k, point.n),
+                point.refractory_windows.to_string(),
+                pct(pooled.event_sensitivity().unwrap_or(f64::NAN)),
+                format!("{:.1}", pooled.false_alarms_per_24h().unwrap_or(f64::NAN)),
+                pooled
+                    .median_latency_s()
+                    .map(|l| format!("{l:.0}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+    }
+
+    println!("\nAlarm operating-point sweep (event level, LOSO folds pooled)");
+    println!(
+        "{}",
+        render_table(
+            &["engine", "k/n", "refr", "Se_ev %", "FA/24h", "lat s"],
+            &rows
+        )
+    );
+    if let Some(dir) = &cfg.csv_dir {
+        write_csv(
+            dir,
+            "alarm_sweep",
+            &[
+                "engine",
+                "k_of_n",
+                "refractory",
+                "se_ev",
+                "fa_per_24h",
+                "median_latency_s",
+            ],
+            &rows,
+        );
+    }
+}

@@ -43,16 +43,22 @@ fn main() {
     let extractor = WindowExtractor::new(recording.fs);
     let window_s = spec.scale.window_s();
 
+    let labels = recording.window_labels(window_s);
+    let window_len = labels.first().expect("session holds windows").len_samples;
     let mut alarms = 0usize;
     let mut missed = 0usize;
     let mut false_alarms = 0usize;
+    let mut decisions: Vec<Option<f64>> = Vec::new();
     println!("t [s]   truth    detector");
-    for label in recording.window_labels(window_s) {
-        let Ok(features) = extractor.extract(recording.window_samples(&label)) else {
+    for label in &labels {
+        let Ok(features) = extractor.extract(recording.window_samples(label)) else {
             println!("{:>5.0}   (window dropped: too few beats)", label.start_s);
+            decisions.push(None);
             continue;
         };
-        let detected = engine.classify(&features) > 0.0;
+        let decision = engine.decision_value(&features);
+        decisions.push(Some(decision));
+        let detected = decision_is_seizure(decision);
         let truth = label.is_seizure;
         let marker = match (truth, detected) {
             (true, true) => "SEIZURE  ALARM",
@@ -70,6 +76,28 @@ fn main() {
     }
     println!(
         "\nsession summary: {alarms} correct alarms, {missed} missed seizure windows, {false_alarms} false alarms"
+    );
+
+    // Event-level view: fold the window decisions through the k-of-n
+    // alarm state machine and score against the annotated seizures.
+    use epilepsy_monitor::core::alarm;
+    let events = alarm::AlarmStateMachine::scan(AlarmConfig::k_of_n(1, 2), &decisions, window_len)
+        .expect("valid alarm operating point");
+    let metrics = alarm::score_events(
+        &events,
+        &alarm::truth_events(&recording.seizures),
+        recording.duration_s(),
+        &alarm::EventScoring::for_windows(recording.fs, window_len),
+    );
+    println!(
+        "event level (1-of-2 voting): {}/{} seizures detected, {:.1} false alarms per 24 h{}",
+        metrics.detected,
+        metrics.n_events,
+        metrics.false_alarms_per_24h().unwrap_or(0.0),
+        metrics
+            .median_latency_s()
+            .map(|l| format!(", median latency {l:.0} s"))
+            .unwrap_or_default()
     );
     // Energy for the whole session at one classification per window:
     let n_windows = (recording.duration_s() / window_s) as u64;

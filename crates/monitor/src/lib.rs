@@ -45,16 +45,17 @@ pub mod streaming;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use crate::streaming::StreamingMonitor;
+    pub use crate::streaming::{CohortAlarmReport, StreamingMonitor};
     pub use ecg_features::{DenseMatrix, FeatureMatrix};
     pub use ecg_sim::dataset::{DatasetSpec, Scale};
     pub use hwmodel::pipeline::AcceleratorConfig;
     pub use hwmodel::TechParams;
+    pub use seizure_core::alarm::{AlarmConfig, AlarmEvent, EventMetrics};
     pub use seizure_core::assemble::build_feature_matrix;
     pub use seizure_core::config::FitConfig;
     pub use seizure_core::engine::{BitConfig, QuantizedEngine};
-    pub use seizure_core::eval::{loso_evaluate, loso_evaluate_serial};
+    pub use seizure_core::eval::{loso_evaluate, loso_evaluate_events, loso_evaluate_serial};
     pub use seizure_core::stream::{StreamConfig, StreamStats, WindowDecision};
     pub use seizure_core::trained::FloatPipeline;
-    pub use svm::{ClassifierEngine, Kernel};
+    pub use svm::{decision_is_seizure, ClassifierEngine, Kernel};
 }

@@ -8,11 +8,12 @@
 //! ([`seizure_core::stream`]) guarantees the decisions are bit-identical
 //! to the batch pipeline on the same windows, for every backend.
 
+use seizure_core::alarm::{score_events, AlarmConfig, AlarmEvent, EventMetrics, EventScoring};
 use seizure_core::engine::{BitConfig, QuantizedEngine};
 use seizure_core::error::CoreError;
 use seizure_core::stream::{
-    run_streams_parallel, SharedEngine, StreamConfig, StreamOutcome, StreamStats, StreamingSession,
-    WindowDecision,
+    run_streams_parallel, run_streams_parallel_alarmed, SharedEngine, StreamConfig, StreamOutcome,
+    StreamStats, StreamingSession, WindowDecision,
 };
 use seizure_core::trained::FloatPipeline;
 use std::sync::Arc;
@@ -29,7 +30,7 @@ use svm::EngineInfo;
 /// let pipeline = FloatPipeline::fit(&matrix, &FitConfig::default())?;
 /// let mut monitor = StreamingMonitor::from_float_pipeline(
 ///     pipeline,
-///     StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s()),
+///     StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s())?,
 /// )?;
 /// let session = spec.sessions[0].synthesize();
 /// for chunk in session.chunks(128) {
@@ -118,6 +119,24 @@ impl StreamingMonitor {
         }
     }
 
+    /// Enables (or reconfigures) the online alarm stage: completed
+    /// windows also feed a k-of-n alarm state machine, and raised alarms
+    /// surface through [`StreamingMonitor::take_alarms`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid
+    /// [`AlarmConfig`].
+    pub fn enable_alarms(&mut self, alarm_cfg: AlarmConfig) -> Result<(), CoreError> {
+        self.session.enable_alarms(alarm_cfg)
+    }
+
+    /// Alarms raised since the last call, in firing order (always empty
+    /// while the alarm stage is disabled).
+    pub fn take_alarms(&mut self) -> Vec<AlarmEvent> {
+        self.session.take_alarms()
+    }
+
     /// Ingests one ECG chunk of any length; returns the decisions of the
     /// windows that completed inside it.
     pub fn push_samples(&mut self, chunk: &[f64]) -> Vec<WindowDecision> {
@@ -160,5 +179,86 @@ impl StreamingMonitor {
         chunk_len: usize,
     ) -> Result<Vec<StreamOutcome>, CoreError> {
         run_streams_parallel(engine, cfg, streams, chunk_len)
+    }
+
+    /// [`StreamingMonitor::monitor_cohort`] with a per-stream alarm
+    /// stage: every patient stream folds its decisions through its own
+    /// k-of-n alarm state machine at `alarm_cfg`, and the report carries
+    /// the raised alarms plus, when ground-truth seizure intervals are
+    /// supplied, pooled event metrics (event sensitivity, FA/24h,
+    /// detection latency).
+    ///
+    /// `truth` pairs each stream with its ground-truth events (from
+    /// [`seizure_core::alarm::truth_events`]); pass `None` for an
+    /// unannotated live cohort — the report then counts alarms without
+    /// scoring them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid configuration,
+    /// an invalid `alarm_cfg`, `chunk_len == 0`, or a `truth` slice whose
+    /// length does not match `streams`.
+    pub fn monitor_cohort_alarms(
+        engine: &SharedEngine,
+        cfg: StreamConfig,
+        alarm_cfg: AlarmConfig,
+        streams: &[Vec<f64>],
+        chunk_len: usize,
+        truth: Option<&[Vec<seizure_core::alarm::TruthEvent>]>,
+    ) -> Result<CohortAlarmReport, CoreError> {
+        if let Some(t) = truth {
+            if t.len() != streams.len() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "{} truth lists for {} streams",
+                    t.len(),
+                    streams.len()
+                )));
+            }
+        }
+        let outcomes =
+            run_streams_parallel_alarmed(engine, cfg, Some(alarm_cfg), streams, chunk_len)?;
+        let mut stats = StreamStats::default();
+        for o in &outcomes {
+            stats.merge(&o.stats);
+        }
+        let events = truth.map(|t| {
+            let scoring = EventScoring::for_windows(cfg.fs, cfg.window_len);
+            let mut pooled = EventMetrics::default();
+            for (outcome, events) in outcomes.iter().zip(t.iter()) {
+                let monitored_s = outcome.stats.samples_in as f64 / cfg.fs;
+                pooled.merge(&score_events(
+                    &outcome.alarms,
+                    events,
+                    monitored_s,
+                    &scoring,
+                ));
+            }
+            pooled
+        });
+        Ok(CohortAlarmReport {
+            outcomes,
+            stats,
+            events,
+        })
+    }
+}
+
+/// What a cohort-wide alarmed monitoring run produced: per-stream
+/// outcomes (decisions + alarms), merged stream accounting and — when
+/// ground truth was supplied — pooled event metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortAlarmReport {
+    /// Per-stream outcomes in input order.
+    pub outcomes: Vec<StreamOutcome>,
+    /// Merged latency/throughput/alarm accounting over the cohort.
+    pub stats: StreamStats,
+    /// Pooled event metrics; `None` when no ground truth was supplied.
+    pub events: Option<EventMetrics>,
+}
+
+impl CohortAlarmReport {
+    /// Total alarms raised across the cohort.
+    pub fn total_alarms(&self) -> u64 {
+        self.stats.alarms
     }
 }

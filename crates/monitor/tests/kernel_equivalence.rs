@@ -162,7 +162,7 @@ fn assert_streaming_matches_batch(engine: SharedEngine, per_row: impl Fn(&[f64])
     let spec = spec();
     let rec = spec.sessions[0].synthesize();
     let window_s = spec.scale.window_s();
-    let cfg = StreamConfig::non_overlapping(spec.scale.fs(), window_s);
+    let cfg = StreamConfig::non_overlapping(spec.scale.fs(), window_s).expect("stream config");
     let extractor = epilepsy_monitor::features::WindowExtractor::new(rec.fs);
 
     let mut monitor = StreamingMonitor::new(engine, cfg).expect("stream config");

@@ -127,7 +127,7 @@ fn streaming_is_bit_identical_to_batch_for_both_engines() {
     let spec = spec();
     let window_s = spec.scale.window_s();
     let fs = spec.scale.fs();
-    let cfg = StreamConfig::non_overlapping(fs, window_s);
+    let cfg = StreamConfig::non_overlapping(fs, window_s).expect("stream config");
     let p = pipeline();
     let quantized =
         QuantizedEngine::from_pipeline(p, BitConfig::paper_choice()).expect("quantized engine");
@@ -200,7 +200,8 @@ fn streaming_is_bit_identical_to_batch_for_both_engines() {
 #[test]
 fn restarting_from_persisted_pipeline_is_bit_identical() {
     let spec = spec();
-    let cfg = StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s());
+    let cfg = StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s())
+        .expect("stream config");
     let p = pipeline();
     let rec = spec.sessions[0].synthesize();
 
@@ -250,7 +251,8 @@ fn restarting_from_persisted_pipeline_is_bit_identical() {
 #[test]
 fn corrupt_persisted_pipeline_is_rejected_at_load_not_at_first_window() {
     let spec = spec();
-    let cfg = StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s());
+    let cfg = StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s())
+        .expect("stream config");
     // Point one selected feature far past the 53 columns extraction
     // produces: the monitor must refuse the file instead of panicking on
     // the first classified window.
@@ -263,7 +265,8 @@ fn corrupt_persisted_pipeline_is_rejected_at_load_not_at_first_window() {
 #[test]
 fn cohort_fanout_matches_per_stream_runs() {
     let spec = spec();
-    let cfg = StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s());
+    let cfg = StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s())
+        .expect("stream config");
     let engine: Arc<dyn ClassifierEngine> = Arc::new(pipeline().clone());
     let streams: Vec<Vec<f64>> = spec
         .sessions

@@ -12,6 +12,33 @@
 use crate::model::SvmModel;
 use ecg_features::DenseMatrix;
 
+/// **The** seizure decision boundary: a decision value `d` means seizure
+/// iff `d >= 0.0` (ties positive — the hardware sign-bit convention,
+/// where a non-negative accumulator reads as class `+1`).
+///
+/// Every layer that turns a decision value into a class — trait
+/// `classify` defaults, batch classify kernels, the quantised float
+/// simulation, streaming window decisions, confusion counting and the
+/// alarm state machine — routes through this helper, so the boundary
+/// convention cannot fork again. (It once did: batch confusion counting
+/// used `> 0.0` while everything else used `>= 0.0`, silently
+/// disagreeing on boundary windows.)
+#[inline]
+pub fn decision_is_seizure(d: f64) -> bool {
+    d >= 0.0
+}
+
+/// Maps a decision value onto the paper's `±1.0` class labels through
+/// [`decision_is_seizure`].
+#[inline]
+pub fn class_of_decision(d: f64) -> f64 {
+    if decision_is_seizure(d) {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
 /// Cost metadata of a classifier backend — the quantities the hardware
 /// model prices (`N_SV`, `N_feat`, operand widths) plus a display kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,13 +88,10 @@ pub trait ClassifierEngine: Send + Sync {
     /// backend are meaningful.
     fn decision(&self, row: &[f64]) -> f64;
 
-    /// Predicted class on one raw feature row: `+1.0` or `-1.0`.
+    /// Predicted class on one raw feature row: `+1.0` or `-1.0`
+    /// (boundary set by [`decision_is_seizure`]).
     fn classify(&self, row: &[f64]) -> f64 {
-        if self.decision(row) >= 0.0 {
-            1.0
-        } else {
-            -1.0
-        }
+        class_of_decision(self.decision(row))
     }
 
     /// Decision values for every row of a raw dense batch.
@@ -119,7 +143,7 @@ impl ClassifierEngine for SvmModel {
     fn classify_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
         self.decision_batch(rows)
             .into_iter()
-            .map(|d| if d >= 0.0 { 1.0 } else { -1.0 })
+            .map(class_of_decision)
             .collect()
     }
 
@@ -175,6 +199,27 @@ mod tests {
             assert_eq!(dec[i].to_bits(), e.decision(row).to_bits());
             assert_eq!(cls[i], e.classify(row));
         }
+    }
+
+    #[test]
+    fn zero_decision_is_seizure_everywhere() {
+        // The shared boundary: exactly-zero decisions are seizure (+1).
+        assert!(decision_is_seizure(0.0));
+        assert!(decision_is_seizure(-0.0));
+        assert!(decision_is_seizure(f64::MIN_POSITIVE));
+        assert!(!decision_is_seizure(-f64::MIN_POSITIVE));
+        assert_eq!(class_of_decision(0.0), 1.0);
+        assert_eq!(class_of_decision(-0.0), 1.0);
+        assert_eq!(class_of_decision(-1e-300), -1.0);
+        // A model whose decision is exactly 0.0 classifies as +1 through
+        // the trait default, the inherent predict and the tiled batch.
+        let m = toy_model(); // linear: f(x) = x0
+        let e: &dyn ClassifierEngine = &m;
+        assert_eq!(e.decision(&[0.0, 7.0]), 0.0);
+        assert_eq!(e.classify(&[0.0, 7.0]), 1.0);
+        assert_eq!(m.predict(&[0.0, 7.0]), 1.0);
+        let batch = DenseMatrix::from_rows(&[vec![0.0, 7.0]]);
+        assert_eq!(e.classify_batch(&batch), vec![1.0]);
     }
 
     #[test]

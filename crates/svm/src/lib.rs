@@ -59,7 +59,7 @@ pub mod persist;
 pub mod scale;
 pub mod smo;
 
-pub use classifier::{ClassifierEngine, EngineInfo};
+pub use classifier::{class_of_decision, decision_is_seizure, ClassifierEngine, EngineInfo};
 pub use ecg_features::DenseMatrix;
 pub use error::SvmError;
 pub use kernel::Kernel;

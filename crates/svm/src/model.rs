@@ -139,11 +139,7 @@ impl SvmModel {
     /// this model implements — bring the trait into scope for
     /// `decision_batch` / `predict_batch`-style whole-block inference.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        if self.decision_value(x) >= 0.0 {
-            1.0
-        } else {
-            -1.0
-        }
+        crate::classifier::class_of_decision(self.decision_value(x))
     }
 
     /// The paper's Eq 5 significance norm for each SV:

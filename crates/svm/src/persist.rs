@@ -128,6 +128,11 @@ impl SvmModel {
                         return Err(SvmError::Persist("duplicate n_feat line".into()));
                     }
                     let d = parse_usize(v, "n_feat")?;
+                    if d == 0 {
+                        return Err(SvmError::Persist(
+                            "n_feat must be >= 1 (a zero-width model cannot classify)".into(),
+                        ));
+                    }
                     n_feat = Some(d);
                     svs = Some(DenseMatrix::with_cols(d));
                 }
@@ -155,6 +160,14 @@ impl SvmModel {
                         )));
                     }
                     m.push_row(&row);
+                }
+                // An `sv` line too short to carry alpha + label: its own
+                // error (the catch-all below would blame the whole line).
+                ["sv", ..] => {
+                    return Err(SvmError::Persist(format!(
+                        "truncated sv line `{line}` (need alpha, label and {} features)",
+                        n_feat.map_or("n_feat".to_string(), |d| d.to_string())
+                    )));
                 }
                 _ => {
                     return Err(SvmError::Persist(format!("unrecognised line `{line}`")));
@@ -260,5 +273,60 @@ mod tests {
             SvmModel::from_text(&dup),
             Err(SvmError::Persist(_))
         ));
+    }
+
+    /// Deterministic corpus of corrupted model texts: every entry must
+    /// come back as `SvmError::Persist` — never a panic, never `Ok`.
+    #[test]
+    fn corrupted_corpus_never_panics() {
+        let good = toy_model().to_text();
+        let mut corpus: Vec<String> = vec![
+            String::new(),
+            "svmmodel".into(),
+            "svmmodel v1".into(),             // header only: missing every field
+            "svmmodel v2\n".into(),           // future version
+            "not a model\n".into(),           // wrong header
+            "svmmodel v1\nn_feat 0\n".into(), // zero-width model
+            "svmmodel v1\nkernel linear\nbias zzzz\n".into(), // bad hex
+            "svmmodel v1\nkernel polynomial x\n".into(), // bad degree
+            "svmmodel v1\nkernel rbf\n".into(), // missing gamma
+            "svmmodel v1\nn_sv -3\n".into(),  // negative count
+            "svmmodel v1\nn_feat 18446744073709551616\n".into(), // > u64
+            format!("{good}sv\n"),            // sv line with no fields
+            format!("{good}sv {}\n", encode_f64(1.0)), // sv missing label
+            good.replace(" +1 ", " up "),     // bad sv label token
+            good.replace("n_feat 2", "n_feat 3"), // width mismatch
+            good.replace("n_sv 2", "n_sv 1"), // count mismatch (too many)
+            good.replace("n_sv 2", "n_sv 99"), // count mismatch (too few)
+            good.replacen("bias", "bais", 1), // misspelt key
+        ];
+        // Truncations at every line boundary (all but the full text).
+        let lines: Vec<&str> = good.lines().collect();
+        for cut in 0..lines.len() {
+            corpus.push(
+                lines[..cut]
+                    .iter()
+                    .map(|l| format!("{l}\n"))
+                    .collect::<String>(),
+            );
+        }
+        // Drop one trailing field from each sv line in turn.
+        for (i, line) in lines.iter().enumerate() {
+            if line.starts_with("sv ") {
+                let shortened = line.rsplit_once(' ').unwrap().0;
+                let mut mutated = lines.clone();
+                mutated[i] = shortened;
+                corpus.push(mutated.iter().map(|l| format!("{l}\n")).collect());
+            }
+        }
+        for (i, text) in corpus.iter().enumerate() {
+            assert!(
+                matches!(SvmModel::from_text(text), Err(SvmError::Persist(_))),
+                "corpus entry {i} must be rejected:\n{text}"
+            );
+        }
+        // The pristine text still parses, so the corpus mutations are the
+        // only thing being rejected.
+        assert!(SvmModel::from_text(&good).is_ok());
     }
 }

@@ -1,0 +1,230 @@
+//! Perf-trajectory baseline for fleet-scale session multiplexing:
+//! cross-patient batched inference through `FleetScheduler` against the
+//! `run_streams_parallel` per-row serving baseline, at 64 / 256 / 1024
+//! simulated patients.
+//!
+//! Two serving shapes are measured:
+//!
+//! * **raw-sample ingest** (`fleet_ingest_flush_*` vs
+//!   `streams_parallel_*`) — the server runs feature extraction; both
+//!   paths pay the same extraction cost per window, so the fleet's edge
+//!   here is amortised session state (persistent rings/scratch vs
+//!   per-call construction) plus the batched kernel;
+//! * **row ingest** (`fleet_rows_*` vs `perrow_rows_*`) — the
+//!   on-device-extraction topology (wearables ship 53-float rows), where
+//!   the server is classification-bound and cross-patient batching is
+//!   the whole story.
+//!
+//! Run with `cargo bench -p bench --bench fleet`; results land in
+//! `BENCH_fleet.json` (workspace root only when `BENCH_WRITE_BASELINE`
+//! is set, `target/` otherwise) with windows/sec per fleet size and
+//! fleet-vs-baseline ratios.
+
+use bench::{bb, Harness};
+use ecg_features::extract::{ExtractScratch, WindowExtractor};
+use ecg_features::N_FEATURES;
+use ecg_sim::dataset::{DatasetSpec, Scale};
+use seizure_core::config::FitConfig;
+use seizure_core::engine::{BitConfig, QuantizedEngine};
+use seizure_core::fleet::{FleetConfig, FleetScheduler};
+use seizure_core::stream::{run_streams_parallel, SharedEngine, StreamConfig, StreamingSession};
+use seizure_core::trained::FloatPipeline;
+use std::sync::Arc;
+
+const FLEET_SIZES: [usize; 3] = [64, 256, 1024];
+/// Pre-extracted rows each patient contributes per flush cycle on the
+/// row-serving path.
+const ROWS_PER_PATIENT: usize = 4;
+
+/// One window-sized chunk per patient, sliced out of the cohort's real
+/// sessions (cycled across patients, staggered so neighbours replay
+/// different windows).
+fn patient_chunks(ecgs: &[Vec<f64>], window_len: usize, n: usize) -> Vec<&[f64]> {
+    (0..n)
+        .map(|p| {
+            let ecg = &ecgs[p % ecgs.len()];
+            let windows = ecg.len() / window_len;
+            let w = (p / ecgs.len()) % windows;
+            &ecg[w * window_len..(w + 1) * window_len]
+        })
+        .collect()
+}
+
+fn main() {
+    let spec = DatasetSpec::new(Scale::Tiny, 42);
+    let window_s = spec.scale.window_s();
+    let fs = spec.scale.fs();
+    let cfg = StreamConfig::non_overlapping(fs, window_s).expect("stream config");
+
+    let matrix = seizure_core::assemble::build_feature_matrix(&spec);
+    let pipeline = FloatPipeline::fit(&matrix, &FitConfig::default()).expect("fit");
+    let quantized =
+        QuantizedEngine::from_pipeline(&pipeline, BitConfig::paper_choice()).expect("engine");
+    let float_engine: SharedEngine = Arc::new(pipeline.clone());
+    let quant_engine: SharedEngine = Arc::new(quantized);
+
+    // Real session material, cycled across simulated patients.
+    let ecgs: Vec<Vec<f64>> = spec.sessions.iter().map(|s| s.synthesize().ecg).collect();
+    // Pre-extracted feature rows for the row-serving path.
+    let rows: Vec<Vec<f64>> = {
+        let rec = spec.sessions[0].synthesize();
+        let extractor = WindowExtractor::new(rec.fs);
+        let mut scratch = ExtractScratch::default();
+        let mut row = Vec::with_capacity(N_FEATURES);
+        let mut out = Vec::new();
+        for label in rec.window_labels(window_s) {
+            if extractor
+                .extract_into(rec.window_samples(&label), &mut scratch, &mut row)
+                .is_ok()
+            {
+                out.push(row.clone());
+            }
+        }
+        out
+    };
+    assert!(rows.len() >= 4, "need a few extracted rows to cycle");
+
+    let mut h = Harness::new();
+    let mut meta: Vec<(&str, String)> = Vec::new();
+
+    // --- row-serving path: classification-bound, both engines (float
+    // first: it is the cloud-serving backend and the headline, since
+    // the quantised engine's scratch-reusing per-row path already runs
+    // at batch speed on one core) ---
+    for (engine_name, engine) in [("float", &float_engine), ("quant", &quant_engine)] {
+        for &n in &FLEET_SIZES {
+            let windows_per_iter = (n * ROWS_PER_PATIENT) as f64;
+            let fleet_name = format!("fleet_rows_{n}_{engine_name}");
+            let perrow_name = format!("perrow_rows_{n}_{engine_name}");
+            if !h.enabled(&fleet_name) && !h.enabled(&perrow_name) {
+                continue;
+            }
+            // Persistent fleet: admit once, then ingest_row + flush per
+            // iteration — one batched kernel call per cycle.
+            let mut fleet = FleetScheduler::new(Arc::clone(engine), FleetConfig::unbounded(cfg))
+                .expect("fleet");
+            for p in 0..n as u64 {
+                fleet.admit(p).expect("admit");
+            }
+            let fleet_ns = h.bench(&fleet_name, || {
+                for p in 0..n {
+                    for r in 0..ROWS_PER_PATIENT {
+                        let row = &rows[(p + r) % rows.len()];
+                        fleet.ingest_row(p as u64, Some(row)).expect("ingest_row");
+                    }
+                }
+                bb(fleet.flush().rows_classified)
+            });
+            // Per-row baseline: the run_streams_parallel serving shape —
+            // persistent per-patient sessions, one engine.decision per
+            // window.
+            let mut sessions: Vec<StreamingSession> = (0..n)
+                .map(|_| StreamingSession::new(Arc::clone(engine), cfg).expect("session"))
+                .collect();
+            let perrow_ns = h.bench(&perrow_name, || {
+                let mut last = 0u64;
+                for (p, session) in sessions.iter_mut().enumerate() {
+                    for r in 0..ROWS_PER_PATIENT {
+                        let row = &rows[(p + r) % rows.len()];
+                        last = session.push_row(Some(row)).expect("push_row").window_index;
+                    }
+                }
+                bb(last)
+            });
+            if fleet_ns.is_finite() && perrow_ns.is_finite() {
+                meta.push((
+                    Box::leak(
+                        format!("rows_{n}_{engine_name}_fleet_windows_per_sec").into_boxed_str(),
+                    ),
+                    format!("{:.1}", windows_per_iter * 1e9 / fleet_ns),
+                ));
+                meta.push((
+                    Box::leak(
+                        format!("rows_{n}_{engine_name}_perrow_windows_per_sec").into_boxed_str(),
+                    ),
+                    format!("{:.1}", windows_per_iter * 1e9 / perrow_ns),
+                ));
+                meta.push((
+                    Box::leak(format!("rows_{n}_{engine_name}_fleet_vs_perrow").into_boxed_str()),
+                    format!("{:.3}", perrow_ns / fleet_ns),
+                ));
+            }
+        }
+    }
+
+    // --- raw-sample ingest: extraction-bound end-to-end serving ---
+    for &n in &FLEET_SIZES {
+        let fleet_name = format!("fleet_ingest_flush_{n}_quant");
+        let baseline_name = format!("streams_parallel_{n}_quant");
+        if !h.enabled(&fleet_name) && !h.enabled(&baseline_name) {
+            continue;
+        }
+        let chunks = patient_chunks(&ecgs, cfg.window_len, n);
+        let mut fleet = FleetScheduler::new(Arc::clone(&quant_engine), FleetConfig::unbounded(cfg))
+            .expect("fleet");
+        for p in 0..n as u64 {
+            fleet.admit(p).expect("admit");
+        }
+        let fleet_ns = h.bench(&fleet_name, || {
+            for (p, chunk) in chunks.iter().enumerate() {
+                fleet.ingest(p as u64, chunk).expect("ingest");
+            }
+            bb(fleet.flush().decisions.len())
+        });
+        // The named baseline: run_streams_parallel re-builds sessions
+        // per call and classifies window by window.
+        let streams: Vec<Vec<f64>> = chunks.iter().map(|c| c.to_vec()).collect();
+        let baseline_ns = h.bench(&baseline_name, || {
+            bb(
+                run_streams_parallel(&quant_engine, cfg, &streams, cfg.window_len)
+                    .expect("baseline"),
+            )
+        });
+        if fleet_ns.is_finite() && baseline_ns.is_finite() {
+            meta.push((
+                Box::leak(format!("ingest_{n}_quant_fleet_windows_per_sec").into_boxed_str()),
+                format!("{:.1}", n as f64 * 1e9 / fleet_ns),
+            ));
+            meta.push((
+                Box::leak(format!("ingest_{n}_quant_baseline_windows_per_sec").into_boxed_str()),
+                format!("{:.1}", n as f64 * 1e9 / baseline_ns),
+            ));
+            meta.push((
+                Box::leak(format!("ingest_{n}_quant_fleet_vs_streams_parallel").into_boxed_str()),
+                format!("{:.3}", baseline_ns / fleet_ns),
+            ));
+        }
+    }
+
+    h.report();
+    println!("\nfleet vs per-row baselines (ratio > 1 ⇒ fleet faster):");
+    for (k, v) in &meta {
+        if k.ends_with("_fleet_vs_perrow") || k.ends_with("_fleet_vs_streams_parallel") {
+            println!("  {k:<44} {v}x");
+        }
+    }
+
+    let workers = seizure_core::parallel::worker_count(usize::MAX);
+    // Smoke runs must not clobber the committed baseline: the repo-root
+    // file is only rewritten when explicitly requested.
+    let out = if std::env::var("BENCH_WRITE_BASELINE").is_ok() {
+        assert!(
+            !h.filter_active(),
+            "refusing to write the committed baseline from a \
+             BENCH_FILTER-restricted run (skipped benches would bake NaN \
+             ratios into BENCH_fleet.json)"
+        );
+        format!("{}/../../BENCH_fleet.json", env!("CARGO_MANIFEST_DIR"))
+    } else {
+        let dir = format!("{}/../../target", env!("CARGO_MANIFEST_DIR"));
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        format!("{dir}/BENCH_fleet.json")
+    };
+    let mut metadata: Vec<(&str, String)> = vec![
+        ("suite", "fleet".to_string()),
+        ("workers", workers.to_string()),
+        ("rows_per_patient", ROWS_PER_PATIENT.to_string()),
+    ];
+    metadata.extend(meta);
+    h.write_json(&out, &metadata);
+}

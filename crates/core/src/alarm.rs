@@ -427,30 +427,60 @@ impl EventMetrics {
 /// An alarm *matches* an event when its clock time (window end) falls in
 /// `[onset − pre_tolerance, offset + post_tolerance]`. An alarm inside
 /// an event's actual `[onset, offset]` interval is assigned to that
-/// event; otherwise it goes to the earliest event whose tolerance band
-/// covers it — so when two seizures sit closer together than the
-/// tolerances, an alarm fired *during* the second is credited to the
-/// second, not leaked onto the already-detected first. Events with at
-/// least one matching alarm count as detected, with latency measured to
-/// the first such alarm; alarms matching no event are false alarms.
+/// event; otherwise, among the events whose tolerance band covers it,
+/// it goes to a **still-undetected** event when one exists, nearest
+/// onset first (earlier event on a tie) — so when two seizures sit
+/// closer together than the tolerances, an alarm between them credits
+/// the seizure it plausibly announces instead of leaking onto an
+/// earlier, already-detected one just because that event sorts first.
+/// Events with at least one matching alarm count as detected, with
+/// latency measured to the first such alarm; alarms matching no event
+/// are false alarms.
+///
+/// Because the undetected-first preference depends on which alarms came
+/// before, alarms are scored in ascending clock time regardless of the
+/// slice's order — one state machine emits them sorted anyway, but a
+/// list merged from several sources scores identically too.
 pub fn score_events(
     alarms: &[AlarmEvent],
     truth: &[TruthEvent],
     monitored_s: f64,
     scoring: &EventScoring,
 ) -> EventMetrics {
+    let mut order: Vec<usize> = (0..alarms.len()).collect();
+    order.sort_by(|&a, &b| {
+        scoring
+            .alarm_time_s(&alarms[a])
+            .total_cmp(&scoring.alarm_time_s(&alarms[b]))
+    });
     let mut first_alarm_time: Vec<Option<f64>> = vec![None; truth.len()];
     let mut false_alarms = 0usize;
-    for alarm in alarms {
+    for alarm in order.into_iter().map(|i| &alarms[i]) {
         let t = scoring.alarm_time_s(alarm);
         let matched = truth
             .iter()
             .position(|e| t >= e.onset_s && t <= e.offset_s)
             .or_else(|| {
-                truth.iter().position(|e| {
-                    t >= e.onset_s - scoring.pre_tolerance_s
-                        && t <= e.offset_s + scoring.post_tolerance_s
-                })
+                // Tolerance-band fallback: prefer an undetected event,
+                // then the nearest onset, then the earlier event. (It
+                // used to credit the earliest-position event even when a
+                // later, still-undetected event's onset was nearer —
+                // under-reporting event sensitivity on close seizures.)
+                truth
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| {
+                        t >= e.onset_s - scoring.pre_tolerance_s
+                            && t <= e.offset_s + scoring.post_tolerance_s
+                    })
+                    .min_by(|(i, a), (j, b)| {
+                        first_alarm_time[*i]
+                            .is_some()
+                            .cmp(&first_alarm_time[*j].is_some())
+                            .then_with(|| (t - a.onset_s).abs().total_cmp(&(t - b.onset_s).abs()))
+                            .then_with(|| i.cmp(j))
+                    })
+                    .map(|(i, _)| i)
             });
         match matched {
             Some(i) => {
@@ -722,6 +752,134 @@ mod tests {
         // Latency is measured from seizure 2's onset (165 − 160), not
         // seizure 1's (165 − 100).
         assert_eq!(m.latencies_s, vec![5.0]);
+    }
+
+    #[test]
+    fn band_fallback_prefers_nearest_onset_between_close_seizures() {
+        // Regression: two seizures closer together than the tolerance
+        // bands, one alarm *between* them (inside neither interval). The
+        // alarm's window ends 10 s before seizure B's onset but 60 s
+        // after seizure A's — it announces B. The old earliest-position
+        // rule credited A, leaving B undetected.
+        let scoring = EventScoring {
+            fs: 1.0,
+            window_len: 10,
+            pre_tolerance_s: 80.0,
+            post_tolerance_s: 80.0,
+        };
+        let truth = [
+            TruthEvent {
+                onset_s: 100.0,
+                offset_s: 130.0,
+            },
+            TruthEvent {
+                onset_s: 200.0,
+                offset_s: 230.0,
+            },
+        ];
+        let alarm = |end_s: f64, i: u64| AlarmEvent {
+            alarm_index: i,
+            window_index: (end_s as u64 - 10) / 10,
+            start_sample: end_s as u64 - 10,
+            votes: 1,
+        };
+        // Both bands cover t = 190 ([20, 210] and [120, 310]); B's onset
+        // is 10 s away, A's 90 s.
+        let m = score_events(&[alarm(190.0, 0)], &truth, 600.0, &scoring);
+        assert_eq!(m.detected, 1);
+        assert_eq!(m.false_alarms, 0);
+        assert_eq!(m.latencies_s, vec![-10.0], "credited to B, not A");
+        // With a second alarm inside A, both seizures are detected and
+        // each latency is measured from its own onset.
+        let m = score_events(&[alarm(110.0, 0), alarm(190.0, 1)], &truth, 600.0, &scoring);
+        assert_eq!(m.detected, 2);
+        assert_eq!(m.latencies_s, vec![10.0, -10.0]);
+    }
+
+    #[test]
+    fn band_fallback_prefers_undetected_event_over_nearer_onset() {
+        // A already detected (alarm inside it). A later band alarm at
+        // t = 135 is nearer A's onset (35 s) than B's (65 s), but A is
+        // detected and B is not — credit B, the event the alarm can
+        // still newly announce.
+        let scoring = EventScoring {
+            fs: 1.0,
+            window_len: 10,
+            pre_tolerance_s: 80.0,
+            post_tolerance_s: 80.0,
+        };
+        let truth = [
+            TruthEvent {
+                onset_s: 100.0,
+                offset_s: 130.0,
+            },
+            TruthEvent {
+                onset_s: 200.0,
+                offset_s: 230.0,
+            },
+        ];
+        let alarm = |end_s: f64, i: u64| AlarmEvent {
+            alarm_index: i,
+            window_index: (end_s as u64 - 10) / 10,
+            start_sample: end_s as u64 - 10,
+            votes: 1,
+        };
+        let m = score_events(&[alarm(110.0, 0), alarm(135.0, 1)], &truth, 600.0, &scoring);
+        assert_eq!(m.detected, 2, "second alarm credits undetected B");
+        assert_eq!(m.latencies_s, vec![10.0, -65.0]);
+        // Same geometry but both already detected: the nearest onset
+        // wins (t = 160 is 60 s from A, 40 s from B → credited to B,
+        // whose first-alarm time improves to 160; nothing becomes a
+        // false alarm).
+        let m = score_events(
+            &[alarm(110.0, 0), alarm(195.0, 1), alarm(160.0, 2)],
+            &truth,
+            600.0,
+            &scoring,
+        );
+        assert_eq!(m.detected, 2);
+        assert_eq!(m.false_alarms, 0);
+        assert_eq!(m.latencies_s, vec![10.0, -40.0]);
+    }
+
+    #[test]
+    fn scoring_is_independent_of_alarm_slice_order() {
+        // The undetected-first preference is stateful, so score_events
+        // sorts by clock time internally: a merged, out-of-order alarm
+        // list scores exactly like the sorted one.
+        let scoring = EventScoring {
+            fs: 1.0,
+            window_len: 10,
+            pre_tolerance_s: 80.0,
+            post_tolerance_s: 80.0,
+        };
+        let truth = [
+            TruthEvent {
+                onset_s: 100.0,
+                offset_s: 130.0,
+            },
+            TruthEvent {
+                onset_s: 200.0,
+                offset_s: 230.0,
+            },
+        ];
+        let alarm = |end_s: f64, i: u64| AlarmEvent {
+            alarm_index: i,
+            window_index: (end_s as u64 - 10) / 10,
+            start_sample: end_s as u64 - 10,
+            votes: 1,
+        };
+        // Band-only alarms at t = 140 and t = 150 (inside neither
+        // interval, both bands cover both).
+        let sorted = [alarm(140.0, 0), alarm(150.0, 1)];
+        let reversed = [alarm(150.0, 1), alarm(140.0, 0)];
+        let a = score_events(&sorted, &truth, 600.0, &scoring);
+        let b = score_events(&reversed, &truth, 600.0, &scoring);
+        assert_eq!(a, b);
+        // Time order decides: 140 credits A (nearest onset among the
+        // undetected), then 150 credits the still-undetected B.
+        assert_eq!(a.detected, 2);
+        assert_eq!(a.latencies_s, vec![40.0, -50.0]);
     }
 
     #[test]

@@ -1,0 +1,1039 @@
+//! Fleet-scale session multiplexing: thousands of patient streams, one
+//! batched inference path.
+//!
+//! [`crate::stream::run_streams_parallel`] fans patient sessions out
+//! across threads but still classifies **one window at a time** per
+//! session — the tiled [`ClassifierEngine::decision_batch`] kernels
+//! never run on the serving path. [`FleetScheduler`] closes that gap: it
+//! owns N per-patient [`StreamingSession`]s, accepts
+//! [`FleetScheduler::ingest`] calls in arbitrary patient interleavings,
+//! and on each [`FleetScheduler::flush`] gathers every ready feature row
+//! across **all** sessions into one [`DenseMatrix`] driven through a
+//! single `decision_batch` call:
+//!
+//! ```text
+//! ingest(p1, chunk) ─► session p1 ─ extract ─► pending rows ─┐
+//! ingest(p7, chunk) ─► session p7 ─ extract ─► pending rows ─┤   flush
+//! ingest(p3, chunk) ─► session p3 ─ extract ─► pending rows ─┼──────────►
+//!        …                                                   │ one DenseMatrix
+//!                                                            │ one decision_batch
+//!  decisions / alarms / stats routed back per session ◄──────┘
+//! ```
+//!
+//! Decisions come back **bit-identical** to solo streaming because the
+//! batch kernels are pinned bit-identical to per-row `decision` calls,
+//! and each session's windows are decided in extraction order — so the
+//! alarm state machines, drop accounting and window geometry cannot
+//! diverge (the `fleet_equivalence` suite pins this on a real cohort for
+//! both engines, under random interleavings and both
+//! [`crate::alarm::DroppedPolicy`] variants).
+//!
+//! ## Backpressure
+//!
+//! A fleet taking live traffic can be offered more windows than it can
+//! classify. [`FleetConfig::max_pending_rows`] bounds the feature rows
+//! buffered between flushes; when the bound is hit,
+//! [`OverloadPolicy`] decides who pays: `Reject` sheds the **newest**
+//! window, `DropOldest` sheds the **oldest pending** row fleet-wide.
+//! Either way the shed window stays in its session's queue as a
+//! *dropped* window (decision `None`) — it is still decided in order at
+//! the next flush, so per-session window accounting and the alarm
+//! dropped-window semantics stay exact — and the shed count surfaces in
+//! [`FleetStats`].
+//!
+//! ## Ingest modes
+//!
+//! * [`FleetScheduler::ingest`] — raw ECG chunks; the session extracts
+//!   windows server-side (the monitor-parity mode the equivalence tests
+//!   drive).
+//! * [`FleetScheduler::ingest_row`] — pre-extracted 53-feature rows; the
+//!   on-device-extraction topology where wearables run DSP locally and
+//!   the fleet spends its cycles purely on classification, which is
+//!   where cross-patient batching pays (see `BENCH_fleet.json`).
+
+use crate::alarm::{AlarmConfig, AlarmEvent};
+use crate::error::CoreError;
+use crate::stream::{
+    pooled_windows_per_sec, PendingWindow, SharedEngine, StreamConfig, StreamStats,
+    StreamingSession, WindowDecision,
+};
+use ecg_features::{DenseMatrix, N_FEATURES};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifies one patient stream within a fleet.
+pub type PatientId = u64;
+
+/// Rows per [`ClassifierEngine::decision_batch`] panel inside
+/// [`FleetScheduler::flush`]. Panelling keeps a huge fleet's flush
+/// working set cache-sized (256 rows × 53 features ≈ 106 KiB) instead
+/// of streaming one multi-megabyte batch through the kernels; it cannot
+/// change results because batch decisions are bit-identical to per-row
+/// decisions.
+pub const FLUSH_PANEL_ROWS: usize = 256;
+
+/// Who pays when the fleet's pending-row buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// The **newest** window is shed: its feature row is discarded and
+    /// the window is decided as dropped at the next flush. Established
+    /// work is never thrown away — latecomers queue-fail first.
+    #[default]
+    Reject,
+    /// The **oldest** pending row fleet-wide is shed to make room for
+    /// the new window — freshest-data-wins, for deployments where a
+    /// stale window is worth less than a current one.
+    DropOldest,
+}
+
+/// Configuration of a fleet: shared window geometry, optional per-patient
+/// alarm stage, and the overload policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Windowing every patient session runs under.
+    pub stream: StreamConfig,
+    /// Per-patient alarm stage (`None` = decisions only).
+    pub alarms: Option<AlarmConfig>,
+    /// Feature rows the fleet may buffer between flushes (`>= 1`).
+    /// Bounds flush batch size and row memory; windows beyond it are
+    /// shed per [`OverloadPolicy`].
+    pub max_pending_rows: usize,
+    /// What to shed when `max_pending_rows` is reached.
+    pub overload: OverloadPolicy,
+}
+
+impl FleetConfig {
+    /// A fleet without practical backpressure (buffer bound
+    /// `usize::MAX`), no alarm stage — the configuration the equivalence
+    /// suite compares against solo sessions.
+    pub fn unbounded(stream: StreamConfig) -> Self {
+        FleetConfig {
+            stream,
+            alarms: None,
+            max_pending_rows: usize::MAX,
+            overload: OverloadPolicy::Reject,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for `max_pending_rows == 0`
+    /// or an invalid alarm configuration (the stream configuration is
+    /// validated when the first session is built, and once up front by
+    /// [`FleetScheduler::new`]).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.max_pending_rows == 0 {
+            return Err(CoreError::InvalidConfig(
+                "fleet needs max_pending_rows >= 1 (0 would shed every window)".into(),
+            ));
+        }
+        if let Some(a) = self.alarms {
+            a.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Fleet-level accounting — the scheduler's own counters, on top of the
+/// per-session [`StreamStats`] (merge those via
+/// [`FleetScheduler::stream_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Sessions currently admitted.
+    pub patients: usize,
+    /// Admissions over the fleet's lifetime.
+    pub admitted: u64,
+    /// Removals over the fleet's lifetime.
+    pub removed: u64,
+    /// Session restarts over the fleet's lifetime.
+    pub restarted: u64,
+    /// Ingest calls accepted (chunks + rows).
+    pub ingests: u64,
+    /// Windows currently awaiting a decision (shed and
+    /// extraction-dropped windows included).
+    pub pending_windows: usize,
+    /// Feature rows currently buffered for the next flush.
+    pub pending_rows: usize,
+    /// Flushes performed.
+    pub flushes: u64,
+    /// Rows driven through the batch kernel across all flushes.
+    pub rows_classified: u64,
+    /// Windows decided (classified + dropped) across all flushes.
+    pub windows_decided: u64,
+    /// Windows shed by the overload policy (decided as dropped).
+    pub shed_windows: u64,
+    /// Pending windows discarded undecided by [`FleetScheduler::remove`].
+    pub discarded_windows: u64,
+    /// Wall-clock nanoseconds spent inside `ingest`/`flush` — the
+    /// denominator of the fleet's honest serving throughput.
+    pub busy_ns: u128,
+}
+
+impl FleetStats {
+    /// Wall-clock serving throughput: windows decided per second of
+    /// fleet busy time. This is the pooled figure the summed per-window
+    /// latencies of a merged [`StreamStats`] cannot provide (they treat
+    /// concurrent work as serial — see [`StreamStats::windows_per_sec`]).
+    pub fn wall_windows_per_sec(&self) -> f64 {
+        pooled_windows_per_sec(self.windows_decided, self.busy_ns)
+    }
+}
+
+/// What [`FleetScheduler::remove`] hands back: the session's final
+/// accounting plus anything still buffered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovedPatient {
+    /// The removed session's lifetime stats.
+    pub stats: StreamStats,
+    /// Alarms the session had raised but nobody had collected.
+    pub alarms: Vec<AlarmEvent>,
+    /// Pending windows discarded undecided (flush before removing to
+    /// decide them instead).
+    pub discarded_windows: usize,
+}
+
+/// One decided window of a flush, tagged with its patient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetDecision {
+    /// The patient whose window this is.
+    pub patient: PatientId,
+    /// The decided window.
+    pub decision: WindowDecision,
+}
+
+/// Everything one [`FleetScheduler::flush`] decided: windows grouped by
+/// ascending patient id (window order within a patient), the alarms
+/// those windows raised, and the batch size that produced them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetFlush {
+    /// Decided windows, grouped by ascending patient id.
+    pub decisions: Vec<FleetDecision>,
+    /// Alarms raised by this flush, in the same patient-grouped order.
+    pub alarms: Vec<(PatientId, AlarmEvent)>,
+    /// Feature rows classified through the single batch-kernel call.
+    pub rows_classified: usize,
+}
+
+/// One admitted patient: the session plus its queue of extracted,
+/// not-yet-decided windows.
+struct Slot {
+    session: StreamingSession,
+    queue: VecDeque<PendingWindow>,
+    /// Queue index before which every window is known rowless — rows
+    /// are only shed front-to-back between flushes, so `DropOldest`
+    /// resumes its victim scan here instead of re-walking the already-
+    /// shed prefix (keeps sustained overload O(1) per shed). Reset
+    /// whenever the queue empties (flush / restart).
+    shed_cursor: usize,
+}
+
+/// Multiplexes N per-patient [`StreamingSession`]s over one shared
+/// engine, micro-batching ready feature rows across patients into single
+/// [`ClassifierEngine::decision_batch`] calls.
+///
+/// ```no_run
+/// use seizure_core::fleet::{FleetConfig, FleetScheduler};
+/// use seizure_core::stream::StreamConfig;
+/// # fn engine() -> seizure_core::stream::SharedEngine { unimplemented!() }
+///
+/// let cfg = FleetConfig::unbounded(StreamConfig::non_overlapping(128.0, 30.0)?);
+/// let mut fleet = FleetScheduler::new(engine(), cfg)?;
+/// fleet.admit(7)?;
+/// fleet.admit(12)?;
+/// fleet.ingest(7, &vec![0.0; 4096])?;   // any interleaving
+/// fleet.ingest(12, &vec![0.0; 8192])?;
+/// for d in fleet.flush().decisions {     // one batched kernel call
+///     println!("patient {} window {}", d.patient, d.decision.window_index);
+/// }
+/// # Ok::<(), seizure_core::error::CoreError>(())
+/// ```
+pub struct FleetScheduler {
+    engine: SharedEngine,
+    cfg: FleetConfig,
+    /// Admitted sessions, iterated in ascending patient order so every
+    /// flush is deterministic.
+    slots: BTreeMap<PatientId, Slot>,
+    /// Fleet-wide arrival order of pending rows (one entry per buffered
+    /// row; front = oldest) — what `DropOldest` sheds from.
+    arrival: VecDeque<PatientId>,
+    stats: FleetStats,
+    /// Reused batch buffer of the flush gather stage (one panel).
+    batch: DenseMatrix<f64>,
+    /// Reused decision-value buffer of the flush stage.
+    values: Vec<f64>,
+    /// Reused extract-stage output buffer of `ingest`.
+    extract_scratch: Vec<PendingWindow>,
+}
+
+impl std::fmt::Debug for FleetScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetScheduler")
+            .field("cfg", &self.cfg)
+            .field("engine", &self.engine.info())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetScheduler {
+    /// Builds an empty fleet over a shared engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid
+    /// [`FleetConfig`] (stream geometry, alarm operating point or a zero
+    /// row buffer).
+    pub fn new(engine: SharedEngine, cfg: FleetConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        // Validate the stream configuration once, up front, with a probe
+        // session — admits can then only fail on duplicate ids.
+        StreamingSession::new(Arc::clone(&engine), cfg.stream)?;
+        Ok(FleetScheduler {
+            engine,
+            cfg,
+            slots: BTreeMap::new(),
+            arrival: VecDeque::new(),
+            stats: FleetStats::default(),
+            batch: DenseMatrix::with_cols(N_FEATURES),
+            values: Vec::new(),
+            extract_scratch: Vec::new(),
+        })
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> FleetConfig {
+        self.cfg
+    }
+
+    /// Fleet-level counters.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// Cost metadata of the shared engine behind every session.
+    pub fn engine_info(&self) -> svm::EngineInfo {
+        self.engine.info()
+    }
+
+    /// Admitted patient count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no patient is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `patient` is admitted.
+    pub fn contains(&self, patient: PatientId) -> bool {
+        self.slots.contains_key(&patient)
+    }
+
+    /// Admitted patient ids in ascending order.
+    pub fn patients(&self) -> impl Iterator<Item = PatientId> + '_ {
+        self.slots.keys().copied()
+    }
+
+    /// Admits a new patient with a fresh session (alarm stage per the
+    /// fleet configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `patient` is already
+    /// admitted.
+    pub fn admit(&mut self, patient: PatientId) -> Result<(), CoreError> {
+        if self.slots.contains_key(&patient) {
+            return Err(CoreError::InvalidConfig(format!(
+                "patient {patient} is already admitted"
+            )));
+        }
+        let session = self.fresh_session()?;
+        self.slots.insert(
+            patient,
+            Slot {
+                session,
+                queue: VecDeque::new(),
+                shed_cursor: 0,
+            },
+        );
+        self.stats.admitted += 1;
+        self.stats.patients = self.slots.len();
+        Ok(())
+    }
+
+    /// Removes a patient, handing back the session's final stats, any
+    /// uncollected alarms and the count of pending windows discarded
+    /// undecided (flush first to decide them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unknown patient.
+    pub fn remove(&mut self, patient: PatientId) -> Result<RemovedPatient, CoreError> {
+        let Some(mut slot) = self.slots.remove(&patient) else {
+            return Err(CoreError::InvalidConfig(format!(
+                "patient {patient} is not admitted"
+            )));
+        };
+        let discarded_rows = slot.queue.iter().filter(|w| w.row.is_some()).count();
+        self.forget_arrivals(patient, discarded_rows);
+        self.stats.pending_windows -= slot.queue.len();
+        self.stats.pending_rows -= discarded_rows;
+        self.stats.discarded_windows += slot.queue.len() as u64;
+        self.stats.removed += 1;
+        self.stats.patients = self.slots.len();
+        Ok(RemovedPatient {
+            stats: slot.session.stats(),
+            alarms: slot.session.take_alarms(),
+            discarded_windows: slot.queue.len(),
+        })
+    }
+
+    /// Restarts a patient's session in place — fresh ring, scheduler,
+    /// stats and alarm state, pending windows discarded — the device
+    /// reconnect / session rollover lifecycle. Returns what
+    /// [`FleetScheduler::remove`] would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unknown patient.
+    pub fn restart(&mut self, patient: PatientId) -> Result<RemovedPatient, CoreError> {
+        let fresh = self.fresh_session()?;
+        let Some(slot) = self.slots.get_mut(&patient) else {
+            return Err(CoreError::InvalidConfig(format!(
+                "patient {patient} is not admitted"
+            )));
+        };
+        let discarded_rows = slot.queue.iter().filter(|w| w.row.is_some()).count();
+        let discarded = slot.queue.len();
+        slot.queue.clear();
+        slot.shed_cursor = 0;
+        let mut old = std::mem::replace(&mut slot.session, fresh);
+        self.forget_arrivals(patient, discarded_rows);
+        self.stats.pending_windows -= discarded;
+        self.stats.pending_rows -= discarded_rows;
+        self.stats.discarded_windows += discarded as u64;
+        self.stats.restarted += 1;
+        Ok(RemovedPatient {
+            stats: old.stats(),
+            alarms: old.take_alarms(),
+            discarded_windows: discarded,
+        })
+    }
+
+    /// Ingests one raw-sample chunk for `patient`: the session's extract
+    /// stage runs immediately (ring, scheduler, feature extraction) and
+    /// every window that completed joins the pending buffer, subject to
+    /// the overload policy. Returns how many windows completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unknown patient, or a
+    /// patient already fed through [`FleetScheduler::ingest_row`] (the
+    /// two ingest modes number windows independently and must not mix
+    /// on one session).
+    pub fn ingest(&mut self, patient: PatientId, chunk: &[f64]) -> Result<usize, CoreError> {
+        let t0 = Instant::now();
+        let mut fresh = std::mem::take(&mut self.extract_scratch);
+        fresh.clear();
+        match self.slots.get_mut(&patient) {
+            Some(slot) if slot.session.is_row_fed() => {
+                self.extract_scratch = fresh;
+                return Err(CoreError::InvalidConfig(format!(
+                    "patient {patient} is row-fed; cannot mix raw-sample ingestion \
+                     (window numbering would fork)"
+                )));
+            }
+            Some(slot) => slot.session.extract_windows_into(chunk, &mut fresh),
+            None => {
+                self.extract_scratch = fresh;
+                return Err(CoreError::InvalidConfig(format!(
+                    "patient {patient} is not admitted"
+                )));
+            }
+        }
+        let completed = fresh.len();
+        for w in fresh.drain(..) {
+            self.enqueue(patient, w);
+        }
+        self.extract_scratch = fresh;
+        self.stats.ingests += 1;
+        self.stats.busy_ns += t0.elapsed().as_nanos();
+        Ok(completed)
+    }
+
+    /// Ingests one **pre-extracted** feature row for `patient` (`None` =
+    /// the device reported a dropped window) — the on-device-extraction
+    /// topology; see [`StreamingSession::push_row`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unknown patient, a
+    /// row that is not exactly [`N_FEATURES`] wide, or a patient already
+    /// fed through [`FleetScheduler::ingest`] (the ingest modes must not
+    /// mix on one session).
+    pub fn ingest_row(&mut self, patient: PatientId, row: Option<&[f64]>) -> Result<(), CoreError> {
+        let t0 = Instant::now();
+        let Some(slot) = self.slots.get_mut(&patient) else {
+            return Err(CoreError::InvalidConfig(format!(
+                "patient {patient} is not admitted"
+            )));
+        };
+        let pending = slot.session.pend_row(row)?;
+        self.enqueue(patient, pending);
+        self.stats.ingests += 1;
+        self.stats.busy_ns += t0.elapsed().as_nanos();
+        Ok(())
+    }
+
+    /// Decides every pending window across the fleet: gathers buffered
+    /// feature rows into a [`DenseMatrix`] and drives them through
+    /// [`ClassifierEngine::decision_batch`] — in cache-friendly panels
+    /// of up to [`FLUSH_PANEL_ROWS`] rows — then routes each decision
+    /// back through its session's decide stage (stats, alarm state
+    /// machine, pending-alarm buffer) in per-session window order.
+    /// Windows without a row (extraction-dropped or shed) are decided as
+    /// dropped. Patients appear in ascending id order. Panelling does
+    /// not change results: batch decisions are bit-identical to per-row
+    /// decisions, so any split of the batch is too.
+    pub fn flush(&mut self) -> FleetFlush {
+        let t0 = Instant::now();
+        // Gather: all pending rows in (patient asc, window order),
+        // panel-tiled so a huge fleet's flush stays inside the cache
+        // instead of streaming one multi-megabyte batch.
+        self.batch.clear();
+        self.values.clear();
+        let mut kernel_ns = 0u128;
+        for slot in self.slots.values() {
+            for w in &slot.queue {
+                if let Some(row) = &w.row {
+                    self.batch.push_row(row);
+                    if self.batch.n_rows() == FLUSH_PANEL_ROWS {
+                        let kt0 = Instant::now();
+                        self.values.extend(self.engine.decision_batch(&self.batch));
+                        kernel_ns += kt0.elapsed().as_nanos();
+                        self.batch.clear();
+                    }
+                }
+            }
+        }
+        if self.batch.n_rows() > 0 {
+            let kt0 = Instant::now();
+            self.values.extend(self.engine.decision_batch(&self.batch));
+            kernel_ns += kt0.elapsed().as_nanos();
+            self.batch.clear();
+        }
+        let rows_classified = self.values.len();
+        // Attribute the batch kernels' cost evenly across their rows so
+        // per-window latency accounting survives batching.
+        let classify_share_ns = if rows_classified == 0 {
+            0
+        } else {
+            (kernel_ns / rows_classified as u128) as u64
+        };
+        // Scatter: decide every window in order, batch values in step
+        // with the gather order.
+        let mut out = FleetFlush {
+            rows_classified,
+            ..FleetFlush::default()
+        };
+        let mut next = 0usize;
+        for (&patient, slot) in &mut self.slots {
+            if slot.queue.is_empty() {
+                continue;
+            }
+            for w in slot.queue.drain(..) {
+                let (decision, share) = match &w.row {
+                    Some(_) => {
+                        let v = self.values[next];
+                        next += 1;
+                        (Some(v), classify_share_ns)
+                    }
+                    None => (None, 0),
+                };
+                out.decisions.push(FleetDecision {
+                    patient,
+                    decision: slot.session.decide_window(&w, decision, share),
+                });
+                // Recycle the row allocation into the owning session's
+                // pool, where both ingest modes draw from.
+                if let Some(row) = w.row {
+                    slot.session.recycle_row(row);
+                }
+            }
+            slot.shed_cursor = 0;
+            for alarm in slot.session.take_alarms() {
+                out.alarms.push((patient, alarm));
+            }
+        }
+        debug_assert_eq!(next, rows_classified);
+        self.arrival.clear();
+        self.stats.pending_windows = 0;
+        self.stats.pending_rows = 0;
+        self.stats.flushes += 1;
+        self.stats.rows_classified += rows_classified as u64;
+        self.stats.windows_decided += out.decisions.len() as u64;
+        self.stats.busy_ns += t0.elapsed().as_nanos();
+        out
+    }
+
+    /// Merged per-session accounting across the currently admitted
+    /// sessions (sessions already removed are not included — collect
+    /// their stats from [`RemovedPatient`]). Remember the merged
+    /// `windows_per_sec` is serial-equivalent, not wall-clock — see
+    /// [`StreamStats::windows_per_sec`] and
+    /// [`FleetStats::wall_windows_per_sec`].
+    pub fn stream_stats(&self) -> StreamStats {
+        let mut merged = StreamStats::default();
+        for slot in self.slots.values() {
+            merged.merge(&slot.session.stats());
+        }
+        merged
+    }
+
+    /// One admitted patient's session stats.
+    pub fn patient_stats(&self, patient: PatientId) -> Option<StreamStats> {
+        self.slots.get(&patient).map(|s| s.session.stats())
+    }
+
+    fn fresh_session(&self) -> Result<StreamingSession, CoreError> {
+        match self.cfg.alarms {
+            Some(a) => StreamingSession::with_alarms(Arc::clone(&self.engine), self.cfg.stream, a),
+            None => StreamingSession::new(Arc::clone(&self.engine), self.cfg.stream),
+        }
+    }
+
+    /// Applies the overload policy and queues one extracted window.
+    fn enqueue(&mut self, patient: PatientId, mut w: PendingWindow) {
+        // Row freed by the overload policy, recycled into the owning
+        // session's pool below so sustained overload stays
+        // allocation-free.
+        let mut recycled: Option<Vec<f64>> = None;
+        if w.row.is_some() {
+            if self.stats.pending_rows >= self.cfg.max_pending_rows {
+                match self.cfg.overload {
+                    OverloadPolicy::Reject => {
+                        // Shed the newcomer: it queues as a dropped
+                        // window so per-session order stays intact.
+                        recycled = w.row.take();
+                        self.stats.shed_windows += 1;
+                    }
+                    OverloadPolicy::DropOldest => {
+                        self.shed_oldest_row();
+                        self.stats.pending_rows += 1;
+                        self.arrival.push_back(patient);
+                    }
+                }
+            } else {
+                self.stats.pending_rows += 1;
+                self.arrival.push_back(patient);
+            }
+        }
+        self.stats.pending_windows += 1;
+        let slot = self
+            .slots
+            .get_mut(&patient)
+            .expect("enqueue only called for admitted patients");
+        if let Some(row) = recycled {
+            slot.session.recycle_row(row);
+        }
+        slot.queue.push_back(w);
+    }
+
+    /// Sheds the oldest pending row fleet-wide (`DropOldest`): the
+    /// window stays queued, rowless, and will be decided as dropped;
+    /// its row allocation returns to the victim session's pool. The
+    /// per-slot cursor skips the already-shed rowless prefix, so a
+    /// sustained overload burst sheds in O(1) per window instead of
+    /// re-scanning the queue front every time.
+    fn shed_oldest_row(&mut self) {
+        let Some(victim) = self.arrival.pop_front() else {
+            return;
+        };
+        let slot = self
+            .slots
+            .get_mut(&victim)
+            .expect("arrival entries are cleared when their patient leaves");
+        let (offset, w) = slot
+            .queue
+            .iter_mut()
+            .skip(slot.shed_cursor)
+            .enumerate()
+            .find(|(_, w)| w.row.is_some())
+            .expect("arrival counts one entry per buffered row");
+        let row = w.row.take().expect("found by row.is_some()");
+        slot.shed_cursor += offset + 1;
+        slot.session.recycle_row(row);
+        self.stats.pending_rows -= 1;
+        self.stats.shed_windows += 1;
+    }
+
+    /// Drops `rows` arrival entries of a departing/restarting patient.
+    fn forget_arrivals(&mut self, patient: PatientId, rows: usize) {
+        if rows == 0 {
+            return;
+        }
+        let mut left = rows;
+        self.arrival.retain(|&p| {
+            if p == patient && left > 0 {
+                left -= 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alarm::DroppedPolicy;
+    use svm::{ClassifierEngine, EngineInfo};
+
+    /// Toy backend: decision = Σ row — deterministic, no training.
+    struct SumEngine;
+
+    impl ClassifierEngine for SumEngine {
+        fn decision(&self, row: &[f64]) -> f64 {
+            row.iter().sum()
+        }
+        fn n_features(&self) -> usize {
+            N_FEATURES
+        }
+        fn info(&self) -> EngineInfo {
+            EngineInfo {
+                kind: "sum-test",
+                n_support_vectors: 1,
+                n_features: N_FEATURES,
+                d_bits: None,
+                a_bits: None,
+            }
+        }
+    }
+
+    fn engine() -> SharedEngine {
+        Arc::new(SumEngine)
+    }
+
+    fn cfg() -> FleetConfig {
+        FleetConfig::unbounded(StreamConfig::non_overlapping(128.0, 30.0).unwrap())
+    }
+
+    /// A row whose SumEngine decision equals `v`.
+    fn row(v: f64) -> Vec<f64> {
+        let mut r = vec![0.0; N_FEATURES];
+        r[0] = v;
+        r
+    }
+
+    #[test]
+    fn config_and_lifecycle_validation() {
+        assert!(FleetConfig {
+            max_pending_rows: 0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetConfig {
+            alarms: Some(AlarmConfig::k_of_n(5, 2)),
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        let bad_stream = FleetConfig::unbounded(StreamConfig {
+            fs: 0.0,
+            window_len: 10,
+            stride: 10,
+        });
+        assert!(FleetScheduler::new(engine(), bad_stream).is_err());
+
+        let mut fleet = FleetScheduler::new(engine(), cfg()).unwrap();
+        assert!(fleet.is_empty());
+        fleet.admit(3).unwrap();
+        assert!(fleet.admit(3).is_err(), "duplicate admit");
+        assert!(fleet.ingest(99, &[0.0; 16]).is_err(), "unknown patient");
+        assert!(fleet.ingest_row(99, None).is_err());
+        assert!(fleet.remove(99).is_err());
+        assert!(fleet.restart(99).is_err());
+        assert!(fleet.contains(3) && !fleet.contains(99));
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet.patients().collect::<Vec<_>>(), vec![3]);
+        // Row width is validated.
+        assert!(fleet.ingest_row(3, Some(&[1.0; 3])).is_err());
+        let stats = fleet.stats();
+        assert_eq!((stats.patients, stats.admitted), (1, 1));
+    }
+
+    #[test]
+    fn ingest_modes_cannot_mix_per_patient() {
+        let mut fleet = FleetScheduler::new(engine(), cfg()).unwrap();
+        fleet.admit(1).unwrap();
+        fleet.admit(2).unwrap();
+        // Patient 1 is sample-fed: rows are rejected.
+        fleet.ingest(1, &[0.0; 64]).unwrap();
+        assert!(matches!(
+            fleet.ingest_row(1, Some(&row(1.0))),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Patient 2 is row-fed: raw samples are rejected (with an
+        // error, not the session's panic).
+        fleet.ingest_row(2, Some(&row(2.0))).unwrap();
+        assert!(matches!(
+            fleet.ingest(2, &[0.0; 64]),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Each patient keeps working in its own mode.
+        fleet.ingest(1, &[0.0; 64]).unwrap();
+        fleet.ingest_row(2, Some(&row(3.0))).unwrap();
+        let flush = fleet.flush();
+        assert_eq!(flush.rows_classified, 2);
+    }
+
+    #[test]
+    fn flush_batches_across_patients_in_id_order() {
+        let mut fleet = FleetScheduler::new(engine(), cfg()).unwrap();
+        for p in [9, 2, 5] {
+            fleet.admit(p).unwrap();
+        }
+        // Arbitrary interleaving: rows arrive out of patient order.
+        fleet.ingest_row(9, Some(&row(90.0))).unwrap();
+        fleet.ingest_row(2, Some(&row(20.0))).unwrap();
+        fleet.ingest_row(5, None).unwrap(); // device-side drop
+        fleet.ingest_row(2, Some(&row(21.0))).unwrap();
+        fleet.ingest_row(5, Some(&row(50.0))).unwrap();
+        assert_eq!(fleet.stats().pending_windows, 5);
+        assert_eq!(fleet.stats().pending_rows, 4);
+
+        let flush = fleet.flush();
+        assert_eq!(flush.rows_classified, 4);
+        let got: Vec<(PatientId, u64, Option<f64>)> = flush
+            .decisions
+            .iter()
+            .map(|d| (d.patient, d.decision.window_index, d.decision.decision))
+            .collect();
+        // Ascending patient id, window order within a patient, dropped
+        // windows decided as None in place.
+        assert_eq!(
+            got,
+            vec![
+                (2, 0, Some(20.0)),
+                (2, 1, Some(21.0)),
+                (5, 0, None),
+                (5, 1, Some(50.0)),
+                (9, 0, Some(90.0)),
+            ]
+        );
+        // Window geometry: stride-spaced start samples.
+        assert_eq!(flush.decisions[1].decision.start_sample, 3840);
+        // Stats settled.
+        let stats = fleet.stats();
+        assert_eq!(stats.pending_windows, 0);
+        assert_eq!(stats.pending_rows, 0);
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.rows_classified, 4);
+        assert_eq!(stats.windows_decided, 5);
+        assert!(stats.wall_windows_per_sec() > 0.0);
+        // Per-session accounting flowed through the decide stage.
+        let p5 = fleet.patient_stats(5).unwrap();
+        assert_eq!((p5.windows, p5.dropped), (2, 1));
+        let merged = fleet.stream_stats();
+        assert_eq!((merged.windows, merged.dropped), (5, 1));
+        // An empty flush is a no-op that still counts.
+        let empty = fleet.flush();
+        assert!(empty.decisions.is_empty() && empty.rows_classified == 0);
+        assert_eq!(fleet.stats().flushes, 2);
+    }
+
+    #[test]
+    fn reject_policy_sheds_the_newest_window() {
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                max_pending_rows: 2,
+                overload: OverloadPolicy::Reject,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        fleet.admit(1).unwrap();
+        fleet.admit(2).unwrap();
+        fleet.ingest_row(1, Some(&row(10.0))).unwrap();
+        fleet.ingest_row(2, Some(&row(20.0))).unwrap();
+        fleet.ingest_row(2, Some(&row(21.0))).unwrap(); // over capacity
+        assert_eq!(fleet.stats().shed_windows, 1);
+        assert_eq!(fleet.stats().pending_rows, 2);
+        assert_eq!(fleet.stats().pending_windows, 3);
+        let flush = fleet.flush();
+        assert_eq!(flush.rows_classified, 2);
+        let got: Vec<(PatientId, Option<f64>)> = flush
+            .decisions
+            .iter()
+            .map(|d| (d.patient, d.decision.decision))
+            .collect();
+        // The newcomer (patient 2's second window) was shed; the
+        // established rows survived, and the shed window is still
+        // decided — as dropped, in order.
+        assert_eq!(got, vec![(1, Some(10.0)), (2, Some(20.0)), (2, None)],);
+    }
+
+    #[test]
+    fn drop_oldest_policy_sheds_the_oldest_row_fleet_wide() {
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                max_pending_rows: 2,
+                overload: OverloadPolicy::DropOldest,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        fleet.admit(1).unwrap();
+        fleet.admit(2).unwrap();
+        fleet.ingest_row(1, Some(&row(10.0))).unwrap(); // oldest
+        fleet.ingest_row(2, Some(&row(20.0))).unwrap();
+        fleet.ingest_row(2, Some(&row(21.0))).unwrap(); // evicts patient 1's row
+        assert_eq!(fleet.stats().shed_windows, 1);
+        assert_eq!(fleet.stats().pending_rows, 2);
+        let flush = fleet.flush();
+        assert_eq!(flush.rows_classified, 2);
+        let got: Vec<(PatientId, Option<f64>)> = flush
+            .decisions
+            .iter()
+            .map(|d| (d.patient, d.decision.decision))
+            .collect();
+        // Freshest data wins: the newcomer kept its row, the oldest
+        // pending window (patient 1's) was decided as dropped.
+        assert_eq!(got, vec![(1, None), (2, Some(20.0)), (2, Some(21.0))],);
+    }
+
+    #[test]
+    fn sustained_drop_oldest_burst_sheds_front_to_back() {
+        // Capacity 1 under a burst: every new row evicts the previous
+        // oldest, marching the shed cursor through a growing rowless
+        // prefix; only the newest row survives to the flush. A second
+        // burst after the flush must start shedding from the front
+        // again (cursor reset).
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                max_pending_rows: 1,
+                overload: OverloadPolicy::DropOldest,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        fleet.admit(1).unwrap();
+        for v in 0..5 {
+            fleet.ingest_row(1, Some(&row(f64::from(v)))).unwrap();
+        }
+        assert_eq!(fleet.stats().shed_windows, 4);
+        assert_eq!(fleet.stats().pending_rows, 1);
+        let got: Vec<Option<f64>> = fleet
+            .flush()
+            .decisions
+            .iter()
+            .map(|d| d.decision.decision)
+            .collect();
+        assert_eq!(got, vec![None, None, None, None, Some(4.0)]);
+        for v in 5..8 {
+            fleet.ingest_row(1, Some(&row(f64::from(v)))).unwrap();
+        }
+        let got: Vec<Option<f64>> = fleet
+            .flush()
+            .decisions
+            .iter()
+            .map(|d| d.decision.decision)
+            .collect();
+        assert_eq!(got, vec![None, None, Some(7.0)]);
+        assert_eq!(fleet.stats().shed_windows, 6);
+    }
+
+    #[test]
+    fn alarms_route_through_per_patient_state_machines() {
+        let alarm_cfg = AlarmConfig {
+            k: 2,
+            n: 2,
+            refractory_windows: 0,
+            dropped: DroppedPolicy::VoteNonSeizure,
+        };
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                alarms: Some(alarm_cfg),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        fleet.admit(1).unwrap();
+        fleet.admit(2).unwrap();
+        // Patient 1: two seizure votes (positive sums) → alarm at its
+        // second window. Patient 2: seizure then non-seizure → silent.
+        for (p, v) in [(1, 1.0), (2, 1.0), (1, 2.0), (2, -1.0)] {
+            fleet.ingest_row(p, Some(&row(v))).unwrap();
+        }
+        let flush = fleet.flush();
+        assert_eq!(flush.alarms.len(), 1);
+        let (patient, alarm) = flush.alarms[0];
+        assert_eq!(patient, 1);
+        assert_eq!(alarm.window_index, 1);
+        assert_eq!(alarm.votes, 2);
+        assert_eq!(fleet.patient_stats(1).unwrap().alarms, 1);
+        assert_eq!(fleet.patient_stats(2).unwrap().alarms, 0);
+    }
+
+    #[test]
+    fn remove_and_restart_settle_pending_state() {
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                max_pending_rows: 2,
+                overload: OverloadPolicy::DropOldest,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        fleet.admit(1).unwrap();
+        fleet.admit(2).unwrap();
+        fleet.ingest_row(1, Some(&row(1.0))).unwrap();
+        fleet.ingest_row(2, Some(&row(2.0))).unwrap();
+        // Removing patient 1 discards its pending window undecided and
+        // forgets its arrival entry.
+        let removed = fleet.remove(1).unwrap();
+        assert_eq!(removed.discarded_windows, 1);
+        assert_eq!(removed.stats.windows, 0, "never decided");
+        assert_eq!(fleet.stats().pending_rows, 1);
+        assert_eq!(fleet.stats().pending_windows, 1);
+        assert_eq!(fleet.stats().discarded_windows, 1);
+        // The freed arrival slot belongs to patient 2 now: filling to
+        // capacity and overflowing must evict patient 2's oldest row,
+        // not chase the departed patient 1.
+        fleet.ingest_row(2, Some(&row(3.0))).unwrap();
+        fleet.ingest_row(2, Some(&row(4.0))).unwrap();
+        assert_eq!(fleet.stats().shed_windows, 1);
+        let flush = fleet.flush();
+        let got: Vec<Option<f64>> = flush
+            .decisions
+            .iter()
+            .map(|d| d.decision.decision)
+            .collect();
+        assert_eq!(got, vec![None, Some(3.0), Some(4.0)]);
+        // Restart: stats and window numbering begin again.
+        fleet.ingest_row(2, Some(&row(5.0))).unwrap();
+        let restarted = fleet.restart(2).unwrap();
+        assert_eq!(restarted.discarded_windows, 1);
+        assert_eq!(restarted.stats.windows, 3);
+        assert_eq!(fleet.stats().restarted, 1);
+        fleet.ingest_row(2, Some(&row(6.0))).unwrap();
+        let flush = fleet.flush();
+        assert_eq!(flush.decisions.len(), 1);
+        assert_eq!(flush.decisions[0].decision.window_index, 0);
+        assert_eq!(flush.decisions[0].decision.decision, Some(6.0));
+        // Re-admitting a removed id works.
+        fleet.admit(1).unwrap();
+        assert_eq!(fleet.len(), 2);
+    }
+}

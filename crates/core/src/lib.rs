@@ -55,6 +55,10 @@
 //!   scratch-reusing extraction → any [`svm::ClassifierEngine`], with
 //!   per-window latency stats, an optional online alarm stage and
 //!   parallel multi-patient fan-out;
+//! * [`fleet`] — fleet-scale session multiplexing: N per-patient
+//!   sessions behind one scheduler, ready feature rows micro-batched
+//!   across patients into single `decision_batch` calls, with an
+//!   explicit overload/backpressure policy;
 //! * [`alarm`] — the event-level alarm subsystem: k-of-n alarm state
 //!   machine with refractory hold-off, ground-truth event extraction and
 //!   event metrics (event sensitivity, FA/24h, detection latency), all on
@@ -88,6 +92,7 @@ pub mod error;
 pub mod eval;
 pub mod explore;
 pub mod featsel;
+pub mod fleet;
 pub mod kernels;
 pub mod parallel;
 pub mod quickfeat;
@@ -103,6 +108,9 @@ pub use engine::{BitConfig, QuantizedEngine};
 pub use error::CoreError;
 pub use eval::{
     loso_evaluate, loso_evaluate_events, loso_evaluate_serial, LosoEventResult, LosoResult, Metrics,
+};
+pub use fleet::{
+    FleetConfig, FleetDecision, FleetFlush, FleetScheduler, FleetStats, OverloadPolicy, PatientId,
 };
 pub use stream::{StreamConfig, StreamOutcome, StreamStats, StreamingSession, WindowDecision};
 pub use trained::FloatPipeline;

@@ -23,9 +23,19 @@
 //! * **allocation-light hot loop** — the ring, the window copy, the QRS
 //!   scratch (all of the sample-rate-proportional work) and the feature
 //!   row are reused across windows; after warm-up the only per-window
-//!   heap traffic is a couple of row-sized (53-element) vectors inside
-//!   the engine's `decision` and the beat-rate buffers of RR/EDR
-//!   processing, two orders of magnitude below the window itself.
+//!   heap traffic is a handful of row-sized (53-element) vectors (the
+//!   pending feature row plus buffers inside the engine's `decision`)
+//!   and the beat-rate buffers of RR/EDR processing, two orders of
+//!   magnitude below the window itself.
+//!
+//! The per-window pipeline is split into two stages so it can be driven
+//! two ways: the **extract stage**
+//! ([`StreamingSession::extract_windows_into`]) turns chunks into
+//! [`PendingWindow`]s (feature row or dropped marker), and the **decide
+//! stage** ([`StreamingSession::decide_window`]) folds a decision value
+//! into stats, alarms and the output. [`StreamingSession::push_samples`]
+//! fuses them per row; [`crate::fleet::FleetScheduler`] batches the
+//! decide stage across thousands of patients.
 //!
 //! Many patient streams run concurrently via
 //! [`run_streams_parallel`], which fans sessions out on
@@ -94,6 +104,34 @@ impl StreamConfig {
     }
 }
 
+/// One completed analysis window waiting for its decision — the output
+/// of the **extract stage** ([`StreamingSession::extract_windows_into`])
+/// and the input of the **decide stage**
+/// ([`StreamingSession::decide_window`]).
+///
+/// The solo streaming path decides each pending window immediately with
+/// a per-row `engine.decision` call; the fleet layer
+/// ([`crate::fleet::FleetScheduler`]) instead buffers pending windows
+/// across many patients and drives one
+/// [`ClassifierEngine::decision_batch`] call over all of them — the
+/// split exists so both paths share one extraction and one accounting
+/// implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingWindow {
+    /// Window index (0-based over the stream).
+    pub window_index: u64,
+    /// Absolute index of the window's first sample.
+    pub start_sample: u64,
+    /// Extracted feature row, or `None` when extraction failed (too few
+    /// beats, …) — the window is already known dropped and must be
+    /// decided with `decision = None`.
+    pub row: Option<Vec<f64>>,
+    /// Wall-clock cost of extraction (ns); the decide stage adds the
+    /// classification share on top so per-window latency accounting
+    /// survives the stage split.
+    pub extract_ns: u64,
+}
+
 /// One completed analysis window's outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowDecision {
@@ -142,7 +180,22 @@ impl StreamStats {
         }
     }
 
-    /// Sustained throughput implied by the summed window latencies.
+    /// Sustained throughput implied by the summed window latencies —
+    /// the **serial-equivalent** rate: windows divided by the total CPU
+    /// time spent inside the per-window hot path, as if every window had
+    /// run back to back on one core.
+    ///
+    /// On a single stream this is the stream's real throughput. On a
+    /// [`StreamStats::merge`]d cohort it is **not**: summing
+    /// `total_latency_ns` across concurrent streams treats parallel work
+    /// as serial, so the pooled figure *under-reports* fleet throughput
+    /// by up to the concurrency factor. For cohort-level rates use the
+    /// wall-clock figures instead ([`StreamOutcome::wall_windows_per_sec`]
+    /// per stream, `CohortAlarmReport::pooled_windows_per_sec` /
+    /// [`crate::fleet::FleetStats::wall_windows_per_sec`] fleet-wide).
+    /// The serial-equivalent number remains meaningful on merged stats as
+    /// a *per-core cost* metric — windows per CPU-second — just not as a
+    /// wall-clock rate.
     ///
     /// `0.0` before any window completes. When windows completed but the
     /// coarse clock recorded zero total latency (sub-resolution windows),
@@ -159,6 +212,11 @@ impl StreamStats {
     }
 
     /// Merges another stream's accounting into this one.
+    ///
+    /// Counters add up; `total_latency_ns` therefore becomes a **summed
+    /// CPU-time** figure across streams that may have run concurrently —
+    /// see [`StreamStats::windows_per_sec`] for what the merged rate
+    /// does (and does not) mean.
     pub fn merge(&mut self, other: &StreamStats) {
         self.samples_in += other.samples_in;
         self.windows += other.windows;
@@ -186,7 +244,18 @@ pub struct StreamingSession {
     alarm: Option<AlarmStateMachine>,
     /// Alarms raised since the last [`StreamingSession::take_alarms`].
     pending_alarms: Vec<AlarmEvent>,
+    /// Reused pending-window buffer of the solo extract+decide loop.
+    pending_scratch: Vec<PendingWindow>,
+    /// Recycled row allocations (see [`StreamingSession::recycle_row`]).
+    row_pool: Vec<Vec<f64>>,
+    /// Next window index handed out by [`StreamingSession::pend_row`].
+    next_row_window: u64,
 }
+
+/// Recycled row allocations a session keeps at most (a row is 53 `f64`s;
+/// the cap only matters for a fleet that buffers many windows of one
+/// patient between flushes).
+const ROW_POOL_CAP: usize = 64;
 
 // `dyn ClassifierEngine` has no Debug of its own; show its cost metadata.
 impl std::fmt::Debug for StreamingSession {
@@ -239,6 +308,9 @@ impl StreamingSession {
             stats: StreamStats::default(),
             alarm: None,
             pending_alarms: Vec::new(),
+            pending_scratch: Vec::new(),
+            row_pool: Vec::new(),
+            next_row_window: 0,
         })
     }
 
@@ -312,10 +384,48 @@ impl StreamingSession {
     }
 
     /// Ingests one chunk, clearing and refilling `out` with the decisions
-    /// of every window that completed — the zero-allocation hot-loop
-    /// entry point.
+    /// of every window that completed — the allocation-light hot-loop
+    /// entry point. Equivalent to the extract stage followed immediately
+    /// by a per-window decide stage (`engine.decision` on each extracted
+    /// row).
     pub fn push_samples_into(&mut self, chunk: &[f64], out: &mut Vec<WindowDecision>) {
         out.clear();
+        let mut pending = std::mem::take(&mut self.pending_scratch);
+        pending.clear();
+        self.extract_windows_into(chunk, &mut pending);
+        for w in pending.drain(..) {
+            let t0 = Instant::now();
+            let decision = w.row.as_deref().map(|r| self.engine.decision(r));
+            let classify_ns = t0.elapsed().as_nanos() as u64;
+            out.push(self.decide_window(&w, decision, classify_ns));
+            if let Some(row) = w.row {
+                self.recycle_row(row);
+            }
+        }
+        self.pending_scratch = pending;
+    }
+
+    /// **Extract stage**: ingests one chunk and appends a
+    /// [`PendingWindow`] (extracted feature row, or `None` when
+    /// extraction dropped the window) for every window that completed
+    /// inside it. Decisions, stats beyond `samples_in`, and the alarm
+    /// stage are deferred to [`StreamingSession::decide_window`] — feed
+    /// every pending window there, **in order**, exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session has already ingested pre-extracted rows
+    /// ([`StreamingSession::push_row`] / [`StreamingSession::pend_row`])
+    /// — the two ingest modes number windows independently, so mixing
+    /// them would silently corrupt window indices. (`pend_row` rejects
+    /// the opposite mixing order with an error; this direction can only
+    /// arise from caller code, so it fails loudly.)
+    pub fn extract_windows_into(&mut self, chunk: &[f64], pending: &mut Vec<PendingWindow>) {
+        assert!(
+            self.next_row_window == 0,
+            "session already ingested pre-extracted rows; cannot mix raw-sample ingestion \
+             (window numbering would fork)"
+        );
         self.stats.samples_in += chunk.len() as u64;
         // Sub-feed at most `stride` samples between drains so the ring
         // bound of `WindowScheduler::min_ring_capacity` always holds.
@@ -327,40 +437,165 @@ impl StreamingSession {
                     .copy_into(span.start, &mut self.window_buf)
                     .expect("ring sized for the scheduler's drain contract");
                 let t0 = Instant::now();
-                let decision = match self.extractor.extract_into(
+                let row = match self.extractor.extract_into(
                     &self.window_buf,
                     &mut self.scratch,
                     &mut self.row_buf,
                 ) {
-                    Ok(()) => Some(self.engine.decision(&self.row_buf)),
+                    // Hand the row out in a recycled allocation (see
+                    // `recycle_row`) so the hot loop stays free of
+                    // per-window heap churn after warm-up.
+                    Ok(()) => {
+                        let mut row = self.row_pool.pop().unwrap_or_default();
+                        row.clear();
+                        row.extend_from_slice(&self.row_buf);
+                        Some(row)
+                    }
                     Err(_) => None,
                 };
-                let latency_ns = t0.elapsed().as_nanos() as u64;
-                let is_seizure = matches!(decision, Some(d) if decision_is_seizure(d));
-                self.stats.windows += 1;
-                if decision.is_none() {
-                    self.stats.dropped += 1;
-                }
-                if is_seizure {
-                    self.stats.seizure_windows += 1;
-                }
-                self.stats.total_latency_ns += u128::from(latency_ns);
-                self.stats.max_latency_ns = self.stats.max_latency_ns.max(latency_ns);
-                let wd = WindowDecision {
+                let extract_ns = t0.elapsed().as_nanos() as u64;
+                pending.push(PendingWindow {
                     window_index: span.index,
                     start_sample: span.start,
-                    decision,
-                    is_seizure,
-                    latency_ns,
-                };
-                if let Some(sm) = &mut self.alarm {
-                    if let Some(alarm) = sm.on_window(&wd) {
-                        self.stats.alarms += 1;
-                        self.pending_alarms.push(alarm);
-                    }
-                }
-                out.push(wd);
+                    row,
+                    extract_ns,
+                });
             }
+        }
+    }
+
+    /// **Decide stage**: folds one pending window's decision into the
+    /// session — stats (windows, drops, seizure count, latency =
+    /// `extract_ns + classify_ns`), the optional alarm state machine and
+    /// the pending-alarm buffer — and returns the finished
+    /// [`WindowDecision`].
+    ///
+    /// `decision` must be `None` exactly when `pending.row` is `None`
+    /// (the dropped-window contract), and windows of one session must be
+    /// decided in extraction order — both hold by construction on the
+    /// solo and fleet paths. `classify_ns` is the window's share of the
+    /// classification cost (per-row time solo, `batch time / batch rows`
+    /// under the fleet).
+    pub fn decide_window(
+        &mut self,
+        pending: &PendingWindow,
+        decision: Option<f64>,
+        classify_ns: u64,
+    ) -> WindowDecision {
+        let latency_ns = pending.extract_ns.saturating_add(classify_ns);
+        let is_seizure = matches!(decision, Some(d) if decision_is_seizure(d));
+        self.stats.windows += 1;
+        if decision.is_none() {
+            self.stats.dropped += 1;
+        }
+        if is_seizure {
+            self.stats.seizure_windows += 1;
+        }
+        self.stats.total_latency_ns += u128::from(latency_ns);
+        self.stats.max_latency_ns = self.stats.max_latency_ns.max(latency_ns);
+        let wd = WindowDecision {
+            window_index: pending.window_index,
+            start_sample: pending.start_sample,
+            decision,
+            is_seizure,
+            latency_ns,
+        };
+        if let Some(sm) = &mut self.alarm {
+            if let Some(alarm) = sm.on_window(&wd) {
+                self.stats.alarms += 1;
+                self.pending_alarms.push(alarm);
+            }
+        }
+        wd
+    }
+
+    /// Ingests one **pre-extracted** feature row as the session's next
+    /// window — the on-device-extraction topology, where wearables run
+    /// the DSP/feature chain locally and ship 53-float rows instead of
+    /// raw ECG. `row = None` records a dropped window (on-device
+    /// extraction failed). Row-fed windows are numbered 0, 1, 2, … with
+    /// `stride`-spaced start samples; a session is either row-fed or
+    /// sample-fed, never both — mixing is rejected, because the two
+    /// modes number windows independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `row` is not exactly
+    /// [`N_FEATURES`] wide, or when the session has already ingested
+    /// raw samples.
+    pub fn push_row(&mut self, row: Option<&[f64]>) -> Result<WindowDecision, CoreError> {
+        let pending = self.pend_row(row)?;
+        let t0 = Instant::now();
+        let decision = pending.row.as_deref().map(|r| self.engine.decision(r));
+        let classify_ns = t0.elapsed().as_nanos() as u64;
+        let wd = self.decide_window(&pending, decision, classify_ns);
+        if let Some(row) = pending.row {
+            self.recycle_row(row);
+        }
+        Ok(wd)
+    }
+
+    /// Builds the [`PendingWindow`] for one pre-extracted row without
+    /// deciding it — the fleet's row-ingest entry point. Same contract
+    /// as [`StreamingSession::push_row`]; the caller owes the session a
+    /// matching [`StreamingSession::decide_window`] call (and must count
+    /// queued-but-undecided windows itself when interleaving). The row
+    /// is copied into a recycled allocation when one is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `row` is not exactly
+    /// [`N_FEATURES`] wide, or when the session has already ingested
+    /// raw samples (the ingest modes must not mix — see
+    /// [`StreamingSession::push_row`]).
+    pub fn pend_row(&mut self, row: Option<&[f64]>) -> Result<PendingWindow, CoreError> {
+        if self.stats.samples_in > 0 {
+            return Err(CoreError::InvalidConfig(
+                "session already ingested raw samples; cannot mix pre-extracted rows \
+                 (window numbering would fork)"
+                    .into(),
+            ));
+        }
+        if let Some(r) = row {
+            if r.len() != N_FEATURES {
+                return Err(CoreError::InvalidConfig(format!(
+                    "pre-extracted row has {} features, extraction produces {N_FEATURES}",
+                    r.len()
+                )));
+            }
+        }
+        let window_index = self.next_row_window;
+        self.next_row_window += 1;
+        Ok(PendingWindow {
+            window_index,
+            start_sample: window_index * self.cfg.stride as u64,
+            row: row.map(|r| {
+                let mut owned = self.row_pool.pop().unwrap_or_default();
+                owned.clear();
+                owned.extend_from_slice(r);
+                owned
+            }),
+            extract_ns: 0,
+        })
+    }
+
+    /// Whether this session has ingested pre-extracted rows. A session
+    /// is either row-fed or sample-fed, never both (see
+    /// [`StreamingSession::push_row`]); schedulers check this to reject
+    /// raw samples on a row-fed session with an error instead of the
+    /// extract stage's panic.
+    pub fn is_row_fed(&self) -> bool {
+        self.next_row_window > 0
+    }
+
+    /// Returns a decided [`PendingWindow`]'s row allocation to the
+    /// session's recycle pool, keeping the extract/pend hot paths free
+    /// of per-window heap churn. The solo entry points recycle
+    /// automatically; staged drivers (the fleet scheduler) call this
+    /// after [`StreamingSession::decide_window`].
+    pub fn recycle_row(&mut self, row: Vec<f64>) {
+        if self.row_pool.len() < ROW_POOL_CAP {
+            self.row_pool.push(row);
         }
     }
 }
@@ -375,6 +610,35 @@ pub struct StreamOutcome {
     pub alarms: Vec<AlarmEvent>,
     /// The stream's latency/throughput accounting.
     pub stats: StreamStats,
+    /// Wall-clock nanoseconds the whole replay of this stream took
+    /// (chunk feeding included) — the honest denominator for this
+    /// stream's throughput, unlike the summed per-window latencies of
+    /// [`StreamStats`].
+    pub wall_ns: u64,
+}
+
+impl StreamOutcome {
+    /// Wall-clock throughput of this stream's replay (`0.0` before any
+    /// window; `INFINITY` when windows completed under a zero-latency
+    /// coarse clock, mirroring [`StreamStats::windows_per_sec`]).
+    pub fn wall_windows_per_sec(&self) -> f64 {
+        pooled_windows_per_sec(self.stats.windows, u128::from(self.wall_ns))
+    }
+}
+
+/// Wall-clock pooled throughput: `windows` completed across any number
+/// of concurrent streams over `wall_ns` of real time. This is the
+/// cohort-level rate [`StreamStats::windows_per_sec`] cannot provide
+/// (summed latencies treat parallel work as serial); `0.0` without
+/// windows, `INFINITY` when windows completed in sub-resolution time.
+pub fn pooled_windows_per_sec(windows: u64, wall_ns: u128) -> f64 {
+    if windows == 0 {
+        0.0
+    } else if wall_ns == 0 {
+        f64::INFINITY
+    } else {
+        windows as f64 * 1e9 / wall_ns as f64
+    }
 }
 
 /// Runs many patient streams concurrently over one shared engine: each
@@ -422,6 +686,7 @@ pub fn run_streams_parallel_alarmed(
         a.validate()?;
     }
     Ok(par_map(streams, |samples| {
+        let t0 = Instant::now();
         let mut session =
             StreamingSession::new(Arc::clone(engine), cfg).expect("config validated above");
         if let Some(a) = alarm_cfg {
@@ -439,6 +704,7 @@ pub fn run_streams_parallel_alarmed(
             decisions,
             alarms: session.take_alarms(),
             stats: session.stats(),
+            wall_ns: t0.elapsed().as_nanos() as u64,
         }
     }))
 }
@@ -754,6 +1020,108 @@ mod tests {
             640
         )
         .is_err());
+    }
+
+    #[test]
+    fn push_row_ingests_pre_extracted_rows() {
+        let cfg = StreamConfig::non_overlapping(128.0, 30.0).unwrap();
+        let mut s = StreamingSession::new(engine(), cfg).unwrap();
+        // Wrong width is rejected; the window counter does not advance.
+        assert!(s.push_row(Some(&[1.0; 3])).is_err());
+        let mut row = vec![0.0; N_FEATURES];
+        row[0] = 2.5;
+        let d0 = s.push_row(Some(&row)).unwrap();
+        assert_eq!(d0.window_index, 0);
+        assert_eq!(d0.start_sample, 0);
+        assert_eq!(d0.decision, Some(2.5));
+        assert!(d0.is_seizure);
+        // A device-side dropped window: decided as dropped, in order.
+        let d1 = s.push_row(None).unwrap();
+        assert_eq!(d1.window_index, 1);
+        assert_eq!(d1.start_sample, cfg.stride as u64);
+        assert_eq!(d1.decision, None);
+        row[0] = -1.0;
+        let d2 = s.push_row(Some(&row)).unwrap();
+        assert_eq!(d2.window_index, 2);
+        assert!(!d2.is_seizure);
+        let stats = s.stats();
+        assert_eq!(
+            (stats.windows, stats.dropped, stats.seizure_windows),
+            (3, 1, 1)
+        );
+        // The alarm stage sees row-fed windows exactly like sample-fed
+        // ones.
+        let mut s =
+            StreamingSession::with_alarms(engine(), cfg, crate::alarm::AlarmConfig::k_of_n(1, 1))
+                .unwrap();
+        row[0] = 1.0;
+        s.push_row(Some(&row)).unwrap();
+        assert_eq!(s.take_alarms().len(), 1);
+    }
+
+    #[test]
+    fn ingest_modes_do_not_mix() {
+        // Row-after-sample is rejected with an error: the two modes
+        // number windows independently.
+        let cfg = StreamConfig::non_overlapping(128.0, 30.0).unwrap();
+        let mut s = StreamingSession::new(engine(), cfg).unwrap();
+        s.push_samples(&[0.0; 16]);
+        assert!(!s.is_row_fed());
+        let row = vec![0.0; N_FEATURES];
+        assert!(matches!(
+            s.push_row(Some(&row)),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // A row-fed session reports itself as such.
+        let mut r = StreamingSession::new(engine(), cfg).unwrap();
+        r.push_row(Some(&row)).unwrap();
+        assert!(r.is_row_fed());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mix raw-sample ingestion")]
+    fn sample_ingest_after_rows_panics() {
+        let cfg = StreamConfig::non_overlapping(128.0, 30.0).unwrap();
+        let mut s = StreamingSession::new(engine(), cfg).unwrap();
+        s.push_row(None).unwrap();
+        s.push_samples(&[0.0; 16]);
+    }
+
+    #[test]
+    fn pooled_throughput_is_wall_clock_not_summed_latency() {
+        // Edge cases mirror windows_per_sec.
+        assert_eq!(pooled_windows_per_sec(0, 0), 0.0);
+        assert_eq!(pooled_windows_per_sec(5, 0), f64::INFINITY);
+        assert!((pooled_windows_per_sec(4, 2_000_000_000) - 2.0).abs() < 1e-12);
+        // Two concurrent streams, each 100 windows of 1 ms: the merged
+        // serial-equivalent rate halves, the wall-clock pooled rate does
+        // not — the distinction the fleet metrics are built on.
+        let one = StreamStats {
+            windows: 100,
+            total_latency_ns: 100_000_000,
+            ..StreamStats::default()
+        };
+        let mut merged = one;
+        merged.merge(&one);
+        assert!((one.windows_per_sec() - 1000.0).abs() < 1e-9);
+        assert!((merged.windows_per_sec() - 1000.0).abs() < 1e-9);
+        // 200 windows in the same 100 ms of wall time (perfect overlap):
+        let pooled = pooled_windows_per_sec(merged.windows, 100_000_000);
+        assert!((pooled - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_outcomes_carry_wall_clock_time() {
+        let fs = 128.0;
+        let cfg = StreamConfig::non_overlapping(fs, 30.0).unwrap();
+        let streams: Vec<Vec<f64>> = vec![synth_ecg(fs, 95.0, 0.8)];
+        let outcomes = run_streams_parallel(&engine(), cfg, &streams, 640).unwrap();
+        let o = &outcomes[0];
+        assert!(o.wall_ns > 0);
+        assert!(o.wall_windows_per_sec() > 0.0);
+        // Wall time covers at least the summed per-window latencies of a
+        // serial replay.
+        assert!(u128::from(o.wall_ns) >= o.stats.total_latency_ns);
     }
 
     #[test]

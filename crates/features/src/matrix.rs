@@ -154,6 +154,14 @@ impl<T: Copy> DenseMatrix<T> {
         self.n_rows += 1;
     }
 
+    /// Removes every row, keeping the column width and the allocation —
+    /// for batch buffers refilled on a hot path (e.g. the fleet
+    /// scheduler's per-flush gather).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.n_rows = 0;
+    }
+
     /// Column `j` as an owned vector.
     ///
     /// # Panics

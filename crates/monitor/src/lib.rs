@@ -16,7 +16,11 @@
 //! * [`streaming`] — the continuous-monitoring facade
 //!   ([`streaming::StreamingMonitor`]): chunked ECG in, per-window
 //!   decisions out, bit-identical to the batch path for every
-//!   [`svm::ClassifierEngine`] backend.
+//!   [`svm::ClassifierEngine`] backend,
+//! * [`fleet`] — the fleet-serving facade ([`fleet::FleetMonitor`]):
+//!   thousands of concurrent patient streams multiplexed over one
+//!   engine, ready windows micro-batched across patients into single
+//!   batch-kernel calls, with cohort alarm reports.
 //!
 //! ## Quick start
 //!
@@ -41,10 +45,12 @@ pub use hwmodel as hw;
 pub use seizure_core as core;
 pub use svm as ml;
 
+pub mod fleet;
 pub mod streaming;
 
 /// Most-used items in one import.
 pub mod prelude {
+    pub use crate::fleet::{FleetAlarmReport, FleetMonitor};
     pub use crate::streaming::{CohortAlarmReport, StreamingMonitor};
     pub use ecg_features::{DenseMatrix, FeatureMatrix};
     pub use ecg_sim::dataset::{DatasetSpec, Scale};
@@ -55,6 +61,7 @@ pub mod prelude {
     pub use seizure_core::config::FitConfig;
     pub use seizure_core::engine::{BitConfig, QuantizedEngine};
     pub use seizure_core::eval::{loso_evaluate, loso_evaluate_events, loso_evaluate_serial};
+    pub use seizure_core::fleet::{FleetConfig, FleetScheduler, FleetStats, OverloadPolicy};
     pub use seizure_core::stream::{StreamConfig, StreamStats, WindowDecision};
     pub use seizure_core::trained::FloatPipeline;
     pub use svm::{decision_is_seizure, ClassifierEngine, Kernel};

@@ -19,6 +19,40 @@ use seizure_core::trained::FloatPipeline;
 use std::sync::Arc;
 use svm::EngineInfo;
 
+/// Rebuilds a shared engine from pipeline text persisted with
+/// [`FloatPipeline::to_text`]: the float pipeline directly, or — with
+/// `bits` — the bit-accurate quantised engine on top. Persistence is
+/// bit-exact, so a monitor or fleet restarted from the text produces
+/// decisions bit-identical to the original's. Shared by
+/// [`StreamingMonitor::from_saved_pipeline`] and
+/// [`crate::fleet::FleetMonitor::from_saved_pipeline`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] (or a wrapped [`svm::SvmError`])
+/// for malformed text, a pipeline whose selected features exceed what
+/// extraction produces, or a quantised engine that cannot be built.
+pub fn load_engine(
+    pipeline_text: &str,
+    bits: Option<BitConfig>,
+) -> Result<SharedEngine, CoreError> {
+    let p = FloatPipeline::from_text(pipeline_text)?;
+    // `from_text` cannot bound the selected indices (a pipeline does
+    // not record its raw input width), but monitors feed 53-feature
+    // rows — reject a corrupt file here, at load time, instead of
+    // panicking on the first window.
+    let n = ecg_features::N_FEATURES;
+    if let Some(&bad) = p.feature_indices().iter().find(|&&j| j >= n) {
+        return Err(CoreError::InvalidConfig(format!(
+            "persisted pipeline selects feature {bad} but extraction produces {n} features"
+        )));
+    }
+    Ok(match bits {
+        Some(b) => Arc::new(QuantizedEngine::from_pipeline(&p, b)?),
+        None => Arc::new(p),
+    })
+}
+
 /// Continuous seizure monitor over one patient's ECG stream.
 ///
 /// ```no_run
@@ -102,21 +136,7 @@ impl StreamingMonitor {
         bits: Option<BitConfig>,
         cfg: StreamConfig,
     ) -> Result<Self, CoreError> {
-        let p = FloatPipeline::from_text(pipeline_text)?;
-        // `from_text` cannot bound the selected indices (a pipeline does
-        // not record its raw input width), but this monitor will feed
-        // 53-feature rows — reject a corrupt file here, at load time,
-        // instead of panicking on the first window.
-        let n = ecg_features::N_FEATURES;
-        if let Some(&bad) = p.feature_indices().iter().find(|&&j| j >= n) {
-            return Err(CoreError::InvalidConfig(format!(
-                "persisted pipeline selects feature {bad} but extraction produces {n} features"
-            )));
-        }
-        match bits {
-            Some(b) => StreamingMonitor::from_quantized(&p, b, cfg),
-            None => StreamingMonitor::from_float_pipeline(p, cfg),
-        }
+        StreamingMonitor::new(load_engine(pipeline_text, bits)?, cfg)
     }
 
     /// Enables (or reconfigures) the online alarm stage: completed
@@ -215,8 +235,10 @@ impl StreamingMonitor {
                 )));
             }
         }
+        let t0 = std::time::Instant::now();
         let outcomes =
             run_streams_parallel_alarmed(engine, cfg, Some(alarm_cfg), streams, chunk_len)?;
+        let wall_ns = t0.elapsed().as_nanos();
         let mut stats = StreamStats::default();
         for o in &outcomes {
             stats.merge(&o.stats);
@@ -239,6 +261,7 @@ impl StreamingMonitor {
             outcomes,
             stats,
             events,
+            wall_ns,
         })
     }
 }
@@ -251,14 +274,27 @@ pub struct CohortAlarmReport {
     /// Per-stream outcomes in input order.
     pub outcomes: Vec<StreamOutcome>,
     /// Merged latency/throughput/alarm accounting over the cohort.
+    /// Its `windows_per_sec` is the **serial-equivalent** rate (summed
+    /// per-window latencies treat the cohort's parallel work as serial);
+    /// use [`CohortAlarmReport::pooled_windows_per_sec`] for the
+    /// wall-clock cohort throughput.
     pub stats: StreamStats,
     /// Pooled event metrics; `None` when no ground truth was supplied.
     pub events: Option<EventMetrics>,
+    /// Wall-clock nanoseconds the whole cohort run took.
+    pub wall_ns: u128,
 }
 
 impl CohortAlarmReport {
     /// Total alarms raised across the cohort.
     pub fn total_alarms(&self) -> u64 {
         self.stats.alarms
+    }
+
+    /// Wall-clock cohort throughput: windows completed across all
+    /// streams per second of real time — the honest fleet-level rate
+    /// that summed per-window latencies cannot provide.
+    pub fn pooled_windows_per_sec(&self) -> f64 {
+        seizure_core::stream::pooled_windows_per_sec(self.stats.windows, self.wall_ns)
     }
 }

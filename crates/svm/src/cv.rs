@@ -1,4 +1,13 @@
 //! Cross-validation fold construction.
+//!
+//! Both constructors build their folds in output-bound time: the work is
+//! proportional to the total number of indices emitted, with no repeated
+//! scans on top (the distinct-group pass of [`leave_one_group_out`] is
+//! hashed, and [`k_fold`]'s train sets are two range extends instead of
+//! a filtered full scan per fold).
+
+use crate::error::SvmError;
+use std::collections::HashMap;
 
 /// One train/test split expressed as row indices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -9,21 +18,29 @@ pub struct Fold {
     pub test: Vec<usize>,
 }
 
-/// Leave-one-group-out folds: one fold per distinct group value, testing
-/// on that group. This is the paper's protocol with recording sessions as
-/// groups (24 sessions → 24 folds).
+/// Leave-one-group-out folds: one fold per distinct group value (in
+/// first-seen order), testing on that group. This is the paper's
+/// protocol with recording sessions as groups (24 sessions → 24 folds).
+/// Both index lists of every fold are ascending.
 pub fn leave_one_group_out(groups: &[usize]) -> Vec<Fold> {
+    // Distinct groups in first-seen order, with their sizes — hashed in
+    // one pass, so a cohort of many small groups no longer pays a
+    // quadratic membership scan.
+    let mut sizes: HashMap<usize, usize> = HashMap::new();
     let mut distinct: Vec<usize> = Vec::new();
     for &g in groups {
-        if !distinct.contains(&g) {
+        let count = sizes.entry(g).or_insert(0);
+        if *count == 0 {
             distinct.push(g);
         }
+        *count += 1;
     }
     distinct
         .into_iter()
         .map(|g| {
-            let mut train = Vec::new();
-            let mut test = Vec::new();
+            let n_test = sizes[&g];
+            let mut train = Vec::with_capacity(groups.len() - n_test);
+            let mut test = Vec::with_capacity(n_test);
             for (i, &gi) in groups.iter().enumerate() {
                 if gi == g {
                     test.push(i);
@@ -37,13 +54,19 @@ pub fn leave_one_group_out(groups: &[usize]) -> Vec<Fold> {
 }
 
 /// Deterministic `k`-fold split of `n` rows (contiguous blocks; shuffle
-/// upstream if the row order is meaningful).
+/// upstream if the row order is meaningful). Both index lists of every
+/// fold are ascending.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `k == 0` or `k > n`.
-pub fn k_fold(n: usize, k: usize) -> Vec<Fold> {
-    assert!(k > 0 && k <= n, "need 0 < k <= n");
+/// Returns [`SvmError::InvalidConfig`] when `k == 0` or `k > n` —
+/// validated up front instead of panicking mid-evaluation.
+pub fn k_fold(n: usize, k: usize) -> Result<Vec<Fold>, SvmError> {
+    if k == 0 || k > n {
+        return Err(SvmError::InvalidConfig(
+            "k-fold split needs 0 < k <= n rows",
+        ));
+    }
     let base = n / k;
     let extra = n % k;
     let mut folds = Vec::with_capacity(k);
@@ -51,13 +74,15 @@ pub fn k_fold(n: usize, k: usize) -> Vec<Fold> {
     for f in 0..k {
         let len = base + usize::from(f < extra);
         let test: Vec<usize> = (start..start + len).collect();
-        let train: Vec<usize> = (0..n)
-            .filter(|i| !(start..start + len).contains(i))
-            .collect();
+        // Train = everything outside the test block, as two range
+        // extends (no per-index filtering).
+        let mut train = Vec::with_capacity(n - len);
+        train.extend(0..start);
+        train.extend(start + len..n);
         folds.push(Fold { train, test });
         start += len;
     }
-    folds
+    Ok(folds)
 }
 
 #[cfg(test)]
@@ -89,7 +114,7 @@ mod tests {
 
     #[test]
     fn kfold_partitions_evenly() {
-        let folds = k_fold(10, 3);
+        let folds = k_fold(10, 3).unwrap();
         assert_eq!(folds.len(), 3);
         let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
@@ -99,9 +124,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "need 0 < k <= n")]
-    fn kfold_validates() {
-        let _ = k_fold(3, 5);
+    fn kfold_rejects_degenerate_configurations() {
+        // k > n and k == 0 are errors, not panics.
+        assert!(matches!(k_fold(3, 5), Err(SvmError::InvalidConfig(_))));
+        assert!(matches!(k_fold(10, 0), Err(SvmError::InvalidConfig(_))));
+        assert!(matches!(k_fold(0, 0), Err(SvmError::InvalidConfig(_))));
+        assert!(matches!(k_fold(0, 1), Err(SvmError::InvalidConfig(_))));
+        // Boundary cases are fine: k == n (leave-one-out) and k == 1.
+        let loo = k_fold(4, 4).unwrap();
+        assert_eq!(loo.len(), 4);
+        assert!(loo.iter().all(|f| f.test.len() == 1));
+        let one = k_fold(4, 1).unwrap();
+        assert_eq!(one[0].test, vec![0, 1, 2, 3]);
+        assert!(one[0].train.is_empty());
+    }
+
+    #[test]
+    fn kfold_large_n_is_fast_and_exact() {
+        // 100k rows, 7 folds: every index in exactly one test block,
+        // train ascending and complementary. Output-bound construction —
+        // this finishes instantly even under a debug build.
+        let n = 100_000;
+        let folds = k_fold(n, 7).unwrap();
+        assert_eq!(folds.len(), 7);
+        let mut covered = 0usize;
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), n);
+            assert!(f.test.windows(2).all(|w| w[0] + 1 == w[1]), "contiguous");
+            assert!(f.train.windows(2).all(|w| w[0] < w[1]), "ascending");
+            // Train skips exactly the test block.
+            let (lo, hi) = (f.test[0], *f.test.last().unwrap());
+            assert!(f.train.iter().all(|&i| i < lo || i > hi));
+            covered += f.test.len();
+        }
+        assert_eq!(covered, n);
+        // Uneven remainder spread: first n % k folds get one extra row.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes, vec![14286, 14286, 14286, 14286, 14286, 14285, 14285]);
+    }
+
+    #[test]
+    fn logo_large_cohort_is_fast_and_exact() {
+        // 60k rows across 24 interleaved groups (the paper's session
+        // count at a large-cohort row count).
+        let n = 60_000;
+        let groups: Vec<usize> = (0..n).map(|i| i % 24).collect();
+        let folds = leave_one_group_out(&groups);
+        assert_eq!(folds.len(), 24);
+        for (g, f) in folds.iter().enumerate() {
+            assert_eq!(f.test.len(), n / 24);
+            assert_eq!(f.train.len(), n - n / 24);
+            assert!(f.test.iter().all(|&i| groups[i] == g));
+            assert!(f.test.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert!(f.train.windows(2).all(|w| w[0] < w[1]), "ascending");
+        }
+        // Many distinct groups (the case the old quadratic distinct scan
+        // choked on): 5k groups of 2 rows.
+        let groups: Vec<usize> = (0..10_000).map(|i| i / 2).collect();
+        let folds = leave_one_group_out(&groups);
+        assert_eq!(folds.len(), 5_000);
+        assert!(folds.iter().all(|f| f.test.len() == 2));
     }
 
     #[test]

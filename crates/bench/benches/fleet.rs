@@ -35,6 +35,12 @@ const FLEET_SIZES: [usize; 3] = [64, 256, 1024];
 /// Pre-extracted rows each patient contributes per flush cycle on the
 /// row-serving path.
 const ROWS_PER_PATIENT: usize = 4;
+/// Pinned executor counts for the staged flush pipeline's multi-worker
+/// rows (`*_w{k}` benches) — alongside the machine-default runs of the
+/// unsuffixed benches. On a single-core container the pools just
+/// oversubscribe the core, so these rows measure dispatch overhead, not
+/// speedup; see the README's fleet bench note.
+const WORKER_VARIANTS: [usize; 3] = [1, 2, 4];
 
 /// One window-sized chunk per patient, sliced out of the cohort's real
 /// sessions (cycled across patients, staggered so neighbours replay
@@ -106,6 +112,7 @@ fn main() {
             for p in 0..n as u64 {
                 fleet.admit(p).expect("admit");
             }
+            let mut flush = seizure_core::fleet::FleetFlush::default();
             let fleet_ns = h.bench(&fleet_name, || {
                 for p in 0..n {
                     for r in 0..ROWS_PER_PATIENT {
@@ -113,7 +120,8 @@ fn main() {
                         fleet.ingest_row(p as u64, Some(row)).expect("ingest_row");
                     }
                 }
-                bb(fleet.flush().rows_classified)
+                fleet.flush_into(&mut flush);
+                bb(flush.rows_classified)
             });
             // Per-row baseline: the run_streams_parallel serving shape —
             // persistent per-patient sessions, one engine.decision per
@@ -149,6 +157,56 @@ fn main() {
                     format!("{:.3}", perrow_ns / fleet_ns),
                 ));
             }
+            // Pinned executor counts (quantised serving is the
+            // latency-critical backend): same workload through a fleet
+            // whose flush pipeline runs serial / 2-wide / 4-wide.
+            if engine_name == "quant" {
+                for &w in &WORKER_VARIANTS {
+                    let name = format!("fleet_rows_{n}_quant_w{w}");
+                    if !h.enabled(&name) {
+                        continue;
+                    }
+                    let mut fleet = FleetScheduler::new(
+                        Arc::clone(engine),
+                        FleetConfig {
+                            workers: Some(w),
+                            ..FleetConfig::unbounded(cfg)
+                        },
+                    )
+                    .expect("fleet");
+                    for p in 0..n as u64 {
+                        fleet.admit(p).expect("admit");
+                    }
+                    let mut flush = seizure_core::fleet::FleetFlush::default();
+                    let ns = h.bench(&name, || {
+                        for p in 0..n {
+                            for r in 0..ROWS_PER_PATIENT {
+                                let row = &rows[(p + r) % rows.len()];
+                                fleet.ingest_row(p as u64, Some(row)).expect("ingest_row");
+                            }
+                        }
+                        fleet.flush_into(&mut flush);
+                        bb(flush.rows_classified)
+                    });
+                    if ns.is_finite() {
+                        meta.push((
+                            Box::leak(
+                                format!("rows_{n}_quant_w{w}_fleet_windows_per_sec")
+                                    .into_boxed_str(),
+                            ),
+                            format!("{:.1}", windows_per_iter * 1e9 / ns),
+                        ));
+                        if perrow_ns.is_finite() {
+                            meta.push((
+                                Box::leak(
+                                    format!("rows_{n}_quant_w{w}_fleet_vs_perrow").into_boxed_str(),
+                                ),
+                                format!("{:.3}", perrow_ns / ns),
+                            ));
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -165,11 +223,13 @@ fn main() {
         for p in 0..n as u64 {
             fleet.admit(p).expect("admit");
         }
+        let mut flush = seizure_core::fleet::FleetFlush::default();
         let fleet_ns = h.bench(&fleet_name, || {
             for (p, chunk) in chunks.iter().enumerate() {
                 fleet.ingest(p as u64, chunk).expect("ingest");
             }
-            bb(fleet.flush().decisions.len())
+            fleet.flush_into(&mut flush);
+            bb(flush.decisions.len())
         });
         // The named baseline: run_streams_parallel re-builds sessions
         // per call and classifies window by window.
@@ -193,6 +253,41 @@ fn main() {
                 Box::leak(format!("ingest_{n}_quant_fleet_vs_streams_parallel").into_boxed_str()),
                 format!("{:.3}", baseline_ns / fleet_ns),
             ));
+        }
+        // Pinned executor counts: the sharded extract stage at serial /
+        // 2-wide / 4-wide.
+        for &w in &WORKER_VARIANTS {
+            let name = format!("fleet_ingest_flush_{n}_quant_w{w}");
+            if !h.enabled(&name) {
+                continue;
+            }
+            let mut fleet = FleetScheduler::new(
+                Arc::clone(&quant_engine),
+                FleetConfig {
+                    workers: Some(w),
+                    ..FleetConfig::unbounded(cfg)
+                },
+            )
+            .expect("fleet");
+            for p in 0..n as u64 {
+                fleet.admit(p).expect("admit");
+            }
+            let mut flush = seizure_core::fleet::FleetFlush::default();
+            let ns = h.bench(&name, || {
+                for (p, chunk) in chunks.iter().enumerate() {
+                    fleet.ingest(p as u64, chunk).expect("ingest");
+                }
+                fleet.flush_into(&mut flush);
+                bb(flush.decisions.len())
+            });
+            if ns.is_finite() {
+                meta.push((
+                    Box::leak(
+                        format!("ingest_{n}_quant_w{w}_fleet_windows_per_sec").into_boxed_str(),
+                    ),
+                    format!("{:.1}", n as f64 * 1e9 / ns),
+                ));
+            }
         }
     }
 

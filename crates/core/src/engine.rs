@@ -474,9 +474,14 @@ impl QuantizedEngine {
     }
 
     /// Shared batch skeleton: on the exact path, encodes every row into
-    /// one reused code buffer and maps its decision code through
-    /// `map_code`; wide configs run `float_sim` per row. All three batch
-    /// entry points (decision, classify, i128 reference) are instances.
+    /// the same thread-local code scratch the per-row path uses (so
+    /// panel serving is allocation-free per call and each pool worker
+    /// keeps its own warm buffer) and maps its decision code through
+    /// `map_code`; wide configs run `float_sim` per row. All batch
+    /// entry points (decision, classify, i128 reference, row panels)
+    /// are instances. The `code_of` callbacks must not touch
+    /// `CODE_SCRATCH` themselves (the decision-code kernels do not) —
+    /// the scratch is borrowed across the whole batch.
     fn batch_with(
         &self,
         rows: &DenseMatrix<f64>,
@@ -485,13 +490,15 @@ impl QuantizedEngine {
         float_sim: impl Fn(&Self, &[f64]) -> f64,
     ) -> Vec<f64> {
         if self.bits.d_bits <= MAX_EXACT_D_BITS {
-            let mut codes = Vec::with_capacity(self.feature_indices.len());
-            rows.rows()
-                .map(|row| {
-                    self.encode_features_into(row, &mut codes);
-                    map_code(code_of(self, &codes))
-                })
-                .collect()
+            CODE_SCRATCH.with(|scratch| {
+                let mut codes = scratch.borrow_mut();
+                rows.rows()
+                    .map(|row| {
+                        self.encode_features_into(row, &mut codes);
+                        map_code(code_of(self, &codes))
+                    })
+                    .collect()
+            })
         } else {
             rows.rows().map(|row| float_sim(self, row)).collect()
         }
@@ -550,6 +557,24 @@ impl ClassifierEngine for QuantizedEngine {
             |code| code as f64,
             |e, row| e.decision_float_sim(row),
         )
+    }
+
+    /// Borrowed-row panels skip the dense gather entirely: each row ref
+    /// is encoded straight into the thread-local code scratch and
+    /// decided — bit-identical to `decision_batch` on a gathered copy,
+    /// with zero copies and zero allocations on the exact path.
+    fn decision_rows_into(&self, rows: &[&[f64]], out: &mut Vec<f64>) {
+        if self.bits.d_bits <= MAX_EXACT_D_BITS {
+            CODE_SCRATCH.with(|scratch| {
+                let mut codes = scratch.borrow_mut();
+                out.extend(rows.iter().map(|row| {
+                    self.encode_features_into(row, &mut codes);
+                    self.decision_code_of(&codes) as f64
+                }));
+            });
+        } else {
+            out.extend(rows.iter().map(|row| self.decision_float_sim(row)));
+        }
     }
 
     /// Bit-identical to mapping [`QuantizedEngine::classify`] over the
@@ -816,6 +841,23 @@ mod tests {
             let batch = e.classify_batch(&m.features);
             for (i, row) in m.rows().enumerate() {
                 assert_eq!(batch[i], e.classify(row), "row {i} at {bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_into_matches_decision_batch_on_both_paths() {
+        let m = matrix();
+        let p = pipeline(&m);
+        for bits in [BitConfig::paper_choice(), BitConfig::uniform(63)] {
+            let e = QuantizedEngine::from_pipeline(&p, bits).unwrap();
+            let expect = e.decision_batch(&m.features);
+            let refs: Vec<&[f64]> = m.rows().collect();
+            let mut got = Vec::new();
+            e.decision_rows_into(&refs, &mut got);
+            assert_eq!(got.len(), expect.len());
+            for (i, (g, w)) in got.iter().zip(&expect).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "row {i} at {bits:?}");
             }
         }
     }

@@ -1,5 +1,5 @@
 //! Fleet-scale session multiplexing: thousands of patient streams, one
-//! batched inference path.
+//! staged multi-core inference pipeline.
 //!
 //! [`crate::stream::run_streams_parallel`] fans patient sessions out
 //! across threads but still classifies **one window at a time** per
@@ -7,26 +7,54 @@
 //! never run on the serving path. [`FleetScheduler`] closes that gap: it
 //! owns N per-patient [`StreamingSession`]s, accepts
 //! [`FleetScheduler::ingest`] calls in arbitrary patient interleavings,
-//! and on each [`FleetScheduler::flush`] gathers every ready feature row
-//! across **all** sessions into one [`DenseMatrix`] driven through a
-//! single `decision_batch` call:
+//! and each [`FleetScheduler::flush`] drives a three-stage pipeline over
+//! the fleet's [`crate::parallel::WorkerPool`] executors:
 //!
 //! ```text
-//! ingest(p1, chunk) ─► session p1 ─ extract ─► pending rows ─┐
-//! ingest(p7, chunk) ─► session p7 ─ extract ─► pending rows ─┤   flush
-//! ingest(p3, chunk) ─► session p3 ─ extract ─► pending rows ─┼──────────►
-//!        …                                                   │ one DenseMatrix
-//!                                                            │ one decision_batch
-//!  decisions / alarms / stats routed back per session ◄──────┘
+//! ingest(p, chunk) ──► inbox p      (raw samples buffered, O(len) copy)
+//! ingest_row(p, r) ──► queue p      (pre-extracted rows buffered eagerly)
+//!                          │ flush()
+//!   ┌──────────────────────┴──────────────────────────────────────┐
+//!   │ stage 1 · sharded extraction                                │
+//!   │   sessions with buffered samples are claimed per-slot by    │
+//!   │   pool workers (par_map_mut); each extracts its windows     │
+//!   │   into its own slot's staging buffer — no locks, no shared  │
+//!   │   state on the hot path — then the staged windows join the  │
+//!   │   pending queues replayed in ingest order (overload policy) │
+//!   │ stage 2 · parallel panel fan-out                            │
+//!   │   ready rows across all queues → panels of 256 row refs →   │
+//!   │   decision_rows_into fanned across the pool via par_map     │
+//!   │   (order-preserving, so panel k's values land at offset     │
+//!   │   256·k exactly as a serial loop would place them)          │
+//!   │ stage 3 · ordered route-back                                │
+//!   │   decisions scatter to each session's decide stage (stats,  │
+//!   │   alarm state machine) in (patient asc, window) order       │
+//!   └─────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Decisions come back **bit-identical** to solo streaming because the
-//! batch kernels are pinned bit-identical to per-row `decision` calls,
-//! and each session's windows are decided in extraction order — so the
-//! alarm state machines, drop accounting and window geometry cannot
-//! diverge (the `fleet_equivalence` suite pins this on a real cohort for
-//! both engines, under random interleavings and both
-//! [`crate::alarm::DroppedPolicy`] variants).
+//! Decisions come back **bit-identical** to solo streaming at every
+//! worker count because each stage preserves order: extraction is
+//! per-session state with no cross-session dependence, the panel map is
+//! order-preserving by construction, and route-back is a single ordered
+//! scatter — so the alarm state machines, drop accounting and window
+//! geometry cannot diverge (the `fleet_equivalence` suite pins this on a
+//! real cohort for both engines, under random interleavings, both
+//! [`crate::alarm::DroppedPolicy`] variants and worker counts
+//! {1, 2, machine default}).
+//!
+//! ## Eager scheduling on a serial executor set
+//!
+//! When the fleet resolves to **one** executor (`workers = Some(1)`, or
+//! `None` on a single-core machine) there is nothing to fan out, so
+//! deferring work to the flush would only let its inputs go cold: the
+//! extract stage runs inside [`FleetScheduler::ingest`] while the chunk
+//! is cache-warm, and each [`FLUSH_PANEL_ROWS`]-row panel is classified
+//! incrementally the moment it fills (rows straight out of extraction
+//! or [`FleetScheduler::ingest_row`] are L1/L2-hot; a flush-time sweep
+//! over a 1024-patient backlog re-reads megabytes of cold rows). On a
+//! parallel set both stages defer to the flush so they can shard. The
+//! executor set only ever moves work between ingest and flush — same
+//! windows, same kernels, same order, bit-identical results.
 //!
 //! ## Backpressure
 //!
@@ -39,13 +67,18 @@
 //! *dropped* window (decision `None`) — it is still decided in order at
 //! the next flush, so per-session window accounting and the alarm
 //! dropped-window semantics stay exact — and the shed count surfaces in
-//! [`FleetStats`].
+//! [`FleetStats`]. Raw-sample windows reach the bounded buffer when
+//! their extraction runs, at the head of `flush` — replayed in the exact
+//! fleet-wide ingest order, so a pure raw-sample workload sheds exactly
+//! as the old eager-extraction scheduler did; in a *mixed* raw+row fleet
+//! under a bound, eagerly buffered rows are simply already present when
+//! the raw windows replay.
 //!
 //! ## Ingest modes
 //!
-//! * [`FleetScheduler::ingest`] — raw ECG chunks; the session extracts
-//!   windows server-side (the monitor-parity mode the equivalence tests
-//!   drive).
+//! * [`FleetScheduler::ingest`] — raw ECG chunks; samples are buffered
+//!   per session and extracted shard-parallel inside the next flush (the
+//!   monitor-parity mode the equivalence tests drive).
 //! * [`FleetScheduler::ingest_row`] — pre-extracted 53-feature rows; the
 //!   on-device-extraction topology where wearables run DSP locally and
 //!   the fleet spends its cycles purely on classification, which is
@@ -53,24 +86,26 @@
 
 use crate::alarm::{AlarmConfig, AlarmEvent};
 use crate::error::CoreError;
+use crate::parallel::WorkerPool;
 use crate::stream::{
     pooled_windows_per_sec, PendingWindow, SharedEngine, StreamConfig, StreamStats,
     StreamingSession, WindowDecision,
 };
-use ecg_features::{DenseMatrix, N_FEATURES};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Identifies one patient stream within a fleet.
 pub type PatientId = u64;
 
-/// Rows per [`ClassifierEngine::decision_batch`] panel inside
+/// Rows per [`ClassifierEngine::decision_rows_into`] panel inside
 /// [`FleetScheduler::flush`]. Panelling keeps a huge fleet's flush
 /// working set cache-sized (256 rows × 53 features ≈ 106 KiB) instead
-/// of streaming one multi-megabyte batch through the kernels; it cannot
-/// change results because batch decisions are bit-identical to per-row
-/// decisions.
+/// of streaming one multi-megabyte batch through the kernels, and is
+/// the grain the parallel fan-out distributes across pool workers and
+/// the increment at which a serial executor set classifies eagerly as
+/// rows arrive; it cannot change results because batch decisions are
+/// bit-identical to per-row decisions.
 pub const FLUSH_PANEL_ROWS: usize = 256;
 
 /// Who pays when the fleet's pending-row buffer is full.
@@ -88,7 +123,7 @@ pub enum OverloadPolicy {
 }
 
 /// Configuration of a fleet: shared window geometry, optional per-patient
-/// alarm stage, and the overload policy.
+/// alarm stage, the overload policy, and the flush executor count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetConfig {
     /// Windowing every patient session runs under.
@@ -101,18 +136,28 @@ pub struct FleetConfig {
     pub max_pending_rows: usize,
     /// What to shed when `max_pending_rows` is reached.
     pub overload: OverloadPolicy,
+    /// Executors for the flush pipeline's parallel stages (sharded
+    /// extraction, panel fan-out). `None` = size to the machine via the
+    /// shared global pool; `Some(n)` = exactly `n` executors (`1` runs
+    /// fully serial on the caller; `n ≥ 2` builds a fleet-owned pool of
+    /// `n − 1` persistent workers, the submitting caller being the
+    /// n-th). Must be `>= 1`; the count cannot change results, only
+    /// wall-clock.
+    pub workers: Option<usize>,
 }
 
 impl FleetConfig {
     /// A fleet without practical backpressure (buffer bound
-    /// `usize::MAX`), no alarm stage — the configuration the equivalence
-    /// suite compares against solo sessions.
+    /// `usize::MAX`), no alarm stage, machine-default executors — the
+    /// configuration the equivalence suite compares against solo
+    /// sessions.
     pub fn unbounded(stream: StreamConfig) -> Self {
         FleetConfig {
             stream,
             alarms: None,
             max_pending_rows: usize::MAX,
             overload: OverloadPolicy::Reject,
+            workers: None,
         }
     }
 
@@ -120,14 +165,21 @@ impl FleetConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for `max_pending_rows == 0`
-    /// or an invalid alarm configuration (the stream configuration is
-    /// validated when the first session is built, and once up front by
-    /// [`FleetScheduler::new`]).
+    /// Returns [`CoreError::InvalidConfig`] for `max_pending_rows == 0`,
+    /// `workers == Some(0)`, or an invalid alarm configuration (the
+    /// stream configuration is validated when the first session is
+    /// built, and once up front by [`FleetScheduler::new`]).
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.max_pending_rows == 0 {
             return Err(CoreError::InvalidConfig(
                 "fleet needs max_pending_rows >= 1 (0 would shed every window)".into(),
+            ));
+        }
+        if self.workers == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "fleet needs workers >= 1 (the flush caller is an executor; \
+                 None sizes to the machine)"
+                    .into(),
             ));
         }
         if let Some(a) = self.alarms {
@@ -152,10 +204,13 @@ pub struct FleetStats {
     pub restarted: u64,
     /// Ingest calls accepted (chunks + rows).
     pub ingests: u64,
-    /// Windows currently awaiting a decision (shed and
-    /// extraction-dropped windows included).
+    /// Windows currently awaiting a decision: queued rows, shed and
+    /// extraction-dropped windows, plus raw-sample windows whose
+    /// deferred extraction has not run yet (counted by geometry).
     pub pending_windows: usize,
-    /// Feature rows currently buffered for the next flush.
+    /// Feature rows currently buffered for the next flush. Raw-sample
+    /// windows contribute only once their deferred extraction runs, at
+    /// the head of that flush.
     pub pending_rows: usize,
     /// Flushes performed.
     pub flushes: u64,
@@ -167,8 +222,12 @@ pub struct FleetStats {
     pub shed_windows: u64,
     /// Pending windows discarded undecided by [`FleetScheduler::remove`].
     pub discarded_windows: u64,
-    /// Wall-clock nanoseconds spent inside `ingest`/`flush` — the
-    /// denominator of the fleet's honest serving throughput.
+    /// Wall-clock nanoseconds spent inside raw-sample ingestion and
+    /// flushes — the denominator of the fleet's serving throughput.
+    /// [`FleetScheduler::ingest_row`] is deliberately not timed: it is
+    /// a plain buffered copy, and a per-row clock read would cost as
+    /// much as the work it measures; the rows' real cost (the batch
+    /// kernels, the route-back) is all timed inside the flush.
     pub busy_ns: u128,
 }
 
@@ -186,7 +245,8 @@ impl FleetStats {
 /// accounting plus anything still buffered.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemovedPatient {
-    /// The removed session's lifetime stats.
+    /// The removed session's lifetime stats (buffered raw samples are
+    /// settled through the extractor first, so `samples_in` is exact).
     pub stats: StreamStats,
     /// Alarms the session had raised but nobody had collected.
     pub alarms: Vec<AlarmEvent>,
@@ -213,15 +273,49 @@ pub struct FleetFlush {
     pub decisions: Vec<FleetDecision>,
     /// Alarms raised by this flush, in the same patient-grouped order.
     pub alarms: Vec<(PatientId, AlarmEvent)>,
-    /// Feature rows classified through the single batch-kernel call.
+    /// Feature rows classified through the batch-kernel panels.
     pub rows_classified: usize,
 }
 
-/// One admitted patient: the session plus its queue of extracted,
-/// not-yet-decided windows.
+/// One raw-sample ingest call that completed windows — the replay unit
+/// that reconstructs the fleet-wide arrival order after the deferred,
+/// shard-parallel extract stage has run.
+struct ChunkRecord {
+    patient: PatientId,
+    /// Windows the chunk completed (by geometry, exactly what the
+    /// extractor will stage).
+    windows: u64,
+}
+
+/// One buffered window awaiting its decision: the pending window plus,
+/// when the serial fleet has already run it through an incremental
+/// panel (see [`FleetScheduler::classify_hot`]), its decision value.
+struct QueuedWindow {
+    window: PendingWindow,
+    /// `Some` once an incremental panel classified the row (serial
+    /// executor mode only); cleared if the overload policy later sheds
+    /// the row, so a shed window is decided as dropped either way.
+    value: Option<f64>,
+}
+
+/// One admitted patient: the session, its raw-sample inbox (deferred
+/// extract-stage input), the per-flush staging buffer the shard workers
+/// fill, and its queue of extracted, not-yet-decided windows.
 struct Slot {
     session: StreamingSession,
-    queue: VecDeque<PendingWindow>,
+    /// Raw samples buffered since the last flush; drained by the
+    /// sharded extract stage (or settled inline on remove/restart).
+    inbox: Vec<f64>,
+    /// Raw samples ever fed to this session (inbox included) — drives
+    /// geometry-based window accounting at ingest time and the
+    /// sample-fed/row-fed mode guard.
+    fed_samples: u64,
+    /// Windows the extract stage produced this flush, awaiting ordered
+    /// replay into `queue`; empty between flushes.
+    staged: Vec<PendingWindow>,
+    /// Replay cursor into `staged`.
+    staged_next: usize,
+    queue: VecDeque<QueuedWindow>,
     /// Queue index before which every window is known rowless — rows
     /// are only shed front-to-back between flushes, so `DropOldest`
     /// resumes its victim scan here instead of re-walking the already-
@@ -230,9 +324,104 @@ struct Slot {
     shed_cursor: usize,
 }
 
+impl Slot {
+    fn new(session: StreamingSession) -> Self {
+        Slot {
+            session,
+            inbox: Vec::new(),
+            fed_samples: 0,
+            staged: Vec::new(),
+            staged_next: 0,
+            queue: VecDeque::new(),
+            shed_cursor: 0,
+        }
+    }
+
+    /// Runs the deferred extract stage for this slot: every buffered
+    /// raw sample flows through the session's ring/scheduler/extractor
+    /// and the completed windows land in `staged`. Self-contained per
+    /// slot (no fleet state touched), which is what makes the stage
+    /// safely shardable across pool workers.
+    fn settle_inbox(&mut self) {
+        if self.inbox.is_empty() {
+            return;
+        }
+        self.session
+            .extract_windows_into(&self.inbox, &mut self.staged);
+        self.inbox.clear();
+    }
+
+    /// Moves the next staged window out (replay order).
+    fn take_staged(&mut self) -> PendingWindow {
+        let i = self.staged_next;
+        self.staged_next += 1;
+        std::mem::replace(
+            &mut self.staged[i],
+            PendingWindow {
+                window_index: 0,
+                start_sample: 0,
+                row: None,
+                extract_ns: 0,
+            },
+        )
+    }
+}
+
+/// Where a flush's parallel stages run, resolved once from
+/// [`FleetConfig::workers`].
+#[derive(Debug)]
+enum FlushExec {
+    /// `workers = Some(1)`: everything on the flushing caller.
+    Serial,
+    /// `workers = Some(n ≥ 2)`: a fleet-owned pool of `n − 1` workers
+    /// (the caller participates as the n-th executor).
+    Owned(WorkerPool),
+    /// `workers = None`: the machine-sized global pool.
+    Global,
+}
+
+impl FlushExec {
+    /// Total executors a dispatch uses (pool workers + the caller).
+    fn executors(&self) -> usize {
+        match self {
+            FlushExec::Serial => 1,
+            FlushExec::Owned(pool) => pool.workers() + 1,
+            FlushExec::Global => crate::parallel::global_pool().workers() + 1,
+        }
+    }
+
+    /// Order-preserving map over shared items on this executor set.
+    fn par_map<T, R>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        match self {
+            FlushExec::Serial => items.iter().map(f).collect(),
+            FlushExec::Owned(pool) => pool.par_map(items, f),
+            FlushExec::Global => crate::parallel::par_map(items, f),
+        }
+    }
+
+    /// Order-preserving map over mutable items on this executor set.
+    fn par_map_mut<T, R>(&self, items: &mut [T], f: impl Fn(&mut T) -> R + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        match self {
+            FlushExec::Serial => items.iter_mut().map(f).collect(),
+            FlushExec::Owned(pool) => pool.par_map_mut(items, f),
+            FlushExec::Global => crate::parallel::par_map_mut(items, f),
+        }
+    }
+}
+
 /// Multiplexes N per-patient [`StreamingSession`]s over one shared
-/// engine, micro-batching ready feature rows across patients into single
-/// [`ClassifierEngine::decision_batch`] calls.
+/// engine, micro-batching ready feature rows across patients into
+/// panelled [`ClassifierEngine::decision_rows_into`] calls fanned across
+/// a persistent worker pool (see the module docs for the staged
+/// pipeline).
 ///
 /// ```no_run
 /// use seizure_core::fleet::{FleetConfig, FleetScheduler};
@@ -245,7 +434,7 @@ struct Slot {
 /// fleet.admit(12)?;
 /// fleet.ingest(7, &vec![0.0; 4096])?;   // any interleaving
 /// fleet.ingest(12, &vec![0.0; 8192])?;
-/// for d in fleet.flush().decisions {     // one batched kernel call
+/// for d in fleet.flush().decisions {     // one staged pipeline run
 ///     println!("patient {} window {}", d.patient, d.decision.window_index);
 /// }
 /// # Ok::<(), seizure_core::error::CoreError>(())
@@ -253,19 +442,49 @@ struct Slot {
 pub struct FleetScheduler {
     engine: SharedEngine,
     cfg: FleetConfig,
-    /// Admitted sessions, iterated in ascending patient order so every
-    /// flush is deterministic.
-    slots: BTreeMap<PatientId, Slot>,
+    /// Admitted patient ids, ascending — index-parallel with `slots`,
+    /// so lookups are a binary search and every flush iterates in
+    /// deterministic patient order without tree-walking overhead on the
+    /// row-serving hot path.
+    ids: Vec<PatientId>,
+    slots: Vec<Slot>,
+    /// Slot index of the most recent lookup — live traffic arrives in
+    /// per-patient bursts (consecutive rows/chunks of one device), so
+    /// this one-entry cache turns most ingest lookups into a single
+    /// compare. Invalidated whenever `ids` shifts (admit/remove).
+    last_idx: usize,
+    /// Raw-sample ingest calls (in fleet-wide order) whose windows are
+    /// still awaiting the deferred extract stage — the replay script
+    /// that reconstructs eager-extraction enqueue order at flush time.
+    pending_chunks: Vec<ChunkRecord>,
     /// Fleet-wide arrival order of pending rows (one entry per buffered
-    /// row; front = oldest) — what `DropOldest` sheds from.
+    /// row; front = oldest) — what `DropOldest` sheds from. Only
+    /// maintained when `max_pending_rows` actually bounds the buffer.
     arrival: VecDeque<PatientId>,
     stats: FleetStats,
-    /// Reused batch buffer of the flush gather stage (one panel).
-    batch: DenseMatrix<f64>,
-    /// Reused decision-value buffer of the flush stage.
+    /// Reused decision-value buffer of the flush classify stage.
     values: Vec<f64>,
-    /// Reused extract-stage output buffer of `ingest`.
-    extract_scratch: Vec<PendingWindow>,
+    /// Executors for the flush pipeline's parallel stages.
+    exec: FlushExec,
+    /// Cache-aware panel scheduling: on a **serial** executor set
+    /// (`flush_executors() == 1`) panels classify incrementally, as
+    /// soon as [`FLUSH_PANEL_ROWS`] rows are buffered — the rows are
+    /// still cache-warm from ingestion, where a deferred flush over a
+    /// large fleet would re-read megabytes of cold row data. On a
+    /// parallel set classification defers to flush so whole panels fan
+    /// out across the pool. Decisions are bit-identical either way;
+    /// only memory traffic differs.
+    eager: bool,
+    /// (slot index, queue position) of each row buffered but not yet
+    /// incrementally classified, in arrival order; only populated in
+    /// `eager` mode, and drained every [`FLUSH_PANEL_ROWS`] rows.
+    /// Queue positions stay valid because shedding strips a window's
+    /// row without removing the window; slot indices are protected by
+    /// draining before any admit/remove reshuffle.
+    hot: Vec<(usize, usize)>,
+    /// Kernel nanoseconds spent in incremental panels since the last
+    /// flush; folded into that flush's accounting.
+    eager_kernel_ns: u128,
 }
 
 impl std::fmt::Debug for FleetScheduler {
@@ -273,39 +492,60 @@ impl std::fmt::Debug for FleetScheduler {
         f.debug_struct("FleetScheduler")
             .field("cfg", &self.cfg)
             .field("engine", &self.engine.info())
+            .field("exec", &self.exec)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
 }
 
 impl FleetScheduler {
-    /// Builds an empty fleet over a shared engine.
+    /// Builds an empty fleet over a shared engine. `Some(n ≥ 2)` flush
+    /// workers spawn the fleet's own persistent pool here, up front.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for an invalid
-    /// [`FleetConfig`] (stream geometry, alarm operating point or a zero
-    /// row buffer).
+    /// [`FleetConfig`] (stream geometry, alarm operating point, a zero
+    /// row buffer or a zero worker count).
     pub fn new(engine: SharedEngine, cfg: FleetConfig) -> Result<Self, CoreError> {
         cfg.validate()?;
         // Validate the stream configuration once, up front, with a probe
         // session — admits can then only fail on duplicate ids.
         StreamingSession::new(Arc::clone(&engine), cfg.stream)?;
+        let exec = match cfg.workers {
+            None => FlushExec::Global,
+            Some(1) => FlushExec::Serial,
+            Some(n) => FlushExec::Owned(WorkerPool::new(n - 1)),
+        };
+        let eager = exec.executors() == 1;
         Ok(FleetScheduler {
             engine,
             cfg,
-            slots: BTreeMap::new(),
+            ids: Vec::new(),
+            slots: Vec::new(),
+            last_idx: usize::MAX,
+            pending_chunks: Vec::new(),
             arrival: VecDeque::new(),
             stats: FleetStats::default(),
-            batch: DenseMatrix::with_cols(N_FEATURES),
             values: Vec::new(),
-            extract_scratch: Vec::new(),
+            exec,
+            eager,
+            hot: Vec::new(),
+            eager_kernel_ns: 0,
         })
     }
 
     /// The fleet's configuration.
     pub fn config(&self) -> FleetConfig {
         self.cfg
+    }
+
+    /// Executors the flush pipeline's parallel stages use (pool workers
+    /// plus the flushing caller) — resolved from
+    /// [`FleetConfig::workers`], so `None` reports the machine-default
+    /// pool's width.
+    pub fn flush_executors(&self) -> usize {
+        self.exec.executors()
     }
 
     /// Fleet-level counters.
@@ -320,22 +560,38 @@ impl FleetScheduler {
 
     /// Admitted patient count.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.ids.len()
     }
 
     /// Whether no patient is admitted.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.ids.is_empty()
     }
 
     /// Whether `patient` is admitted.
     pub fn contains(&self, patient: PatientId) -> bool {
-        self.slots.contains_key(&patient)
+        self.slot_index(patient).is_some()
     }
 
     /// Admitted patient ids in ascending order.
     pub fn patients(&self) -> impl Iterator<Item = PatientId> + '_ {
-        self.slots.keys().copied()
+        self.ids.iter().copied()
+    }
+
+    /// Index of `patient` in the sorted id/slot vectors.
+    fn slot_index(&self, patient: PatientId) -> Option<usize> {
+        self.ids.binary_search(&patient).ok()
+    }
+
+    /// [`FleetScheduler::slot_index`] through the one-entry burst cache
+    /// — the ingest/replay hot path.
+    fn slot_index_cached(&mut self, patient: PatientId) -> Option<usize> {
+        if self.ids.get(self.last_idx) == Some(&patient) {
+            return Some(self.last_idx);
+        }
+        let idx = self.slot_index(patient)?;
+        self.last_idx = idx;
+        Some(idx)
     }
 
     /// Admits a new patient with a fresh session (alarm stage per the
@@ -346,49 +602,58 @@ impl FleetScheduler {
     /// Returns [`CoreError::InvalidConfig`] when `patient` is already
     /// admitted.
     pub fn admit(&mut self, patient: PatientId) -> Result<(), CoreError> {
-        if self.slots.contains_key(&patient) {
+        // Slot indices shift below; settle the incremental-panel index
+        // first (classifying a partial panel early is always sound).
+        self.classify_hot();
+        let Err(pos) = self.ids.binary_search(&patient) else {
             return Err(CoreError::InvalidConfig(format!(
                 "patient {patient} is already admitted"
             )));
-        }
+        };
         let session = self.fresh_session()?;
-        self.slots.insert(
-            patient,
-            Slot {
-                session,
-                queue: VecDeque::new(),
-                shed_cursor: 0,
-            },
-        );
+        self.ids.insert(pos, patient);
+        self.slots.insert(pos, Slot::new(session));
+        self.last_idx = usize::MAX; // indices shifted
         self.stats.admitted += 1;
-        self.stats.patients = self.slots.len();
+        self.stats.patients = self.ids.len();
         Ok(())
     }
 
     /// Removes a patient, handing back the session's final stats, any
     /// uncollected alarms and the count of pending windows discarded
-    /// undecided (flush first to decide them).
+    /// undecided (flush first to decide them). Buffered raw samples are
+    /// settled through the extractor so the final `samples_in` is
+    /// exact; windows they complete are discarded undecided too.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for an unknown patient.
     pub fn remove(&mut self, patient: PatientId) -> Result<RemovedPatient, CoreError> {
-        let Some(mut slot) = self.slots.remove(&patient) else {
+        let Some(idx) = self.slot_index(patient) else {
             return Err(CoreError::InvalidConfig(format!(
                 "patient {patient} is not admitted"
             )));
         };
-        let discarded_rows = slot.queue.iter().filter(|w| w.row.is_some()).count();
+        // Slot indices shift below; settle the incremental-panel index
+        // first so its (slot, position) entries stay valid.
+        self.classify_hot();
+        self.ids.remove(idx);
+        let mut slot = self.slots.remove(idx);
+        self.last_idx = usize::MAX; // indices shifted
+        slot.settle_inbox();
+        let discarded_rows = slot.queue.iter().filter(|e| e.window.row.is_some()).count();
+        let discarded = slot.queue.len() + slot.staged.len();
+        self.pending_chunks.retain(|r| r.patient != patient);
         self.forget_arrivals(patient, discarded_rows);
-        self.stats.pending_windows -= slot.queue.len();
+        self.stats.pending_windows -= discarded;
         self.stats.pending_rows -= discarded_rows;
-        self.stats.discarded_windows += slot.queue.len() as u64;
+        self.stats.discarded_windows += discarded as u64;
         self.stats.removed += 1;
-        self.stats.patients = self.slots.len();
+        self.stats.patients = self.ids.len();
         Ok(RemovedPatient {
             stats: slot.session.stats(),
             alarms: slot.session.take_alarms(),
-            discarded_windows: slot.queue.len(),
+            discarded_windows: discarded,
         })
     }
 
@@ -402,16 +667,25 @@ impl FleetScheduler {
     /// Returns [`CoreError::InvalidConfig`] for an unknown patient.
     pub fn restart(&mut self, patient: PatientId) -> Result<RemovedPatient, CoreError> {
         let fresh = self.fresh_session()?;
-        let Some(slot) = self.slots.get_mut(&patient) else {
+        let Some(idx) = self.slot_index(patient) else {
             return Err(CoreError::InvalidConfig(format!(
                 "patient {patient} is not admitted"
             )));
         };
-        let discarded_rows = slot.queue.iter().filter(|w| w.row.is_some()).count();
-        let discarded = slot.queue.len();
+        // The restarted slot's queue entries die; settle the
+        // incremental-panel index so no entry dangles.
+        self.classify_hot();
+        let slot = &mut self.slots[idx];
+        slot.settle_inbox();
+        let discarded_rows = slot.queue.iter().filter(|e| e.window.row.is_some()).count();
+        let discarded = slot.queue.len() + slot.staged.len();
         slot.queue.clear();
+        slot.staged.clear();
+        slot.staged_next = 0;
         slot.shed_cursor = 0;
+        slot.fed_samples = 0;
         let mut old = std::mem::replace(&mut slot.session, fresh);
+        self.pending_chunks.retain(|r| r.patient != patient);
         self.forget_arrivals(patient, discarded_rows);
         self.stats.pending_windows -= discarded;
         self.stats.pending_rows -= discarded_rows;
@@ -424,10 +698,15 @@ impl FleetScheduler {
         })
     }
 
-    /// Ingests one raw-sample chunk for `patient`: the session's extract
-    /// stage runs immediately (ring, scheduler, feature extraction) and
-    /// every window that completed joins the pending buffer, subject to
-    /// the overload policy. Returns how many windows completed.
+    /// Ingests one raw-sample chunk for `patient` and returns how many
+    /// windows it completed (by geometry). On a parallel executor set
+    /// the samples are buffered on the patient's slot (an O(len) copy)
+    /// and the sharded extract stage runs them all at the next
+    /// [`FleetScheduler::flush`]; on a serial set the slot's extract
+    /// stage runs right here, while the chunk is cache-warm (there is
+    /// nothing to shard). Either way the extracted windows replay into
+    /// the pending queues at flush, in fleet-wide ingest order — the
+    /// executor set moves work between ingest and flush, never results.
     ///
     /// # Errors
     ///
@@ -437,29 +716,40 @@ impl FleetScheduler {
     /// on one session).
     pub fn ingest(&mut self, patient: PatientId, chunk: &[f64]) -> Result<usize, CoreError> {
         let t0 = Instant::now();
-        let mut fresh = std::mem::take(&mut self.extract_scratch);
-        fresh.clear();
-        match self.slots.get_mut(&patient) {
-            Some(slot) if slot.session.is_row_fed() => {
-                self.extract_scratch = fresh;
-                return Err(CoreError::InvalidConfig(format!(
-                    "patient {patient} is row-fed; cannot mix raw-sample ingestion \
-                     (window numbering would fork)"
-                )));
-            }
-            Some(slot) => slot.session.extract_windows_into(chunk, &mut fresh),
-            None => {
-                self.extract_scratch = fresh;
-                return Err(CoreError::InvalidConfig(format!(
-                    "patient {patient} is not admitted"
-                )));
-            }
+        let Some(idx) = self.slot_index_cached(patient) else {
+            return Err(CoreError::InvalidConfig(format!(
+                "patient {patient} is not admitted"
+            )));
+        };
+        let slot = &mut self.slots[idx];
+        if slot.session.is_row_fed() {
+            return Err(CoreError::InvalidConfig(format!(
+                "patient {patient} is row-fed; cannot mix raw-sample ingestion \
+                 (window numbering would fork)"
+            )));
         }
-        let completed = fresh.len();
-        for w in fresh.drain(..) {
-            self.enqueue(patient, w);
+        let before = self.cfg.stream.windows_in(slot.fed_samples);
+        slot.fed_samples += chunk.len() as u64;
+        let completed = (self.cfg.stream.windows_in(slot.fed_samples) - before) as usize;
+        if self.eager {
+            // Serial executor set: run this slot's extract stage now,
+            // while the chunk is cache-warm on the ingesting caller —
+            // there is no shard parallelism to defer for. The windows
+            // still stage here and replay at the next flush in
+            // fleet-wide ingest order (the chunk records), so the
+            // overload policy sees exactly the schedule the deferred
+            // path would give it — identical results, warmer cache.
+            slot.session.extract_windows_into(chunk, &mut slot.staged);
+        } else {
+            slot.inbox.extend_from_slice(chunk);
         }
-        self.extract_scratch = fresh;
+        if completed > 0 {
+            self.pending_chunks.push(ChunkRecord {
+                patient,
+                windows: completed as u64,
+            });
+            self.stats.pending_windows += completed;
+        }
         self.stats.ingests += 1;
         self.stats.busy_ns += t0.elapsed().as_nanos();
         Ok(completed)
@@ -472,61 +762,122 @@ impl FleetScheduler {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for an unknown patient, a
-    /// row that is not exactly [`N_FEATURES`] wide, or a patient already
-    /// fed through [`FleetScheduler::ingest`] (the ingest modes must not
-    /// mix on one session).
+    /// row that is not exactly [`ecg_features::N_FEATURES`] wide, or a
+    /// patient already fed through [`FleetScheduler::ingest`] (the
+    /// ingest modes must not mix on one session).
     pub fn ingest_row(&mut self, patient: PatientId, row: Option<&[f64]>) -> Result<(), CoreError> {
-        let t0 = Instant::now();
-        let Some(slot) = self.slots.get_mut(&patient) else {
+        // Deliberately no per-call timer here: row ingestion is a plain
+        // buffered copy, and on the row-serving hot path two clock
+        // reads per row would cost as much as the bookkeeping they
+        // measure — batching amortizes the clock per panel at flush
+        // time instead (see `FleetStats::busy_ns`).
+        let Some(idx) = self.slot_index_cached(patient) else {
             return Err(CoreError::InvalidConfig(format!(
                 "patient {patient} is not admitted"
             )));
         };
+        let slot = &mut self.slots[idx];
+        if slot.fed_samples > 0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "patient {patient} is sample-fed; cannot mix pre-extracted rows \
+                 (window numbering would fork)"
+            )));
+        }
         let pending = slot.session.pend_row(row)?;
-        self.enqueue(patient, pending);
+        self.stats.pending_windows += 1;
+        self.enqueue_at(idx, patient, pending);
         self.stats.ingests += 1;
-        self.stats.busy_ns += t0.elapsed().as_nanos();
         Ok(())
     }
 
-    /// Decides every pending window across the fleet: gathers buffered
-    /// feature rows into a [`DenseMatrix`] and drives them through
-    /// [`ClassifierEngine::decision_batch`] — in cache-friendly panels
-    /// of up to [`FLUSH_PANEL_ROWS`] rows — then routes each decision
-    /// back through its session's decide stage (stats, alarm state
-    /// machine, pending-alarm buffer) in per-session window order.
-    /// Windows without a row (extraction-dropped or shed) are decided as
-    /// dropped. Patients appear in ascending id order. Panelling does
-    /// not change results: batch decisions are bit-identical to per-row
-    /// decisions, so any split of the batch is too.
+    /// Decides every pending window across the fleet through the staged
+    /// pipeline: (1) sessions with buffered raw samples run their
+    /// extract stage shard-parallel on the worker pool, each into its
+    /// own slot (their windows then replay into the pending queues in
+    /// fleet-wide ingest order, under the overload policy); (2) every
+    /// buffered feature row is gathered by reference into
+    /// [`FLUSH_PANEL_ROWS`]-row panels and the panels fan out across
+    /// the pool through [`ClassifierEngine::decision_rows_into`];
+    /// (3) decisions scatter back through each session's decide stage
+    /// (stats, alarm state machine, pending-alarm buffer) in
+    /// (patient asc, window) order. Windows without a row
+    /// (extraction-dropped or shed) are decided as dropped. No stage
+    /// reorders anything, so results are bit-identical at every worker
+    /// count — and identical to solo streaming.
     pub fn flush(&mut self) -> FleetFlush {
+        let mut out = FleetFlush::default();
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// [`FleetScheduler::flush`] into a caller-owned buffer (cleared
+    /// first), so steady-state serving loops reuse the decision/alarm
+    /// allocations across flushes.
+    pub fn flush_into(&mut self, out: &mut FleetFlush) {
+        out.decisions.clear();
+        out.alarms.clear();
+        out.rows_classified = 0;
+        // Eager panels classified inside `ingest_row` ran outside any
+        // flush window; fold their kernel time into this flush's
+        // accounting (busy_ns and the per-row classify share).
+        let ingest_kernel_ns = std::mem::take(&mut self.eager_kernel_ns);
+        self.stats.busy_ns += ingest_kernel_ns;
         let t0 = Instant::now();
-        // Gather: all pending rows in (patient asc, window order),
-        // panel-tiled so a huge fleet's flush stays inside the cache
-        // instead of streaming one multi-megabyte batch.
-        self.batch.clear();
+
+        // Stage 1: sharded extraction + ordered replay.
+        self.extract_stage();
+        self.replay_stage();
+
+        // Stage 2: classify whatever the eager path has not already
+        // handled. On a serial executor set every row-bearing window
+        // was (or now becomes) eagerly classified, so the gather below
+        // comes up empty; on a parallel set it collects every pending
+        // row in (patient asc, window) order and fans the panels across
+        // the executors. The parallel map is order-preserving, so
+        // `values` is laid out exactly as the serial loop would lay it
+        // out.
         self.values.clear();
-        let mut kernel_ns = 0u128;
-        for slot in self.slots.values() {
-            for w in &slot.queue {
-                if let Some(row) = &w.row {
-                    self.batch.push_row(row);
-                    if self.batch.n_rows() == FLUSH_PANEL_ROWS {
-                        let kt0 = Instant::now();
-                        self.values.extend(self.engine.decision_batch(&self.batch));
-                        kernel_ns += kt0.elapsed().as_nanos();
-                        self.batch.clear();
-                    }
-                }
+        if self.eager {
+            self.classify_hot();
+        }
+        let panel_rows: Vec<&[f64]> = self
+            .slots
+            .iter()
+            .flat_map(|slot| {
+                slot.queue
+                    .iter()
+                    .filter(|e| e.value.is_none())
+                    .filter_map(|e| e.window.row.as_deref())
+            })
+            .collect();
+        let kt0 = Instant::now();
+        if panel_rows.len() > FLUSH_PANEL_ROWS && self.exec.executors() > 1 {
+            let panels: Vec<&[&[f64]]> = panel_rows.chunks(FLUSH_PANEL_ROWS).collect();
+            let engine = &self.engine;
+            let panel_values = self.exec.par_map(&panels, |panel| {
+                let mut v = Vec::with_capacity(panel.len());
+                engine.decision_rows_into(panel, &mut v);
+                v
+            });
+            for v in &panel_values {
+                self.values.extend_from_slice(v);
+            }
+        } else {
+            for panel in panel_rows.chunks(FLUSH_PANEL_ROWS) {
+                self.engine.decision_rows_into(panel, &mut self.values);
             }
         }
-        if self.batch.n_rows() > 0 {
-            let kt0 = Instant::now();
-            self.values.extend(self.engine.decision_batch(&self.batch));
-            kernel_ns += kt0.elapsed().as_nanos();
-            self.batch.clear();
-        }
-        let rows_classified = self.values.len();
+        // The replay stage (raw path) and the remainder sweep above may
+        // have run eager panels inside this flush's window: count their
+        // kernel time toward the classify share (busy_ns already covers
+        // them via `t0`).
+        let kernel_ns =
+            kt0.elapsed().as_nanos() + ingest_kernel_ns + std::mem::take(&mut self.eager_kernel_ns);
+        drop(panel_rows);
+        debug_assert!(self.hot.is_empty(), "every hot entry classified");
+        // Every still-pending row was classified this cycle — eagerly
+        // (value on the entry) or by the panel sweep (positional).
+        let rows_classified = self.stats.pending_rows;
         // Attribute the batch kernels' cost evenly across their rows so
         // per-window latency accounting survives batching.
         let classify_share_ns = if rows_classified == 0 {
@@ -534,33 +885,34 @@ impl FleetScheduler {
         } else {
             (kernel_ns / rows_classified as u128) as u64
         };
-        // Scatter: decide every window in order, batch values in step
-        // with the gather order.
-        let mut out = FleetFlush {
-            rows_classified,
-            ..FleetFlush::default()
-        };
+
+        // Stage 3: ordered route-back — decide every window in order,
+        // batch values consumed in step with the gather order.
+        out.rows_classified = rows_classified;
         let mut next = 0usize;
-        for (&patient, slot) in &mut self.slots {
+        for (&patient, slot) in self.ids.iter().zip(self.slots.iter_mut()) {
             if slot.queue.is_empty() {
                 continue;
             }
-            for w in slot.queue.drain(..) {
-                let (decision, share) = match &w.row {
-                    Some(_) => {
+            for e in slot.queue.drain(..) {
+                let (decision, share) = match (e.value, &e.window.row) {
+                    // Eagerly classified (a shed row clears its value,
+                    // so a Some here always still carries its row).
+                    (Some(v), _) => (Some(v), classify_share_ns),
+                    (None, Some(_)) => {
                         let v = self.values[next];
                         next += 1;
                         (Some(v), classify_share_ns)
                     }
-                    None => (None, 0),
+                    (None, None) => (None, 0),
                 };
                 out.decisions.push(FleetDecision {
                     patient,
-                    decision: slot.session.decide_window(&w, decision, share),
+                    decision: slot.session.decide_window(&e.window, decision, share),
                 });
                 // Recycle the row allocation into the owning session's
                 // pool, where both ingest modes draw from.
-                if let Some(row) = w.row {
+                if let Some(row) = e.window.row {
                     slot.session.recycle_row(row);
                 }
             }
@@ -569,7 +921,7 @@ impl FleetScheduler {
                 out.alarms.push((patient, alarm));
             }
         }
-        debug_assert_eq!(next, rows_classified);
+        debug_assert_eq!(next, self.values.len());
         self.arrival.clear();
         self.stats.pending_windows = 0;
         self.stats.pending_rows = 0;
@@ -577,26 +929,81 @@ impl FleetScheduler {
         self.stats.rows_classified += rows_classified as u64;
         self.stats.windows_decided += out.decisions.len() as u64;
         self.stats.busy_ns += t0.elapsed().as_nanos();
-        out
+    }
+
+    /// Flush stage 1a: every slot with buffered raw samples runs its
+    /// extract stage, shard-parallel across the executors. Each slot is
+    /// claimed whole by one executor and extracts into its own staging
+    /// buffer — per-session state only, no locks. Dynamic claiming
+    /// load-balances uneven inboxes; the claim order cannot matter
+    /// because extraction output is a pure function of per-session
+    /// state.
+    fn extract_stage(&mut self) {
+        let mut dirty: Vec<&mut Slot> = self
+            .slots
+            .iter_mut()
+            .filter(|s| !s.inbox.is_empty())
+            .collect();
+        if dirty.is_empty() {
+            return;
+        }
+        self.exec
+            .par_map_mut(&mut dirty, |slot| slot.settle_inbox());
+    }
+
+    /// Flush stage 1b: replays the staged windows into the pending
+    /// queues in fleet-wide ingest order (the chunk records), applying
+    /// the overload policy exactly as eager per-ingest extraction would
+    /// have.
+    fn replay_stage(&mut self) {
+        if self.pending_chunks.is_empty() {
+            return;
+        }
+        let records = std::mem::take(&mut self.pending_chunks);
+        for rec in &records {
+            let idx = self
+                .slot_index_cached(rec.patient)
+                .expect("chunk records are dropped with their patient");
+            for _ in 0..rec.windows {
+                let w = self.slots[idx].take_staged();
+                self.enqueue_at(idx, rec.patient, w);
+            }
+        }
+        // Keep the records allocation for the next ingest burst.
+        self.pending_chunks = records;
+        self.pending_chunks.clear();
+        for slot in &mut self.slots {
+            debug_assert_eq!(
+                slot.staged_next,
+                slot.staged.len(),
+                "every staged window replayed"
+            );
+            slot.staged.clear();
+            slot.staged_next = 0;
+        }
     }
 
     /// Merged per-session accounting across the currently admitted
     /// sessions (sessions already removed are not included — collect
-    /// their stats from [`RemovedPatient`]). Remember the merged
-    /// `windows_per_sec` is serial-equivalent, not wall-clock — see
+    /// their stats from [`RemovedPatient`]). Raw samples still buffered
+    /// for the deferred extract stage are not in `samples_in` yet; they
+    /// settle at the next flush. Remember the merged `windows_per_sec`
+    /// is serial-equivalent, not wall-clock — see
     /// [`StreamStats::windows_per_sec`] and
     /// [`FleetStats::wall_windows_per_sec`].
     pub fn stream_stats(&self) -> StreamStats {
         let mut merged = StreamStats::default();
-        for slot in self.slots.values() {
+        for slot in &self.slots {
             merged.merge(&slot.session.stats());
         }
         merged
     }
 
-    /// One admitted patient's session stats.
+    /// One admitted patient's session stats (same settling caveat as
+    /// [`FleetScheduler::stream_stats`]).
     pub fn patient_stats(&self, patient: PatientId) -> Option<StreamStats> {
-        self.slots.get(&patient).map(|s| s.session.stats())
+        self.slot_index(patient)
+            .map(|i| self.slots[i].session.stats())
     }
 
     fn fresh_session(&self) -> Result<StreamingSession, CoreError> {
@@ -606,13 +1013,17 @@ impl FleetScheduler {
         }
     }
 
-    /// Applies the overload policy and queues one extracted window.
-    fn enqueue(&mut self, patient: PatientId, mut w: PendingWindow) {
+    /// Applies the overload policy and queues one extracted window for
+    /// the slot at `idx` (which must be `patient`'s). The caller has
+    /// already counted the window in `pending_windows` (at ingest time
+    /// — rows eagerly, raw windows by geometry).
+    fn enqueue_at(&mut self, idx: usize, patient: PatientId, mut w: PendingWindow) {
         // Row freed by the overload policy, recycled into the owning
         // session's pool below so sustained overload stays
         // allocation-free.
         let mut recycled: Option<Vec<f64>> = None;
         if w.row.is_some() {
+            let unbounded = self.cfg.max_pending_rows == usize::MAX;
             if self.stats.pending_rows >= self.cfg.max_pending_rows {
                 match self.cfg.overload {
                     OverloadPolicy::Reject => {
@@ -629,18 +1040,70 @@ impl FleetScheduler {
                 }
             } else {
                 self.stats.pending_rows += 1;
-                self.arrival.push_back(patient);
+                // The arrival deque exists only to pick DropOldest
+                // victims; an unbounded fleet never sheds, so skip the
+                // bookkeeping on its hot path.
+                if !unbounded {
+                    self.arrival.push_back(patient);
+                }
             }
         }
-        self.stats.pending_windows += 1;
-        let slot = self
-            .slots
-            .get_mut(&patient)
-            .expect("enqueue only called for admitted patients");
+        let slot = &mut self.slots[idx];
         if let Some(row) = recycled {
             slot.session.recycle_row(row);
         }
-        slot.queue.push_back(w);
+        let has_row = w.row.is_some();
+        let pos = slot.queue.len();
+        slot.queue.push_back(QueuedWindow {
+            window: w,
+            value: None,
+        });
+        // Serial executor set: index the row for incremental panel
+        // classification, and classify the moment a full panel is hot —
+        // while its rows are still cache-warm from extraction.
+        if has_row && self.eager {
+            self.hot.push((idx, pos));
+            if self.hot.len() >= FLUSH_PANEL_ROWS {
+                self.classify_hot();
+            }
+        }
+    }
+
+    /// Classifies every hot (row-bearing, not yet classified) window
+    /// indexed in `self.hot`, writing each decision value onto its
+    /// queue entry. Serial-executor path only: panels run incrementally
+    /// as they fill, while their rows are still cache-warm from
+    /// extraction — a deferred flush-time sweep would re-read megabytes
+    /// of cold rows at fleet scale. Entries whose row was shed after
+    /// indexing are skipped (they decide as dropped). Bit-identical to
+    /// the deferred sweep: same rows, same kernel, same order.
+    fn classify_hot(&mut self) {
+        if self.hot.is_empty() {
+            return;
+        }
+        let mut values = std::mem::take(&mut self.values);
+        values.clear();
+        let t0 = Instant::now();
+        let rows: Vec<&[f64]> = self
+            .hot
+            .iter()
+            .filter_map(|&(s, p)| self.slots[s].queue[p].window.row.as_deref())
+            .collect();
+        self.engine.decision_rows_into(&rows, &mut values);
+        drop(rows);
+        self.eager_kernel_ns += t0.elapsed().as_nanos();
+        let mut vi = 0usize;
+        for &(s, p) in &self.hot {
+            let entry = &mut self.slots[s].queue[p];
+            if entry.window.row.is_some() {
+                entry.value = Some(values[vi]);
+                vi += 1;
+            }
+        }
+        debug_assert_eq!(vi, values.len());
+        self.hot.clear();
+        values.clear();
+        self.values = values;
     }
 
     /// Sheds the oldest pending row fleet-wide (`DropOldest`): the
@@ -653,18 +1116,21 @@ impl FleetScheduler {
         let Some(victim) = self.arrival.pop_front() else {
             return;
         };
-        let slot = self
-            .slots
-            .get_mut(&victim)
+        let idx = self
+            .slot_index(victim)
             .expect("arrival entries are cleared when their patient leaves");
-        let (offset, w) = slot
+        let slot = &mut self.slots[idx];
+        let (offset, entry) = slot
             .queue
             .iter_mut()
             .skip(slot.shed_cursor)
             .enumerate()
-            .find(|(_, w)| w.row.is_some())
+            .find(|(_, e)| e.window.row.is_some())
             .expect("arrival counts one entry per buffered row");
-        let row = w.row.take().expect("found by row.is_some()");
+        let row = entry.window.row.take().expect("found by row.is_some()");
+        // A row the eager path already classified still sheds: its
+        // value is discarded and the window decides as dropped.
+        entry.value = None;
         slot.shed_cursor += offset + 1;
         slot.session.recycle_row(row);
         self.stats.pending_rows -= 1;
@@ -692,6 +1158,7 @@ impl FleetScheduler {
 mod tests {
     use super::*;
     use crate::alarm::DroppedPolicy;
+    use ecg_features::N_FEATURES;
     use svm::{ClassifierEngine, EngineInfo};
 
     /// Toy backend: decision = Σ row — deterministic, no training.
@@ -744,6 +1211,12 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(FleetConfig {
+            workers: Some(0),
+            ..cfg()
+        }
+        .validate()
+        .is_err());
         let bad_stream = FleetConfig::unbounded(StreamConfig {
             fs: 0.0,
             window_len: 10,
@@ -769,6 +1242,132 @@ mod tests {
     }
 
     #[test]
+    fn worker_counts_resolve_and_cannot_change_results() {
+        // The same workload at every executor configuration, including
+        // enough rows for multiple panels, must produce identical
+        // flushes.
+        let run = |workers: Option<usize>| {
+            let mut fleet =
+                FleetScheduler::new(engine(), FleetConfig { workers, ..cfg() }).unwrap();
+            for p in 0..3 {
+                fleet.admit(p).unwrap();
+            }
+            for i in 0..(2 * FLUSH_PANEL_ROWS + 17) {
+                let p = (i % 3) as PatientId;
+                if i % 7 == 3 {
+                    fleet.ingest_row(p, None).unwrap();
+                } else {
+                    fleet.ingest_row(p, Some(&row(i as f64 - 200.0))).unwrap();
+                }
+            }
+            fleet.flush()
+        };
+        // Latency fields are wall-clock and differ run to run; the
+        // decision payload must not.
+        let payload = |flush: &FleetFlush| -> Vec<(PatientId, u64, u64, Option<f64>, bool)> {
+            flush
+                .decisions
+                .iter()
+                .map(|d| {
+                    (
+                        d.patient,
+                        d.decision.window_index,
+                        d.decision.start_sample,
+                        d.decision.decision,
+                        d.decision.is_seizure,
+                    )
+                })
+                .collect()
+        };
+        let serial = run(Some(1));
+        assert_eq!(serial.rows_classified, 2 * FLUSH_PANEL_ROWS + 17 - 76);
+        for workers in [Some(2), Some(4), None] {
+            let other = run(workers);
+            assert_eq!(payload(&serial), payload(&other), "workers {workers:?}");
+            assert_eq!(serial.alarms, other.alarms);
+        }
+        // The executor count resolves as configured.
+        let f1 = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                workers: Some(1),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        assert_eq!(f1.flush_executors(), 1);
+        let f3 = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                workers: Some(3),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        assert_eq!(f3.flush_executors(), 3);
+        let fd = FleetScheduler::new(engine(), cfg()).unwrap();
+        assert!(fd.flush_executors() >= 1);
+    }
+
+    #[test]
+    fn raw_ingest_extraction_follows_the_executor_set() {
+        // Parallel executor set: extraction defers to the flush so the
+        // per-session shards can fan out across the pool.
+        let mut par_cfg = cfg();
+        par_cfg.workers = Some(2);
+        let mut fleet = FleetScheduler::new(engine(), par_cfg).unwrap();
+        fleet.admit(1).unwrap();
+        // A full flat window completes by geometry at ingest time…
+        assert_eq!(fleet.ingest(1, &[0.0; 3840]).unwrap(), 1);
+        assert_eq!(fleet.stats().pending_windows, 1);
+        // …but extraction has not run yet: the session has seen no
+        // samples and no rows are buffered.
+        assert_eq!(fleet.patient_stats(1).unwrap().samples_in, 0);
+        assert_eq!(fleet.stats().pending_rows, 0);
+        // Partial chunks complete nothing but still count their samples.
+        assert_eq!(fleet.ingest(1, &[0.0; 100]).unwrap(), 0);
+        // The flush settles everything: extraction runs, the window is
+        // decided (dropped — a flat line has no beats), samples settle.
+        let flush = fleet.flush();
+        assert_eq!(flush.decisions.len(), 1);
+        assert_eq!(flush.decisions[0].decision.decision, None);
+        assert_eq!(fleet.patient_stats(1).unwrap().samples_in, 3940);
+        assert_eq!(fleet.stats().pending_windows, 0);
+        // Removing a patient with a dirty inbox settles it first so the
+        // departing stats are exact.
+        fleet.ingest(1, &[0.0; 4000]).unwrap();
+        let removed = fleet.remove(1).unwrap();
+        assert_eq!(removed.stats.samples_in, 3940 + 4000);
+        assert_eq!(removed.discarded_windows, 1);
+        assert_eq!(fleet.stats().discarded_windows, 1);
+        assert_eq!(fleet.stats().pending_windows, 0);
+
+        // Serial executor set: the extract stage runs inside `ingest`,
+        // while the chunk is cache-warm (nothing to shard) — but the
+        // windows still replay and decide at the flush, so only the
+        // schedule moves, never results.
+        let mut ser_cfg = cfg();
+        ser_cfg.workers = Some(1);
+        let mut fleet = FleetScheduler::new(engine(), ser_cfg).unwrap();
+        fleet.admit(1).unwrap();
+        assert_eq!(fleet.ingest(1, &[0.0; 3840]).unwrap(), 1);
+        // Samples settle immediately…
+        assert_eq!(fleet.patient_stats(1).unwrap().samples_in, 3840);
+        // …but the window stays staged (not queued) until the flush.
+        assert_eq!(fleet.stats().pending_windows, 1);
+        assert_eq!(fleet.stats().pending_rows, 0);
+        let flush = fleet.flush();
+        assert_eq!(flush.decisions.len(), 1);
+        assert_eq!(flush.decisions[0].decision.decision, None);
+        assert_eq!(fleet.stats().pending_windows, 0);
+        // Removal discards staged-but-unflushed windows too.
+        assert_eq!(fleet.ingest(1, &[0.0; 3840]).unwrap(), 1);
+        let removed = fleet.remove(1).unwrap();
+        assert_eq!(removed.stats.samples_in, 2 * 3840);
+        assert_eq!(removed.discarded_windows, 1);
+    }
+
+    #[test]
     fn ingest_modes_cannot_mix_per_patient() {
         let mut fleet = FleetScheduler::new(engine(), cfg()).unwrap();
         fleet.admit(1).unwrap();
@@ -791,6 +1390,12 @@ mod tests {
         fleet.ingest_row(2, Some(&row(3.0))).unwrap();
         let flush = fleet.flush();
         assert_eq!(flush.rows_classified, 2);
+        // The sample-fed guard persists across the flush (the inbox
+        // settled, but the session keeps its sample history).
+        assert!(fleet.ingest_row(1, Some(&row(4.0))).is_err());
+        // …until a restart wipes the mode.
+        fleet.restart(1).unwrap();
+        fleet.ingest_row(1, Some(&row(5.0))).unwrap();
     }
 
     #[test]
@@ -846,6 +1451,20 @@ mod tests {
         let empty = fleet.flush();
         assert!(empty.decisions.is_empty() && empty.rows_classified == 0);
         assert_eq!(fleet.stats().flushes, 2);
+    }
+
+    #[test]
+    fn flush_into_reuses_the_output_buffers() {
+        let mut fleet = FleetScheduler::new(engine(), cfg()).unwrap();
+        fleet.admit(1).unwrap();
+        let mut out = FleetFlush::default();
+        for round in 0..3 {
+            fleet.ingest_row(1, Some(&row(f64::from(round)))).unwrap();
+            fleet.flush_into(&mut out);
+            assert_eq!(out.decisions.len(), 1, "cleared between flushes");
+            assert_eq!(out.rows_classified, 1);
+            assert_eq!(out.decisions[0].decision.decision, Some(f64::from(round)));
+        }
     }
 
     #[test]

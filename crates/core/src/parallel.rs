@@ -235,6 +235,118 @@ impl WorkerPool {
             .map(|r| r.expect("every claimed slot written"))
             .collect()
     }
+
+    /// Order-preserving parallel map over **mutable** items on this pool
+    /// — the shard-scoped twin of [`WorkerPool::par_map`], built for
+    /// stages that mutate per-item state in place (e.g. one streaming
+    /// session's extractor per item). Results come back in input order
+    /// and each item's `&mut` borrow is taken by exactly one executor,
+    /// so there are no locks on the work path.
+    ///
+    /// Falls back to a plain sequential map for empty/single-item
+    /// inputs, worker-less pools, nested calls, and when another thread
+    /// is mid-dispatch on this pool (mutable items cannot ride the
+    /// scoped-spawn fallback shared work queue semantics of `par_map`;
+    /// serialising onto the caller keeps the no-deadlock guarantee).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f` exactly like [`WorkerPool::par_map`].
+    pub fn par_map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        let n = items.len();
+        if n <= 1 || self.workers == 0 || IN_POOL_JOB.get() {
+            return items.iter_mut().map(f).collect();
+        }
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let slots = SlotWriter(out.as_mut_ptr());
+        let base = ItemWriter(items.as_mut_ptr());
+        let next = AtomicUsize::new(0);
+        let body = || {
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Each index is claimed by exactly one executor, so the
+                // `&mut` borrows are disjoint and each slot write is
+                // race-free.
+                let r = f(unsafe { base.get_mut(i) });
+                unsafe { slots.write(i, r) };
+            }
+        };
+        let body_ref: &(dyn Fn() + Sync) = &body;
+        // Erase the stack lifetime: the dispatch protocol below keeps the
+        // closure alive (this frame blocked) until every worker is done.
+        let job = Job {
+            body: unsafe {
+                std::mem::transmute::<&(dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
+                    body_ref,
+                )
+            },
+        };
+
+        let _submission = match self.submit.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                return items.iter_mut().map(f).collect();
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        {
+            let mut st = lock(&self.shared.state);
+            st.job = Some(job);
+            st.epoch += 1;
+            st.active = self.workers;
+            st.panics = 0;
+            self.shared.work.notify_all();
+        }
+        // The caller participates in its own job (and must not submit a
+        // nested one while doing so).
+        IN_POOL_JOB.set(true);
+        let caller_result = catch_unwind(AssertUnwindSafe(body_ref));
+        IN_POOL_JOB.set(false);
+        let worker_panics = {
+            let mut st = lock(&self.shared.state);
+            while st.active > 0 {
+                st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+            st.panics
+        };
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        assert!(worker_panics == 0, "pool worker panicked");
+        out.into_iter()
+            .map(|r| r.expect("every claimed slot written"))
+            .collect()
+    }
+}
+
+/// Raw mutable-access handle into the item slice of a
+/// [`WorkerPool::par_map_mut`] dispatch; `Send + Sync` because each
+/// index is claimed by exactly one executor (the shared atomic counter),
+/// so the `&mut` borrows handed out are disjoint while the owning slice
+/// outlives the job.
+struct ItemWriter<T>(*mut T);
+
+unsafe impl<T: Send> Send for ItemWriter<T> {}
+unsafe impl<T: Send> Sync for ItemWriter<T> {}
+
+impl<T> ItemWriter<T> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and claimed by exactly one executor.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.0.add(i) }
+    }
 }
 
 /// Raw write handle into the output slot vector; `Send + Sync` because
@@ -301,8 +413,10 @@ fn worker_loop(shared: &PoolShared) {
 }
 
 /// The global pool behind [`par_map`]: `available_parallelism - 1`
-/// persistent workers, spawned on first use.
-fn global_pool() -> &'static WorkerPool {
+/// persistent workers, spawned on first use. Crate-visible so machinery
+/// that sizes its stages to the default pool (the fleet scheduler) can
+/// ask for the executor count without forcing its own pool.
+pub(crate) fn global_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(|| WorkerPool::new(worker_count(usize::MAX).saturating_sub(1)))
 }
@@ -327,6 +441,23 @@ where
     F: Fn(&T) -> R + Sync,
 {
     global_pool().par_map(items, f)
+}
+
+/// Maps `f` over **mutable** items in parallel on the global pool,
+/// returning results in input order — the free twin of
+/// [`WorkerPool::par_map_mut`], with the same sequential fallbacks.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the dispatch waits for all workers
+/// first).
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    global_pool().par_map_mut(items, f)
 }
 
 /// Indexed variant of [`par_map`]: `f` receives `(index, &item)`.
@@ -483,6 +614,67 @@ mod tests {
             .map(|&i| (0..5).map(|j| i * 10 + j).sum())
             .collect();
         assert_eq!(out, want);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_keeps_order() {
+        let pool = WorkerPool::new(3);
+        for round in 0..20usize {
+            let mut items: Vec<usize> = (0..97).collect();
+            let out = pool.par_map_mut(&mut items, |v| {
+                *v += round;
+                *v * 2
+            });
+            for (i, (item, r)) in items.iter().zip(&out).enumerate() {
+                assert_eq!(*item, i + round);
+                assert_eq!(*r, (i + round) * 2);
+            }
+        }
+        // The free global-pool variant agrees (sequential fallback or
+        // not, results and mutations are identical).
+        let mut items: Vec<usize> = (0..31).collect();
+        let out = par_map_mut(&mut items, |v| {
+            *v += 1;
+            *v
+        });
+        assert_eq!(out, (1..32).collect::<Vec<_>>());
+        assert_eq!(items, (1..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_mut_nested_calls_fall_back_to_sequential() {
+        let pool = WorkerPool::new(2);
+        let outer: Vec<usize> = (0..6).collect();
+        let out = pool.par_map(&outer, |&i| {
+            let mut inner: Vec<usize> = (0..4).collect();
+            par_map_mut(&mut inner, |v| {
+                *v += i * 10;
+                *v
+            })
+            .iter()
+            .sum::<usize>()
+        });
+        let want: Vec<usize> = outer
+            .iter()
+            .map(|&i| (0..4).map(|j| j + i * 10).sum())
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn par_map_mut_propagates_panics_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let mut items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map_mut(&mut items, |v| {
+                assert!(*v != 13, "boom at {v}");
+                *v
+            })
+        }));
+        assert!(caught.is_err());
+        let mut items: Vec<usize> = (0..64).collect();
+        let out = pool.par_map_mut(&mut items, |v| *v + 1);
+        assert_eq!(out[63], 64);
     }
 
     #[test]

@@ -102,6 +102,21 @@ impl StreamConfig {
             stride: window_len,
         })
     }
+
+    /// Number of windows completed once `samples` total samples have
+    /// been fed — pure geometry, exactly the count the window scheduler
+    /// emits (window `i` completes at sample `i·stride + window_len`).
+    /// Lets buffering layers (the fleet's deferred extract stage)
+    /// account for completed-but-unextracted windows without touching a
+    /// session.
+    pub fn windows_in(&self, samples: u64) -> u64 {
+        let (w, s) = (self.window_len as u64, self.stride as u64);
+        if samples >= w {
+            (samples - w) / s + 1
+        } else {
+            0
+        }
+    }
 }
 
 /// One completed analysis window waiting for its decision — the output
@@ -733,6 +748,40 @@ mod tests {
                 n_features: N_FEATURES,
                 d_bits: None,
                 a_bits: None,
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        // The fleet's sharded extract stage moves `&mut` sessions onto
+        // pool workers; pin the auto-trait so a future non-Send field
+        // (Rc, raw pointer) fails here, not deep in the fleet.
+        fn is_send<T: Send>() {}
+        is_send::<StreamingSession>();
+        is_send::<PendingWindow>();
+    }
+
+    #[test]
+    fn windows_in_matches_scheduler_geometry() {
+        for (window_len, stride) in [(3840usize, 3840usize), (3840, 1920), (100, 37)] {
+            let cfg = StreamConfig {
+                fs: 128.0,
+                window_len,
+                stride,
+            };
+            let mut sched = WindowScheduler::new(window_len, stride).unwrap();
+            let mut emitted = 0u64;
+            for samples in 0..(3 * window_len as u64 + 1) {
+                if samples > 0 {
+                    let fresh = sched.on_samples(1);
+                    emitted += fresh.end - fresh.start;
+                }
+                assert_eq!(
+                    cfg.windows_in(samples),
+                    emitted,
+                    "at {samples} samples ({window_len}/{stride})"
+                );
             }
         }
     }

@@ -340,6 +340,33 @@ impl ClassifierEngine for FloatPipeline {
         self.model.classify_batch(&self.normalize_batch(rows))
     }
 
+    /// Selects and shift-normalises straight from the borrowed rows into
+    /// one dense panel (same divide-then-clamp per element as
+    /// [`normalize_block`], so bit-identical to `decision_batch` on a
+    /// gathered copy), then streams the panel through the model's tiled
+    /// batch kernel.
+    fn decision_rows_into(&self, rows: &[&[f64]], out: &mut Vec<f64>) {
+        let k = self.feature_indices.len();
+        let bound = (-self.guard as f64).exp2();
+        let divisors: Vec<f64> = self
+            .scales
+            .r
+            .iter()
+            .map(|&r| ((r + self.guard) as f64).exp2())
+            .collect();
+        let mut data = Vec::with_capacity(rows.len() * k);
+        for row in rows {
+            data.extend(
+                self.feature_indices
+                    .iter()
+                    .zip(divisors.iter())
+                    .map(|(&j, &d)| (row[j] / d).clamp(-bound, bound)),
+            );
+        }
+        let panel = DenseMatrix::from_flat(data, k);
+        out.extend(self.model.decision_batch(&panel));
+    }
+
     fn n_features(&self) -> usize {
         self.feature_indices.len()
     }
@@ -383,6 +410,22 @@ mod tests {
             .filter(|(r, &l)| p.predict(r) == f64::from(l))
             .count();
         assert!(correct as f64 / m.n_rows() as f64 > 0.85);
+    }
+
+    #[test]
+    fn rows_into_matches_decision_batch_bitwise() {
+        let m = matrix();
+        let p = FloatPipeline::fit(&m, &FitConfig::default()).unwrap();
+        let raw: Vec<Vec<f64>> = m.rows().take(9).map(<[f64]>::to_vec).collect();
+        let refs: Vec<&[f64]> = raw.iter().map(Vec::as_slice).collect();
+        let batch = DenseMatrix::from_rows(&raw);
+        let expect = ClassifierEngine::decision_batch(&p, &batch);
+        let mut got = Vec::new();
+        p.decision_rows_into(&refs, &mut got);
+        assert_eq!(got.len(), expect.len());
+        for (g, w) in got.iter().zip(&expect) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! serial).
 //!
 //! Run with: `cargo run --release --bin fleet_sim -- --scale tiny`
+//! (add `--workers N` to pin the flush pipeline's executor count; the
+//! default sizes to the machine — results are bit-identical either way).
 
 use experiments::{pct, render_table, RunConfig};
 use seizure_core::alarm::{
@@ -64,9 +66,18 @@ fn main() {
     for (name, engine) in &engines {
         let fleet_cfg = FleetConfig {
             alarms: Some(AlarmConfig::k_of_n(1, 2)),
+            workers: cfg.workers,
             ..FleetConfig::unbounded(stream_cfg)
         };
         let mut fleet = FleetScheduler::new(Arc::clone(engine), fleet_cfg).expect("fleet config");
+        if rows.is_empty() {
+            eprintln!(
+                "flush pipeline: {} executor(s) ({})",
+                fleet.flush_executors(),
+                cfg.workers
+                    .map_or("machine default".to_string(), |n| format!("--workers {n}")),
+            );
+        }
         for p in 0..recordings.len() as u64 {
             fleet.admit(p).expect("admit");
         }

@@ -6,6 +6,8 @@
 //! --scale tiny|lite|paper   dataset preset (default: lite)
 //! --seed N                  master seed (default: 42)
 //! --csv DIR                 also dump CSV files into DIR
+//! --workers N               flush executors for fleet binaries
+//!                           (default: size to the machine)
 //! ```
 
 use ecg_sim::dataset::{DatasetSpec, Scale};
@@ -21,6 +23,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Optional CSV output directory.
     pub csv_dir: Option<String>,
+    /// Flush executors for the fleet binaries
+    /// ([`seizure_core::fleet::FleetConfig::workers`]); `None` sizes to
+    /// the machine. Ignored by binaries without a fleet stage.
+    pub workers: Option<usize>,
 }
 
 impl Default for RunConfig {
@@ -29,6 +35,7 @@ impl Default for RunConfig {
             scale: Scale::Lite,
             seed: 42,
             csv_dir: None,
+            workers: None,
         }
     }
 }
@@ -65,8 +72,20 @@ impl RunConfig {
                 "--csv" => {
                     cfg.csv_dir = Some(it.next().expect("--csv needs a directory"));
                 }
+                "--workers" => {
+                    let n: usize = it
+                        .next()
+                        .expect("--workers needs a value")
+                        .parse()
+                        .expect("--workers must be an integer");
+                    assert!(
+                        n >= 1,
+                        "--workers must be >= 1 (omit to size to the machine)"
+                    );
+                    cfg.workers = Some(n);
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: --scale tiny|lite|paper  --seed N  --csv DIR");
+                    eprintln!("flags: --scale tiny|lite|paper  --seed N  --csv DIR  --workers N");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag `{other}`"),
@@ -174,10 +193,27 @@ mod tests {
     fn parse_defaults_and_flags() {
         let d = RunConfig::parse(args(&[]));
         assert_eq!(d, RunConfig::default());
-        let c = RunConfig::parse(args(&["--scale", "tiny", "--seed", "7", "--csv", "/tmp/x"]));
+        assert_eq!(d.workers, None);
+        let c = RunConfig::parse(args(&[
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--csv",
+            "/tmp/x",
+            "--workers",
+            "2",
+        ]));
         assert_eq!(c.scale, Scale::Tiny);
         assert_eq!(c.seed, 7);
         assert_eq!(c.csv_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(c.workers, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers must be >= 1")]
+    fn parse_rejects_zero_workers() {
+        let _ = RunConfig::parse(args(&["--workers", "0"]));
     }
 
     #[test]

@@ -2,11 +2,15 @@
 //!
 //! One type to hold at the serving layer: pick an engine backend (float
 //! pipeline, quantised engine, or a pipeline persisted to text), choose
-//! the fleet configuration (window geometry, alarm stage, backpressure),
-//! then admit patients, feed interleaved chunks and flush batched
-//! decisions. Everything underneath ([`seizure_core::fleet`]) guarantees
-//! the per-patient decision/alarm streams are bit-identical to solo
-//! [`seizure_core::stream::StreamingSession`] runs, for every backend.
+//! the fleet configuration (window geometry, alarm stage, backpressure,
+//! and — via [`FleetConfig::workers`] — how many executors the staged
+//! flush pipeline fans extraction shards and classification panels
+//! across; `None` sizes to the machine), then admit patients, feed
+//! interleaved chunks and flush batched decisions. Everything underneath
+//! ([`seizure_core::fleet`]) guarantees the per-patient decision/alarm
+//! streams are bit-identical to solo
+//! [`seizure_core::stream::StreamingSession`] runs, for every backend at
+//! every worker count.
 
 use seizure_core::alarm::{score_events, AlarmEvent, EventMetrics, EventScoring, TruthEvent};
 use seizure_core::engine::{BitConfig, QuantizedEngine};

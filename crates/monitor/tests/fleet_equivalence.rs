@@ -10,7 +10,14 @@
 //! and the quantised engine, under fixed round-robin and deterministic
 //! xorshift-random interleavings, with the alarm stage enabled under
 //! **both** [`DroppedPolicy`] variants (each stream is prefixed with a
-//! flat window so a real dropped window exercises the policies).
+//! flat window so a real dropped window exercises the policies), and at
+//! **every flush executor count** — serial (`workers = Some(1)`), a
+//! fleet-owned two-executor pool (`Some(2)`), and the machine-default
+//! global pool (`None`). The staged flush pipeline (sharded extraction →
+//! parallel panel fan-out → ordered route-back) must be invisible in the
+//! results; only wall-clock may change. A worker panic during the panel
+//! stage must surface on the flushing caller, and the fleet's pool must
+//! survive for subsequent flushes.
 
 use epilepsy_monitor::fleet::FleetMonitor;
 use epilepsy_monitor::prelude::*;
@@ -129,6 +136,11 @@ fn assert_patient_matches(
     );
 }
 
+/// The flush executor counts every equivalence property is checked
+/// under: serial, a fleet-owned two-executor pool, the machine-default
+/// global pool.
+const WORKER_COUNTS: [Option<usize>; 3] = [Some(1), Some(2), None];
+
 /// Drives one fleet over the cohort with a chunk/flush schedule, then
 /// checks every patient against the solo reference.
 #[allow(clippy::too_many_arguments)] // a test-harness driver: label + config + three schedule closures
@@ -137,6 +149,7 @@ fn check_fleet(
     engine: &SharedEngine,
     cfg: StreamConfig,
     alarm_cfg: Option<AlarmConfig>,
+    workers: Option<usize>,
     cohort: &[Vec<f64>],
     mut next_pick: impl FnMut(usize) -> usize,
     mut next_len: impl FnMut() -> usize,
@@ -144,6 +157,7 @@ fn check_fleet(
 ) {
     let fleet_cfg = FleetConfig {
         alarms: alarm_cfg,
+        workers,
         ..FleetConfig::unbounded(cfg)
     };
     let mut fleet = FleetScheduler::new(Arc::clone(engine), fleet_cfg).unwrap();
@@ -201,41 +215,46 @@ fn fleet_is_bit_identical_to_solo_streaming_for_both_engines() {
     let cfg = StreamConfig::non_overlapping(spec.scale.fs(), spec.scale.window_s()).unwrap();
     let cohort = streams();
     for (name, engine) in &engines() {
-        // Fixed schedule: strict round-robin, one-second chunks, flush
-        // after every 7th ingest.
-        let mut rr = 0usize;
-        let mut tick = 0usize;
-        check_fleet(
-            &format!("{name}/round-robin"),
-            engine,
-            cfg,
-            None,
-            cohort,
-            move |_n| {
-                rr += 1;
-                rr - 1
-            },
-            || 128,
-            move || {
-                tick += 1;
-                tick.is_multiple_of(7)
-            },
-        );
-        // Whole-stream pushes, single final flush (the batch extreme).
-        let mut rr2 = 0usize;
-        check_fleet(
-            &format!("{name}/one-shot"),
-            engine,
-            cfg,
-            None,
-            cohort,
-            move |_n| {
-                rr2 += 1;
-                rr2 - 1
-            },
-            || usize::MAX,
-            || false,
-        );
+        for workers in WORKER_COUNTS {
+            // Fixed schedule: strict round-robin, one-second chunks,
+            // flush after every 7th ingest.
+            let mut rr = 0usize;
+            let mut tick = 0usize;
+            check_fleet(
+                &format!("{name}/round-robin/workers-{workers:?}"),
+                engine,
+                cfg,
+                None,
+                workers,
+                cohort,
+                move |_n| {
+                    rr += 1;
+                    rr - 1
+                },
+                || 128,
+                move || {
+                    tick += 1;
+                    tick.is_multiple_of(7)
+                },
+            );
+            // Whole-stream pushes, single final flush (the batch
+            // extreme — every session extracts in one shard pass).
+            let mut rr2 = 0usize;
+            check_fleet(
+                &format!("{name}/one-shot/workers-{workers:?}"),
+                engine,
+                cfg,
+                None,
+                workers,
+                cohort,
+                move |_n| {
+                    rr2 += 1;
+                    rr2 - 1
+                },
+                || usize::MAX,
+                || false,
+            );
+        }
     }
 }
 
@@ -257,21 +276,25 @@ fn fleet_alarms_match_solo_for_both_engines_and_both_dropped_policies() {
             };
             // Deterministic random interleavings: random patient picks,
             // random chunk sizes straddling window boundaries, random
-            // flush points.
+            // flush points — each round at a different executor count,
+            // so the worker matrix rides the same xorshift schedules.
             for round in 0..2u64 {
-                let mut pick_rng = XorShift(0x00C0_FFEE ^ (round << 8) ^ name.len() as u64);
-                let mut len_rng = XorShift(0xD15E_A5E5 ^ round);
-                let mut flush_rng = XorShift(0x0BAD_F00D ^ (round << 16));
-                check_fleet(
-                    &format!("{name}/{policy_name}/xorshift-{round}"),
-                    engine,
-                    cfg,
-                    Some(alarm_cfg),
-                    cohort,
-                    move |n| pick_rng.next() as usize % n.max(1),
-                    move || 1 + (len_rng.next() as usize) % (2 * cfg.window_len),
-                    move || flush_rng.next().is_multiple_of(3),
-                );
+                for workers in WORKER_COUNTS {
+                    let mut pick_rng = XorShift(0x00C0_FFEE ^ (round << 8) ^ name.len() as u64);
+                    let mut len_rng = XorShift(0xD15E_A5E5 ^ round);
+                    let mut flush_rng = XorShift(0x0BAD_F00D ^ (round << 16));
+                    check_fleet(
+                        &format!("{name}/{policy_name}/xorshift-{round}/workers-{workers:?}"),
+                        engine,
+                        cfg,
+                        Some(alarm_cfg),
+                        workers,
+                        cohort,
+                        move |n| pick_rng.next() as usize % n.max(1),
+                        move || 1 + (len_rng.next() as usize) % (2 * cfg.window_len),
+                        move || flush_rng.next().is_multiple_of(3),
+                    );
+                }
             }
         }
     }
@@ -370,6 +393,87 @@ fn fleet_monitor_facade_reports_cohort_events_and_restarts_bit_identically() {
     assert_eq!(alarms1, collected1);
     assert!(fleet.remove(1).is_err());
     assert!(fleet.patient_alarms(1).is_empty());
+}
+
+#[test]
+fn worker_panic_in_the_panel_stage_surfaces_and_the_pool_survives() {
+    use epilepsy_monitor::features::N_FEATURES;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Decision = Σ row — except a marker row (first feature ≥ 900)
+    /// panics, standing in for an engine bug tripping on one window
+    /// inside the parallel panel fan-out.
+    struct TrapEngine;
+
+    impl svm::ClassifierEngine for TrapEngine {
+        fn decision(&self, row: &[f64]) -> f64 {
+            assert!(row[0] < 900.0, "trap row reached the kernel");
+            row.iter().sum()
+        }
+        fn n_features(&self) -> usize {
+            N_FEATURES
+        }
+        fn info(&self) -> svm::EngineInfo {
+            svm::EngineInfo {
+                kind: "trap-test",
+                n_support_vectors: 1,
+                n_features: N_FEATURES,
+                d_bits: None,
+                a_bits: None,
+            }
+        }
+    }
+
+    let row = |v: f64| {
+        let mut r = vec![0.0; N_FEATURES];
+        r[0] = v;
+        r
+    };
+    let cfg = StreamConfig::non_overlapping(128.0, 30.0).unwrap();
+    let mut fleet = FleetScheduler::new(
+        Arc::new(TrapEngine) as SharedEngine,
+        seizure_core::fleet::FleetConfig {
+            workers: Some(2), // a fleet-owned pool: one worker + caller
+            ..seizure_core::fleet::FleetConfig::unbounded(cfg)
+        },
+    )
+    .unwrap();
+    for p in 0..3u64 {
+        fleet.admit(p).unwrap();
+    }
+    // 600 rows round-robin → three panels, so the parallel fan-out
+    // branch really engages; patient 1 carries the trap row.
+    for i in 0..600usize {
+        let p = (i % 3) as u64;
+        let v = if p == 1 && i / 3 == 57 {
+            901.0
+        } else {
+            i as f64
+        };
+        fleet.ingest_row(p, Some(&row(v))).unwrap();
+    }
+    // The worker's panic must surface on the flushing caller…
+    let panicked = catch_unwind(AssertUnwindSafe(|| fleet.flush()));
+    assert!(panicked.is_err(), "panel-stage panic must propagate");
+    // …without corrupting the fleet: the panic unwound before the
+    // route-back stage, so every queue is intact. Restarting the
+    // poisoned patient clears the trap row, and the fleet's own pool
+    // survives to serve the next flush.
+    let restarted = fleet.restart(1).unwrap();
+    assert_eq!(restarted.discarded_windows, 200);
+    let flush = fleet.flush();
+    assert_eq!(flush.rows_classified, 400);
+    assert_eq!(flush.decisions.len(), 400);
+    for d in &flush.decisions {
+        assert_ne!(d.patient, 1);
+        assert!(d.decision.decision.is_some());
+    }
+    // The pool keeps serving fresh work, including the restarted slot.
+    fleet.ingest_row(1, Some(&row(5.0))).unwrap();
+    let flush = fleet.flush();
+    assert_eq!(flush.decisions.len(), 1);
+    assert_eq!(flush.decisions[0].decision.decision, Some(5.0));
+    assert_eq!(fleet.stats().pending_windows, 0);
 }
 
 #[test]

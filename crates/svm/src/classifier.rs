@@ -99,6 +99,16 @@ pub trait ClassifierEngine: Send + Sync {
         rows.rows().map(|r| self.decision(r)).collect()
     }
 
+    /// Appends the decision value of every borrowed row to `out`, in
+    /// order — the panel-serving entry point for callers whose rows
+    /// live scattered across per-session buffers (no dense gather
+    /// copy). Bit-identical to mapping [`ClassifierEngine::decision`]
+    /// over `rows`; backends override it to hoist per-panel work
+    /// exactly like `decision_batch` does for dense batches.
+    fn decision_rows_into(&self, rows: &[&[f64]], out: &mut Vec<f64>) {
+        out.extend(rows.iter().map(|r| self.decision(r)));
+    }
+
     /// Predicted classes for every row of a raw dense batch.
     fn classify_batch(&self, rows: &DenseMatrix<f64>) -> Vec<f64> {
         rows.rows().map(|r| self.classify(r)).collect()
@@ -137,6 +147,18 @@ impl ClassifierEngine for SvmModel {
             &mut out,
         );
         out
+    }
+
+    /// Gathers the borrowed rows into one dense panel and runs the
+    /// SV-panel-tiled batch kernel over it — same datapath as
+    /// `decision_batch`, so the row refs cost one gather copy, not a
+    /// per-row kernel restart.
+    fn decision_rows_into(&self, rows: &[&[f64]], out: &mut Vec<f64>) {
+        let mut panel = DenseMatrix::with_cols(SvmModel::n_features(self));
+        for row in rows {
+            panel.push_row(row);
+        }
+        out.extend(self.decision_batch(&panel));
     }
 
     /// Sign of the tiled batch decisions (ties positive).
@@ -198,6 +220,41 @@ mod tests {
         for (i, row) in batch.rows().enumerate() {
             assert_eq!(dec[i].to_bits(), e.decision(row).to_bits());
             assert_eq!(cls[i], e.classify(row));
+        }
+    }
+
+    #[test]
+    fn rows_into_matches_decision_batch_and_appends() {
+        let m = toy_model();
+        let e: &dyn ClassifierEngine = &m;
+        let storage = [vec![2.0, 5.0], vec![-0.3, 1.0], vec![0.0, 0.0]];
+        let refs: Vec<&[f64]> = storage.iter().map(Vec::as_slice).collect();
+        let batch = DenseMatrix::from_rows(&storage);
+        let expect = e.decision_batch(&batch);
+        // Appends after existing contents, both through the SvmModel
+        // override and the per-row trait default.
+        let mut out = vec![f64::NAN];
+        e.decision_rows_into(&refs, &mut out);
+        assert_eq!(out.len(), 1 + refs.len());
+        for (got, want) in out[1..].iter().zip(&expect) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        struct PerRow(SvmModel);
+        impl ClassifierEngine for PerRow {
+            fn decision(&self, row: &[f64]) -> f64 {
+                self.0.decision_value(row)
+            }
+            fn n_features(&self) -> usize {
+                self.0.n_features()
+            }
+            fn info(&self) -> EngineInfo {
+                ClassifierEngine::info(&self.0)
+            }
+        }
+        let mut dflt = Vec::new();
+        PerRow(toy_model()).decision_rows_into(&refs, &mut dflt);
+        for (got, want) in dflt.iter().zip(&expect) {
+            assert_eq!(got.to_bits(), want.to_bits());
         }
     }
 

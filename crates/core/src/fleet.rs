@@ -1158,6 +1158,7 @@ impl FleetScheduler {
 mod tests {
     use super::*;
     use crate::alarm::DroppedPolicy;
+    use biodsp::ExtractPrecision;
     use ecg_features::N_FEATURES;
     use svm::{ClassifierEngine, EngineInfo};
 
@@ -1221,6 +1222,7 @@ mod tests {
             fs: 0.0,
             window_len: 10,
             stride: 10,
+            precision: ExtractPrecision::default(),
         });
         assert!(FleetScheduler::new(engine(), bad_stream).is_err());
 

@@ -103,6 +103,7 @@ pub use alarm::{
     decision_is_seizure, AlarmConfig, AlarmEvent, AlarmStateMachine, DroppedPolicy, EventMetrics,
     EventScoring, TruthEvent,
 };
+pub use biodsp::ExtractPrecision;
 pub use config::FitConfig;
 pub use engine::{BitConfig, QuantizedEngine};
 pub use error::CoreError;

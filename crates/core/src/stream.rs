@@ -45,6 +45,7 @@ use crate::alarm::{AlarmConfig, AlarmEvent, AlarmStateMachine};
 use crate::error::CoreError;
 use crate::parallel::par_map;
 use biodsp::stream::{SampleRing, WindowScheduler};
+use biodsp::ExtractPrecision;
 use ecg_features::extract::{ExtractScratch, WindowExtractor};
 use ecg_features::N_FEATURES;
 use std::sync::Arc;
@@ -65,6 +66,10 @@ pub struct StreamConfig {
     /// Stride between window starts in samples (`== window_len` for the
     /// paper's non-overlapping protocol).
     pub stride: usize,
+    /// Arithmetic precision of the extraction hot loops (see
+    /// [`ExtractPrecision`]). Defaults to [`ExtractPrecision::F64`],
+    /// which is bit-identical to the historical pipeline.
+    pub precision: ExtractPrecision,
 }
 
 impl StreamConfig {
@@ -100,7 +105,13 @@ impl StreamConfig {
             fs,
             window_len,
             stride: window_len,
+            precision: ExtractPrecision::default(),
         })
+    }
+
+    /// Same config with the extraction hot loops at `precision`.
+    pub fn with_precision(self, precision: ExtractPrecision) -> Self {
+        StreamConfig { precision, ..self }
     }
 
     /// Number of windows completed once `samples` total samples have
@@ -313,7 +324,7 @@ impl StreamingSession {
             .map_err(|e| CoreError::InvalidConfig(format!("stream ring: {e}")))?;
         Ok(StreamingSession {
             cfg,
-            extractor: WindowExtractor::new(cfg.fs),
+            extractor: WindowExtractor::with_precision(cfg.fs, cfg.precision),
             engine,
             ring,
             sched,
@@ -769,6 +780,7 @@ mod tests {
                 fs: 128.0,
                 window_len,
                 stride,
+                precision: ExtractPrecision::default(),
             };
             let mut sched = WindowScheduler::new(window_len, stride).unwrap();
             let mut emitted = 0u64;
@@ -816,12 +828,14 @@ mod tests {
             fs: 0.0,
             window_len: 10,
             stride: 10,
+            precision: ExtractPrecision::default(),
         };
         assert!(StreamingSession::new(engine(), bad_fs).is_err());
         let bad_window = StreamConfig {
             fs: 128.0,
             window_len: 0,
             stride: 1,
+            precision: ExtractPrecision::default(),
         };
         assert!(StreamingSession::new(engine(), bad_window).is_err());
         let cfg = StreamConfig::non_overlapping(128.0, 30.0).unwrap();

@@ -200,6 +200,7 @@ pub fn burg(x: &[f64], order: usize) -> Result<ArModel, DspError> {
         return Err(DspError::Numerical("zero-power signal in burg"));
     }
     let mut reflection = Vec::with_capacity(order);
+    let mut prev = vec![0.0f64; order + 1];
     for m_ord in 1..=order {
         // kappa = -2 sum f[i] b[i-1] / sum (f[i]^2 + b[i-1]^2)
         let mut num = 0.0;
@@ -210,7 +211,7 @@ pub fn burg(x: &[f64], order: usize) -> Result<ArModel, DspError> {
         }
         let kappa = if den > 0.0 { -2.0 * num / den } else { 0.0 };
         reflection.push(kappa);
-        let prev = a.clone();
+        prev.copy_from_slice(&a);
         a[m_ord] = kappa;
         for k in 1..m_ord {
             a[k] = prev[k] + kappa * prev[m_ord - k];

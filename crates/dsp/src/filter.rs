@@ -5,6 +5,7 @@
 //! feature-extraction front end.
 
 use crate::error::DspError;
+use crate::kernels::{self, SosSection};
 use std::f64::consts::PI;
 
 /// A second-order IIR section (biquad) in direct form I:
@@ -231,6 +232,21 @@ impl SosCascade {
         self.sections.len()
     }
 
+    /// The biquad sections, in application order.
+    pub fn sections(&self) -> &[Biquad] {
+        &self.sections
+    }
+
+    /// Copies the section coefficients into a fused-kernel array at
+    /// precision `T` (first `self.len()` entries are meaningful).
+    fn fused_sections<T: kernels::Scalar>(&self) -> [SosSection<T>; kernels::MAX_CHAIN_SECTIONS] {
+        let mut secs = [SosSection::<T>::default(); kernels::MAX_CHAIN_SECTIONS];
+        for (dst, s) in secs.iter_mut().zip(self.sections.iter()) {
+            *dst = SosSection::from_f64(s.b, s.a);
+        }
+        secs
+    }
+
     /// Whether the cascade has no sections (identity).
     pub fn is_empty(&self) -> bool {
         self.sections.is_empty()
@@ -245,7 +261,26 @@ impl SosCascade {
 
     /// Applies all sections in sequence, in place (bit-identical to
     /// [`SosCascade::filter`]).
+    ///
+    /// Runs the cascade-fused register chain
+    /// ([`kernels::sos_chain_in_place`]): one sweep over `x` with every
+    /// section chained per sample, bit-identical to the per-section
+    /// sweeps of [`SosCascade::filter_in_place_reference`] (cascades
+    /// longer than [`kernels::MAX_CHAIN_SECTIONS`] fall back to them).
     pub fn filter_in_place(&self, x: &mut [f64]) {
+        if self.sections.len() > kernels::MAX_CHAIN_SECTIONS {
+            self.filter_in_place_reference(x);
+            return;
+        }
+        let secs = self.fused_sections::<f64>();
+        kernels::sos_chain_in_place(&secs[..self.sections.len()], x);
+    }
+
+    /// Pre-fusion reference: one whole-buffer sweep per section. Kept as
+    /// the bit-identity reference for the fused chain (see the
+    /// `dsp_kernel_equivalence` suite) and as the fallback for cascades
+    /// longer than [`kernels::MAX_CHAIN_SECTIONS`].
+    pub fn filter_in_place_reference(&self, x: &mut [f64]) {
         for s in &self.sections {
             s.filter_in_place(x);
         }
@@ -264,7 +299,32 @@ impl SosCascade {
     /// `out`, keeping the padded work buffer in `scratch` so repeated
     /// calls (the streaming hot loop) allocate nothing after warm-up.
     /// Bit-identical to [`SosCascade::filtfilt`].
+    ///
+    /// Runs the cascade-fused chain ([`kernels::filtfilt_fused`]): one
+    /// register-chained sweep per direction, the backward pass iterating
+    /// in reverse instead of flipping the buffer twice. Bit-identical to
+    /// the per-section sweeps of [`SosCascade::filtfilt_into_reference`]
+    /// (which longer-than-[`kernels::MAX_CHAIN_SECTIONS`] cascades fall
+    /// back to).
     pub fn filtfilt_into(&self, x: &[f64], scratch: &mut FiltFiltScratch, out: &mut Vec<f64>) {
+        if self.sections.len() > kernels::MAX_CHAIN_SECTIONS {
+            self.filtfilt_into_reference(x, scratch, out);
+            return;
+        }
+        let secs = self.fused_sections::<f64>();
+        kernels::filtfilt_fused(&secs[..self.sections.len()], x, &mut scratch.ext, out);
+    }
+
+    /// Pre-fusion reference for [`SosCascade::filtfilt_into`]: builds the
+    /// same odd-reflection extension, then sweeps per section in each
+    /// direction with two physical buffer reversals. Kept for the
+    /// equivalence suite and the legacy bench rows.
+    pub fn filtfilt_into_reference(
+        &self,
+        x: &[f64],
+        scratch: &mut FiltFiltScratch,
+        out: &mut Vec<f64>,
+    ) {
         out.clear();
         if x.is_empty() || self.sections.is_empty() {
             out.extend_from_slice(x);
@@ -284,9 +344,9 @@ impl SosCascade {
             let idx = n.saturating_sub(1 + i.min(n - 1));
             ext.push(2.0 * x[n - 1] - x[idx]);
         }
-        self.filter_in_place(ext); // forward pass
+        self.filter_in_place_reference(ext); // forward pass
         ext.reverse();
-        self.filter_in_place(ext); // backward pass
+        self.filter_in_place_reference(ext); // backward pass
         ext.reverse();
         out.extend_from_slice(&ext[pad..pad + n]);
     }
@@ -378,11 +438,16 @@ pub fn median_filter(x: &[f64], len: usize) -> Result<Vec<f64>, DspError> {
     let half = len / 2;
     let n = x.len();
     let mut out = Vec::with_capacity(n);
+    // One reused window buffer; `total_cmp`-equal values are bit-identical,
+    // so the unstable sort selects exactly the element the stable sort
+    // would.
+    let mut w: Vec<f64> = Vec::with_capacity(len);
     for i in 0..n {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
-        let mut w: Vec<f64> = x[lo..hi].to_vec();
-        w.sort_by(|a, b| a.total_cmp(b));
+        w.clear();
+        w.extend_from_slice(&x[lo..hi]);
+        w.sort_unstable_by(|a, b| a.total_cmp(b));
         out.push(w[w.len() / 2]);
     }
     Ok(out)
@@ -549,6 +614,32 @@ mod tests {
         let mut d = Vec::new();
         five_point_derivative_into(&sig, fs, &mut d);
         assert_eq!(d, five_point_derivative(&sig, fs));
+    }
+
+    #[test]
+    fn fused_paths_match_reference_sweeps_bitwise() {
+        let fs = 128.0;
+        let sig: Vec<f64> = (0..611)
+            .map(|i| (2.0 * PI * 6.0 * i as f64 / fs).sin() + 0.2 * (i as f64 * 1.3).cos())
+            .collect();
+        for n_sections in 1..=3usize {
+            let cascade = SosCascade::butterworth_bandpass(5.0, 15.0, fs, n_sections).unwrap();
+            let mut fused = sig.clone();
+            cascade.filter_in_place(&mut fused);
+            let mut swept = sig.clone();
+            cascade.filter_in_place_reference(&mut swept);
+            for (a, b) in fused.iter().zip(swept.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{n_sections} sections");
+            }
+            let mut scratch = FiltFiltScratch::default();
+            let (mut ff, mut ff_ref) = (Vec::new(), Vec::new());
+            cascade.filtfilt_into(&sig, &mut scratch, &mut ff);
+            cascade.filtfilt_into_reference(&sig, &mut scratch, &mut ff_ref);
+            assert_eq!(ff.len(), ff_ref.len());
+            for (a, b) in ff.iter().zip(ff_ref.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{n_sections} sections");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod detrend;
 pub mod error;
 pub mod fft;
 pub mod filter;
+pub mod kernels;
 pub mod psd;
 pub mod qrs;
 pub mod resample;
@@ -36,3 +37,4 @@ pub mod stream;
 pub mod window;
 
 pub use error::DspError;
+pub use kernels::ExtractPrecision;

@@ -3,7 +3,9 @@
 
 use crate::error::DspError;
 use crate::fft::{next_pow2, rfft};
+use crate::kernels::{ExtractPrecision, RfftPlan};
 use crate::window::WindowKind;
+use std::cell::RefCell;
 use std::f64::consts::PI;
 
 /// A one-sided PSD estimate.
@@ -19,12 +21,22 @@ pub struct Spectrum {
 impl Spectrum {
     /// Total power in the band `[lo, hi)` Hz, integrated with the trapezoid
     /// rule over the stored grid.
+    ///
+    /// The grid is ascending, so the scan jumps (binary search, using the
+    /// same `f1 <= lo` comparison as the per-bin skip) to the first
+    /// overlapping trapezoid and stops at the first one past `hi` —
+    /// visiting exactly the bins the full scan would, in the same order,
+    /// with the same per-bin arithmetic.
     pub fn band_power(&self, lo: f64, hi: f64) -> f64 {
         let mut acc = 0.0;
-        for i in 1..self.freqs.len() {
+        let start = self.freqs.partition_point(|&f| f <= lo).max(1);
+        for i in start..self.freqs.len() {
             let f0 = self.freqs[i - 1];
             let f1 = self.freqs[i];
-            if f1 <= lo || f0 >= hi {
+            if f0 >= hi {
+                break;
+            }
+            if f1 <= lo {
                 continue;
             }
             // Clip the trapezoid to the band.
@@ -57,17 +69,168 @@ impl Spectrum {
     }
 }
 
+/// Cached spectral machinery for one `(segment length, window)` shape:
+/// window coefficients (both precisions), their power normalisation, the
+/// real-input FFT plans and every work buffer the hot loop touches. Kept
+/// in a thread-local single-slot cache so the feature path — thousands of
+/// Welch calls with one fixed `(nperseg, Hann)` shape per monitor thread —
+/// builds windows and twiddle tables exactly once.
+struct PlanSlot {
+    wlen: usize,
+    window: WindowKind,
+    coeffs: Vec<f64>,
+    coeffs32: Vec<f32>,
+    /// `sum(w^2)` in [`WindowKind::apply`]'s accumulation order.
+    wpow: f64,
+    plan: RfftPlan<f64>,
+    /// Built lazily on the first [`ExtractPrecision::F32`] call.
+    plan32: Option<RfftPlan<f32>>,
+    buf: Vec<f64>,
+    buf32: Vec<f32>,
+    pow: Vec<f64>,
+}
+
+thread_local! {
+    static PLAN_SLOT: RefCell<Option<PlanSlot>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the thread-local plan slot rebuilt (if necessary) for
+/// `(wlen, window)`.
+fn with_plan<R>(wlen: usize, window: WindowKind, f: impl FnOnce(&mut PlanSlot) -> R) -> R {
+    PLAN_SLOT.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let rebuild = match slot.as_ref() {
+            Some(s) => s.wlen != wlen || s.window != window,
+            None => true,
+        };
+        if rebuild {
+            let coeffs = window.coefficients(wlen);
+            let wpow = coeffs.iter().map(|w| w * w).sum();
+            let coeffs32 = coeffs.iter().map(|&w| w as f32).collect();
+            *slot = Some(PlanSlot {
+                wlen,
+                window,
+                coeffs,
+                coeffs32,
+                wpow,
+                plan: RfftPlan::new(next_pow2(wlen)),
+                plan32: None,
+                buf: Vec::with_capacity(wlen),
+                buf32: Vec::new(),
+                pow: Vec::new(),
+            });
+        }
+        f(slot.as_mut().expect("plan slot filled"))
+    })
+}
+
+/// Detrends, windows and transforms one segment, leaving the scaled
+/// one-sided PSD bins in `slot.pow`. Mean removal and windowing are fused
+/// into the transform input fill; the `F32` arm narrows once and runs the
+/// half-size FFT in `f32`, emitting `f64` powers.
+fn segment_power(slot: &mut PlanSlot, seg: &[f64], fs: f64, precision: ExtractPrecision) {
+    let m = crate::stats::mean(seg);
+    match precision {
+        ExtractPrecision::F64 => {
+            slot.buf.clear();
+            slot.buf.extend(
+                seg.iter()
+                    .zip(slot.coeffs.iter())
+                    .map(|(&v, &w)| (v - m) * w),
+            );
+            slot.plan.power_into(&slot.buf, &mut slot.pow);
+        }
+        ExtractPrecision::F32 => {
+            let m32 = m as f32;
+            slot.buf32.clear();
+            slot.buf32.extend(
+                seg.iter()
+                    .zip(slot.coeffs32.iter())
+                    .map(|(&v, &w)| (v as f32 - m32) * w),
+            );
+            let n = slot.plan.len();
+            let plan32 = slot.plan32.get_or_insert_with(|| RfftPlan::new(n));
+            plan32.power_into(&slot.buf32, &mut slot.pow);
+        }
+    }
+    let nfft = slot.plan.len();
+    let scale = 1.0 / (fs * slot.wpow);
+    for (k, p) in slot.pow.iter_mut().enumerate() {
+        *p *= scale;
+        // One-sided: double everything except DC and Nyquist.
+        if k != 0 && k != nfft / 2 {
+            *p *= 2.0;
+        }
+    }
+}
+
 /// One-sided periodogram of an evenly sampled signal.
 ///
 /// The signal is detrended (mean removal), windowed, zero-padded to a power
 /// of two and scaled so that the integral of the PSD approximates the signal
 /// variance.
 ///
+/// Runs the plan-cached real-input FFT; [`periodogram_reference`] keeps the
+/// pre-fusion full-complex path, which the `dsp_kernel_equivalence` suite
+/// pins this against at ≤1e-12 relative.
+///
 /// # Errors
 ///
 /// Returns [`DspError::TooShort`] for signals with fewer than 4 samples and
 /// [`DspError::InvalidParameter`] for non-positive `fs`.
 pub fn periodogram(signal: &[f64], fs: f64, window: WindowKind) -> Result<Spectrum, DspError> {
+    periodogram_with(signal, fs, window, ExtractPrecision::F64)
+}
+
+/// Precision-dispatching twin of [`periodogram`]: the detrend/window/FFT
+/// arithmetic runs at `precision`, scaling and output stay `f64`.
+///
+/// # Errors
+///
+/// Same contract as [`periodogram`].
+pub fn periodogram_with(
+    signal: &[f64],
+    fs: f64,
+    window: WindowKind,
+    precision: ExtractPrecision,
+) -> Result<Spectrum, DspError> {
+    if signal.len() < 4 {
+        return Err(DspError::TooShort {
+            needed: 4,
+            got: signal.len(),
+        });
+    }
+    if fs <= 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            reason: "must be positive",
+        });
+    }
+    with_plan(signal.len(), window, |slot| {
+        segment_power(slot, signal, fs, precision);
+        let nfft = slot.plan.len();
+        let nbins = nfft / 2 + 1;
+        let freqs = (0..nbins).map(|k| k as f64 * fs / nfft as f64).collect();
+        Ok(Spectrum {
+            freqs,
+            power: slot.pow.clone(),
+        })
+    })
+}
+
+/// Pre-fusion reference for [`periodogram`]: rebuilds the window, allocates
+/// and zero-pads a full complex spectrum per call. Kept as the accuracy
+/// reference for the planned real-input path and as the honest legacy
+/// bench row.
+///
+/// # Errors
+///
+/// Same contract as [`periodogram`].
+pub fn periodogram_reference(
+    signal: &[f64],
+    fs: f64,
+    window: WindowKind,
+) -> Result<Spectrum, DspError> {
     if signal.len() < 4 {
         return Err(DspError::TooShort {
             needed: 4,
@@ -104,11 +267,87 @@ pub fn periodogram(signal: &[f64], fs: f64, window: WindowKind) -> Result<Spectr
 /// Welch's method: averaged periodograms of `nperseg`-sample segments with
 /// `overlap` fractional overlap in `[0, 1)`.
 ///
+/// The window, FFT plan and all work buffers are hoisted out of the segment
+/// loop through the thread-local plan cache, so the per-segment cost is one
+/// fused fill plus one half-size FFT — no allocation, no window rebuild.
+///
 /// # Errors
 ///
 /// Returns [`DspError::TooShort`] when the signal is shorter than `nperseg`,
 /// and [`DspError::InvalidParameter`] for bad `overlap`/`nperseg`/`fs`.
 pub fn welch(
+    signal: &[f64],
+    fs: f64,
+    nperseg: usize,
+    overlap: f64,
+    window: WindowKind,
+) -> Result<Spectrum, DspError> {
+    welch_with(signal, fs, nperseg, overlap, window, ExtractPrecision::F64)
+}
+
+/// Precision-dispatching twin of [`welch`]: per-segment detrend/window/FFT
+/// arithmetic runs at `precision`, accumulation and output stay `f64`.
+///
+/// # Errors
+///
+/// Same contract as [`welch`].
+pub fn welch_with(
+    signal: &[f64],
+    fs: f64,
+    nperseg: usize,
+    overlap: f64,
+    window: WindowKind,
+    precision: ExtractPrecision,
+) -> Result<Spectrum, DspError> {
+    if nperseg < 4 {
+        return Err(DspError::InvalidParameter {
+            name: "nperseg",
+            reason: "must be >= 4",
+        });
+    }
+    if !(0.0..1.0).contains(&overlap) {
+        return Err(DspError::InvalidParameter {
+            name: "overlap",
+            reason: "must be in [0,1)",
+        });
+    }
+    if signal.len() < nperseg {
+        return Err(DspError::TooShort {
+            needed: nperseg,
+            got: signal.len(),
+        });
+    }
+    let step = ((nperseg as f64) * (1.0 - overlap)).max(1.0) as usize;
+    with_plan(nperseg, window, |slot| {
+        let nfft = slot.plan.len();
+        let nbins = nfft / 2 + 1;
+        let mut acc = vec![0.0f64; nbins];
+        let mut count = 0usize;
+        let mut start = 0usize;
+        while start + nperseg <= signal.len() {
+            segment_power(slot, &signal[start..start + nperseg], fs, precision);
+            for (a, &p) in acc.iter_mut().zip(slot.pow.iter()) {
+                *a += p;
+            }
+            count += 1;
+            start += step;
+        }
+        for a in &mut acc {
+            *a /= count as f64;
+        }
+        let freqs = (0..nbins).map(|k| k as f64 * fs / nfft as f64).collect();
+        Ok(Spectrum { freqs, power: acc })
+    })
+}
+
+/// Pre-fusion reference for [`welch`]: folds [`periodogram_reference`] per
+/// segment, rebuilding the window and reallocating the FFT buffers each
+/// time. Kept for the equivalence suite and the legacy bench rows.
+///
+/// # Errors
+///
+/// Same contract as [`welch`].
+pub fn welch_reference(
     signal: &[f64],
     fs: f64,
     nperseg: usize,
@@ -139,7 +378,7 @@ pub fn welch(
     let mut start = 0usize;
     while start + nperseg <= signal.len() {
         let seg = &signal[start..start + nperseg];
-        let p = periodogram(seg, fs, window)?;
+        let p = periodogram_reference(seg, fs, window)?;
         match &mut acc {
             None => acc = Some(p),
             Some(a) => {
@@ -365,5 +604,84 @@ mod tests {
         assert_eq!(linspace(2.0, 9.0, 1), vec![2.0]);
         let g = linspace(0.0, 1.0, 5);
         assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    fn two_tone(fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * PI * 0.31 * t).sin() + 0.4 * (2.0 * PI * 1.7 * t).sin() + 0.05 * t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn planned_periodogram_tracks_reference() {
+        let fs = 4.0;
+        for n in [20usize, 128, 157, 500] {
+            let sig = two_tone(fs, n);
+            let new = periodogram(&sig, fs, WindowKind::Hann).unwrap();
+            let old = periodogram_reference(&sig, fs, WindowKind::Hann).unwrap();
+            assert_eq!(new.freqs, old.freqs, "n {n}");
+            let pmax = old.power.iter().fold(0.0f64, |a, &b| a.max(b));
+            for (a, b) in new.power.iter().zip(old.power.iter()) {
+                assert!((a - b).abs() <= 1e-12 * pmax, "n {n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_welch_tracks_reference() {
+        let fs = 4.0;
+        let sig = two_tone(fs, 600);
+        let new = welch(&sig, fs, 128, 0.5, WindowKind::Hann).unwrap();
+        let old = welch_reference(&sig, fs, 128, 0.5, WindowKind::Hann).unwrap();
+        assert_eq!(new.freqs, old.freqs);
+        let pmax = old.power.iter().fold(0.0f64, |a, &b| a.max(b));
+        for (a, b) in new.power.iter().zip(old.power.iter()) {
+            assert!((a - b).abs() <= 1e-12 * pmax, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn welch_is_exact_fold_of_planned_periodograms() {
+        // The hoisted loop must be bit-identical to averaging the planned
+        // periodogram of each segment by hand.
+        let fs = 4.0;
+        let sig = two_tone(fs, 600);
+        let nperseg = 128;
+        let step = 64;
+        let wel = welch(&sig, fs, nperseg, 0.5, WindowKind::Hann).unwrap();
+        let mut acc = vec![0.0f64; nperseg / 2 + 1];
+        let mut count = 0usize;
+        let mut start = 0usize;
+        while start + nperseg <= sig.len() {
+            let p = periodogram(&sig[start..start + nperseg], fs, WindowKind::Hann).unwrap();
+            for (a, &v) in acc.iter_mut().zip(p.power.iter()) {
+                *a += v;
+            }
+            count += 1;
+            start += step;
+        }
+        for a in &mut acc {
+            *a /= count as f64;
+        }
+        assert_eq!(wel.power.len(), acc.len());
+        for (a, b) in wel.power.iter().zip(acc.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_welch_tracks_f64() {
+        let fs = 4.0;
+        let sig = two_tone(fs, 600);
+        let hi = welch(&sig, fs, 128, 0.5, WindowKind::Hann).unwrap();
+        let lo = welch_with(&sig, fs, 128, 0.5, WindowKind::Hann, ExtractPrecision::F32).unwrap();
+        assert_eq!(hi.freqs, lo.freqs);
+        let pmax = hi.power.iter().fold(0.0f64, |a, &b| a.max(b));
+        for (a, b) in lo.power.iter().zip(hi.power.iter()) {
+            assert!((a - b).abs() <= 1e-5 * pmax, "{a} vs {b}");
+        }
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::error::DspError;
 use crate::filter::{five_point_derivative_into, moving_average_into, FiltFiltScratch, SosCascade};
+use crate::kernels::{self, ExtractPrecision, SosSection};
 
 /// One detected R peak.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,8 +106,28 @@ pub struct DetectScratch {
     deriv: Vec<f64>,
     squared: Vec<f64>,
     mwi: Vec<f64>,
+    /// Integration-window ring for the fused energy kernel (f64 path).
+    ring: Vec<f64>,
+    /// Padded filtfilt work buffer for the fused f64 path: the filtered
+    /// samples live at `ext64[pad..pad + n]` after the band-pass and are
+    /// sliced in place, never copied out.
+    ext64: Vec<f64>,
+    /// f32-path twins: padded filtfilt extension (also sliced in place),
+    /// MWI ring and integrated signal (the input window is narrowed on
+    /// the fly while the extension is built, never stored).
+    ext32: Vec<f32>,
+    ring32: Vec<f32>,
+    mwi32: Vec<f32>,
+    /// Candidate list for the quadratic reference peak filter.
     peak_cand: Vec<usize>,
+    /// Packed `(descending total-order key, index)` candidates for the
+    /// bucket-grid filter, one buffer per precision (`f32` packs key and
+    /// index into a single word).
+    peak_cand_keyed: Vec<(u64, usize)>,
+    peak_cand_keyed32: Vec<u64>,
     local_peaks: Vec<usize>,
+    /// Bucket grid for the exact minimum-distance peak filter.
+    peak_buckets: Vec<usize>,
     qrs: Vec<usize>,
     rr_recent: Vec<f64>,
     /// Cached band-pass design, keyed by `(band_lo, band_hi, fs)`.
@@ -137,6 +158,10 @@ impl PanTompkins {
     /// all intermediate buffers in `scratch` so repeated calls allocate
     /// nothing after warm-up. Bit-identical to [`PanTompkins::detect`].
     ///
+    /// Runs at [`ExtractPrecision::F64`]; see
+    /// [`PanTompkins::detect_into_with`] for the precision-dispatching
+    /// form.
+    ///
     /// # Errors
     ///
     /// Same contract as [`PanTompkins::detect`]; on error `out` is left
@@ -148,7 +173,179 @@ impl PanTompkins {
         scratch: &mut DetectScratch,
         out: &mut QrsDetection,
     ) -> Result<(), DspError> {
+        self.detect_into_with(ecg, fs, ExtractPrecision::F64, scratch, out)
+    }
+
+    /// Precision-dispatching detector. The whole sample-rate pipeline —
+    /// zero-phase band-pass, the fused derivative → squaring →
+    /// integration energy kernel, the bucket-grid peak filter and the
+    /// adaptive thresholding/search-back/refinement stages — runs at
+    /// `precision` through one generic code path, so the `F32` variant
+    /// pays no widening passes and differs from `F64` only through
+    /// rounding. Interval bookkeeping (RR averages, search-back gap
+    /// timing) is index-derived and stays in `f64` at both precisions.
+    ///
+    /// At [`ExtractPrecision::F64`] this is bit-identical to the
+    /// pre-fusion [`PanTompkins::detect_into_reference`]; at
+    /// [`ExtractPrecision::F32`] detections are tolerance-pinned against
+    /// the `f64` reference by the `dsp_kernel_equivalence` suite.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PanTompkins::detect`]; on error `out` is left
+    /// cleared.
+    pub fn detect_into_with(
+        &self,
+        ecg: &[f64],
+        fs: f64,
+        precision: ExtractPrecision,
+        scratch: &mut DetectScratch,
+        out: &mut QrsDetection,
+    ) -> Result<(), DspError> {
         out.peaks.clear();
+        let (min_len, win) = self.validate_and_cache(ecg, fs, scratch)?;
+        let bp = &scratch.bandpass.as_ref().expect("cached band-pass").3;
+        let refractory = (self.refractory_s * fs).round() as usize;
+        match precision {
+            ExtractPrecision::F64 => {
+                // 1) Band-pass; the filtered samples stay inside the
+                //    padded work buffer (no copy-out pass), downstream
+                //    stages slice it. 2–4) fused derivative/squaring/MWI.
+                let filtered: &[f64] = if bp.len() <= kernels::MAX_CHAIN_SECTIONS {
+                    let mut secs = [SosSection::<f64>::default(); kernels::MAX_CHAIN_SECTIONS];
+                    for (dst, s) in secs.iter_mut().zip(bp.sections().iter()) {
+                        *dst = SosSection::from_f64(s.b, s.a);
+                    }
+                    let pad =
+                        kernels::filtfilt_fused_in_ext(&secs[..bp.len()], ecg, &mut scratch.ext64);
+                    &scratch.ext64[pad..pad + ecg.len()]
+                } else {
+                    bp.filtfilt_into(ecg, &mut scratch.filtfilt, &mut scratch.filtered);
+                    &scratch.filtered
+                };
+                kernels::qrs_energy_into(filtered, fs, win, &mut scratch.ring, &mut scratch.mwi);
+                // 5a) Local maxima with the exact bucket-grid filter,
+                // 5b–6) adaptive thresholds, search-back, refinement.
+                local_maxima_into(
+                    &scratch.mwi,
+                    refractory.max(1),
+                    &mut scratch.peak_cand_keyed,
+                    &mut scratch.local_peaks,
+                    &mut scratch.peak_buckets,
+                );
+                self.decide_from_mwi(
+                    fs,
+                    win,
+                    min_len,
+                    &scratch.mwi,
+                    filtered,
+                    &scratch.local_peaks,
+                    &mut scratch.qrs,
+                    &mut scratch.rr_recent,
+                    out,
+                );
+            }
+            ExtractPrecision::F32 => {
+                let mut secs = [SosSection::<f32>::default(); kernels::MAX_CHAIN_SECTIONS];
+                for (dst, s) in secs.iter_mut().zip(bp.sections().iter()) {
+                    *dst = SosSection::from_f64(s.b, s.a);
+                }
+                let pad = kernels::filtfilt_fused_from_f64_in_ext(
+                    &secs[..bp.len()],
+                    ecg,
+                    &mut scratch.ext32,
+                );
+                let filtered: &[f32] = &scratch.ext32[pad..pad + ecg.len()];
+                kernels::qrs_energy_into(
+                    filtered,
+                    fs,
+                    win,
+                    &mut scratch.ring32,
+                    &mut scratch.mwi32,
+                );
+                local_maxima_into(
+                    &scratch.mwi32,
+                    refractory.max(1),
+                    &mut scratch.peak_cand_keyed32,
+                    &mut scratch.local_peaks,
+                    &mut scratch.peak_buckets,
+                );
+                self.decide_from_mwi(
+                    fs,
+                    win,
+                    min_len,
+                    &scratch.mwi32,
+                    filtered,
+                    &scratch.local_peaks,
+                    &mut scratch.qrs,
+                    &mut scratch.rr_recent,
+                    out,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Pre-fusion reference detector: per-section filtfilt sweeps, three
+    /// staged energy passes with full-signal intermediates, and the
+    /// quadratic minimum-distance peak filter. Kept (on the shared
+    /// [`DetectScratch`]) as the bit-identity reference for
+    /// [`PanTompkins::detect_into`] and as the honest "f64 legacy" bench
+    /// row.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PanTompkins::detect`]; on error `out` is left
+    /// cleared.
+    pub fn detect_into_reference(
+        &self,
+        ecg: &[f64],
+        fs: f64,
+        scratch: &mut DetectScratch,
+        out: &mut QrsDetection,
+    ) -> Result<(), DspError> {
+        out.peaks.clear();
+        let (min_len, win) = self.validate_and_cache(ecg, fs, scratch)?;
+        let bp = &scratch.bandpass.as_ref().expect("cached band-pass").3;
+        // 1) Band-pass, per-section sweeps with two buffer reversals.
+        bp.filtfilt_into_reference(ecg, &mut scratch.filtfilt, &mut scratch.filtered);
+
+        // 2) Derivative, 3) squaring, 4) moving-window integration.
+        five_point_derivative_into(&scratch.filtered, fs, &mut scratch.deriv);
+        scratch.squared.clear();
+        scratch.squared.extend(scratch.deriv.iter().map(|v| v * v));
+        moving_average_into(&scratch.squared, win, &mut scratch.mwi)?;
+
+        // 5a) Local maxima, quadratic greedy distance filter.
+        let refractory = (self.refractory_s * fs).round() as usize;
+        local_maxima_into_reference(
+            &scratch.mwi,
+            refractory.max(1),
+            &mut scratch.peak_cand,
+            &mut scratch.local_peaks,
+        );
+        self.decide_from_mwi(
+            fs,
+            win,
+            min_len,
+            &scratch.mwi,
+            &scratch.filtered,
+            &scratch.local_peaks,
+            &mut scratch.qrs,
+            &mut scratch.rr_recent,
+            out,
+        );
+        Ok(())
+    }
+
+    /// Validates inputs, refreshes the cached band-pass design and
+    /// returns `(learning-phase length, integration window)`.
+    fn validate_and_cache(
+        &self,
+        ecg: &[f64],
+        fs: f64,
+        scratch: &mut DetectScratch,
+    ) -> Result<(usize, usize), DspError> {
         if fs <= 0.0 {
             return Err(DspError::InvalidParameter {
                 name: "fs",
@@ -162,8 +359,6 @@ impl PanTompkins {
                 got: ecg.len(),
             });
         }
-
-        // 1) Band-pass (design cached across calls at a fixed rate).
         let rebuild = match &scratch.bandpass {
             Some((lo, hi, f, _)) => *lo != self.band_lo_hz || *hi != self.band_hi_hz || *f != fs,
             None => true,
@@ -172,38 +367,45 @@ impl PanTompkins {
             let bp = SosCascade::butterworth_bandpass(self.band_lo_hz, self.band_hi_hz, fs, 1)?;
             scratch.bandpass = Some((self.band_lo_hz, self.band_hi_hz, fs, bp));
         }
-        let bp = &scratch.bandpass.as_ref().expect("cached band-pass").3;
-        bp.filtfilt_into(ecg, &mut scratch.filtfilt, &mut scratch.filtered);
-        let filtered = &scratch.filtered;
-
-        // 2) Derivative, 3) squaring, 4) moving-window integration.
-        five_point_derivative_into(filtered, fs, &mut scratch.deriv);
-        scratch.squared.clear();
-        scratch.squared.extend(scratch.deriv.iter().map(|v| v * v));
         let win = ((self.integration_window_s * fs).round() as usize).max(1);
-        moving_average_into(&scratch.squared, win, &mut scratch.mwi)?;
-        let mwi = &scratch.mwi;
+        Ok((min_len, win))
+    }
 
-        // 5) Adaptive thresholding on the MWI signal.
+    /// Stages 5b–6, shared by every detector variant: adaptive dual
+    /// thresholds with search-back over `local_peaks`/`mwi`, then peak
+    /// refinement on the band-passed `filtered` signal. Generic over
+    /// precision — threshold arithmetic runs in `T` (bit-identical to the
+    /// historical `f64` code at `T = f64`), while RR/gap bookkeeping is
+    /// index-derived and stays in `f64` so the search-back trigger logic
+    /// is precision-independent.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_from_mwi<T: kernels::Scalar>(
+        &self,
+        fs: f64,
+        win: usize,
+        min_len: usize,
+        mwi: &[T],
+        filtered: &[T],
+        local_peaks: &[usize],
+        qrs: &mut Vec<usize>,
+        rr_recent: &mut Vec<f64>,
+        out: &mut QrsDetection,
+    ) {
         let refractory = (self.refractory_s * fs).round() as usize;
-        local_maxima_into(
-            mwi,
-            refractory.max(1),
-            &mut scratch.peak_cand,
-            &mut scratch.local_peaks,
-        );
-        let local_peaks = &scratch.local_peaks;
+        let quarter = T::from_f64(0.25);
+        let half_t = T::from_f64(0.5);
+        let eighth = T::from_f64(0.125);
+        let seven_eighths = T::from_f64(0.875);
+        let three_quarters = T::from_f64(0.75);
 
         // Initialise thresholds from the first 2 s learning phase.
         let learn = &mwi[..min_len];
-        let mut spki = crate::stats::max(learn) * 0.25; // running signal peak
-        let mut npki = crate::stats::mean(learn) * 0.5; // running noise peak
-        let mut threshold1 = npki + 0.25 * (spki - npki);
+        let mut spki = max_t(learn) * quarter; // running signal peak
+        let mut npki = mean_t(learn) * half_t; // running noise peak
+        let mut threshold1 = npki + quarter * (spki - npki);
 
-        scratch.qrs.clear();
-        scratch.rr_recent.clear();
-        let qrs = &mut scratch.qrs;
-        let rr_recent = &mut scratch.rr_recent;
+        qrs.clear();
+        rr_recent.clear();
         let mut last_qrs_idx: Option<usize> = None;
 
         let mut i = 0usize;
@@ -224,12 +426,12 @@ impl PanTompkins {
                 }
                 qrs.push(p);
                 last_qrs_idx = Some(p);
-                spki = 0.125 * v + 0.875 * spki;
+                spki = eighth * v + seven_eighths * spki;
             } else if !in_refractory {
                 // Noise peak.
-                npki = 0.125 * v + 0.875 * npki;
+                npki = eighth * v + seven_eighths * npki;
             }
-            threshold1 = npki + 0.25 * (spki - npki);
+            threshold1 = npki + quarter * (spki - npki);
 
             // Search-back: if too much time has elapsed without a QRS,
             // re-scan the gap with half threshold.
@@ -237,7 +439,7 @@ impl PanTompkins {
                 let rr_avg = crate::stats::mean(rr_recent);
                 let gap = (p.saturating_sub(l)) as f64 / fs;
                 if gap > self.searchback_factor * rr_avg {
-                    let t2 = threshold1 * 0.5;
+                    let t2 = threshold1 * half_t;
                     // Find the biggest missed local peak strictly inside
                     // the gap that clears threshold2.
                     let cand = local_peaks
@@ -251,7 +453,7 @@ impl PanTompkins {
                             qrs.push(c);
                             qrs.sort_unstable();
                             last_qrs_idx = Some(*qrs.last().expect("non-empty"));
-                            spki = 0.25 * mwi[c] + 0.75 * spki;
+                            spki = quarter * mwi[c] + three_quarters * spki;
                         }
                     }
                 }
@@ -268,11 +470,15 @@ impl PanTompkins {
         for &p in qrs.iter() {
             let lo = p.saturating_sub(half);
             let hi = (p + half / 2).min(filtered.len() - 1);
+            // Conditional-move argmax: `best_v` always mirrors
+            // `filtered[best]`, so the selection (strict `>`, earliest
+            // index wins ties) is exactly the branchy scan's.
             let mut best = lo;
-            for j in lo..=hi {
-                if filtered[j] > filtered[best] {
-                    best = j;
-                }
+            let mut best_v = filtered[lo];
+            for (off, &fj) in filtered[lo..=hi].iter().enumerate().skip(1) {
+                let better = fj > best_v;
+                best = if better { lo + off } else { best };
+                best_v = if better { fj } else { best_v };
             }
             // De-duplicate refined peaks that collapse to the same R wave.
             if let Some(l) = last_index {
@@ -284,27 +490,132 @@ impl PanTompkins {
             out.peaks.push(RPeak {
                 index: best,
                 time_s: best as f64 / fs,
-                amplitude: filtered[best],
+                amplitude: filtered[best].to_f64(),
             });
         }
-        Ok(())
     }
 }
 
+/// Sequential-fold mean in `T`, mirroring [`crate::stats::mean`]'s
+/// accumulation order exactly (bit-identical at `T = f64`).
+fn mean_t<T: kernels::Scalar>(x: &[T]) -> T {
+    if x.is_empty() {
+        return T::ZERO;
+    }
+    let mut s = T::ZERO;
+    for &v in x {
+        s += v;
+    }
+    s / T::from_f64(x.len() as f64)
+}
+
+/// NaN-ignoring maximum in `T`, mirroring [`crate::stats::max`].
+fn max_t<T: kernels::Scalar>(x: &[T]) -> T {
+    x.iter().copied().fold(T::NEG_INFINITY, T::maxv)
+}
+
 /// Indices of strict local maxima separated by at least `min_dist` samples
-/// (greedy, keeps the larger of two close peaks). One-shot reference twin
-/// of [`local_maxima_into`], kept for the property tests.
+/// (greedy, keeps the larger of two close peaks). One-shot wrapper over
+/// [`local_maxima_into`], kept for the property tests.
 #[cfg(test)]
 fn local_maxima(x: &[f64], min_dist: usize) -> Vec<usize> {
     let mut cand = Vec::new();
     let mut kept = Vec::new();
-    local_maxima_into(x, min_dist, &mut cand, &mut kept);
+    let mut buckets = Vec::new();
+    local_maxima_into(x, min_dist, &mut cand, &mut kept, &mut buckets);
     kept
 }
 
-/// Scratch-reusing twin of [`local_maxima`]: `cand` is a work buffer,
-/// `kept` receives the result (both cleared first).
-fn local_maxima_into(x: &[f64], min_dist: usize, cand: &mut Vec<usize>, kept: &mut Vec<usize>) {
+/// Scratch-reusing minimum-distance peak filter: `cand`/`buckets` are work
+/// buffers, `kept` receives the result (all cleared first).
+///
+/// Exact-identical to [`local_maxima_into_reference`] but O(cand) instead
+/// of O(cand × kept), with two constant-factor tricks on top:
+///
+/// - **Bitmask sweep.** The strict-maximum predicate is evaluated
+///   branchlessly over 64-sample blocks into a peak bitmask (straight-line
+///   compare/shift/or, amenable to vectorisation), then only the set bits
+///   are walked — the sparse candidate hits (~10% of samples) never reach
+///   the branch predictor as data-dependent branches.
+/// - **Packed-key sort.** Candidates carry `(!value.sort_key(), index)`
+///   packed into [`kernels::Scalar::Packed`] integers, whose ascending
+///   order is exactly the reference's descending-`total_cmp` /
+///   ascending-index stable sort — the sort compares registers instead of
+///   re-reading `x` per comparison (one register per candidate at `f32`).
+///
+/// The bucket grid then enforces the distance constraint: any already
+/// kept peak within `min_dist` of candidate `c` lies in bucket
+/// `c / min_dist ± 1`, and each bucket holds at most one kept peak (two
+/// peaks in one bucket would be closer than `min_dist`), so acceptance
+/// decisions agree with the reference candidate by candidate.
+fn local_maxima_into<T: kernels::Scalar>(
+    x: &[T],
+    min_dist: usize,
+    cand: &mut Vec<T::Packed>,
+    kept: &mut Vec<usize>,
+    buckets: &mut Vec<usize>,
+) {
+    kept.clear();
+    let n = x.len();
+    if n < 3 {
+        return;
+    }
+    cand.clear();
+    // Peak positions are 1..n-1; block k of the mask covers position
+    // i + k. Candidate order (ascending index) matches the windows(3)
+    // sweep exactly, so the packed-key sort below sees the same input.
+    const BLOCK: usize = 64;
+    let mut i = 1usize;
+    while i + BLOCK < n {
+        let w = &x[i - 1..i + BLOCK + 1];
+        let mut mask = 0u64;
+        for k in 0..BLOCK {
+            mask |= u64::from((w[k + 1] > w[k]) & (w[k + 1] >= w[k + 2])) << k;
+        }
+        while mask != 0 {
+            let k = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            cand.push(x[i + k].pack_desc(i + k));
+        }
+        i += BLOCK;
+    }
+    while i + 1 < n {
+        let v = x[i];
+        if (v > x[i - 1]) & (v >= x[i + 1]) {
+            cand.push(v.pack_desc(i));
+        }
+        i += 1;
+    }
+    cand.sort_unstable();
+    let nb = n / min_dist + 2;
+    buckets.clear();
+    buckets.resize(nb, usize::MAX);
+    'outer: for &p in cand.iter() {
+        let c = T::unpack_index(p);
+        let b = c / min_dist;
+        let lo = b.saturating_sub(1);
+        let hi = (b + 1).min(nb - 1);
+        for &k in &buckets[lo..=hi] {
+            if k != usize::MAX && c.abs_diff(k) < min_dist {
+                continue 'outer;
+            }
+        }
+        buckets[b] = c;
+        kept.push(c);
+    }
+    kept.sort_unstable();
+}
+
+/// Quadratic greedy reference for [`local_maxima_into`]: every candidate
+/// is checked against every kept peak. Retained for
+/// [`PanTompkins::detect_into_reference`] and the bucket-grid property
+/// tests.
+fn local_maxima_into_reference(
+    x: &[f64],
+    min_dist: usize,
+    cand: &mut Vec<usize>,
+    kept: &mut Vec<usize>,
+) {
     cand.clear();
     cand.extend((1..x.len().saturating_sub(1)).filter(|&i| x[i] > x[i - 1] && x[i] >= x[i + 1]));
     // Enforce minimum distance, preferring larger peaks.
@@ -497,5 +808,85 @@ mod tests {
         assert!(peaks.contains(&5));
         assert!(peaks.contains(&1));
         assert!(!peaks.contains(&3)); // too close to index 1 or 5, smaller
+    }
+
+    /// Deterministic xorshift64* stream in [0, 1).
+    fn xorshift_stream(mut state: u64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bucketed_local_maxima_matches_greedy_reference() {
+        let mut cand = Vec::new();
+        let mut kept = Vec::new();
+        let mut buckets = Vec::new();
+        let mut cand_ref = Vec::new();
+        let mut kept_ref = Vec::new();
+        for seed in [1u64, 42, 9_000_001] {
+            for n in [3usize, 10, 257, 2048] {
+                let x = xorshift_stream(seed, n);
+                for min_dist in [1usize, 2, 5, 26, 100, 3000] {
+                    local_maxima_into(&x, min_dist, &mut cand, &mut kept, &mut buckets);
+                    local_maxima_into_reference(&x, min_dist, &mut cand_ref, &mut kept_ref);
+                    assert_eq!(kept, kept_ref, "seed {seed} n {n} min_dist {min_dist}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_detect_matches_reference_bitwise() {
+        let fs = 128.0;
+        let det = PanTompkins::default();
+        let mut scratch = DetectScratch::default();
+        let mut fused = QrsDetection::default();
+        let mut reference = QrsDetection::default();
+        for (rr, dur) in [(0.8, 30.0), (0.5, 20.0), (1.1, 25.0)] {
+            let ecg = synth_ecg(fs, dur, &regular_beats(0.5, rr, dur - 0.5));
+            det.detect_into(&ecg, fs, &mut scratch, &mut fused).unwrap();
+            det.detect_into_reference(&ecg, fs, &mut scratch, &mut reference)
+                .unwrap();
+            assert_eq!(fused.peaks.len(), reference.peaks.len(), "rr {rr}");
+            for (a, b) in fused.peaks.iter().zip(reference.peaks.iter()) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+                assert_eq!(a.amplitude.to_bits(), b.amplitude.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn f32_detection_tracks_f64_on_clean_rhythms() {
+        let fs = 128.0;
+        let det = PanTompkins::default();
+        let mut scratch = DetectScratch::default();
+        let mut lo = QrsDetection::default();
+        let mut hi = QrsDetection::default();
+        for (rr, dur) in [(0.8, 30.0), (0.6, 24.0)] {
+            let beats = regular_beats(0.5, rr, dur - 0.5);
+            let ecg = synth_ecg(fs, dur, &beats);
+            det.detect_into_with(&ecg, fs, ExtractPrecision::F32, &mut scratch, &mut lo)
+                .unwrap();
+            det.detect_into(&ecg, fs, &mut scratch, &mut hi).unwrap();
+            assert_eq!(lo.peaks.len(), hi.peaks.len(), "rr {rr}");
+            for (a, b) in lo.peaks.iter().zip(hi.peaks.iter()) {
+                // Same beats: indices within one sample, amplitudes within
+                // f32 rounding of the band-passed signal.
+                assert!(a.index.abs_diff(b.index) <= 1, "{} vs {}", a.index, b.index);
+                assert!(
+                    (a.amplitude - b.amplitude).abs() <= 1e-4 * b.amplitude.abs().max(1.0),
+                    "{} vs {}",
+                    a.amplitude,
+                    b.amplitude
+                );
+            }
+        }
     }
 }

@@ -105,8 +105,20 @@ pub fn percentile(x: &[f64], p: f64) -> Result<f64, DspError> {
             reason: "percentile must be within [0, 100]",
         });
     }
-    let mut sorted = x.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
+    // Short inputs — the dominant shape: running medians over a handful of
+    // beats — sort on the stack instead of allocating. `total_cmp`-equal
+    // values are bit-identical, so the unstable sort returns exactly the
+    // sequence the stable sort would.
+    let mut stack = [0.0f64; 16];
+    let mut heap: Vec<f64>;
+    let sorted: &mut [f64] = if x.len() <= stack.len() {
+        stack[..x.len()].copy_from_slice(x);
+        &mut stack[..x.len()]
+    } else {
+        heap = x.to_vec();
+        &mut heap
+    };
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -5,8 +5,10 @@ use crate::edr::extract_edr;
 use crate::error::FeatureError;
 use crate::hrv::{clean_rr, hrv_features, HRV_NAMES, N_HRV};
 use crate::lorenz::{lorenz_features, LORENZ_NAMES, N_LORENZ};
-use crate::psd_feats::{psd_features, psd_names, N_PSD};
+use crate::psd_feats::{psd_features_reference, psd_features_with, psd_names, N_PSD};
+use biodsp::kernels::ExtractPrecision;
 use biodsp::qrs::{DetectScratch, PanTompkins, QrsDetection};
+use std::cell::RefCell;
 
 /// Total feature count (8 HRV + 7 Lorentz + 9 AR + 29 PSD = 53).
 pub const N_FEATURES: usize = N_HRV + N_LORENZ + N_AR + N_PSD;
@@ -71,14 +73,41 @@ pub struct WindowExtractor {
     pub fs: f64,
     /// QRS detector configuration.
     pub detector: PanTompkins,
+    /// Arithmetic precision of the sample-rate hot loops (band-pass
+    /// filtering, QRS energy, Welch FFTs). [`ExtractPrecision::F64`] —
+    /// the default — is bit-identical to the historical pipeline;
+    /// [`ExtractPrecision::F32`] trades last-bits feature accuracy for
+    /// speed, with classification identity pinned by the
+    /// `dsp_kernel_equivalence` suite. Beat-rate stages (HRV, Lorenz, AR,
+    /// EDR resampling) always run in `f64` — they are two orders of
+    /// magnitude off the hot path.
+    pub precision: ExtractPrecision,
+}
+
+thread_local! {
+    /// Scratch for [`WindowExtractor::extract`] one-shots, so ad-hoc
+    /// callers (matrix builders, tests, tools) get warm buffers instead of
+    /// re-allocating a full [`ExtractScratch`] per window.
+    static ONE_SHOT_SCRATCH: RefCell<ExtractScratch> = RefCell::new(ExtractScratch::default());
 }
 
 impl WindowExtractor {
-    /// Extractor with default Pan–Tompkins settings.
+    /// Extractor with default Pan–Tompkins settings at
+    /// [`ExtractPrecision::F64`].
     pub fn new(fs: f64) -> Self {
         WindowExtractor {
             fs,
             detector: PanTompkins::default(),
+            precision: ExtractPrecision::default(),
+        }
+    }
+
+    /// Extractor with default Pan–Tompkins settings at the given
+    /// precision.
+    pub fn with_precision(fs: f64, precision: ExtractPrecision) -> Self {
+        WindowExtractor {
+            precision,
+            ..WindowExtractor::new(fs)
         }
     }
 
@@ -87,6 +116,8 @@ impl WindowExtractor {
     /// One-shot convenience over [`WindowExtractor::extract_into`], which
     /// window-matrix builders and the streaming path use with a persistent
     /// [`ExtractScratch`]; both produce bit-identical feature vectors.
+    /// Routes through a thread-local scratch, so repeated one-shot calls
+    /// on one thread reuse warm buffers.
     ///
     /// # Errors
     ///
@@ -95,7 +126,8 @@ impl WindowExtractor {
     /// the detector's 2-second learning phase, etc.).
     pub fn extract(&self, ecg: &[f64]) -> Result<Vec<f64>, FeatureError> {
         let mut out = Vec::with_capacity(N_FEATURES);
-        self.extract_into(ecg, &mut ExtractScratch::default(), &mut out)?;
+        ONE_SHOT_SCRATCH
+            .with(|scratch| self.extract_into(ecg, &mut scratch.borrow_mut(), &mut out))?;
         Ok(out)
     }
 
@@ -119,7 +151,13 @@ impl WindowExtractor {
     ) -> Result<(), FeatureError> {
         out.clear();
         self.detector
-            .detect_into(ecg, self.fs, &mut scratch.detect, &mut scratch.detection)
+            .detect_into_with(
+                ecg,
+                self.fs,
+                self.precision,
+                &mut scratch.detect,
+                &mut scratch.detection,
+            )
             .map_err(FeatureError::Dsp)?;
         let det = &scratch.detection;
         if det.peaks.len() < 8 {
@@ -134,7 +172,46 @@ impl WindowExtractor {
         out.extend_from_slice(&hrv_features(&rr));
         out.extend_from_slice(&lorenz_features(&rr));
         out.extend_from_slice(&ar_features(&edr));
-        out.extend_from_slice(&psd_features(&edr));
+        out.extend_from_slice(&psd_features_with(&edr, self.precision));
+        debug_assert_eq!(out.len(), N_FEATURES);
+        Ok(())
+    }
+
+    /// Pre-fusion reference extraction: staged QRS detection
+    /// ([`biodsp::qrs::PanTompkins::detect_into_reference`]) and the
+    /// full-complex-FFT Welch path ([`psd_features_reference`]), always in
+    /// `f64`. Kept as the honest baseline for the `dsp_kernel_equivalence`
+    /// suite and the legacy bench row; at [`ExtractPrecision::F64`],
+    /// [`WindowExtractor::extract_into`] matches it bit for bit on the
+    /// beat-derived features and to ≤1e-12 relative on the PSD bands.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`WindowExtractor::extract_into`].
+    pub fn extract_into_reference(
+        &self,
+        ecg: &[f64],
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), FeatureError> {
+        out.clear();
+        self.detector
+            .detect_into_reference(ecg, self.fs, &mut scratch.detect, &mut scratch.detection)
+            .map_err(FeatureError::Dsp)?;
+        let det = &scratch.detection;
+        if det.peaks.len() < 8 {
+            return Err(FeatureError::TooFewBeats {
+                needed: 8,
+                got: det.peaks.len(),
+            });
+        }
+        let rr = clean_rr(&det.rr_intervals());
+        let edr = extract_edr(det)?;
+        out.reserve(N_FEATURES);
+        out.extend_from_slice(&hrv_features(&rr));
+        out.extend_from_slice(&lorenz_features(&rr));
+        out.extend_from_slice(&ar_features(&edr));
+        out.extend_from_slice(&psd_features_reference(&edr));
         debug_assert_eq!(out.len(), N_FEATURES);
         Ok(())
     }

@@ -9,7 +9,8 @@
 //! correlation-driven feature selection prunes first.
 
 use crate::edr::EdrSeries;
-use biodsp::psd::welch;
+use biodsp::kernels::ExtractPrecision;
+use biodsp::psd::{welch_reference, welch_with};
 use biodsp::window::WindowKind;
 
 /// Number of PSD band features.
@@ -47,22 +48,64 @@ pub fn psd_names() -> Vec<String> {
 /// power-of-two range per feature (Eq 6) must cover the feature's spread.
 ///
 /// Degenerate series yield all zeros.
+///
+/// Uses the plan-cached real-input Welch path at
+/// [`ExtractPrecision::F64`]; see [`psd_features_with`] and
+/// [`psd_features_reference`].
 pub fn psd_features(edr: &EdrSeries) -> [f64; N_PSD] {
+    psd_features_with(edr, ExtractPrecision::F64)
+}
+
+/// Welch segment length for an EDR series of `n` samples.
+fn edr_nperseg(n: usize) -> usize {
+    n.next_power_of_two()
+        .min(256)
+        .min(n.next_power_of_two() / 2)
+        .max(16)
+}
+
+/// Precision-dispatching twin of [`psd_features`]: the Welch
+/// detrend/window/FFT arithmetic runs at `precision`, band integration and
+/// log-compression stay `f64`.
+pub fn psd_features_with(edr: &EdrSeries, precision: ExtractPrecision) -> [f64; N_PSD] {
     let mut out = [0.0; N_PSD];
     if edr.samples.len() < 16 {
         return out;
     }
-    let nperseg = edr
-        .samples
-        .len()
-        .next_power_of_two()
-        .min(256)
-        .min(edr.samples.len().next_power_of_two() / 2)
-        .max(16);
-    let spec = match welch(&edr.samples, edr.fs, nperseg, 0.5, WindowKind::Hann) {
+    let nperseg = edr_nperseg(edr.samples.len());
+    let spec = match welch_with(
+        &edr.samples,
+        edr.fs,
+        nperseg,
+        0.5,
+        WindowKind::Hann,
+        precision,
+    ) {
         Ok(s) => s,
         Err(_) => return out,
     };
+    band_log_powers(&spec, &mut out);
+    out
+}
+
+/// Pre-fusion reference twin of [`psd_features`], built on
+/// [`welch_reference`] (full complex FFT, window rebuilt per segment).
+/// Kept for the `dsp_kernel_equivalence` suite and the legacy bench row.
+pub fn psd_features_reference(edr: &EdrSeries) -> [f64; N_PSD] {
+    let mut out = [0.0; N_PSD];
+    if edr.samples.len() < 16 {
+        return out;
+    }
+    let nperseg = edr_nperseg(edr.samples.len());
+    let spec = match welch_reference(&edr.samples, edr.fs, nperseg, 0.5, WindowKind::Hann) {
+        Ok(s) => s,
+        Err(_) => return out,
+    };
+    band_log_powers(&spec, &mut out);
+    out
+}
+
+fn band_log_powers(spec: &biodsp::psd::Spectrum, out: &mut [f64; N_PSD]) {
     let total = spec.total_power().max(f64::EPSILON);
     for (k, o) in out.iter_mut().enumerate() {
         let (lo, hi) = band_limits(k);
@@ -75,7 +118,6 @@ pub fn psd_features(edr: &EdrSeries) -> [f64; N_PSD] {
         let p = spec.band_power(lo, hi) / total;
         *o = (1.0 + 100.0 * p).ln();
     }
-    out
 }
 
 #[cfg(test)]

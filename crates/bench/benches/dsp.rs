@@ -23,7 +23,7 @@ use biodsp::window::WindowKind;
 use biodsp::ExtractPrecision;
 use ecg_features::ar_feats::ar_features;
 use ecg_features::edr::extract_edr;
-use ecg_features::extract::{ExtractScratch, WindowExtractor};
+use ecg_features::extract::{BatchExtractScratch, ExtractScratch, WindowExtractor};
 use ecg_features::hrv::{clean_rr, hrv_features};
 use ecg_features::lorenz::lorenz_features;
 use ecg_features::psd_feats::{psd_features, psd_features_reference};
@@ -135,6 +135,44 @@ fn main() {
         bb(&row);
     });
 
+    // --- (7) lane-batched extraction: SoA lanes vs a scalar loop ---
+    // The same 8 real windows per iteration in every row, so the medians
+    // compare like for like: the scalar loop extracts them one at a
+    // time, the lane rows split them into groups of 2, 4 or 8 and run
+    // each group lock-step through the dense DSP phases.
+    let group: Vec<&[f64]> = labels
+        .iter()
+        .take(8)
+        .map(|l| rec.window_samples(l))
+        .collect();
+    assert_eq!(group.len(), 8, "Tiny session 0 must yield 8 windows");
+    let mut batch = BatchExtractScratch::default();
+    let extract_scalar_loop = h.bench("extract_batch_scalar_loop", || {
+        for w in &group {
+            ext_fused.extract_into(w, &mut scratch, &mut row).unwrap();
+            bb(&row);
+        }
+    });
+    let extract_lanes2 = h.bench("extract_batch_lanes2", || {
+        for pair in group.chunks_exact(2) {
+            ext_fused.extract_batch_into(pair, &mut batch, |_, r| {
+                bb(r.unwrap());
+            });
+        }
+    });
+    let extract_lanes4 = h.bench("extract_batch_lanes4", || {
+        for quad in group.chunks_exact(4) {
+            ext_fused.extract_batch_into(quad, &mut batch, |_, r| {
+                bb(r.unwrap());
+            });
+        }
+    });
+    let extract_lanes8 = h.bench("extract_batch_lanes8", || {
+        ext_fused.extract_batch_into(&group, &mut batch, |_, r| {
+            bb(r.unwrap());
+        });
+    });
+
     h.report();
     println!("\nspeedups (median, >1 means the fused front-end wins):");
     println!(
@@ -168,6 +206,18 @@ fn main() {
     println!(
         "  extract f32 vs fused f64:      {:.2}x",
         extract_fused / extract_f32
+    );
+    println!(
+        "  extract lanes2 vs scalar loop: {:.2}x",
+        extract_scalar_loop / extract_lanes2
+    );
+    println!(
+        "  extract lanes4 vs scalar loop: {:.2}x",
+        extract_scalar_loop / extract_lanes4
+    );
+    println!(
+        "  extract lanes8 vs scalar loop: {:.2}x",
+        extract_scalar_loop / extract_lanes8
     );
 
     // Smoke runs must not clobber the committed perf-trajectory baseline:
@@ -214,6 +264,18 @@ fn main() {
             (
                 "extract_f32_vs_fused_speedup",
                 format!("{:.3}", extract_fused / extract_f32),
+            ),
+            (
+                "extract_lanes2_vs_scalar_speedup",
+                format!("{:.3}", extract_scalar_loop / extract_lanes2),
+            ),
+            (
+                "extract_lanes4_vs_scalar_speedup",
+                format!("{:.3}", extract_scalar_loop / extract_lanes4),
+            ),
+            (
+                "extract_lanes8_vs_scalar_speedup",
+                format!("{:.3}", extract_scalar_loop / extract_lanes8),
             ),
         ],
     );

@@ -1,7 +1,7 @@
 //! Dataset assembly: synthetic cohort → labelled 53-feature matrix.
 
-use ecg_features::extract::{feature_names, ExtractScratch, WindowExtractor};
-use ecg_features::{FeatureMatrix, N_FEATURES};
+use ecg_features::extract::{feature_names, BatchExtractScratch, WindowExtractor};
+use ecg_features::FeatureMatrix;
 use ecg_sim::dataset::DatasetSpec;
 
 /// Statistics from one assembly run.
@@ -19,6 +19,11 @@ pub struct AssembleStats {
 /// one session at a time so memory stays bounded. Windows whose extraction
 /// fails are dropped (and counted), mirroring how unusable clinical
 /// excerpts are excluded.
+///
+/// Each session's consecutive windows are packed into SoA lane groups
+/// ([`WindowExtractor::extract_batch_into`]) so LOSO/sweep training
+/// shares the lane-batched dense DSP phases; rows are bit-identical to
+/// one-at-a-time extraction, in the same window order.
 pub fn build_feature_matrix_with_stats(spec: &DatasetSpec) -> (FeatureMatrix, AssembleStats) {
     let mut m = FeatureMatrix {
         feature_names: feature_names(),
@@ -26,27 +31,27 @@ pub fn build_feature_matrix_with_stats(spec: &DatasetSpec) -> (FeatureMatrix, As
     };
     let mut stats = AssembleStats::default();
     let window_s = spec.scale.window_s();
-    // One scratch + one row buffer across every window of every session:
-    // the extraction hot loop allocates nothing after the first window.
-    let mut scratch = ExtractScratch::default();
-    let mut row = Vec::with_capacity(N_FEATURES);
+    // One batch scratch across every window of every session: the
+    // extraction hot loop allocates nothing after the first lane group.
+    let mut scratch = BatchExtractScratch::default();
     for session in &spec.sessions {
         let rec = session.synthesize();
         let extractor = WindowExtractor::new(rec.fs);
-        for label in rec.window_labels(window_s) {
-            let samples = rec.window_samples(&label);
-            match extractor.extract_into(samples, &mut scratch, &mut row) {
-                Ok(()) => {
-                    let y: i8 = if label.is_seizure { 1 } else { -1 };
-                    if y > 0 {
-                        stats.positives += 1;
-                    }
-                    stats.windows_ok += 1;
-                    m.push_row(&row, y, rec.session_index, rec.patient_id);
+        let labels = rec.window_labels(window_s);
+        // The window slices all borrow `rec`, so the whole session packs
+        // into lane groups without copying a single sample.
+        let windows: Vec<&[f64]> = labels.iter().map(|l| rec.window_samples(l)).collect();
+        extractor.extract_batch_into(&windows, &mut scratch, |j, result| match result {
+            Ok(row) => {
+                let y: i8 = if labels[j].is_seizure { 1 } else { -1 };
+                if y > 0 {
+                    stats.positives += 1;
                 }
-                Err(_) => stats.windows_dropped += 1,
+                stats.windows_ok += 1;
+                m.push_row(row, y, rec.session_index, rec.patient_id);
             }
-        }
+            Err(_) => stats.windows_dropped += 1,
+        });
     }
     (m, stats)
 }

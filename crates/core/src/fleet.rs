@@ -229,6 +229,17 @@ pub struct FleetStats {
     /// much as the work it measures; the rows' real cost (the batch
     /// kernels, the route-back) is all timed inside the flush.
     pub busy_ns: u128,
+    /// Nanoseconds attributed to feature extraction across every decided
+    /// window — the per-window `extract_ns` figures summed at route-back.
+    /// Together with [`FleetStats::classify_ns`] this splits the serving
+    /// pipeline's cost into its two kernel phases, so reports can show
+    /// where the wall actually is (extraction dominates; see
+    /// `fleet_sim`'s throughput table).
+    pub extract_ns: u128,
+    /// Nanoseconds attributed to classification across every decided
+    /// window — the evenly-attributed batch-kernel shares summed at
+    /// route-back. Counterpart of [`FleetStats::extract_ns`].
+    pub classify_ns: u128,
 }
 
 impl FleetStats {
@@ -275,6 +286,12 @@ pub struct FleetFlush {
     pub alarms: Vec<(PatientId, AlarmEvent)>,
     /// Feature rows classified through the batch-kernel panels.
     pub rows_classified: usize,
+    /// Extraction nanoseconds attributed to this flush's decided
+    /// windows (summed per-window `extract_ns`).
+    pub extract_ns: u128,
+    /// Classification nanoseconds attributed to this flush's decided
+    /// windows (summed per-row batch-kernel shares).
+    pub classify_ns: u128,
 }
 
 /// One raw-sample ingest call that completed windows — the replay unit
@@ -817,6 +834,8 @@ impl FleetScheduler {
         out.decisions.clear();
         out.alarms.clear();
         out.rows_classified = 0;
+        out.extract_ns = 0;
+        out.classify_ns = 0;
         // Eager panels classified inside `ingest_row` ran outside any
         // flush window; fold their kernel time into this flush's
         // accounting (busy_ns and the per-row classify share).
@@ -906,6 +925,8 @@ impl FleetScheduler {
                     }
                     (None, None) => (None, 0),
                 };
+                out.extract_ns += e.window.extract_ns as u128;
+                out.classify_ns += share as u128;
                 out.decisions.push(FleetDecision {
                     patient,
                     decision: slot.session.decide_window(&e.window, decision, share),
@@ -928,6 +949,8 @@ impl FleetScheduler {
         self.stats.flushes += 1;
         self.stats.rows_classified += rows_classified as u64;
         self.stats.windows_decided += out.decisions.len() as u64;
+        self.stats.extract_ns += out.extract_ns;
+        self.stats.classify_ns += out.classify_ns;
         self.stats.busy_ns += t0.elapsed().as_nanos();
     }
 

@@ -263,7 +263,13 @@ pub struct StreamingSession {
     sched: WindowScheduler,
     extractor: WindowExtractor,
     scratch: ExtractScratch,
-    window_buf: Vec<f64>,
+    /// Pooled copies of completed windows awaiting lane-batched
+    /// extraction: up to [`LANE_GROUP`] windows side by side
+    /// (`window_len` samples each), drained whenever the group fills or
+    /// the chunk ends.
+    batch_buf: Vec<f64>,
+    /// `(window index, start sample)` of each pooled window.
+    batch_spans: Vec<(u64, u64)>,
     row_buf: Vec<f64>,
     stats: StreamStats,
     /// Optional alarm stage folding decisions into alarms online.
@@ -282,6 +288,12 @@ pub struct StreamingSession {
 /// the cap only matters for a fleet that buffers many windows of one
 /// patient between flushes).
 const ROW_POOL_CAP: usize = 64;
+
+/// Completed windows pooled between lane-batched extraction drains —
+/// the widest SoA lane group ([`WindowExtractor::extract_batch_into`]
+/// packs 8/4/2 lanes greedily), and therefore also the cap on a
+/// session's pooled window copies (`LANE_GROUP × window_len` samples).
+const LANE_GROUP: usize = 8;
 
 // `dyn ClassifierEngine` has no Debug of its own; show its cost metadata.
 impl std::fmt::Debug for StreamingSession {
@@ -329,7 +341,8 @@ impl StreamingSession {
             ring,
             sched,
             scratch: ExtractScratch::default(),
-            window_buf: vec![0.0; cfg.window_len],
+            batch_buf: Vec::new(),
+            batch_spans: Vec::new(),
             row_buf: Vec::with_capacity(N_FEATURES),
             stats: StreamStats::default(),
             alarm: None,
@@ -453,41 +466,103 @@ impl StreamingSession {
              (window numbering would fork)"
         );
         self.stats.samples_in += chunk.len() as u64;
+        debug_assert!(self.batch_spans.is_empty());
+        let wl = self.cfg.window_len;
         // Sub-feed at most `stride` samples between drains so the ring
         // bound of `WindowScheduler::min_ring_capacity` always holds.
+        // Completed windows are copied out immediately (the ring may
+        // overwrite them on the next sub-feed) but *extracted* in
+        // lane groups of up to [`LANE_GROUP`]: the dense DSP phases run
+        // lock-step across the group (`WindowExtractor::extract_batch`),
+        // bit-identical per window to the one-at-a-time path.
         for sub in chunk.chunks(self.sched.stride()) {
             self.ring.push(sub);
             for idx in self.sched.on_samples(sub.len()) {
                 let span = self.sched.span(idx);
+                let pooled = self.batch_spans.len();
+                self.batch_buf.resize((pooled + 1) * wl, 0.0);
                 self.ring
-                    .copy_into(span.start, &mut self.window_buf)
+                    .copy_into(span.start, &mut self.batch_buf[pooled * wl..][..wl])
                     .expect("ring sized for the scheduler's drain contract");
-                let t0 = Instant::now();
-                let row = match self.extractor.extract_into(
-                    &self.window_buf,
-                    &mut self.scratch,
-                    &mut self.row_buf,
-                ) {
-                    // Hand the row out in a recycled allocation (see
-                    // `recycle_row`) so the hot loop stays free of
-                    // per-window heap churn after warm-up.
-                    Ok(()) => {
-                        let mut row = self.row_pool.pop().unwrap_or_default();
+                self.batch_spans.push((span.index, span.start));
+                if self.batch_spans.len() == LANE_GROUP {
+                    self.drain_window_batch(pending);
+                }
+            }
+        }
+        self.drain_window_batch(pending);
+    }
+
+    /// Extracts the pooled window copies (one lane group at most) into
+    /// `pending` rows and empties the pool. Rows are handed out in
+    /// recycled allocations (see [`StreamingSession::recycle_row`]), so
+    /// the hot loop stays free of per-window heap churn after warm-up.
+    ///
+    /// `extract_ns` accounting: the group runs as one lane-batched unit,
+    /// so each window carries an even share of the group's wall clock
+    /// (the first window absorbs the remainder) — per-window latency
+    /// stays meaningful while the sum stays exact.
+    fn drain_window_batch(&mut self, pending: &mut Vec<PendingWindow>) {
+        let nw = self.batch_spans.len();
+        if nw == 0 {
+            return;
+        }
+        let wl = self.cfg.window_len;
+        let base = pending.len();
+        let t0 = Instant::now();
+        if nw == 1 {
+            let row = match self.extractor.extract_into(
+                &self.batch_buf[..wl],
+                &mut self.scratch,
+                &mut self.row_buf,
+            ) {
+                Ok(()) => {
+                    let mut row = self.row_pool.pop().unwrap_or_default();
+                    row.clear();
+                    row.extend_from_slice(&self.row_buf);
+                    Some(row)
+                }
+                Err(_) => None,
+            };
+            pending.push(PendingWindow {
+                window_index: self.batch_spans[0].0,
+                start_sample: self.batch_spans[0].1,
+                row,
+                extract_ns: 0,
+            });
+        } else {
+            let mut refs: [&[f64]; LANE_GROUP] = [&[]; LANE_GROUP];
+            for (slot, w) in refs.iter_mut().zip(self.batch_buf.chunks_exact(wl)) {
+                *slot = w;
+            }
+            let spans = &self.batch_spans;
+            let row_pool = &mut self.row_pool;
+            self.extractor.extract_batch(&refs[..nw], |j, r| {
+                let row = match r {
+                    Ok(slice) => {
+                        let mut row = row_pool.pop().unwrap_or_default();
                         row.clear();
-                        row.extend_from_slice(&self.row_buf);
+                        row.extend_from_slice(slice);
                         Some(row)
                     }
                     Err(_) => None,
                 };
-                let extract_ns = t0.elapsed().as_nanos() as u64;
                 pending.push(PendingWindow {
-                    window_index: span.index,
-                    start_sample: span.start,
+                    window_index: spans[j].0,
+                    start_sample: spans[j].1,
                     row,
-                    extract_ns,
+                    extract_ns: 0,
                 });
-            }
+            });
         }
+        let total = t0.elapsed().as_nanos() as u64;
+        let share = total / nw as u64;
+        let rem = total % nw as u64;
+        for (k, w) in pending[base..].iter_mut().enumerate() {
+            w.extract_ns = share + if k == 0 { rem } else { 0 };
+        }
+        self.batch_spans.clear();
+        self.batch_buf.clear();
     }
 
     /// **Decide stage**: folds one pending window's decision into the

@@ -1,0 +1,521 @@
+//! Lane-batched structure-of-arrays DSP kernels — `L` independent
+//! windows in lock-step.
+//!
+//! The fused scalar kernels in [`crate::kernels`] left the filtfilt
+//! recurrence at its latency floor: each biquad output feeds the next
+//! sample's feedback taps, so one window's forward pass is a serial
+//! chain of ~4–5-cycle FP adds no amount of unrolling can hide. The
+//! recurrence is serial *within* a signal but fully independent
+//! *across* signals — and the fleet, the streaming scheduler and the
+//! batch assembler all naturally present many same-length windows at
+//! once. This module processes `L` of them together by transposing the
+//! group into `[T; L]` structure-of-arrays elements: each sample step
+//! advances `L` independent dependency chains, which pipeline
+//! concurrently (and autovectorize — `[f64; 4]`/`[f32; 8]` elementwise
+//! arithmetic maps straight onto vector registers) instead of leaving
+//! the FP units idle between dependent adds.
+//!
+//! **Bit-identity is the design constraint.** Every lane kernel applies
+//! *exactly* the scalar kernel's expression, in the scalar kernel's
+//! order, independently per lane — plain mul/add on each `[T; L]`
+//! element, no horizontal reductions, no re-association, no FMA
+//! contraction (Rust never contracts `a * b + c`). Lane `l` of a group
+//! therefore computes the *same sequence of scalar operations* the
+//! fused scalar path would run on that window alone, and the `f64`
+//! instantiation is bit-identical to it; `lane_equivalence` pins this
+//! on a real cohort for L ∈ {2, 4, 8} at both precisions.
+//!
+//! Only the *dense* phases are laned: the cascade-fused zero-phase
+//! band-pass ([`lane_filtfilt_from_f64_in_ext`]) and the fused
+//! derivative → squaring → moving-window-integration energy kernel
+//! ([`lane_qrs_energy_into`]). Branchy phases (peak picking, adaptive
+//! thresholds/search-back, HRV/Lorenz/Burg) diverge per window after a
+//! handful of samples, so they run scalar per lane on
+//! [`deinterleave_into`] slices. The planned-rfft Welch stage stays
+//! scalar per lane too, deliberately: its input is the *EDR* series,
+//! whose length (and therefore `nperseg` and plan size) varies per
+//! window, so cross-window lanes would have to pad to a common length
+//! and change the spectra; at ~2 µs of an ~84 µs window it is not
+//! where the wall is.
+
+use crate::kernels::{Scalar, SosSection, MAX_CHAIN_SECTIONS};
+
+/// One SoA sample through a K-section chain: the scalar `chain_step`
+/// expression evaluated per lane, every lane in lock-step, all sections
+/// fused so the K independent per-section recurrences pipeline across
+/// samples. Coefficients are shared (one filter design, `L` signals).
+///
+/// The state is *chained*, not per-section: in a cascade, section `k`'s
+/// input taps `x1`/`x2` are by definition section `k-1`'s outputs at
+/// the previous two samples — exactly its `y1`/`y2` taps *before* this
+/// sample's update. Only section 0 (fed by the raw signal) keeps real
+/// `x1`/`x2` taps, so a K-section step holds `2 + 2K` `[T; L]` vectors
+/// of live state instead of `4K`. At the pipeline's K = 2 / L = 4 this
+/// is the difference between fitting the vector register file and
+/// spilling delay taps into the recurrence's critical path. The
+/// substituted values are the same bits, in the same expression, so
+/// every lane remains bit-identical to the scalar kernel.
+#[inline(always)]
+fn lane_chain_step<T: Scalar, const K: usize, const L: usize>(
+    secs: &[SosSection<T>; K],
+    x1: &mut [T; L],
+    x2: &mut [T; L],
+    y1: &mut [[T; L]; K],
+    y2: &mut [[T; L]; K],
+    xi: [T; L],
+) -> [T; L] {
+    let mut v = xi;
+    // Section k's x-taps: the raw signal's history for k = 0, section
+    // k-1's pre-update y-taps after that.
+    let mut fx1 = *x1;
+    let mut fx2 = *x2;
+    let mut k = 0;
+    while k < K {
+        let s = &secs[k];
+        let mut yo = [T::ZERO; L];
+        let mut l = 0;
+        while l < L {
+            let yi =
+                s.b0 * v[l] + s.b1 * fx1[l] + s.b2 * fx2[l] - s.a1 * y1[k][l] - s.a2 * y2[k][l];
+            yo[l] = yi;
+            l += 1;
+        }
+        fx1 = y1[k];
+        fx2 = y2[k];
+        y2[k] = y1[k];
+        y1[k] = yo;
+        v = yo;
+        k += 1;
+    }
+    *x2 = *x1;
+    *x1 = xi;
+    v
+}
+
+/// Forward lane sweep at a monomorphised section count.
+fn lane_chain_forward<T: Scalar, const K: usize, const L: usize>(
+    secs: &[SosSection<T>; K],
+    x: &mut [[T; L]],
+) {
+    let mut x1 = [T::ZERO; L];
+    let mut x2 = [T::ZERO; L];
+    let mut y1 = [[T::ZERO; L]; K];
+    let mut y2 = [[T::ZERO; L]; K];
+    for v in x.iter_mut() {
+        *v = lane_chain_step(secs, &mut x1, &mut x2, &mut y1, &mut y2, *v);
+    }
+}
+
+/// Backward lane sweep: last SoA sample to first, zero initial state —
+/// exactly "reverse, filter forward, reverse" per lane.
+fn lane_chain_backward<T: Scalar, const K: usize, const L: usize>(
+    secs: &[SosSection<T>; K],
+    x: &mut [[T; L]],
+) {
+    let mut x1 = [T::ZERO; L];
+    let mut x2 = [T::ZERO; L];
+    let mut y1 = [[T::ZERO; L]; K];
+    let mut y2 = [[T::ZERO; L]; K];
+    for v in x.iter_mut().rev() {
+        *v = lane_chain_step(secs, &mut x1, &mut x2, &mut y1, &mut y2, *v);
+    }
+}
+
+macro_rules! dispatch_lane_chain {
+    ($fn:ident, $secs:expr, $x:expr) => {
+        match $secs.len() {
+            0 => {}
+            1 => $fn::<T, 1, L>($secs.try_into().expect("len checked"), $x),
+            2 => $fn::<T, 2, L>($secs.try_into().expect("len checked"), $x),
+            3 => $fn::<T, 3, L>($secs.try_into().expect("len checked"), $x),
+            4 => $fn::<T, 4, L>($secs.try_into().expect("len checked"), $x),
+            5 => $fn::<T, 5, L>($secs.try_into().expect("len checked"), $x),
+            6 => $fn::<T, 6, L>($secs.try_into().expect("len checked"), $x),
+            7 => $fn::<T, 7, L>($secs.try_into().expect("len checked"), $x),
+            8 => $fn::<T, 8, L>($secs.try_into().expect("len checked"), $x),
+            n => panic!("sos chain supports at most {MAX_CHAIN_SECTIONS} sections, got {n}"),
+        }
+    };
+}
+
+/// Cascade-fused forward filtering of `L` lanes at once. Each lane is
+/// bit-identical to [`crate::kernels::sos_chain_in_place`] on that
+/// lane's signal alone.
+///
+/// # Panics
+///
+/// Panics when `secs.len() > MAX_CHAIN_SECTIONS`.
+pub fn lane_sos_chain_in_place<T: Scalar, const L: usize>(
+    secs: &[SosSection<T>],
+    x: &mut [[T; L]],
+) {
+    dispatch_lane_chain!(lane_chain_forward, secs, x)
+}
+
+/// Cascade-fused backward filtering of `L` lanes at once; per lane
+/// bit-identical to [`crate::kernels::sos_chain_reverse_in_place`].
+///
+/// # Panics
+///
+/// Panics when `secs.len() > MAX_CHAIN_SECTIONS`.
+pub fn lane_sos_chain_reverse_in_place<T: Scalar, const L: usize>(
+    secs: &[SosSection<T>],
+    x: &mut [[T; L]],
+) {
+    dispatch_lane_chain!(lane_chain_backward, secs, x)
+}
+
+/// Lane-batched zero-phase forward–backward filtering of `L`
+/// same-length `f64` windows, narrowing to `T` while the odd-reflection
+/// padded SoA extension is built (the AoS→SoA pack and the precision
+/// narrowing are one pass). After the call the filtered samples live at
+/// `ext[pad..pad + n]` with `pad` returned, one `[T; L]` element per
+/// sample position.
+///
+/// Per lane this evaluates exactly the expressions of
+/// [`crate::kernels::filtfilt_fused_from_f64_in_ext`] — same padding
+/// arithmetic, same per-sample chain recurrence — so each lane is
+/// bit-identical to the scalar fused path on that window alone.
+///
+/// # Panics
+///
+/// Panics when the windows' lengths differ and when
+/// `secs.len() > MAX_CHAIN_SECTIONS`.
+pub fn lane_filtfilt_from_f64_in_ext<T: Scalar, const L: usize>(
+    secs: &[SosSection<T>],
+    windows: &[&[f64]; L],
+    ext: &mut Vec<[T; L]>,
+) -> usize {
+    let n = windows[0].len();
+    for w in windows.iter() {
+        assert_eq!(w.len(), n, "lane windows must share one length");
+    }
+    if n == 0 || secs.is_empty() {
+        ext.clear();
+        ext.extend((0..n).map(|i| std::array::from_fn(|l| T::from_f64(windows[l][i]))));
+        return 0;
+    }
+    let two = T::from_f64(2.0);
+    let pad = (6 * secs.len()).min(n - 1).max(1);
+    ext.clear();
+    ext.reserve(n + 2 * pad);
+    let first: [T; L] = std::array::from_fn(|l| T::from_f64(windows[l][0]));
+    for i in (1..=pad).rev() {
+        let j = i.min(n - 1);
+        ext.push(std::array::from_fn(|l| {
+            two * first[l] - T::from_f64(windows[l][j])
+        }));
+    }
+    // `i` walks all L inner slices in lock-step (clippy only sees the
+    // outer `windows` index).
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        ext.push(std::array::from_fn(|l| T::from_f64(windows[l][i])));
+    }
+    let last: [T; L] = std::array::from_fn(|l| T::from_f64(windows[l][n - 1]));
+    for i in 1..=pad {
+        let idx = n.saturating_sub(1 + i.min(n - 1));
+        ext.push(std::array::from_fn(|l| {
+            two * last[l] - T::from_f64(windows[l][idx])
+        }));
+    }
+    lane_sos_chain_in_place(secs, ext);
+    lane_sos_chain_reverse_in_place(secs, ext);
+    pad
+}
+
+/// Lane-batched fused Pan–Tompkins energy stage: five-point derivative
+/// → squaring → moving-window integration over `L` lanes in one sweep,
+/// with a `[T; L]` accumulator and a `win`-element SoA ring. Per lane
+/// the accumulator ordering (add the incoming squared sample, then
+/// retire the outgoing one, divide by the effective window) is exactly
+/// [`crate::kernels::qrs_energy_into`]'s — bit-identical per lane.
+///
+/// # Panics
+///
+/// Panics when `win == 0`.
+pub fn lane_qrs_energy_into<T: Scalar, const L: usize>(
+    filtered: &[[T; L]],
+    fs: f64,
+    win: usize,
+    ring: &mut Vec<[T; L]>,
+    out: &mut Vec<[T; L]>,
+) {
+    assert!(win >= 1, "integration window must be >= 1 sample");
+    let n = filtered.len();
+    out.clear();
+    out.reserve(n);
+    ring.clear();
+    ring.resize(win, [T::ZERO; L]);
+    let fs_t = T::from_f64(fs);
+    let two = T::from_f64(2.0);
+    let eight = T::from_f64(8.0);
+    let mut acc = [T::ZERO; L];
+    let mut pos = 0usize;
+    let head = n.min(4);
+    let x0 = filtered.first().copied().unwrap_or([T::ZERO; L]);
+    for i in 0..head {
+        let g = |j: isize| -> [T; L] {
+            if j < 0 {
+                x0
+            } else {
+                filtered[(j as usize).min(n - 1)]
+            }
+        };
+        let i = i as isize;
+        let (a, b, c, d4) = (g(i), g(i - 1), g(i - 3), g(i - 4));
+        let mut sq = [T::ZERO; L];
+        let mut l = 0;
+        while l < L {
+            let d = (two * a[l] + b[l] - c[l] - two * d4[l]) * fs_t / eight;
+            sq[l] = d * d;
+            acc[l] += sq[l];
+            l += 1;
+        }
+        if i as usize >= win {
+            let mut l = 0;
+            while l < L {
+                acc[l] -= ring[pos][l];
+                l += 1;
+            }
+        }
+        ring[pos] = sq;
+        pos += 1;
+        if pos == win {
+            pos = 0;
+        }
+        let effective = T::from_f64(((i as usize + 1).min(win)) as f64);
+        out.push(std::array::from_fn(|l| acc[l] / effective));
+    }
+    for i in head.max(4)..n {
+        let (a, b, c, d4) = (
+            filtered[i],
+            filtered[i - 1],
+            filtered[i - 3],
+            filtered[i - 4],
+        );
+        let mut sq = [T::ZERO; L];
+        let mut l = 0;
+        while l < L {
+            let d = (two * a[l] + b[l] - c[l] - two * d4[l]) * fs_t / eight;
+            sq[l] = d * d;
+            acc[l] += sq[l];
+            l += 1;
+        }
+        if i >= win {
+            let mut l = 0;
+            while l < L {
+                acc[l] -= ring[pos][l];
+                l += 1;
+            }
+        }
+        ring[pos] = sq;
+        pos += 1;
+        if pos == win {
+            pos = 0;
+        }
+        let effective = T::from_f64(((i + 1).min(win)) as f64);
+        out.push(std::array::from_fn(|l| acc[l] / effective));
+    }
+}
+
+/// SoA→AoS unpack of one lane: copies lane `lane` of `src` into `dst`
+/// (cleared first). The branchy per-window stages run on these scalar
+/// slices.
+///
+/// # Panics
+///
+/// Panics when `lane >= L`.
+pub fn deinterleave_into<T: Scalar, const L: usize>(src: &[[T; L]], lane: usize, dst: &mut Vec<T>) {
+    assert!(lane < L, "lane {lane} out of range for L = {L}");
+    dst.clear();
+    dst.reserve(src.len());
+    dst.extend(src.iter().map(|v| v[lane]));
+}
+
+/// SoA→AoS unpack of *every* lane in one sweep: reads each `[T; L]`
+/// element once and scatters it across the `L` destination buffers
+/// (each cleared first). Equivalent to `L` [`deinterleave_into`] calls
+/// but makes one pass over `src` instead of `L` strided re-reads — the
+/// branchy decision stages consume all lanes anyway, so the lane
+/// detector unpacks them together.
+pub fn deinterleave_lanes_into<T: Scalar, const L: usize>(src: &[[T; L]], dsts: &mut [Vec<T>; L]) {
+    let n = src.len();
+    for d in dsts.iter_mut() {
+        d.clear();
+        d.reserve(n);
+    }
+    // Blocked transpose: each block is small enough to stay L1-resident
+    // while all L lanes gather from it, so the SoA array crosses the
+    // cache hierarchy once while the inner loops keep the strided-gather
+    // shape the autovectorizer handles well (an element-wise scatter to
+    // L destinations measures ~1.7x slower at L = 4).
+    const BLOCK: usize = 128;
+    for block in src.chunks(BLOCK) {
+        for (l, d) in dsts.iter_mut().enumerate() {
+            d.extend(block.iter().map(|v| v[l]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::SosCascade;
+    use crate::kernels::{filtfilt_fused_from_f64_in_ext, qrs_energy_into};
+
+    fn xorshift(seed: &mut u64) -> f64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        (*seed as f64 / u64::MAX as f64) - 0.5
+    }
+
+    fn signals(n: usize, count: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut s = seed;
+        (0..count)
+            .map(|_| (0..n).map(|_| xorshift(&mut s)).collect())
+            .collect()
+    }
+
+    fn secs_t<T: Scalar>(cascade: &SosCascade) -> Vec<SosSection<T>> {
+        cascade
+            .sections()
+            .iter()
+            .map(|s| SosSection::from_f64(s.b, s.a))
+            .collect()
+    }
+
+    fn lane_filtfilt_matches_scalar_bitwise<T: Scalar, const L: usize>() {
+        let fs = 128.0;
+        for n in [5usize, 17, 513] {
+            let sigs = signals(n, L, 0xFACE ^ n as u64);
+            for n_sections in [1usize, 2] {
+                let cascade = SosCascade::butterworth_bandpass(5.0, 15.0, fs, n_sections).unwrap();
+                let secs = secs_t::<T>(&cascade);
+                let windows: [&[f64]; L] = std::array::from_fn(|l| sigs[l].as_slice());
+                let mut ext = Vec::new();
+                let pad = lane_filtfilt_from_f64_in_ext(&secs, &windows, &mut ext);
+                let mut lane_out = Vec::new();
+                let mut scalar_ext: Vec<T> = Vec::new();
+                for (l, sig) in sigs.iter().enumerate() {
+                    deinterleave_into(&ext[pad..pad + n], l, &mut lane_out);
+                    let spad = filtfilt_fused_from_f64_in_ext(&secs, sig, &mut scalar_ext);
+                    assert_eq!(pad, spad);
+                    for (i, (a, b)) in lane_out
+                        .iter()
+                        .zip(scalar_ext[spad..spad + n].iter())
+                        .enumerate()
+                    {
+                        assert_eq!(
+                            a.to_f64().to_bits(),
+                            b.to_f64().to_bits(),
+                            "n {n} sections {n_sections} lane {l} sample {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_filtfilt_matches_scalar_bitwise_all_widths() {
+        lane_filtfilt_matches_scalar_bitwise::<f64, 2>();
+        lane_filtfilt_matches_scalar_bitwise::<f64, 4>();
+        lane_filtfilt_matches_scalar_bitwise::<f64, 8>();
+        lane_filtfilt_matches_scalar_bitwise::<f32, 2>();
+        lane_filtfilt_matches_scalar_bitwise::<f32, 4>();
+        lane_filtfilt_matches_scalar_bitwise::<f32, 8>();
+    }
+
+    fn lane_energy_matches_scalar_bitwise<const L: usize>() {
+        let fs = 128.0;
+        for n in [1usize, 4, 19, 640] {
+            let sigs = signals(n, L, 0xBEEF ^ n as u64);
+            let soa: Vec<[f64; L]> = (0..n)
+                .map(|i| std::array::from_fn(|l| sigs[l][i]))
+                .collect();
+            for win in [1usize, 2, 19, 64] {
+                let (mut ring, mut mwi) = (Vec::new(), Vec::new());
+                lane_qrs_energy_into(&soa, fs, win, &mut ring, &mut mwi);
+                let mut lane_out = Vec::new();
+                let (mut sring, mut smwi) = (Vec::new(), Vec::new());
+                for (l, sig) in sigs.iter().enumerate() {
+                    deinterleave_into(&mwi, l, &mut lane_out);
+                    qrs_energy_into(sig, fs, win, &mut sring, &mut smwi);
+                    assert_eq!(lane_out.len(), smwi.len());
+                    for (i, (a, b)) in lane_out.iter().zip(smwi.iter()).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "n {n} win {win} lane {l} sample {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_energy_matches_scalar_bitwise_all_widths() {
+        lane_energy_matches_scalar_bitwise::<2>();
+        lane_energy_matches_scalar_bitwise::<4>();
+        lane_energy_matches_scalar_bitwise::<8>();
+    }
+
+    #[test]
+    fn empty_and_trivial_inputs_mirror_scalar() {
+        let a: [&[f64]; 2] = [&[], &[]];
+        let mut ext: Vec<[f64; 2]> = vec![[1.0, 2.0]];
+        let cascade = SosCascade::butterworth_bandpass(5.0, 15.0, 128.0, 1).unwrap();
+        let secs = secs_t::<f64>(&cascade);
+        assert_eq!(lane_filtfilt_from_f64_in_ext(&secs, &a, &mut ext), 0);
+        assert!(ext.is_empty());
+        let one: [&[f64]; 2] = [&[1.5], &[-2.5]];
+        let pad = lane_filtfilt_from_f64_in_ext(&secs, &one, &mut ext);
+        let mut sext = Vec::new();
+        for (l, sig) in [[1.5].as_slice(), [-2.5].as_slice()].iter().enumerate() {
+            let spad = filtfilt_fused_from_f64_in_ext(&secs, sig, &mut sext);
+            assert_eq!(pad, spad);
+            assert_eq!(ext[pad][l].to_bits(), sext[spad].to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn mismatched_lane_lengths_panic() {
+        let a: [&[f64]; 2] = [&[1.0, 2.0], &[1.0]];
+        let mut ext = Vec::new();
+        let cascade = SosCascade::butterworth_bandpass(5.0, 15.0, 128.0, 1).unwrap();
+        lane_filtfilt_from_f64_in_ext(&secs_t::<f64>(&cascade), &a, &mut ext);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn deinterleave_rejects_bad_lane() {
+        let soa = [[0.0f64; 2]; 4];
+        let mut dst = Vec::new();
+        deinterleave_into(&soa, 2, &mut dst);
+    }
+
+    #[test]
+    fn one_pass_deinterleave_matches_per_lane() {
+        let mut seed = 7u64;
+        let soa: Vec<[f64; 4]> = (0..257)
+            .map(|_| std::array::from_fn(|_| xorshift(&mut seed)))
+            .collect();
+        let mut all: [Vec<f64>; 4] = std::array::from_fn(|_| vec![9.0; 3]);
+        deinterleave_lanes_into(&soa, &mut all);
+        let mut one = Vec::new();
+        for (l, got) in all.iter().enumerate() {
+            deinterleave_into(&soa, l, &mut one);
+            assert_eq!(got.len(), one.len());
+            for (a, b) in got.iter().zip(one.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Empty input clears stale contents.
+        deinterleave_lanes_into::<f64, 4>(&[], &mut all);
+        assert!(all.iter().all(Vec::is_empty));
+    }
+}

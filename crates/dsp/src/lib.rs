@@ -29,6 +29,7 @@ pub mod error;
 pub mod fft;
 pub mod filter;
 pub mod kernels;
+pub mod lanes;
 pub mod psd;
 pub mod qrs;
 pub mod resample;

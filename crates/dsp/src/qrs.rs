@@ -11,6 +11,7 @@
 use crate::error::DspError;
 use crate::filter::{five_point_derivative_into, moving_average_into, FiltFiltScratch, SosCascade};
 use crate::kernels::{self, ExtractPrecision, SosSection};
+use crate::lanes;
 
 /// One detected R peak.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +133,61 @@ pub struct DetectScratch {
     rr_recent: Vec<f64>,
     /// Cached band-pass design, keyed by `(band_lo, band_hi, fs)`.
     bandpass: Option<(f64, f64, f64, SosCascade)>,
+}
+
+/// Reusable work buffers for [`PanTompkins::detect_lanes_into`]: the
+/// SoA extension/ring/MWI of one lane group plus the per-lane scalar
+/// slices and decision buffers the branchy stages run on. One scratch
+/// per `(T, L)` instantiation; self-contained (own band-pass cache), so
+/// lane callers need no [`DetectScratch`].
+pub struct LaneDetectScratch<T: kernels::Scalar, const L: usize> {
+    /// Padded SoA filtfilt work buffer; filtered samples live at
+    /// `ext[pad..pad + n]` and are sliced in place.
+    ext: Vec<[T; L]>,
+    /// Integration-window SoA ring for the lane energy kernel.
+    ring: Vec<[T; L]>,
+    /// SoA moving-window-integrated energy signal.
+    mwi: Vec<[T; L]>,
+    /// Per-lane MWI, deinterleaved (one pass, all lanes) for the scalar
+    /// decision stages.
+    lane_mwi: [Vec<T>; L],
+    /// Per-lane band-passed signal, deinterleaved for peak refinement.
+    lane_filtered: [Vec<T>; L],
+    /// Packed peak candidates (see [`kernels::Scalar::Packed`]).
+    peak_cand: Vec<T::Packed>,
+    local_peaks: Vec<usize>,
+    peak_buckets: Vec<usize>,
+    qrs: Vec<usize>,
+    rr_recent: Vec<f64>,
+    /// Cached band-pass design, keyed by `(band_lo, band_hi, fs)`.
+    bandpass: Option<(f64, f64, f64, SosCascade)>,
+}
+
+impl<T: kernels::Scalar, const L: usize> Default for LaneDetectScratch<T, L> {
+    fn default() -> Self {
+        LaneDetectScratch {
+            ext: Vec::new(),
+            ring: Vec::new(),
+            mwi: Vec::new(),
+            lane_mwi: std::array::from_fn(|_| Vec::new()),
+            lane_filtered: std::array::from_fn(|_| Vec::new()),
+            peak_cand: Vec::new(),
+            local_peaks: Vec::new(),
+            peak_buckets: Vec::new(),
+            qrs: Vec::new(),
+            rr_recent: Vec::new(),
+            bandpass: None,
+        }
+    }
+}
+
+impl<T: kernels::Scalar, const L: usize> std::fmt::Debug for LaneDetectScratch<T, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneDetectScratch")
+            .field("lanes", &L)
+            .field("ext_capacity", &self.ext.capacity())
+            .finish_non_exhaustive()
+    }
 }
 
 impl PanTompkins {
@@ -286,6 +342,85 @@ impl PanTompkins {
         Ok(())
     }
 
+    /// Lane-batched detector: runs `L` same-length windows in lock-step
+    /// through the dense phases — the SoA cascade-fused zero-phase
+    /// band-pass and the fused derivative → squaring → integration
+    /// energy kernel ([`crate::lanes`]) — then finishes each lane with
+    /// the *identical* scalar decision stages (bucket-grid peak filter,
+    /// adaptive thresholds/search-back, peak refinement) on
+    /// deinterleaved slices. Lane `j`'s detection is bit-identical to
+    /// [`PanTompkins::detect_into_with`] on `windows[j]` alone at the
+    /// matching precision (`T = f64` ⇔ `F64`, `T = f32` ⇔ `F32`).
+    ///
+    /// `outs[j]` receives lane `j`'s detection; all are cleared first.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PanTompkins::detect`] — the windows share one
+    /// length, so a too-short group fails as a whole with every output
+    /// cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `windows`/`outs` are not exactly `L` long or the
+    /// windows' lengths differ.
+    pub fn detect_lanes_into<T: kernels::Scalar, const L: usize>(
+        &self,
+        windows: &[&[f64]],
+        fs: f64,
+        scratch: &mut LaneDetectScratch<T, L>,
+        outs: &mut [QrsDetection],
+    ) -> Result<(), DspError> {
+        let windows: &[&[f64]; L] = windows.try_into().expect("window group must be L long");
+        assert_eq!(outs.len(), L, "output group must be L long");
+        for o in outs.iter_mut() {
+            o.peaks.clear();
+        }
+        let n = windows[0].len();
+        let (min_len, win) = self.validate_and_cache_in(n, fs, &mut scratch.bandpass)?;
+        let bp = &scratch.bandpass.as_ref().expect("cached band-pass").3;
+        // The internal Pan–Tompkins design is always the 2-section
+        // band-pass, well inside the chain kernels' section budget.
+        debug_assert!(bp.len() <= kernels::MAX_CHAIN_SECTIONS);
+        let refractory = (self.refractory_s * fs).round() as usize;
+        let mut secs = [SosSection::<T>::default(); kernels::MAX_CHAIN_SECTIONS];
+        for (dst, s) in secs.iter_mut().zip(bp.sections().iter()) {
+            *dst = SosSection::from_f64(s.b, s.a);
+        }
+        let pad =
+            lanes::lane_filtfilt_from_f64_in_ext(&secs[..bp.len()], windows, &mut scratch.ext);
+        lanes::lane_qrs_energy_into(
+            &scratch.ext[pad..pad + n],
+            fs,
+            win,
+            &mut scratch.ring,
+            &mut scratch.mwi,
+        );
+        lanes::deinterleave_lanes_into(&scratch.mwi, &mut scratch.lane_mwi);
+        lanes::deinterleave_lanes_into(&scratch.ext[pad..pad + n], &mut scratch.lane_filtered);
+        for (lane, out) in outs.iter_mut().enumerate() {
+            local_maxima_into(
+                &scratch.lane_mwi[lane],
+                refractory.max(1),
+                &mut scratch.peak_cand,
+                &mut scratch.local_peaks,
+                &mut scratch.peak_buckets,
+            );
+            self.decide_from_mwi(
+                fs,
+                win,
+                min_len,
+                &scratch.lane_mwi[lane],
+                &scratch.lane_filtered[lane],
+                &scratch.local_peaks,
+                &mut scratch.qrs,
+                &mut scratch.rr_recent,
+                out,
+            );
+        }
+        Ok(())
+    }
+
     /// Pre-fusion reference detector: per-section filtfilt sweeps, three
     /// staged energy passes with full-signal intermediates, and the
     /// quadratic minimum-distance peak filter. Kept (on the shared
@@ -346,6 +481,17 @@ impl PanTompkins {
         fs: f64,
         scratch: &mut DetectScratch,
     ) -> Result<(usize, usize), DspError> {
+        self.validate_and_cache_in(ecg.len(), fs, &mut scratch.bandpass)
+    }
+
+    /// [`PanTompkins::validate_and_cache`] against an arbitrary cache
+    /// slot — shared by the scalar scratch and the lane scratches.
+    fn validate_and_cache_in(
+        &self,
+        n: usize,
+        fs: f64,
+        cache: &mut Option<(f64, f64, f64, SosCascade)>,
+    ) -> Result<(usize, usize), DspError> {
         if fs <= 0.0 {
             return Err(DspError::InvalidParameter {
                 name: "fs",
@@ -353,19 +499,19 @@ impl PanTompkins {
             });
         }
         let min_len = (2.0 * fs) as usize;
-        if ecg.len() < min_len {
+        if n < min_len {
             return Err(DspError::TooShort {
                 needed: min_len,
-                got: ecg.len(),
+                got: n,
             });
         }
-        let rebuild = match &scratch.bandpass {
+        let rebuild = match cache {
             Some((lo, hi, f, _)) => *lo != self.band_lo_hz || *hi != self.band_hi_hz || *f != fs,
             None => true,
         };
         if rebuild {
             let bp = SosCascade::butterworth_bandpass(self.band_lo_hz, self.band_hi_hz, fs, 1)?;
-            scratch.bandpass = Some((self.band_lo_hz, self.band_hi_hz, fs, bp));
+            *cache = Some((self.band_lo_hz, self.band_hi_hz, fs, bp));
         }
         let win = ((self.integration_window_s * fs).round() as usize).max(1);
         Ok((min_len, win))
@@ -860,6 +1006,40 @@ mod tests {
                 assert_eq!(a.amplitude.to_bits(), b.amplitude.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn lane_detection_matches_scalar_bitwise() {
+        let fs = 128.0;
+        let det = PanTompkins::default();
+        let mut scratch = DetectScratch::default();
+        let mut lanes4 = LaneDetectScratch::<f64, 4>::default();
+        let mut outs = vec![QrsDetection::default(); 4];
+        let ecgs: Vec<Vec<f64>> = [0.8, 0.5, 1.1, 0.7]
+            .iter()
+            .map(|&rr| synth_ecg(fs, 30.0, &regular_beats(0.5, rr, 29.5)))
+            .collect();
+        let windows: Vec<&[f64]> = ecgs.iter().map(|e| e.as_slice()).collect();
+        det.detect_lanes_into(&windows, fs, &mut lanes4, &mut outs)
+            .unwrap();
+        let mut reference = QrsDetection::default();
+        for (w, out) in windows.iter().zip(outs.iter()) {
+            det.detect_into(w, fs, &mut scratch, &mut reference)
+                .unwrap();
+            assert_eq!(out.peaks.len(), reference.peaks.len());
+            for (a, b) in out.peaks.iter().zip(reference.peaks.iter()) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+                assert_eq!(a.amplitude.to_bits(), b.amplitude.to_bits());
+            }
+        }
+        // A too-short group fails as a whole with every output cleared.
+        let short = vec![0.0; 10];
+        let sw: Vec<&[f64]> = (0..4).map(|_| short.as_slice()).collect();
+        assert!(det
+            .detect_lanes_into(&sw, fs, &mut lanes4, &mut outs)
+            .is_err());
+        assert!(outs.iter().all(|o| o.peaks.is_empty()));
     }
 
     #[test]

@@ -127,6 +127,18 @@ fn main() {
         }
         let stats = fleet.stats();
         let stream = fleet.stream_stats();
+        // Extract-vs-classify split, averaged per decided window: the
+        // scheduler attributes every flush's kernel time to its windows
+        // (FleetStats::{extract_ns, classify_ns}), so the table shows
+        // where the serving wall actually is instead of one opaque
+        // busy-time figure.
+        let per_window_us = |ns: u128| {
+            if stats.windows_decided == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", ns as f64 / stats.windows_decided as f64 / 1e3)
+            }
+        };
         rows.push(vec![
             name.to_string(),
             stats.patients.to_string(),
@@ -135,6 +147,8 @@ fn main() {
             stats.flushes.to_string(),
             format!("{:.0}", stats.wall_windows_per_sec()),
             format!("{:.0}", stream.windows_per_sec()),
+            per_window_us(stats.extract_ns),
+            per_window_us(stats.classify_ns),
             events
                 .event_sensitivity()
                 .map_or("-".into(), |s| pct(s).to_string()),
@@ -154,6 +168,8 @@ fn main() {
                 "flushes",
                 "wall w/s",
                 "serial-eq w/s",
+                "extract us/w",
+                "classify us/w",
                 "event Se",
                 "FA/24h",
             ],
@@ -162,7 +178,8 @@ fn main() {
     );
     println!(
         "(wall w/s = windows per second of fleet busy time; serial-eq w/s sums\n\
-         per-window latencies across sessions and under-reports concurrency)"
+         per-window latencies across sessions and under-reports concurrency;\n\
+         extract/classify us/w split the per-window serving cost by kernel phase)"
     );
 
     // Backpressure: a deliberately tiny row buffer under a burst, both

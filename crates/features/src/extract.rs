@@ -7,7 +7,7 @@ use crate::hrv::{clean_rr, hrv_features, HRV_NAMES, N_HRV};
 use crate::lorenz::{lorenz_features, LORENZ_NAMES, N_LORENZ};
 use crate::psd_feats::{psd_features_reference, psd_features_with, psd_names, N_PSD};
 use biodsp::kernels::ExtractPrecision;
-use biodsp::qrs::{DetectScratch, PanTompkins, QrsDetection};
+use biodsp::qrs::{DetectScratch, LaneDetectScratch, PanTompkins, QrsDetection};
 use std::cell::RefCell;
 
 /// Total feature count (8 HRV + 7 Lorentz + 9 AR + 29 PSD = 53).
@@ -89,6 +89,28 @@ thread_local! {
     /// callers (matrix builders, tests, tools) get warm buffers instead of
     /// re-allocating a full [`ExtractScratch`] per window.
     static ONE_SHOT_SCRATCH: RefCell<ExtractScratch> = RefCell::new(ExtractScratch::default());
+    /// Scratch for [`WindowExtractor::extract_batch`]: the lane-group
+    /// SoA buffers are sized by `window_len × L`, so they live
+    /// per-*thread*, not per-session — a fleet worker reuses one set
+    /// across every session it touches instead of pinning one per
+    /// patient.
+    static BATCH_SCRATCH: RefCell<BatchExtractScratch> =
+        RefCell::new(BatchExtractScratch::default());
+}
+
+/// Drops this thread's extraction scratch (the one-shot
+/// [`ExtractScratch`] and the lane-batch [`BatchExtractScratch`]) back
+/// to empty, releasing every buffer's capacity.
+///
+/// The thread-local scratches grow to the *largest* window and lane
+/// group a thread ever processed and normally stay there — right for a
+/// hot loop, wrong for a long-lived fleet worker that served one
+/// outsized cohort hours ago. Workers call this between cohorts (or on
+/// patient-churn lulls) to un-pin peak-window capacity; the next
+/// extraction simply re-warms.
+pub fn trim_thread_scratch() {
+    ONE_SHOT_SCRATCH.with(|s| *s.borrow_mut() = ExtractScratch::default());
+    BATCH_SCRATCH.with(|s| *s.borrow_mut() = BatchExtractScratch::default());
 }
 
 impl WindowExtractor {
@@ -159,7 +181,15 @@ impl WindowExtractor {
                 &mut scratch.detection,
             )
             .map_err(FeatureError::Dsp)?;
-        let det = &scratch.detection;
+        self.finish_row(&scratch.detection, out)
+    }
+
+    /// Beat-rate tail shared by the scalar and lane-batched paths: RR
+    /// cleaning, EDR extraction and the four feature families from one
+    /// finished detection. Clears and refills `out`; on error `out` is
+    /// left cleared.
+    fn finish_row(&self, det: &QrsDetection, out: &mut Vec<f64>) -> Result<(), FeatureError> {
+        out.clear();
         if det.peaks.len() < 8 {
             return Err(FeatureError::TooFewBeats {
                 needed: 8,
@@ -175,6 +205,144 @@ impl WindowExtractor {
         out.extend_from_slice(&psd_features_with(&edr, self.precision));
         debug_assert_eq!(out.len(), N_FEATURES);
         Ok(())
+    }
+
+    /// Lane-batched extraction of many windows: consecutive same-length
+    /// windows are packed into SoA lane groups of 8, 4 or 2 and run
+    /// lock-step through the dense DSP phases
+    /// ([`biodsp::qrs::PanTompkins::detect_lanes_into`]); the branchy
+    /// stages and the beat-rate feature tail run scalar per lane. The
+    /// ragged tail of a group (and any window whose length breaks the
+    /// run) falls back to the scalar [`WindowExtractor::extract_into`]
+    /// path.
+    ///
+    /// `sink(j, result)` is called once per window in index order;
+    /// `Ok` carries the 53-feature row (borrowed from `scratch` — copy
+    /// it out before the next window). Every row is bit-identical to
+    /// [`WindowExtractor::extract_into`] on that window alone, at both
+    /// precisions, and per-window errors are the scalar path's.
+    pub fn extract_batch_into(
+        &self,
+        windows: &[&[f64]],
+        scratch: &mut BatchExtractScratch,
+        mut sink: impl FnMut(usize, Result<&[f64], FeatureError>),
+    ) {
+        let n = windows.len();
+        let mut i = 0usize;
+        while i < n {
+            // Longest run of same-length windows from i, capped at the
+            // widest lane group.
+            let len0 = windows[i].len();
+            let mut run = 1usize;
+            while i + run < n && run < 8 && windows[i + run].len() == len0 {
+                run += 1;
+            }
+            let take = match run {
+                8.. => 8,
+                4..=7 => 4,
+                2..=3 => 2,
+                _ => 1,
+            };
+            match take {
+                8 => self.extract_group::<8>(
+                    i,
+                    &windows[i..i + 8],
+                    &mut scratch.l8_64,
+                    &mut scratch.l8_32,
+                    &mut scratch.detections,
+                    &mut scratch.row,
+                    &mut scratch.scalar,
+                    &mut sink,
+                ),
+                4 => self.extract_group::<4>(
+                    i,
+                    &windows[i..i + 4],
+                    &mut scratch.l4_64,
+                    &mut scratch.l4_32,
+                    &mut scratch.detections,
+                    &mut scratch.row,
+                    &mut scratch.scalar,
+                    &mut sink,
+                ),
+                2 => self.extract_group::<2>(
+                    i,
+                    &windows[i..i + 2],
+                    &mut scratch.l2_64,
+                    &mut scratch.l2_32,
+                    &mut scratch.detections,
+                    &mut scratch.row,
+                    &mut scratch.scalar,
+                    &mut sink,
+                ),
+                _ => {
+                    let r = self.extract_into(windows[i], &mut scratch.scalar, &mut scratch.row);
+                    sink(i, r.map(|()| scratch.row.as_slice()));
+                }
+            }
+            i += take;
+        }
+    }
+
+    /// [`WindowExtractor::extract_batch_into`] over this thread's
+    /// shared scratch (see [`trim_thread_scratch`] for the release
+    /// hook). The fleet's per-worker extraction shards and the batch
+    /// assembler route through here so SoA buffers are per-thread, not
+    /// per-session.
+    pub fn extract_batch(
+        &self,
+        windows: &[&[f64]],
+        sink: impl FnMut(usize, Result<&[f64], FeatureError>),
+    ) {
+        BATCH_SCRATCH.with(|s| self.extract_batch_into(windows, &mut s.borrow_mut(), sink));
+    }
+
+    /// One L-wide lane group: lane detection, then the scalar tail per
+    /// lane. A group-level detection error (too-short windows — the
+    /// group shares one length) re-runs each window through the scalar
+    /// path so error shapes match it exactly.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn extract_group<const L: usize>(
+        &self,
+        base: usize,
+        group: &[&[f64]],
+        lanes64: &mut LaneDetectScratch<f64, L>,
+        lanes32: &mut LaneDetectScratch<f32, L>,
+        detections: &mut Vec<QrsDetection>,
+        row: &mut Vec<f64>,
+        scalar: &mut ExtractScratch,
+        sink: &mut dyn FnMut(usize, Result<&[f64], FeatureError>),
+    ) {
+        if detections.len() < L {
+            detections.resize_with(L, QrsDetection::default);
+        }
+        let res = match self.precision {
+            ExtractPrecision::F64 => self.detector.detect_lanes_into::<f64, L>(
+                group,
+                self.fs,
+                lanes64,
+                &mut detections[..L],
+            ),
+            ExtractPrecision::F32 => self.detector.detect_lanes_into::<f32, L>(
+                group,
+                self.fs,
+                lanes32,
+                &mut detections[..L],
+            ),
+        };
+        match res {
+            Ok(()) => {
+                for (lane, det) in detections[..L].iter().enumerate() {
+                    let r = self.finish_row(det, row);
+                    sink(base + lane, r.map(|()| row.as_slice()));
+                }
+            }
+            Err(_) => {
+                for (off, w) in group.iter().enumerate() {
+                    let r = self.extract_into(w, scalar, row);
+                    sink(base + off, r.map(|()| row.as_slice()));
+                }
+            }
+        }
     }
 
     /// Pre-fusion reference extraction: staged QRS detection
@@ -223,6 +391,26 @@ impl WindowExtractor {
 pub struct ExtractScratch {
     detect: DetectScratch,
     detection: QrsDetection,
+}
+
+/// Reusable work state for [`WindowExtractor::extract_batch_into`]:
+/// one [`LaneDetectScratch`] per lane width and precision (the unused
+/// instantiations stay empty `Vec`s — a few pointers each), the shared
+/// per-lane detections/row, and a scalar [`ExtractScratch`] for ragged
+/// tails and fallback. Buffers are sized by `window_len × L`, so keep
+/// one per *thread* (see [`WindowExtractor::extract_batch`]), not per
+/// session.
+#[derive(Debug, Default)]
+pub struct BatchExtractScratch {
+    scalar: ExtractScratch,
+    detections: Vec<QrsDetection>,
+    row: Vec<f64>,
+    l2_64: LaneDetectScratch<f64, 2>,
+    l4_64: LaneDetectScratch<f64, 4>,
+    l8_64: LaneDetectScratch<f64, 8>,
+    l2_32: LaneDetectScratch<f32, 2>,
+    l4_32: LaneDetectScratch<f32, 4>,
+    l8_32: LaneDetectScratch<f32, 8>,
 }
 
 #[cfg(test)]
@@ -323,6 +511,79 @@ mod tests {
                 .is_err());
             assert!(row.is_empty(), "errors must leave the row cleared");
         }
+    }
+
+    #[test]
+    fn batch_extraction_matches_scalar_bitwise_with_ragged_tails() {
+        let fs = 128.0;
+        let extractor = WindowExtractor::new(fs);
+        let mut windows: Vec<Vec<f64>> = [0.8, 0.5, 1.0, 0.7, 0.9, 0.6, 0.85, 0.75, 0.65]
+            .iter()
+            .map(|&rr| synth_ecg(fs, 60.0, rr, 0.25))
+            .collect();
+        // A too-few-beats window mid-group and a too-short straggler
+        // that breaks the same-length run.
+        windows[3].iter_mut().for_each(|v| *v = 0.0);
+        windows.push(vec![0.0; 64]);
+        let mut scalar = ExtractScratch::default();
+        let mut want_row = Vec::new();
+        for count in [1usize, 2, 3, 5, 9, 10] {
+            let refs: Vec<&[f64]> = windows[..count].iter().map(|w| w.as_slice()).collect();
+            let mut scratch = BatchExtractScratch::default();
+            let mut got: Vec<Result<Vec<f64>, FeatureError>> = Vec::new();
+            extractor.extract_batch_into(&refs, &mut scratch, |j, r| {
+                assert_eq!(j, got.len(), "sink must run in window order");
+                got.push(r.map(|row| row.to_vec()));
+            });
+            assert_eq!(got.len(), count);
+            for (j, w) in refs.iter().enumerate() {
+                let want = extractor.extract_into(w, &mut scalar, &mut want_row);
+                match (&got[j], want) {
+                    (Ok(g), Ok(())) => {
+                        assert_eq!(g.len(), want_row.len());
+                        for (a, b) in g.iter().zip(want_row.iter()) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "count {count} window {j}");
+                        }
+                    }
+                    (Err(e), Err(want_e)) => {
+                        assert_eq!(e, &want_e, "count {count} window {j}");
+                    }
+                    (g, w) => panic!(
+                        "count {count} window {j}: ok/err mismatch (batch ok={}, scalar ok={})",
+                        g.is_ok(),
+                        w.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_extraction_matches_scalar_at_f32() {
+        let fs = 128.0;
+        let extractor = WindowExtractor::with_precision(fs, ExtractPrecision::F32);
+        let windows: Vec<Vec<f64>> = [0.8, 0.5, 1.0, 0.7, 0.9, 0.6, 0.85, 0.75]
+            .iter()
+            .map(|&rr| synth_ecg(fs, 60.0, rr, 0.25))
+            .collect();
+        let refs: Vec<&[f64]> = windows.iter().map(|w| w.as_slice()).collect();
+        let mut scalar = ExtractScratch::default();
+        let mut want_row = Vec::new();
+        let mut seen = 0usize;
+        // Thread-local-scratch entry point, f32 lanes: still bitwise
+        // against the scalar f32 path.
+        extractor.extract_batch(&refs, |j, r| {
+            let want = extractor.extract_into(refs[j], &mut scalar, &mut want_row);
+            assert_eq!(r.is_ok(), want.is_ok());
+            if let Ok(row) = r {
+                for (a, b) in row.iter().zip(want_row.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "window {j}");
+                }
+            }
+            seen += 1;
+        });
+        assert_eq!(seen, refs.len());
+        trim_thread_scratch();
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal benchmark harness (offline stand-in for criterion).
 //!
 //! The container this workspace builds in has no registry access, so the

@@ -84,6 +84,9 @@
 //!   the fleet spends its cycles purely on classification, which is
 //!   where cross-patient batching pays (see `BENCH_fleet.json`).
 
+// lint: allow-file(hot-index) — scheduler bookkeeping: slot/queue offsets are
+// maintained by the fleet's own maps and cursors; each is re-derived from the
+// structure it indexes in the same scope.
 use crate::alarm::{AlarmConfig, AlarmEvent};
 use crate::error::CoreError;
 use crate::parallel::WorkerPool;
@@ -868,12 +871,20 @@ impl FleetScheduler {
                     .filter(|e| e.value.is_none())
                     .filter_map(|e| e.window.row.as_deref())
             })
+            // lint: allow(hot-alloc) — per-flush staging of borrowed row refs:
+            // the borrows are tied to this flush's slot iteration so they
+            // cannot live in persistent scratch; pointer-sized entries bounded
+            // by the queue depth.
             .collect();
         let kt0 = Instant::now();
         if panel_rows.len() > FLUSH_PANEL_ROWS && self.exec.executors() > 1 {
+            // lint: allow(hot-alloc) — same per-flush ref staging as above.
             let panels: Vec<&[&[f64]]> = panel_rows.chunks(FLUSH_PANEL_ROWS).collect();
             let engine = &self.engine;
             let panel_values = self.exec.par_map(&panels, |panel| {
+                // lint: allow(hot-alloc) — per-executor output buffer; results
+                // must be owned to cross the parallel boundary back to the
+                // caller, so shared scratch cannot serve here.
                 let mut v = Vec::with_capacity(panel.len());
                 engine.decision_rows_into(panel, &mut v);
                 v
@@ -986,6 +997,9 @@ impl FleetScheduler {
         for rec in &records {
             let idx = self
                 .slot_index_cached(rec.patient)
+                // lint: allow(hot-panic) — invariant: `pending_chunks` records
+                // are purged in `remove_patient`, so a live record always has
+                // a slot.
                 .expect("chunk records are dropped with their patient");
             for _ in 0..rec.windows {
                 let w = self.slots[idx].take_staged();
@@ -1141,6 +1155,8 @@ impl FleetScheduler {
         };
         let idx = self
             .slot_index(victim)
+            // lint: allow(hot-panic) — invariant: `remove_patient` drops the
+            // patient's arrival entries before its slot.
             .expect("arrival entries are cleared when their patient leaves");
         let slot = &mut self.slots[idx];
         let (offset, entry) = slot
@@ -1149,7 +1165,10 @@ impl FleetScheduler {
             .skip(slot.shed_cursor)
             .enumerate()
             .find(|(_, e)| e.window.row.is_some())
+            // lint: allow(hot-panic) — invariant: `arrival` holds exactly one
+            // entry per buffered row, so a popped victim has a row to shed.
             .expect("arrival counts one entry per buffered row");
+        // lint: allow(hot-panic) — `find` matched on `row.is_some()` above.
         let row = entry.window.row.take().expect("found by row.is_some()");
         // A row the eager path already classified still sheds: its
         // value is discarded and the window decides as dropped.

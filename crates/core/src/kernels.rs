@@ -29,6 +29,8 @@
 //! n_feat = 53) the rule admits `D_bits ≤ 29` — the whole 2–16-bit
 //! exploration grid runs on the fast path with headroom to spare.
 
+// lint: allow-file(hot-index) — quantised-kernel idiom: subscripts walk
+// same-length code/alpha panels whose widths are validated at engine build.
 use ecg_features::DenseMatrix;
 use fixedpoint::fixed::{truncate_lsbs, truncate_lsbs_i64};
 

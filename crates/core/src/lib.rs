@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 //! # seizure-core — tailored SVM inference for ECG-based epilepsy monitors
 //!
 //! The primary contribution of Ferretti et al. (DATE 2019), reproduced in

@@ -53,8 +53,10 @@ struct Job {
     body: *const (dyn Fn() + Sync + 'static),
 }
 
-// The pointee is `Sync` (it is a `&dyn Fn() + Sync`) and the protocol
-// bounds its lifetime; moving the pointer between threads is safe.
+// SAFETY: the pointee is `Sync` (it is a `&dyn Fn() + Sync`) and the
+// dispatch protocol bounds its lifetime (the submitting frame stays
+// blocked until every worker finishes the epoch), so moving the pointer
+// between threads is sound.
 unsafe impl Send for Job {}
 
 struct PoolState {
@@ -179,15 +181,20 @@ impl WorkerPool {
                     break;
                 }
                 let r = f(&items[i]);
-                // Each index is claimed by exactly one executor, so this
-                // is a race-free write to a distinct slot.
+                // SAFETY: `i < n` (checked above) and each index is
+                // claimed by exactly one executor via the shared atomic
+                // counter, so this is a race-free write to a distinct
+                // in-bounds slot.
                 unsafe { slots.write(i, r) };
             }
         };
         let body_ref: &(dyn Fn() + Sync) = &body;
-        // Erase the stack lifetime: the dispatch protocol below keeps the
-        // closure alive (this frame blocked) until every worker is done.
         let job = Job {
+            // SAFETY: erases the stack lifetime only for the duration of
+            // the dispatch — the protocol below keeps the closure alive
+            // (this frame blocked in the `active > 0` wait) until every
+            // worker has finished the epoch, and `st.job` is cleared
+            // before returning.
             body: unsafe {
                 std::mem::transmute::<&(dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
                     body_ref,
@@ -273,17 +280,22 @@ impl WorkerPool {
                 if i >= n {
                     break;
                 }
-                // Each index is claimed by exactly one executor, so the
-                // `&mut` borrows are disjoint and each slot write is
-                // race-free.
+                // SAFETY: `i < n` (checked above) and each index is
+                // claimed by exactly one executor via the shared atomic
+                // counter, so the `&mut` borrows are disjoint.
                 let r = f(unsafe { base.get_mut(i) });
+                // SAFETY: same claim discipline — exactly one executor
+                // writes slot `i`, which is in bounds.
                 unsafe { slots.write(i, r) };
             }
         };
         let body_ref: &(dyn Fn() + Sync) = &body;
-        // Erase the stack lifetime: the dispatch protocol below keeps the
-        // closure alive (this frame blocked) until every worker is done.
         let job = Job {
+            // SAFETY: erases the stack lifetime only for the duration of
+            // the dispatch — the protocol below keeps the closure alive
+            // (this frame blocked in the `active > 0` wait) until every
+            // worker has finished the epoch, and `st.job` is cleared
+            // before returning.
             body: unsafe {
                 std::mem::transmute::<&(dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
                     body_ref,
@@ -336,7 +348,12 @@ impl WorkerPool {
 /// outlives the job.
 struct ItemWriter<T>(*mut T);
 
+// SAFETY: the pointer targets a `&mut [T]` (exclusive) slice owned by the
+// blocked dispatching frame; per-index claims make cross-thread access
+// disjoint, so the handle may move between executor threads.
 unsafe impl<T: Send> Send for ItemWriter<T> {}
+// SAFETY: shared across executors by reference, but every dereference is
+// to a distinct claimed index — no two threads touch the same element.
 unsafe impl<T: Send> Sync for ItemWriter<T> {}
 
 impl<T> ItemWriter<T> {
@@ -345,6 +362,8 @@ impl<T> ItemWriter<T> {
     /// `i` must be in bounds and claimed by exactly one executor.
     #[allow(clippy::mut_from_ref)]
     unsafe fn get_mut(&self, i: usize) -> &mut T {
+        // SAFETY: caller contract — `i` in bounds, claimed exactly once,
+        // and the owning slice outlives the job.
         unsafe { &mut *self.0.add(i) }
     }
 }
@@ -354,7 +373,12 @@ impl<T> ItemWriter<T> {
 /// the owning vector outlives the job.
 struct SlotWriter<R>(*mut Option<R>);
 
+// SAFETY: the pointer targets the output vector owned by the blocked
+// dispatching frame; per-index claims make cross-thread writes disjoint,
+// so the handle may move between executor threads.
 unsafe impl<R: Send> Send for SlotWriter<R> {}
+// SAFETY: shared across executors by reference, but every write lands in
+// a distinct claimed slot — no two threads touch the same element.
 unsafe impl<R: Send> Sync for SlotWriter<R> {}
 
 impl<R> SlotWriter<R> {
@@ -362,6 +386,8 @@ impl<R> SlotWriter<R> {
     ///
     /// `i` must be in bounds and claimed by exactly one executor.
     unsafe fn write(&self, i: usize, r: R) {
+        // SAFETY: caller contract — `i` in bounds, claimed exactly once,
+        // and the owning vector outlives the job.
         unsafe { *self.0.add(i) = Some(r) };
     }
 }
@@ -400,6 +426,10 @@ fn worker_loop(shared: &PoolShared) {
                 st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
+        // SAFETY: the job pointer stays valid for the whole epoch — the
+        // submitting frame blocks until `active` drops to zero, which
+        // happens only after this call returns (see the protocol in
+        // `par_map`).
         let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.body)() })).is_ok();
         let mut st = lock(&shared.state);
         if !ok {

@@ -41,9 +41,12 @@
 //! [`run_streams_parallel`], which fans sessions out on
 //! [`crate::parallel::par_map`] while sharing one engine.
 
+// lint: allow-file(hot-index) — streaming bookkeeping: ring/batch offsets come
+// from the window scheduler's drain contract (`min_ring_capacity`) and the
+// lane-group layout sized in the same function.
 use crate::alarm::{AlarmConfig, AlarmEvent, AlarmStateMachine};
 use crate::error::CoreError;
-use crate::parallel::par_map;
+use crate::parallel::par_map_mut;
 use biodsp::stream::{SampleRing, WindowScheduler};
 use biodsp::ExtractPrecision;
 use ecg_features::extract::{ExtractScratch, WindowExtractor};
@@ -460,6 +463,9 @@ impl StreamingSession {
     /// the opposite mixing order with an error; this direction can only
     /// arise from caller code, so it fails loudly.)
     pub fn extract_windows_into(&mut self, chunk: &[f64], pending: &mut Vec<PendingWindow>) {
+        // lint: allow(hot-panic) — documented `# Panics` contract: mixing
+        // ingest modes would silently fork window numbering, so it fails
+        // loudly; the reverse order is rejected with a typed error.
         assert!(
             self.next_row_window == 0,
             "session already ingested pre-extracted rows; cannot mix raw-sample ingestion \
@@ -483,6 +489,9 @@ impl StreamingSession {
                 self.batch_buf.resize((pooled + 1) * wl, 0.0);
                 self.ring
                     .copy_into(span.start, &mut self.batch_buf[pooled * wl..][..wl])
+                    // lint: allow(hot-panic) — invariant: the ring is built
+                    // with `WindowScheduler::min_ring_capacity` and sub-feeds
+                    // are capped at `stride`, so completed spans are in range.
                     .expect("ring sized for the scheduler's drain contract");
                 self.batch_spans.push((span.index, span.start));
                 if self.batch_spans.len() == LANE_GROUP {
@@ -745,7 +754,7 @@ pub fn pooled_windows_per_sec(windows: u64, wall_ns: u128) -> f64 {
 /// Runs many patient streams concurrently over one shared engine: each
 /// stream gets its own [`StreamingSession`] (ring, scratch, stats) and is
 /// fed in `chunk_len`-sample chunks; sessions fan out on
-/// [`par_map`], and results come back in input order.
+/// [`par_map_mut`], and results come back in input order.
 ///
 /// # Errors
 ///
@@ -781,20 +790,28 @@ pub fn run_streams_parallel_alarmed(
             "stream chunk length must be >= 1".into(),
         ));
     }
-    // Validate both configurations once, up front.
-    StreamingSession::new(Arc::clone(engine), cfg)?;
-    if let Some(a) = alarm_cfg {
-        a.validate()?;
-    }
-    Ok(par_map(streams, |samples| {
-        let t0 = Instant::now();
-        let mut session =
-            StreamingSession::new(Arc::clone(engine), cfg).expect("config validated above");
+    if streams.is_empty() {
+        // Still surface configuration errors for a zero-stream cohort.
+        StreamingSession::new(Arc::clone(engine), cfg)?;
         if let Some(a) = alarm_cfg {
-            session
-                .enable_alarms(a)
-                .expect("alarm config validated above");
+            a.validate()?;
         }
+        return Ok(Vec::new());
+    }
+    // Build every session up front so configuration errors propagate as
+    // typed results instead of panicking inside the parallel region.
+    let mut work = streams
+        .iter()
+        .map(|samples| {
+            let mut session = StreamingSession::new(Arc::clone(engine), cfg)?;
+            if let Some(a) = alarm_cfg {
+                session.enable_alarms(a)?;
+            }
+            Ok((session, samples.as_slice()))
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+    Ok(par_map_mut(&mut work, |(session, samples)| {
+        let t0 = Instant::now();
         let mut decisions = Vec::new();
         let mut fresh = Vec::new();
         for chunk in samples.chunks(chunk_len) {

@@ -12,6 +12,8 @@
 //! second training pass — the resulting exponents differ only on
 //! degenerate folds.
 
+use std::cell::RefCell;
+
 use crate::config::FitConfig;
 use crate::error::CoreError;
 use ecg_features::{DenseMatrix, FeatureMatrix};
@@ -20,6 +22,15 @@ use svm::classifier::{ClassifierEngine, EngineInfo};
 use svm::smo::{SmoConfig, SmoTrainer};
 use svm::SvmModel;
 
+thread_local! {
+    /// Reusable panel + decision-value buffers for
+    /// [`FloatPipeline::decision_rows_into`] (same idiom as the quantised
+    /// engine's `CODE_SCRATCH`): steady-state fleet flushes stop
+    /// allocating per panel once the buffers hit their high-water mark.
+    static PANEL_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// A trained float pipeline over a (possibly reduced) feature set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FloatPipeline {
@@ -27,6 +38,19 @@ pub struct FloatPipeline {
     scales: FeatureScales,
     model: SvmModel,
     guard: i32,
+    /// Cached per-feature divisors `2^{R_j + G}` (derived from `scales`
+    /// and `guard`), so the panel-serving path does not rebuild them on
+    /// every flush.
+    divisors: Vec<f64>,
+}
+
+/// Per-feature divisors `2^{R_j + G}` for the shift-normalisation.
+fn divisors_for(scales: &FeatureScales, guard: i32) -> Vec<f64> {
+    scales
+        .r
+        .iter()
+        .map(|&r| ((r + guard) as f64).exp2())
+        .collect()
 }
 
 /// Global guard shift (bits) applied on top of the per-feature range
@@ -135,11 +159,13 @@ impl FloatPipeline {
             Some(budget) => crate::budget::train_budgeted(&x, &y, &smo_cfg, budget)?.0,
             None => SmoTrainer::new(smo_cfg).train(&x, &y)?,
         };
+        let divisors = divisors_for(&scales, guard);
         Ok(FloatPipeline {
             feature_indices,
             scales,
             model,
             guard,
+            divisors,
         })
     }
 
@@ -305,11 +331,14 @@ impl FloatPipeline {
                 feature_indices.len()
             )));
         }
+        let guard = guard.ok_or_else(|| bad("missing guard".into()))?;
+        let divisors = divisors_for(&scales, guard);
         Ok(FloatPipeline {
             feature_indices,
             scales,
             model,
-            guard: guard.ok_or_else(|| bad("missing guard".into()))?,
+            guard,
+            divisors,
         })
     }
 }
@@ -344,27 +373,37 @@ impl ClassifierEngine for FloatPipeline {
     /// one dense panel (same divide-then-clamp per element as
     /// [`normalize_block`], so bit-identical to `decision_batch` on a
     /// gathered copy), then streams the panel through the model's tiled
-    /// batch kernel.
+    /// batch kernel. Panel and decision-value buffers are thread-local
+    /// scratch recycled across calls, so steady-state fleet flushes are
+    /// allocation-free on this path.
     fn decision_rows_into(&self, rows: &[&[f64]], out: &mut Vec<f64>) {
         let k = self.feature_indices.len();
         let bound = (-self.guard as f64).exp2();
-        let divisors: Vec<f64> = self
-            .scales
-            .r
-            .iter()
-            .map(|&r| ((r + self.guard) as f64).exp2())
-            .collect();
-        let mut data = Vec::with_capacity(rows.len() * k);
-        for row in rows {
-            data.extend(
-                self.feature_indices
-                    .iter()
-                    .zip(divisors.iter())
-                    .map(|(&j, &d)| (row[j] / d).clamp(-bound, bound)),
+        PANEL_SCRATCH.with(|scratch| {
+            let (mut data, mut vals) = scratch.take();
+            data.clear();
+            data.reserve(rows.len() * k);
+            for row in rows {
+                data.extend(
+                    self.feature_indices
+                        .iter()
+                        .zip(self.divisors.iter())
+                        .map(|(&j, &d)| (row[j] / d).clamp(-bound, bound)),
+                );
+            }
+            let panel = DenseMatrix::from_flat(data, k);
+            svm::kernel::block::decision_batch_into(
+                self.model.kernel(),
+                &panel,
+                self.model.support_vectors(),
+                self.model.sv_sq_norms(),
+                self.model.alpha_y(),
+                self.model.bias(),
+                &mut vals,
             );
-        }
-        let panel = DenseMatrix::from_flat(data, k);
-        out.extend(self.model.decision_batch(&panel));
+            out.extend_from_slice(&vals);
+            scratch.replace((panel.into_flat(), vals));
+        });
     }
 
     fn n_features(&self) -> usize {

@@ -4,6 +4,8 @@
 //! `filtfilt` forward–backward pass provides zero-phase filtering for the
 //! feature-extraction front end.
 
+// lint: allow-file(hot-index) — filter-kernel idiom: taps index a window whose
+// length is validated at entry; offsets stay within `i` which walks the slice.
 use crate::error::DspError;
 use crate::kernels::{self, SosSection};
 use std::f64::consts::PI;
@@ -392,6 +394,7 @@ pub fn moving_average_into(x: &[f64], len: usize, out: &mut Vec<f64>) -> Result<
             acc -= x[i - len];
         }
         let effective = (i + 1).min(len);
+        // lint: allow(float-det) — exact integer→float cast (effective <= len).
         out.push(acc / effective as f64);
     }
     Ok(())

@@ -37,6 +37,9 @@
 //! `f64` instantiation reproduces the scalar reference expressions bit
 //! for bit.
 
+// lint: allow-file(hot-index) — fused-kernel idiom: subscripts are ring/window
+// offsets whose bounds are established once at entry (length asserts, `min`
+// clamps); hoisting each access would defeat the chain fusion.
 use std::cmp::Ordering;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
@@ -293,18 +296,29 @@ fn chain_backward<T: Scalar, const K: usize>(secs: &[SosSection<T>; K], x: &mut 
     }
 }
 
+/// Converts a length-checked section slice into the fixed-size array
+/// reference the monomorphised chain kernels take. Shared by the scalar
+/// and lane dispatchers, which only call it from a match arm that just
+/// proved `secs.len() == K`.
+#[inline(always)]
+pub(crate) fn sos_array<T: Scalar, const K: usize>(secs: &[SosSection<T>]) -> &[SosSection<T>; K] {
+    // lint: allow(hot-panic) — the dispatch arm matched `secs.len() == K`.
+    secs.try_into().expect("dispatch arm matched the length")
+}
+
 macro_rules! dispatch_chain {
     ($fn:ident, $secs:expr, $x:expr) => {
         match $secs.len() {
             0 => {}
-            1 => $fn::<T, 1>($secs.try_into().expect("len checked"), $x),
-            2 => $fn::<T, 2>($secs.try_into().expect("len checked"), $x),
-            3 => $fn::<T, 3>($secs.try_into().expect("len checked"), $x),
-            4 => $fn::<T, 4>($secs.try_into().expect("len checked"), $x),
-            5 => $fn::<T, 5>($secs.try_into().expect("len checked"), $x),
-            6 => $fn::<T, 6>($secs.try_into().expect("len checked"), $x),
-            7 => $fn::<T, 7>($secs.try_into().expect("len checked"), $x),
-            8 => $fn::<T, 8>($secs.try_into().expect("len checked"), $x),
+            1 => $fn::<T, 1>(sos_array($secs), $x),
+            2 => $fn::<T, 2>(sos_array($secs), $x),
+            3 => $fn::<T, 3>(sos_array($secs), $x),
+            4 => $fn::<T, 4>(sos_array($secs), $x),
+            5 => $fn::<T, 5>(sos_array($secs), $x),
+            6 => $fn::<T, 6>(sos_array($secs), $x),
+            7 => $fn::<T, 7>(sos_array($secs), $x),
+            8 => $fn::<T, 8>(sos_array($secs), $x),
+            // lint: allow(hot-panic) — documented `# Panics` contract; longer cascades are a caller bug.
             n => panic!("sos chain supports at most {MAX_CHAIN_SECTIONS} sections, got {n}"),
         }
     };
@@ -473,6 +487,8 @@ pub fn qrs_energy_into<T: Scalar>(
     ring: &mut Vec<T>,
     out: &mut Vec<T>,
 ) {
+    // lint: allow(hot-panic) — entry-gate contract check (once per call,
+    // not per sample); a zero window is a caller bug.
     assert!(win >= 1, "integration window must be >= 1 sample");
     let n = filtered.len();
     out.clear();
@@ -509,6 +525,7 @@ pub fn qrs_energy_into<T: Scalar>(
             pos = 0;
         }
         let effective = (i as usize + 1).min(win);
+        // lint: allow(float-det) — exact integer→float cast (effective <= win).
         out.push(acc / T::from_f64(effective as f64));
     }
     for i in head.max(4)..n {
@@ -526,6 +543,7 @@ pub fn qrs_energy_into<T: Scalar>(
             pos = 0;
         }
         let effective = (i + 1).min(win);
+        // lint: allow(float-det) — exact integer→float cast (effective <= win).
         out.push(acc / T::from_f64(effective as f64));
     }
 }
@@ -627,6 +645,8 @@ impl<T: Scalar> RfftPlan<T> {
     ///
     /// Panics unless `n` is a power of two and `n >= 2`.
     pub fn new(n: usize) -> Self {
+        // lint: allow(hot-panic) — documented `# Panics` contract: plan
+        // construction is setup, not the streaming path.
         assert!(
             n.is_power_of_two() && n >= 2,
             "rfft length must be a power of two >= 2, got {n}"

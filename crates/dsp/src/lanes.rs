@@ -38,6 +38,8 @@
 //! and change the spectra; at ~2 µs of an ~84 µs window it is not
 //! where the wall is.
 
+// lint: allow-file(hot-index) — lane-kernel idiom: subscripts are lane/ring
+// offsets bounded by the `[T; L]` element type and entry-gate length asserts.
 use crate::kernels::{Scalar, SosSection, MAX_CHAIN_SECTIONS};
 
 /// One SoA sample through a K-section chain: the scalar `chain_step`
@@ -125,14 +127,15 @@ macro_rules! dispatch_lane_chain {
     ($fn:ident, $secs:expr, $x:expr) => {
         match $secs.len() {
             0 => {}
-            1 => $fn::<T, 1, L>($secs.try_into().expect("len checked"), $x),
-            2 => $fn::<T, 2, L>($secs.try_into().expect("len checked"), $x),
-            3 => $fn::<T, 3, L>($secs.try_into().expect("len checked"), $x),
-            4 => $fn::<T, 4, L>($secs.try_into().expect("len checked"), $x),
-            5 => $fn::<T, 5, L>($secs.try_into().expect("len checked"), $x),
-            6 => $fn::<T, 6, L>($secs.try_into().expect("len checked"), $x),
-            7 => $fn::<T, 7, L>($secs.try_into().expect("len checked"), $x),
-            8 => $fn::<T, 8, L>($secs.try_into().expect("len checked"), $x),
+            1 => $fn::<T, 1, L>(crate::kernels::sos_array($secs), $x),
+            2 => $fn::<T, 2, L>(crate::kernels::sos_array($secs), $x),
+            3 => $fn::<T, 3, L>(crate::kernels::sos_array($secs), $x),
+            4 => $fn::<T, 4, L>(crate::kernels::sos_array($secs), $x),
+            5 => $fn::<T, 5, L>(crate::kernels::sos_array($secs), $x),
+            6 => $fn::<T, 6, L>(crate::kernels::sos_array($secs), $x),
+            7 => $fn::<T, 7, L>(crate::kernels::sos_array($secs), $x),
+            8 => $fn::<T, 8, L>(crate::kernels::sos_array($secs), $x),
+            // lint: allow(hot-panic) — documented `# Panics` contract; longer cascades are a caller bug.
             n => panic!("sos chain supports at most {MAX_CHAIN_SECTIONS} sections, got {n}"),
         }
     };
@@ -188,6 +191,8 @@ pub fn lane_filtfilt_from_f64_in_ext<T: Scalar, const L: usize>(
 ) -> usize {
     let n = windows[0].len();
     for w in windows.iter() {
+        // lint: allow(hot-panic) — documented `# Panics` contract: ragged
+        // lane groups are a caller bug (entry gate, once per lane).
         assert_eq!(w.len(), n, "lane windows must share one length");
     }
     if n == 0 || secs.is_empty() {
@@ -241,6 +246,8 @@ pub fn lane_qrs_energy_into<T: Scalar, const L: usize>(
     ring: &mut Vec<[T; L]>,
     out: &mut Vec<[T; L]>,
 ) {
+    // lint: allow(hot-panic) — entry-gate contract check (once per call,
+    // not per sample); a zero window is a caller bug.
     assert!(win >= 1, "integration window must be >= 1 sample");
     let n = filtered.len();
     out.clear();
@@ -284,6 +291,7 @@ pub fn lane_qrs_energy_into<T: Scalar, const L: usize>(
         if pos == win {
             pos = 0;
         }
+        // lint: allow(float-det) — exact integer→float cast (effective <= win).
         let effective = T::from_f64(((i as usize + 1).min(win)) as f64);
         out.push(std::array::from_fn(|l| acc[l] / effective));
     }
@@ -314,6 +322,7 @@ pub fn lane_qrs_energy_into<T: Scalar, const L: usize>(
         if pos == win {
             pos = 0;
         }
+        // lint: allow(float-det) — exact integer→float cast (effective <= win).
         let effective = T::from_f64(((i + 1).min(win)) as f64);
         out.push(std::array::from_fn(|l| acc[l] / effective));
     }
@@ -327,6 +336,8 @@ pub fn lane_qrs_energy_into<T: Scalar, const L: usize>(
 ///
 /// Panics when `lane >= L`.
 pub fn deinterleave_into<T: Scalar, const L: usize>(src: &[[T; L]], lane: usize, dst: &mut Vec<T>) {
+    // lint: allow(hot-panic) — documented `# Panics` contract: an
+    // out-of-range lane is a caller bug (entry gate, once per unpack).
     assert!(lane < L, "lane {lane} out of range for L = {L}");
     dst.clear();
     dst.reserve(src.len());

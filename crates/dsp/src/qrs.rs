@@ -8,6 +8,9 @@
 //! measured on the band-passed signal; the amplitudes drive the EDR
 //! (ECG-derived respiration) extraction downstream.
 
+// lint: allow-file(hot-index) — detector idiom: indices are peak/sample
+// positions produced by scans over the same slices they index, bounded by the
+// signal length validated in `validate_and_cache`.
 use crate::error::DspError;
 use crate::filter::{five_point_derivative_into, moving_average_into, FiltFiltScratch, SosCascade};
 use crate::kernels::{self, ExtractPrecision, SosSection};
@@ -260,6 +263,8 @@ impl PanTompkins {
     ) -> Result<(), DspError> {
         out.peaks.clear();
         let (min_len, win) = self.validate_and_cache(ecg, fs, scratch)?;
+        // lint: allow(hot-panic) — `validate_and_cache` installed the
+        // band-pass on the line above; absence is unreachable.
         let bp = &scratch.bandpass.as_ref().expect("cached band-pass").3;
         let refractory = (self.refractory_s * fs).round() as usize;
         match precision {
@@ -371,13 +376,18 @@ impl PanTompkins {
         scratch: &mut LaneDetectScratch<T, L>,
         outs: &mut [QrsDetection],
     ) -> Result<(), DspError> {
+        // lint: allow(hot-panic) — documented `# Panics` contract: group
+        // arity is fixed at L by the lane layout; a mismatch is a caller bug.
         let windows: &[&[f64]; L] = windows.try_into().expect("window group must be L long");
+        // lint: allow(hot-panic) — same group-arity contract as above.
         assert_eq!(outs.len(), L, "output group must be L long");
         for o in outs.iter_mut() {
             o.peaks.clear();
         }
         let n = windows[0].len();
         let (min_len, win) = self.validate_and_cache_in(n, fs, &mut scratch.bandpass)?;
+        // lint: allow(hot-panic) — `validate_and_cache` installed the
+        // band-pass on the line above; absence is unreachable.
         let bp = &scratch.bandpass.as_ref().expect("cached band-pass").3;
         // The internal Pan–Tompkins design is always the 2-section
         // band-pass, well inside the chain kernels' section budget.
@@ -441,6 +451,8 @@ impl PanTompkins {
     ) -> Result<(), DspError> {
         out.peaks.clear();
         let (min_len, win) = self.validate_and_cache(ecg, fs, scratch)?;
+        // lint: allow(hot-panic) — `validate_and_cache` installed the
+        // band-pass on the line above; absence is unreachable.
         let bp = &scratch.bandpass.as_ref().expect("cached band-pass").3;
         // 1) Band-pass, per-section sweeps with two buffer reversals.
         bp.filtfilt_into_reference(ecg, &mut scratch.filtfilt, &mut scratch.filtered);
@@ -564,6 +576,7 @@ impl PanTompkins {
             if !in_refractory && v > threshold1 {
                 // Signal peak.
                 if let Some(l) = last_qrs_idx {
+                    // lint: allow(float-det) — exact integer→float cast (sample index).
                     let rr = (p - l) as f64 / fs;
                     rr_recent.push(rr);
                     if rr_recent.len() > 8 {
@@ -583,6 +596,7 @@ impl PanTompkins {
             // re-scan the gap with half threshold.
             if let (Some(l), false) = (last_qrs_idx, rr_recent.is_empty()) {
                 let rr_avg = crate::stats::mean(rr_recent);
+                // lint: allow(float-det) — exact integer→float cast (sample index).
                 let gap = (p.saturating_sub(l)) as f64 / fs;
                 if gap > self.searchback_factor * rr_avg {
                     let t2 = threshold1 * half_t;
@@ -598,7 +612,7 @@ impl PanTompkins {
                             // Insert in order.
                             qrs.push(c);
                             qrs.sort_unstable();
-                            last_qrs_idx = Some(*qrs.last().expect("non-empty"));
+                            last_qrs_idx = qrs.last().copied();
                             spki = quarter * mwi[c] + three_quarters * spki;
                         }
                     }
@@ -635,6 +649,7 @@ impl PanTompkins {
             last_index = Some(best);
             out.peaks.push(RPeak {
                 index: best,
+                // lint: allow(float-det) — exact integer→float cast (sample index).
                 time_s: best as f64 / fs,
                 amplitude: filtered[best].to_f64(),
             });
@@ -652,6 +667,7 @@ fn mean_t<T: kernels::Scalar>(x: &[T]) -> T {
     for &v in x {
         s += v;
     }
+    // lint: allow(float-det) — exact integer→float cast (slice length).
     s / T::from_f64(x.len() as f64)
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ecg-sim — synthetic ECG dataset generator
 //!
 //! Stand-in for the clinical cohort used by Ferretti et al. (DATE 2019):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness for the paper-regeneration binaries.
 //!
 //! Every binary accepts the same flags:

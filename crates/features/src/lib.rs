@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ecg-features — the 53-feature set of Forooghifar et al. [6]
 //!
 //! Feature extraction for ECG-based seizure detection, matching the layout

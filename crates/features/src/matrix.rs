@@ -102,6 +102,13 @@ impl<T: Copy> DenseMatrix<T> {
         &self.data
     }
 
+    /// Consumes the matrix and returns its flat row-major buffer — the
+    /// inverse of [`DenseMatrix::from_flat`], letting allocation-free
+    /// `*_into` paths recycle a scratch buffer through a temporary panel.
+    pub fn into_flat(self) -> Vec<T> {
+        self.data
+    }
+
     /// Row `i` as a contiguous slice.
     ///
     /// # Panics

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # epilepsy-monitor — facade crate
 //!
 //! One-stop re-export of the full reproduction stack for *Tailoring SVM

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # simrand — offline stand-in for the `rand` crate
 //!
 //! This workspace builds in fully offline environments, so it vendors the

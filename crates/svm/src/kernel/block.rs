@@ -24,6 +24,8 @@
 //! drift at ≤ 1e-12 with identical classifications on a real cohort,
 //! while per-row / batch / streaming paths remain *mutually* bit-exact.
 
+// lint: allow-file(hot-index) — panel-tiled kernel: row/SV subscripts are loop
+// indices bounded by `n_rows`/`n_sv`, the lengths of the slices they index.
 use crate::kernel::Kernel;
 use ecg_features::DenseMatrix;
 
@@ -155,6 +157,8 @@ pub fn decision_batch_into(
     let row_sq: Vec<f64> = if uses_norms(kernel) {
         sq_norms(rows)
     } else {
+        // lint: allow(hot-alloc) — `Vec::new` does not allocate: empty
+        // placeholder for kernels without norm terms.
         Vec::new()
     };
     let n_sv = svs.n_rows();

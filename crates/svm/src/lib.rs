@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # svm — from-scratch C-SVC support vector machine
 //!
 //! A dependency-free implementation of the soft-margin support vector

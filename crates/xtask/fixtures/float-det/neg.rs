@@ -1,0 +1,25 @@
+//! float-det negative fixture: the approved conversion surface —
+//! `impl Scalar for ...` / `trait Scalar` blocks may cast; everything
+//! else uses the helpers (`from_f64` / `to_f64`) or stays width-stable.
+
+trait Scalar: Copy {
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+fn kernel<T: Scalar>(xs: &[T], scale: f64) -> f64 {
+    let mut acc = 0.0f64;
+    for &v in xs {
+        acc += v.to_f64() * scale;
+    }
+    acc
+}

@@ -1,0 +1,11 @@
+//! float-det positive fixture: FMA and precision-changing casts in a
+//! bit-identity-critical module.
+
+fn kernel(xs: &[f32], scale: f64) -> f64 {
+    let mut acc = 0.0f64;
+    for (i, &v) in xs.iter().enumerate() {
+        let w = f64::from(v) * (i as f64);
+        acc = w.mul_add(scale, acc);
+    }
+    acc as f32 as f64
+}

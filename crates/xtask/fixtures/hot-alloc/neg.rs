@@ -1,0 +1,22 @@
+//! hot-alloc negative fixture: the same functions written against the
+//! scratch contract, plus an unconstrained builder that may allocate.
+
+fn energy_into(xs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(xs.iter().map(|v| v * v));
+}
+
+fn smooth_in_place(xs: &mut [f64], scratch: &mut Vec<f64>) {
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    for (y, c) in xs.iter_mut().zip(scratch.iter()) {
+        *y = 0.5 * (*y + c);
+    }
+}
+
+fn build_panel(n: usize) -> Vec<f64> {
+    // Not `*_into` / `*_in_place` / scratch-taking: allocation is fine.
+    let mut panel = Vec::with_capacity(n);
+    panel.resize(n, 0.0);
+    panel
+}

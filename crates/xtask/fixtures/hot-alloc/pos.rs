@@ -1,0 +1,21 @@
+//! hot-alloc positive fixture: allocation inside scratch-contract
+//! functions (`*_into`, `*_in_place`, scratch-taking).
+
+fn energy_into(xs: &[f64], out: &mut Vec<f64>) {
+    let staged: Vec<f64> = xs.iter().map(|v| v * v).collect();
+    out.extend_from_slice(&staged);
+}
+
+fn smooth_in_place(xs: &mut [f64]) {
+    let copy = xs.to_vec();
+    for (y, c) in xs.iter_mut().zip(&copy) {
+        *y = 0.5 * (*y + c);
+    }
+}
+
+fn windowed(xs: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    let label = format!("{} samples", xs.len());
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    label.len() as f64
+}

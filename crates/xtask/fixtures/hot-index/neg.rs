@@ -1,0 +1,18 @@
+//! hot-index negative fixture: brackets that are not index
+//! expressions — types, array literals, attributes, slice patterns.
+
+#[derive(Clone)]
+struct Frame {
+    taps: [f64; 4],
+}
+
+fn gather(xs: &[f64]) -> f64 {
+    let zeros = [0.0f64; 3];
+    let frame = Frame { taps: [1.0, 2.0, 3.0, 4.0] };
+    let head = xs.first().copied().unwrap_or(0.0);
+    let sum: f64 = frame.taps.iter().sum();
+    if let [a, b, _] = zeros {
+        return head + sum + a + b;
+    }
+    head + sum
+}

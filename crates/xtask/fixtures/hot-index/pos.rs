@@ -1,0 +1,10 @@
+//! hot-index positive fixture: direct subscripts on values.
+
+fn gather(xs: &[f64], idx: &[usize]) -> f64 {
+    let mut acc = xs[0];
+    for &i in idx {
+        acc += xs[i];
+    }
+    let pair = (xs, idx);
+    acc + pair.0[1]
+}

@@ -1,0 +1,28 @@
+//! hot-panic negative fixture: the same shapes written panic-free.
+//! `debug_assert!` compiles out of release and is deliberately allowed;
+//! `#[cfg(test)]` items are stripped before the passes run.
+
+fn serve(values: &[f64]) -> Option<f64> {
+    let first = values.first()?;
+    let last = values.last()?;
+    debug_assert!(values.len() > 1, "need at least two");
+    Some(first + last)
+}
+
+fn arm(v: Option<f64>) -> f64 {
+    v.unwrap_or(0.0)
+}
+
+fn named_not_called(unwrap: f64, expect: f64) -> f64 {
+    // Idents named like the methods, but not `.unwrap()` calls.
+    unwrap + expect
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v = [1.0f64];
+        assert!(v.first().unwrap() > 0.0);
+    }
+}

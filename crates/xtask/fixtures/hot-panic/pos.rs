@@ -1,0 +1,18 @@
+//! hot-panic positive fixture: every panic-family construct fires.
+
+fn serve(values: &[f64]) -> f64 {
+    let first = values.first().unwrap();
+    let last = values.last().expect("non-empty");
+    assert!(values.len() > 1, "need at least two");
+    if values.is_empty() {
+        panic!("empty panel");
+    }
+    first + last
+}
+
+fn arm(v: Option<f64>) -> f64 {
+    match v {
+        Some(x) => x,
+        None => unreachable!("validated upstream"),
+    }
+}

@@ -1,0 +1,24 @@
+//! unsafe-ledger negative fixture: every site carries its
+//! justification (`// SAFETY:` comment, or `# Safety` doc for fns).
+
+fn read_first(xs: &[f64]) -> f64 {
+    // SAFETY: caller-visible contract — `xs` is non-empty at every call
+    // site in this fixture.
+    unsafe { *xs.as_ptr() }
+}
+
+struct Handle(*mut f64);
+
+// SAFETY: the pointee is owned by the sole dispatching thread.
+unsafe impl Send for Handle {}
+
+impl Handle {
+    /// # Safety
+    ///
+    /// The pointer must be valid and exclusively borrowed.
+    #[allow(dead_code)]
+    unsafe fn get(&self) -> f64 {
+        // SAFETY: caller contract above.
+        unsafe { *self.0 }
+    }
+}

@@ -1,0 +1,9 @@
+//! unsafe-ledger positive fixture: undocumented `unsafe` sites.
+
+fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.as_ptr() }
+}
+
+struct Handle(*mut f64);
+
+unsafe impl Send for Handle {}

@@ -1,0 +1,11 @@
+//! waiver negative fixture: well-formed waivers in all three shapes —
+//! trailing, standalone-above, and file-level.
+
+// lint: allow-file(hot-index) — fixture exercises the file-level shape.
+
+fn serve(values: &[f64], i: usize) -> f64 {
+    let a = values.first().unwrap(); // lint: allow(hot-panic) — fixture invariant: callers pass non-empty panels.
+    // lint: allow(hot-panic, hot-alloc) — standalone shape covering the next code line.
+    let b = values.last().expect("non-empty");
+    a + b + values[i]
+}

@@ -1,0 +1,11 @@
+//! waiver-syntax positive fixture: malformed waivers are findings and
+//! never suppress anything.
+
+fn serve(values: &[f64]) -> f64 {
+    // lint: allow(hot-panic)
+    let a = values.first().unwrap();
+    // lint: allow
+    let b = values.last().unwrap();
+    // lint: deny(hot-panic) — not a directive we know
+    a + b
+}

@@ -1,0 +1,212 @@
+//! The unsafe ledger: every `unsafe` site in the workspace must carry a
+//! `// SAFETY:` comment (unsafe fns may instead document their contract
+//! in a `# Safety` doc section), and the full inventory is rendered to
+//! `UNSAFE_LEDGER.md` at the workspace root. CI regenerates the
+//! inventory and fails on any difference, so growing the unsafe surface
+//! is always an explicit, reviewed act.
+
+use crate::lexer::{Comment, Tok};
+use crate::rules::Finding;
+
+/// What the `unsafe` keyword introduces at one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+    Extern,
+}
+
+impl UnsafeKind {
+    fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Extern => "extern",
+        }
+    }
+}
+
+/// One inventoried `unsafe` site.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub kind: UnsafeKind,
+    /// Trimmed source line of the `unsafe` token (ledger context).
+    pub context: String,
+    /// First line of the justification: text after `SAFETY:`, or the
+    /// first content line of a `# Safety` doc section.
+    pub safety: Option<String>,
+}
+
+/// Extracts the justification attached to the comment run that ends
+/// directly above `line` (no blank line in between), or trails on
+/// `line` itself. `allow_doc_safety` additionally accepts a `# Safety`
+/// doc-section (the idiom for unsafe fns, whose inner operations carry
+/// their own `// SAFETY:` blocks under `unsafe_op_in_unsafe_fn`).
+fn safety_text(
+    comments: &[Comment],
+    lines: &[&str],
+    line: u32,
+    allow_doc_safety: bool,
+) -> Option<String> {
+    // The run of comments ending directly above `line`. Attribute lines
+    // (`#[...]`) between the comment and the site do not break
+    // adjacency — e.g. a doc-commented unsafe fn carrying a
+    // `#[allow(...)]`.
+    let is_attr = |n: u32| {
+        lines
+            .get(n as usize - 1)
+            .map(|l| l.trim_start().starts_with("#["))
+            .unwrap_or(false)
+    };
+    let mut run: Vec<&Comment> = Vec::new();
+    let mut want = line - 1;
+    while want > 0 && is_attr(want) {
+        want -= 1;
+    }
+    while let Some(c) = comments.iter().rev().find(|c| c.end_line == want) {
+        run.push(c);
+        if c.line == 0 {
+            break;
+        }
+        want = c.line - 1;
+        while want > 0 && is_attr(want) {
+            want -= 1;
+        }
+    }
+    run.reverse();
+    let trailing = comments.iter().find(|c| c.line == line);
+    let all: Vec<&Comment> = run.into_iter().chain(trailing).collect();
+    for (i, c) in all.iter().enumerate() {
+        let text = c.text.trim_start_matches(['/', '!']).trim();
+        if let Some(rest) = text.split("SAFETY:").nth(1) {
+            let rest = rest.trim();
+            if !rest.is_empty() {
+                return Some(rest.to_string());
+            }
+            // `// SAFETY:` alone on a line: justification continues on
+            // the next comment line.
+            if let Some(next) = all.get(i + 1) {
+                return Some(next.text.trim_start_matches(['/', '!']).trim().to_string());
+            }
+        }
+        if allow_doc_safety && text.trim_start_matches('#').trim() == "Safety" {
+            let next = all
+                .get(i + 1)
+                .map(|c| c.text.trim_start_matches(['/', '!']).trim())
+                .filter(|t| !t.is_empty())
+                .unwrap_or("contract documented in `# Safety` doc section");
+            return Some(format!("(doc contract) {next}"));
+        }
+    }
+    None
+}
+
+/// Scans one file's tokens for `unsafe` sites, checking each for its
+/// justification. Returns the inventory plus findings for undocumented
+/// sites. `lines` are the raw source lines (for ledger context).
+pub fn unsafe_pass(
+    file: &str,
+    toks: &[Tok],
+    comments: &[Comment],
+    lines: &[&str],
+) -> (Vec<UnsafeSite>, Vec<Finding>) {
+    let mut sites = Vec::new();
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match toks.get(i + 1) {
+            Some(n) if n.is_punct('{') => UnsafeKind::Block,
+            Some(n) if n.is_ident("fn") => UnsafeKind::Fn,
+            Some(n) if n.is_ident("impl") => UnsafeKind::Impl,
+            Some(n) if n.is_ident("trait") => UnsafeKind::Trait,
+            Some(n) if n.is_ident("extern") => UnsafeKind::Extern,
+            _ => UnsafeKind::Block,
+        };
+        let context = lines
+            .get(t.line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or("")
+            .to_string();
+        let safety = safety_text(comments, lines, t.line, kind == UnsafeKind::Fn);
+        if safety.is_none() {
+            findings.push(Finding {
+                file: file.into(),
+                line: t.line,
+                rule: "unsafe-ledger",
+                msg: format!(
+                    "`unsafe` {} without an adjacent `// SAFETY:` comment{}",
+                    kind.label(),
+                    if kind == UnsafeKind::Fn {
+                        " or `# Safety` doc section"
+                    } else {
+                        ""
+                    }
+                ),
+            });
+        }
+        sites.push(UnsafeSite {
+            file: file.into(),
+            kind,
+            context,
+            safety,
+        });
+    }
+    (sites, findings)
+}
+
+fn md_escape(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+fn clip(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+/// Renders the ledger markdown for `sites` (already in scan order:
+/// files sorted, sites in source order within a file).
+pub fn render_ledger(sites: &[UnsafeSite]) -> String {
+    let mut out = String::new();
+    out.push_str("# Unsafe ledger\n\n");
+    out.push_str(
+        "Machine-generated inventory of every `unsafe` site in the workspace.\n\
+         Regenerate with `cargo run -p xtask -- lint --write-ledger`; CI fails\n\
+         if this file differs from the regenerated inventory, so any change to\n\
+         the unsafe surface is an explicit, reviewed act. Each site must carry\n\
+         a `// SAFETY:` comment (unsafe fns may document their caller contract\n\
+         in a `# Safety` doc section instead; their bodies still need\n\
+         `// SAFETY:` on the inner blocks under `unsafe_op_in_unsafe_fn`).\n\n",
+    );
+    out.push_str(&format!("Total sites: {}\n", sites.len()));
+    let mut file: Option<&str> = None;
+    let mut ordinal = 0usize;
+    for s in sites {
+        if file != Some(s.file.as_str()) {
+            file = Some(s.file.as_str());
+            ordinal = 0;
+            out.push_str(&format!("\n## `{}`\n\n", s.file));
+            out.push_str("| # | kind | site | justification (first line) |\n");
+            out.push_str("|---|------|------|----------------------------|\n");
+        }
+        ordinal += 1;
+        out.push_str(&format!(
+            "| {} | {} | `{}` | {} |\n",
+            ordinal,
+            s.kind.label(),
+            md_escape(&clip(&s.context, 72)),
+            md_escape(&clip(s.safety.as_deref().unwrap_or("**UNDOCUMENTED**"), 96)),
+        ));
+    }
+    out
+}

@@ -1,0 +1,497 @@
+//! Hand-rolled Rust lexer for the lint passes.
+//!
+//! Deliberately small: the rule passes only need a faithful token
+//! stream (identifiers, literals, punctuation) with line numbers, plus
+//! the comments on the side for `// SAFETY:` and waiver parsing. The
+//! tricky part a regex-based scanner gets wrong — and the part this
+//! lexer exists for — is making sure `unwrap` inside a string literal,
+//! `unsafe` inside a nested block comment, or a `"]` inside a raw
+//! string never reach the rules. Handles line/block (nested) comments,
+//! string/byte/C-string literals with escapes, raw strings with any
+//! hash depth, raw identifiers, char literals vs. lifetimes, and
+//! numeric literals.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `unwrap`, ...).
+    Ident,
+    /// Lifetime (`'a`) — text excludes the quote.
+    Lifetime,
+    /// Numeric literal (`1.0e-3`, `0xFF`, `1_000f64`).
+    Num,
+    /// String-ish literal: `"..."`, `r#"..."#`, `b"..."`, `c"..."`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token: kind, source text, 1-based line of its first character.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), with the `//` / `/*` markers stripped.
+/// Block comments keep their interior verbatim; `line`..=`end_line`
+/// spans the source lines the comment occupies.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream and the side list of comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    /// Consumes an escaped (non-raw) string body up to the closing
+    /// `terminator`, honouring `\` escapes.
+    fn escaped_body(&mut self, terminator: char) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == terminator {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a raw string body: `hashes` `#`s were seen after the
+    /// prefix; the body ends at `"` followed by the same number of `#`s.
+    fn raw_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// At a string-literal prefix (`r`, `b`, `c`, `br`, `cr`) already
+    /// consumed as `prefix` characters: returns true (and consumes the
+    /// literal) when what follows is actually a string literal.
+    fn try_string_after_prefix(&mut self, raw: bool) -> bool {
+        if raw {
+            let mut hashes = 0;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                self.raw_body(hashes);
+                return true;
+            }
+            false
+        } else if self.peek(0) == Some('"') {
+            self.bump();
+            self.escaped_body('"');
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Lexes `src` into tokens + comments. Unterminated constructs consume
+/// to end of input rather than erroring: a lint tool must never panic
+/// on weird-but-compiling (or even non-compiling) source.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = lx.peek(0) {
+        let line = lx.line;
+        // Whitespace.
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && lx.peek(1) == Some('/') {
+            lx.bump();
+            lx.bump();
+            let mut text = String::new();
+            while let Some(c) = lx.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                lx.bump();
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while let Some(c) = lx.bump() {
+                if c == '/' && lx.peek(0) == Some('*') {
+                    lx.bump();
+                    depth += 1;
+                    text.push_str("/*");
+                } else if c == '*' && lx.peek(0) == Some('/') {
+                    lx.bump();
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    text.push_str("*/");
+                } else {
+                    text.push(c);
+                }
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: lx.line,
+                text,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            lx.bump();
+            lx.escaped_body('"');
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            if lx.peek(1) == Some('\\') {
+                // Escaped char literal: 'x' where x is an escape.
+                lx.bump();
+                lx.bump(); // the backslash
+                lx.bump(); // the escaped char (enough for \u{..} too:
+                           // the rest cannot contain an unescaped ')
+                lx.escaped_body('\'');
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+            } else if lx.peek(2) == Some('\'') && lx.peek(1).is_some_and(|c| c != '\'' && c != '\n')
+            {
+                // Plain one-char literal 'x' (including '_' and digits).
+                lx.bump();
+                lx.bump();
+                lx.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+            } else {
+                // Lifetime: ' followed by an identifier, no closing '.
+                lx.bump();
+                let mut text = String::new();
+                while lx.peek(0).is_some_and(is_ident_cont) {
+                    text.push(lx.bump().unwrap_or('\0'));
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifier, keyword, or prefixed string literal.
+        if is_ident_start(c) {
+            // String-literal prefixes must be checked before the ident
+            // path eats the prefix letters.
+            let (p0, p1) = (c, lx.peek(1));
+            if p0 == 'r' && p1 != Some('#') {
+                lx.bump();
+                if lx.try_string_after_prefix(true) {
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                    continue;
+                }
+                // Plain ident starting with r.
+                let mut text = String::from('r');
+                while lx.peek(0).is_some_and(is_ident_cont) {
+                    text.push(lx.bump().unwrap_or('\0'));
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                continue;
+            }
+            if p0 == 'r' && p1 == Some('#') {
+                // r#"..."# raw string or r#ident raw identifier.
+                if lx.peek(2).is_some_and(|c| c == '"' || c == '#') {
+                    lx.bump();
+                    if lx.try_string_after_prefix(true) {
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line,
+                        });
+                        continue;
+                    }
+                    // `r#` followed by more hashes but no quote: treat
+                    // the consumed `r` as an ident and rescan.
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: String::from("r"),
+                        line,
+                    });
+                    continue;
+                }
+                // Raw identifier r#name: token text is `name`.
+                lx.bump();
+                lx.bump();
+                let mut text = String::new();
+                while lx.peek(0).is_some_and(is_ident_cont) {
+                    text.push(lx.bump().unwrap_or('\0'));
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                continue;
+            }
+            if (p0 == 'b' || p0 == 'c') && (p1 == Some('"') || (p0 == 'b' && p1 == Some('\''))) {
+                lx.bump();
+                if lx.peek(0) == Some('\'') {
+                    // Byte char literal b'x'.
+                    lx.bump();
+                    if lx.peek(0) == Some('\\') {
+                        lx.bump();
+                        lx.bump();
+                    } else {
+                        lx.bump();
+                    }
+                    lx.escaped_body('\'');
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    lx.try_string_after_prefix(false);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                continue;
+            }
+            if (p0 == 'b' || p0 == 'c') && p1 == Some('r') {
+                // br"..." / cr#"..."# raw strings.
+                let mut probe = 2;
+                while lx.peek(probe) == Some('#') {
+                    probe += 1;
+                }
+                if lx.peek(probe) == Some('"') {
+                    lx.bump();
+                    lx.bump();
+                    lx.try_string_after_prefix(true);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                    continue;
+                }
+            }
+            // Ordinary identifier / keyword.
+            let mut text = String::new();
+            while lx.peek(0).is_some_and(is_ident_cont) {
+                text.push(lx.bump().unwrap_or('\0'));
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut prev = '\0';
+            while let Some(c) = lx.peek(0) {
+                let take = c.is_ascii_alphanumeric()
+                    || c == '_'
+                    || (c == '.' && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) && prev != '.')
+                    || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E'));
+                if !take {
+                    break;
+                }
+                prev = c;
+                text.push(c);
+                lx.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        lx.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    out
+}
+
+/// Removes every `#[cfg(test)]`-gated item (attribute included) from
+/// the token stream: the item after the attribute is skipped through
+/// its brace-balanced body, or to the `;` for body-less items. Any
+/// further attributes stacked between `#[cfg(test)]` and the item are
+/// skipped with it.
+pub fn strip_cfg_test(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute's interior tokens.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let start = j;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let interior = &toks[start..j.saturating_sub(1)];
+            let is_cfg_test = interior.len() == 4
+                && interior[0].is_ident("cfg")
+                && interior[1].is_punct('(')
+                && interior[2].is_ident("test")
+                && interior[3].is_punct(')');
+            if is_cfg_test {
+                // Skip stacked attributes, then the item itself.
+                while j < toks.len() && toks[j].is_punct('#') {
+                    let mut depth = 0usize;
+                    j += 1; // '#'
+                    if j < toks.len() && toks[j].is_punct('[') {
+                        loop {
+                            if toks[j].is_punct('[') {
+                                depth += 1;
+                            } else if toks[j].is_punct(']') {
+                                depth -= 1;
+                            }
+                            j += 1;
+                            if depth == 0 || j >= toks.len() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let mut brace = 0usize;
+                let mut entered = false;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('{') {
+                        brace += 1;
+                        entered = true;
+                    } else if t.is_punct('}') {
+                        brace = brace.saturating_sub(1);
+                        if entered && brace == 0 {
+                            j += 1;
+                            break;
+                        }
+                    } else if t.is_punct(';') && !entered {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}

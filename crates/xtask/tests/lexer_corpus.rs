@@ -1,0 +1,142 @@
+//! Adversarial corpora for the hand-rolled lexer: constructs a
+//! regex-based scanner gets wrong must never leak tokens into the rule
+//! passes.
+
+use xtask::lexer::{lex, strip_cfg_test, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .toks
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn string_contents_are_not_tokens() {
+    let src = r#"let msg = "call .unwrap() inside unsafe { } now";"#;
+    let ids = idents(src);
+    assert!(!ids.iter().any(|t| t == "unwrap" || t == "unsafe"));
+    assert!(ids.contains(&"let".to_string()));
+    let strs = lex(src)
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .count();
+    assert_eq!(strs, 1);
+}
+
+#[test]
+fn raw_strings_with_hash_depth_swallow_quotes() {
+    let src = "let re = r##\"quote \"# then .expect() and ] bracket\"##; after()";
+    let ids = idents(src);
+    assert!(!ids.iter().any(|t| t == "expect"));
+    assert!(ids.contains(&"after".to_string()));
+}
+
+#[test]
+fn byte_and_cstr_prefixes_are_strings_not_idents() {
+    let src = r#"let a = b"unwrap"; let b = c"expect"; let c = br"panic"; let d = b'x';"#;
+    let ids = idents(src);
+    assert!(!ids
+        .iter()
+        .any(|t| t == "unwrap" || t == "expect" || t == "panic"));
+    // `br` / `b` / `c` prefixes must not survive as identifiers either.
+    assert!(!ids.iter().any(|t| t == "br"));
+}
+
+#[test]
+fn r_prefixed_identifiers_still_lex_as_idents() {
+    let ids = idents("let rate = ring[pos]; r#fn(); return rate;");
+    assert!(ids.contains(&"rate".to_string()));
+    assert!(ids.contains(&"ring".to_string()));
+    // Raw identifier r#fn yields the ident `fn` (keyword-ness is the
+    // rules' concern, not the lexer's).
+    assert!(ids.contains(&"fn".to_string()));
+}
+
+#[test]
+fn nested_block_comments_are_comments() {
+    let src = "/* outer /* unsafe { } inner */ still comment .unwrap() */ fn f() {}";
+    let lexed = lex(src);
+    assert!(!lexed
+        .toks
+        .iter()
+        .any(|t| t.is_ident("unsafe") || t.is_ident("unwrap")));
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("inner"));
+}
+
+#[test]
+fn char_literals_vs_lifetimes() {
+    let src = "fn f<'a>(x: &'a [char]) { let c = 'x'; let n = '\\n'; let u = '\\u{1F600}'; }";
+    let lexed = lex(src);
+    let lifetimes: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .collect();
+    let chars = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .count();
+    assert_eq!(lifetimes.len(), 2);
+    assert!(lifetimes.iter().all(|t| t.text == "a"));
+    assert_eq!(chars, 3);
+}
+
+#[test]
+fn numeric_literals_stay_single_tokens() {
+    let lexed = lex("let x = 1.0e-3 + 0xFF_u32 + 1_000f64; for i in 0..n {}");
+    let nums: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(nums, vec!["1.0e-3", "0xFF_u32", "1_000f64", "0"]);
+}
+
+#[test]
+fn line_numbers_survive_multiline_constructs() {
+    let src = "line1();\n/* block\nspanning\nlines */\nline5();";
+    let lexed = lex(src);
+    let l5 = lexed.toks.iter().find(|t| t.is_ident("line5")).unwrap();
+    assert_eq!(l5.line, 5);
+    assert_eq!(lexed.comments[0].line, 2);
+    assert_eq!(lexed.comments[0].end_line, 4);
+}
+
+#[test]
+fn cfg_test_items_are_stripped() {
+    let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn also_hot() {}";
+    let toks = strip_cfg_test(lex(src).toks);
+    assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    assert!(toks.iter().any(|t| t.is_ident("hot")));
+    assert!(toks.iter().any(|t| t.is_ident("also_hot")));
+}
+
+#[test]
+fn cfg_test_with_stacked_attributes_is_stripped() {
+    let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { panic!() }\nfn keep() {}";
+    let toks = strip_cfg_test(lex(src).toks);
+    assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    assert!(toks.iter().any(|t| t.is_ident("keep")));
+}
+
+#[test]
+fn cfg_attributes_that_are_not_test_survive() {
+    let src = "#[cfg(feature = \"x\")]\nfn gated() { x.unwrap(); }";
+    let toks = strip_cfg_test(lex(src).toks);
+    assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+}
+
+#[test]
+fn unterminated_constructs_do_not_panic() {
+    // A lint tool must survive arbitrary (even non-compiling) source.
+    for src in ["let s = \"open", "/* never closed", "let r = r#\"open", "'"] {
+        let _ = lex(src);
+    }
+}

@@ -1,0 +1,57 @@
+//! Runs the full lint over the real workspace tree, exactly as the CI
+//! step does. This is the gate that keeps the repo at zero findings and
+//! the committed `UNSAFE_LEDGER.md` in sync with the actual inventory.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let report = xtask::run_lint(&root, false).expect("lint walk over the live tree");
+    assert!(report.files > 50, "walk found only {} files", report.files);
+    assert!(
+        report.findings.is_empty(),
+        "live tree has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn committed_ledger_matches_inventory() {
+    let root = workspace_root();
+    let report = xtask::run_lint(&root, false).expect("lint walk over the live tree");
+    let committed = std::fs::read_to_string(root.join(xtask::LEDGER_FILE))
+        .expect("UNSAFE_LEDGER.md is committed at the workspace root");
+    assert_eq!(
+        committed, report.ledger,
+        "UNSAFE_LEDGER.md is stale — regenerate with `cargo run -p xtask -- lint --write-ledger`"
+    );
+}
+
+#[test]
+fn every_unsafe_site_is_justified() {
+    let root = workspace_root();
+    let report = xtask::run_lint(&root, false).expect("lint walk over the live tree");
+    for site in &report.unsafe_sites {
+        assert!(
+            site.safety.is_some(),
+            "{}: unsafe site without SAFETY justification ({})",
+            site.file,
+            site.context
+        );
+    }
+}

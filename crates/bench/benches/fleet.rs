@@ -24,6 +24,7 @@ use bench::{bb, Harness};
 use ecg_features::extract::{ExtractScratch, WindowExtractor};
 use ecg_features::N_FEATURES;
 use ecg_sim::dataset::{DatasetSpec, Scale};
+use seizure_core::clock::TickConfig;
 use seizure_core::config::FitConfig;
 use seizure_core::engine::{BitConfig, QuantizedEngine};
 use seizure_core::fleet::{FleetConfig, FleetScheduler};
@@ -206,6 +207,62 @@ fn main() {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    // --- tick-path overhead: the serving-clock tick (deadline
+    // accounting, per-row arrival stamping, latency histograms) vs a
+    // caller-driven flush on the identical row workload ---
+    {
+        let n = 256;
+        let flush_name = "fleet_rows_256_quant_flush_driven";
+        let tick_name = "fleet_rows_256_quant_tick_driven";
+        if h.enabled(flush_name) || h.enabled(tick_name) {
+            let windows_per_iter = (n * ROWS_PER_PATIENT) as f64;
+            let mut run = |name: &str, tick: Option<TickConfig>| {
+                let ticked = tick.is_some();
+                let mut fleet = FleetScheduler::new(
+                    Arc::clone(&quant_engine),
+                    FleetConfig {
+                        tick,
+                        ..FleetConfig::unbounded(cfg)
+                    },
+                )
+                .expect("fleet");
+                for p in 0..n as u64 {
+                    fleet.admit(p).expect("admit");
+                }
+                let mut flush = seizure_core::fleet::FleetFlush::default();
+                h.bench(name, || {
+                    for p in 0..n {
+                        for r in 0..ROWS_PER_PATIENT {
+                            let row = &rows[(p + r) % rows.len()];
+                            fleet.ingest_row(p as u64, Some(row)).expect("ingest_row");
+                        }
+                    }
+                    if ticked {
+                        fleet.tick_into(&mut flush).expect("tick");
+                    } else {
+                        fleet.flush_into(&mut flush);
+                    }
+                    bb(flush.rows_classified)
+                })
+            };
+            let flush_ns = run(flush_name, None);
+            // 1 ns cadence: the wall clock stamps arrivals and accounts
+            // deadlines but tick() never sleeps, so the delta over the
+            // flush-driven twin is pure tick-path bookkeeping.
+            let tick_ns = run(tick_name, Some(TickConfig::wall(1)));
+            if flush_ns.is_finite() && tick_ns.is_finite() {
+                meta.push((
+                    "rows_256_quant_tick_windows_per_sec",
+                    format!("{:.1}", windows_per_iter * 1e9 / tick_ns),
+                ));
+                meta.push((
+                    "rows_256_quant_tick_vs_flush",
+                    format!("{:.3}", tick_ns / flush_ns),
+                ));
             }
         }
     }

@@ -115,12 +115,15 @@ fn main() {
     println!("\nper-window streaming stats (one session replay):");
     for (name, s) in [("float", &float_stats), ("quantized", &quant_stats)] {
         println!(
-            "  {name:<9} {} windows, {} dropped, {:.0} windows/s, mean {:.2} ms, max {:.2} ms",
+            "  {name:<9} {} windows, {} dropped, {:.0} windows/s, mean {:.2} ms, \
+             p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
             s.windows,
             s.dropped,
             s.windows_per_sec(),
             s.mean_latency_ns() / 1e6,
-            s.max_latency_ns as f64 / 1e6
+            s.latency.p50_ns() as f64 / 1e6,
+            s.latency.p99_ns() as f64 / 1e6,
+            s.max_latency_ns() as f64 / 1e6
         );
     }
     println!(

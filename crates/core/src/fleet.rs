@@ -62,17 +62,41 @@
 //! classify. [`FleetConfig::max_pending_rows`] bounds the feature rows
 //! buffered between flushes; when the bound is hit,
 //! [`OverloadPolicy`] decides who pays: `Reject` sheds the **newest**
-//! window, `DropOldest` sheds the **oldest pending** row fleet-wide.
-//! Either way the shed window stays in its session's queue as a
-//! *dropped* window (decision `None`) — it is still decided in order at
-//! the next flush, so per-session window accounting and the alarm
-//! dropped-window semantics stay exact — and the shed count surfaces in
-//! [`FleetStats`]. Raw-sample windows reach the bounded buffer when
-//! their extraction runs, at the head of `flush` — replayed in the exact
-//! fleet-wide ingest order, so a pure raw-sample workload sheds exactly
-//! as the old eager-extraction scheduler did; in a *mixed* raw+row fleet
-//! under a bound, eagerly buffered rows are simply already present when
-//! the raw windows replay.
+//! window, `DropOldest` sheds the **oldest pending** row fleet-wide,
+//! and `Watermark` runs a high/low hysteresis gate with **per-patient
+//! fair shedding**: when pending rows exceed the high watermark the
+//! gate sheds down to the low watermark in one pass, picking victims
+//! round-robin among the patients holding more than their fair share
+//! (`⌈pending / active patients⌉`) — a single flooding patient pays
+//! first, and no patient is ever starved to protect another (patients
+//! at or under fair share are only shed once *everyone* is at fair
+//! share). Whatever the policy, the shed window stays in its session's
+//! queue as a *dropped* window (decision `None`) — it is still decided
+//! in order at the next flush, so per-session window accounting and the
+//! alarm dropped-window semantics stay exact — and the shed count
+//! surfaces in [`FleetStats`]. Raw-sample windows reach the bounded
+//! buffer when their extraction runs, at the head of `flush` — replayed
+//! in the exact fleet-wide ingest order, so a pure raw-sample workload
+//! sheds exactly as the old eager-extraction scheduler did; in a
+//! *mixed* raw+row fleet under a bound, eagerly buffered rows are
+//! simply already present when the raw windows replay.
+//!
+//! ## Tick-driven serving
+//!
+//! Production serving is cadence-driven, not caller-driven: configure
+//! [`FleetConfig::tick`] and drive the fleet with
+//! [`FleetScheduler::tick`] / [`FleetScheduler::run_ticks`] instead of
+//! ad-hoc `flush` calls. Each tick is one flush wrapped in
+//! [`crate::clock::FleetClock`] deadline accounting (met/missed/slack
+//! vs the fixed cadence), and every ingested window carries an arrival
+//! timestamp so the fleet can histogram true **decision latency**
+//! (arrival → decision) in [`FleetStats::decision_latency`], alongside
+//! per-tick work in [`FleetStats::tick_work`]. Under the deterministic
+//! virtual clock the whole tick schedule — timestamps, histograms,
+//! deadline verdicts — is bit-identical across runs and worker counts;
+//! a tick performs exactly the flush a caller would have performed, so
+//! tick-driven and caller-driven serving produce identical decisions
+//! (pinned by the `tick_equivalence` suite).
 //!
 //! ## Ingest modes
 //!
@@ -88,6 +112,7 @@
 // maintained by the fleet's own maps and cursors; each is re-derived from the
 // structure it indexes in the same scope.
 use crate::alarm::{AlarmConfig, AlarmEvent};
+use crate::clock::{FleetClock, LatencyHistogram, TickConfig, TickOutcome};
 use crate::error::CoreError;
 use crate::parallel::WorkerPool;
 use crate::stream::{
@@ -123,6 +148,27 @@ pub enum OverloadPolicy {
     /// the new window — freshest-data-wins, for deployments where a
     /// stale window is worth less than a current one.
     DropOldest,
+    /// High/low watermark admission gate with per-patient fair
+    /// shedding: rows are admitted freely until pending rows exceed
+    /// [`Watermarks::high`], then the gate sheds down to
+    /// [`Watermarks::low`] in one pass, oldest-first per victim,
+    /// victims chosen round-robin among patients above their fair share
+    /// (see the module's *Backpressure* section). The hysteresis band
+    /// keeps shedding bursty instead of per-row once saturated, and the
+    /// fair-share rule means one flooding patient cannot crowd out the
+    /// rest of the fleet. `Reject`/`DropOldest` remain the degenerate
+    /// single-threshold configurations.
+    Watermark(Watermarks),
+}
+
+/// The hysteresis band of [`OverloadPolicy::Watermark`]. Validated by
+/// [`FleetConfig::validate`]: `low < high <= max_pending_rows`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Shedding, once triggered, stops at this many pending rows.
+    pub low: usize,
+    /// Admitting a row beyond this many pending rows triggers shedding.
+    pub high: usize,
 }
 
 /// Configuration of a fleet: shared window geometry, optional per-patient
@@ -147,12 +193,20 @@ pub struct FleetConfig {
     /// n-th). Must be `>= 1`; the count cannot change results, only
     /// wall-clock.
     pub workers: Option<usize>,
+    /// Serving clock for the tick-driven runtime
+    /// ([`FleetScheduler::tick`] / [`FleetScheduler::run_ticks`]):
+    /// `Some` gives the fleet a [`FleetClock`] at the configured
+    /// cadence/time source and turns on arrival stamping + decision
+    /// latency histograms. `None` (the default) is pure caller-driven
+    /// serving with zero clock overhead.
+    pub tick: Option<TickConfig>,
 }
 
 impl FleetConfig {
     /// A fleet without practical backpressure (buffer bound
-    /// `usize::MAX`), no alarm stage, machine-default executors — the
-    /// configuration the equivalence suite compares against solo
+    /// `usize::MAX` — the default that disables shedding entirely), no
+    /// alarm stage, machine-default executors, caller-driven flushes —
+    /// the configuration the equivalence suite compares against solo
     /// sessions.
     pub fn unbounded(stream: StreamConfig) -> Self {
         FleetConfig {
@@ -161,6 +215,7 @@ impl FleetConfig {
             max_pending_rows: usize::MAX,
             overload: OverloadPolicy::Reject,
             workers: None,
+            tick: None,
         }
     }
 
@@ -169,9 +224,11 @@ impl FleetConfig {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for `max_pending_rows == 0`,
-    /// `workers == Some(0)`, or an invalid alarm configuration (the
-    /// stream configuration is validated when the first session is
-    /// built, and once up front by [`FleetScheduler::new`]).
+    /// `workers == Some(0)`, watermark bands that are not
+    /// `low < high <= max_pending_rows`, a zero tick cadence, or an
+    /// invalid alarm configuration (the stream configuration is
+    /// validated when the first session is built, and once up front by
+    /// [`FleetScheduler::new`]).
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.max_pending_rows == 0 {
             return Err(CoreError::InvalidConfig(
@@ -185,6 +242,18 @@ impl FleetConfig {
                     .into(),
             ));
         }
+        if let OverloadPolicy::Watermark(wm) = self.overload {
+            if wm.low >= wm.high || wm.high > self.max_pending_rows {
+                return Err(CoreError::InvalidConfig(format!(
+                    "watermark gate needs low < high <= max_pending_rows, \
+                     got low {} / high {} / max_pending_rows {}",
+                    wm.low, wm.high, self.max_pending_rows
+                )));
+            }
+        }
+        if let Some(t) = self.tick {
+            t.validate()?;
+        }
         if let Some(a) = self.alarms {
             a.validate()?;
         }
@@ -195,7 +264,7 @@ impl FleetConfig {
 /// Fleet-level accounting — the scheduler's own counters, on top of the
 /// per-session [`StreamStats`] (merge those via
 /// [`FleetScheduler::stream_stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FleetStats {
     /// Sessions currently admitted.
     pub patients: usize,
@@ -243,6 +312,24 @@ pub struct FleetStats {
     /// window — the evenly-attributed batch-kernel shares summed at
     /// route-back. Counterpart of [`FleetStats::extract_ns`].
     pub classify_ns: u128,
+    /// Ticks completed by the tick-driven runtime (0 when serving is
+    /// caller-driven).
+    pub ticks: u64,
+    /// Ticks that finished within their cadence deadline.
+    pub deadlines_met: u64,
+    /// Ticks that overran their cadence deadline.
+    pub deadlines_missed: u64,
+    /// Worst single-tick overrun (ns past the deadline; 0 when every
+    /// deadline was met).
+    pub worst_overrun_ns: u64,
+    /// Distribution of per-tick flush work (`end − start` ns per tick).
+    pub tick_work: LatencyHistogram,
+    /// Distribution of end-to-end **decision latency** — window arrival
+    /// at the fleet to the end of the tick that decided it. Only
+    /// recorded under the tick-driven runtime (arrival stamps need the
+    /// serving clock); deterministic and worker-count-invariant under a
+    /// virtual clock.
+    pub decision_latency: LatencyHistogram,
 }
 
 impl FleetStats {
@@ -305,6 +392,10 @@ struct ChunkRecord {
     /// Windows the chunk completed (by geometry, exactly what the
     /// extractor will stage).
     windows: u64,
+    /// Serving-clock reading when the chunk was ingested (0 without a
+    /// clock); stamped onto every window the chunk completed when the
+    /// record replays.
+    arrival_ns: u64,
 }
 
 /// One buffered window awaiting its decision: the pending window plus,
@@ -316,6 +407,10 @@ struct QueuedWindow {
     /// executor mode only); cleared if the overload policy later sheds
     /// the row, so a shed window is decided as dropped either way.
     value: Option<f64>,
+    /// Serving-clock reading when the window arrived at the fleet (0
+    /// without a clock); the tick runtime turns this into decision
+    /// latency at route-back.
+    arrival_ns: u64,
 }
 
 /// One admitted patient: the session, its raw-sample inbox (deferred
@@ -342,6 +437,11 @@ struct Slot {
     /// shed prefix (keeps sustained overload O(1) per shed). Reset
     /// whenever the queue empties (flush / restart).
     shed_cursor: usize,
+    /// Row-bearing windows currently queued on this slot — the
+    /// watermark gate's per-patient pending count, maintained
+    /// incrementally (enqueue +1, shed −1, reset when the queue
+    /// settles) so fair-share victim selection never walks the queues.
+    pending_rows: usize,
 }
 
 impl Slot {
@@ -354,6 +454,7 @@ impl Slot {
             staged_next: 0,
             queue: VecDeque::new(),
             shed_cursor: 0,
+            pending_rows: 0,
         }
     }
 
@@ -505,6 +606,20 @@ pub struct FleetScheduler {
     /// Kernel nanoseconds spent in incremental panels since the last
     /// flush; folded into that flush's accounting.
     eager_kernel_ns: u128,
+    /// The serving clock when the fleet is tick-driven
+    /// ([`FleetConfig::tick`]); `None` = caller-driven flushes, no
+    /// arrival stamping.
+    clock: Option<FleetClock>,
+    /// Watermark round-robin cursor: slot index where the next
+    /// fair-share victim scan starts, so sustained shedding rotates
+    /// across patients instead of always hitting the lowest slot.
+    /// Reset whenever slot indices shift (admit/remove).
+    fair_cursor: usize,
+    /// Reused scratch: arrival stamps of the windows the current flush
+    /// decided, drained by [`FleetScheduler::tick_into`] into
+    /// [`FleetStats::decision_latency`] once the tick's end time is
+    /// known. Only populated while a clock is configured.
+    tick_arrivals: Vec<u64>,
 }
 
 impl std::fmt::Debug for FleetScheduler {
@@ -538,6 +653,10 @@ impl FleetScheduler {
             Some(n) => FlushExec::Owned(WorkerPool::new(n - 1)),
         };
         let eager = exec.executors() == 1;
+        let clock = match cfg.tick {
+            Some(t) => Some(FleetClock::new(t)?),
+            None => None,
+        };
         Ok(FleetScheduler {
             engine,
             cfg,
@@ -552,6 +671,9 @@ impl FleetScheduler {
             eager,
             hot: Vec::new(),
             eager_kernel_ns: 0,
+            clock,
+            fair_cursor: 0,
+            tick_arrivals: Vec::new(),
         })
     }
 
@@ -570,7 +692,7 @@ impl FleetScheduler {
 
     /// Fleet-level counters.
     pub fn stats(&self) -> FleetStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Cost metadata of the shared engine behind every session.
@@ -634,6 +756,7 @@ impl FleetScheduler {
         self.ids.insert(pos, patient);
         self.slots.insert(pos, Slot::new(session));
         self.last_idx = usize::MAX; // indices shifted
+        self.fair_cursor = 0; // indices shifted
         self.stats.admitted += 1;
         self.stats.patients = self.ids.len();
         Ok(())
@@ -660,6 +783,7 @@ impl FleetScheduler {
         self.ids.remove(idx);
         let mut slot = self.slots.remove(idx);
         self.last_idx = usize::MAX; // indices shifted
+        self.fair_cursor = 0; // indices shifted
         slot.settle_inbox();
         let discarded_rows = slot.queue.iter().filter(|e| e.window.row.is_some()).count();
         let discarded = slot.queue.len() + slot.staged.len();
@@ -703,6 +827,7 @@ impl FleetScheduler {
         slot.staged.clear();
         slot.staged_next = 0;
         slot.shed_cursor = 0;
+        slot.pending_rows = 0;
         slot.fed_samples = 0;
         let mut old = std::mem::replace(&mut slot.session, fresh);
         self.pending_chunks.retain(|r| r.patient != patient);
@@ -767,6 +892,7 @@ impl FleetScheduler {
             self.pending_chunks.push(ChunkRecord {
                 patient,
                 windows: completed as u64,
+                arrival_ns: self.clock.as_ref().map_or(0, FleetClock::now_ns),
             });
             self.stats.pending_windows += completed;
         }
@@ -790,7 +916,10 @@ impl FleetScheduler {
         // buffered copy, and on the row-serving hot path two clock
         // reads per row would cost as much as the bookkeeping they
         // measure — batching amortizes the clock per panel at flush
-        // time instead (see `FleetStats::busy_ns`).
+        // time instead (see `FleetStats::busy_ns`). A *serving* clock
+        // (`FleetConfig::tick`) does stamp each row's arrival — that
+        // single read is what decision-latency histograms are made of,
+        // and a virtual clock reads for free.
         let Some(idx) = self.slot_index_cached(patient) else {
             return Err(CoreError::InvalidConfig(format!(
                 "patient {patient} is not admitted"
@@ -804,8 +933,9 @@ impl FleetScheduler {
             )));
         }
         let pending = slot.session.pend_row(row)?;
+        let arrival_ns = self.clock.as_ref().map_or(0, FleetClock::now_ns);
         self.stats.pending_windows += 1;
-        self.enqueue_at(idx, patient, pending);
+        self.enqueue_at(idx, patient, pending, arrival_ns);
         self.stats.ingests += 1;
         Ok(())
     }
@@ -919,12 +1049,20 @@ impl FleetScheduler {
         // Stage 3: ordered route-back — decide every window in order,
         // batch values consumed in step with the gather order.
         out.rows_classified = rows_classified;
+        // Under a serving clock, remember each decided window's arrival
+        // stamp: `tick_into` turns them into decision latencies once the
+        // tick's end time is known.
+        let stamp = self.clock.is_some();
+        self.tick_arrivals.clear();
         let mut next = 0usize;
         for (&patient, slot) in self.ids.iter().zip(self.slots.iter_mut()) {
             if slot.queue.is_empty() {
                 continue;
             }
             for e in slot.queue.drain(..) {
+                if stamp {
+                    self.tick_arrivals.push(e.arrival_ns);
+                }
                 let (decision, share) = match (e.value, &e.window.row) {
                     // Eagerly classified (a shed row clears its value,
                     // so a Some here always still carries its row).
@@ -949,6 +1087,7 @@ impl FleetScheduler {
                 }
             }
             slot.shed_cursor = 0;
+            slot.pending_rows = 0;
             for alarm in slot.session.take_alarms() {
                 out.alarms.push((patient, alarm));
             }
@@ -963,6 +1102,124 @@ impl FleetScheduler {
         self.stats.extract_ns += out.extract_ns;
         self.stats.classify_ns += out.classify_ns;
         self.stats.busy_ns += t0.elapsed().as_nanos();
+    }
+
+    /// The serving clock, or an error when the fleet is caller-driven.
+    fn clock_required(&mut self) -> Result<&mut FleetClock, CoreError> {
+        self.clock.as_mut().ok_or_else(|| {
+            CoreError::InvalidConfig(
+                "tick-driven serving needs FleetConfig::tick (a cadence and \
+                 a wall or virtual clock source)"
+                    .into(),
+            )
+        })
+    }
+
+    /// Current serving-clock reading (`None` when caller-driven).
+    pub fn clock_now_ns(&self) -> Option<u64> {
+        self.clock.as_ref().map(FleetClock::now_ns)
+    }
+
+    /// Nominal due time of the next tick (`None` when caller-driven).
+    pub fn next_tick_ns(&self) -> Option<u64> {
+        self.clock.as_ref().map(FleetClock::next_tick_ns)
+    }
+
+    /// Advances a **virtual** serving clock by `ns` — how simulations
+    /// model inter-tick time passing (device arrivals land at distinct
+    /// timestamps). A documented no-op on a wall clock, which advances
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the fleet has no
+    /// serving clock.
+    pub fn advance_clock(&mut self, ns: u64) -> Result<(), CoreError> {
+        self.clock_required()?.advance(ns);
+        Ok(())
+    }
+
+    /// One serving tick: exactly one [`FleetScheduler::flush`] wrapped
+    /// in the serving clock's deadline accounting. The tick starts at
+    /// `max(now, scheduled)`, performs the flush (identical decisions
+    /// to a caller-driven flush — the clock never reorders work), and
+    /// ends measured (wall) or modeled (virtual, `rows × ns_per_row`).
+    /// Deadline verdicts land in [`FleetStats`]
+    /// (`ticks`/`deadlines_met`/`deadlines_missed`/`worst_overrun_ns`,
+    /// plus the [`FleetStats::tick_work`] histogram), and each decided
+    /// window's arrival→decision time lands in
+    /// [`FleetStats::decision_latency`]. Never sleeps — pacing belongs
+    /// to [`FleetScheduler::run_ticks`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the fleet has no
+    /// serving clock ([`FleetConfig::tick`] is `None`).
+    pub fn tick(&mut self) -> Result<(FleetFlush, TickOutcome), CoreError> {
+        let mut out = FleetFlush::default();
+        let outcome = self.tick_into(&mut out)?;
+        Ok((out, outcome))
+    }
+
+    /// [`FleetScheduler::tick`] into a caller-owned buffer (cleared
+    /// first) — the steady-state serving loop's allocation-reusing
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the fleet has no
+    /// serving clock.
+    pub fn tick_into(&mut self, out: &mut FleetFlush) -> Result<TickOutcome, CoreError> {
+        let timing = self.clock_required()?.begin_tick();
+        self.flush_into(out);
+        let rows = out.rows_classified as u64;
+        let outcome = self.clock_required()?.end_tick(&timing, rows);
+        self.stats.ticks += 1;
+        if outcome.met {
+            self.stats.deadlines_met += 1;
+        } else {
+            self.stats.deadlines_missed += 1;
+            let overrun = outcome.slack_ns.unsigned_abs();
+            self.stats.worst_overrun_ns = self.stats.worst_overrun_ns.max(overrun);
+        }
+        self.stats.tick_work.record(outcome.work_ns);
+        // Decision latency = arrival at the fleet → end of the deciding
+        // tick. Arrival stamps were stashed by the flush's route-back;
+        // windows that arrived with no clock reading (stamp 0 before
+        // the clock's epoch is impossible — stamps come from this
+        // clock) saturate harmlessly.
+        for &arrival in &self.tick_arrivals {
+            self.stats
+                .decision_latency
+                .record(outcome.end_ns.saturating_sub(arrival));
+        }
+        self.tick_arrivals.clear();
+        Ok(outcome)
+    }
+
+    /// Runs `n` cadence-paced ticks: before each tick the wall clock
+    /// sleeps until the tick is due (a virtual clock jumps to its
+    /// schedule instead), then the tick runs and `on_tick` sees its
+    /// flush and outcome. `scratch` is reused across ticks — decisions
+    /// from tick *k* are only valid inside `on_tick` until tick *k+1*
+    /// starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the fleet has no
+    /// serving clock.
+    pub fn run_ticks(
+        &mut self,
+        n: usize,
+        scratch: &mut FleetFlush,
+        mut on_tick: impl FnMut(&FleetFlush, &TickOutcome),
+    ) -> Result<(), CoreError> {
+        for _ in 0..n {
+            self.clock_required()?.wait_until_due();
+            let outcome = self.tick_into(scratch)?;
+            on_tick(scratch, &outcome);
+        }
+        Ok(())
     }
 
     /// Flush stage 1a: every slot with buffered raw samples runs its
@@ -1003,7 +1260,7 @@ impl FleetScheduler {
                 .expect("chunk records are dropped with their patient");
             for _ in 0..rec.windows {
                 let w = self.slots[idx].take_staged();
-                self.enqueue_at(idx, rec.patient, w);
+                self.enqueue_at(idx, rec.patient, w, rec.arrival_ns);
             }
         }
         // Keep the records allocation for the next ingest burst.
@@ -1054,34 +1311,46 @@ impl FleetScheduler {
     /// the slot at `idx` (which must be `patient`'s). The caller has
     /// already counted the window in `pending_windows` (at ingest time
     /// — rows eagerly, raw windows by geometry).
-    fn enqueue_at(&mut self, idx: usize, patient: PatientId, mut w: PendingWindow) {
+    fn enqueue_at(
+        &mut self,
+        idx: usize,
+        patient: PatientId,
+        mut w: PendingWindow,
+        arrival_ns: u64,
+    ) {
         // Row freed by the overload policy, recycled into the owning
         // session's pool below so sustained overload stays
         // allocation-free.
         let mut recycled: Option<Vec<f64>> = None;
         if w.row.is_some() {
-            let unbounded = self.cfg.max_pending_rows == usize::MAX;
-            if self.stats.pending_rows >= self.cfg.max_pending_rows {
-                match self.cfg.overload {
-                    OverloadPolicy::Reject => {
-                        // Shed the newcomer: it queues as a dropped
-                        // window so per-session order stays intact.
-                        recycled = w.row.take();
-                        self.stats.shed_windows += 1;
-                    }
-                    OverloadPolicy::DropOldest => {
+            let at_cap = self.stats.pending_rows >= self.cfg.max_pending_rows;
+            match self.cfg.overload {
+                OverloadPolicy::Reject if at_cap => {
+                    // Shed the newcomer: it queues as a dropped
+                    // window so per-session order stays intact.
+                    recycled = w.row.take();
+                    self.stats.shed_windows += 1;
+                }
+                OverloadPolicy::Reject => {
+                    self.stats.pending_rows += 1;
+                }
+                OverloadPolicy::DropOldest => {
+                    if at_cap {
                         self.shed_oldest_row();
-                        self.stats.pending_rows += 1;
+                    }
+                    self.stats.pending_rows += 1;
+                    // The arrival deque exists only to pick DropOldest
+                    // victims; an unbounded fleet never sheds, so skip
+                    // the bookkeeping on its hot path.
+                    if self.cfg.max_pending_rows != usize::MAX {
                         self.arrival.push_back(patient);
                     }
                 }
-            } else {
-                self.stats.pending_rows += 1;
-                // The arrival deque exists only to pick DropOldest
-                // victims; an unbounded fleet never sheds, so skip the
-                // bookkeeping on its hot path.
-                if !unbounded {
-                    self.arrival.push_back(patient);
+                OverloadPolicy::Watermark(_) => {
+                    // Admit unconditionally; the gate sheds *after* the
+                    // newcomer queues (below), so it is a candidate like
+                    // every other pending row.
+                    self.stats.pending_rows += 1;
                 }
             }
         }
@@ -1094,7 +1363,11 @@ impl FleetScheduler {
         slot.queue.push_back(QueuedWindow {
             window: w,
             value: None,
+            arrival_ns,
         });
+        if has_row {
+            slot.pending_rows += 1;
+        }
         // Serial executor set: index the row for incremental panel
         // classification, and classify the moment a full panel is hot —
         // while its rows are still cache-warm from extraction.
@@ -1102,6 +1375,14 @@ impl FleetScheduler {
             self.hot.push((idx, pos));
             if self.hot.len() >= FLUSH_PANEL_ROWS {
                 self.classify_hot();
+            }
+        }
+        // Watermark gate: crossing the high watermark sheds down to the
+        // low watermark in one fair round-robin pass (the hysteresis
+        // band keeps shedding bursty once saturated).
+        if let OverloadPolicy::Watermark(wm) = self.cfg.overload {
+            if self.stats.pending_rows > wm.high {
+                self.shed_to_low(wm.low);
             }
         }
     }
@@ -1158,25 +1439,66 @@ impl FleetScheduler {
             // lint: allow(hot-panic) — invariant: `remove_patient` drops the
             // patient's arrival entries before its slot.
             .expect("arrival entries are cleared when their patient leaves");
+        self.shed_row_at(idx);
+    }
+
+    /// Sheds the oldest pending row of the slot at `idx`: the window
+    /// stays queued, rowless, and will be decided as dropped; the row
+    /// allocation returns to the session's pool. Shared mechanics of
+    /// `DropOldest` (victim picked by the arrival deque) and the
+    /// watermark gate (victim picked by fair share). No-op on a slot
+    /// with no pending rows.
+    fn shed_row_at(&mut self, idx: usize) {
         let slot = &mut self.slots[idx];
-        let (offset, entry) = slot
+        let Some((offset, entry)) = slot
             .queue
             .iter_mut()
             .skip(slot.shed_cursor)
             .enumerate()
             .find(|(_, e)| e.window.row.is_some())
-            // lint: allow(hot-panic) — invariant: `arrival` holds exactly one
-            // entry per buffered row, so a popped victim has a row to shed.
-            .expect("arrival counts one entry per buffered row");
+        else {
+            debug_assert_eq!(slot.pending_rows, 0, "victims are picked by pending_rows");
+            return;
+        };
         // lint: allow(hot-panic) — `find` matched on `row.is_some()` above.
         let row = entry.window.row.take().expect("found by row.is_some()");
         // A row the eager path already classified still sheds: its
         // value is discarded and the window decides as dropped.
         entry.value = None;
         slot.shed_cursor += offset + 1;
+        slot.pending_rows -= 1;
         slot.session.recycle_row(row);
         self.stats.pending_rows -= 1;
         self.stats.shed_windows += 1;
+    }
+
+    /// The watermark gate's shed pass: sheds pending rows down to `low`,
+    /// one victim at a time, each victim the next patient (round-robin
+    /// from `fair_cursor`) holding **more than its fair share**
+    /// (`⌈pending / patients-with-rows⌉`). When every patient is at or
+    /// under fair share — an exactly even spread — the rotation falls
+    /// back to any patient with rows, so shedding stays strictly
+    /// round-robin and no patient is ever starved to protect another.
+    fn shed_to_low(&mut self, low: usize) {
+        while self.stats.pending_rows > low {
+            let active = self.slots.iter().filter(|s| s.pending_rows > 0).count();
+            if active == 0 {
+                return;
+            }
+            let fair = self.stats.pending_rows.div_ceil(active);
+            let n = self.slots.len();
+            let scan = |threshold: usize, from: usize| -> Option<usize> {
+                (0..n)
+                    .map(|step| (from + step) % n)
+                    .find(|&i| self.slots[i].pending_rows > threshold)
+            };
+            let Some(victim) = scan(fair, self.fair_cursor).or_else(|| scan(0, self.fair_cursor))
+            else {
+                return;
+            };
+            self.fair_cursor = (victim + 1) % n;
+            self.shed_row_at(victim);
+        }
     }
 
     /// Drops `rows` arrival entries of a departing/restarting patient.
@@ -1260,6 +1582,39 @@ mod tests {
         }
         .validate()
         .is_err());
+        // Watermark bands must satisfy low < high <= max_pending_rows.
+        for (low, high, max) in [(4, 4, 8), (5, 4, 8), (2, 9, 8)] {
+            assert!(
+                FleetConfig {
+                    max_pending_rows: max,
+                    overload: OverloadPolicy::Watermark(Watermarks { low, high }),
+                    ..cfg()
+                }
+                .validate()
+                .is_err(),
+                "low {low} high {high} max {max}"
+            );
+        }
+        assert!(FleetConfig {
+            max_pending_rows: 8,
+            overload: OverloadPolicy::Watermark(Watermarks { low: 2, high: 8 }),
+            ..cfg()
+        }
+        .validate()
+        .is_ok());
+        // Tick cadence must be positive.
+        assert!(FleetConfig {
+            tick: Some(TickConfig::wall(0)),
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        // A caller-driven fleet cannot tick.
+        let mut untick = FleetScheduler::new(engine(), cfg()).unwrap();
+        assert!(untick.tick().is_err());
+        assert!(untick.advance_clock(1).is_err());
+        assert_eq!(untick.clock_now_ns(), None);
+        assert_eq!(untick.next_tick_ns(), None);
         let bad_stream = FleetConfig::unbounded(StreamConfig {
             fs: 0.0,
             window_len: 10,
@@ -1613,6 +1968,232 @@ mod tests {
             .collect();
         assert_eq!(got, vec![None, None, Some(7.0)]);
         assert_eq!(fleet.stats().shed_windows, 6);
+    }
+
+    #[test]
+    fn watermark_gate_sheds_to_low_with_per_patient_fairness() {
+        // 3 patients, high = 6, low = 3. Patient 1 floods (6 rows),
+        // patients 2 and 3 each queue one row. Crossing high must shed
+        // down to low by taking from the flooder — the fair share is
+        // ⌈7/3⌉ = 3, so only patient 1 (6 > 3) is above it — and never
+        // from the patients at one row each.
+        let wm = OverloadPolicy::Watermark(Watermarks { low: 3, high: 6 });
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                max_pending_rows: 64,
+                overload: wm,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        for p in 1..=3 {
+            fleet.admit(p).unwrap();
+        }
+        for v in 0..5 {
+            fleet.ingest_row(1, Some(&row(f64::from(v)))).unwrap();
+        }
+        fleet.ingest_row(2, Some(&row(20.0))).unwrap();
+        assert_eq!(fleet.stats().shed_windows, 0, "at high, not over it");
+        fleet.ingest_row(1, Some(&row(5.0))).unwrap(); // 7 rows: gate trips
+        let stats = fleet.stats();
+        assert_eq!(stats.pending_rows, 3, "shed down to low");
+        assert_eq!(stats.shed_windows, 4);
+        fleet.ingest_row(3, Some(&row(30.0))).unwrap(); // back under high: admitted freely
+        assert_eq!(fleet.stats().shed_windows, 4);
+        let got: Vec<(PatientId, Option<f64>)> = fleet
+            .flush()
+            .decisions
+            .iter()
+            .map(|d| (d.patient, d.decision.decision))
+            .collect();
+        // All four shed windows are patient 1's oldest; patients 2 and 3
+        // kept their single rows (they were never above fair share).
+        assert_eq!(
+            got,
+            vec![
+                (1, None),
+                (1, None),
+                (1, None),
+                (1, None),
+                (1, Some(4.0)),
+                (1, Some(5.0)),
+                (2, Some(20.0)),
+                (3, Some(30.0)),
+            ],
+        );
+    }
+
+    #[test]
+    fn watermark_fairness_rotates_when_everyone_is_at_fair_share() {
+        // An exactly even spread over the low..=high band: the shed
+        // pass falls back to strict round-robin, so the pain spreads
+        // one row per patient instead of emptying whoever sorts first.
+        let wm = OverloadPolicy::Watermark(Watermarks { low: 6, high: 8 });
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                max_pending_rows: 64,
+                overload: wm,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        for p in 1..=3 {
+            fleet.admit(p).unwrap();
+        }
+        // 3 rows each, round-robin: 9 rows > high = 8 trips the gate at
+        // the last admit; fair share is ⌈9/3⌉ = 3 with nobody above it,
+        // so the fallback rotation sheds 9 − 6 = 3 rows, one per
+        // patient.
+        for v in 0..3 {
+            for p in 1..=3 {
+                fleet
+                    .ingest_row(p, Some(&row(f64::from(v) + 10.0 * p as f64)))
+                    .unwrap();
+            }
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.pending_rows, 6);
+        assert_eq!(stats.shed_windows, 3);
+        let rows_kept: Vec<PatientId> = fleet
+            .flush()
+            .decisions
+            .iter()
+            .filter(|d| d.decision.decision.is_some())
+            .map(|d| d.patient)
+            .collect();
+        // Every patient lost exactly one row — nobody was emptied.
+        for p in 1..=3 {
+            assert_eq!(
+                rows_kept.iter().filter(|&&q| q == p).count(),
+                2,
+                "patient {p} keeps 2 of 3 rows"
+            );
+        }
+    }
+
+    #[test]
+    fn tick_is_one_flush_with_deadline_accounting() {
+        // Virtual clock: 1000 ns cadence, 10 ns per row — everything
+        // below is exact arithmetic, reproducible run to run.
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                tick: Some(TickConfig::deterministic(1_000, 10)),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        fleet.admit(1).unwrap();
+        fleet.admit(2).unwrap();
+        // Two rows arrive at t = 0; the first tick runs at its schedule
+        // (t = 1000), classifies both (20 ns of modeled work) and meets
+        // its deadline.
+        fleet.ingest_row(1, Some(&row(1.0))).unwrap();
+        fleet.ingest_row(2, Some(&row(2.0))).unwrap();
+        let (flush, o) = fleet.tick().unwrap();
+        assert_eq!(flush.decisions.len(), 2);
+        assert_eq!(flush.rows_classified, 2);
+        assert_eq!((o.start_ns, o.end_ns, o.work_ns), (1_000, 1_020, 20));
+        assert!(o.met);
+        let stats = fleet.stats();
+        assert_eq!(
+            (stats.ticks, stats.deadlines_met, stats.deadlines_missed),
+            (1, 1, 0)
+        );
+        assert_eq!(stats.worst_overrun_ns, 0);
+        // Decision latency = arrival (t = 0) → tick end (t = 1020),
+        // for both windows, exactly.
+        assert_eq!(stats.decision_latency.count(), 2);
+        assert_eq!(stats.decision_latency.min_ns(), 1_020);
+        assert_eq!(stats.decision_latency.max_ns(), 1_020);
+        assert_eq!(stats.tick_work.max_ns(), 20);
+        // An overloaded tick (200 rows × 10 ns = 2000 ns > cadence)
+        // misses its deadline and records the overrun.
+        for i in 0..200 {
+            fleet.ingest_row(1, Some(&row(f64::from(i)))).unwrap();
+        }
+        let (_, o) = fleet.tick().unwrap();
+        assert!(!o.met);
+        assert!(o.slack_ns < 0);
+        let stats = fleet.stats();
+        assert_eq!((stats.ticks, stats.deadlines_missed), (2, 1));
+        assert_eq!(stats.worst_overrun_ns, o.slack_ns.unsigned_abs());
+        // An idle tick decides nothing and is a zero-work deadline met.
+        let (flush, o) = fleet.tick().unwrap();
+        assert!(flush.decisions.is_empty());
+        assert_eq!(o.work_ns, 0);
+        assert!(o.met);
+    }
+
+    #[test]
+    fn run_ticks_paces_and_reuses_the_scratch_buffer() {
+        let mut fleet = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                tick: Some(TickConfig::deterministic(1_000, 10)),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        fleet.admit(1).unwrap();
+        fleet.ingest_row(1, Some(&row(1.0))).unwrap();
+        let mut scratch = FleetFlush::default();
+        let mut seen = Vec::new();
+        fleet
+            .run_ticks(3, &mut scratch, |flush, o| {
+                seen.push((o.index, flush.decisions.len()));
+            })
+            .unwrap();
+        // Tick 0 decides the row; the rest are idle but still tick on
+        // schedule.
+        assert_eq!(seen, vec![(0, 1), (1, 0), (2, 0)]);
+        assert_eq!(fleet.stats().ticks, 3);
+        // Caller-driven flush interleaves fine with ticking.
+        fleet.ingest_row(1, Some(&row(2.0))).unwrap();
+        assert_eq!(fleet.flush().decisions.len(), 1);
+    }
+
+    #[test]
+    fn tick_decisions_match_caller_driven_flush_when_unsaturated() {
+        // Same interleaved workload, one fleet ticked and one flushed:
+        // unsaturated (no shedding), the decision payloads must be
+        // bit-identical — a tick is exactly one flush.
+        let workload = |fleet: &mut FleetScheduler| {
+            for p in 1..=3 {
+                fleet.admit(p).unwrap();
+            }
+            for i in 0..40 {
+                let p = (i % 3 + 1) as PatientId;
+                if i % 11 == 5 {
+                    fleet.ingest_row(p, None).unwrap();
+                } else {
+                    fleet.ingest_row(p, Some(&row(i as f64 - 15.0))).unwrap();
+                }
+            }
+        };
+        let payload = |flush: &FleetFlush| -> Vec<(PatientId, u64, Option<f64>)> {
+            flush
+                .decisions
+                .iter()
+                .map(|d| (d.patient, d.decision.window_index, d.decision.decision))
+                .collect()
+        };
+        let mut ticked = FleetScheduler::new(
+            engine(),
+            FleetConfig {
+                tick: Some(TickConfig::deterministic(1_000_000, 10)),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        let mut flushed = FleetScheduler::new(engine(), cfg()).unwrap();
+        workload(&mut ticked);
+        workload(&mut flushed);
+        let (tick_flush, outcome) = ticked.tick().unwrap();
+        assert!(outcome.met, "40 rows × 10 ns is far inside the cadence");
+        assert_eq!(payload(&tick_flush), payload(&flushed.flush()));
     }
 
     #[test]

@@ -54,12 +54,18 @@
 //! * [`parallel`] — the deterministic thread-fan-out substrate;
 //! * [`stream`] — incremental inference: ring buffer → window scheduler →
 //!   scratch-reusing extraction → any [`svm::ClassifierEngine`], with
-//!   per-window latency stats, an optional online alarm stage and
+//!   per-window latency histograms, an optional online alarm stage and
 //!   parallel multi-patient fan-out;
 //! * [`fleet`] — fleet-scale session multiplexing: N per-patient
 //!   sessions behind one scheduler, ready feature rows micro-batched
 //!   across patients into single `decision_batch` calls, with an
-//!   explicit overload/backpressure policy;
+//!   explicit overload/backpressure policy (including watermark
+//!   admission with per-patient fair shedding);
+//! * [`clock`] — the serving clock: [`clock::FleetClock`] tick driver
+//!   (fixed flush cadence over a wall or deterministic virtual time
+//!   source, per-tick deadline accounting) and the allocation-free
+//!   log-bucketed [`clock::LatencyHistogram`] behind every latency
+//!   stat;
 //! * [`alarm`] — the event-level alarm subsystem: k-of-n alarm state
 //!   machine with refractory hold-off, ground-truth event extraction and
 //!   event metrics (event sensitivity, FA/24h, detection latency), all on
@@ -86,6 +92,7 @@ pub mod alarm;
 pub mod assemble;
 pub mod bitwidth;
 pub mod budget;
+pub mod clock;
 pub mod combine;
 pub mod config;
 pub mod engine;
@@ -105,6 +112,7 @@ pub use alarm::{
     EventScoring, TruthEvent,
 };
 pub use biodsp::ExtractPrecision;
+pub use clock::{ClockSource, FleetClock, LatencyHistogram, TickConfig, TickOutcome};
 pub use config::FitConfig;
 pub use engine::{BitConfig, QuantizedEngine};
 pub use error::CoreError;
@@ -113,6 +121,7 @@ pub use eval::{
 };
 pub use fleet::{
     FleetConfig, FleetDecision, FleetFlush, FleetScheduler, FleetStats, OverloadPolicy, PatientId,
+    Watermarks,
 };
 pub use stream::{StreamConfig, StreamOutcome, StreamStats, StreamingSession, WindowDecision};
 pub use trained::FloatPipeline;

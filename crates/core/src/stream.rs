@@ -45,6 +45,7 @@
 // from the window scheduler's drain contract (`min_ring_capacity`) and the
 // lane-group layout sized in the same function.
 use crate::alarm::{AlarmConfig, AlarmEvent, AlarmStateMachine};
+use crate::clock::LatencyHistogram;
 use crate::error::CoreError;
 use crate::parallel::par_map_mut;
 use biodsp::stream::{SampleRing, WindowScheduler};
@@ -181,7 +182,7 @@ pub struct WindowDecision {
 }
 
 /// Running latency/throughput accounting of one stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StreamStats {
     /// Samples ingested.
     pub samples_in: u64,
@@ -193,19 +194,31 @@ pub struct StreamStats {
     pub seizure_windows: u64,
     /// Alarms raised by the optional alarm stage (0 when disabled).
     pub alarms: u64,
-    /// Summed per-window latency (ns).
-    pub total_latency_ns: u128,
-    /// Worst single-window latency (ns).
-    pub max_latency_ns: u64,
+    /// Per-window latency distribution (extraction + classification
+    /// share): p50/p99/max + jitter via the log-bucketed
+    /// [`LatencyHistogram`], replacing the old sum/max pair — the sum
+    /// and max remain available exactly via
+    /// [`StreamStats::total_latency_ns`] / [`StreamStats::max_latency_ns`].
+    pub latency: LatencyHistogram,
 }
 
 impl StreamStats {
+    /// Summed per-window latency (ns) — exact, from the histogram.
+    pub fn total_latency_ns(&self) -> u128 {
+        self.latency.sum_ns()
+    }
+
+    /// Worst single-window latency (ns) — exact, from the histogram.
+    pub fn max_latency_ns(&self) -> u64 {
+        self.latency.max_ns()
+    }
+
     /// Mean per-window latency in nanoseconds (0 before any window).
     pub fn mean_latency_ns(&self) -> f64 {
         if self.windows == 0 {
             0.0
         } else {
-            self.total_latency_ns as f64 / self.windows as f64
+            self.total_latency_ns() as f64 / self.windows as f64
         }
     }
 
@@ -233,27 +246,27 @@ impl StreamStats {
     pub fn windows_per_sec(&self) -> f64 {
         if self.windows == 0 {
             0.0
-        } else if self.total_latency_ns == 0 {
+        } else if self.total_latency_ns() == 0 {
             f64::INFINITY
         } else {
-            self.windows as f64 * 1e9 / self.total_latency_ns as f64
+            self.windows as f64 * 1e9 / self.total_latency_ns() as f64
         }
     }
 
     /// Merges another stream's accounting into this one.
     ///
-    /// Counters add up; `total_latency_ns` therefore becomes a **summed
-    /// CPU-time** figure across streams that may have run concurrently —
-    /// see [`StreamStats::windows_per_sec`] for what the merged rate
-    /// does (and does not) mean.
+    /// Counters add up and histograms fold bucket-wise (exact and
+    /// order-independent); `total_latency_ns` therefore becomes a
+    /// **summed CPU-time** figure across streams that may have run
+    /// concurrently — see [`StreamStats::windows_per_sec`] for what the
+    /// merged rate does (and does not) mean.
     pub fn merge(&mut self, other: &StreamStats) {
         self.samples_in += other.samples_in;
         self.windows += other.windows;
         self.dropped += other.dropped;
         self.seizure_windows += other.seizure_windows;
         self.alarms += other.alarms;
-        self.total_latency_ns += other.total_latency_ns;
-        self.max_latency_ns = self.max_latency_ns.max(other.max_latency_ns);
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -412,7 +425,7 @@ impl StreamingSession {
 
     /// Running stats.
     pub fn stats(&self) -> StreamStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Ingests one chunk of any length and returns the decisions of every
@@ -601,8 +614,7 @@ impl StreamingSession {
         if is_seizure {
             self.stats.seizure_windows += 1;
         }
-        self.stats.total_latency_ns += u128::from(latency_ns);
-        self.stats.max_latency_ns = self.stats.max_latency_ns.max(latency_ns);
+        self.stats.latency.record(latency_ns);
         let wd = WindowDecision {
             window_index: pending.window_index,
             start_sample: pending.start_sample,
@@ -986,11 +998,14 @@ mod tests {
         };
         assert_eq!(sub_resolution.windows_per_sec(), f64::INFINITY);
         assert_eq!(sub_resolution.mean_latency_ns(), 0.0);
-        let measured = StreamStats {
+        let mut measured = StreamStats {
             windows: 4,
-            total_latency_ns: 2_000_000_000,
             ..StreamStats::default()
         };
+        for _ in 0..4 {
+            measured.latency.record(500_000_000);
+        }
+        assert_eq!(measured.total_latency_ns(), 2_000_000_000);
         assert!((measured.windows_per_sec() - 2.0).abs() < 1e-12);
     }
 
@@ -1056,7 +1071,8 @@ mod tests {
             assert_eq!(stats.dropped, 0);
             assert!(stats.mean_latency_ns() > 0.0);
             assert!(stats.windows_per_sec() > 0.0);
-            assert!(stats.max_latency_ns >= stats.mean_latency_ns() as u64);
+            assert!(stats.max_latency_ns() >= stats.mean_latency_ns() as u64);
+            assert!(stats.latency.p99_ns() >= stats.latency.p50_ns());
         }
     }
 
@@ -1251,12 +1267,14 @@ mod tests {
         // Two concurrent streams, each 100 windows of 1 ms: the merged
         // serial-equivalent rate halves, the wall-clock pooled rate does
         // not — the distinction the fleet metrics are built on.
-        let one = StreamStats {
+        let mut one = StreamStats {
             windows: 100,
-            total_latency_ns: 100_000_000,
             ..StreamStats::default()
         };
-        let mut merged = one;
+        for _ in 0..100 {
+            one.latency.record(1_000_000);
+        }
+        let mut merged = one.clone();
         merged.merge(&one);
         assert!((one.windows_per_sec() - 1000.0).abs() < 1e-9);
         assert!((merged.windows_per_sec() - 1000.0).abs() < 1e-9);
@@ -1276,7 +1294,7 @@ mod tests {
         assert!(o.wall_windows_per_sec() > 0.0);
         // Wall time covers at least the summed per-window latencies of a
         // serial replay.
-        assert!(u128::from(o.wall_ns) >= o.stats.total_latency_ns);
+        assert!(u128::from(o.wall_ns) >= o.stats.total_latency_ns());
     }
 
     #[test]

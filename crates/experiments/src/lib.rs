@@ -9,6 +9,10 @@
 //! --csv DIR                 also dump CSV files into DIR
 //! --workers N               flush executors for fleet binaries
 //!                           (default: size to the machine)
+//! --tick-ms N               serving-clock cadence for the fleet tick
+//!                           scenario (fleet_sim; default 5)
+//! --overload X              offered load as a multiple of per-tick
+//!                           capacity in the tick scenario (default 2.0)
 //! ```
 
 use ecg_sim::dataset::{DatasetSpec, Scale};
@@ -28,6 +32,14 @@ pub struct RunConfig {
     /// ([`seizure_core::fleet::FleetConfig::workers`]); `None` sizes to
     /// the machine. Ignored by binaries without a fleet stage.
     pub workers: Option<usize>,
+    /// Serving-clock cadence in milliseconds for the fleet tick
+    /// scenario ([`seizure_core::clock::TickConfig`]); `None` keeps the
+    /// binary's default. Ignored by binaries without a tick stage.
+    pub tick_ms: Option<u64>,
+    /// Offered load for the tick scenario as a multiple of per-tick
+    /// classification capacity (e.g. `2.0` = twice what one tick can
+    /// decide); `None` keeps the binary's default.
+    pub overload: Option<f64>,
 }
 
 impl Default for RunConfig {
@@ -37,6 +49,8 @@ impl Default for RunConfig {
             seed: 42,
             csv_dir: None,
             workers: None,
+            tick_ms: None,
+            overload: None,
         }
     }
 }
@@ -85,8 +99,32 @@ impl RunConfig {
                     );
                     cfg.workers = Some(n);
                 }
+                "--tick-ms" => {
+                    let n: u64 = it
+                        .next()
+                        .expect("--tick-ms needs a value")
+                        .parse()
+                        .expect("--tick-ms must be an integer");
+                    assert!(n >= 1, "--tick-ms must be >= 1");
+                    cfg.tick_ms = Some(n);
+                }
+                "--overload" => {
+                    let x: f64 = it
+                        .next()
+                        .expect("--overload needs a value")
+                        .parse()
+                        .expect("--overload must be a number");
+                    assert!(
+                        x.is_finite() && x > 0.0,
+                        "--overload must be a positive finite multiple of capacity"
+                    );
+                    cfg.overload = Some(x);
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: --scale tiny|lite|paper  --seed N  --csv DIR  --workers N");
+                    eprintln!(
+                        "flags: --scale tiny|lite|paper  --seed N  --csv DIR  --workers N  \
+                         --tick-ms N  --overload X"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag `{other}`"),
@@ -204,11 +242,29 @@ mod tests {
             "/tmp/x",
             "--workers",
             "2",
+            "--tick-ms",
+            "3",
+            "--overload",
+            "2.5",
         ]));
         assert_eq!(c.scale, Scale::Tiny);
         assert_eq!(c.seed, 7);
         assert_eq!(c.csv_dir.as_deref(), Some("/tmp/x"));
         assert_eq!(c.workers, Some(2));
+        assert_eq!(c.tick_ms, Some(3));
+        assert_eq!(c.overload, Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "--tick-ms must be >= 1")]
+    fn parse_rejects_zero_tick() {
+        let _ = RunConfig::parse(args(&["--tick-ms", "0"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--overload must be a positive")]
+    fn parse_rejects_nonpositive_overload() {
+        let _ = RunConfig::parse(args(&["--overload", "0"]));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! every worker count.
 
 use seizure_core::alarm::{score_events, AlarmEvent, EventMetrics, EventScoring, TruthEvent};
+use seizure_core::clock::TickOutcome;
 use seizure_core::engine::{BitConfig, QuantizedEngine};
 use seizure_core::error::CoreError;
 use seizure_core::fleet::{
@@ -191,6 +192,63 @@ impl FleetMonitor {
             self.alarms.entry(*patient).or_default().push(*alarm);
         }
         flush
+    }
+
+    /// One serving tick: exactly one [`FleetMonitor::flush`] under the
+    /// serving clock's deadline accounting
+    /// ([`seizure_core::fleet::FleetScheduler::tick`]) — alarms are
+    /// collected for the cohort report the same way. Requires
+    /// [`FleetConfig::tick`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the fleet was built
+    /// without a serving clock.
+    pub fn tick(&mut self) -> Result<(FleetFlush, TickOutcome), CoreError> {
+        let (flush, outcome) = self.fleet.tick()?;
+        for (patient, alarm) in &flush.alarms {
+            self.alarms.entry(*patient).or_default().push(*alarm);
+        }
+        Ok((flush, outcome))
+    }
+
+    /// Runs `n` cadence-paced ticks (wall clocks sleep to the schedule,
+    /// virtual clocks jump), collecting alarms from every tick; each
+    /// tick's flush and outcome are handed to `on_tick`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the fleet was built
+    /// without a serving clock.
+    pub fn run_ticks(
+        &mut self,
+        n: usize,
+        mut on_tick: impl FnMut(&FleetFlush, &TickOutcome),
+    ) -> Result<(), CoreError> {
+        let mut scratch = FleetFlush::default();
+        let alarms = &mut self.alarms;
+        self.fleet.run_ticks(n, &mut scratch, |flush, outcome| {
+            for (patient, alarm) in &flush.alarms {
+                alarms.entry(*patient).or_default().push(*alarm);
+            }
+            on_tick(flush, outcome);
+        })
+    }
+
+    /// Current serving-clock reading (`None` when caller-driven).
+    pub fn clock_now_ns(&self) -> Option<u64> {
+        self.fleet.clock_now_ns()
+    }
+
+    /// Advances a **virtual** serving clock by `ns` (simulation time
+    /// passing); no-op on a wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the fleet has no
+    /// serving clock.
+    pub fn advance_clock(&mut self, ns: u64) -> Result<(), CoreError> {
+        self.fleet.advance_clock(ns)
     }
 
     /// Fleet-level counters (pending windows, shed counts, wall-clock

@@ -48,6 +48,7 @@ const HOT_MODULES: &[&str] = &[
     "crates/dsp/src/filter.rs",
     "crates/core/src/fleet.rs",
     "crates/core/src/stream.rs",
+    "crates/core/src/clock.rs",
     "crates/core/src/kernels.rs",
     "crates/svm/src/kernel.rs",
     "crates/svm/src/kernel/block.rs",
